@@ -1,0 +1,171 @@
+// Ablation study over the design choices the paper motivates but does
+// not isolate numerically:
+//
+//   (a) HTML cleansing on/off  — §2.4 claims tidy "can improve the
+//       accuracy of resulting XML documents";
+//   (b) grouping rule on/off   — §2.3.2's structural core;
+//   (c) synonym vs Bayes vs hybrid recognizer — §2.3.1's two
+//       implementations of the concept instance rule;
+//   (d) concept constraints on/off for consolidation + mining.
+//
+// Each row reports extraction accuracy over the same generated corpus.
+
+#include <cstdio>
+
+#include "classify/bayes.h"
+#include "classify/features.h"
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "restructure/accuracy.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/frequent_paths.h"
+
+namespace {
+
+struct Row {
+  double avg_errors = 0.0;
+  double error_pct = 0.0;
+  double identified_ratio = 0.0;
+};
+
+Row Evaluate(const webre::DocumentConverter& converter, size_t num_docs) {
+  double errors = 0.0;
+  double nodes = 0.0;
+  double identified = 0.0;
+  double tokens = 0.0;
+  for (size_t i = 0; i < num_docs; ++i) {
+    webre::GeneratedResume resume = webre::GenerateResume(i);
+    webre::ConvertStats stats;
+    auto xml = converter.Convert(resume.html, &stats);
+    webre::AccuracyReport report = webre::CompareTrees(*xml, *resume.truth);
+    errors += static_cast<double>(report.logical_errors);
+    nodes += static_cast<double>(report.concept_nodes);
+    identified += static_cast<double>(stats.instance.tokens_identified);
+    tokens += static_cast<double>(stats.instance.tokens_total);
+  }
+  Row row;
+  row.avg_errors = errors / static_cast<double>(num_docs);
+  row.error_pct = 100.0 * errors / nodes;
+  row.identified_ratio = 100.0 * identified / tokens;
+  return row;
+}
+
+void Print(const char* label, const Row& row) {
+  std::printf("%-34s %10.2f %9.1f%% %12.1f%%\n", label, row.avg_errors,
+              row.error_pct, row.identified_ratio);
+}
+
+// Trains the Bayes recognizer from the generator's ground truth on a
+// disjoint training split (documents 10000+).
+webre::BayesClassifier TrainClassifier(size_t train_docs) {
+  webre::BayesClassifier classifier;
+  for (size_t i = 0; i < train_docs; ++i) {
+    webre::GeneratedResume resume = webre::GenerateResume(10000 + i);
+    for (const webre::EducationEntry& e : resume.data.education) {
+      classifier.AddExample("DATE", webre::ExtractTokenFeatures(e.date));
+      classifier.AddExample("INSTITUTION",
+                            webre::ExtractTokenFeatures(e.institution));
+      classifier.AddExample("DEGREE", webre::ExtractTokenFeatures(e.degree));
+      classifier.AddExample("MAJOR", webre::ExtractTokenFeatures(e.major));
+      if (!e.gpa.empty()) {
+        classifier.AddExample("GPA", webre::ExtractTokenFeatures(e.gpa));
+      }
+    }
+    for (const webre::ExperienceEntry& e : resume.data.experience) {
+      classifier.AddExample("DATE",
+                            webre::ExtractTokenFeatures(e.date_range));
+      classifier.AddExample("COMPANY",
+                            webre::ExtractTokenFeatures(e.company));
+      classifier.AddExample("JOBTITLE",
+                            webre::ExtractTokenFeatures(e.title));
+      classifier.AddExample("LOCATION",
+                            webre::ExtractTokenFeatures(e.location));
+    }
+    for (const std::string& s : resume.data.skills) {
+      classifier.AddExample("LANGUAGE", webre::ExtractTokenFeatures(s));
+    }
+    for (const std::string& c : resume.data.courses) {
+      classifier.AddExample("COURSE", webre::ExtractTokenFeatures(c));
+    }
+  }
+  return classifier;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kDocs = 100;
+  webre::ConceptSet concepts = webre::ResumeConcepts();
+  webre::ConstraintSet constraints = webre::ResumeConstraints();
+  webre::SynonymRecognizer synonym(&concepts);
+
+  std::printf("== Ablations (over %zu documents) ==\n", kDocs);
+  std::printf("%-34s %10s %10s %13s\n", "configuration", "errs/doc",
+              "error%", "identified%");
+
+  {
+    webre::DocumentConverter converter(&concepts, &synonym, &constraints);
+    Print("baseline (synonym, tidy, grouping)", Evaluate(converter, kDocs));
+  }
+  {
+    webre::ConvertOptions options;
+    options.apply_tidy = false;
+    webre::DocumentConverter converter(&concepts, &synonym, &constraints,
+                                       options);
+    Print("  - without HTML cleansing", Evaluate(converter, kDocs));
+  }
+  {
+    webre::ConvertOptions options;
+    options.apply_grouping = false;
+    webre::DocumentConverter converter(&concepts, &synonym, &constraints,
+                                       options);
+    Print("  - without grouping rule", Evaluate(converter, kDocs));
+  }
+  {
+    webre::DocumentConverter converter(&concepts, &synonym, nullptr);
+    Print("  - without concept constraints", Evaluate(converter, kDocs));
+  }
+  // (d) constraints matter most on the schema-discovery side (§4.2):
+  // compare the mining search space and the discovered schema with and
+  // without them over the same converted corpus.
+  {
+    webre::DocumentConverter converter(&concepts, &synonym, &constraints);
+    std::vector<std::unique_ptr<webre::Node>> docs;
+    for (size_t i = 0; i < kDocs; ++i) {
+      docs.push_back(converter.Convert(webre::GenerateResume(i).html));
+    }
+    webre::MiningOptions with_options;
+    with_options.constraints = &constraints;
+    webre::FrequentPathMiner with_miner(with_options);
+    webre::FrequentPathMiner without_miner;
+    for (const auto& doc : docs) {
+      with_miner.AddDocument(*doc);
+      without_miner.AddDocument(*doc);
+    }
+    const size_t with_paths = with_miner.Discover().NodeCount();
+    const size_t without_paths = without_miner.Discover().NodeCount();
+    std::printf("\nschema discovery over the same corpus (%zu docs):\n",
+                kDocs);
+    std::printf("  %-28s %14s %16s\n", "configuration", "trie nodes",
+                "frequent paths");
+    std::printf("  %-28s %14zu %16zu\n", "with constraints",
+                with_miner.stats().trie_nodes, with_paths);
+    std::printf("  %-28s %14zu %16zu\n", "without constraints",
+                without_miner.stats().trie_nodes, without_paths);
+  }
+
+  webre::BayesClassifier classifier = TrainClassifier(60);
+  {
+    webre::BayesRecognizer bayes(&classifier, &concepts, /*min_margin=*/0.5);
+    webre::DocumentConverter converter(&concepts, &bayes, &constraints);
+    Print("recognizer: Bayes only", Evaluate(converter, kDocs));
+  }
+  {
+    webre::HybridRecognizer hybrid(&concepts, &classifier,
+                                   /*min_margin=*/0.5);
+    webre::DocumentConverter converter(&concepts, &hybrid, &constraints);
+    Print("recognizer: synonym + Bayes hybrid", Evaluate(converter, kDocs));
+  }
+  return 0;
+}

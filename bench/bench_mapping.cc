@@ -1,0 +1,116 @@
+// Quantifies the paper's §1/§5 claim that schema-guided document mapping
+// "is only reasonable by using a majority schema; Data Guides or lower
+// bound schemas do not suffice for this task."
+//
+// For each schema type (majority / Data Guide / lower bound) discovered
+// from the same converted corpus, every document is conformed to the
+// schema's DTD and the mapping cost (tree edit distance original ->
+// conformed) plus information retention (surviving concept elements) is
+// reported.
+
+#include <cstdio>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "mapping/document_mapper.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/dtd_builder.h"
+#include "schema/frequent_paths.h"
+
+namespace {
+
+size_t ElementCount(const webre::Node& node) {
+  size_t count = 0;
+  node.PreOrder([&](const webre::Node& n) {
+    if (n.is_element()) ++count;
+  });
+  return count;
+}
+
+struct SchemaRow {
+  const char* label;
+  size_t schema_paths = 0;
+  double avg_edit_cost = 0.0;
+  double avg_inserted = 0.0;
+  double avg_removed = 0.0;
+  double retention_pct = 0.0;
+  double conform_pct = 0.0;
+};
+
+SchemaRow EvaluateSchema(const char* label,
+                         const webre::MajoritySchema& schema,
+                         const std::vector<std::unique_ptr<webre::Node>>&
+                             docs) {
+  webre::DtdBuildOptions dtd_options;
+  dtd_options.mark_optional = true;
+  webre::Dtd dtd = webre::BuildDtd(schema, dtd_options);
+
+  SchemaRow row;
+  row.label = label;
+  row.schema_paths = schema.NodeCount();
+  double retained = 0.0;
+  double original = 0.0;
+  size_t conforming = 0;
+  for (const auto& doc : docs) {
+    webre::ConformResult result =
+        webre::ConformToSchema(*doc, schema, dtd);
+    row.avg_edit_cost += result.report.edit_distance;
+    row.avg_inserted += static_cast<double>(result.report.nodes_inserted);
+    row.avg_removed += static_cast<double>(result.report.nodes_removed);
+    retained += static_cast<double>(ElementCount(*result.document)) -
+                static_cast<double>(result.report.nodes_inserted);
+    original += static_cast<double>(ElementCount(*doc));
+    if (result.report.conforms) ++conforming;
+  }
+  const double n = static_cast<double>(docs.size());
+  row.avg_edit_cost /= n;
+  row.avg_inserted /= n;
+  row.avg_removed /= n;
+  row.retention_pct = 100.0 * retained / original;
+  row.conform_pct = 100.0 * static_cast<double>(conforming) / n;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kDocs = 200;
+  webre::ConceptSet concepts = webre::ResumeConcepts();
+  webre::ConstraintSet constraints = webre::ResumeConstraints();
+  webre::SynonymRecognizer recognizer(&concepts);
+  webre::DocumentConverter converter(&concepts, &recognizer, &constraints);
+
+  webre::MiningOptions mining;
+  mining.constraints = &constraints;
+  webre::FrequentPathMiner miner(mining);
+  std::vector<std::unique_ptr<webre::Node>> docs;
+  for (size_t i = 0; i < kDocs; ++i) {
+    docs.push_back(converter.Convert(webre::GenerateResume(i).html));
+    miner.AddDocument(*docs.back());
+  }
+
+  webre::MajoritySchema majority = miner.Discover();
+  webre::MajoritySchema dataguide = webre::DiscoverDataGuide(miner);
+  webre::MajoritySchema lower = webre::DiscoverLowerBound(miner);
+
+  std::printf("== Schema-guided mapping cost (%zu documents) ==\n", kDocs);
+  std::printf("%-14s %7s %10s %10s %9s %11s %9s\n", "schema", "paths",
+              "edit cost", "inserted", "removed", "retention%",
+              "conform%");
+  for (const SchemaRow& row :
+       {EvaluateSchema("majority", majority, docs),
+        EvaluateSchema("data guide", dataguide, docs),
+        EvaluateSchema("lower bound", lower, docs)}) {
+    std::printf("%-14s %7zu %10.1f %10.1f %9.1f %10.1f%% %8.1f%%\n",
+                row.label, row.schema_paths, row.avg_edit_cost,
+                row.avg_inserted, row.avg_removed, row.retention_pct,
+                row.conform_pct);
+  }
+  std::printf(
+      "\nreading: the majority schema pays a small edit cost and keeps "
+      "nearly all\ncontent; the lower bound deletes most structure; the "
+      "data guide keeps\neverything but degenerates into per-document "
+      "shapes (no integration value).\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) for the pipeline's hot paths:
+// HTML lexing/parsing, the four restructuring rules, path extraction,
+// trie insertion + discovery, and tree-edit distance.
+
+#include <benchmark/benchmark.h>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "html/lexer.h"
+#include "html/parser.h"
+#include "mapping/tree_edit.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/frequent_paths.h"
+#include "schema/path_extractor.h"
+
+namespace webre {
+namespace {
+
+const std::string& SamplePage() {
+  static const std::string& page = *new std::string(GenerateResume(0).html);
+  return page;
+}
+
+struct Env {
+  Env()
+      : concepts(ResumeConcepts()),
+        constraints(ResumeConstraints()),
+        recognizer(&concepts),
+        converter(&concepts, &recognizer, &constraints) {}
+
+  ConceptSet concepts;
+  ConstraintSet constraints;
+  SynonymRecognizer recognizer;
+  DocumentConverter converter;
+};
+
+Env& GetEnv() {
+  static Env& env = *new Env();
+  return env;
+}
+
+void BM_HtmlLex(benchmark::State& state) {
+  const std::string& page = SamplePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeHtml(page));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * page.size()));
+}
+BENCHMARK(BM_HtmlLex);
+
+void BM_HtmlParse(benchmark::State& state) {
+  const std::string& page = SamplePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseHtml(page));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * page.size()));
+}
+BENCHMARK(BM_HtmlParse);
+
+void BM_ConvertDocument(benchmark::State& state) {
+  Env& env = GetEnv();
+  const std::string& page = SamplePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.converter.Convert(page));
+  }
+}
+BENCHMARK(BM_ConvertDocument);
+
+void BM_ConceptMatch(benchmark::State& state) {
+  Env& env = GetEnv();
+  const std::string token =
+      "University of Wisconsin at Madison, B.S.(Computer Science), "
+      "June 1996, GPA 3.8/4.0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.concepts.MatchAll(token));
+  }
+}
+BENCHMARK(BM_ConceptMatch);
+
+void BM_PathExtraction(benchmark::State& state) {
+  Env& env = GetEnv();
+  auto doc = env.converter.Convert(SamplePage());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractPaths(*doc));
+  }
+}
+BENCHMARK(BM_PathExtraction);
+
+void BM_SchemaDiscovery(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t num_docs = static_cast<size_t>(state.range(0));
+  std::vector<DocumentPaths> extracted;
+  for (size_t i = 0; i < num_docs; ++i) {
+    auto doc = env.converter.Convert(GenerateResume(i).html);
+    extracted.push_back(ExtractPaths(*doc));
+  }
+  for (auto _ : state) {
+    MiningOptions options;
+    options.constraints = &env.constraints;
+    FrequentPathMiner miner(options);
+    for (const DocumentPaths& paths : extracted) {
+      miner.AddDocumentPaths(paths);
+    }
+    benchmark::DoNotOptimize(miner.Discover());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * num_docs));
+}
+BENCHMARK(BM_SchemaDiscovery)->Arg(10)->Arg(50)->Arg(200);
+
+XmlRepository& LoadedRepository(size_t docs) {
+  static std::map<size_t, XmlRepository>& repos =
+      *new std::map<size_t, XmlRepository>();
+  XmlRepository& repo = repos[docs];
+  if (repo.size() == 0) {
+    Env& env = GetEnv();
+    for (size_t i = 0; i < docs; ++i) {
+      repo.Add(env.converter.Convert(GenerateResume(i).html)).value();
+    }
+  }
+  return repo;
+}
+
+void BM_RepositoryIndexedQuery(benchmark::State& state) {
+  XmlRepository& repo = LoadedRepository(static_cast<size_t>(state.range(0)));
+  auto query = PathQuery::Parse("/resume/EDUCATION/DATE/INSTITUTION");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.Query(*query));
+  }
+}
+BENCHMARK(BM_RepositoryIndexedQuery)->Arg(50)->Arg(400);
+
+void BM_RepositoryScanQuery(benchmark::State& state) {
+  XmlRepository& repo = LoadedRepository(static_cast<size_t>(state.range(0)));
+  auto query = PathQuery::Parse("//DATE[val~\"1996\"]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(repo.Query(*query));
+  }
+}
+BENCHMARK(BM_RepositoryScanQuery)->Arg(50)->Arg(400);
+
+void BM_TreeEditDistance(benchmark::State& state) {
+  Env& env = GetEnv();
+  auto a = env.converter.Convert(GenerateResume(0).html);
+  auto b = env.converter.Convert(GenerateResume(1).html);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeEditDistance(*a, *b));
+  }
+}
+BENCHMARK(BM_TreeEditDistance);
+
+}  // namespace
+}  // namespace webre
+
+BENCHMARK_MAIN();

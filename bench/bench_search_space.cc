@@ -1,0 +1,69 @@
+// Reproduces §4.2: effect of concept constraints on the schema-discovery
+// search space.
+//
+// Paper figures: exhaustive enumeration of label paths up to length 4
+// over 24 concepts would explore 24^5 - 1 = 7,962,623 nodes; with the
+// constraints (11 title names at level 1, 13 content names below, no
+// concept twice on a path, max depth 4) the space shrinks to
+// 1 + 11 + 11*13 + 11*13*12 = 1,871 nodes (0.023%); without extending
+// zero-support nodes, the miner actually explores 73 nodes (0.0009%).
+
+#include <cstdio>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/frequent_paths.h"
+#include "schema/search_space.h"
+
+int main() {
+  webre::ConceptSet concepts = webre::ResumeConcepts();
+  webre::ConstraintSet constraints = webre::ResumeConstraints();
+
+  webre::SearchSpaceReport report = webre::AnalyzeSearchSpace(
+      concepts, constraints, "resume", /*max_level=*/3);
+
+  std::printf("== Section 4.2: concept constraints & search space ==\n");
+  std::printf("concepts:                         %zu (paper: 24)\n",
+              report.concept_count);
+  std::printf("title / content split:            %zu / %zu (paper: 11/13)\n",
+              webre::ResumeTitleConceptNames().size(),
+              webre::ResumeContentConceptNames().size());
+  std::printf("exhaustive (paper formula 24^5-1): %llu (paper: 7962623)\n",
+              static_cast<unsigned long long>(
+                  report.exhaustive_paper_formula));
+  std::printf("exhaustive enumeration tree:       %llu nodes\n",
+              static_cast<unsigned long long>(report.exhaustive_enumerated));
+  std::printf("with constraints:                  %llu (paper: 1871)\n",
+              static_cast<unsigned long long>(report.constrained));
+  std::printf("reduction vs paper formula:        %.4f%% (paper: 0.023%%)\n\n",
+              100.0 * static_cast<double>(report.constrained) /
+                  static_cast<double>(report.exhaustive_paper_formula));
+
+  // "Without extending nodes with zero support, the actual number of
+  // nodes explored is 73": run the miner over a real converted corpus
+  // and report its materialized trie size.
+  webre::SynonymRecognizer recognizer(&concepts);
+  webre::DocumentConverter converter(&concepts, &recognizer, &constraints);
+  webre::MiningOptions options;
+  options.constraints = &constraints;
+  webre::FrequentPathMiner miner(options);
+  const size_t num_docs = 380;
+  for (size_t i = 0; i < num_docs; ++i) {
+    auto doc = converter.Convert(webre::GenerateResume(i).html);
+    miner.AddDocument(*doc);
+  }
+  miner.Discover();
+  const webre::MiningStats& stats = miner.stats();
+  std::printf("zero-support pruning over %zu converted documents:\n",
+              num_docs);
+  std::printf("nodes actually explored (trie):    %zu (paper: 73)\n",
+              stats.trie_nodes);
+  std::printf("  = %.4f%% of the paper-formula space (paper: 0.0009%%)\n",
+              100.0 * static_cast<double>(stats.trie_nodes) /
+                  static_cast<double>(report.exhaustive_paper_formula));
+  std::printf("paths offered / pruned by constraints: %zu / %zu\n",
+              stats.paths_offered, stats.paths_pruned_by_constraints);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "classify/bayes.h"
+
+#include <cmath>
+#include <limits>
+
+namespace webre {
+
+void BayesClassifier::AddExample(std::string_view label,
+                                 const std::vector<std::string>& features) {
+  LabelStats& stats = labels_[std::string(label)];
+  ++stats.example_count;
+  ++example_count_;
+  for (const std::string& f : features) {
+    ++stats.word_counts[f];
+    ++stats.total_word_count;
+    ++vocabulary_[f];
+  }
+}
+
+BayesClassifier::Prediction BayesClassifier::Classify(
+    const std::vector<std::string>& features) const {
+  Prediction best;
+  if (labels_.empty() || example_count_ == 0) return best;
+
+  const double vocab = static_cast<double>(vocabulary_.size());
+  double best_score = -std::numeric_limits<double>::infinity();
+  double second_score = -std::numeric_limits<double>::infinity();
+  const std::string* best_label = nullptr;
+
+  for (const auto& [label, stats] : labels_) {
+    double score = std::log(static_cast<double>(stats.example_count) /
+                            static_cast<double>(example_count_));
+    const double denom =
+        static_cast<double>(stats.total_word_count) + vocab + 1.0;
+    for (const std::string& f : features) {
+      auto it = stats.word_counts.find(f);
+      const double count =
+          it == stats.word_counts.end() ? 0.0 : static_cast<double>(it->second);
+      score += std::log((count + 1.0) / denom);
+    }
+    if (score > best_score) {
+      second_score = best_score;
+      best_score = score;
+      best_label = &label;
+    } else if (score > second_score) {
+      second_score = score;
+    }
+  }
+
+  best.label = *best_label;
+  best.log_score = best_score;
+  best.margin = labels_.size() == 1
+                    ? std::numeric_limits<double>::infinity()
+                    : best_score - second_score;
+  return best;
+}
+
+std::string BayesClassifier::ClassifyWithThreshold(
+    const std::vector<std::string>& features, double min_margin,
+    std::string_view fallback_label) const {
+  Prediction p = Classify(features);
+  if (p.label.empty() || p.margin < min_margin) {
+    return std::string(fallback_label);
+  }
+  return p.label;
+}
+
+}  // namespace webre

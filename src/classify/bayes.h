@@ -1,0 +1,71 @@
+#ifndef WEBRE_CLASSIFY_BAYES_H_
+#define WEBRE_CLASSIFY_BAYES_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace webre {
+
+/// Multinomial naive Bayes text classifier with Laplace (add-one)
+/// smoothing — the paper's second concept-instance recognizer (§2.3.1,
+/// citing Chakrabarti's hypertext-mining survey [12]).
+///
+/// Training examples are (label, bag-of-words) pairs; classification
+/// returns the label maximizing
+///   log P(c) + sum_w log P(w | c).
+/// A minimum log-odds margin over the runner-up turns low-confidence
+/// predictions into "unknown", matching the paper's note that tokens may
+/// be "classified as 'unknown' in case of the Bayes classifier".
+class BayesClassifier {
+ public:
+  /// Classification outcome. `label` is empty when the classifier has no
+  /// training data or the input has no known features at all.
+  struct Prediction {
+    std::string label;
+    /// Posterior log-probability (unnormalized) of the winning label.
+    double log_score = 0.0;
+    /// Log-odds gap to the second-best label; +inf with a single class.
+    double margin = 0.0;
+  };
+
+  BayesClassifier() = default;
+
+  /// Adds one training example.
+  void AddExample(std::string_view label,
+                  const std::vector<std::string>& features);
+
+  /// Number of training examples seen.
+  size_t example_count() const { return example_count_; }
+  /// Number of distinct labels seen.
+  size_t label_count() const { return labels_.size(); }
+  /// Vocabulary size (distinct features).
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+
+  /// Classifies a bag of features. Returns the best label with its score
+  /// and the margin over the runner-up.
+  Prediction Classify(const std::vector<std::string>& features) const;
+
+  /// Classifies but reports `fallback_label` when the margin is below
+  /// `min_margin` (nats). The paper's "unknown" outcome.
+  std::string ClassifyWithThreshold(const std::vector<std::string>& features,
+                                    double min_margin,
+                                    std::string_view fallback_label) const;
+
+ private:
+  struct LabelStats {
+    size_t example_count = 0;
+    size_t total_word_count = 0;
+    std::unordered_map<std::string, size_t> word_counts;
+  };
+
+  std::unordered_map<std::string, LabelStats> labels_;
+  std::unordered_map<std::string, size_t> vocabulary_;  // feature -> df
+  size_t example_count_ = 0;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_CLASSIFY_BAYES_H_

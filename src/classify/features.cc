@@ -1,0 +1,64 @@
+#include "classify/features.h"
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+// Strips non-alphanumeric characters from both ends of `word`.
+std::string_view StripPunct(std::string_view word) {
+  size_t begin = 0;
+  while (begin < word.size() && !IsAsciiAlnum(word[begin])) ++begin;
+  size_t end = word.size();
+  while (end > begin && !IsAsciiAlnum(word[end - 1])) --end;
+  return word.substr(begin, end - begin);
+}
+
+// Classifies the shape of a stripped word; returns an empty view when the
+// word has no special numeric shape.
+std::string_view NumericShape(std::string_view word) {
+  bool any_digit = false;
+  bool all_digits = true;
+  bool ratio_chars = false;  // '.' or '/' between digits
+  for (char c : word) {
+    if (IsAsciiDigit(c)) {
+      any_digit = true;
+    } else {
+      all_digits = false;
+      if (c == '.' || c == '/') {
+        ratio_chars = true;
+      } else {
+        return {};
+      }
+    }
+  }
+  if (!any_digit) return {};
+  if (all_digits) {
+    if (word.size() == 4 && (word[0] == '1' || word[0] == '2') &&
+        (word[1] == '9' || word[1] == '0')) {
+      return "#year#";
+    }
+    return "#num#";
+  }
+  if (ratio_chars) return "#ratio#";
+  return "#num#";
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractTokenFeatures(std::string_view text) {
+  std::vector<std::string> features;
+  for (const std::string& raw : SplitWords(text)) {
+    std::string_view word = StripPunct(raw);
+    if (word.empty()) continue;
+    std::string_view shape = NumericShape(word);
+    if (!shape.empty()) {
+      features.emplace_back(shape);
+    } else {
+      features.push_back(AsciiLower(word));
+    }
+  }
+  return features;
+}
+
+}  // namespace webre

@@ -1,0 +1,25 @@
+#ifndef WEBRE_CLASSIFY_FEATURES_H_
+#define WEBRE_CLASSIFY_FEATURES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webre {
+
+/// Turns a token's text into a bag of word features for the multinomial
+/// Bayes classifier (§2.3.1 uses "the statistics of associating words in
+/// the token with concept instances").
+///
+/// Normalization:
+///  - words are lowercased and stripped of surrounding punctuation;
+///  - four-digit numbers in [1900, 2099] map to the shape feature
+///    `#year#`, other pure numbers to `#num#`, and digit/period/slash
+///    mixes like "3.8/4.0" to `#ratio#` — numeric shapes, not the exact
+///    values, are what signal date- and GPA-like tokens;
+///  - empty results are possible (e.g. a token of pure punctuation).
+std::vector<std::string> ExtractTokenFeatures(std::string_view text);
+
+}  // namespace webre
+
+#endif  // WEBRE_CLASSIFY_FEATURES_H_

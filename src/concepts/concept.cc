@@ -1,0 +1,175 @@
+#include "concepts/concept.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace webre {
+
+bool Concept::IsShapeInstance(std::string_view instance) {
+  return instance.size() >= 3 && instance.front() == '#' &&
+         instance.back() == '#';
+}
+
+void ConceptSet::Add(Concept concept_def) {
+  for (Concept& existing : concepts_) {
+    if (existing.name == concept_def.name) {
+      existing = std::move(concept_def);
+      return;
+    }
+  }
+  concepts_.push_back(std::move(concept_def));
+}
+
+const Concept* ConceptSet::Find(std::string_view name) const {
+  for (const Concept& c : concepts_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+bool ConceptSet::Contains(std::string_view name) const {
+  return Find(name) != nullptr;
+}
+
+size_t ConceptSet::TotalInstanceCount() const {
+  size_t total = 0;
+  for (const Concept& c : concepts_) total += c.instances.size();
+  return total;
+}
+
+namespace {
+
+// Appends all word-boundary, case-insensitive occurrences of `needle`.
+void FindKeywordMatches(std::string_view text, std::string_view needle,
+                        size_t concept_index, std::string_view concept_name,
+                        std::vector<InstanceMatch>& out) {
+  if (needle.empty() || needle.size() > text.size()) return;
+  for (size_t i = 0; i + needle.size() <= text.size(); ++i) {
+    size_t j = 0;
+    while (j < needle.size() &&
+           AsciiToLower(text[i + j]) == AsciiToLower(needle[j])) {
+      ++j;
+    }
+    if (j != needle.size()) continue;
+    const bool left_ok = i == 0 || !IsAsciiAlnum(text[i - 1]);
+    const size_t end = i + needle.size();
+    const bool right_ok = end >= text.size() || !IsAsciiAlnum(text[end]);
+    if (left_ok && right_ok) {
+      out.push_back(InstanceMatch{concept_index, concept_name, i,
+                                  needle.size()});
+    }
+  }
+}
+
+// Numeric shape of a word (same rules as ExtractTokenFeatures, kept local
+// so concepts/ does not depend on classify/).
+std::string_view WordShape(std::string_view word) {
+  bool any_digit = false;
+  bool all_digits = true;
+  bool ratio_chars = false;
+  for (char c : word) {
+    if (IsAsciiDigit(c)) {
+      any_digit = true;
+    } else {
+      all_digits = false;
+      if (c == '.' || c == '/') {
+        ratio_chars = true;
+      } else {
+        return {};
+      }
+    }
+  }
+  if (!any_digit) return {};
+  if (all_digits) {
+    if (word.size() == 4 && (word[0] == '1' || word[0] == '2') &&
+        (word[1] == '9' || word[1] == '0')) {
+      return "#year#";
+    }
+    return "#num#";
+  }
+  if (ratio_chars) return "#ratio#";
+  return "#num#";
+}
+
+// Appends matches of a shape instance: every maximal digit-ish word in
+// `text` whose shape equals `shape`.
+void FindShapeMatches(std::string_view text, std::string_view shape,
+                      size_t concept_index, std::string_view concept_name,
+                      std::vector<InstanceMatch>& out) {
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!IsAsciiDigit(text[i])) {
+      ++i;
+      continue;
+    }
+    // Expand a digit/period/slash run; require word boundaries.
+    size_t begin = i;
+    size_t end = i;
+    while (end < text.size() &&
+           (IsAsciiDigit(text[end]) || text[end] == '.' || text[end] == '/')) {
+      ++end;
+    }
+    // Trim trailing periods/slashes (sentence punctuation).
+    while (end > begin && (text[end - 1] == '.' || text[end - 1] == '/')) {
+      --end;
+    }
+    const bool left_ok = begin == 0 || !IsAsciiAlnum(text[begin - 1]);
+    const bool right_ok = end >= text.size() || !IsAsciiAlnum(text[end]);
+    if (left_ok && right_ok && end > begin &&
+        WordShape(text.substr(begin, end - begin)) == shape) {
+      out.push_back(
+          InstanceMatch{concept_index, concept_name, begin, end - begin});
+    }
+    i = end + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<InstanceMatch> ConceptSet::MatchAll(std::string_view text) const {
+  std::vector<InstanceMatch> candidates;
+  for (size_t ci = 0; ci < concepts_.size(); ++ci) {
+    const Concept& concept_def = concepts_[ci];
+    FindKeywordMatches(text, concept_def.name, ci, concept_def.name, candidates);
+    for (const std::string& instance : concept_def.instances) {
+      if (Concept::IsShapeInstance(instance)) {
+        FindShapeMatches(text, instance, ci, concept_def.name, candidates);
+      } else {
+        FindKeywordMatches(text, instance, ci, concept_def.name, candidates);
+      }
+    }
+  }
+  // Prefer longer matches, then earlier; drop overlaps.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const InstanceMatch& a, const InstanceMatch& b) {
+              if (a.length != b.length) return a.length > b.length;
+              if (a.position != b.position) return a.position < b.position;
+              return a.concept_index < b.concept_index;
+            });
+  std::vector<InstanceMatch> selected;
+  for (const InstanceMatch& m : candidates) {
+    bool overlaps = false;
+    for (const InstanceMatch& s : selected) {
+      if (m.position < s.position + s.length &&
+          s.position < m.position + m.length) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) selected.push_back(m);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const InstanceMatch& a, const InstanceMatch& b) {
+              return a.position < b.position;
+            });
+  return selected;
+}
+
+InstanceMatch ConceptSet::MatchFirst(std::string_view text) const {
+  std::vector<InstanceMatch> all = MatchAll(text);
+  if (all.empty()) return InstanceMatch{};
+  return all.front();
+}
+
+}  // namespace webre

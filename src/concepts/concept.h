@@ -1,0 +1,88 @@
+#ifndef WEBRE_CONCEPTS_CONCEPT_H_
+#define WEBRE_CONCEPTS_CONCEPT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webre {
+
+/// A topic-specific concept (§2.2): the element-name vocabulary for the
+/// XML documents produced by document conversion, together with its
+/// *concept instances* — "text patterns and keywords as they might occur
+/// in topic specific HTML documents".
+///
+/// Two kinds of instances are supported:
+///  - keyword instances ("University", "B.S.") match case-insensitively
+///    at word boundaries inside a token;
+///  - shape instances, written `#year#`, `#num#` or `#ratio#`, match a
+///    word of that numeric shape (see ExtractTokenFeatures), so DATE can
+///    match "June 1996" via `#year#` and GPA can match "3.8/4.0" via
+///    `#ratio#` without enumerating every number.
+struct Concept {
+  /// Element name used in output XML documents; by convention uppercase
+  /// so concept elements never collide with lowercased HTML tags.
+  std::string name;
+  /// Concept instances. The concept's own name is always treated as an
+  /// implicit additional instance (§2.2: the instance set "also includes
+  /// the name of the concept").
+  std::vector<std::string> instances;
+
+  /// True if `instance` is a shape pattern (`#...#`).
+  static bool IsShapeInstance(std::string_view instance);
+};
+
+/// One located match of a concept instance inside a token's text.
+struct InstanceMatch {
+  /// Index into the owning ConceptSet.
+  size_t concept_index = 0;
+  /// Concept name (uppercase).
+  std::string_view concept_name;
+  /// Byte offset of the match in the searched text.
+  size_t position = 0;
+  /// Byte length of the matched text.
+  size_t length = 0;
+};
+
+/// The set `Con` of topic concepts provided by the user (§2.2).
+class ConceptSet {
+ public:
+  ConceptSet() = default;
+
+  /// Adds a concept. Names must be unique; a duplicate name replaces the
+  /// previous definition.
+  void Add(Concept concept_def);
+
+  size_t size() const { return concepts_.size(); }
+  bool empty() const { return concepts_.empty(); }
+  const Concept& at(size_t i) const { return concepts_[i]; }
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Returns the concept named `name` (case-sensitive), or null.
+  const Concept* Find(std::string_view name) const;
+  /// True iff `name` names a concept in this set.
+  bool Contains(std::string_view name) const;
+
+  /// Total number of instances across all concepts (implicit name
+  /// instances not counted).
+  size_t TotalInstanceCount() const;
+
+  /// Finds all non-overlapping concept-instance matches in `text`,
+  /// sorted by position. Overlaps are resolved in favour of longer
+  /// matches, then earlier ones; at most one match is reported per text
+  /// span. This powers the concept instance rule (§2.3.1), including the
+  /// multi-instance token decomposition case.
+  std::vector<InstanceMatch> MatchAll(std::string_view text) const;
+
+  /// Convenience: the first (leftmost) match, or a match with
+  /// `length == 0` if none.
+  InstanceMatch MatchFirst(std::string_view text) const;
+
+ private:
+  std::vector<Concept> concepts_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_CONCEPTS_CONCEPT_H_

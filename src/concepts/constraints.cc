@@ -1,0 +1,155 @@
+#include "concepts/constraints.h"
+
+namespace webre {
+
+ConceptConstraint ConceptConstraint::Parent(std::string parent,
+                                            std::string child, bool negated) {
+  ConceptConstraint c;
+  c.kind = Kind::kParent;
+  c.negated = negated;
+  c.c1 = std::move(parent);
+  c.c2 = std::move(child);
+  return c;
+}
+
+ConceptConstraint ConceptConstraint::Sibling(std::string a, std::string b,
+                                             bool negated) {
+  ConceptConstraint c;
+  c.kind = Kind::kSibling;
+  c.negated = negated;
+  c.c1 = std::move(a);
+  c.c2 = std::move(b);
+  return c;
+}
+
+ConceptConstraint ConceptConstraint::Depth(std::string concept_name,
+                                           DepthRelation relation,
+                                           size_t level, bool negated) {
+  ConceptConstraint c;
+  c.kind = Kind::kDepth;
+  c.negated = negated;
+  c.c1 = std::move(concept_name);
+  c.relation = relation;
+  c.level = level;
+  return c;
+}
+
+std::string ConceptConstraint::ToString() const {
+  std::string out;
+  if (negated) out.push_back('!');
+  switch (kind) {
+    case Kind::kParent:
+      out += "parent(" + c1 + ", " + c2 + ")";
+      break;
+    case Kind::kSibling:
+      out += "sibling(" + c1 + ", " + c2 + ")";
+      break;
+    case Kind::kDepth: {
+      const char* rel = relation == DepthRelation::kEq
+                            ? " = "
+                            : relation == DepthRelation::kLt ? " < " : " > ";
+      out += "depth(" + c1 + ")" + rel + std::to_string(level);
+      break;
+    }
+  }
+  return out;
+}
+
+void ConstraintSet::Add(ConceptConstraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+namespace {
+
+bool DepthSatisfied(DepthRelation relation, size_t level, size_t bound) {
+  switch (relation) {
+    case DepthRelation::kEq:
+      return level == bound;
+    case DepthRelation::kLt:
+      return level < bound;
+    case DepthRelation::kGt:
+      return level > bound;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ConstraintSet::AllowedAtLevel(std::string_view name,
+                                   size_t level) const {
+  if (max_level_ > 0 && level > max_level_) return false;
+  for (const ConceptConstraint& c : constraints_) {
+    if (c.kind != ConceptConstraint::Kind::kDepth || c.c1 != name) continue;
+    const bool satisfied = DepthSatisfied(c.relation, level, c.level);
+    if (c.negated ? satisfied : !satisfied) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::AncestorAllowed(std::string_view ancestor,
+                                    std::string_view child) const {
+  for (const ConceptConstraint& c : constraints_) {
+    if (c.kind != ConceptConstraint::Kind::kParent) continue;
+    // Negated parent(c1, c2): c1 must never be an ancestor of c2.
+    if (c.negated && c.c1 == ancestor && c.c2 == child) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::SiblingAllowed(std::string_view a,
+                                   std::string_view b) const {
+  for (const ConceptConstraint& c : constraints_) {
+    if (c.kind != ConceptConstraint::Kind::kSibling || !c.negated) continue;
+    if ((c.c1 == a && c.c2 == b) || (c.c1 == b && c.c2 == a)) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::SiblingExpected(std::string_view a,
+                                    std::string_view b) const {
+  for (const ConceptConstraint& c : constraints_) {
+    if (c.kind != ConceptConstraint::Kind::kSibling || c.negated) continue;
+    if ((c.c1 == a && c.c2 == b) || (c.c1 == b && c.c2 == a)) return true;
+  }
+  return false;
+}
+
+bool ConstraintSet::PathAllowed(const std::vector<std::string>& labels) const {
+  // labels[0] is the root (concept level 0); labels[i] has concept
+  // level i.
+  for (size_t i = 1; i < labels.size(); ++i) {
+    if (!AllowedAtLevel(labels[i], i)) return false;
+  }
+  if (no_repeat_on_path_) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      for (size_t j = i + 1; j < labels.size(); ++j) {
+        if (labels[i] == labels[j]) return false;
+      }
+    }
+  }
+  // Parent constraints along the path.
+  for (const ConceptConstraint& c : constraints_) {
+    if (c.kind != ConceptConstraint::Kind::kParent) continue;
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (labels[j] != c.c2) continue;
+      bool has_ancestor = false;
+      for (size_t i = 0; i < j; ++i) {
+        if (labels[i] == c.c1) {
+          has_ancestor = true;
+          break;
+        }
+      }
+      if (c.negated) {
+        // c1 must NOT be an ancestor of c2.
+        if (has_ancestor) return false;
+      } else {
+        // Positive parent(c1, c2): every occurrence of c2 must have c1
+        // above it. Only enforceable once c2 is not the path's leaf-root.
+        if (j > 0 && !has_ancestor) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace webre

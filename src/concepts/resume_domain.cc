@@ -1,0 +1,133 @@
+#include "concepts/resume_domain.h"
+
+namespace webre {
+
+ConceptSet ResumeConcepts() {
+  ConceptSet set;
+
+  // ---- 11 title concepts (74 instances) -------------------------------
+  set.Add({"CONTACT",
+           {"contact", "contact information", "contact info", "address",
+            "personal information", "personal data", "personal details"}});
+  set.Add({"OBJECTIVE",
+           {"objective", "career objective", "goal", "career goal",
+            "professional objective", "employment objective",
+            "position desired"}});
+  set.Add({"EDUCATION",
+           {"education", "educational background", "academic background",
+            "academic history", "qualifications", "schooling", "degrees"}});
+  set.Add({"EXPERIENCE",
+           {"experience", "work experience", "employment",
+            "employment history", "work history", "professional experience",
+            "career history", "positions held"}});
+  set.Add({"SKILLS",
+           {"skills", "technical skills", "computer skills",
+            "programming skills", "skill set", "technical summary",
+            "areas of expertise", "competencies"}});
+  set.Add({"AWARDS",
+           {"awards", "honors", "honours", "achievements", "distinctions",
+            "scholarships", "fellowships"}});
+  set.Add({"ACTIVITIES",
+           {"activities", "extracurricular activities", "interests",
+            "hobbies", "volunteer work", "community service",
+            "memberships"}});
+  set.Add({"REFERENCE",
+           {"reference", "references", "referees",
+            "references available upon request", "recommendations"}});
+  set.Add({"COURSES",
+           {"courses", "coursework", "relevant courses",
+            "relevant coursework", "courses taken", "selected courses",
+            "course work"}});
+  set.Add({"PUBLICATIONS",
+           {"publications", "papers", "published works", "articles",
+            "research papers"}});
+  set.Add({"SUMMARY",
+           {"summary", "profile", "professional summary",
+            "summary of qualifications", "overview", "highlights"}});
+
+  // ---- 13 content concepts (159 instances) ----------------------------
+  set.Add({"INSTITUTION",
+           {"university", "college", "institute", "school", "academy",
+            "polytechnic", "institute of technology", "univ"}});
+  set.Add({"DEGREE",
+           {"b.s.",      "bs",        "b.a.",
+            "ba",        "m.s.",      "ms",
+            "m.a.",      "ma",        "ph.d.",
+            "phd",       "mba",       "b.sc.",
+            "m.sc.",     "bachelor",  "bachelors",
+            "bachelor of science",    "bachelor of arts",
+            "master",    "masters",   "master of science",
+            "master of arts",         "doctorate",
+            "doctor of philosophy",   "associate",
+            "diploma"}});
+  set.Add({"DATE",
+           {"january", "february", "march",     "april",   "may",
+            "june",    "july",     "august",    "september", "october",
+            "november", "december", "jan",      "feb",     "mar",
+            "apr",     "jun",      "jul",       "aug",     "sep",
+            "oct",     "nov",      "dec",       "present", "spring",
+            "summer",  "fall",     "#year#"}});
+  set.Add({"GPA",
+           {"gpa", "g.p.a.", "grade point average", "cum laude",
+            "magna cum laude", "summa cum laude", "#ratio#"}});
+  set.Add({"MAJOR",
+           {"major", "computer science", "electrical engineering",
+            "mechanical engineering", "mathematics", "physics", "chemistry",
+            "biology", "economics", "business administration", "minor"}});
+  set.Add({"COMPANY",
+           {"inc", "inc.", "corp", "corporation", "company", "llc", "ltd",
+            "laboratories", "labs", "systems", "technologies", "software",
+            "consulting", "solutions", "enterprises"}});
+  set.Add({"JOBTITLE",
+           {"engineer", "software engineer", "developer", "programmer",
+            "analyst", "consultant", "manager", "director", "intern",
+            "research assistant", "teaching assistant", "architect",
+            "specialist", "technician", "designer"}});
+  set.Add({"LOCATION",
+           {"california", "new york", "texas", "washington", "boston",
+            "san francisco", "san jose", "seattle", "chicago", "austin",
+            "atlanta", "denver"}});
+  set.Add({"EMAIL", {"email", "e-mail", "mailto"}});
+  set.Add({"PHONE", {"phone", "telephone", "tel", "cell", "mobile", "fax"}});
+  set.Add({"NAME", {"name", "resume of", "curriculum vitae", "vitae", "cv"}});
+  set.Add({"COURSE",
+           {"algorithms", "data structures", "operating systems",
+            "databases", "compilers", "computer networks",
+            "artificial intelligence", "machine learning",
+            "computer architecture", "discrete mathematics",
+            "linear algebra", "calculus"}});
+  set.Add({"LANGUAGE",
+           {"c++", "java", "python", "perl", "fortran", "pascal",
+            "javascript", "html", "xml", "sql", "unix", "linux"}});
+
+  return set;
+}
+
+std::vector<std::string> ResumeTitleConceptNames() {
+  return {"CONTACT",   "OBJECTIVE",    "EDUCATION", "EXPERIENCE",
+          "SKILLS",    "AWARDS",       "ACTIVITIES", "REFERENCE",
+          "COURSES",   "PUBLICATIONS", "SUMMARY"};
+}
+
+std::vector<std::string> ResumeContentConceptNames() {
+  return {"INSTITUTION", "DEGREE", "DATE",     "GPA",   "MAJOR",
+          "COMPANY",     "JOBTITLE", "LOCATION", "EMAIL", "PHONE",
+          "NAME",        "COURSE", "LANGUAGE"};
+}
+
+ConstraintSet ResumeConstraints() {
+  ConstraintSet constraints;
+  for (const std::string& title : ResumeTitleConceptNames()) {
+    constraints.Add(
+        ConceptConstraint::Depth(title, DepthRelation::kEq, 1));
+  }
+  for (const std::string& content : ResumeContentConceptNames()) {
+    constraints.Add(
+        ConceptConstraint::Depth(content, DepthRelation::kGt, 1));
+  }
+  constraints.set_no_repeat_on_path(true);
+  constraints.set_max_level(3);
+  return constraints;
+}
+
+}  // namespace webre

@@ -1,0 +1,36 @@
+#ifndef WEBRE_CONCEPTS_RESUME_DOMAIN_H_
+#define WEBRE_CONCEPTS_RESUME_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+
+namespace webre {
+
+/// Bundled domain knowledge for the paper's evaluation topic: resumes
+/// marked up in HTML (§4). Mirrors the paper's setup exactly in size —
+/// "There are 24 concept names and a total of 233 concept instances
+/// specified as domain knowledge" — with 11 *title* concepts (likely
+/// section titles, constrained to the first level under the root) and
+/// 13 *content* concepts (constrained to deeper levels), as in §4.2.
+
+/// The 24-concept resume ConceptSet (233 instances).
+ConceptSet ResumeConcepts();
+
+/// Names of the 11 title concepts (CONTACT, OBJECTIVE, EDUCATION, ...).
+std::vector<std::string> ResumeTitleConceptNames();
+
+/// Names of the 13 content concepts (INSTITUTION, DEGREE, DATE, ...).
+std::vector<std::string> ResumeContentConceptNames();
+
+/// The §4.2 constraint set: title concepts at level 1 only, content
+/// concepts at level > 1, no concept repeated along a label path, and no
+/// concept below level 3 (the paper's "depth greater than 4" with the
+/// root at depth 1).
+ConstraintSet ResumeConstraints();
+
+}  // namespace webre
+
+#endif  // WEBRE_CONCEPTS_RESUME_DOMAIN_H_

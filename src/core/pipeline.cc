@@ -1,0 +1,51 @@
+#include "core/pipeline.h"
+
+#include "xml/dtd_validator.h"
+
+namespace webre {
+
+Pipeline::Pipeline(const ConceptSet* concepts,
+                   const ConceptRecognizer* recognizer,
+                   const ConstraintSet* constraints, PipelineOptions options)
+    : constraints_(constraints),
+      converter_(concepts, recognizer, constraints, options.convert),
+      options_(std::move(options)) {}
+
+PipelineResult Pipeline::Run(
+    const std::vector<std::string>& html_pages) const {
+  PipelineResult result;
+  result.documents.reserve(html_pages.size());
+  result.convert_stats.reserve(html_pages.size());
+
+  MiningOptions mining = options_.mining;
+  if (mining.constraints == nullptr) mining.constraints = constraints_;
+  FrequentPathMiner miner(mining);
+
+  for (const std::string& html : html_pages) {
+    ConvertStats stats;
+    std::unique_ptr<Node> doc = converter_.Convert(html, &stats);
+    miner.AddDocument(*doc);
+    result.documents.push_back(std::move(doc));
+    result.convert_stats.push_back(stats);
+  }
+
+  result.schema = miner.Discover();
+  result.mining_stats = miner.stats();
+  result.dtd = BuildDtd(result.schema, options_.dtd);
+
+  for (const auto& doc : result.documents) {
+    if (ConformsToDtd(*doc, result.dtd)) ++result.conforming_before;
+  }
+  if (options_.map_documents) {
+    result.mapped_documents.reserve(result.documents.size());
+    for (const auto& doc : result.documents) {
+      ConformResult mapped =
+          ConformToSchema(*doc, result.schema, result.dtd);
+      if (mapped.report.conforms) ++result.conforming_after;
+      result.mapped_documents.push_back(std::move(mapped.document));
+    }
+  }
+  return result;
+}
+
+}  // namespace webre

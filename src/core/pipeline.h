@@ -1,0 +1,70 @@
+#ifndef WEBRE_CORE_PIPELINE_H_
+#define WEBRE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+#include "mapping/document_mapper.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/dtd_builder.h"
+#include "schema/frequent_paths.h"
+#include "xml/dtd.h"
+
+namespace webre {
+
+/// Options spanning the full pipeline.
+struct PipelineOptions {
+  ConvertOptions convert;
+  MiningOptions mining;
+  DtdBuildOptions dtd;
+  /// Conform every document to the derived DTD via the Document Mapping
+  /// Component and report how many conform before/after.
+  bool map_documents = false;
+};
+
+/// Output of Pipeline::Run.
+struct PipelineResult {
+  /// Converted XML documents, in input order.
+  std::vector<std::unique_ptr<Node>> documents;
+  /// Per-document conversion stats.
+  std::vector<ConvertStats> convert_stats;
+  MajoritySchema schema;
+  Dtd dtd;
+  MiningStats mining_stats;
+  /// Documents conforming to the DTD as converted.
+  size_t conforming_before = 0;
+  /// Documents conforming after mapping (only if map_documents).
+  size_t conforming_after = 0;
+  /// Mapped documents (empty unless map_documents).
+  std::vector<std::unique_ptr<Node>> mapped_documents;
+};
+
+/// End-to-end pipeline (the paper's three steps, §5): (1) HTML→XML
+/// document conversion, (2) majority-schema discovery + DTD derivation,
+/// (3) optional schema-guided document mapping.
+///
+/// The borrowed concept set, recognizer and constraints must outlive the
+/// pipeline. `constraints` may be null.
+class Pipeline {
+ public:
+  Pipeline(const ConceptSet* concepts, const ConceptRecognizer* recognizer,
+           const ConstraintSet* constraints, PipelineOptions options = {});
+
+  /// Runs all stages over raw HTML pages.
+  PipelineResult Run(const std::vector<std::string>& html_pages) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  const ConstraintSet* constraints_;
+  DocumentConverter converter_;
+  PipelineOptions options_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_CORE_PIPELINE_H_

@@ -1,0 +1,87 @@
+#include "corpus/catalog_generator.h"
+
+namespace webre {
+namespace {
+
+const std::vector<std::string>& Categories() {
+  static const auto& v = *new std::vector<std::string>{
+      "Laptops", "Cameras", "Printers", "Monitors", "Keyboards", "Speakers"};
+  return v;
+}
+
+const std::vector<std::string>& Brands() {
+  static const auto& v = *new std::vector<std::string>{
+      "Voltex", "Lumina", "Pyxis", "Nortech", "Zephyr", "Calytrix"};
+  return v;
+}
+
+}  // namespace
+
+ConceptSet CatalogConcepts() {
+  ConceptSet set;
+  set.Add({"CATEGORY",
+           {"laptops", "cameras", "printers", "monitors", "keyboards",
+            "speakers", "products"}});
+  set.Add({"BRAND",
+           {"voltex", "lumina", "pyxis", "nortech", "zephyr", "calytrix"}});
+  set.Add({"PRICE", {"price", "usd"}});
+  set.Add({"RATING", {"rated", "stars", "rating"}});
+  set.Add({"WARRANTY", {"warranty", "guarantee"}});
+  set.Add({"MODEL", {"model", "series"}});
+  set.Add({"FEATURES", {"features", "specifications"}});
+  return set;
+}
+
+ConstraintSet CatalogConstraints() {
+  ConstraintSet constraints;
+  constraints.Add(
+      ConceptConstraint::Depth("CATEGORY", DepthRelation::kEq, 1));
+  for (const char* content :
+       {"BRAND", "PRICE", "RATING", "WARRANTY", "MODEL", "FEATURES"}) {
+    constraints.Add(
+        ConceptConstraint::Depth(content, DepthRelation::kGt, 1));
+  }
+  constraints.set_no_repeat_on_path(true);
+  constraints.set_max_level(3);
+  return constraints;
+}
+
+GeneratedCatalog GenerateCatalogPage(size_t index, uint64_t seed) {
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+  GeneratedCatalog out;
+  out.truth = Node::MakeElement("catalog");
+
+  std::string html =
+      "<html><head><title>Product Listing</title></head><body>";
+  std::vector<std::string> categories = Categories();
+  rng.Shuffle(categories);
+  const size_t category_count = 2 + rng.NextBelow(3);
+  categories.resize(category_count);
+
+  for (const std::string& category : categories) {
+    html += "<h2>" + category + "</h2><ul>";
+    Node* category_node = out.truth->AddElement("CATEGORY");
+    const size_t items = 2 + rng.NextBelow(3);
+    for (size_t i = 0; i < items; ++i) {
+      const std::string& brand = rng.Choose(Brands());
+      const int model_num = static_cast<int>(rng.NextInRange(100, 899));
+      const int dollars = static_cast<int>(rng.NextInRange(89, 2499));
+      const int stars = static_cast<int>(rng.NextInRange(2, 5));
+      const int warranty_years = static_cast<int>(rng.NextInRange(1, 3));
+      html += "<li>" + brand + " X" + std::to_string(model_num) +
+              ", Price $" + std::to_string(dollars) + ".99, Rated " +
+              std::to_string(stars) + " stars, " +
+              std::to_string(warranty_years) + "-year warranty</li>";
+      Node* item = category_node->AddElement("BRAND");
+      item->AddElement("PRICE");
+      item->AddElement("RATING");
+      item->AddElement("WARRANTY");
+    }
+    html += "</ul>";
+  }
+  html += "</body></html>";
+  out.html = std::move(html);
+  return out;
+}
+
+}  // namespace webre

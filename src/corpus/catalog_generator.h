@@ -1,0 +1,39 @@
+#ifndef WEBRE_CORPUS_CATALOG_GENERATOR_H_
+#define WEBRE_CORPUS_CATALOG_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+#include "util/rng.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// A second topic — product catalog pages — demonstrating that the
+/// restructuring rules are domain-independent and only the concept set
+/// changes (§5 mentions "broader topics such as product catalogs" as the
+/// intended future direction). Used by examples/custom_topic and the
+/// cross-domain tests.
+
+/// The catalog ConceptSet: 7 concepts (CATEGORY as the title concept;
+/// BRAND, PRICE, RATING, WARRANTY, MODEL, FEATURES as content concepts).
+ConceptSet CatalogConcepts();
+
+/// Constraints analogous to the resume ones: CATEGORY at level 1,
+/// content below it, no repeats, max level 3.
+ConstraintSet CatalogConstraints();
+
+/// One generated catalog page.
+struct GeneratedCatalog {
+  std::string html;
+  std::unique_ptr<Node> truth;
+};
+
+/// Generates catalog page `index` (deterministic per index/seed).
+GeneratedCatalog GenerateCatalogPage(size_t index, uint64_t seed = 7);
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_CATALOG_GENERATOR_H_

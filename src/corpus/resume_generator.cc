@@ -1,0 +1,31 @@
+#include "corpus/resume_generator.h"
+
+namespace webre {
+
+GeneratedResume GenerateResume(size_t index, const CorpusOptions& options) {
+  // Derive a per-document stream: mix the index into the master seed
+  // with an odd multiplier so neighbouring documents decorrelate.
+  Rng rng(options.seed ^ (0x9E3779B97F4A7C15ULL * (index + 1)));
+
+  GeneratedResume out;
+  out.data = GenerateResumeData(rng, options.noise);
+  const size_t style_id = options.fixed_style >= 0
+                              ? static_cast<size_t>(options.fixed_style)
+                              : DrawStyleId(rng);
+  out.style = MakeStyle(style_id);
+  out.html = RenderResumeHtml(out.data, out.style, rng);
+  out.truth = BuildTruthForStyle(out.data, out.style);
+  return out;
+}
+
+std::vector<GeneratedResume> GenerateCorpus(size_t count,
+                                            const CorpusOptions& options) {
+  std::vector<GeneratedResume> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    corpus.push_back(GenerateResume(i, options));
+  }
+  return corpus;
+}
+
+}  // namespace webre

@@ -1,0 +1,45 @@
+#ifndef WEBRE_CORPUS_RESUME_GENERATOR_H_
+#define WEBRE_CORPUS_RESUME_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/resume_model.h"
+#include "corpus/styles.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// One generated resume page: the HTML a "web author" produced, the
+/// ground-truth facts, the style used, and the semantically ideal XML
+/// tree. The paper gathered ~1400 such pages with a topic crawler and
+/// hand-inspected 50 for accuracy; the generator provides both at any
+/// scale, with machine-checkable truth.
+struct GeneratedResume {
+  ResumeData data;
+  StyleTraits style;
+  std::string html;
+  std::unique_ptr<Node> truth;
+};
+
+/// Corpus-wide generation knobs.
+struct CorpusOptions {
+  /// Master seed; document `index` derives its own stream from it, so
+  /// GenerateResume(i) is stable regardless of generation order.
+  uint64_t seed = 20020226;  // ICDE'02 San Jose, opening day
+  ResumeNoise noise;
+  /// Force every document to one style (by id); -1 draws weighted styles.
+  int fixed_style = -1;
+};
+
+/// Generates resume number `index` of the corpus.
+GeneratedResume GenerateResume(size_t index, const CorpusOptions& options = {});
+
+/// Generates the first `count` resumes.
+std::vector<GeneratedResume> GenerateCorpus(size_t count,
+                                            const CorpusOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_RESUME_GENERATOR_H_

@@ -1,0 +1,309 @@
+#include "corpus/resume_model.h"
+
+#include <algorithm>
+
+#include "corpus/vocab.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+std::string MonthYear(Rng& rng) {
+  const std::string& month = rng.Choose(Months());
+  const int year = static_cast<int>(rng.NextInRange(1988, 2001));
+  return month + " " + std::to_string(year);
+}
+
+std::string DateRange(Rng& rng) {
+  std::string start = MonthYear(rng);
+  if (rng.NextBool(0.3)) return start + " - Present";
+  return start + " - " + MonthYear(rng);
+}
+
+std::string PhoneLine(Rng& rng) {
+  // The last group is kept out of the 19xx/20xx range so it never looks
+  // like a year to the shape recognizer.
+  const int area = static_cast<int>(rng.NextInRange(201, 989));
+  const int mid = static_cast<int>(rng.NextInRange(200, 999));
+  const int last = static_cast<int>(rng.NextInRange(3000, 8999));
+  return "Phone: (" + std::to_string(area) + ") " + std::to_string(mid) +
+         "-" + std::to_string(last);
+}
+
+std::vector<std::string> SampleWithout(const std::vector<std::string>& pool,
+                                       size_t count, Rng& rng) {
+  std::vector<std::string> copy = pool;
+  rng.Shuffle(copy);
+  copy.resize(std::min(count, copy.size()));
+  return copy;
+}
+
+std::string PickHeading(const std::vector<std::string>& pool, Rng& rng,
+                        double unrecognizable_prob, bool& recognizable) {
+  if (rng.NextBool(unrecognizable_prob)) {
+    recognizable = false;
+    return rng.Choose(UnrecognizableHeadings());
+  }
+  recognizable = true;
+  return rng.Choose(pool);
+}
+
+const std::vector<std::string>& HeadingPool(Section s) {
+  switch (s) {
+    case Section::kContact:
+      return ContactHeadings();
+    case Section::kObjective:
+      return ObjectiveHeadings();
+    case Section::kEducation:
+      return EducationHeadings();
+    case Section::kExperience:
+      return ExperienceHeadings();
+    case Section::kSkills:
+      return SkillsHeadings();
+    case Section::kCourses:
+      return CoursesHeadings();
+    case Section::kAwards:
+      return AwardsHeadings();
+    case Section::kActivities:
+      return ActivitiesHeadings();
+    case Section::kReference:
+      return ReferenceHeadings();
+  }
+  return ContactHeadings();
+}
+
+}  // namespace
+
+size_t ResumeData::SectionIndex(Section s) const {
+  for (size_t i = 0; i < section_order.size(); ++i) {
+    if (section_order[i] == s) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+const char* SectionConceptName(Section s) {
+  switch (s) {
+    case Section::kContact:
+      return "CONTACT";
+    case Section::kObjective:
+      return "OBJECTIVE";
+    case Section::kEducation:
+      return "EDUCATION";
+    case Section::kExperience:
+      return "EXPERIENCE";
+    case Section::kSkills:
+      return "SKILLS";
+    case Section::kCourses:
+      return "COURSES";
+    case Section::kAwards:
+      return "AWARDS";
+    case Section::kActivities:
+      return "ACTIVITIES";
+    case Section::kReference:
+      return "REFERENCE";
+  }
+  return "CONTACT";
+}
+
+ResumeData GenerateResumeData(Rng& rng, const ResumeNoise& noise) {
+  ResumeData data;
+  data.first_name = rng.Choose(FirstNames());
+  data.last_name = rng.Choose(LastNames());
+  if (rng.NextBool(0.6)) {
+    data.headline = "Resume of " + data.first_name + " " + data.last_name;
+    data.headline_recognizable = true;
+  } else {
+    data.headline = data.first_name + " " + data.last_name;
+    data.headline_recognizable = false;
+  }
+
+  data.street = rng.Choose(StreetAddresses());
+  data.city_state = rng.Choose(CityStateLines());
+  data.phone_line = PhoneLine(rng);
+  data.email_line = "Email: " + AsciiLower(data.first_name.substr(0, 1)) +
+                    AsciiLower(data.last_name) + "@mailhub.net";
+
+  data.objective = rng.Choose(ObjectiveLines());
+
+  const size_t edu_count = 2 + rng.NextBelow(4);  // 2..5
+  for (size_t i = 0; i < edu_count; ++i) {
+    EducationEntry entry;
+    entry.institution_collides = rng.NextBool(noise.colliding_institution);
+    entry.institution = entry.institution_collides
+                            ? rng.Choose(CollidingInstitutions())
+                            : rng.Choose(SafeInstitutions());
+    entry.degree = rng.Choose(Degrees());
+    entry.major = rng.Choose(Majors());
+    entry.date = MonthYear(rng);
+    if (rng.NextBool(noise.edu_gpa)) {
+      entry.gpa = "GPA 3." + std::to_string(rng.NextInRange(0, 9)) + "/4.0";
+    }
+    data.education.push_back(std::move(entry));
+  }
+
+  const size_t exp_count = 2 + rng.NextBelow(4);  // 2..5
+  for (size_t i = 0; i < exp_count; ++i) {
+    ExperienceEntry entry;
+    entry.company = rng.Choose(Companies());
+    entry.title = rng.Choose(JobTitles());
+    entry.location = rng.Choose(CityStateLines());
+    entry.date_range = DateRange(rng);
+    data.experience.push_back(std::move(entry));
+  }
+
+  data.skills = SampleWithout(SkillsPool(), 5 + rng.NextBelow(5), rng);
+  if (rng.NextBool(noise.has_courses)) {
+    data.courses = SampleWithout(CoursesPool(), 5 + rng.NextBelow(4), rng);
+  }
+  if (rng.NextBool(noise.has_awards)) {
+    data.awards = SampleWithout(AwardLines(), 1 + rng.NextBelow(3), rng);
+  }
+  if (rng.NextBool(noise.has_activities)) {
+    data.activities =
+        SampleWithout(ActivityLines(), 1 + rng.NextBelow(2), rng);
+  }
+  if (rng.NextBool(noise.has_reference)) {
+    data.reference_line = "Available upon request";
+  }
+  const bool has_objective = rng.NextBool(noise.has_objective);
+  if (!has_objective) data.objective.clear();
+
+  // Canonical order, filtered by presence.
+  const Section canonical[] = {
+      Section::kContact,   Section::kObjective, Section::kEducation,
+      Section::kExperience, Section::kSkills,   Section::kCourses,
+      Section::kAwards,    Section::kActivities, Section::kReference};
+  for (Section s : canonical) {
+    const bool present =
+        s == Section::kContact || s == Section::kEducation ||
+        s == Section::kExperience || s == Section::kSkills ||
+        (s == Section::kObjective && !data.objective.empty()) ||
+        (s == Section::kCourses && !data.courses.empty()) ||
+        (s == Section::kAwards && !data.awards.empty()) ||
+        (s == Section::kActivities && !data.activities.empty()) ||
+        (s == Section::kReference && !data.reference_line.empty());
+    if (present) data.section_order.push_back(s);
+  }
+  if (rng.NextBool(noise.section_swap) && data.section_order.size() > 2) {
+    // Swap one random adjacent pair after contact.
+    const size_t i =
+        1 + rng.NextBelow(static_cast<uint64_t>(data.section_order.size()) - 2);
+    std::swap(data.section_order[i], data.section_order[i + 1]);
+  }
+
+  for (Section s : data.section_order) {
+    bool recognizable = true;
+    data.headings.push_back(PickHeading(HeadingPool(s), rng,
+                                        noise.unrecognizable_heading,
+                                        recognizable));
+    data.heading_recognizable.push_back(recognizable);
+  }
+  return data;
+}
+
+namespace {
+
+// Appends the head-nested entry tree for one education entry.
+void AddEducationEntry(Node* parent, const EducationEntry& entry,
+                       EduFieldOrder order) {
+  // Field concepts in rendered order; head = first.
+  std::vector<const char*> concepts;
+  switch (order) {
+    case EduFieldOrder::kDateFirst:
+      concepts = {"DATE", "INSTITUTION", "DEGREE", "MAJOR"};
+      break;
+    case EduFieldOrder::kInstitutionFirst:
+      concepts = {"INSTITUTION", "DEGREE", "MAJOR", "DATE"};
+      break;
+    case EduFieldOrder::kDegreeFirst:
+      concepts = {"DEGREE", "MAJOR", "INSTITUTION", "DATE"};
+      break;
+  }
+  Node* head = parent->AddElement(concepts[0]);
+  for (size_t i = 1; i < concepts.size(); ++i) {
+    head->AddElement(concepts[i]);
+  }
+  if (!entry.gpa.empty()) head->AddElement("GPA");
+}
+
+void AddExperienceEntry(Node* parent, ExpFieldOrder order) {
+  std::vector<const char*> concepts;
+  switch (order) {
+    case ExpFieldOrder::kTitleFirst:
+      concepts = {"JOBTITLE", "COMPANY", "LOCATION", "DATE"};
+      break;
+    case ExpFieldOrder::kDateFirst:
+      concepts = {"DATE", "JOBTITLE", "COMPANY", "LOCATION"};
+      break;
+    case ExpFieldOrder::kCompanyFirst:
+      concepts = {"COMPANY", "JOBTITLE", "LOCATION", "DATE"};
+      break;
+  }
+  Node* head = parent->AddElement(concepts[0]);
+  for (size_t i = 1; i < concepts.size(); ++i) {
+    head->AddElement(concepts[i]);
+  }
+}
+
+// Adds the contact chain LOCATION[PHONE, EMAIL] under `parent`.
+void AddContactChain(Node* parent) {
+  Node* head = parent->AddElement("LOCATION");
+  head->AddElement("PHONE");
+  head->AddElement("EMAIL");
+}
+
+}  // namespace
+
+std::unique_ptr<Node> BuildTruthTree(const ResumeData& data,
+                                     EduFieldOrder edu_order,
+                                     ExpFieldOrder exp_order,
+                                     bool contact_has_heading) {
+  std::unique_ptr<Node> root = Node::MakeElement("resume");
+  if (data.headline_recognizable) root->AddElement("NAME");
+
+  for (size_t i = 0; i < data.section_order.size(); ++i) {
+    const Section s = data.section_order[i];
+    const bool labeled =
+        data.heading_recognizable[i] &&
+        (s != Section::kContact || contact_has_heading);
+    Node* section_parent = root.get();
+    if (labeled) {
+      section_parent = root->AddElement(SectionConceptName(s));
+    }
+    switch (s) {
+      case Section::kContact:
+        AddContactChain(section_parent);
+        break;
+      case Section::kObjective:
+      case Section::kAwards:
+      case Section::kActivities:
+      case Section::kReference:
+        // Text-only sections: leaves (their text folds into val). With
+        // an unrecognizable heading they contribute nothing.
+        break;
+      case Section::kEducation:
+        for (const EducationEntry& entry : data.education) {
+          AddEducationEntry(section_parent, entry, edu_order);
+        }
+        break;
+      case Section::kExperience:
+        for (size_t k = 0; k < data.experience.size(); ++k) {
+          AddExperienceEntry(section_parent, exp_order);
+        }
+        break;
+      case Section::kSkills:
+        for (size_t k = 0; k < data.skills.size(); ++k) {
+          section_parent->AddElement("LANGUAGE");
+        }
+        break;
+      case Section::kCourses:
+        for (size_t k = 0; k < data.courses.size(); ++k) {
+          section_parent->AddElement("COURSE");
+        }
+        break;
+    }
+  }
+  return root;
+}
+
+}  // namespace webre

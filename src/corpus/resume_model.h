@@ -1,0 +1,128 @@
+#ifndef WEBRE_CORPUS_RESUME_MODEL_H_
+#define WEBRE_CORPUS_RESUME_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// One education entry of a synthetic resume.
+struct EducationEntry {
+  std::string date;         // "June 1996"
+  std::string institution;  // "Brockhaven University"
+  std::string degree;       // "B.S."
+  std::string major;        // "Computer Science"
+  std::string gpa;          // "GPA 3.8/4.0"; empty when absent
+  /// True when the institution name embeds a LOCATION instance (an
+  /// intentional recognizer trap).
+  bool institution_collides = false;
+};
+
+/// One experience entry.
+struct ExperienceEntry {
+  std::string date_range;  // "June 1999 - Present"
+  std::string company;     // "Vexatron Systems Inc."
+  std::string title;       // "Software Engineer"
+  std::string location;    // "Austin"
+};
+
+/// Noise knobs for resume generation. Probabilities in [0,1].
+struct ResumeNoise {
+  /// Education entry drawing a colliding institution name.
+  double colliding_institution = 0.40;
+  /// A section heading drawn from the unrecognizable pool.
+  double unrecognizable_heading = 0.15;
+  /// Adjacent section pair swapped out of canonical order.
+  double section_swap = 0.15;
+  /// Optional sections present.
+  double has_objective = 0.85;
+  double has_courses = 0.85;
+  double has_awards = 0.6;
+  double has_activities = 0.6;
+  double has_reference = 0.8;
+  double edu_gpa = 0.7;
+};
+
+/// Section identifiers, in canonical rendering order.
+enum class Section {
+  kContact,
+  kObjective,
+  kEducation,
+  kExperience,
+  kSkills,
+  kCourses,
+  kAwards,
+  kActivities,
+  kReference,
+};
+
+/// Ground-truth content of one synthetic resume: all the facts, which
+/// sections exist, their order, and their (possibly unrecognizable)
+/// headings. Rendering styles (styles.h) turn this into HTML; the truth
+/// tree (BuildTruthTree) is the semantically ideal XML a perfect
+/// converter would produce.
+struct ResumeData {
+  std::string first_name;
+  std::string last_name;
+  /// "Resume of John Smith" (recognizable via the NAME concept) or the
+  /// bare name (not recognizable).
+  std::string headline;
+  bool headline_recognizable = false;
+
+  std::string street;
+  std::string city_state;
+  std::string phone_line;  // "Phone: (555) 283-9144"
+  std::string email_line;  // "Email: jsmith@mailhub.net"
+
+  std::string objective;
+  std::vector<EducationEntry> education;
+  std::vector<ExperienceEntry> experience;
+  std::vector<std::string> skills;
+  std::vector<std::string> courses;
+  std::vector<std::string> awards;
+  std::vector<std::string> activities;
+  std::string reference_line;
+
+  /// Sections present, in rendering order.
+  std::vector<Section> section_order;
+  /// Heading text per section (parallel to section_order).
+  std::vector<std::string> headings;
+  /// Whether headings[i] is recognizable as its section concept.
+  std::vector<bool> heading_recognizable;
+
+  /// Index of `s` in section_order, or npos.
+  size_t SectionIndex(Section s) const;
+};
+
+/// Generates one resume's ground-truth data.
+ResumeData GenerateResumeData(Rng& rng, const ResumeNoise& noise = {});
+
+/// The concept element name a section maps to ("EDUCATION", ...).
+const char* SectionConceptName(Section s);
+
+/// Per-entry field orders a style may use. The first field becomes the
+/// entry's head concept in the ideal tree (the consolidation rule nests
+/// a group under its first object).
+enum class EduFieldOrder { kDateFirst, kInstitutionFirst, kDegreeFirst };
+enum class ExpFieldOrder { kTitleFirst, kDateFirst, kCompanyFirst };
+
+/// Builds the semantically ideal XML tree for `data` given the field
+/// orders a style renders with. Ideal means: sections are siblings under
+/// the root in `section_order`; each entry nests under its first field's
+/// concept; list sections (skills, courses) hold one element per item;
+/// text-only sections (objective, awards, activities, reference) are
+/// leaves. Sections whose heading is unrecognizable contribute their
+/// *content* concepts directly (there is no section node to label them
+/// with); likewise a non-recognizable headline yields no NAME node.
+std::unique_ptr<Node> BuildTruthTree(const ResumeData& data,
+                                     EduFieldOrder edu_order,
+                                     ExpFieldOrder exp_order,
+                                     bool contact_has_heading);
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_RESUME_MODEL_H_

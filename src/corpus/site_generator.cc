@@ -1,0 +1,79 @@
+#include "corpus/site_generator.h"
+
+#include "corpus/crawler.h"
+
+namespace webre {
+namespace {
+
+std::string Link(const std::string& url, const std::string& text) {
+  return "<li><a href=\"" + url + "\">" + text + "</a></li>";
+}
+
+}  // namespace
+
+GeneratedSite GenerateSite(const SiteOptions& options) {
+  GeneratedSite site;
+  site.start_url = "/index.html";
+  Rng rng(options.seed);
+
+  // Resume pages.
+  CorpusOptions corpus = options.corpus;
+  for (size_t i = 0; i < options.resumes; ++i) {
+    GeneratedResume resume = GenerateResume(i, corpus);
+    const std::string url = "/people/resume" + std::to_string(i) + ".html";
+    site.pages[url] = resume.html;
+    site.resume_urls.push_back(url);
+  }
+
+  // Distractor pages, linked in a chain with occasional cross links.
+  for (size_t i = 0; i < options.distractors; ++i) {
+    std::string html = GenerateDistractorPage(rng);
+    const std::string url = "/misc/page" + std::to_string(i) + ".html";
+    // Append a small link footer before </body>.
+    std::string footer = "<ul>";
+    if (i + 1 < options.distractors) {
+      footer +=
+          Link("/misc/page" + std::to_string(i + 1) + ".html", "next post");
+    }
+    if (i % 3 == 0) footer += Link("/hubs/hub0.html", "our people");
+    footer += "</ul>";
+    const size_t body_end = html.rfind("</body>");
+    html.insert(body_end == std::string::npos ? html.size() : body_end,
+                footer);
+    site.pages[url] = std::move(html);
+    site.distractor_urls.push_back(url);
+  }
+
+  // Hub pages fan out to resumes.
+  const size_t hubs =
+      (options.resumes + options.hub_fanout - 1) / options.hub_fanout;
+  std::string index_links;
+  for (size_t h = 0; h < hubs; ++h) {
+    const std::string hub_url = "/hubs/hub" + std::to_string(h) + ".html";
+    std::string html =
+        "<html><head><title>Team directory</title></head><body>"
+        "<h1>Our people</h1><ul>";
+    for (size_t i = h * options.hub_fanout;
+         i < std::min(options.resumes, (h + 1) * options.hub_fanout); ++i) {
+      html += Link(site.resume_urls[i],
+                   "Person " + std::to_string(i + 1));
+    }
+    html += "</ul></body></html>";
+    site.pages[hub_url] = std::move(html);
+    index_links += Link(hub_url, "Directory part " + std::to_string(h + 1));
+  }
+
+  // Start page: links to hubs and to the first distractor.
+  std::string index =
+      "<html><head><title>Welcome</title></head><body>"
+      "<h1>Community site</h1><ul>" +
+      index_links;
+  if (!site.distractor_urls.empty()) {
+    index += Link(site.distractor_urls[0], "From the blog");
+  }
+  index += "</ul></body></html>";
+  site.pages[site.start_url] = std::move(index);
+  return site;
+}
+
+}  // namespace webre

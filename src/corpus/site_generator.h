@@ -1,0 +1,46 @@
+#ifndef WEBRE_CORPUS_SITE_GENERATOR_H_
+#define WEBRE_CORPUS_SITE_GENERATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/resume_generator.h"
+
+namespace webre {
+
+/// A synthetic web site: url -> page. Supports §5's "incorporating
+/// linkage structures among HTML documents": resume pages are reachable
+/// only by following links from hub pages, the way a topic crawler finds
+/// them in the wild.
+struct GeneratedSite {
+  /// All pages by URL.
+  std::map<std::string, std::string> pages;
+  /// The crawl seed.
+  std::string start_url;
+  /// URLs of the actual resume pages (ground truth for crawler tests).
+  std::vector<std::string> resume_urls;
+  /// URLs of off-topic pages.
+  std::vector<std::string> distractor_urls;
+};
+
+/// Options for GenerateSite.
+struct SiteOptions {
+  size_t resumes = 20;
+  size_t distractors = 10;
+  /// Resumes per hub page (the index fans out to hubs, hubs to people).
+  size_t hub_fanout = 6;
+  uint64_t seed = 11;
+  CorpusOptions corpus;
+};
+
+/// Generates a three-level site: a start page linking to hub pages
+/// ("People A–F", ...) and to some distractor pages; hubs link to
+/// individual resume pages; distractors link among themselves and
+/// occasionally back to hubs. Every resume is reachable from
+/// `start_url`.
+GeneratedSite GenerateSite(const SiteOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_SITE_GENERATOR_H_

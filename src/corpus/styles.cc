@@ -1,0 +1,512 @@
+#include "corpus/styles.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+// Joins entry fields with the style's delimiter.
+std::string JoinFields(const std::vector<std::string>& fields,
+                       char delimiter) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out.push_back(delimiter);
+      out.push_back(' ');
+    }
+    out.append(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> EduFields(const EducationEntry& e,
+                                   EduFieldOrder order) {
+  std::vector<std::string> fields;
+  switch (order) {
+    case EduFieldOrder::kDateFirst:
+      fields = {e.date, e.institution, e.degree, e.major};
+      break;
+    case EduFieldOrder::kInstitutionFirst:
+      fields = {e.institution, e.degree, e.major, e.date};
+      break;
+    case EduFieldOrder::kDegreeFirst:
+      fields = {e.degree, e.major, e.institution, e.date};
+      break;
+  }
+  if (!e.gpa.empty()) fields.push_back(e.gpa);
+  return fields;
+}
+
+std::vector<std::string> ExpFields(const ExperienceEntry& e,
+                                   ExpFieldOrder order) {
+  switch (order) {
+    case ExpFieldOrder::kTitleFirst:
+      return {e.title, e.company, e.location, e.date_range};
+    case ExpFieldOrder::kDateFirst:
+      return {e.date_range, e.title, e.company, e.location};
+    case ExpFieldOrder::kCompanyFirst:
+      return {e.company, e.title, e.location, e.date_range};
+  }
+  return {};
+}
+
+// Small HTML emitter handling per-style sloppiness.
+class HtmlOut {
+ public:
+  HtmlOut(const StyleTraits& traits, Rng& rng) : traits_(traits), rng_(rng) {}
+
+  std::string& str() { return out_; }
+
+  void Raw(std::string_view s) { out_.append(s); }
+
+  // Emits "<tag>" with optional sloppy uppercase / junk attributes.
+  void Open(std::string_view tag) {
+    out_.push_back('<');
+    AppendTag(tag);
+    if (traits_.sloppy && rng_.NextBool(0.3)) {
+      out_.append(" class=\"s");
+      out_.append(std::to_string(rng_.NextBelow(9)));
+      out_.push_back('"');
+    }
+    out_.push_back('>');
+  }
+
+  // Emits "</tag>"; sloppy styles sometimes omit optional end tags.
+  void Close(std::string_view tag, bool optional_end = false) {
+    if (traits_.sloppy && optional_end && rng_.NextBool(0.6)) return;
+    out_.append("</");
+    AppendTag(tag);
+    out_.push_back('>');
+  }
+
+  void Text(std::string_view s) {
+    if (traits_.sloppy && rng_.NextBool(0.15)) {
+      // Legacy pages pepper text with non-breaking spaces.
+      for (char c : s) {
+        if (c == ' ' && rng_.NextBool(0.2)) {
+          out_.append("&nbsp;");
+        } else {
+          out_.push_back(c);
+        }
+      }
+      return;
+    }
+    out_.append(s);
+  }
+
+  void Br() { out_.append(traits_.sloppy ? "<BR>" : "<br>"); }
+
+ private:
+  void AppendTag(std::string_view tag) {
+    if (traits_.sloppy && rng_.NextBool(0.4)) {
+      for (char c : tag) out_.push_back(AsciiToUpper(c));
+    } else {
+      out_.append(tag);
+    }
+  }
+
+  const StyleTraits& traits_;
+  Rng& rng_;
+  std::string out_;
+};
+
+class Renderer {
+ public:
+  Renderer(const ResumeData& data, const StyleTraits& traits, Rng& rng)
+      : data_(data), traits_(traits), out_(traits, rng) {}
+
+  std::string Render() {
+    out_.Raw("<html>");
+    out_.Open("head");
+    out_.Open("title");
+    out_.Text(data_.first_name + " " + data_.last_name);
+    out_.Close("title");
+    if (traits_.sloppy) {
+      // Legacy pages ship inline scripts and styles whose text is not
+      // content; the HTML cleanser (tidy) removes them. Note the code
+      // deliberately contains concept-instance words ("java", dates) so
+      // skipping tidy measurably hurts accuracy (see bench_ablations).
+      out_.Raw("<style>h2 { color: navy } p { font-family: serif }</style>");
+      out_.Raw("<script>var java = updated(\"June 1998\"); "
+               "function visit(c) { return c + 1; }</script>");
+    }
+    out_.Close("head");
+    out_.Open("body");
+    Headline();
+
+    const bool table_style = traits_.markup == SectionMarkup::kSectionTable ||
+                             traits_.markup == SectionMarkup::kCrampedTable;
+    const bool dl_style = traits_.markup == SectionMarkup::kDefinitionList;
+    if (table_style) out_.Raw("<table border=\"1\">");
+    if (dl_style) out_.Open("dl");
+    for (size_t i = 0; i < data_.section_order.size(); ++i) {
+      RenderSection(data_.section_order[i], data_.headings[i]);
+    }
+    if (dl_style) out_.Close("dl");
+    if (table_style) out_.Raw("</table>");
+
+    out_.Close("body");
+    out_.Raw("</html>");
+    return std::move(out_.str());
+  }
+
+ private:
+  void Headline() {
+    switch (traits_.headline) {
+      case HeadlineMarkup::kParagraph:
+        out_.Open("p");
+        out_.Open("b");
+        out_.Text(data_.headline);
+        out_.Close("b");
+        out_.Close("p", /*optional_end=*/true);
+        break;
+      case HeadlineMarkup::kCenterBold:
+        out_.Open("center");
+        out_.Open("b");
+        out_.Text(data_.headline);
+        out_.Close("b");
+        out_.Close("center");
+        break;
+      case HeadlineMarkup::kH1:
+        out_.Open("h1");
+        out_.Text(data_.headline);
+        out_.Close("h1");
+        break;
+    }
+  }
+
+  // Content pieces for one section.
+  std::vector<std::string> SectionEntries(Section s) const {
+    std::vector<std::string> entries;
+    switch (s) {
+      case Section::kContact:
+        entries = {data_.street, data_.city_state, data_.phone_line,
+                   data_.email_line};
+        break;
+      case Section::kObjective:
+        entries = {data_.objective};
+        break;
+      case Section::kEducation:
+        for (const EducationEntry& e : data_.education) {
+          entries.push_back(JoinFields(EduFields(e, traits_.edu_order),
+                                       traits_.delimiter));
+        }
+        break;
+      case Section::kExperience:
+        for (const ExperienceEntry& e : data_.experience) {
+          entries.push_back(JoinFields(ExpFields(e, traits_.exp_order),
+                                       traits_.delimiter));
+        }
+        break;
+      case Section::kSkills:
+        entries = {JoinFields(data_.skills, traits_.delimiter)};
+        break;
+      case Section::kCourses:
+        entries = {JoinFields(data_.courses, traits_.delimiter)};
+        break;
+      case Section::kAwards:
+        entries = data_.awards;
+        break;
+      case Section::kActivities:
+        entries = data_.activities;
+        break;
+      case Section::kReference:
+        entries = {data_.reference_line};
+        break;
+    }
+    return entries;
+  }
+
+  // The contact block is <br>-joined inside one container in every
+  // style; other sections honour the per-entry markup.
+  bool BrJoined(Section s) const {
+    return s == Section::kContact || s == Section::kAwards ||
+           s == Section::kActivities;
+  }
+
+  void RenderSection(Section s, const std::string& heading) {
+    const bool with_heading =
+        s != Section::kContact || traits_.contact_heading;
+    const std::vector<std::string> entries = SectionEntries(s);
+    switch (traits_.markup) {
+      case SectionMarkup::kHeadingList:
+      case SectionMarkup::kHeadingOrdered:
+        HeadingListSection(s, heading, entries, with_heading,
+                           traits_.markup == SectionMarkup::kHeadingOrdered
+                               ? "ol"
+                               : "ul");
+        break;
+      case SectionMarkup::kHeadingParagraphs:
+        HeadingParaSection(s, heading, entries, with_heading, "h3");
+        break;
+      case SectionMarkup::kSectionTable:
+        TableSection(s, heading, entries, with_heading, /*cramped=*/false);
+        break;
+      case SectionMarkup::kCrampedTable:
+        TableSection(s, heading, entries, with_heading, /*cramped=*/true);
+        break;
+      case SectionMarkup::kDefinitionList:
+        DlSection(heading, entries, with_heading);
+        break;
+      case SectionMarkup::kBoldBreaks:
+        FlatSection(heading, entries, with_heading, /*font_wrap=*/false);
+        break;
+      case SectionMarkup::kFontFlat:
+        FlatSection(heading, entries, with_heading, /*font_wrap=*/true);
+        break;
+      case SectionMarkup::kDivUnderline:
+        DivSection(s, heading, entries, with_heading);
+        break;
+    }
+  }
+
+  void EmitBrJoined(const std::vector<std::string>& entries) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out_.Br();
+      out_.Text(entries[i]);
+    }
+  }
+
+  void HeadingListSection(Section s, const std::string& heading,
+                          const std::vector<std::string>& entries,
+                          bool with_heading, std::string_view list_tag) {
+    if (with_heading) {
+      out_.Open("h2");
+      out_.Text(heading);
+      out_.Close("h2");
+    }
+    if (BrJoined(s) || entries.size() == 1) {
+      out_.Open("p");
+      EmitBrJoined(entries);
+      out_.Close("p", /*optional_end=*/true);
+      return;
+    }
+    out_.Open(list_tag);
+    for (const std::string& entry : entries) {
+      out_.Open("li");
+      out_.Text(entry);
+      out_.Close("li", /*optional_end=*/true);
+    }
+    out_.Close(list_tag);
+  }
+
+  void HeadingParaSection(Section s, const std::string& heading,
+                          const std::vector<std::string>& entries,
+                          bool with_heading, std::string_view heading_tag) {
+    if (with_heading) {
+      out_.Open(heading_tag);
+      out_.Text(heading);
+      out_.Close(heading_tag);
+    }
+    if (BrJoined(s)) {
+      out_.Open("p");
+      EmitBrJoined(entries);
+      out_.Close("p", /*optional_end=*/true);
+      return;
+    }
+    for (const std::string& entry : entries) {
+      out_.Open("p");
+      out_.Text(entry);
+      out_.Close("p", /*optional_end=*/true);
+    }
+  }
+
+  void TableSection(Section s, const std::string& heading,
+                    const std::vector<std::string>& entries,
+                    bool with_heading, bool cramped) {
+    out_.Open("tr");
+    if (with_heading) {
+      out_.Open("td");
+      if (!cramped) out_.Open("b");
+      out_.Text(heading);
+      if (!cramped) out_.Close("b");
+      out_.Close("td", /*optional_end=*/true);
+    }
+    if (cramped || BrJoined(s)) {
+      out_.Open("td");
+      EmitBrJoined(entries);
+      out_.Close("td", /*optional_end=*/true);
+    } else {
+      for (const std::string& entry : entries) {
+        out_.Open("td");
+        out_.Text(entry);
+        out_.Close("td", /*optional_end=*/true);
+      }
+    }
+    out_.Close("tr", /*optional_end=*/true);
+  }
+
+  void DlSection(const std::string& heading,
+                 const std::vector<std::string>& entries, bool with_heading) {
+    if (with_heading) {
+      out_.Open("dt");
+      out_.Text(heading);
+      out_.Close("dt", /*optional_end=*/true);
+    }
+    for (const std::string& entry : entries) {
+      out_.Open("dd");
+      out_.Text(entry);
+      out_.Close("dd", /*optional_end=*/true);
+    }
+  }
+
+  void FlatSection(const std::string& heading,
+                   const std::vector<std::string>& entries,
+                   bool with_heading, bool font_wrap) {
+    if (with_heading) {
+      if (font_wrap) out_.Raw("<font size=\"+1\">");
+      out_.Open("b");
+      out_.Text(heading);
+      out_.Close("b");
+      if (font_wrap) out_.Raw("</font>");
+      out_.Br();
+    }
+    EmitBrJoined(entries);
+    out_.Br();
+  }
+
+  void DivSection(Section s, const std::string& heading,
+                  const std::vector<std::string>& entries,
+                  bool with_heading) {
+    out_.Open("div");
+    if (with_heading) {
+      out_.Open("u");
+      out_.Text(heading);
+      out_.Close("u");
+    }
+    if (BrJoined(s) || entries.size() == 1) {
+      out_.Raw(" ");
+      EmitBrJoined(entries);
+    } else {
+      out_.Open("ul");
+      for (const std::string& entry : entries) {
+        out_.Open("li");
+        out_.Text(entry);
+        out_.Close("li", /*optional_end=*/true);
+      }
+      out_.Close("ul");
+    }
+    out_.Close("div");
+  }
+
+  const ResumeData& data_;
+  const StyleTraits& traits_;
+  HtmlOut out_;
+};
+
+}  // namespace
+
+size_t StyleCount() { return 12; }
+
+StyleTraits MakeStyle(size_t id) {
+  StyleTraits t;
+  t.id = static_cast<int>(id % StyleCount());
+  switch (t.id) {
+    case 0:
+      t.markup = SectionMarkup::kHeadingList;
+      t.headline = HeadlineMarkup::kParagraph;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      break;
+    case 1:
+      t.markup = SectionMarkup::kHeadingParagraphs;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kInstitutionFirst;
+      t.exp_order = ExpFieldOrder::kCompanyFirst;
+      break;
+    case 2:
+      t.markup = SectionMarkup::kSectionTable;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDegreeFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      break;
+    case 3:
+      t.markup = SectionMarkup::kDefinitionList;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      t.delimiter = ';';
+      break;
+    case 4:
+      t.markup = SectionMarkup::kBoldBreaks;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      break;
+    case 5:
+      t.markup = SectionMarkup::kDivUnderline;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kCompanyFirst;
+      break;
+    case 6:
+      t.markup = SectionMarkup::kHeadingOrdered;
+      t.headline = HeadlineMarkup::kH1;
+      t.edu_order = EduFieldOrder::kInstitutionFirst;
+      t.exp_order = ExpFieldOrder::kDateFirst;
+      break;
+    case 7:
+      t.markup = SectionMarkup::kCrampedTable;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      break;
+    case 8:
+      t.markup = SectionMarkup::kHeadingList;
+      t.headline = HeadlineMarkup::kParagraph;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      t.sloppy = true;
+      break;
+    case 9:
+      t.markup = SectionMarkup::kFontFlat;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.contact_heading = false;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      break;
+    case 10:
+      t.markup = SectionMarkup::kHeadingParagraphs;
+      t.headline = HeadlineMarkup::kH1;
+      t.contact_heading = false;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      t.delimiter = ';';
+      break;
+    case 11:
+      t.markup = SectionMarkup::kDefinitionList;
+      t.headline = HeadlineMarkup::kCenterBold;
+      t.edu_order = EduFieldOrder::kDateFirst;
+      t.exp_order = ExpFieldOrder::kTitleFirst;
+      t.sloppy = true;
+      break;
+    default:
+      break;
+  }
+  return t;
+}
+
+size_t DrawStyleId(Rng& rng) {
+  // Clean styles appear twice, stressor styles (4, 6, 7, 9, 10) twice —
+  // the mix is tuned so the corpus-wide error rate lands near the
+  // paper's 9.2% with the documented causes.
+  static constexpr std::array<size_t, 24> kWeighted = {
+      0, 0, 1, 1, 2,  2,  3, 3, 5, 5, 8,  8,
+      11, 11, 4, 4, 6, 6, 7, 7, 9, 9, 10, 10};
+  return kWeighted[rng.NextBelow(kWeighted.size())];
+}
+
+std::string RenderResumeHtml(const ResumeData& data,
+                             const StyleTraits& traits, Rng& rng) {
+  return Renderer(data, traits, rng).Render();
+}
+
+std::unique_ptr<Node> BuildTruthForStyle(const ResumeData& data,
+                                         const StyleTraits& traits) {
+  return BuildTruthTree(data, traits.edu_order, traits.exp_order,
+                        traits.contact_heading);
+}
+
+}  // namespace webre

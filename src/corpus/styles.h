@@ -1,0 +1,77 @@
+#ifndef WEBRE_CORPUS_STYLES_H_
+#define WEBRE_CORPUS_STYLES_H_
+
+#include <memory>
+#include <string>
+
+#include "corpus/resume_model.h"
+#include "util/rng.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Section markup idioms observed across resume authors. Each exercises
+/// a different subset of the restructuring rules; several are deliberate
+/// stressors whose known failure modes supply the paper's §4.1 error
+/// distribution (Figure 4).
+enum class SectionMarkup {
+  kHeadingList,        ///< <h2> + <ul><li> per entry (clean)
+  kHeadingParagraphs,  ///< <h3> + <p> per entry (clean)
+  kSectionTable,       ///< one <table>, a <tr> per section, <td> per entry
+  kDefinitionList,     ///< <dl><dt>heading<dd>entry (clean)
+  kBoldBreaks,         ///< <b>heading</b><br> + flat <br>-separated text
+  kDivUnderline,       ///< <div><u>heading</u><ul>... (clean)
+  kHeadingOrdered,     ///< <h2> + <ol><li> (clean)
+  kCrampedTable,       ///< <tr><td>heading<td>all entries in one cell
+  kFontFlat,           ///< <font><b>heading</b></font> + flat text (worst)
+};
+
+/// How the person's name is displayed at the top.
+enum class HeadlineMarkup {
+  kParagraph,   ///< <p><b>name</b></p>
+  kCenterBold,  ///< <center><b>name</b></center>
+  kH1,          ///< <h1>name</h1> — the h1 then groups the whole page
+                ///< under itself, a known error source
+};
+
+/// One author style: everything that varies between authors besides the
+/// facts themselves.
+struct StyleTraits {
+  int id = 0;
+  SectionMarkup markup = SectionMarkup::kHeadingList;
+  HeadlineMarkup headline = HeadlineMarkup::kParagraph;
+  /// Whether the contact block gets a section heading.
+  bool contact_heading = true;
+  EduFieldOrder edu_order = EduFieldOrder::kDateFirst;
+  ExpFieldOrder exp_order = ExpFieldOrder::kTitleFirst;
+  /// Field separator within an entry (tokenization delimiter).
+  char delimiter = ',';
+  /// Emit legacy sloppiness: unclosed <li>/<p>/<dd>, uppercase tags,
+  /// attribute junk, &nbsp; entities. Exercises parser repairs without
+  /// (by design) changing the recovered structure.
+  bool sloppy = false;
+};
+
+/// Number of predefined author styles.
+size_t StyleCount();
+
+/// Returns predefined style `id` (0 <= id < StyleCount()).
+StyleTraits MakeStyle(size_t id);
+
+/// Draws a style id with clean styles weighted above the stressor
+/// styles, roughly matching the paper's error-percentage histogram.
+size_t DrawStyleId(Rng& rng);
+
+/// Renders `data` as an HTML page in the given style. `rng` drives
+/// small per-document variation (attribute junk placement etc.).
+std::string RenderResumeHtml(const ResumeData& data,
+                             const StyleTraits& traits, Rng& rng);
+
+/// The semantically ideal XML tree for `data` under this style's field
+/// orders (see BuildTruthTree).
+std::unique_ptr<Node> BuildTruthForStyle(const ResumeData& data,
+                                         const StyleTraits& traits);
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_STYLES_H_

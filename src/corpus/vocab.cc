@@ -1,0 +1,222 @@
+#include "corpus/vocab.h"
+
+namespace webre {
+
+// Every list below uses the style-guide pattern for static containers:
+// a function-local reference to a heap object that is never destroyed.
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "John",    "Mary",   "David",  "Susan",  "Michael", "Linda",
+      "Robert",  "Karen",  "James",  "Nancy",  "William", "Lisa",
+      "Richard", "Betty",  "Thomas", "Helen",  "Charles", "Sandra",
+      "Daniel",  "Donna",  "Kevin",  "Carol",  "Brian",   "Ruth"};
+  return v;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& v = *new std::vector<std::string>{
+      "Smith",   "Johnson", "Brown",   "Taylor", "Anderson", "Clark",
+      "Wright",  "Mitchell", "Perez",  "Roberts", "Turner",  "Phillips",
+      "Campbell", "Parker", "Evans",   "Edwards", "Collins", "Stewart",
+      "Morris",  "Rogers",  "Reed",    "Cook",    "Morgan",  "Bell"};
+  return v;
+}
+
+const std::vector<std::string>& CityStateLines() {
+  // The state (or city) half is a LOCATION concept instance.
+  static const auto& v = *new std::vector<std::string>{
+      "Ithaca, New York",     "Davis, California",
+      "Plano, Texas",         "Spokane, Washington",
+      "Boston",               "Seattle",
+      "Chicago",              "Austin",
+      "Atlanta",              "Denver",
+      "San Jose",             "San Francisco"};
+  return v;
+}
+
+const std::vector<std::string>& StreetAddresses() {
+  static const auto& v = *new std::vector<std::string>{
+      "123 Maple Street",   "47 Oakwood Avenue", "902 Hillcrest Road",
+      "15 Juniper Lane",    "660 Crestview Drive", "28 Willow Court",
+      "310 Sycamore Place", "84 Bramble Way"};
+  return v;
+}
+
+const std::vector<std::string>& SafeInstitutions() {
+  static const auto& v = *new std::vector<std::string>{
+      "Brockhaven University",          "Eastfield College",
+      "Northgate University",           "Wexford Institute of Technology",
+      "Milbrook College",               "Harrowgate University",
+      "Stonebridge University",         "Caldwell College",
+      "Redmond Polytechnic",            "Ashford Academy",
+      "Fernwood University",            "Kingsley Institute of Technology"};
+  return v;
+}
+
+const std::vector<std::string>& CollidingInstitutions() {
+  // Each embeds a LOCATION instance after/before the INSTITUTION word, so
+  // the concept instance rule decomposes the token — the paper's real-
+  // world failure mode for multi-concept tokens.
+  static const auto& v = *new std::vector<std::string>{
+      "University of California", "University of Texas",
+      "University of Washington", "Boston College",
+      "New York University"};
+  return v;
+}
+
+const std::vector<std::string>& Degrees() {
+  static const auto& v = *new std::vector<std::string>{
+      "B.S.", "M.S.", "B.A.", "M.A.", "Ph.D.", "MBA"};
+  return v;
+}
+
+const std::vector<std::string>& Majors() {
+  static const auto& v = *new std::vector<std::string>{
+      "Computer Science",       "Electrical Engineering",
+      "Mechanical Engineering", "Mathematics",
+      "Physics",                "Chemistry",
+      "Biology",                "Economics",
+      "Business Administration"};
+  return v;
+}
+
+const std::vector<std::string>& Companies() {
+  static const auto& v = *new std::vector<std::string>{
+      "Vexatron Systems Inc.",     "Norwick Software",
+      "Quellware Technologies",    "Hartfield Consulting",
+      "Bluepine Solutions",        "Graniteworks Corporation",
+      "Omnidata Labs",             "Silverbrook Enterprises",
+      "Kestrel Technologies",      "Marlowe Software",
+      "Pinnacle Systems Inc.",     "Trelliscope Laboratories"};
+  return v;
+}
+
+const std::vector<std::string>& JobTitles() {
+  static const auto& v = *new std::vector<std::string>{
+      "Software Engineer",   "Junior Programmer",  "Data Analyst",
+      "Project Manager",     "IT Consultant",      "Research Assistant",
+      "Teaching Assistant",  "Technical Architect", "QA Technician",
+      "Web Designer",        "Development Intern", "Engineering Specialist"};
+  return v;
+}
+
+const std::vector<std::string>& Months() {
+  static const auto& v = *new std::vector<std::string>{
+      "January",   "February", "March",    "April",
+      "May",       "June",     "July",     "August",
+      "September", "October",  "November", "December"};
+  return v;
+}
+
+const std::vector<std::string>& SkillsPool() {
+  static const auto& v = *new std::vector<std::string>{
+      "C++",  "Java",       "Python", "Perl", "Fortran", "Pascal",
+      "JavaScript", "HTML", "XML",    "SQL",  "Unix",    "Linux"};
+  return v;
+}
+
+const std::vector<std::string>& CoursesPool() {
+  static const auto& v = *new std::vector<std::string>{
+      "Algorithms",           "Data Structures",   "Operating Systems",
+      "Databases",            "Compilers",         "Computer Networks",
+      "Artificial Intelligence", "Machine Learning",
+      "Computer Architecture",   "Discrete Mathematics",
+      "Linear Algebra",       "Calculus"};
+  return v;
+}
+
+const std::vector<std::string>& AwardLines() {
+  // Free of concept instances: AWARDS consolidates to a leaf whose val
+  // carries these lines.
+  static const auto& v = *new std::vector<std::string>{
+      "Dean's List",                       "Phi Beta Kappa Society",
+      "Outstanding Senior Project Award",  "National Merit Finalist",
+      "Best Undergraduate Thesis Award",   "Tau Beta Pi",
+      "Departmental Citation for Excellence"};
+  return v;
+}
+
+const std::vector<std::string>& ActivityLines() {
+  static const auto& v = *new std::vector<std::string>{
+      "Chess club member",             "Varsity swimming team",
+      "Photography and hiking",        "Student newspaper editor",
+      "Volunteer tutor at a local learning center",
+      "Amateur radio operator",        "Debate society treasurer"};
+  return v;
+}
+
+const std::vector<std::string>& ObjectiveLines() {
+  static const auto& v = *new std::vector<std::string>{
+      "To obtain a challenging role where I can contribute and grow.",
+      "Seeking an opportunity to apply my technical abilities in a "
+      "collaborative environment.",
+      "To secure an entry-level role with strong growth potential.",
+      "Looking for a full-time opportunity in a fast-paced setting.",
+      "To build reliable and maintainable tools that people enjoy using."};
+  return v;
+}
+
+const std::vector<std::string>& ContactHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Contact Information", "Contact", "Personal Information", "Address"};
+  return v;
+}
+
+const std::vector<std::string>& ObjectiveHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Objective", "Career Objective", "Professional Objective"};
+  return v;
+}
+
+const std::vector<std::string>& EducationHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Education", "Educational Background", "Academic Background"};
+  return v;
+}
+
+const std::vector<std::string>& ExperienceHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Experience", "Work Experience", "Employment History",
+      "Professional Experience"};
+  return v;
+}
+
+const std::vector<std::string>& SkillsHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Skills", "Technical Skills", "Computer Skills", "Programming Skills"};
+  return v;
+}
+
+const std::vector<std::string>& CoursesHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Relevant Coursework", "Courses", "Selected Courses"};
+  return v;
+}
+
+const std::vector<std::string>& AwardsHeadings() {
+  static const auto& v =
+      *new std::vector<std::string>{"Awards", "Honors", "Achievements"};
+  return v;
+}
+
+const std::vector<std::string>& ActivitiesHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Activities", "Interests", "Extracurricular Activities"};
+  return v;
+}
+
+const std::vector<std::string>& ReferenceHeadings() {
+  static const auto& v =
+      *new std::vector<std::string>{"References", "Reference"};
+  return v;
+}
+
+const std::vector<std::string>& UnrecognizableHeadings() {
+  static const auto& v = *new std::vector<std::string>{
+      "Other Information", "More About Me", "Miscellaneous",
+      "What I Have Done"};
+  return v;
+}
+
+}  // namespace webre

@@ -1,0 +1,58 @@
+#ifndef WEBRE_CORPUS_VOCAB_H_
+#define WEBRE_CORPUS_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+namespace webre {
+
+/// Word lists for the synthetic resume corpus (the stand-in for the
+/// paper's crawled collection, see DESIGN.md). Lists are deliberately
+/// split into "safe" entries — which the resume ConceptSet recognizes
+/// cleanly — and "colliding" entries that trip the recognizer the way
+/// real pages did (e.g. "University of California" contains both an
+/// INSTITUTION and a LOCATION instance), so the §4.1 error rate has
+/// realistic causes rather than injected randomness.
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+/// City lines of the form "City, State" where the state (or city) is a
+/// LOCATION concept instance, so contact blocks are recognizable.
+const std::vector<std::string>& CityStateLines();
+const std::vector<std::string>& StreetAddresses();
+/// Institution names with no vocabulary collisions ("Brockhaven
+/// University").
+const std::vector<std::string>& SafeInstitutions();
+/// Institution names embedding LOCATION instances ("University of
+/// California") — a deliberate error source.
+const std::vector<std::string>& CollidingInstitutions();
+const std::vector<std::string>& Degrees();
+const std::vector<std::string>& Majors();
+const std::vector<std::string>& Companies();
+const std::vector<std::string>& JobTitles();
+/// Month-name + year date strings are composed, not listed; these are
+/// the month names used.
+const std::vector<std::string>& Months();
+const std::vector<std::string>& SkillsPool();
+const std::vector<std::string>& CoursesPool();
+/// Award lines, free of concept instances (so AWARDS stays a leaf).
+const std::vector<std::string>& AwardLines();
+const std::vector<std::string>& ActivityLines();
+const std::vector<std::string>& ObjectiveLines();
+
+/// Recognizable section headings per section concept.
+const std::vector<std::string>& ContactHeadings();
+const std::vector<std::string>& ObjectiveHeadings();
+const std::vector<std::string>& EducationHeadings();
+const std::vector<std::string>& ExperienceHeadings();
+const std::vector<std::string>& SkillsHeadings();
+const std::vector<std::string>& CoursesHeadings();
+const std::vector<std::string>& AwardsHeadings();
+const std::vector<std::string>& ActivitiesHeadings();
+const std::vector<std::string>& ReferenceHeadings();
+/// Headings no concept instance matches (an error source when drawn).
+const std::vector<std::string>& UnrecognizableHeadings();
+
+}  // namespace webre
+
+#endif  // WEBRE_CORPUS_VOCAB_H_

@@ -1,0 +1,141 @@
+#include "html/entities.h"
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+struct NamedEntity {
+  std::string_view name;
+  std::string_view utf8;
+};
+
+// Sorted-by-frequency-agnostic flat table; linear scan is fine (short
+// table, hot entries first).
+constexpr NamedEntity kNamedEntities[] = {
+    {"amp", "&"},      {"lt", "<"},        {"gt", ">"},
+    {"quot", "\""},    {"apos", "'"},      {"nbsp", " "},
+    {"copy", "\xC2\xA9"},                  // ©
+    {"reg", "\xC2\xAE"},                   // ®
+    {"trade", "\xE2\x84\xA2"},             // ™
+    {"mdash", "\xE2\x80\x94"},             // —
+    {"ndash", "\xE2\x80\x93"},             // –
+    {"hellip", "\xE2\x80\xA6"},            // …
+    {"bull", "\xE2\x80\xA2"},              // •
+    {"middot", "\xC2\xB7"},                // ·
+    {"laquo", "\xC2\xAB"},                 // «
+    {"raquo", "\xC2\xBB"},                 // »
+    {"ldquo", "\xE2\x80\x9C"},             // “
+    {"rdquo", "\xE2\x80\x9D"},             // ”
+    {"lsquo", "\xE2\x80\x98"},             // ‘
+    {"rsquo", "\xE2\x80\x99"},             // ’
+    {"eacute", "\xC3\xA9"},                // é
+    {"egrave", "\xC3\xA8"},                // è
+    {"agrave", "\xC3\xA0"},                // à
+    {"uuml", "\xC3\xBC"},                  // ü
+    {"ouml", "\xC3\xB6"},                  // ö
+    {"auml", "\xC3\xA4"},                  // ä
+    {"szlig", "\xC3\x9F"},                 // ß
+    {"ccedil", "\xC3\xA7"},                // ç
+    {"ntilde", "\xC3\xB1"},                // ñ
+    {"deg", "\xC2\xB0"},                   // °
+    {"frac12", "\xC2\xBD"},                // ½
+    {"frac14", "\xC2\xBC"},                // ¼
+    {"sect", "\xC2\xA7"},                  // §
+    {"para", "\xC2\xB6"},                  // ¶
+    {"cent", "\xC2\xA2"},                  // ¢
+    {"pound", "\xC2\xA3"},                 // £
+    {"yen", "\xC2\xA5"},                   // ¥
+    {"euro", "\xE2\x82\xAC"},              // €
+};
+
+void AppendUtf8(uint32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+// Tries to decode a reference starting at s[pos] (which is '&'). On
+// success appends the decoded text to `out` and returns the index just
+// past the reference; on failure returns pos (caller copies the '&').
+size_t TryDecode(std::string_view s, size_t pos, std::string& out) {
+  size_t i = pos + 1;
+  if (i >= s.size()) return pos;
+  if (s[i] == '#') {
+    ++i;
+    bool hex = i < s.size() && (s[i] == 'x' || s[i] == 'X');
+    if (hex) ++i;
+    uint32_t cp = 0;
+    size_t digits = 0;
+    while (i < s.size()) {
+      char c = AsciiToLower(s[i]);
+      uint32_t digit;
+      if (IsAsciiDigit(c)) {
+        digit = static_cast<uint32_t>(c - '0');
+      } else if (hex && c >= 'a' && c <= 'f') {
+        digit = static_cast<uint32_t>(c - 'a' + 10);
+      } else {
+        break;
+      }
+      cp = cp * (hex ? 16 : 10) + digit;
+      if (cp > 0x10FFFF) return pos;
+      ++digits;
+      ++i;
+    }
+    if (digits == 0 || cp == 0) return pos;
+    AppendUtf8(cp, out);
+    if (i < s.size() && s[i] == ';') ++i;  // semicolon optional in legacy HTML
+    return i;
+  }
+  // Named reference: letters/digits up to ';' (required for named refs to
+  // avoid mangling bare ampersands in text like "AT&T Labs").
+  size_t start = i;
+  while (i < s.size() && IsAsciiAlnum(s[i])) ++i;
+  if (i >= s.size() || s[i] != ';' || i == start) return pos;
+  std::string_view name = s.substr(start, i - start);
+  for (const NamedEntity& e : kNamedEntities) {
+    if (EqualsIgnoreCase(e.name, name)) {
+      out.append(e.utf8);
+      return i + 1;
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::string DecodeHtmlEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '&') {
+      size_t next = TryDecode(s, i, out);
+      if (next != i) {
+        i = next;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace webre

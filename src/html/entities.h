@@ -1,0 +1,21 @@
+#ifndef WEBRE_HTML_ENTITIES_H_
+#define WEBRE_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace webre {
+
+/// Decodes HTML character references in `s`.
+///
+/// Handles the named entities common in 1990s/2000s-era HTML (the
+/// vintage of the paper's corpus) plus decimal (`&#233;`) and hex
+/// (`&#xE9;`) numeric references, emitting UTF-8. Decoding is lenient:
+/// unknown or malformed references are passed through verbatim, matching
+/// browser behaviour on legacy pages. `&nbsp;` decodes to a plain space
+/// since downstream tokenization treats all whitespace alike.
+std::string DecodeHtmlEntities(std::string_view s);
+
+}  // namespace webre
+
+#endif  // WEBRE_HTML_ENTITIES_H_

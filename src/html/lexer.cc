@@ -1,0 +1,219 @@
+#include "html/lexer.h"
+
+#include "html/entities.h"
+#include "html/tag_tables.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  std::vector<HtmlToken> Run() {
+    std::vector<HtmlToken> tokens;
+    std::string text;
+
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      HtmlToken token;
+      token.type = HtmlTokenType::kText;
+      token.text = DecodeHtmlEntities(text);
+      tokens.push_back(std::move(token));
+      text.clear();
+    };
+
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c != '<') {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      // '<' — decide whether this opens markup or is literal text.
+      if (pos_ + 1 >= input_.size()) {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      char next = input_[pos_ + 1];
+      if (next == '!') {
+        flush_text();
+        LexDeclaration(tokens);
+      } else if (next == '/') {
+        if (pos_ + 2 < input_.size() && IsAsciiAlpha(input_[pos_ + 2])) {
+          flush_text();
+          LexEndTag(tokens);
+        } else {
+          text.push_back(c);
+          ++pos_;
+        }
+      } else if (IsAsciiAlpha(next)) {
+        flush_text();
+        LexStartTag(tokens);
+      } else {
+        // "<3", "< 5" etc. — literal text, as browsers treat it.
+        text.push_back(c);
+        ++pos_;
+      }
+    }
+    flush_text();
+    return tokens;
+  }
+
+ private:
+  void LexDeclaration(std::vector<HtmlToken>& tokens) {
+    // pos_ is at "<!".
+    if (input_.substr(pos_).substr(0, 4) == "<!--") {
+      pos_ += 4;
+      size_t end = input_.find("-->", pos_);
+      HtmlToken token;
+      token.type = HtmlTokenType::kComment;
+      if (end == std::string_view::npos) {
+        token.text = std::string(input_.substr(pos_));
+        pos_ = input_.size();
+      } else {
+        token.text = std::string(input_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+      }
+      tokens.push_back(std::move(token));
+      return;
+    }
+    // <!DOCTYPE ...> or any other <!...> declaration: skip to '>'.
+    size_t end = input_.find('>', pos_);
+    HtmlToken token;
+    token.type = HtmlTokenType::kDoctype;
+    if (end == std::string_view::npos) {
+      token.text = std::string(input_.substr(pos_ + 2));
+      pos_ = input_.size();
+    } else {
+      token.text = std::string(input_.substr(pos_ + 2, end - pos_ - 2));
+      pos_ = end + 1;
+    }
+    tokens.push_back(std::move(token));
+  }
+
+  void LexEndTag(std::vector<HtmlToken>& tokens) {
+    pos_ += 2;  // "</"
+    std::string name;
+    while (pos_ < input_.size() && IsAsciiAlnum(input_[pos_])) {
+      name.push_back(AsciiToLower(input_[pos_]));
+      ++pos_;
+    }
+    // Skip everything else up to '>'.
+    while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
+    if (pos_ < input_.size()) ++pos_;
+    HtmlToken token;
+    token.type = HtmlTokenType::kEndTag;
+    token.name = std::move(name);
+    tokens.push_back(std::move(token));
+  }
+
+  void LexStartTag(std::vector<HtmlToken>& tokens) {
+    ++pos_;  // '<'
+    HtmlToken token;
+    token.type = HtmlTokenType::kStartTag;
+    while (pos_ < input_.size() &&
+           (IsAsciiAlnum(input_[pos_]) || input_[pos_] == '-')) {
+      token.name.push_back(AsciiToLower(input_[pos_]));
+      ++pos_;
+    }
+    // Attributes.
+    while (pos_ < input_.size()) {
+      while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+      if (pos_ >= input_.size()) break;
+      if (input_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (input_[pos_] == '/' && pos_ + 1 < input_.size() &&
+          input_[pos_ + 1] == '>') {
+        token.self_closing = true;
+        pos_ += 2;
+        break;
+      }
+      if (input_[pos_] == '/') {  // stray slash
+        ++pos_;
+        continue;
+      }
+      // Attribute name.
+      std::string attr_name;
+      while (pos_ < input_.size() && input_[pos_] != '=' &&
+             input_[pos_] != '>' && input_[pos_] != '/' &&
+             !IsAsciiSpace(input_[pos_])) {
+        attr_name.push_back(AsciiToLower(input_[pos_]));
+        ++pos_;
+      }
+      if (attr_name.empty()) {
+        ++pos_;  // defensive: skip the offending character
+        continue;
+      }
+      while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+      std::string attr_value;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
+        if (pos_ < input_.size() &&
+            (input_[pos_] == '"' || input_[pos_] == '\'')) {
+          char quote = input_[pos_];
+          ++pos_;
+          while (pos_ < input_.size() && input_[pos_] != quote) {
+            attr_value.push_back(input_[pos_]);
+            ++pos_;
+          }
+          if (pos_ < input_.size()) ++pos_;  // closing quote
+        } else {
+          while (pos_ < input_.size() && !IsAsciiSpace(input_[pos_]) &&
+                 input_[pos_] != '>') {
+            attr_value.push_back(input_[pos_]);
+            ++pos_;
+          }
+        }
+      }
+      token.attributes.push_back(
+          Attribute{std::move(attr_name), DecodeHtmlEntities(attr_value)});
+    }
+
+    const std::string tag = token.name;
+    const bool self_closing = token.self_closing;
+    tokens.push_back(std::move(token));
+
+    // Raw-text elements: swallow content up to the matching end tag.
+    if (IsRawTextTag(tag) && !self_closing) {
+      std::string closer = "</" + tag;
+      size_t end = pos_;
+      while (true) {
+        end = input_.find('<', end);
+        if (end == std::string_view::npos) {
+          end = input_.size();
+          break;
+        }
+        std::string_view rest = input_.substr(end);
+        if (rest.size() >= closer.size() &&
+            EqualsIgnoreCase(rest.substr(0, closer.size()), closer)) {
+          break;
+        }
+        ++end;
+      }
+      if (end > pos_) {
+        HtmlToken raw;
+        raw.type = HtmlTokenType::kText;
+        raw.text = std::string(input_.substr(pos_, end - pos_));
+        tokens.push_back(std::move(raw));
+      }
+      pos_ = end;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<HtmlToken> TokenizeHtml(std::string_view html) {
+  return Lexer(html).Run();
+}
+
+}  // namespace webre

@@ -1,0 +1,42 @@
+#ifndef WEBRE_HTML_LEXER_H_
+#define WEBRE_HTML_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/node.h"  // for Attribute
+
+namespace webre {
+
+/// Kind of an HTML token produced by TokenizeHtml.
+enum class HtmlTokenType {
+  kStartTag,  ///< `<name attr=...>`; `self_closing` set for `<name/>`
+  kEndTag,    ///< `</name>`
+  kText,      ///< character data (entities decoded)
+  kComment,   ///< `<!-- ... -->` (content in `text`)
+  kDoctype,   ///< `<!DOCTYPE ...>` (raw content in `text`)
+};
+
+/// One lexical token of an HTML document.
+struct HtmlToken {
+  HtmlTokenType type = HtmlTokenType::kText;
+  /// Tag name, lowercased; empty for text/comment/doctype.
+  std::string name;
+  /// Character data / comment content.
+  std::string text;
+  /// Start-tag attributes, names lowercased, values entity-decoded.
+  std::vector<Attribute> attributes;
+  /// True for `<name .../>`.
+  bool self_closing = false;
+};
+
+/// Tokenizes `html` leniently, never failing: malformed markup degrades
+/// to text tokens the way legacy browsers treat it. Raw-text elements
+/// (`script`, `style`) swallow everything up to their matching end tag
+/// into a single text token.
+std::vector<HtmlToken> TokenizeHtml(std::string_view html);
+
+}  // namespace webre
+
+#endif  // WEBRE_HTML_LEXER_H_

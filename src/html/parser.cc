@@ -1,0 +1,145 @@
+#include "html/parser.h"
+
+#include <vector>
+
+#include "html/lexer.h"
+#include "html/tag_tables.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(const HtmlParseOptions& options) : options_(options) {}
+
+  std::unique_ptr<Node> Build(std::vector<HtmlToken> tokens) {
+    root_ = Node::MakeElement("#root");
+    stack_.push_back(root_.get());
+
+    for (HtmlToken& token : tokens) {
+      switch (token.type) {
+        case HtmlTokenType::kText:
+          HandleText(token);
+          break;
+        case HtmlTokenType::kStartTag:
+          HandleStartTag(token);
+          break;
+        case HtmlTokenType::kEndTag:
+          HandleEndTag(token);
+          break;
+        case HtmlTokenType::kComment:
+        case HtmlTokenType::kDoctype:
+          if (!options_.drop_comments) {
+            // Comments are represented as elements named "#comment" so
+            // the shared tree model needs no extra node type; the
+            // restructuring pipeline deletes them like any other
+            // non-concept markup.
+            Node* node = Top()->AddElement("#comment");
+            node->AddText(std::move(token.text));
+          }
+          break;
+      }
+    }
+    return Finish();
+  }
+
+ private:
+  Node* Top() { return stack_.back(); }
+
+  void HandleText(HtmlToken& token) {
+    std::string text = std::move(token.text);
+    if (options_.skip_whitespace_text &&
+        StripAsciiWhitespace(text).empty()) {
+      return;
+    }
+    if (options_.collapse_whitespace) text = CollapseWhitespace(text);
+    if (text.empty()) return;
+    // Merge with a preceding text sibling (tokens may split text at
+    // ignored markup boundaries).
+    Node* top = Top();
+    if (top->child_count() > 0 &&
+        top->child(top->child_count() - 1)->is_text()) {
+      Node* last = top->child(top->child_count() - 1);
+      std::string merged(last->text());
+      merged.push_back(' ');
+      merged.append(text);
+      last->set_text(std::move(merged));
+      return;
+    }
+    top->AddText(std::move(text));
+  }
+
+  void HandleStartTag(HtmlToken& token) {
+    // Apply implied-end-tag repairs: close open elements that cannot
+    // contain the new tag.
+    while (stack_.size() > 1 && ClosesOnOpen(Top()->name(), token.name)) {
+      stack_.pop_back();
+    }
+    Node* element = Top()->AddElement(token.name);
+    if (options_.keep_attributes) {
+      for (Attribute& attr : token.attributes) {
+        element->set_attr(attr.name, std::move(attr.value));
+      }
+    }
+    if (!IsVoidTag(token.name) && !token.self_closing) {
+      stack_.push_back(element);
+    }
+  }
+
+  void HandleEndTag(const HtmlToken& token) {
+    if (IsVoidTag(token.name)) return;  // "</br>" and friends: ignore
+    // Find the nearest open element with this name.
+    for (size_t i = stack_.size(); i-- > 1;) {
+      if (stack_[i]->name() == token.name) {
+        stack_.resize(i);
+        return;
+      }
+    }
+    // No matching open element: stray end tag, ignored.
+  }
+
+  std::unique_ptr<Node> Finish() {
+    stack_.clear();
+    // If the author provided an <html> element, promote it to the root
+    // and hoist any stray siblings (content outside <html>) into it.
+    Node* html = nullptr;
+    for (size_t i = 0; i < root_->child_count(); ++i) {
+      Node* child = root_->child(i);
+      if (child->is_element() && child->name() == "html") {
+        html = child;
+        break;
+      }
+    }
+    if (html == nullptr) {
+      root_->set_name("html");
+      return std::move(root_);
+    }
+    size_t html_index = root_->IndexOf(html);
+    std::unique_ptr<Node> html_owned = root_->RemoveChild(html_index);
+    // Content before <html> is prepended, content after appended.
+    std::vector<std::unique_ptr<Node>> rest = root_->RemoveAllChildren();
+    size_t insert_at = 0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      if (i < html_index) {
+        html_owned->InsertChild(insert_at++, std::move(rest[i]));
+      } else {
+        html_owned->AddChild(std::move(rest[i]));
+      }
+    }
+    return html_owned;
+  }
+
+  HtmlParseOptions options_;
+  std::unique_ptr<Node> root_;
+  std::vector<Node*> stack_;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> ParseHtml(std::string_view html,
+                                const HtmlParseOptions& options) {
+  return TreeBuilder(options).Build(TokenizeHtml(html));
+}
+
+}  // namespace webre

@@ -1,0 +1,47 @@
+#ifndef WEBRE_HTML_PARSER_H_
+#define WEBRE_HTML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Options for ParseHtml.
+struct HtmlParseOptions {
+  /// Drop whitespace-only text nodes (inter-tag indentation).
+  bool skip_whitespace_text = true;
+  /// Collapse runs of whitespace inside retained text nodes to one space
+  /// and trim the ends, mirroring HTML rendering.
+  bool collapse_whitespace = true;
+  /// Drop comment and DOCTYPE tokens (they carry no content for the
+  /// restructuring rules).
+  bool drop_comments = true;
+  /// Keep start-tag attributes on the tree. The restructuring rules only
+  /// use tags and text, so the default discards them to keep trees small;
+  /// turn on to inspect attributes (e.g. href).
+  bool keep_attributes = false;
+};
+
+/// Parses `html` leniently into an ordered tree (the paper's §2.3 view of
+/// an HTML document as an XML document). Never fails: this is the
+/// "wrapping" front door and legacy pages are routinely malformed.
+///
+/// Repairs applied while building the tree:
+///  - tag names lowercased; void elements (`<br>`, `<hr>`, ...) become
+///    childless nodes;
+///  - optional end tags are inferred (`<p>`, `<li>`, `<dt>/<dd>`,
+///    `<tr>/<td>/<th>`, ...);
+///  - a mismatched end tag closes up to its nearest open ancestor and is
+///    otherwise ignored;
+///  - elements left open at end of input are closed.
+///
+/// The returned root is always an `html` element. If the input lacks
+/// `<html>` markup, one is synthesized around the content.
+std::unique_ptr<Node> ParseHtml(std::string_view html,
+                                const HtmlParseOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_HTML_PARSER_H_

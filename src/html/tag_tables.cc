@@ -1,0 +1,80 @@
+#include "html/tag_tables.h"
+
+namespace webre {
+namespace {
+
+bool OneOf(std::string_view tag, std::initializer_list<std::string_view> set) {
+  for (std::string_view candidate : set) {
+    if (tag == candidate) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsVoidTag(std::string_view tag) {
+  return OneOf(tag, {"br", "hr", "img", "input", "meta", "link", "area",
+                     "base", "col", "param", "isindex", "basefont"});
+}
+
+bool IsBlockLevelTag(std::string_view tag) {
+  return OneOf(tag, {"html",   "head",   "body",    "title",      "div",
+                     "p",      "h1",     "h2",      "h3",         "h4",
+                     "h5",     "h6",     "ul",      "ol",         "dl",
+                     "li",     "dt",     "dd",      "dir",        "menu",
+                     "table",  "tr",     "td",      "th",         "thead",
+                     "tbody",  "tfoot",  "caption", "blockquote", "pre",
+                     "center", "form",   "address", "hr",         "fieldset",
+                     "frame",  "frameset"});
+}
+
+bool IsTextLevelTag(std::string_view tag) {
+  return OneOf(tag, {"b",    "i",      "u",    "em",   "strong", "font",
+                     "span", "a",      "tt",   "code", "small",  "big",
+                     "sub",  "sup",    "s",    "strike", "abbr", "acronym",
+                     "cite", "q",      "samp", "kbd",  "var",    "dfn",
+                     "ins",  "del",    "label"});
+}
+
+int GroupTagWeight(std::string_view tag) {
+  // Paper §4: group tags = {h1..h6, title, div, p, tr, dt, dd, li,
+  // u, strong, b, em, i}. Weights order headings above paragraph-level
+  // tags above inline emphasis; ties within a band are fine because the
+  // grouping rule only compares weights of *different* sibling runs.
+  if (tag == "h1") return 100;
+  if (tag == "h2") return 95;
+  if (tag == "h3") return 90;
+  if (tag == "h4") return 85;
+  if (tag == "h5") return 80;
+  if (tag == "h6") return 75;
+  if (tag == "title") return 70;
+  if (OneOf(tag, {"div", "p", "tr", "dt", "dd", "li"})) return 50;
+  if (OneOf(tag, {"u", "strong", "b", "em", "i"})) return 25;
+  return 0;
+}
+
+bool IsListTag(std::string_view tag) {
+  return OneOf(tag, {"body", "table", "dl", "ul", "ol", "dir", "menu"});
+}
+
+bool IsRawTextTag(std::string_view tag) {
+  return tag == "script" || tag == "style";
+}
+
+bool ClosesOnOpen(std::string_view open_tag, std::string_view new_tag) {
+  // <p> is closed by any block-level start tag.
+  if (open_tag == "p") return IsBlockLevelTag(new_tag);
+  if (open_tag == "li") return new_tag == "li";
+  if (open_tag == "dt" || open_tag == "dd") {
+    return new_tag == "dt" || new_tag == "dd";
+  }
+  if (open_tag == "td" || open_tag == "th") {
+    return new_tag == "td" || new_tag == "th" || new_tag == "tr";
+  }
+  if (open_tag == "tr") return new_tag == "tr";
+  if (open_tag == "option") return new_tag == "option" || new_tag == "optgroup";
+  if (open_tag == "head") return new_tag == "body";
+  return false;
+}
+
+}  // namespace webre

@@ -1,0 +1,49 @@
+#ifndef WEBRE_HTML_TAG_TABLES_H_
+#define WEBRE_HTML_TAG_TABLES_H_
+
+#include <string_view>
+
+namespace webre {
+
+/// Classification tables for HTML 4-era tags.
+///
+/// The paper's restructuring rules key off three tag classes (§2.3.2, §4):
+///  - *group tags* `{h1..h6, title, div, p, tr, dt, dd, li, u, strong, b,
+///    em, i}` carry a priority weight: higher-weight tags group their
+///    right siblings before lower-weight ones;
+///  - *list tags* `{body, table, dl, ul, ol, dir, menu}` are "known to
+///    exhibit a list structure" for the consolidation rule;
+///  - the block/text-level distinction (§2.1) drives parsing repairs.
+/// All lookups expect lowercase tag names (the parser lowercases).
+
+/// True for elements that never have content or an end tag (br, hr, img,
+/// input, meta, link, area, base, col, param).
+bool IsVoidTag(std::string_view tag);
+
+/// True for block-level elements (headings, lists, tables, containers).
+bool IsBlockLevelTag(std::string_view tag);
+
+/// True for text-level (inline/font-markup) elements.
+bool IsTextLevelTag(std::string_view tag);
+
+/// Grouping priority of a group tag; 0 if `tag` is not a group tag.
+/// h1 has the highest weight, the inline emphasis tags the lowest, per
+/// §2.3.2 ("grouping right siblings of nodes marked with h1 has a higher
+/// priority than grouping right siblings of nodes marked with p").
+int GroupTagWeight(std::string_view tag);
+
+/// True for the paper's list tags: body, table, dl, ul, ol, dir, menu.
+bool IsListTag(std::string_view tag);
+
+/// True if `tag` is a raw-text element whose content is not HTML markup
+/// (script, style).
+bool IsRawTextTag(std::string_view tag);
+
+/// True if an open `open_tag` element is implicitly closed when a
+/// `new_tag` start tag appears (HTML optional end tags: p before block
+/// content, li before li, dt/dd before dt/dd, tr/td/th in tables, ...).
+bool ClosesOnOpen(std::string_view open_tag, std::string_view new_tag);
+
+}  // namespace webre
+
+#endif  // WEBRE_HTML_TAG_TABLES_H_

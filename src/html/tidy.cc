@@ -1,0 +1,132 @@
+#include "html/tidy.h"
+
+#include <string>
+#include <string_view>
+
+#include "html/tag_tables.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+bool IsHeading(std::string_view tag) {
+  return tag.size() == 2 && tag[0] == 'h' && tag[1] >= '1' && tag[1] <= '6';
+}
+
+bool IsNonContentTag(std::string_view tag) {
+  return tag == "script" || tag == "style" || tag == "select" ||
+         tag == "option" || tag == "textarea" || tag == "iframe" ||
+         tag == "object" || tag == "applet" || tag == "map" ||
+         tag == "noscript" || tag == "noframes" || tag == "#comment";
+}
+
+// True if the subtree contains any text anywhere.
+bool HasTextPayload(const Node& node) {
+  if (node.is_text()) return !node.text().empty();
+  if (!node.val().empty()) return true;
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    if (HasTextPayload(*node.child(i))) return true;
+  }
+  return false;
+}
+
+void RemoveNonContent(Node* node) {
+  for (size_t i = 0; i < node->child_count();) {
+    Node* child = node->child(i);
+    if (child->is_element() && IsNonContentTag(child->name())) {
+      node->RemoveChild(i);
+    } else {
+      RemoveNonContent(child);
+      ++i;
+    }
+  }
+}
+
+// Removes childless, text-free elements bottom-up. `br`/`hr`/`img` are
+// kept: they are legitimate separators the grouping rule can use.
+void RemoveEmptyElements(Node* node) {
+  for (size_t i = 0; i < node->child_count();) {
+    Node* child = node->child(i);
+    RemoveEmptyElements(child);
+    const bool keep_void = child->is_element() && IsVoidTag(child->name());
+    if (child->is_element() && !keep_void && child->child_count() == 0 &&
+        !HasTextPayload(*child)) {
+      node->RemoveChild(i);
+    } else {
+      ++i;
+    }
+  }
+}
+
+// Lifts headings nested inside headings out as following siblings.
+void FixHeadingNesting(Node* node) {
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    FixHeadingNesting(node->child(i));
+  }
+  if (!node->is_element() || !IsHeading(node->name())) return;
+  Node* parent = node->parent();
+  if (parent == nullptr) return;
+  size_t self_index = parent->IndexOf(node);
+  size_t moved = 0;
+  for (size_t i = 0; i < node->child_count();) {
+    Node* child = node->child(i);
+    if (child->is_element() && IsHeading(child->name())) {
+      std::unique_ptr<Node> lifted = node->RemoveChild(i);
+      parent->InsertChild(self_index + 1 + moved, std::move(lifted));
+      ++moved;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void MergeAdjacentText(Node* node) {
+  for (size_t i = 0; i + 1 < node->child_count();) {
+    Node* a = node->child(i);
+    Node* b = node->child(i + 1);
+    if (a->is_text() && b->is_text()) {
+      std::string merged(a->text());
+      merged.push_back(' ');
+      merged.append(b->text());
+      a->set_text(CollapseWhitespace(merged));
+      node->RemoveChild(i + 1);
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    MergeAdjacentText(node->child(i));
+  }
+}
+
+// Unwraps <b><b>x</b></b> -> <b>x</b> when an inline element's only
+// child is the same inline element.
+void UnwrapRedundantInline(Node* node) {
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    UnwrapRedundantInline(node->child(i));
+  }
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    Node* child = node->child(i);
+    while (child->is_element() && IsTextLevelTag(child->name()) &&
+           child->child_count() == 1 && child->child(0)->is_element() &&
+           child->child(0)->name() == child->name()) {
+      std::unique_ptr<Node> inner = child->RemoveChild(0);
+      std::vector<std::unique_ptr<Node>> grandchildren =
+          inner->RemoveAllChildren();
+      for (auto& gc : grandchildren) child->AddChild(std::move(gc));
+    }
+  }
+}
+
+}  // namespace
+
+void TidyHtmlTree(Node* root, const TidyOptions& options) {
+  if (root == nullptr) return;
+  if (options.remove_non_content) RemoveNonContent(root);
+  if (options.fix_heading_nesting) FixHeadingNesting(root);
+  if (options.unwrap_redundant_inline) UnwrapRedundantInline(root);
+  if (options.remove_empty_elements) RemoveEmptyElements(root);
+  if (options.merge_adjacent_text) MergeAdjacentText(root);
+}
+
+}  // namespace webre

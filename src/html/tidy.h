@@ -1,0 +1,35 @@
+#ifndef WEBRE_HTML_TIDY_H_
+#define WEBRE_HTML_TIDY_H_
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Options for TidyHtmlTree.
+struct TidyOptions {
+  /// Remove `script`, `style`, `form` controls and other non-content
+  /// subtrees.
+  bool remove_non_content = true;
+  /// Remove elements with no children and no text payload (e.g. an empty
+  /// `<b></b>` left over from an editor).
+  bool remove_empty_elements = true;
+  /// Repair heading nesting: a heading nested inside another heading is
+  /// lifted out as its following sibling (the paper notes heuristics are
+  /// resilient to "nesting of heading elements" but that cleansing
+  /// improves accuracy, §2.4).
+  bool fix_heading_nesting = true;
+  /// Merge adjacent text node siblings into one.
+  bool merge_adjacent_text = true;
+  /// Unwrap redundant same-tag nesting like `<b><b>x</b></b>`.
+  bool unwrap_redundant_inline = true;
+};
+
+/// In-place HTML cleanser applied between parsing and restructuring —
+/// this repo's stand-in for the paper's use of HTML Tidy (§2.4).
+/// Works on the ordered tree produced by ParseHtml. The root element
+/// itself is never removed.
+void TidyHtmlTree(Node* root, const TidyOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_HTML_TIDY_H_

@@ -1,0 +1,60 @@
+#ifndef WEBRE_MAPPING_EDIT_SCRIPT_H_
+#define WEBRE_MAPPING_EDIT_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/tree_edit.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// One ordered-tree edit operation.
+struct EditOp {
+  enum class Kind {
+    kRelabel,  ///< change source node's label to `to_label`
+    kDelete,   ///< delete source node (children move to its parent)
+    kInsert,   ///< insert a node labelled `to_label` (from the target)
+  };
+
+  Kind kind = Kind::kRelabel;
+  /// Label of the source node (kRelabel/kDelete) — empty for kInsert.
+  std::string from_label;
+  /// Label in the target tree (kRelabel/kInsert) — empty for kDelete.
+  std::string to_label;
+  /// The affected source node (kRelabel/kDelete); null for kInsert.
+  const Node* source = nullptr;
+  /// The corresponding target node (kRelabel/kInsert); null for kDelete.
+  const Node* target = nullptr;
+
+  std::string ToString() const;
+};
+
+/// A full edit script turning the source element tree into the target.
+struct EditScript {
+  std::vector<EditOp> ops;
+  /// Total cost under the costs used to compute it; equals
+  /// TreeEditDistance(source, target, costs).
+  double cost = 0.0;
+
+  size_t relabels() const;
+  size_t deletions() const;
+  size_t insertions() const;
+};
+
+/// Computes an optimal ordered-tree edit script from `source` to
+/// `target` (labels are element names; text nodes ignored). This is the
+/// constructive counterpart of TreeEditDistance: the Document Mapping
+/// Component's "tree-edit distance algorithm" ([13]) not only prices a
+/// conversion but says which nodes to relabel, delete and insert.
+///
+/// Implementation: Zhang–Shasha forest distances with full memoization
+/// of per-keyroot-pair forest tables, then a backtrace. O(|a||b|·
+/// min(depth,leaves)²) time like the distance itself; memory holds the
+/// forest table of every keyroot pair (fine for document-sized trees).
+EditScript ComputeEditScript(const Node& source, const Node& target,
+                             const TreeEditCosts& costs = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_MAPPING_EDIT_SCRIPT_H_

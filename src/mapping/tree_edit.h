@@ -1,0 +1,31 @@
+#ifndef WEBRE_MAPPING_TREE_EDIT_H_
+#define WEBRE_MAPPING_TREE_EDIT_H_
+
+#include <cstddef>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Unit costs for the three ordered-tree edit operations.
+struct TreeEditCosts {
+  double insert = 1.0;
+  double remove = 1.0;
+  double relabel = 1.0;
+};
+
+/// Ordered tree edit distance between the element trees rooted at `a`
+/// and `b` (Zhang–Shasha algorithm; labels are element names, text nodes
+/// are ignored). This is the algorithmic core of the paper's Document
+/// Mapping Component ([11]/[13]): the cost of converting a
+/// non-conforming XML document into one conforming to the derived DTD.
+///
+/// Complexity O(|a| |b| · min(depth,leaves)^2) time, O(|a||b|) space —
+/// fine for the document sizes this pipeline produces (tens to a few
+/// hundred nodes).
+double TreeEditDistance(const Node& a, const Node& b,
+                        const TreeEditCosts& costs = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_MAPPING_TREE_EDIT_H_

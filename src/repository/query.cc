@@ -1,0 +1,166 @@
+#include "repository/query.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+bool IsNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == '_' || c == '.' || c == '*';
+}
+
+}  // namespace
+
+StatusOr<PathQuery> PathQuery::Parse(std::string_view text) {
+  PathQuery query;
+  size_t pos = 0;
+  if (text.empty() || text[0] != '/') {
+    return Status::InvalidArgument("query must start with '/' or '//'");
+  }
+  while (pos < text.size()) {
+    if (text[pos] != '/') {
+      return Status::InvalidArgument("expected '/' at position " +
+                                     std::to_string(pos));
+    }
+    QueryStep step;
+    ++pos;
+    if (pos < text.size() && text[pos] == '/') {
+      step.descendant = true;
+      ++pos;
+    }
+    size_t name_start = pos;
+    while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+    step.name = std::string(text.substr(name_start, pos - name_start));
+    if (step.name.empty()) {
+      return Status::InvalidArgument("empty step name at position " +
+                                     std::to_string(name_start));
+    }
+    if (step.name != "*" &&
+        step.name.find('*') != std::string::npos) {
+      return Status::InvalidArgument(
+          "'*' must be the whole step name: " + step.name);
+    }
+    // Optional predicate [val~"substr"].
+    if (pos < text.size() && text[pos] == '[') {
+      constexpr std::string_view kPrefix = "[val~\"";
+      if (text.substr(pos).substr(0, kPrefix.size()) != kPrefix) {
+        return Status::InvalidArgument(
+            "malformed predicate; expected [val~\"...\"]");
+      }
+      pos += kPrefix.size();
+      size_t value_start = pos;
+      while (pos < text.size() && text[pos] != '"') ++pos;
+      if (pos + 1 >= text.size() || text[pos] != '"' ||
+          text[pos + 1] != ']') {
+        return Status::InvalidArgument("unterminated predicate");
+      }
+      step.val_contains =
+          std::string(text.substr(value_start, pos - value_start));
+      pos += 2;
+    }
+    query.steps_.push_back(std::move(step));
+  }
+  if (query.steps_.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  return query;
+}
+
+bool PathQuery::IsSimplePath() const {
+  for (const QueryStep& step : steps_) {
+    if (step.descendant || step.name == "*" || !step.val_contains.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> PathQuery::AsLabelPath() const {
+  std::vector<std::string> path;
+  path.reserve(steps_.size());
+  for (const QueryStep& step : steps_) path.push_back(step.name);
+  return path;
+}
+
+namespace {
+
+bool StepMatches(const QueryStep& step, const Node& node) {
+  if (!node.is_element()) return false;
+  if (step.name != "*" && node.name() != step.name) return false;
+  if (!step.val_contains.empty() &&
+      !ContainsIgnoreCase(node.val(), step.val_contains)) {
+    return false;
+  }
+  return true;
+}
+
+// Collects nodes in `from`'s subtree (excluding `from`) matching `step`.
+void CollectDescendants(const Node& from, const QueryStep& step,
+                        std::vector<const Node*>& out) {
+  for (size_t i = 0; i < from.child_count(); ++i) {
+    const Node* child = from.child(i);
+    if (!child->is_element()) continue;
+    if (StepMatches(step, *child)) out.push_back(child);
+    CollectDescendants(*child, step, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Node*> PathQuery::Evaluate(const Node& root) const {
+  std::vector<const Node*> frontier;
+  // Step 0 starts from the (virtual) document parent of the root.
+  const QueryStep& first = steps_[0];
+  if (first.descendant) {
+    if (StepMatches(first, root)) frontier.push_back(&root);
+    CollectDescendants(root, first, frontier);
+  } else if (StepMatches(first, root)) {
+    frontier.push_back(&root);
+  }
+
+  for (size_t s = 1; s < steps_.size(); ++s) {
+    const QueryStep& step = steps_[s];
+    std::vector<const Node*> next;
+    for (const Node* node : frontier) {
+      if (step.descendant) {
+        CollectDescendants(*node, step, next);
+      } else {
+        for (size_t i = 0; i < node->child_count(); ++i) {
+          const Node* child = node->child(i);
+          if (child->is_element() && StepMatches(step, *child)) {
+            next.push_back(child);
+          }
+        }
+      }
+    }
+    // Deduplicate while keeping document order (frontier sets can
+    // overlap under the descendant axis).
+    std::vector<const Node*> deduped;
+    for (const Node* node : next) {
+      if (std::find(deduped.begin(), deduped.end(), node) == deduped.end()) {
+        deduped.push_back(node);
+      }
+    }
+    frontier = std::move(deduped);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::string PathQuery::ToString() const {
+  std::string out;
+  for (const QueryStep& step : steps_) {
+    out.append(step.descendant ? "//" : "/");
+    out.append(step.name);
+    if (!step.val_contains.empty()) {
+      out.append("[val~\"");
+      out.append(step.val_contains);
+      out.append("\"]");
+    }
+  }
+  return out;
+}
+
+}  // namespace webre

@@ -1,0 +1,70 @@
+#ifndef WEBRE_REPOSITORY_QUERY_H_
+#define WEBRE_REPOSITORY_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// One step of a path query.
+struct QueryStep {
+  /// Element name to match; "*" matches any element.
+  std::string name;
+  /// When true this step matches at any depth below the previous step
+  /// (written `//name`); otherwise only direct children (`/name`).
+  bool descendant = false;
+  /// Optional predicate: keep only elements whose `val` contains this
+  /// substring (case-insensitive). Written `[val~"text"]`. Empty = none.
+  std::string val_contains;
+};
+
+/// A parsed path query over concept-tagged XML documents — the query
+/// side of the paper's motivation ("facilitate querying Web based data
+/// in a way more efficient and effective than just keyword based
+/// retrieval", §1, and "query optimization and index structures on XML
+/// documents", §1).
+///
+/// Grammar (a small XPath-like subset):
+///   query  := step+
+///   step   := ("/" | "//") name predicate?
+///   name   := element name | "*"
+///   predicate := "[val~\"substring\"]"
+///
+/// Examples:
+///   /resume/EDUCATION/DATE
+///   //DATE[val~"1996"]
+///   /resume/*/LANGUAGE
+///   /resume/EXPERIENCE//DATE
+class PathQuery {
+ public:
+  /// Parses the textual form; fails on syntax errors.
+  static StatusOr<PathQuery> Parse(std::string_view text);
+
+  const std::vector<QueryStep>& steps() const { return steps_; }
+
+  /// True when the query is a plain absolute label path — no wildcards,
+  /// descendant axes or predicates. Such queries are answered directly
+  /// from the repository's path index.
+  bool IsSimplePath() const;
+
+  /// The label path of a simple query (undefined otherwise).
+  std::vector<std::string> AsLabelPath() const;
+
+  /// Evaluates the query against one document, returning matched
+  /// elements in document order (deduplicated).
+  std::vector<const Node*> Evaluate(const Node& root) const;
+
+  /// Round-trips back to text.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryStep> steps_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_REPOSITORY_QUERY_H_

@@ -1,0 +1,104 @@
+#include "repository/repository.h"
+
+#include <algorithm>
+
+#include "schema/path_extractor.h"
+#include "xml/dtd_validator.h"
+
+namespace webre {
+
+void XmlRepository::SetDtd(Dtd dtd) {
+  dtd_ = std::move(dtd);
+  has_dtd_ = true;
+}
+
+StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
+  if (document == nullptr || !document->is_element()) {
+    return Status::InvalidArgument("document root must be an element");
+  }
+  if (has_dtd_) {
+    DtdValidationResult validation = ValidateAgainstDtd(*document, dtd_);
+    if (!validation.valid()) {
+      return Status::FailedPrecondition(
+          "document does not conform to the repository DTD: " +
+          validation.violations[0].message);
+    }
+  }
+  const DocId id = documents_.size();
+  DocumentPaths paths = ExtractPaths(*document);
+  for (const LabelPath& path : paths.paths) {
+    path_index_[JoinLabelPath(path)].push_back(id);
+  }
+  documents_.push_back(std::move(document));
+  return id;
+}
+
+const Node* XmlRepository::document(DocId id) const {
+  if (id >= documents_.size()) return nullptr;
+  return documents_[id].get();
+}
+
+std::vector<DocId> XmlRepository::DocumentsWithPath(
+    const LabelPath& path) const {
+  auto it = path_index_.find(JoinLabelPath(path));
+  if (it == path_index_.end()) return {};
+  return it->second;
+}
+
+StatusOr<std::vector<QueryMatch>> XmlRepository::Query(
+    std::string_view query_text) const {
+  StatusOr<PathQuery> query = PathQuery::Parse(query_text);
+  if (!query.ok()) return query.status();
+  return Query(*query);
+}
+
+std::vector<QueryMatch> XmlRepository::Query(const PathQuery& query) const {
+  // Candidate pruning: the longest leading run of simple steps forms a
+  // label-path prefix every match's document must contain.
+  LabelPath prefix;
+  for (const QueryStep& step : query.steps()) {
+    if (step.descendant || step.name == "*") break;
+    prefix.push_back(step.name);
+    // A val predicate restricts nodes, not the path's presence; the
+    // prefix stays usable, so don't break on it.
+  }
+
+  std::vector<DocId> candidates;
+  if (!prefix.empty()) {
+    candidates = DocumentsWithPath(prefix);
+  } else {
+    candidates.resize(documents_.size());
+    for (DocId id = 0; id < documents_.size(); ++id) candidates[id] = id;
+  }
+
+  std::vector<QueryMatch> matches;
+  for (DocId id : candidates) {
+    for (const Node* node : query.Evaluate(*documents_[id])) {
+      matches.push_back(QueryMatch{id, node});
+    }
+  }
+  return matches;
+}
+
+MajoritySchema XmlRepository::DiscoverSchema(
+    const MiningOptions& options) const {
+  FrequentPathMiner miner(options);
+  for (const auto& doc : documents_) {
+    miner.AddDocument(*doc);
+  }
+  return miner.Discover();
+}
+
+RepositoryStats XmlRepository::Stats() const {
+  RepositoryStats stats;
+  stats.documents = documents_.size();
+  stats.distinct_paths = path_index_.size();
+  for (const auto& doc : documents_) {
+    doc->PreOrder([&](const Node& n) {
+      if (n.is_element()) ++stats.elements;
+    });
+  }
+  return stats;
+}
+
+}  // namespace webre

@@ -1,0 +1,100 @@
+#ifndef WEBRE_REPOSITORY_REPOSITORY_H_
+#define WEBRE_REPOSITORY_REPOSITORY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "repository/query.h"
+#include "schema/frequent_paths.h"
+#include "schema/label_path.h"
+#include "util/status.h"
+#include "xml/dtd.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Identifier of a stored document.
+using DocId = size_t;
+
+/// One query hit: a node inside a stored document.
+struct QueryMatch {
+  DocId doc = 0;
+  const Node* node = nullptr;
+};
+
+/// Aggregate repository statistics.
+struct RepositoryStats {
+  size_t documents = 0;
+  size_t elements = 0;
+  /// Distinct label paths across all documents (the repository's Data
+  /// Guide size).
+  size_t distinct_paths = 0;
+};
+
+/// The XML repository the pipeline feeds (§1: "the integration of topic
+/// specific HTML documents into a repository of XML documents"; §5's
+/// Quixote prototype [11]).
+///
+/// Documents are stored as ordered trees and indexed by *label path*:
+/// for every root-emanating label path the index keeps the documents
+/// containing it, so simple path queries are answered without touching
+/// non-matching documents — the paper's point that a schema "can provide
+/// the right level of detail" for "query optimization and index
+/// structures" (§1). Non-simple queries (wildcards, `//`, predicates)
+/// fall back to evaluating against candidate documents, still pruned by
+/// the longest simple prefix of the query.
+///
+/// Optionally the repository enforces a DTD on admission (documents are
+/// expected to have been conformed by the Document Mapping Component).
+class XmlRepository {
+ public:
+  XmlRepository() = default;
+
+  /// Makes admission require conformance to `dtd` (copied). Documents
+  /// already stored are not re-checked.
+  void SetDtd(Dtd dtd);
+  bool has_dtd() const { return has_dtd_; }
+  const Dtd& dtd() const { return dtd_; }
+
+  /// Adds a document, indexing its label paths. With a DTD set, a
+  /// non-conforming document is rejected (FailedPrecondition) listing
+  /// the first violation.
+  StatusOr<DocId> Add(std::unique_ptr<Node> document);
+
+  size_t size() const { return documents_.size(); }
+  /// Borrowed pointer to a stored document; null for unknown ids.
+  const Node* document(DocId id) const;
+
+  /// Documents containing the exact root-emanating label path.
+  std::vector<DocId> DocumentsWithPath(const LabelPath& path) const;
+
+  /// Parses and runs `query_text` across the repository; matches are in
+  /// (doc, document-order) order.
+  StatusOr<std::vector<QueryMatch>> Query(std::string_view query_text) const;
+
+  /// Runs a pre-parsed query.
+  std::vector<QueryMatch> Query(const PathQuery& query) const;
+
+  RepositoryStats Stats() const;
+
+  /// Discovers the majority schema of the stored documents (a fresh
+  /// mining pass over the repository; the paper's repository keeps its
+  /// schema alongside the data so new documents can be mapped on
+  /// arrival).
+  MajoritySchema DiscoverSchema(const MiningOptions& options = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> documents_;
+  /// joined label path -> sorted doc ids (deduplicated).
+  std::unordered_map<std::string, std::vector<DocId>> path_index_;
+  Dtd dtd_;
+  bool has_dtd_ = false;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_REPOSITORY_REPOSITORY_H_

@@ -1,0 +1,104 @@
+#include "restructure/accuracy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace webre {
+namespace {
+
+// Element children of `node`, in order.
+std::vector<const Node*> ElementChildren(const Node& node) {
+  std::vector<const Node*> out;
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (child->is_element()) out.push_back(child);
+  }
+  return out;
+}
+
+size_t CountElements(const Node& node) {
+  size_t count = node.is_element() ? 1 : 0;
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    count += CountElements(*node.child(i));
+  }
+  return count;
+}
+
+// Number of maximal contiguous runs of `false` in `matched`.
+size_t UnmatchedRuns(const std::vector<bool>& matched) {
+  size_t runs = 0;
+  bool in_run = false;
+  for (bool m : matched) {
+    if (!m && !in_run) {
+      ++runs;
+      in_run = true;
+    } else if (m) {
+      in_run = false;
+    }
+  }
+  return runs;
+}
+
+size_t CompareChildren(const Node& extracted, const Node& truth);
+
+// LCS alignment of children by element name; returns total errors for
+// this node and, recursively, below.
+size_t CompareChildren(const Node& extracted, const Node& truth) {
+  std::vector<const Node*> e = ElementChildren(extracted);
+  std::vector<const Node*> t = ElementChildren(truth);
+
+  const size_t n = e.size();
+  const size_t m = t.size();
+  // lcs[i][j] = LCS length of e[i..) and t[j..).
+  std::vector<std::vector<size_t>> lcs(n + 1,
+                                       std::vector<size_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      if (e[i]->name() == t[j]->name()) {
+        lcs[i][j] = lcs[i + 1][j + 1] + 1;
+      } else {
+        lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+      }
+    }
+  }
+
+  // Recover the alignment.
+  std::vector<bool> e_matched(n, false);
+  std::vector<bool> t_matched(m, false);
+  std::vector<std::pair<const Node*, const Node*>> pairs;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (e[i]->name() == t[j]->name() &&
+        lcs[i][j] == lcs[i + 1][j + 1] + 1) {
+      e_matched[i] = true;
+      t_matched[j] = true;
+      pairs.emplace_back(e[i], t[j]);
+      ++i;
+      ++j;
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+
+  size_t errors =
+      std::max(UnmatchedRuns(e_matched), UnmatchedRuns(t_matched));
+  for (const auto& [en, tn] : pairs) {
+    errors += CompareChildren(*en, *tn);
+  }
+  return errors;
+}
+
+}  // namespace
+
+AccuracyReport CompareTrees(const Node& extracted, const Node& truth) {
+  AccuracyReport report;
+  report.concept_nodes = CountElements(extracted) - 1;  // exclude root
+  report.logical_errors = CompareChildren(extracted, truth);
+  if (extracted.name() != truth.name()) ++report.logical_errors;
+  return report;
+}
+
+}  // namespace webre

@@ -1,0 +1,43 @@
+#ifndef WEBRE_RESTRUCTURE_ACCURACY_H_
+#define WEBRE_RESTRUCTURE_ACCURACY_H_
+
+#include <cstddef>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Outcome of comparing an extracted tree against the correct tree.
+struct AccuracyReport {
+  /// Logical errors: the number of node-group moves needed to turn the
+  /// extracted tree into the correct tree (§4.1: "we may move a node and
+  /// its siblings together ... this is counted as one logical error").
+  size_t logical_errors = 0;
+  /// Concept nodes (elements, excluding the root) in the extracted tree.
+  size_t concept_nodes = 0;
+
+  /// errors / concept nodes, the paper's per-document error percentage.
+  double ErrorPercent() const {
+    return concept_nodes == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(logical_errors) /
+                     static_cast<double>(concept_nodes);
+  }
+};
+
+/// Counts logical errors of `extracted` w.r.t. `truth` (§4.1's metric,
+/// mechanized):
+///
+/// Children of matched parents are aligned by a longest-common-
+/// subsequence over their element names (respecting sibling order).
+/// Matched pairs recurse. Each maximal contiguous run of unmatched
+/// children — on either side — is one group that must move, and the
+/// error count at a node is max(unmatched runs in extracted, unmatched
+/// runs in truth), so a group that moved from parent P to parent Q is
+/// charged once, not twice. Only element names take part; `val` text and
+/// attribute payloads are ignored.
+AccuracyReport CompareTrees(const Node& extracted, const Node& truth);
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_ACCURACY_H_

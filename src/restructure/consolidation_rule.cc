@@ -1,0 +1,151 @@
+#include "restructure/consolidation_rule.h"
+
+#include <string>
+
+#include "html/tag_tables.h"
+#include "restructure/grouping_rule.h"
+
+namespace webre {
+namespace {
+
+class Consolidator {
+ public:
+  Consolidator(const ConceptSet& concepts, const ConstraintSet* constraints)
+      : concepts_(concepts), constraints_(constraints) {}
+
+  ConsolidationStats Run(Node* root) {
+    // Bottom-up: consolidate children before deciding the parent's fate.
+    // The root itself is preserved (the converter renames it).
+    ConsolidateChildren(root);
+    return stats_;
+  }
+
+ private:
+  bool IsConceptNode(const Node& node) const {
+    return node.is_element() && concepts_.Contains(node.name());
+  }
+
+  void ConsolidateChildren(Node* node) {
+    for (size_t i = 0; i < node->child_count();) {
+      Node* child = node->child(i);
+      if (child->is_text()) {
+        // Defensive: stray text becomes parent val (the text rules
+        // normally leave no text nodes behind).
+        node->AppendVal(child->text());
+        node->RemoveChild(i);
+        continue;
+      }
+      ConsolidateChildren(child);
+      if (IsConceptNode(*child)) {
+        ++i;
+        continue;
+      }
+      i = EliminateNonConcept(node, i);
+    }
+  }
+
+  // Applies the rule to the non-concept element at `index` under
+  // `parent`; returns the index at which scanning should continue (the
+  // replacement content, if any, still needs no rescan because children
+  // were already consolidated — so we skip past it).
+  size_t EliminateNonConcept(Node* parent, size_t index) {
+    Node* node = parent->child(index);
+
+    if (node->child_count() == 0) {
+      parent->AppendVal(node->val());
+      parent->RemoveChild(index);
+      ++stats_.nodes_deleted;
+      return index;
+    }
+
+    if (IsListTag(node->name()) || ChildrenShareOneName(*node)) {
+      // Push the children up, replacing the node. The node's accumulated
+      // text goes to a sole child (it details that child's information,
+      // cf. §2.3.1's child-details-parent principle) or, with several
+      // children, to the parent.
+      std::vector<std::unique_ptr<Node>> children = node->RemoveAllChildren();
+      if (children.size() == 1 && children[0]->is_element()) {
+        children[0]->AppendVal(node->val());
+      } else {
+        parent->AppendVal(node->val());
+      }
+      parent->RemoveChild(index);
+      size_t insert_at = index;
+      for (auto& child : children) {
+        parent->InsertChild(insert_at++, std::move(child));
+      }
+      ++stats_.nodes_pushed_up;
+      return insert_at;
+    }
+
+    // Replace the node by its first concept child; the remaining
+    // children become children of that child.
+    const size_t chosen = ChooseReplacementChild(*node);
+    std::unique_ptr<Node> replacement = node->RemoveChild(chosen);
+    replacement->AppendVal(node->val());
+    std::vector<std::unique_ptr<Node>> rest = node->RemoveAllChildren();
+    // Children that preceded the chosen one keep their relative order.
+    for (auto& sibling : rest) {
+      replacement->AddChild(std::move(sibling));
+    }
+    parent->ReplaceChild(index, std::move(replacement));
+    ++stats_.nodes_replaced;
+    return index + 1;
+  }
+
+  // True when all children are elements sharing one name.
+  bool ChildrenShareOneName(const Node& node) const {
+    const std::string* name = nullptr;
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      const Node* child = node.child(i);
+      if (!child->is_element()) return false;
+      if (name == nullptr) {
+        name = &child->name();
+      } else if (*name != child->name()) {
+        return false;
+      }
+    }
+    return name != nullptr;
+  }
+
+  // Index of the first concept child that may become the parent of all
+  // its siblings (per the constraint set); falls back to the first
+  // concept child, then to 0.
+  size_t ChooseReplacementChild(const Node& node) const {
+    size_t first_concept = node.child_count();
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      const Node* candidate = node.child(i);
+      if (!IsConceptNode(*candidate)) continue;
+      if (first_concept == node.child_count()) first_concept = i;
+      if (constraints_ == nullptr) return i;
+      bool ok = true;
+      for (size_t j = 0; j < node.child_count(); ++j) {
+        if (j == i) continue;
+        const Node* other = node.child(j);
+        if (other->is_element() &&
+            !constraints_->AncestorAllowed(candidate->name(),
+                                           other->name())) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return i;
+    }
+    return first_concept < node.child_count() ? first_concept : 0;
+  }
+
+  const ConceptSet& concepts_;
+  const ConstraintSet* constraints_;
+  ConsolidationStats stats_;
+};
+
+}  // namespace
+
+ConsolidationStats ApplyConsolidationRule(Node* root,
+                                          const ConceptSet& concepts,
+                                          const ConstraintSet* constraints) {
+  if (root == nullptr) return {};
+  return Consolidator(concepts, constraints).Run(root);
+}
+
+}  // namespace webre

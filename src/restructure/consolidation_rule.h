@@ -1,0 +1,48 @@
+#ifndef WEBRE_RESTRUCTURE_CONSOLIDATION_RULE_H_
+#define WEBRE_RESTRUCTURE_CONSOLIDATION_RULE_H_
+
+#include <cstddef>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Statistics reported by the consolidation rule.
+struct ConsolidationStats {
+  /// Non-concept nodes deleted (childless markup).
+  size_t nodes_deleted = 0;
+  /// Non-concept nodes removed by pushing their children up (list tags /
+  /// uniform children).
+  size_t nodes_pushed_up = 0;
+  /// Non-concept nodes replaced by their first concept child.
+  size_t nodes_replaced = 0;
+};
+
+/// Applies the consolidation rule (§2.3.2, Figure 1) bottom-up,
+/// eliminating every remaining HTML markup node and temporary GROUP node
+/// so that only concept elements survive:
+///
+///  - a non-concept node without children is deleted (its accumulated
+///    `val` text is passed to its parent — no text is lost);
+///  - a non-concept node that is a *list tag* (ul, dl, table, body, ...)
+///    or whose children all carry the same element name is removed by
+///    pushing its children up in its place;
+///  - otherwise the node is replaced by its first concept child, whose
+///    siblings become that child's children ("often the first object in
+///    a group of semantically related objects describes the concept of
+///    this group").
+///
+/// `concepts` decides which element names are concept nodes. The root is
+/// never eliminated. When `constraints` is given, the replacement child
+/// is the first concept child that may (per parent constraints) become an
+/// ancestor of all its would-be children, falling back to the first
+/// concept child.
+ConsolidationStats ApplyConsolidationRule(
+    Node* root, const ConceptSet& concepts,
+    const ConstraintSet* constraints = nullptr);
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_CONSOLIDATION_RULE_H_

@@ -1,0 +1,41 @@
+#include "restructure/converter.h"
+
+#include "restructure/grouping_rule.h"
+
+namespace webre {
+
+DocumentConverter::DocumentConverter(const ConceptSet* concepts,
+                                     const ConceptRecognizer* recognizer,
+                                     const ConstraintSet* constraints,
+                                     ConvertOptions options)
+    : concepts_(concepts),
+      recognizer_(recognizer),
+      constraints_(constraints),
+      options_(std::move(options)) {}
+
+std::unique_ptr<Node> DocumentConverter::Convert(std::string_view html,
+                                                 ConvertStats* stats) const {
+  return ConvertTree(ParseHtml(html, options_.parse), stats);
+}
+
+std::unique_ptr<Node> DocumentConverter::ConvertTree(
+    std::unique_ptr<Node> html_tree, ConvertStats* stats) const {
+  ConvertStats local;
+  ConvertStats* out = stats != nullptr ? stats : &local;
+  *out = ConvertStats{};
+
+  Node* root = html_tree.get();
+  if (options_.apply_tidy) TidyHtmlTree(root, options_.tidy);
+
+  out->tokens_created = ApplyTokenizationRule(root, options_.tokenize);
+  out->instance = ApplyConceptInstanceRule(root, *recognizer_, constraints_);
+  if (options_.apply_grouping) out->groups_created = ApplyGroupingRule(root);
+  out->consolidation =
+      ApplyConsolidationRule(root, *concepts_, constraints_);
+
+  root->set_name(options_.root_name);
+  out->concept_nodes = root->SubtreeSize() - 1;
+  return html_tree;
+}
+
+}  // namespace webre

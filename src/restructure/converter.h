@@ -1,0 +1,81 @@
+#ifndef WEBRE_RESTRUCTURE_CONVERTER_H_
+#define WEBRE_RESTRUCTURE_CONVERTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+#include "html/parser.h"
+#include "html/tidy.h"
+#include "restructure/consolidation_rule.h"
+#include "restructure/instance_rule.h"
+#include "restructure/recognizer.h"
+#include "restructure/tokenize_rule.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Options for DocumentConverter.
+struct ConvertOptions {
+  /// Element name given to the root of the resulting XML document (the
+  /// topic, e.g. "resume").
+  std::string root_name = "resume";
+  /// Run the HTML cleanser before restructuring (§2.4: "applying HTML
+  /// cleansing tools (such as HTML Tidy) can improve the accuracy").
+  bool apply_tidy = true;
+  /// Run the grouping rule (ablatable; see bench_ablations).
+  bool apply_grouping = true;
+  HtmlParseOptions parse;
+  TidyOptions tidy;
+  TokenizeOptions tokenize;
+};
+
+/// Per-document conversion report.
+struct ConvertStats {
+  size_t tokens_created = 0;
+  InstanceRuleStats instance;
+  size_t groups_created = 0;
+  ConsolidationStats consolidation;
+  /// Concept elements in the final document (excluding the root).
+  size_t concept_nodes = 0;
+};
+
+/// The document conversion process (§2): parses a topic-specific HTML
+/// document and applies, in order, the tokenization rule, the concept
+/// instance rule, the grouping rule and the consolidation rule, yielding
+/// an XML document whose elements carry concept names.
+///
+/// Thread-compatible: Convert is const and the converter holds only
+/// const borrowed state, so one converter may serve concurrent callers.
+class DocumentConverter {
+ public:
+  /// `concepts` and `recognizer` must outlive the converter.
+  /// `constraints` is optional and may be null.
+  DocumentConverter(const ConceptSet* concepts,
+                    const ConceptRecognizer* recognizer,
+                    const ConstraintSet* constraints = nullptr,
+                    ConvertOptions options = {});
+
+  /// Converts raw HTML into an XML document rooted at an element named
+  /// `options.root_name`. Never fails (lenient parsing end to end).
+  std::unique_ptr<Node> Convert(std::string_view html,
+                                ConvertStats* stats = nullptr) const;
+
+  /// Converts an already-parsed HTML tree (takes ownership).
+  std::unique_ptr<Node> ConvertTree(std::unique_ptr<Node> html_tree,
+                                    ConvertStats* stats = nullptr) const;
+
+  const ConvertOptions& options() const { return options_; }
+
+ private:
+  const ConceptSet* concepts_;
+  const ConceptRecognizer* recognizer_;
+  const ConstraintSet* constraints_;
+  ConvertOptions options_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_CONVERTER_H_

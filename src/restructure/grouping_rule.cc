@@ -1,0 +1,77 @@
+#include "restructure/grouping_rule.h"
+
+#include <string>
+#include <vector>
+
+#include "html/tag_tables.h"
+
+namespace webre {
+namespace {
+
+// Chooses the highest-weight group tag present among `node`'s element
+// children; empty when none. Ties are broken by first occurrence.
+std::string SelectGroupTag(const Node& node) {
+  std::string best;
+  int best_weight = 0;
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (!child->is_element()) continue;
+    int weight = GroupTagWeight(child->name());
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = child->name();
+    }
+  }
+  return best;
+}
+
+size_t GroupChildren(Node* node) {
+  const std::string tag = SelectGroupTag(*node);
+  if (tag.empty()) return 0;
+
+  // Positions of the marker children N1..Nk.
+  std::vector<size_t> markers;
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    const Node* child = node->child(i);
+    if (child->is_element() && child->name() == tag) markers.push_back(i);
+  }
+
+  // Nothing to sink when the last marker is the last child and the
+  // markers are adjacent; handle generally by walking markers from the
+  // right so earlier indices stay valid.
+  size_t groups_created = 0;
+  size_t end = node->child_count();  // exclusive end of the current run
+  for (size_t m = markers.size(); m-- > 0;) {
+    const size_t marker = markers[m];
+    if (end > marker + 1) {
+      // Move children (marker, end) under a new GROUP child of marker.
+      std::unique_ptr<Node> group = Node::MakeElement(kGroupTag);
+      for (size_t i = marker + 1; i < end;) {
+        group->AddChild(node->RemoveChild(marker + 1));
+        ++i;
+      }
+      node->child(marker)->AddChild(std::move(group));
+      ++groups_created;
+    }
+    end = marker;
+  }
+  return groups_created;
+}
+
+size_t Apply(Node* node) {
+  size_t created = GroupChildren(node);
+  for (size_t i = 0; i < node->child_count(); ++i) {
+    Node* child = node->child(i);
+    if (child->is_element()) created += Apply(child);
+  }
+  return created;
+}
+
+}  // namespace
+
+size_t ApplyGroupingRule(Node* root) {
+  if (root == nullptr) return 0;
+  return Apply(root);
+}
+
+}  // namespace webre

@@ -1,0 +1,29 @@
+#ifndef WEBRE_RESTRUCTURE_GROUPING_RULE_H_
+#define WEBRE_RESTRUCTURE_GROUPING_RULE_H_
+
+#include <cstddef>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Name of the temporary element introduced by the grouping rule.
+inline constexpr char kGroupTag[] = "GROUP";
+
+/// Applies the grouping rule (§2.3.2) to the whole tree, top-down.
+///
+/// At each node, among its element children the *group tag* with the
+/// highest weight (GroupTagWeight) is selected; given the children
+/// N1..Nk carrying that tag, all siblings between Ni and Ni+1 (and all
+/// siblings right of Nk) are moved under a new GROUP node which becomes a
+/// child of Ni. Siblings left of N1 stay in place. Lower-weight group
+/// tags among the sunken siblings are handled when the top-down pass
+/// reaches them at the next level ("groups related to p nodes then will
+/// be considered at the next lower level").
+///
+/// Returns the number of GROUP nodes created.
+size_t ApplyGroupingRule(Node* root);
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_GROUPING_RULE_H_

@@ -1,0 +1,153 @@
+#include "restructure/instance_rule.h"
+
+#include <string>
+#include <vector>
+
+#include "restructure/tokenize_rule.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+// Gathers the full text carried by a token node (its text children).
+std::string TokenText(const Node& token) {
+  std::string text;
+  for (size_t i = 0; i < token.child_count(); ++i) {
+    const Node* child = token.child(i);
+    if (!child->is_text()) continue;
+    if (!text.empty()) text.push_back(' ');
+    text.append(child->text());
+  }
+  return text;
+}
+
+class InstanceRule {
+ public:
+  InstanceRule(const ConceptRecognizer& recognizer,
+               const ConstraintSet* constraints)
+      : recognizer_(recognizer), constraints_(constraints) {}
+
+  InstanceRuleStats Run(Node* root) {
+    Process(root);
+    return stats_;
+  }
+
+ private:
+  void Process(Node* node) {
+    for (size_t i = 0; i < node->child_count();) {
+      Node* child = node->child(i);
+      if (!child->is_element()) {
+        ++i;
+        continue;
+      }
+      if (child->name() != kTokenTag) {
+        Process(child);
+        ++i;
+        continue;
+      }
+      i = HandleToken(node, i);
+    }
+  }
+
+  // Processes the TOKEN at `index` under `parent`; returns the index at
+  // which scanning should continue.
+  size_t HandleToken(Node* parent, size_t index) {
+    ++stats_.tokens_total;
+    const std::string text = TokenText(*parent->child(index));
+    std::vector<InstanceMatch> matches = recognizer_.Recognize(text);
+    CoalesceSameConcept(matches);
+
+    if (matches.empty()) {
+      // Case 0: unidentified — delete the token, pass text to parent.
+      parent->RemoveChild(index);
+      parent->AppendVal(StripAsciiWhitespace(text));
+      return index;
+    }
+
+    ++stats_.tokens_identified;
+
+    if (matches.size() == 1) {
+      // Case 1: the whole token becomes one concept element.
+      std::unique_ptr<Node> element =
+          Node::MakeElement(std::string(matches[0].concept_name));
+      element->set_val(std::string(StripAsciiWhitespace(text)));
+      parent->ReplaceChild(index, std::move(element));
+      ++stats_.elements_created;
+      return index + 1;
+    }
+
+    // Case 2: several instances — decompose the token. The text from one
+    // identified instance up to the next belongs to the former; the
+    // rightmost instance takes the remaining text; text before the first
+    // instance is passed to the parent (§2.3.1).
+    if (constraints_ != nullptr) RefineWithSiblingConstraints(matches);
+
+    std::string before(
+        StripAsciiWhitespace(text.substr(0, matches.front().position)));
+    parent->AppendVal(before);
+
+    parent->RemoveChild(index);
+    size_t insert_at = index;
+    for (size_t m = 0; m < matches.size(); ++m) {
+      const size_t begin = matches[m].position;
+      const size_t end =
+          m + 1 < matches.size() ? matches[m + 1].position : text.size();
+      std::unique_ptr<Node> element =
+          Node::MakeElement(std::string(matches[m].concept_name));
+      element->set_val(
+          std::string(StripAsciiWhitespace(text.substr(begin, end - begin))));
+      parent->InsertChild(insert_at++, std::move(element));
+      ++stats_.elements_created;
+    }
+    return insert_at;
+  }
+
+  // Merges consecutive matches of the same concept into one: "June 1996"
+  // or "June 1999 - Present" carry several DATE instances but describe a
+  // single information object, so decomposing them would split one
+  // concept's text across several elements.
+  static void CoalesceSameConcept(std::vector<InstanceMatch>& matches) {
+    std::vector<InstanceMatch> merged;
+    for (const InstanceMatch& m : matches) {
+      if (!merged.empty() &&
+          merged.back().concept_index == m.concept_index) {
+        merged.back().length =
+            m.position + m.length - merged.back().position;
+        continue;
+      }
+      merged.push_back(m);
+    }
+    matches = std::move(merged);
+  }
+
+  // Drops a match whose concept may not be a sibling of its predecessor's
+  // concept (negated sibling constraints); its text then merges into the
+  // predecessor's segment by virtue of segment boundaries being match
+  // starts.
+  void RefineWithSiblingConstraints(std::vector<InstanceMatch>& matches) {
+    std::vector<InstanceMatch> kept;
+    for (const InstanceMatch& m : matches) {
+      if (!kept.empty() && !constraints_->SiblingAllowed(
+                               kept.back().concept_name, m.concept_name)) {
+        continue;
+      }
+      kept.push_back(m);
+    }
+    matches = std::move(kept);
+  }
+
+  const ConceptRecognizer& recognizer_;
+  const ConstraintSet* constraints_;
+  InstanceRuleStats stats_;
+};
+
+}  // namespace
+
+InstanceRuleStats ApplyConceptInstanceRule(Node* root,
+                                           const ConceptRecognizer& recognizer,
+                                           const ConstraintSet* constraints) {
+  if (root == nullptr) return {};
+  return InstanceRule(recognizer, constraints).Run(root);
+}
+
+}  // namespace webre

@@ -1,0 +1,54 @@
+#ifndef WEBRE_RESTRUCTURE_INSTANCE_RULE_H_
+#define WEBRE_RESTRUCTURE_INSTANCE_RULE_H_
+
+#include <cstddef>
+
+#include "concepts/constraints.h"
+#include "restructure/recognizer.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Statistics reported by the concept instance rule. The paper suggests
+/// using "the ratio between identified and unidentifiable tokens ... as a
+/// feedback to the user" (§2.3.1).
+struct InstanceRuleStats {
+  /// TOKEN nodes examined.
+  size_t tokens_total = 0;
+  /// TOKEN nodes converted into at least one concept element.
+  size_t tokens_identified = 0;
+  /// Concept elements created.
+  size_t elements_created = 0;
+
+  /// Identified fraction in [0,1]; 1 when no tokens were seen.
+  double IdentifiedRatio() const {
+    return tokens_total == 0
+               ? 1.0
+               : static_cast<double>(tokens_identified) /
+                     static_cast<double>(tokens_total);
+  }
+};
+
+/// Applies the concept instance rule (§2.3.1) top-down to every TOKEN
+/// node produced by the tokenization rule:
+///
+///  1. exactly one instance identified: the token is replaced by
+///     `<C val="token text"/>`;
+///  2. several instances identified: the token is decomposed — each
+///     segment from one identified instance up to the next becomes its
+///     own `<Ci val="segment"/>`, text before the first instance is
+///     passed to the parent's `val`;
+///  0. no instance identified: the token node is deleted and its text is
+///     passed to the parent's `val` attribute, so no information is lost.
+///
+/// `constraints` is optional; when provided, sibling constraints refine
+/// the multi-instance decomposition: a segment whose concept may not be a
+/// sibling of the previous segment's concept is merged into the previous
+/// segment instead of becoming its own element.
+InstanceRuleStats ApplyConceptInstanceRule(
+    Node* root, const ConceptRecognizer& recognizer,
+    const ConstraintSet* constraints = nullptr);
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_INSTANCE_RULE_H_

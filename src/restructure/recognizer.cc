@@ -1,0 +1,50 @@
+#include "restructure/recognizer.h"
+
+#include "classify/features.h"
+
+namespace webre {
+
+std::vector<InstanceMatch> SynonymRecognizer::Recognize(
+    std::string_view token_text) const {
+  return concepts_->MatchAll(token_text);
+}
+
+BayesRecognizer::BayesRecognizer(const BayesClassifier* classifier,
+                                 const ConceptSet* concepts,
+                                 double min_margin)
+    : classifier_(classifier), concepts_(concepts),
+      min_margin_(min_margin) {}
+
+std::vector<InstanceMatch> BayesRecognizer::Recognize(
+    std::string_view token_text) const {
+  std::vector<InstanceMatch> matches;
+  std::vector<std::string> features = ExtractTokenFeatures(token_text);
+  if (features.empty()) return matches;
+  std::string label =
+      classifier_->ClassifyWithThreshold(features, min_margin_, "");
+  if (label.empty()) return matches;
+  const Concept* concept_def = concepts_->Find(label);
+  if (concept_def == nullptr) return matches;  // label outside Con: unknown
+  for (size_t i = 0; i < concepts_->size(); ++i) {
+    if (&concepts_->at(i) == concept_def) {
+      matches.push_back(InstanceMatch{i, concepts_->at(i).name, 0,
+                                      token_text.size()});
+      break;
+    }
+  }
+  return matches;
+}
+
+HybridRecognizer::HybridRecognizer(const ConceptSet* concepts,
+                                   const BayesClassifier* classifier,
+                                   double min_margin)
+    : synonym_(concepts), bayes_(classifier, concepts, min_margin) {}
+
+std::vector<InstanceMatch> HybridRecognizer::Recognize(
+    std::string_view token_text) const {
+  std::vector<InstanceMatch> matches = synonym_.Recognize(token_text);
+  if (!matches.empty()) return matches;
+  return bayes_.Recognize(token_text);
+}
+
+}  // namespace webre

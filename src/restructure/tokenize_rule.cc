@@ -1,0 +1,44 @@
+#include "restructure/tokenize_rule.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+size_t TokenizeUnder(Node* node, const TokenizeOptions& options) {
+  size_t created = 0;
+  for (size_t i = 0; i < node->child_count();) {
+    Node* child = node->child(i);
+    if (child->is_element()) {
+      created += TokenizeUnder(child, options);
+      ++i;
+      continue;
+    }
+    // Text node: replace by token nodes at the same position.
+    std::vector<std::string> pieces =
+        SplitAny(child->text(), options.delimiters);
+    node->RemoveChild(i);
+    size_t insert_at = i;
+    for (std::string& piece : pieces) {
+      std::string trimmed(StripAsciiWhitespace(piece));
+      if (trimmed.empty()) continue;
+      std::unique_ptr<Node> token = Node::MakeElement(kTokenTag);
+      token->AddText(std::move(trimmed));
+      node->InsertChild(insert_at++, std::move(token));
+      ++created;
+    }
+    i = insert_at;
+  }
+  return created;
+}
+
+}  // namespace
+
+size_t ApplyTokenizationRule(Node* root, const TokenizeOptions& options) {
+  if (root == nullptr) return 0;
+  return TokenizeUnder(root, options);
+}
+
+}  // namespace webre

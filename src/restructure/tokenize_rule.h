@@ -1,0 +1,29 @@
+#ifndef WEBRE_RESTRUCTURE_TOKENIZE_RULE_H_
+#define WEBRE_RESTRUCTURE_TOKENIZE_RULE_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Name of the temporary element introduced by the tokenization rule.
+inline constexpr char kTokenTag[] = "TOKEN";
+
+/// Options for the tokenization rule.
+struct TokenizeOptions {
+  /// Punctuation delimiters at which topic sentences split; the paper's
+  /// §4 annotation uses { ';' , ':' , ',' }.
+  std::string delimiters = ";:,";
+};
+
+/// Applies the tokenization rule (§2.3.1) to the whole tree, top-down:
+/// every text node is replaced *in place* by `n >= 1` token nodes of the
+/// pattern `<TOKEN>text</TOKEN>`, splitting the text at the delimiter
+/// characters. Empty/whitespace-only pieces produce no token. Returns the
+/// number of token nodes created.
+size_t ApplyTokenizationRule(Node* root, const TokenizeOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_RESTRUCTURE_TOKENIZE_RULE_H_

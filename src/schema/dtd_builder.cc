@@ -1,0 +1,154 @@
+#include "schema/dtd_builder.h"
+
+#include <vector>
+
+namespace webre {
+namespace {
+
+Occurrence ChildOccurrence(const SchemaNode& parent, const SchemaNode& child,
+                           const DtdBuildOptions& options) {
+  const bool repetitive = child.rep_fraction > options.mult_threshold;
+  bool optional = false;
+  if (options.mark_optional && parent.doc_count > 0) {
+    const double presence = static_cast<double>(child.doc_count) /
+                            static_cast<double>(parent.doc_count);
+    optional = presence < options.optional_threshold;
+  }
+  if (repetitive && optional) return Occurrence::kStar;
+  if (repetitive) return Occurrence::kPlus;
+  if (optional) return Occurrence::kOptional;
+  return Occurrence::kOne;
+}
+
+// Merges `incoming` children into an existing declaration's sequence:
+// children not yet present are appended; an existing child keeps the
+// "wider" occurrence (a union never narrows what documents may contain).
+Occurrence WidenOccurrence(Occurrence a, Occurrence b) {
+  if (a == b) return a;
+  auto rank = [](Occurrence o) {
+    switch (o) {
+      case Occurrence::kOne:
+        return 0;
+      case Occurrence::kOptional:
+        return 1;
+      case Occurrence::kPlus:
+        return 2;
+      case Occurrence::kStar:
+        return 3;
+    }
+    return 0;
+  };
+  // one+optional -> optional; one/optional + plus -> star when optional
+  // involved, else plus; anything + star -> star.
+  const int ra = rank(a);
+  const int rb = rank(b);
+  const Occurrence hi = ra > rb ? a : b;
+  const Occurrence lo = ra > rb ? b : a;
+  if (hi == Occurrence::kPlus && lo == Occurrence::kOptional) {
+    return Occurrence::kStar;
+  }
+  return hi;
+}
+
+void MergeInto(ElementDecl& existing, const ElementDecl& incoming) {
+  if (incoming.pcdata_only && existing.pcdata_only) return;
+  if (incoming.pcdata_only) {
+    // A leaf occurrence of this name exists elsewhere: every structural
+    // child must tolerate absence.
+    for (ContentParticle& ex_child : existing.content.children) {
+      if (ex_child.kind == ContentParticle::Kind::kElement) {
+        ex_child.occurrence =
+            WidenOccurrence(ex_child.occurrence, Occurrence::kOptional);
+      }
+    }
+    return;
+  }
+  if (existing.pcdata_only) {
+    existing = incoming;
+    MergeInto(existing, ElementDecl{existing.name, /*pcdata_only=*/true, {}});
+    return;
+  }
+  // Two structural models: common children widen their occurrences;
+  // children on only one side become optional there.
+  for (const ContentParticle& in_child : incoming.content.children) {
+    if (in_child.kind != ContentParticle::Kind::kElement) continue;
+    bool found = false;
+    for (ContentParticle& ex_child : existing.content.children) {
+      if (ex_child.kind == ContentParticle::Kind::kElement &&
+          ex_child.name == in_child.name) {
+        ex_child.occurrence =
+            WidenOccurrence(ex_child.occurrence, in_child.occurrence);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ContentParticle widened = in_child;
+      widened.occurrence =
+          WidenOccurrence(widened.occurrence, Occurrence::kOptional);
+      existing.content.children.push_back(widened);
+    }
+  }
+  for (ContentParticle& ex_child : existing.content.children) {
+    if (ex_child.kind != ContentParticle::Kind::kElement) continue;
+    bool in_incoming = false;
+    for (const ContentParticle& in_child : incoming.content.children) {
+      if (in_child.kind == ContentParticle::Kind::kElement &&
+          in_child.name == ex_child.name) {
+        in_incoming = true;
+        break;
+      }
+    }
+    if (!in_incoming) {
+      ex_child.occurrence =
+          WidenOccurrence(ex_child.occurrence, Occurrence::kOptional);
+    }
+  }
+}
+
+void EmitDecls(const SchemaNode& node, const DtdBuildOptions& options,
+               Dtd& dtd) {
+  ElementDecl decl;
+  decl.name = node.label;
+  if (node.children.empty()) {
+    decl.pcdata_only = true;
+  } else {
+    std::vector<ContentParticle> members;
+    if (options.lead_with_pcdata) {
+      members.push_back(ContentParticle::Pcdata());
+    }
+    for (const SchemaNode& child : node.children) {
+      members.push_back(ContentParticle::Element(
+          child.label, ChildOccurrence(node, child, options)));
+    }
+    decl.content = ContentParticle::Sequence(std::move(members));
+  }
+
+  // The same element name can occur at several schema paths (homonyms,
+  // §2.2 — e.g. DATE under EDUCATION and under COURSES); a DTD has one
+  // declaration per name, so models for a name are unioned.
+  const ElementDecl* existing = dtd.Find(decl.name);
+  if (existing != nullptr) {
+    ElementDecl merged = *existing;
+    MergeInto(merged, decl);
+    dtd.AddElement(std::move(merged));
+  } else {
+    dtd.AddElement(std::move(decl));
+  }
+
+  for (const SchemaNode& child : node.children) {
+    EmitDecls(child, options, dtd);
+  }
+}
+
+}  // namespace
+
+Dtd BuildDtd(const MajoritySchema& schema, const DtdBuildOptions& options) {
+  Dtd dtd;
+  if (schema.empty()) return dtd;
+  dtd.set_root(schema.root().label);
+  EmitDecls(schema.root(), options, dtd);
+  return dtd;
+}
+
+}  // namespace webre

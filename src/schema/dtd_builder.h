@@ -1,0 +1,37 @@
+#ifndef WEBRE_SCHEMA_DTD_BUILDER_H_
+#define WEBRE_SCHEMA_DTD_BUILDER_H_
+
+#include "schema/majority_schema.h"
+#include "xml/dtd.h"
+
+namespace webre {
+
+/// Knobs for deriving a DTD from a majority schema (§3.3).
+struct DtdBuildOptions {
+  /// An element is marked repetitive (`e+`) when mult(e) — the fraction
+  /// of documents containing it in which its sibling multiplicity
+  /// reached the miner's repThreshold — exceeds this ("greater than a
+  /// specified threshold, say 0.5").
+  double mult_threshold = 0.5;
+  /// Lead every non-leaf content model with (#PCDATA), as in the
+  /// paper's §4.4 sample DTD — concept elements always carry character
+  /// data through their `val` attribute.
+  bool lead_with_pcdata = true;
+  /// Extension mentioned in §3.3 ("the same multiplicity information can
+  /// be used to introduce optional elements"): mark a child optional
+  /// (`e?`, or `e*` when also repetitive) if it occurs in less than
+  /// `optional_threshold` of the documents containing its parent.
+  bool mark_optional = false;
+  double optional_threshold = 0.95;
+};
+
+/// Derives a DTD from the majority schema: the ordering rule has already
+/// sorted each schema node's children by average position; this adds the
+/// repetition (and optional) decorations and emits one `<!ELEMENT>` per
+/// schema node. Leaves become `(#PCDATA)`. Since every path in TF is
+/// frequent, "no element should be optional" by default.
+Dtd BuildDtd(const MajoritySchema& schema, const DtdBuildOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_DTD_BUILDER_H_

@@ -1,0 +1,179 @@
+#include "schema/frequent_paths.h"
+
+#include <algorithm>
+
+namespace webre {
+
+struct FrequentPathMiner::TrieNode {
+  std::string label;
+  size_t doc_count = 0;
+  size_t rep_doc_count = 0;
+  double position_sum = 0.0;
+  size_t position_count = 0;
+  std::map<std::string, std::unique_ptr<TrieNode>> children;
+};
+
+FrequentPathMiner::FrequentPathMiner(MiningOptions options)
+    : options_(options), root_(std::make_unique<TrieNode>()) {
+  root_->label = "#sentinel";
+}
+
+FrequentPathMiner::~FrequentPathMiner() = default;
+
+void FrequentPathMiner::AddDocument(const Node& root) {
+  AddDocumentPaths(ExtractPaths(root));
+}
+
+void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
+  ++document_count_;
+  for (const LabelPath& path : paths.paths) {
+    ++stats_.paths_offered;
+    if (options_.constraints != nullptr &&
+        !options_.constraints->PathAllowed(path)) {
+      ++stats_.paths_pruned_by_constraints;
+      continue;
+    }
+    TrieNode* node = root_.get();
+    for (const std::string& label : path) {
+      std::unique_ptr<TrieNode>& slot = node->children[label];
+      if (slot == nullptr) {
+        slot = std::make_unique<TrieNode>();
+        slot->label = label;
+      }
+      node = slot.get();
+    }
+    ++node->doc_count;
+
+    const std::string joined = JoinLabelPath(path);
+    auto mult_it = paths.max_multiplicity.find(joined);
+    if (mult_it != paths.max_multiplicity.end() &&
+        mult_it->second >= options_.rep_threshold) {
+      ++node->rep_doc_count;
+    }
+    auto pos_sum_it = paths.position_sum.find(joined);
+    if (pos_sum_it != paths.position_sum.end()) {
+      node->position_sum += pos_sum_it->second;
+      node->position_count += paths.position_count.at(joined);
+    }
+  }
+}
+
+void FrequentPathMiner::BuildSchemaNode(const TrieNode& trie,
+                                        double parent_support,
+                                        SchemaNode& out) const {
+  out.label = trie.label;
+  out.doc_count = trie.doc_count;
+  out.support = document_count_ == 0
+                    ? 0.0
+                    : static_cast<double>(trie.doc_count) /
+                          static_cast<double>(document_count_);
+  out.support_ratio =
+      parent_support <= 0.0 ? 1.0 : out.support / parent_support;
+  out.avg_position =
+      trie.position_count == 0
+          ? 0.0
+          : trie.position_sum / static_cast<double>(trie.position_count);
+  out.rep_fraction = trie.doc_count == 0
+                         ? 0.0
+                         : static_cast<double>(trie.rep_doc_count) /
+                               static_cast<double>(trie.doc_count);
+  for (const auto& [label, child] : trie.children) {
+    const double child_support =
+        document_count_ == 0
+            ? 0.0
+            : static_cast<double>(child->doc_count) /
+                  static_cast<double>(document_count_);
+    const double ratio =
+        out.support <= 0.0 ? 1.0 : child_support / out.support;
+    // Anti-monotone pruning: a non-frequent prefix kills its subtree
+    // ("once a path does not satisfy supThreshold, all its superpaths
+    // need not be considered").
+    if (child_support < options_.sup_threshold) continue;
+    if (ratio < options_.ratio_threshold) continue;
+    SchemaNode child_schema;
+    BuildSchemaNode(*child, out.support, child_schema);
+    out.children.push_back(std::move(child_schema));
+  }
+  // Ordering rule (§3.3): children ordered by average child position in
+  // the documents containing the parent prefix.
+  std::stable_sort(out.children.begin(), out.children.end(),
+                   [](const SchemaNode& a, const SchemaNode& b) {
+                     if (a.avg_position != b.avg_position) {
+                       return a.avg_position < b.avg_position;
+                     }
+                     return a.label < b.label;
+                   });
+}
+
+namespace {
+
+size_t CountSchemaNodes(const SchemaNode& node) {
+  size_t count = 1;
+  for (const SchemaNode& child : node.children) {
+    count += CountSchemaNodes(child);
+  }
+  return count;
+}
+
+}  // namespace
+
+MajoritySchema FrequentPathMiner::Discover() {
+  // Count materialized trie nodes (excluding the sentinel).
+  stats_.trie_nodes = 0;
+  std::vector<const TrieNode*> stack;
+  for (const auto& [label, child] : root_->children) {
+    stack.push_back(child.get());
+  }
+  while (!stack.empty()) {
+    const TrieNode* node = stack.back();
+    stack.pop_back();
+    ++stats_.trie_nodes;
+    for (const auto& [label, child] : node->children) {
+      stack.push_back(child.get());
+    }
+  }
+
+  if (document_count_ == 0 || root_->children.empty()) {
+    stats_.frequent_paths = 0;
+    return MajoritySchema();
+  }
+
+  // The schema root is the most common document root label.
+  const TrieNode* best = nullptr;
+  for (const auto& [label, child] : root_->children) {
+    if (best == nullptr || child->doc_count > best->doc_count) {
+      best = child.get();
+    }
+  }
+  const double root_support = static_cast<double>(best->doc_count) /
+                              static_cast<double>(document_count_);
+  if (root_support < options_.sup_threshold && options_.sup_threshold > 0) {
+    stats_.frequent_paths = 0;
+    return MajoritySchema();
+  }
+
+  SchemaNode root_schema;
+  BuildSchemaNode(*best, 0.0, root_schema);
+  stats_.frequent_paths = CountSchemaNodes(root_schema);
+  return MajoritySchema(std::move(root_schema));
+}
+
+MajoritySchema DiscoverDataGuide(FrequentPathMiner& miner) {
+  MiningOptions saved = miner.mutable_options();
+  miner.mutable_options().sup_threshold = 0.0;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  miner.mutable_options() = saved;
+  return schema;
+}
+
+MajoritySchema DiscoverLowerBound(FrequentPathMiner& miner) {
+  MiningOptions saved = miner.mutable_options();
+  miner.mutable_options().sup_threshold = 1.0;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  miner.mutable_options() = saved;
+  return schema;
+}
+
+}  // namespace webre

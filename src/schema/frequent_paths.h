@@ -1,0 +1,103 @@
+#ifndef WEBRE_SCHEMA_FREQUENT_PATHS_H_
+#define WEBRE_SCHEMA_FREQUENT_PATHS_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concepts/constraints.h"
+#include "schema/majority_schema.h"
+#include "schema/path_extractor.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Thresholds and pruning knobs for frequent-path discovery (§3.2).
+struct MiningOptions {
+  /// support(p) >= supThreshold for p to be frequent.
+  double sup_threshold = 0.45;
+  /// supportRatio(p) >= ratioThreshold for p to be frequent.
+  double ratio_threshold = 0.4;
+  /// repThreshold for the repetitive-elements rule; the paper found 3
+  /// useful ("a fact that also has been observed in [Xtract]").
+  size_t rep_threshold = 3;
+  /// Optional concept constraints; paths violating them are pruned at
+  /// insertion, shrinking the explored search space (§4.2). Not owned;
+  /// may be null.
+  const ConstraintSet* constraints = nullptr;
+};
+
+/// Counters reported by the miner for the §4.2 search-space experiment.
+struct MiningStats {
+  /// Label-path insertions offered (per document, deduplicated).
+  size_t paths_offered = 0;
+  /// Paths rejected by the constraint set before touching the trie.
+  size_t paths_pruned_by_constraints = 0;
+  /// Trie nodes materialized — "the actual number of nodes explored"
+  /// since zero-support label paths are never created.
+  size_t trie_nodes = 0;
+  /// Nodes of the discovered schema (frequent paths).
+  size_t frequent_paths = 0;
+};
+
+/// Discovers a majority schema from a stream of XML documents.
+///
+/// Usage:
+///   FrequentPathMiner miner(options);
+///   for (const auto& doc : docs) miner.AddDocument(*doc);
+///   MajoritySchema schema = miner.Discover();
+///
+/// AddDocument runs one tree walk (ExtractPaths) and one trie update per
+/// distinct path — linear in document size, which is what makes the
+/// paper's Figure 5 scalability linear in nodes/concept nodes.
+class FrequentPathMiner {
+ public:
+  explicit FrequentPathMiner(MiningOptions options = {});
+  ~FrequentPathMiner();
+
+  FrequentPathMiner(const FrequentPathMiner&) = delete;
+  FrequentPathMiner& operator=(const FrequentPathMiner&) = delete;
+
+  /// Adds one document's paths to the search space S.
+  void AddDocument(const Node& root);
+  /// Adds pre-extracted paths (for callers that already walked the
+  /// tree).
+  void AddDocumentPaths(const DocumentPaths& paths);
+
+  /// Number of documents added.
+  size_t document_count() const { return document_count_; }
+
+  /// Counters accumulated so far (trie_nodes/frequent_paths filled by
+  /// Discover).
+  const MiningStats& stats() const { return stats_; }
+
+  /// Computes the majority schema under the current thresholds. May be
+  /// called repeatedly (e.g. with adjusted thresholds via
+  /// mutable_options) without re-adding documents.
+  MajoritySchema Discover();
+
+  MiningOptions& mutable_options() { return options_; }
+
+ private:
+  struct TrieNode;
+
+  void BuildSchemaNode(const TrieNode& trie, double parent_support,
+                       SchemaNode& out) const;
+
+  MiningOptions options_;
+  std::unique_ptr<TrieNode> root_;
+  size_t document_count_ = 0;
+  MiningStats stats_;
+};
+
+/// Convenience baselines (§1, §3.1): the upper-bound Data Guide keeps
+/// every path that occurs in at least one document; the lower-bound
+/// schema keeps only paths occurring in all documents.
+MajoritySchema DiscoverDataGuide(FrequentPathMiner& miner);
+MajoritySchema DiscoverLowerBound(FrequentPathMiner& miner);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_FREQUENT_PATHS_H_

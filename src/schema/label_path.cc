@@ -1,0 +1,29 @@
+#include "schema/label_path.h"
+
+namespace webre {
+
+std::string JoinLabelPath(const LabelPath& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out.push_back('/');
+    out.append(path[i]);
+  }
+  return out;
+}
+
+LabelPath SplitLabelPath(std::string_view joined) {
+  LabelPath path;
+  std::string current;
+  for (char c : joined) {
+    if (c == '/') {
+      if (!current.empty()) path.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) path.push_back(std::move(current));
+  return path;
+}
+
+}  // namespace webre

@@ -1,0 +1,23 @@
+#ifndef WEBRE_SCHEMA_LABEL_PATH_H_
+#define WEBRE_SCHEMA_LABEL_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webre {
+
+/// A label path (§3.2): the sequence of element names along a node path
+/// starting at the document root. Two different node paths can have the
+/// same label path; schema discovery works on label paths only.
+using LabelPath = std::vector<std::string>;
+
+/// Joins a label path with '/' separators, e.g. "resume/education/degree".
+std::string JoinLabelPath(const LabelPath& path);
+
+/// Splits a joined label path back into labels.
+LabelPath SplitLabelPath(std::string_view joined);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_LABEL_PATH_H_

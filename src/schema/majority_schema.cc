@@ -1,0 +1,77 @@
+#include "schema/majority_schema.h"
+
+#include <cstdio>
+
+namespace webre {
+
+const SchemaNode* SchemaNode::FindChild(std::string_view label) const {
+  for (const SchemaNode& child : children) {
+    if (child.label == label) return &child;
+  }
+  return nullptr;
+}
+
+namespace {
+
+size_t CountNodes(const SchemaNode& node) {
+  size_t count = 1;
+  for (const SchemaNode& child : node.children) count += CountNodes(child);
+  return count;
+}
+
+void CollectPaths(const SchemaNode& node, LabelPath& prefix,
+                  std::vector<LabelPath>& out) {
+  prefix.push_back(node.label);
+  out.push_back(prefix);
+  for (const SchemaNode& child : node.children) {
+    CollectPaths(child, prefix, out);
+  }
+  prefix.pop_back();
+}
+
+void Render(const SchemaNode& node, size_t depth, std::string& out) {
+  out.append(depth * 2, ' ');
+  out.append(node.label);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  [sup=%.2f ratio=%.2f docs=%zu rep=%.2f]", node.support,
+                node.support_ratio, node.doc_count, node.rep_fraction);
+  out.append(buf);
+  out.push_back('\n');
+  for (const SchemaNode& child : node.children) {
+    Render(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+size_t MajoritySchema::NodeCount() const {
+  if (empty()) return 0;
+  return CountNodes(root_);
+}
+
+const SchemaNode* MajoritySchema::Find(const LabelPath& path) const {
+  if (empty() || path.empty() || path[0] != root_.label) return nullptr;
+  const SchemaNode* node = &root_;
+  for (size_t i = 1; i < path.size(); ++i) {
+    node = node->FindChild(path[i]);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+std::vector<LabelPath> MajoritySchema::AllPaths() const {
+  std::vector<LabelPath> out;
+  if (empty()) return out;
+  LabelPath prefix;
+  CollectPaths(root_, prefix, out);
+  return out;
+}
+
+std::string MajoritySchema::ToString() const {
+  std::string out;
+  if (!empty()) Render(root_, 0, out);
+  return out;
+}
+
+}  // namespace webre

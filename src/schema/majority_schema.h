@@ -1,0 +1,80 @@
+#ifndef WEBRE_SCHEMA_MAJORITY_SCHEMA_H_
+#define WEBRE_SCHEMA_MAJORITY_SCHEMA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/label_path.h"
+
+namespace webre {
+
+/// One node of a discovered schema tree. The tree TF spanned by the set
+/// F of frequent paths (§3.3), annotated with the statistics the DTD
+/// derivation rules need.
+struct SchemaNode {
+  std::string label;
+  /// Documents containing this label path.
+  size_t doc_count = 0;
+  /// support(p) = freq(p, S) / |DXML|.
+  double support = 0.0;
+  /// supportRatio(p) = support(p) / support(parent(p)); 1 for the root.
+  double support_ratio = 1.0;
+  /// Average child position of this element under its parent (ordering
+  /// rule input); 0 for the root.
+  double avg_position = 0.0;
+  /// mult(e): fraction of documents containing the parent path in which
+  /// this element is repetitive (max sibling multiplicity >=
+  /// repThreshold).
+  double rep_fraction = 0.0;
+  /// Children, sorted by the ordering rule (ascending avg_position).
+  std::vector<SchemaNode> children;
+
+  /// Finds the direct child labelled `label`, or null.
+  const SchemaNode* FindChild(std::string_view label) const;
+};
+
+/// A majority schema: the tree of frequent label paths discovered from a
+/// set of XML documents (§3). Depending on the thresholds used this same
+/// type also represents the two baseline schemas the paper contrasts
+/// with — a Data Guide (supThreshold→0: every path that occurs anywhere)
+/// and a lower-bound schema (supThreshold=1: paths occurring in *every*
+/// document).
+class MajoritySchema {
+ public:
+  MajoritySchema() = default;
+  explicit MajoritySchema(SchemaNode root) : root_(std::move(root)) {}
+
+  const SchemaNode& root() const { return root_; }
+  SchemaNode& mutable_root() { return root_; }
+
+  /// True when no schema was discovered (no documents / nothing
+  /// frequent).
+  bool empty() const { return root_.label.empty(); }
+
+  /// Total number of schema nodes (= frequent paths), including the
+  /// root.
+  size_t NodeCount() const;
+
+  /// Returns the node reached by `path` (root-first), or null.
+  const SchemaNode* Find(const LabelPath& path) const;
+
+  /// True iff `path` (root-first) is a frequent path of this schema.
+  bool ContainsPath(const LabelPath& path) const { return Find(path) != nullptr; }
+
+  /// All frequent paths, root-first, in pre-order.
+  std::vector<LabelPath> AllPaths() const;
+
+  /// Indented tree rendering with support annotations, for debugging and
+  /// example programs.
+  std::string ToString() const;
+
+ private:
+  SchemaNode root_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_MAJORITY_SCHEMA_H_

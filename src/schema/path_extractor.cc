@@ -1,0 +1,62 @@
+#include "schema/path_extractor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace webre {
+namespace {
+
+void Walk(const Node& node, LabelPath& prefix,
+          std::unordered_set<std::string>& seen, DocumentPaths& out) {
+  prefix.push_back(node.name());
+  const std::string joined = JoinLabelPath(prefix);
+  if (seen.insert(joined).second) {
+    out.paths.push_back(prefix);
+  }
+
+  // Multiplicity: how many same-label siblings does this node have
+  // (including itself)? Computed from the parent side below for
+  // children; for the root it is 1.
+  // Ordering and multiplicity are recorded per child here so both are
+  // gathered in the single walk.
+  size_t element_index = 0;
+  std::unordered_map<std::string, size_t> sibling_counts;
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (!child->is_element()) continue;
+    ++sibling_counts[child->name()];
+  }
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (!child->is_element()) continue;
+    prefix.push_back(child->name());
+    const std::string child_joined = JoinLabelPath(prefix);
+    prefix.pop_back();
+
+    size_t& max_mult = out.max_multiplicity[child_joined];
+    max_mult = std::max(max_mult, sibling_counts[child->name()]);
+    out.position_sum[child_joined] += static_cast<double>(element_index);
+    ++out.position_count[child_joined];
+    ++element_index;
+  }
+
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (child->is_element()) Walk(*child, prefix, seen, out);
+  }
+  prefix.pop_back();
+}
+
+}  // namespace
+
+DocumentPaths ExtractPaths(const Node& root) {
+  DocumentPaths out;
+  if (!root.is_element()) return out;
+  LabelPath prefix;
+  std::unordered_set<std::string> seen;
+  out.max_multiplicity[root.name()] = 1;
+  Walk(root, prefix, seen, out);
+  return out;
+}
+
+}  // namespace webre

@@ -1,0 +1,42 @@
+#ifndef WEBRE_SCHEMA_PATH_EXTRACTOR_H_
+#define WEBRE_SCHEMA_PATH_EXTRACTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/label_path.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Everything schema discovery needs to know about one XML document
+/// (§3.2): its *set* of root-emanating label paths — deduplicated so
+/// that discovery "is not too biased towards multiple occurrences of the
+/// same path in only a very few documents" — plus two side statistics
+/// recorded "without computational overhead" during the same walk:
+///
+///  - `max_multiplicity[p]`: the largest number of same-label siblings
+///    the leaf of path `p` has anywhere in the document (the ⟨p, num⟩
+///    of the repetitive-elements rule);
+///  - `position_sum[p]` / `position_count[p]`: accumulated child indices
+///    of the leaf of `p` among its parent's element children (the
+///    ordering rule's "average position").
+struct DocumentPaths {
+  /// Distinct label paths, root first. The root's one-element path is
+  /// included.
+  std::vector<LabelPath> paths;
+  /// Keyed by JoinLabelPath(p).
+  std::unordered_map<std::string, size_t> max_multiplicity;
+  std::unordered_map<std::string, double> position_sum;
+  std::unordered_map<std::string, size_t> position_count;
+};
+
+/// Extracts paths(T) and the side statistics from the document rooted at
+/// `root`. Text nodes are ignored; only element labels form paths.
+DocumentPaths ExtractPaths(const Node& root);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_PATH_EXTRACTOR_H_

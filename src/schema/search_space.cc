@@ -1,0 +1,56 @@
+#include "schema/search_space.h"
+
+#include <vector>
+
+namespace webre {
+namespace {
+
+uint64_t Pow(uint64_t base, size_t exp) {
+  uint64_t result = 1;
+  for (size_t i = 0; i < exp; ++i) result *= base;
+  return result;
+}
+
+uint64_t CountConstrained(const ConceptSet& concepts,
+                          const ConstraintSet& constraints,
+                          std::vector<std::string>& path, size_t max_level) {
+  uint64_t count = 1;  // the node ending this path
+  const size_t next_level = path.size();  // root is path[0] at level 0
+  if (next_level > max_level) return count;
+  for (size_t i = 0; i < concepts.size(); ++i) {
+    path.push_back(concepts.at(i).name);
+    if (constraints.PathAllowed(path)) {
+      count += CountConstrained(concepts, constraints, path, max_level);
+    }
+    path.pop_back();
+  }
+  return count;
+}
+
+}  // namespace
+
+SearchSpaceReport AnalyzeSearchSpace(const ConceptSet& concepts,
+                                     const ConstraintSet& constraints,
+                                     const std::string& root_label,
+                                     size_t max_level) {
+  SearchSpaceReport report;
+  report.concept_count = concepts.size();
+  if (constraints.max_level() > 0 && constraints.max_level() < max_level) {
+    max_level = constraints.max_level();
+  }
+  report.max_level = max_level;
+
+  const uint64_t n = concepts.size();
+  report.exhaustive_paper_formula = Pow(n, max_level + 2) - 1;
+  report.exhaustive_enumerated = 1;
+  for (size_t k = 1; k <= max_level; ++k) {
+    report.exhaustive_enumerated += Pow(n, k);
+  }
+
+  std::vector<std::string> path = {root_label};
+  report.constrained =
+      CountConstrained(concepts, constraints, path, max_level);
+  return report;
+}
+
+}  // namespace webre

@@ -1,0 +1,44 @@
+#ifndef WEBRE_SCHEMA_SEARCH_SPACE_H_
+#define WEBRE_SCHEMA_SEARCH_SPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "concepts/concept.h"
+#include "concepts/constraints.h"
+
+namespace webre {
+
+/// The §4.2 search-space accounting: how many candidate label paths a
+/// schema-discovery pass would have to consider.
+struct SearchSpaceReport {
+  /// |Con|.
+  size_t concept_count = 0;
+  /// Maximum concept level enumerated (levels below the root).
+  size_t max_level = 0;
+  /// The paper's headline figure for exhaustive enumeration
+  /// ("24^5 - 1 = 7962623 nodes"): |Con|^(max_level + 2) - 1.
+  uint64_t exhaustive_paper_formula = 0;
+  /// Candidate nodes in an actual unconstrained enumeration tree: the
+  /// root plus every sequence of up to max_level concept names,
+  /// 1 + sum_{k=1..max_level} |Con|^k.
+  uint64_t exhaustive_enumerated = 0;
+  /// Candidate nodes surviving the constraint set (the paper reports
+  /// 1871 for the resume constraints).
+  uint64_t constrained = 0;
+};
+
+/// Enumerates the candidate label-path space for schema discovery under
+/// `constraints` (depth-first, root label fixed) and reports its size
+/// alongside the unconstrained figures. `max_level` is the deepest
+/// concept level enumerated; when `constraints.max_level()` is set it
+/// caps the enumeration as well.
+SearchSpaceReport AnalyzeSearchSpace(const ConceptSet& concepts,
+                                     const ConstraintSet& constraints,
+                                     const std::string& root_label,
+                                     size_t max_level);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_SEARCH_SPACE_H_

@@ -1,0 +1,138 @@
+#include "schema/sequence_patterns.h"
+
+#include <algorithm>
+#include <map>
+
+namespace webre {
+
+std::string SequencePattern::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < group.size(); ++i) {
+    if (i > 0) out.append(", ");
+    out.append(group[i]);
+  }
+  out.append(")+");
+  return out;
+}
+
+ContentParticle SequencePattern::ToParticle() const {
+  std::vector<ContentParticle> members;
+  members.reserve(group.size());
+  for (const std::string& label : group) {
+    members.push_back(ContentParticle::Element(label));
+  }
+  return ContentParticle::Sequence(std::move(members), Occurrence::kPlus);
+}
+
+namespace {
+
+// True when `sequence` is >= 1 whole copies of `unit`.
+bool IsRepetitionOf(const std::vector<std::string>& sequence,
+                    const std::vector<std::string>& unit) {
+  if (unit.empty() || sequence.empty()) return false;
+  if (sequence.size() % unit.size() != 0) return false;
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i] != unit[i % unit.size()]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<SequencePattern> DetectRepeatingGroup(
+    const std::vector<std::vector<std::string>>& sequences,
+    double min_coverage, double min_multi_fraction) {
+  if (sequences.empty()) return std::nullopt;
+
+  // Candidate units: for each period p, the most common leading p-gram.
+  // Units are tried smallest-first so (a,b)+ beats (a,b,a,b)+.
+  const size_t max_period = 8;
+  for (size_t p = 1; p <= max_period; ++p) {
+    // Vote for the dominant leading unit of length p.
+    std::map<std::vector<std::string>, size_t> votes;
+    for (const auto& sequence : sequences) {
+      if (sequence.size() < p) continue;
+      std::vector<std::string> unit(sequence.begin(),
+                                    sequence.begin() +
+                                        static_cast<ptrdiff_t>(p));
+      ++votes[std::move(unit)];
+    }
+    if (votes.empty()) continue;
+    const auto best = std::max_element(
+        votes.begin(), votes.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    const std::vector<std::string>& unit = best->first;
+    // A unit repeating inside itself (e.g. (a,a)) reduces to a smaller
+    // period already tried; skip to keep units primitive.
+    bool primitive = true;
+    for (size_t q = 1; q < p; ++q) {
+      if (p % q == 0 && IsRepetitionOf(unit, std::vector<std::string>(
+                                                 unit.begin(),
+                                                 unit.begin() +
+                                                     static_cast<ptrdiff_t>(
+                                                         q)))) {
+        primitive = false;
+        break;
+      }
+    }
+    if (!primitive) continue;
+
+    size_t covered = 0;
+    size_t multi = 0;
+    double repeats = 0.0;
+    for (const auto& sequence : sequences) {
+      if (!IsRepetitionOf(sequence, unit)) continue;
+      ++covered;
+      const size_t k = sequence.size() / unit.size();
+      repeats += static_cast<double>(k);
+      if (k >= 2) ++multi;
+    }
+    const double coverage = static_cast<double>(covered) /
+                            static_cast<double>(sequences.size());
+    if (coverage < min_coverage || covered == 0) continue;
+    const double multi_fraction =
+        static_cast<double>(multi) / static_cast<double>(covered);
+    if (multi_fraction < min_multi_fraction) continue;
+
+    SequencePattern pattern;
+    pattern.group = unit;
+    pattern.coverage = coverage;
+    pattern.avg_repeats = repeats / static_cast<double>(covered);
+    return pattern;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void Collect(const Node& node, const LabelPath& parent_path, size_t depth,
+             std::vector<std::vector<std::string>>& out) {
+  if (node.name() != parent_path[depth]) return;
+  if (depth + 1 == parent_path.size()) {
+    std::vector<std::string> sequence;
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      const Node* child = node.child(i);
+      if (child->is_element()) sequence.push_back(child->name());
+    }
+    out.push_back(std::move(sequence));
+    return;
+  }
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (child->is_element()) {
+      Collect(*child, parent_path, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> CollectChildSequences(
+    const Node& root, const LabelPath& parent_path) {
+  std::vector<std::vector<std::string>> out;
+  if (parent_path.empty() || !root.is_element()) return out;
+  Collect(root, parent_path, 0, out);
+  return out;
+}
+
+}  // namespace webre

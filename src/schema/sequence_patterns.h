@@ -1,0 +1,55 @@
+#ifndef WEBRE_SCHEMA_SEQUENCE_PATTERNS_H_
+#define WEBRE_SCHEMA_SEQUENCE_PATTERNS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/label_path.h"
+#include "xml/dtd.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// A repeating group of child labels, the "repetitive structures of more
+/// general types, e.g., of the form (e1,e2)*" that §3.3 delegates to
+/// Xtract [17] and notes "we recently included similar computations into
+/// our approach".
+struct SequencePattern {
+  /// The repeating unit, e.g. {DATE, INSTITUTION, DEGREE}.
+  std::vector<std::string> group;
+  /// Fraction of input sequences that are a whole number (>= 1) of
+  /// repetitions of `group`.
+  double coverage = 0.0;
+  /// Average repetition count among covered sequences.
+  double avg_repeats = 0.0;
+
+  /// Renders as DTD syntax: `(DATE, INSTITUTION, DEGREE)+`.
+  std::string ToString() const;
+
+  /// The equivalent content-model particle (`(e1, e2, ...)+`).
+  ContentParticle ToParticle() const;
+};
+
+/// Detects the dominant repeating group across child-label sequences.
+///
+/// A sequence is *covered* by a candidate period p when it consists of
+/// one or more back-to-back copies of its own first p labels, and all
+/// covered sequences agree on that p-label unit. Candidates are tried
+/// from the smallest period upward; the first unit whose coverage
+/// reaches `min_coverage` wins. Sequences of fewer than two repetitions
+/// still count as covered (one copy), but at least `min_multi_fraction`
+/// of the covered sequences must repeat the unit at least twice —
+/// otherwise any constant sequence would "repeat" with period n.
+std::optional<SequencePattern> DetectRepeatingGroup(
+    const std::vector<std::vector<std::string>>& sequences,
+    double min_coverage = 0.6, double min_multi_fraction = 0.3);
+
+/// Collects, across one document, the element-child label sequences of
+/// every node whose root-emanating label path equals `parent_path`.
+std::vector<std::vector<std::string>> CollectChildSequences(
+    const Node& root, const LabelPath& parent_path);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_SEQUENCE_PATTERNS_H_

@@ -1,0 +1,120 @@
+#include "schema/unify.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace webre {
+namespace {
+
+void CollectByLabel(
+    const SchemaNode& node,
+    std::map<std::string, std::vector<const SchemaNode*>>& index) {
+  index[node.label].push_back(&node);
+  for (const SchemaNode& child : node.children) {
+    CollectByLabel(child, index);
+  }
+}
+
+std::set<std::string> ChildLabels(const SchemaNode& node) {
+  std::set<std::string> labels;
+  for (const SchemaNode& child : node.children) labels.insert(child.label);
+  return labels;
+}
+
+double Jaccard(const std::set<std::string>& a,
+               const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& x : a) inter += b.count(x);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// Applies the unified child lists top-down. `on_path` prevents a label
+// from re-expanding below itself (possible once child lists are shared
+// across positions), which would otherwise build an infinite tree.
+void Apply(SchemaNode& node,
+           const std::map<std::string, std::vector<SchemaNode>>& merged,
+           std::set<std::string>& on_path) {
+  auto it = merged.find(node.label);
+  const bool expand = it != merged.end() && on_path.count(node.label) == 0;
+  if (expand) node.children = it->second;
+  on_path.insert(node.label);
+  for (SchemaNode& child : node.children) {
+    Apply(child, merged, on_path);
+  }
+  on_path.erase(node.label);
+}
+
+}  // namespace
+
+UnificationReport UnifySchema(MajoritySchema& schema,
+                              double min_similarity) {
+  UnificationReport report;
+  if (schema.empty()) return report;
+
+  // Phase 1 (const): find unifiable labels and compute their merged
+  // child lists as values.
+  std::map<std::string, std::vector<const SchemaNode*>> by_label;
+  CollectByLabel(schema.root(), by_label);
+
+  std::map<std::string, std::vector<SchemaNode>> merged_children;
+  for (const auto& [label, occurrences] : by_label) {
+    if (occurrences.size() < 2) continue;
+    std::vector<const SchemaNode*> structured;
+    for (const SchemaNode* node : occurrences) {
+      if (!node->children.empty()) structured.push_back(node);
+    }
+    if (structured.empty()) continue;  // all leaves: nothing to unify
+
+    double min_pairwise = 1.0;
+    for (size_t i = 0; i < structured.size(); ++i) {
+      for (size_t j = i + 1; j < structured.size(); ++j) {
+        min_pairwise = std::min(
+            min_pairwise, Jaccard(ChildLabels(*structured[i]),
+                                  ChildLabels(*structured[j])));
+      }
+    }
+    if (min_pairwise < min_similarity) continue;
+
+    // Union of children, ordered by the best-supported occurrence with
+    // novel children appended; per child label the copy with the larger
+    // doc_count wins (its ordering/repetition statistics rest on more
+    // evidence).
+    const SchemaNode* anchor = *std::max_element(
+        structured.begin(), structured.end(),
+        [](const SchemaNode* a, const SchemaNode* b) {
+          return a->doc_count < b->doc_count;
+        });
+    std::vector<SchemaNode> merged = anchor->children;
+    auto find_merged = [&](const std::string& child_label) -> SchemaNode* {
+      for (SchemaNode& m : merged) {
+        if (m.label == child_label) return &m;
+      }
+      return nullptr;
+    };
+    for (const SchemaNode* node : structured) {
+      for (const SchemaNode& child : node->children) {
+        SchemaNode* existing = find_merged(child.label);
+        if (existing == nullptr) {
+          merged.push_back(child);
+        } else if (child.doc_count > existing->doc_count) {
+          *existing = child;
+        }
+      }
+    }
+    report.unified.push_back(UnifiedGroup{label, occurrences.size(),
+                                          min_pairwise, merged.size()});
+    merged_children.emplace(label, std::move(merged));
+  }
+
+  // Phase 2: rebuild the tree with the shared structures.
+  if (!merged_children.empty()) {
+    std::set<std::string> on_path;
+    Apply(schema.mutable_root(), merged_children, on_path);
+  }
+  return report;
+}
+
+}  // namespace webre

@@ -1,0 +1,51 @@
+#ifndef WEBRE_SCHEMA_UNIFY_H_
+#define WEBRE_SCHEMA_UNIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/majority_schema.h"
+
+namespace webre {
+
+/// Report of one unified element name.
+struct UnifiedGroup {
+  std::string label;
+  /// Schema positions the label occurred at.
+  size_t occurrences = 0;
+  /// Minimum pairwise Jaccard similarity of the occurrences' child
+  /// label sets before unification.
+  double similarity = 0.0;
+  /// Children after unification.
+  size_t merged_children = 0;
+};
+
+/// Result of UnifySchema.
+struct UnificationReport {
+  std::vector<UnifiedGroup> unified;
+};
+
+/// The optional unification step of §3.2 ("similarly structured
+/// components in a schema discovered by this approach can be further
+/// unified", detailed in [13]): element names occurring at several
+/// schema positions with sufficiently similar child structures are given
+/// one shared structure — the union of their children.
+///
+/// Two occurrences are similar when the Jaccard index of their child
+/// label sets is at least `min_similarity`; a label is unified only if
+/// *every* pair of its non-leaf occurrences qualifies (leaf occurrences
+/// always join an otherwise-unifiable group — a leaf is the degenerate
+/// "same structure, fewer details"). Unification makes the later DTD
+/// derivation exact instead of a lossy homonym merge: every occurrence
+/// of the element then genuinely has the declared content model.
+///
+/// Child statistics: a child kept from several occurrences keeps the
+/// copy with the highest doc_count (the best-supported estimate of its
+/// ordering/repetition statistics); children missing from an occurrence
+/// are copied in.
+UnificationReport UnifySchema(MajoritySchema& schema,
+                              double min_similarity = 0.5);
+
+}  // namespace webre
+
+#endif  // WEBRE_SCHEMA_UNIFY_H_

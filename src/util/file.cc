@@ -1,0 +1,41 @@
+#include "util/file.h"
+
+#include <cstdio>
+
+namespace webre {
+
+StatusOr<std::string> ReadFile(std::string_view path) {
+  const std::string path_str(path);
+  std::FILE* file = std::fopen(path_str.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path_str);
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::Internal("read error on " + path_str);
+  }
+  return contents;
+}
+
+Status WriteFile(std::string_view path, std::string_view contents) {
+  const std::string path_str(path);
+  std::FILE* file = std::fopen(path_str.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open " + path_str + " for writing");
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool failed = written != contents.size() || std::fclose(file) != 0;
+  if (failed) {
+    return Status::Internal("write error on " + path_str);
+  }
+  return Status::Ok();
+}
+
+}  // namespace webre

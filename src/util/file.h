@@ -1,0 +1,19 @@
+#ifndef WEBRE_UTIL_FILE_H_
+#define WEBRE_UTIL_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace webre {
+
+/// Reads a whole file into a string.
+StatusOr<std::string> ReadFile(std::string_view path);
+
+/// Writes (truncating) `contents` to `path`.
+Status WriteFile(std::string_view path, std::string_view contents);
+
+}  // namespace webre
+
+#endif  // WEBRE_UTIL_FILE_H_

@@ -1,0 +1,77 @@
+#ifndef WEBRE_UTIL_RNG_H_
+#define WEBRE_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace webre {
+
+/// Deterministic pseudo-random number generator (splitmix64 core).
+///
+/// The corpus generator and benchmarks must be reproducible across
+/// machines and runs, so all randomness in this library flows through Rng
+/// seeded explicitly; std::random_device and std::mt19937 (whose
+/// distributions are implementation-defined) are not used.
+class Rng {
+ public:
+  /// Creates a generator with the given seed. Equal seeds yield equal
+  /// sequences on every platform.
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // small bounds used by the generator (< 2^20).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of `v`. `v` must be non-empty.
+  template <typename T>
+  const T& Choose(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[NextBelow(v.size())];
+  }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_UTIL_RNG_H_

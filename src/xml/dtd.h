@@ -1,0 +1,105 @@
+#ifndef WEBRE_XML_DTD_H_
+#define WEBRE_XML_DTD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webre {
+
+/// Occurrence indicator attached to a content particle.
+enum class Occurrence {
+  kOne,       ///< exactly once (no indicator)
+  kOptional,  ///< `?`
+  kStar,      ///< `*`
+  kPlus,      ///< `+`
+};
+
+/// Returns "", "?", "*" or "+".
+std::string_view OccurrenceSuffix(Occurrence occ);
+
+/// A node of the DTD content-model expression
+///   alpha := e | #PCDATA | (alpha, alpha, ...) | (alpha | alpha | ...)
+/// each optionally decorated with an occurrence indicator (§3.3).
+struct ContentParticle {
+  enum class Kind {
+    kElement,   ///< a child element name
+    kPcdata,    ///< literal #PCDATA
+    kSequence,  ///< comma-separated group
+    kChoice,    ///< pipe-separated group
+  };
+
+  Kind kind = Kind::kElement;
+  Occurrence occurrence = Occurrence::kOne;
+  /// Element name; only for kElement.
+  std::string name;
+  /// Group members; only for kSequence/kChoice.
+  std::vector<ContentParticle> children;
+
+  /// Leaf particle for element `name`.
+  static ContentParticle Element(std::string name,
+                                 Occurrence occ = Occurrence::kOne);
+  /// The #PCDATA particle.
+  static ContentParticle Pcdata();
+  /// Sequence group over `children`.
+  static ContentParticle Sequence(std::vector<ContentParticle> children,
+                                  Occurrence occ = Occurrence::kOne);
+  /// Choice group over `children`.
+  static ContentParticle Choice(std::vector<ContentParticle> children,
+                                Occurrence occ = Occurrence::kOne);
+
+  /// Renders the particle as DTD syntax, e.g. `(contact+, objective?)`.
+  std::string ToString() const;
+
+  friend bool operator==(const ContentParticle& a, const ContentParticle& b);
+};
+
+/// Declaration of one element type.
+struct ElementDecl {
+  std::string name;
+  /// When true the element has content `(#PCDATA)` only (a leaf in the
+  /// majority schema); `content` is ignored.
+  bool pcdata_only = false;
+  ContentParticle content;
+
+  /// Renders as `<!ELEMENT name (...)>`.
+  std::string ToString() const;
+};
+
+/// A document type definition: a root element name plus element
+/// declarations in document order. This is the output format of the
+/// majority-schema-to-DTD derivation (§3.3).
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// The document element name.
+  const std::string& root() const { return root_; }
+  void set_root(std::string root) { root_ = std::move(root); }
+
+  /// Declarations in insertion order.
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+  /// Adds (or replaces) the declaration for `decl.name`.
+  void AddElement(ElementDecl decl);
+
+  /// Returns the declaration for `name`, or null if undeclared.
+  const ElementDecl* Find(std::string_view name) const;
+
+  /// Renders the whole DTD as `<!ELEMENT ...>` lines. With
+  /// `include_attlist`, every element also gets
+  /// `<!ATTLIST name val CDATA #IMPLIED>` — the paper's convention that
+  /// "each HTML and XML element has an attribute named val of type
+  /// CDATA" (§2.3).
+  std::string ToString(bool include_attlist = false) const;
+
+ private:
+  std::string root_;
+  std::vector<ElementDecl> elements_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_XML_DTD_H_

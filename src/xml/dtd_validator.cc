@@ -1,0 +1,152 @@
+#include "xml/dtd_validator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace webre {
+namespace {
+
+// Returns every position the particle (without its occurrence indicator)
+// can consume up to, starting at `start`, over the child-name sequence.
+std::set<size_t> MatchOnce(const ContentParticle& particle,
+                           const std::vector<std::string>& names,
+                           size_t start);
+
+// Returns every end position reachable by matching `particle` (including
+// its occurrence indicator) starting at `start`.
+std::set<size_t> MatchEnds(const ContentParticle& particle,
+                           const std::vector<std::string>& names,
+                           size_t start) {
+  std::set<size_t> once = MatchOnce(particle, names, start);
+  switch (particle.occurrence) {
+    case Occurrence::kOne:
+      return once;
+    case Occurrence::kOptional: {
+      once.insert(start);
+      return once;
+    }
+    case Occurrence::kStar:
+    case Occurrence::kPlus: {
+      // Fixed-point closure over repetitions. Positions never decrease, so
+      // the loop terminates; skip zero-progress matches to avoid cycling on
+      // nullable particles.
+      std::set<size_t> reached = once;
+      std::set<size_t> frontier = once;
+      while (!frontier.empty()) {
+        std::set<size_t> next;
+        for (size_t pos : frontier) {
+          for (size_t end : MatchOnce(particle, names, pos)) {
+            if (end > pos && reached.insert(end).second) next.insert(end);
+          }
+        }
+        frontier = std::move(next);
+      }
+      if (particle.occurrence == Occurrence::kStar) reached.insert(start);
+      return reached;
+    }
+  }
+  return once;
+}
+
+std::set<size_t> MatchOnce(const ContentParticle& particle,
+                           const std::vector<std::string>& names,
+                           size_t start) {
+  std::set<size_t> ends;
+  switch (particle.kind) {
+    case ContentParticle::Kind::kElement:
+      if (start < names.size() && names[start] == particle.name) {
+        ends.insert(start + 1);
+      }
+      break;
+    case ContentParticle::Kind::kPcdata:
+      // Text children are filtered out before matching; #PCDATA consumes
+      // nothing from the element-child sequence.
+      ends.insert(start);
+      break;
+    case ContentParticle::Kind::kSequence: {
+      std::set<size_t> positions = {start};
+      for (const ContentParticle& member : particle.children) {
+        std::set<size_t> next;
+        for (size_t pos : positions) {
+          std::set<size_t> member_ends = MatchEnds(member, names, pos);
+          next.insert(member_ends.begin(), member_ends.end());
+        }
+        positions = std::move(next);
+        if (positions.empty()) break;
+      }
+      ends = std::move(positions);
+      break;
+    }
+    case ContentParticle::Kind::kChoice:
+      for (const ContentParticle& member : particle.children) {
+        std::set<size_t> member_ends = MatchEnds(member, names, start);
+        ends.insert(member_ends.begin(), member_ends.end());
+      }
+      break;
+  }
+  return ends;
+}
+
+void ValidateElement(const Node& element, const Dtd& dtd,
+                     DtdValidationResult& result) {
+  const ElementDecl* decl = dtd.Find(element.name());
+  if (decl == nullptr) {
+    result.violations.push_back(
+        {element.name(), "element <" + element.name() + "> is not declared"});
+  } else if (!decl->pcdata_only) {
+    std::vector<std::string> child_names;
+    for (size_t i = 0; i < element.child_count(); ++i) {
+      const Node* child = element.child(i);
+      if (child->is_element()) child_names.push_back(child->name());
+    }
+    std::set<size_t> ends = MatchEnds(decl->content, child_names, 0);
+    if (ends.find(child_names.size()) == ends.end()) {
+      std::string got = "(";
+      for (size_t i = 0; i < child_names.size(); ++i) {
+        if (i > 0) got.append(", ");
+        got.append(child_names[i]);
+      }
+      got.push_back(')');
+      result.violations.push_back(
+          {element.name(), "children " + got + " do not match content model " +
+                               decl->content.ToString()});
+    }
+  } else {
+    for (size_t i = 0; i < element.child_count(); ++i) {
+      if (element.child(i)->is_element()) {
+        result.violations.push_back(
+            {element.name(), "element <" + element.name() +
+                                 "> is declared (#PCDATA) but has element "
+                                 "children"});
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < element.child_count(); ++i) {
+    const Node* child = element.child(i);
+    if (child->is_element()) ValidateElement(*child, dtd, result);
+  }
+}
+
+}  // namespace
+
+DtdValidationResult ValidateAgainstDtd(const Node& root, const Dtd& dtd) {
+  DtdValidationResult result;
+  if (!root.is_element()) {
+    result.violations.push_back({"", "document root is not an element"});
+    return result;
+  }
+  if (!dtd.root().empty() && root.name() != dtd.root()) {
+    result.violations.push_back(
+        {root.name(), "root element <" + root.name() +
+                          "> does not match DTD root <" + dtd.root() + ">"});
+  }
+  ValidateElement(root, dtd, result);
+  return result;
+}
+
+bool ConformsToDtd(const Node& root, const Dtd& dtd) {
+  return ValidateAgainstDtd(root, dtd).valid();
+}
+
+}  // namespace webre

@@ -1,0 +1,205 @@
+#include "xml/node.h"
+
+#include <cassert>
+
+namespace webre {
+
+std::unique_ptr<Node> Node::MakeElement(std::string name) {
+  auto node = std::unique_ptr<Node>(new Node(NodeType::kElement));
+  node->name_ = std::move(name);
+  return node;
+}
+
+std::unique_ptr<Node> Node::MakeText(std::string text) {
+  auto node = std::unique_ptr<Node>(new Node(NodeType::kText));
+  node->text_ = std::move(text);
+  return node;
+}
+
+std::string_view Node::attr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return a.value;
+  }
+  return {};
+}
+
+bool Node::has_attr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+void Node::set_attr(std::string_view name, std::string value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back(Attribute{std::string(name), std::move(value)});
+}
+
+void Node::remove_attr(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == name) {
+      attributes_.erase(it);
+      return;
+    }
+  }
+}
+
+void Node::AppendVal(std::string_view more) {
+  if (more.empty()) return;
+  std::string_view current = val();
+  if (current.empty()) {
+    set_val(std::string(more));
+    return;
+  }
+  std::string combined(current);
+  combined.push_back(' ');
+  combined.append(more);
+  set_val(std::move(combined));
+}
+
+size_t Node::IndexOf(const Node* child) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) return i;
+  }
+  assert(false && "IndexOf: not a child of this node");
+  return children_.size();
+}
+
+Node* Node::AddChild(std::unique_ptr<Node> child) {
+  assert(child != nullptr);
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::InsertChild(size_t index, std::unique_ptr<Node> child) {
+  assert(child != nullptr);
+  assert(index <= children_.size());
+  child->parent_ = this;
+  auto it = children_.insert(
+      children_.begin() + static_cast<ptrdiff_t>(index), std::move(child));
+  return it->get();
+}
+
+std::unique_ptr<Node> Node::RemoveChild(size_t index) {
+  assert(index < children_.size());
+  std::unique_ptr<Node> removed = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  removed->parent_ = nullptr;
+  return removed;
+}
+
+std::vector<std::unique_ptr<Node>> Node::RemoveAllChildren() {
+  for (auto& c : children_) c->parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> out = std::move(children_);
+  children_.clear();
+  return out;
+}
+
+std::unique_ptr<Node> Node::ReplaceChild(size_t index,
+                                         std::unique_ptr<Node> replacement) {
+  assert(index < children_.size());
+  assert(replacement != nullptr);
+  replacement->parent_ = this;
+  std::unique_ptr<Node> old = std::move(children_[index]);
+  old->parent_ = nullptr;
+  children_[index] = std::move(replacement);
+  return old;
+}
+
+Node* Node::AddElement(std::string name) {
+  return AddChild(MakeElement(std::move(name)));
+}
+
+Node* Node::AddText(std::string text) {
+  return AddChild(MakeText(std::move(text)));
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  std::unique_ptr<Node> copy(new Node(type_));
+  copy->name_ = name_;
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& child : children_) {
+    copy->AddChild(child->Clone());
+  }
+  return copy;
+}
+
+size_t Node::SubtreeSize() const {
+  size_t count = 1;
+  for (const auto& child : children_) count += child->SubtreeSize();
+  return count;
+}
+
+size_t Node::Depth() const {
+  size_t depth = 0;
+  for (const Node* p = parent_; p != nullptr; p = p->parent_) ++depth;
+  return depth;
+}
+
+void Node::PreOrder(const std::function<void(const Node&)>& visit) const {
+  visit(*this);
+  for (const auto& child : children_) child->PreOrder(visit);
+}
+
+void Node::PreOrderMutable(const std::function<void(Node&)>& visit) {
+  visit(*this);
+  // Children may be mutated by the visitor; iterate by index defensively.
+  for (size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->PreOrderMutable(visit);
+  }
+}
+
+bool operator==(const Node& a, const Node& b) {
+  if (a.type_ != b.type_ || a.name_ != b.name_ || a.text_ != b.text_ ||
+      a.attributes_ != b.attributes_ ||
+      a.children_.size() != b.children_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.children_.size(); ++i) {
+    if (!(*a.children_[i] == *b.children_[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void DebugAppend(const Node& node, std::string& out) {
+  if (node.is_text()) {
+    out.push_back('"');
+    out.append(node.text());
+    out.push_back('"');
+    return;
+  }
+  out.append(node.name());
+  if (!node.val().empty()) {
+    out.append("[val=");
+    out.append(node.val());
+    out.push_back(']');
+  }
+  if (node.child_count() > 0) {
+    out.push_back('(');
+    for (size_t i = 0; i < node.child_count(); ++i) {
+      if (i > 0) out.push_back(' ');
+      DebugAppend(*node.child(i), out);
+    }
+    out.push_back(')');
+  }
+}
+
+}  // namespace
+
+std::string Node::DebugString() const {
+  std::string out;
+  DebugAppend(*this, out);
+  return out;
+}
+
+}  // namespace webre

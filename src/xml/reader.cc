@@ -1,0 +1,308 @@
+#include "xml/reader.h"
+
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlReadOptions& options)
+      : input_(input), options_(options) {}
+
+  StatusOr<std::unique_ptr<Node>> Parse() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    StatusOr<std::unique_ptr<Node>> root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (input_.substr(pos_).substr(0, literal.size()) != literal) return false;
+    for (size_t i = 0; i < literal.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && IsAsciiSpace(Peek())) Advance();
+  }
+
+  Status Error(std::string message) const {
+    return Status::InvalidArgument("XML parse error at line " +
+                                   std::to_string(line_) + ": " +
+                                   std::move(message));
+  }
+
+  // Skips the XML declaration, DOCTYPE, comments, PIs and whitespace
+  // before the root element.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<!DOCTYPE") || Consume("<!doctype")) {
+        // Skip to the matching '>' (internal subsets use nested brackets).
+        int bracket_depth = 0;
+        while (!AtEnd()) {
+          char c = Peek();
+          Advance();
+          if (c == '[') ++bracket_depth;
+          if (c == ']') --bracket_depth;
+          if (c == '>' && bracket_depth <= 0) break;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  // Skips comments/PIs/whitespace after the root element.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+      } else if (Consume("<?")) {
+        while (!AtEnd() && !Consume("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool IsNameStart(char c) const {
+    return IsAsciiAlpha(c) || c == '_' || c == ':';
+  }
+  bool IsNameChar(char c) const {
+    return IsAsciiAlnum(c) || c == '_' || c == ':' || c == '-' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name.push_back(Peek());
+      Advance();
+    }
+    return name;
+  }
+
+  // Decodes entity/character references in `raw` into plain text.
+  StatusOr<std::string> DecodeReferences(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        uint32_t cp = 0;
+        bool valid = entity.size() > 1;
+        if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+          for (size_t k = 2; k < entity.size(); ++k) {
+            char c = AsciiToLower(entity[k]);
+            if (IsAsciiDigit(c)) {
+              cp = cp * 16 + static_cast<uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+              cp = cp * 16 + static_cast<uint32_t>(c - 'a' + 10);
+            } else {
+              valid = false;
+              break;
+            }
+          }
+        } else {
+          for (size_t k = 1; k < entity.size(); ++k) {
+            if (!IsAsciiDigit(entity[k])) {
+              valid = false;
+              break;
+            }
+            cp = cp * 10 + static_cast<uint32_t>(entity[k] - '0');
+          }
+        }
+        if (!valid || cp == 0 || cp > 0x10FFFF) {
+          return Error("invalid character reference");
+        }
+        AppendUtf8(cp, out);
+      } else {
+        return Error("unknown entity reference '&" + std::string(entity) +
+                     ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  StatusOr<std::unique_ptr<Node>> ParseElement() {
+    if (!Consume("<")) return Error("expected '<'");
+    StatusOr<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    std::unique_ptr<Node> element = Node::MakeElement(std::move(name.value()));
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || (Peek() == '/' && PeekAt(1) == '>')) break;
+      StatusOr<std::string> attr_name = ParseName();
+      if (!attr_name.ok()) return attr_name.status();
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated attribute value");
+      StatusOr<std::string> value =
+          DecodeReferences(input_.substr(start, pos_ - start));
+      if (!value.ok()) return value.status();
+      Advance();  // closing quote
+      element->set_attr(attr_name.value(), std::move(value.value()));
+    }
+
+    if (Consume("/>")) return element;
+    if (!Consume(">")) return Error("expected '>'");
+
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&]() -> Status {
+      if (pending_text.empty()) return Status::Ok();
+      std::string_view view = pending_text;
+      if (options_.skip_whitespace_text &&
+          StripAsciiWhitespace(view).empty()) {
+        pending_text.clear();
+        return Status::Ok();
+      }
+      StatusOr<std::string> decoded = DecodeReferences(view);
+      if (!decoded.ok()) return decoded.status();
+      std::string text = std::move(decoded.value());
+      if (options_.trim_text) text = std::string(StripAsciiWhitespace(text));
+      if (!text.empty()) element->AddText(std::move(text));
+      pending_text.clear();
+      return Status::Ok();
+    };
+
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + element->name() +
+                                ">");
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          WEBRE_RETURN_IF_ERROR(flush_text());
+          Consume("</");
+          StatusOr<std::string> end_name = ParseName();
+          if (!end_name.ok()) return end_name.status();
+          SkipWhitespace();
+          if (!Consume(">")) return Error("expected '>' in end tag");
+          if (end_name.value() != element->name()) {
+            return Error("mismatched end tag </" + end_name.value() +
+                         "> for <" + element->name() + ">");
+          }
+          return element;
+        }
+        if (Consume("<!--")) {
+          while (!AtEnd() && !Consume("-->")) Advance();
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          size_t start = pos_;
+          while (!AtEnd() && !(Peek() == ']' && PeekAt(1) == ']' &&
+                               PeekAt(2) == '>')) {
+            Advance();
+          }
+          if (AtEnd()) return Error("unterminated CDATA section");
+          WEBRE_RETURN_IF_ERROR(flush_text());
+          std::string cdata(input_.substr(start, pos_ - start));
+          if (!cdata.empty()) element->AddText(std::move(cdata));
+          Consume("]]>");
+          continue;
+        }
+        if (Consume("<?")) {
+          while (!AtEnd() && !Consume("?>")) Advance();
+          continue;
+        }
+        WEBRE_RETURN_IF_ERROR(flush_text());
+        StatusOr<std::unique_ptr<Node>> child = ParseElement();
+        if (!child.ok()) return child.status();
+        element->AddChild(std::move(child.value()));
+        continue;
+      }
+      pending_text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  XmlReadOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Node>> ParseXml(std::string_view input,
+                                         const XmlReadOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace webre

@@ -1,0 +1,34 @@
+#ifndef WEBRE_XML_READER_H_
+#define WEBRE_XML_READER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Parse options for ParseXml.
+struct XmlReadOptions {
+  /// Drop text nodes that consist solely of whitespace (typical for
+  /// pretty-printed documents).
+  bool skip_whitespace_text = true;
+  /// Trim leading/trailing whitespace of retained text nodes.
+  bool trim_text = true;
+};
+
+/// Parses a well-formed XML document into a Node tree and returns its root
+/// element. Supports elements, attributes (single- or double-quoted),
+/// character data, CDATA sections, comments, processing instructions and
+/// the XML declaration; DOCTYPE declarations are skipped. The five
+/// predefined entities and decimal/hex character references are decoded.
+///
+/// Errors (mismatched tags, truncated input, malformed syntax) are
+/// reported with a 1-based line number.
+StatusOr<std::unique_ptr<Node>> ParseXml(std::string_view input,
+                                         const XmlReadOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_XML_READER_H_

@@ -1,0 +1,105 @@
+#include "xml/writer.h"
+
+namespace webre {
+
+std::string EscapeXmlText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        out.append("&quot;");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNode(const Node& node, const XmlWriteOptions& options, int depth,
+               std::string& out) {
+  const bool pretty = options.indent > 0;
+  auto indent = [&](int d) {
+    if (pretty) out.append(static_cast<size_t>(d * options.indent), ' ');
+  };
+
+  if (node.is_text()) {
+    indent(depth);
+    out.append(EscapeXmlText(node.text()));
+    if (pretty) out.push_back('\n');
+    return;
+  }
+
+  indent(depth);
+  out.push_back('<');
+  out.append(node.name());
+  for (const Attribute& a : node.attributes()) {
+    out.push_back(' ');
+    out.append(a.name);
+    out.append("=\"");
+    out.append(EscapeXmlAttr(a.value));
+    out.push_back('"');
+  }
+  if (node.child_count() == 0 && options.self_close_empty) {
+    out.append("/>");
+    if (pretty) out.push_back('\n');
+    return;
+  }
+  out.push_back('>');
+  if (pretty) out.push_back('\n');
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    WriteNode(*node.child(i), options, depth + 1, out);
+  }
+  indent(depth);
+  out.append("</");
+  out.append(node.name());
+  out.push_back('>');
+  if (pretty) out.push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteXml(const Node& node, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent > 0) out.push_back('\n');
+  }
+  WriteNode(node, options, 0, out);
+  return out;
+}
+
+}  // namespace webre

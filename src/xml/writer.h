@@ -1,0 +1,34 @@
+#ifndef WEBRE_XML_WRITER_H_
+#define WEBRE_XML_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "xml/node.h"
+
+namespace webre {
+
+/// Serialization options for WriteXml.
+struct XmlWriteOptions {
+  /// Pretty-print with this many spaces per nesting level; 0 writes the
+  /// document on one line with no inter-element whitespace.
+  int indent = 2;
+  /// Emit the `<?xml version="1.0"?>` declaration.
+  bool declaration = false;
+  /// Collapse `<e></e>` to `<e/>`.
+  bool self_close_empty = true;
+};
+
+/// Escapes `s` for use as XML character data (&, <, >).
+std::string EscapeXmlText(std::string_view s);
+
+/// Escapes `s` for use inside a double-quoted attribute value
+/// (&, <, >, ").
+std::string EscapeXmlAttr(std::string_view s);
+
+/// Serializes the tree rooted at `node` as XML text.
+std::string WriteXml(const Node& node, const XmlWriteOptions& options = {});
+
+}  // namespace webre
+
+#endif  // WEBRE_XML_WRITER_H_

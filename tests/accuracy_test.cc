@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "restructure/accuracy.h"
+
+namespace webre {
+namespace {
+
+std::unique_ptr<Node> Tree(
+    const std::string& name,
+    std::vector<std::unique_ptr<Node>> children = {}) {
+  auto node = Node::MakeElement(name);
+  for (auto& child : children) node->AddChild(std::move(child));
+  return node;
+}
+
+std::vector<std::unique_ptr<Node>> Kids() { return {}; }
+
+template <typename... Rest>
+std::vector<std::unique_ptr<Node>> Kids(std::unique_ptr<Node> first,
+                                        Rest... rest) {
+  std::vector<std::unique_ptr<Node>> out = Kids(std::move(rest)...);
+  out.insert(out.begin(), std::move(first));
+  return out;
+}
+
+TEST(AccuracyTest, IdenticalTreesZeroErrors) {
+  auto a = Tree("resume",
+                Kids(Tree("EDUCATION", Kids(Tree("DATE"), Tree("DATE"))),
+                     Tree("SKILLS")));
+  auto b = Tree("resume",
+                Kids(Tree("EDUCATION", Kids(Tree("DATE"), Tree("DATE"))),
+                     Tree("SKILLS")));
+  AccuracyReport report = CompareTrees(*a, *b);
+  EXPECT_EQ(report.logical_errors, 0u);
+  EXPECT_EQ(report.concept_nodes, 4u);
+  EXPECT_EQ(report.ErrorPercent(), 0.0);
+}
+
+TEST(AccuracyTest, ValDifferencesIgnored) {
+  auto a = Tree("resume", Kids(Tree("DATE")));
+  a->child(0)->set_val("June 1996");
+  auto b = Tree("resume", Kids(Tree("DATE")));
+  b->child(0)->set_val("completely different");
+  EXPECT_EQ(CompareTrees(*a, *b).logical_errors, 0u);
+}
+
+TEST(AccuracyTest, ExtraNodeIsOneError) {
+  auto extracted =
+      Tree("resume", Kids(Tree("EDUCATION"), Tree("LOCATION")));
+  auto truth = Tree("resume", Kids(Tree("EDUCATION")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, MissingNodeIsOneError) {
+  auto extracted = Tree("resume", Kids(Tree("EDUCATION")));
+  auto truth = Tree("resume", Kids(Tree("EDUCATION"), Tree("SKILLS")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, ContiguousRunCountsOnce) {
+  // §4.1: "we may move a node and its siblings together ... counted as
+  // one logical error."
+  auto extracted = Tree("resume", Kids(Tree("A"), Tree("X"), Tree("Y"),
+                                       Tree("Z"), Tree("B")));
+  auto truth = Tree("resume", Kids(Tree("A"), Tree("B")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, SeparatedExtrasCountSeparately) {
+  auto extracted = Tree("resume", Kids(Tree("X"), Tree("A"), Tree("Y"),
+                                       Tree("B"), Tree("Z")));
+  auto truth = Tree("resume", Kids(Tree("A"), Tree("B")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 3u);
+}
+
+TEST(AccuracyTest, MovedGroupChargedOnce) {
+  // A group moved from EDUCATION to EXPERIENCE: unmatched under both
+  // parents, but max() per node charges the move once per side pairing.
+  auto extracted =
+      Tree("resume", Kids(Tree("EDUCATION"),
+                          Tree("EXPERIENCE", Kids(Tree("DATE")))));
+  auto truth =
+      Tree("resume", Kids(Tree("EDUCATION", Kids(Tree("DATE"))),
+                          Tree("EXPERIENCE")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 2u);
+}
+
+TEST(AccuracyTest, NestedErrorsAccumulate) {
+  auto extracted = Tree(
+      "resume", Kids(Tree("EDUCATION",
+                          Kids(Tree("DATE", Kids(Tree("LOCATION")))))));
+  auto truth = Tree("resume", Kids(Tree("EDUCATION", Kids(Tree("DATE")))));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, OrderRespectedByLcs) {
+  // Same multiset of children, different order: the LCS can only match
+  // one of the two, so the swap costs at least one error.
+  auto extracted = Tree("resume", Kids(Tree("SKILLS"), Tree("EDUCATION")));
+  auto truth = Tree("resume", Kids(Tree("EDUCATION"), Tree("SKILLS")));
+  EXPECT_GE(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, RootNameMismatchCounts) {
+  auto extracted = Tree("cv");
+  auto truth = Tree("resume");
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, ErrorPercentUsesConceptNodes) {
+  auto extracted = Tree(
+      "resume",
+      Kids(Tree("A"), Tree("B"), Tree("C"), Tree("D"), Tree("X")));
+  auto truth =
+      Tree("resume", Kids(Tree("A"), Tree("B"), Tree("C"), Tree("D")));
+  AccuracyReport report = CompareTrees(*extracted, *truth);
+  EXPECT_EQ(report.concept_nodes, 5u);
+  EXPECT_EQ(report.logical_errors, 1u);
+  EXPECT_NEAR(report.ErrorPercent(), 20.0, 1e-9);
+}
+
+TEST(AccuracyTest, RepeatedLabelsAlignInOrder) {
+  // Three DATE entries vs two: one unmatched run.
+  auto extracted = Tree(
+      "resume",
+      Kids(Tree("DATE", Kids(Tree("DEGREE"))),
+           Tree("DATE", Kids(Tree("DEGREE"))), Tree("DATE")));
+  auto truth = Tree("resume", Kids(Tree("DATE", Kids(Tree("DEGREE"))),
+                                   Tree("DATE", Kids(Tree("DEGREE")))));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 1u);
+}
+
+TEST(AccuracyTest, TextChildrenIgnored) {
+  auto extracted = Tree("resume", Kids(Tree("A")));
+  extracted->AddText("some text");
+  auto truth = Tree("resume", Kids(Tree("A")));
+  EXPECT_EQ(CompareTrees(*extracted, *truth).logical_errors, 0u);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/bayes.h"
+#include "classify/features.h"
+
+namespace webre {
+namespace {
+
+TEST(FeaturesTest, LowercasesAndStripsPunct) {
+  auto f = ExtractTokenFeatures("Hello, World!");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "hello");
+  EXPECT_EQ(f[1], "world");
+}
+
+TEST(FeaturesTest, YearShape) {
+  auto f = ExtractTokenFeatures("June 1996");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "june");
+  EXPECT_EQ(f[1], "#year#");
+}
+
+TEST(FeaturesTest, NumShape) {
+  auto f = ExtractTokenFeatures("room 42 floor 12345");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[1], "#num#");
+  EXPECT_EQ(f[3], "#num#");
+}
+
+TEST(FeaturesTest, RatioShape) {
+  auto f = ExtractTokenFeatures("GPA 3.8/4.0");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "gpa");
+  EXPECT_EQ(f[1], "#ratio#");
+}
+
+TEST(FeaturesTest, YearBoundaries) {
+  EXPECT_EQ(ExtractTokenFeatures("1899")[0], "#num#");   // before range
+  EXPECT_EQ(ExtractTokenFeatures("1900")[0], "#year#");
+  EXPECT_EQ(ExtractTokenFeatures("2099")[0], "#year#");
+  EXPECT_EQ(ExtractTokenFeatures("2100")[0], "#num#");   // 21xx excluded
+  EXPECT_EQ(ExtractTokenFeatures("996")[0], "#num#");
+}
+
+TEST(FeaturesTest, PurePunctuationYieldsNothing) {
+  EXPECT_TRUE(ExtractTokenFeatures("--- !!! ...").empty());
+  EXPECT_TRUE(ExtractTokenFeatures("").empty());
+}
+
+TEST(FeaturesTest, MixedAlnumKeptAsWord) {
+  auto f = ExtractTokenFeatures("X200 B2B");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "x200");
+  EXPECT_EQ(f[1], "b2b");
+}
+
+BayesClassifier TrainedOnDates() {
+  BayesClassifier clf;
+  clf.AddExample("DATE", ExtractTokenFeatures("June 1996"));
+  clf.AddExample("DATE", ExtractTokenFeatures("May 1998"));
+  clf.AddExample("DATE", ExtractTokenFeatures("October 2000"));
+  clf.AddExample("GPA", ExtractTokenFeatures("GPA 3.8/4.0"));
+  clf.AddExample("GPA", ExtractTokenFeatures("grade point average 3.5/4.0"));
+  clf.AddExample("INSTITUTION",
+                 ExtractTokenFeatures("Brockhaven University"));
+  clf.AddExample("INSTITUTION", ExtractTokenFeatures("Eastfield College"));
+  return clf;
+}
+
+TEST(BayesTest, EmptyClassifierReturnsEmptyLabel) {
+  BayesClassifier clf;
+  auto p = clf.Classify({"anything"});
+  EXPECT_TRUE(p.label.empty());
+}
+
+TEST(BayesTest, CountsTracked) {
+  BayesClassifier clf = TrainedOnDates();
+  EXPECT_EQ(clf.example_count(), 7u);
+  EXPECT_EQ(clf.label_count(), 3u);
+  EXPECT_GT(clf.vocabulary_size(), 5u);
+}
+
+TEST(BayesTest, ClassifiesSeenPatterns) {
+  BayesClassifier clf = TrainedOnDates();
+  EXPECT_EQ(clf.Classify(ExtractTokenFeatures("June 1996")).label, "DATE");
+  EXPECT_EQ(clf.Classify(ExtractTokenFeatures("GPA 3.2/4.0")).label, "GPA");
+}
+
+TEST(BayesTest, GeneralizesViaSharedFeatures) {
+  BayesClassifier clf = TrainedOnDates();
+  // "April 1997" was never seen, but #year# and month-like shape were.
+  EXPECT_EQ(clf.Classify(ExtractTokenFeatures("June 1997")).label, "DATE");
+  // Unseen institution word + "university" feature.
+  EXPECT_EQ(clf.Classify(ExtractTokenFeatures("Harrowgate University")).label,
+            "INSTITUTION");
+}
+
+TEST(BayesTest, MarginPositive) {
+  BayesClassifier clf = TrainedOnDates();
+  auto p = clf.Classify(ExtractTokenFeatures("June 1996"));
+  EXPECT_GT(p.margin, 0.0);
+}
+
+TEST(BayesTest, SingleClassHasInfiniteMargin) {
+  BayesClassifier clf;
+  clf.AddExample("ONLY", {"word"});
+  auto p = clf.Classify({"word"});
+  EXPECT_EQ(p.label, "ONLY");
+  EXPECT_TRUE(std::isinf(p.margin));
+}
+
+TEST(BayesTest, ThresholdFallsBackToUnknown) {
+  BayesClassifier clf = TrainedOnDates();
+  // A token with no informative features: tiny margin expected.
+  std::string label = clf.ClassifyWithThreshold(
+      ExtractTokenFeatures("zzz qqq"), /*min_margin=*/5.0, "unknown");
+  EXPECT_EQ(label, "unknown");
+  // A clear token passes a modest threshold.
+  label = clf.ClassifyWithThreshold(ExtractTokenFeatures("June 1996"),
+                                    /*min_margin=*/0.5, "unknown");
+  EXPECT_EQ(label, "DATE");
+}
+
+TEST(BayesTest, PriorBreaksTiesTowardFrequentClass) {
+  BayesClassifier clf;
+  for (int i = 0; i < 9; ++i) clf.AddExample("BIG", {"shared"});
+  clf.AddExample("SMALL", {"shared"});
+  EXPECT_EQ(clf.Classify({"shared"}).label, "BIG");
+}
+
+TEST(BayesTest, LaplaceSmoothingHandlesUnseenWords) {
+  BayesClassifier clf = TrainedOnDates();
+  // Entirely unseen words must not crash or return empty.
+  auto p = clf.Classify({"neverseenword"});
+  EXPECT_FALSE(p.label.empty());
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,118 @@
+// Cross-domain integration test: the restructuring rules and schema
+// discovery run unchanged on the product-catalog topic — only the
+// concept set differs (§5's "broader topics such as product catalogs").
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "corpus/catalog_generator.h"
+#include "repository/repository.h"
+#include "restructure/accuracy.h"
+#include "restructure/recognizer.h"
+
+namespace webre {
+namespace {
+
+class CatalogPipelineTest : public ::testing::Test {
+ protected:
+  CatalogPipelineTest()
+      : concepts_(CatalogConcepts()),
+        constraints_(CatalogConstraints()),
+        recognizer_(&concepts_) {}
+
+  Pipeline MakePipeline() {
+    PipelineOptions options;
+    options.convert.root_name = "catalog";
+    options.mining.sup_threshold = 0.4;
+    options.mining.ratio_threshold = 0.3;
+    return Pipeline(&concepts_, &recognizer_, &constraints_, options);
+  }
+
+  ConceptSet concepts_;
+  ConstraintSet constraints_;
+  SynonymRecognizer recognizer_;
+};
+
+TEST_F(CatalogPipelineTest, ConversionMatchesTruthExactly) {
+  // The catalog generator has a single clean style; the converter should
+  // recover the ideal tree with zero logical errors.
+  ConvertOptions convert;
+  convert.root_name = "catalog";
+  DocumentConverter converter(&concepts_, &recognizer_, &constraints_,
+                              convert);
+  for (size_t i = 0; i < 12; ++i) {
+    GeneratedCatalog page = GenerateCatalogPage(i);
+    auto xml = converter.Convert(page.html);
+    AccuracyReport report = CompareTrees(*xml, *page.truth);
+    EXPECT_EQ(report.logical_errors, 0u) << "page " << i;
+  }
+}
+
+TEST_F(CatalogPipelineTest, SchemaMatchesCatalogStructure) {
+  Pipeline pipeline = MakePipeline();
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 50; ++i) {
+    pages.push_back(GenerateCatalogPage(i).html);
+  }
+  PipelineResult result = pipeline.Run(pages);
+  EXPECT_EQ(result.schema.root().label, "catalog");
+  EXPECT_TRUE(result.schema.ContainsPath({"catalog", "CATEGORY"}));
+  EXPECT_TRUE(result.schema.ContainsPath({"catalog", "CATEGORY", "BRAND"}));
+  EXPECT_TRUE(result.schema.ContainsPath(
+      {"catalog", "CATEGORY", "BRAND", "PRICE"}));
+  EXPECT_TRUE(result.schema.ContainsPath(
+      {"catalog", "CATEGORY", "BRAND", "WARRANTY"}));
+}
+
+TEST_F(CatalogPipelineTest, DtdHasRepetitionMarkers) {
+  Pipeline pipeline = MakePipeline();
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 50; ++i) {
+    pages.push_back(GenerateCatalogPage(i).html);
+  }
+  PipelineResult result = pipeline.Run(pages);
+  const ElementDecl* catalog = result.dtd.Find("catalog");
+  ASSERT_NE(catalog, nullptr);
+  EXPECT_NE(catalog->ToString().find("CATEGORY+"), std::string::npos);
+  const ElementDecl* category = result.dtd.Find("CATEGORY");
+  ASSERT_NE(category, nullptr);
+  EXPECT_NE(category->ToString().find("BRAND+"), std::string::npos);
+}
+
+TEST_F(CatalogPipelineTest, ConvertedPagesConformDirectly) {
+  Pipeline pipeline = MakePipeline();
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 30; ++i) {
+    pages.push_back(GenerateCatalogPage(i).html);
+  }
+  PipelineResult result = pipeline.Run(pages);
+  // One clean style: all converted pages should match the derived DTD
+  // without mapping.
+  EXPECT_EQ(result.conforming_before, 30u);
+}
+
+TEST_F(CatalogPipelineTest, RepositoryQueriesWork) {
+  Pipeline pipeline = MakePipeline();
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 30; ++i) {
+    pages.push_back(GenerateCatalogPage(i).html);
+  }
+  PipelineResult result = pipeline.Run(pages);
+  XmlRepository repo;
+  for (auto& doc : result.documents) {
+    ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+  }
+  auto brands = repo.Query("/catalog/CATEGORY/BRAND");
+  ASSERT_TRUE(brands.ok());
+  EXPECT_GT(brands->size(), 60u);
+  auto voltex = repo.Query("//BRAND[val~\"voltex\"]");
+  ASSERT_TRUE(voltex.ok());
+  EXPECT_GT(voltex->size(), 0u);
+  for (const QueryMatch& match : *voltex) {
+    EXPECT_NE(std::string(match.node->val()).find("Voltex"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace webre

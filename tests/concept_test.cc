@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "concepts/concept.h"
+
+namespace webre {
+namespace {
+
+ConceptSet SmallSet() {
+  ConceptSet set;
+  set.Add({"INSTITUTION", {"university", "college", "univ"}});
+  set.Add({"DEGREE", {"b.s.", "bs", "master of science"}});
+  set.Add({"DATE", {"june", "#year#"}});
+  set.Add({"GPA", {"gpa", "#ratio#"}});
+  set.Add({"LOCATION", {"california", "boston"}});
+  return set;
+}
+
+TEST(ConceptTest, IsShapeInstance) {
+  EXPECT_TRUE(Concept::IsShapeInstance("#year#"));
+  EXPECT_TRUE(Concept::IsShapeInstance("#ratio#"));
+  EXPECT_FALSE(Concept::IsShapeInstance("year"));
+  EXPECT_FALSE(Concept::IsShapeInstance("#"));
+}
+
+TEST(ConceptSetTest, FindAndContains) {
+  ConceptSet set = SmallSet();
+  EXPECT_NE(set.Find("DATE"), nullptr);
+  EXPECT_EQ(set.Find("date"), nullptr);  // case-sensitive names
+  EXPECT_TRUE(set.Contains("GPA"));
+  EXPECT_FALSE(set.Contains("NOPE"));
+}
+
+TEST(ConceptSetTest, AddReplacesSameName) {
+  ConceptSet set = SmallSet();
+  const size_t before = set.size();
+  set.Add({"DATE", {"only-this"}});
+  EXPECT_EQ(set.size(), before);
+  EXPECT_EQ(set.Find("DATE")->instances.size(), 1u);
+}
+
+TEST(ConceptSetTest, TotalInstanceCount) {
+  ConceptSet set = SmallSet();
+  EXPECT_EQ(set.TotalInstanceCount(), 3u + 3u + 2u + 2u + 2u);
+}
+
+TEST(MatchTest, SimpleKeywordMatch) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("Stanford University");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_name, "INSTITUTION");
+  EXPECT_EQ(matches[0].position, 9u);
+  EXPECT_EQ(matches[0].length, 10u);
+}
+
+TEST(MatchTest, CaseInsensitive) {
+  ConceptSet set = SmallSet();
+  EXPECT_EQ(set.MatchFirst("UNIVERSITY").concept_name, "INSTITUTION");
+  EXPECT_EQ(set.MatchFirst("University").concept_name, "INSTITUTION");
+}
+
+TEST(MatchTest, WordBoundariesEnforced) {
+  ConceptSet set = SmallSet();
+  // "bs" must not match inside "jobs" or "absurd".
+  EXPECT_TRUE(set.MatchAll("jobs absurd").empty());
+  EXPECT_EQ(set.MatchFirst("BS, Computer Science").concept_name, "DEGREE");
+}
+
+TEST(MatchTest, ConceptNameItselfIsAnInstance) {
+  ConceptSet set = SmallSet();
+  // §2.2: the instance set "also includes the name of the concept".
+  EXPECT_EQ(set.MatchFirst("my GPA is fine").concept_name, "GPA");
+  EXPECT_EQ(set.MatchFirst("the degree earned").concept_name, "DEGREE");
+}
+
+TEST(MatchTest, LongerMatchWinsOverlap) {
+  ConceptSet set = SmallSet();
+  // "univ" and "university" both match at position 0; longer wins.
+  auto matches = set.MatchAll("university");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 10u);
+}
+
+TEST(MatchTest, MultiWordInstance) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("earned a Master of Science there");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_name, "DEGREE");
+  EXPECT_EQ(matches[0].length, 17u);
+}
+
+TEST(MatchTest, YearShapeMatches) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("in 1996 it happened");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_name, "DATE");
+  EXPECT_EQ(matches[0].position, 3u);
+  EXPECT_EQ(matches[0].length, 4u);
+}
+
+TEST(MatchTest, RatioShapeMatches) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("scored 3.8/4.0 overall");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_name, "GPA");
+}
+
+TEST(MatchTest, PlainNumberIsNotYear) {
+  ConceptSet set = SmallSet();
+  EXPECT_TRUE(set.MatchAll("room 42").empty());
+  EXPECT_TRUE(set.MatchAll("zip 95616").empty());
+}
+
+TEST(MatchTest, MultipleConceptsSortedByPosition) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("June 1996, University of California");
+  ASSERT_EQ(matches.size(), 4u);
+  EXPECT_EQ(matches[0].concept_name, "DATE");       // june
+  EXPECT_EQ(matches[1].concept_name, "DATE");       // 1996
+  EXPECT_EQ(matches[2].concept_name, "INSTITUTION");
+  EXPECT_EQ(matches[3].concept_name, "LOCATION");
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GT(matches[i].position, matches[i - 1].position);
+  }
+}
+
+TEST(MatchTest, NoMatchesGiveEmptyResult) {
+  ConceptSet set = SmallSet();
+  EXPECT_TRUE(set.MatchAll("nothing relevant here").empty());
+  EXPECT_EQ(set.MatchFirst("nothing").length, 0u);
+}
+
+TEST(MatchTest, EmptyTextAndEmptySet) {
+  ConceptSet set = SmallSet();
+  EXPECT_TRUE(set.MatchAll("").empty());
+  ConceptSet empty;
+  EXPECT_TRUE(empty.MatchAll("university").empty());
+}
+
+TEST(MatchTest, RepeatedInstanceMatchesEachOccurrence) {
+  ConceptSet set = SmallSet();
+  auto matches = set.MatchAll("college to college");
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(MatchTest, PunctuationAdjacentKeyword) {
+  ConceptSet set = SmallSet();
+  EXPECT_EQ(set.MatchFirst("(B.S.)").concept_name, "DEGREE");
+  EXPECT_EQ(set.MatchFirst("June.").concept_name, "DATE");
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "concepts/constraints.h"
+
+namespace webre {
+namespace {
+
+TEST(ConstraintTest, ToStringForms) {
+  EXPECT_EQ(ConceptConstraint::Parent("EDUCATION", "DEGREE").ToString(),
+            "parent(EDUCATION, DEGREE)");
+  EXPECT_EQ(ConceptConstraint::Sibling("DATE", "GPA", true).ToString(),
+            "!sibling(DATE, GPA)");
+  EXPECT_EQ(
+      ConceptConstraint::Depth("CONTACT", DepthRelation::kEq, 1).ToString(),
+      "depth(CONTACT) = 1");
+  EXPECT_EQ(
+      ConceptConstraint::Depth("DATE", DepthRelation::kGt, 1).ToString(),
+      "depth(DATE) > 1");
+}
+
+TEST(ConstraintSetTest, DepthEquality) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Depth("TITLE", DepthRelation::kEq, 1));
+  EXPECT_TRUE(set.AllowedAtLevel("TITLE", 1));
+  EXPECT_FALSE(set.AllowedAtLevel("TITLE", 2));
+  EXPECT_TRUE(set.AllowedAtLevel("OTHER", 7));  // unconstrained
+}
+
+TEST(ConstraintSetTest, DepthGreaterAndLess) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Depth("DEEP", DepthRelation::kGt, 1));
+  set.Add(ConceptConstraint::Depth("SHALLOW", DepthRelation::kLt, 3));
+  EXPECT_FALSE(set.AllowedAtLevel("DEEP", 1));
+  EXPECT_TRUE(set.AllowedAtLevel("DEEP", 2));
+  EXPECT_TRUE(set.AllowedAtLevel("SHALLOW", 2));
+  EXPECT_FALSE(set.AllowedAtLevel("SHALLOW", 3));
+}
+
+TEST(ConstraintSetTest, NegatedDepth) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Depth("X", DepthRelation::kEq, 2,
+                                   /*negated=*/true));
+  EXPECT_TRUE(set.AllowedAtLevel("X", 1));
+  EXPECT_FALSE(set.AllowedAtLevel("X", 2));
+  EXPECT_TRUE(set.AllowedAtLevel("X", 3));
+}
+
+TEST(ConstraintSetTest, MaxLevelCapsEverything) {
+  ConstraintSet set;
+  set.set_max_level(3);
+  EXPECT_TRUE(set.AllowedAtLevel("ANY", 3));
+  EXPECT_FALSE(set.AllowedAtLevel("ANY", 4));
+}
+
+TEST(ConstraintSetTest, NegatedParentBlocksAncestry) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Parent("SKILLS", "DATE", /*negated=*/true));
+  EXPECT_FALSE(set.AncestorAllowed("SKILLS", "DATE"));
+  EXPECT_TRUE(set.AncestorAllowed("EDUCATION", "DATE"));
+}
+
+TEST(ConstraintSetTest, NegatedSiblingBlocksPair) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Sibling("GPA", "COMPANY", /*negated=*/true));
+  EXPECT_FALSE(set.SiblingAllowed("GPA", "COMPANY"));
+  EXPECT_FALSE(set.SiblingAllowed("COMPANY", "GPA"));  // symmetric
+  EXPECT_TRUE(set.SiblingAllowed("GPA", "DATE"));
+}
+
+TEST(ConstraintSetTest, PositiveSiblingIsHintNotExclusion) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Sibling("DEGREE", "MAJOR"));
+  EXPECT_TRUE(set.SiblingExpected("DEGREE", "MAJOR"));
+  EXPECT_TRUE(set.SiblingExpected("MAJOR", "DEGREE"));
+  EXPECT_FALSE(set.SiblingExpected("DEGREE", "DATE"));
+  // Other pairs remain allowed.
+  EXPECT_TRUE(set.SiblingAllowed("DEGREE", "DATE"));
+}
+
+TEST(PathAllowedTest, DepthConstraintsAlongPath) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Depth("TITLE", DepthRelation::kEq, 1));
+  set.Add(ConceptConstraint::Depth("CONTENT", DepthRelation::kGt, 1));
+  EXPECT_TRUE(set.PathAllowed({"root", "TITLE", "CONTENT"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "CONTENT"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "TITLE", "TITLE2", "TITLE"}));
+}
+
+TEST(PathAllowedTest, NoRepeatOnPath) {
+  ConstraintSet set;
+  set.set_no_repeat_on_path(true);
+  EXPECT_TRUE(set.PathAllowed({"root", "A", "B"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "A", "B", "A"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "root"}));
+}
+
+TEST(PathAllowedTest, PositiveParentRequiresAncestor) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Parent("EDUCATION", "DEGREE"));
+  EXPECT_TRUE(set.PathAllowed({"root", "EDUCATION", "DATE", "DEGREE"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "EXPERIENCE", "DEGREE"}));
+  // Paths without DEGREE are unaffected.
+  EXPECT_TRUE(set.PathAllowed({"root", "EXPERIENCE", "DATE"}));
+}
+
+TEST(PathAllowedTest, NegatedParentForbidsAncestor) {
+  ConstraintSet set;
+  set.Add(ConceptConstraint::Parent("SKILLS", "DATE", /*negated=*/true));
+  EXPECT_FALSE(set.PathAllowed({"root", "SKILLS", "DATE"}));
+  EXPECT_FALSE(set.PathAllowed({"root", "SKILLS", "X", "DATE"}));
+  EXPECT_TRUE(set.PathAllowed({"root", "EDUCATION", "DATE"}));
+}
+
+TEST(PathAllowedTest, EmptyConstraintSetAllowsEverything) {
+  ConstraintSet set;
+  EXPECT_TRUE(set.PathAllowed({"root", "A", "B", "C", "D", "E", "A"}));
+}
+
+}  // namespace
+}  // namespace webre

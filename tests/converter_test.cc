@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "concepts/resume_domain.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+
+namespace webre {
+namespace {
+
+class ConverterTest : public ::testing::Test {
+ protected:
+  ConverterTest()
+      : concepts_(ResumeConcepts()),
+        constraints_(ResumeConstraints()),
+        recognizer_(&concepts_),
+        converter_(&concepts_, &recognizer_, &constraints_) {}
+
+  ConceptSet concepts_;
+  ConstraintSet constraints_;
+  SynonymRecognizer recognizer_;
+  DocumentConverter converter_;
+};
+
+constexpr char kResumeHtml[] = R"(
+<html><body>
+<h2>Education</h2>
+<ul>
+<li>June 1996, Brockhaven University, B.S., Computer Science
+<li>June 1998, Eastfield College, M.S., Physics
+</ul>
+<h2>Skills</h2>
+<p>C++, Java, SQL</p>
+</body></html>)";
+
+TEST_F(ConverterTest, RootRenamedToTopic) {
+  auto doc = converter_.Convert(kResumeHtml);
+  EXPECT_EQ(doc->name(), "resume");
+}
+
+TEST_F(ConverterTest, SectionsBecomeSiblingConcepts) {
+  auto doc = converter_.Convert(kResumeHtml);
+  ASSERT_EQ(doc->child_count(), 2u);
+  EXPECT_EQ(doc->child(0)->name(), "EDUCATION");
+  EXPECT_EQ(doc->child(1)->name(), "SKILLS");
+}
+
+TEST_F(ConverterTest, EducationEntriesNestUnderLeadingDate) {
+  auto doc = converter_.Convert(kResumeHtml);
+  const Node* education = doc->child(0);
+  ASSERT_EQ(education->child_count(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const Node* date = education->child(i);
+    EXPECT_EQ(date->name(), "DATE");
+    ASSERT_EQ(date->child_count(), 3u);
+    EXPECT_EQ(date->child(0)->name(), "INSTITUTION");
+    EXPECT_EQ(date->child(1)->name(), "DEGREE");
+    EXPECT_EQ(date->child(2)->name(), "MAJOR");
+  }
+}
+
+TEST_F(ConverterTest, SkillsStayFlat) {
+  auto doc = converter_.Convert(kResumeHtml);
+  const Node* skills = doc->child(1);
+  ASSERT_EQ(skills->child_count(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(skills->child(i)->name(), "LANGUAGE");
+  }
+}
+
+TEST_F(ConverterTest, OnlyConceptElementsInOutput) {
+  auto doc = converter_.Convert(kResumeHtml);
+  doc->PreOrder([&](const Node& n) {
+    if (!n.is_element() || &n == doc.get()) return;
+    EXPECT_TRUE(concepts_.Contains(n.name())) << n.name();
+  });
+}
+
+TEST_F(ConverterTest, StatsPopulated) {
+  ConvertStats stats;
+  converter_.Convert(kResumeHtml, &stats);
+  EXPECT_GT(stats.tokens_created, 8u);
+  EXPECT_GT(stats.instance.tokens_identified, 8u);
+  EXPECT_GT(stats.groups_created, 0u);
+  EXPECT_GT(stats.concept_nodes, 10u);
+  EXPECT_GT(stats.consolidation.nodes_deleted +
+                stats.consolidation.nodes_pushed_up +
+                stats.consolidation.nodes_replaced,
+            0u);
+}
+
+TEST_F(ConverterTest, CustomRootName) {
+  ConvertOptions options;
+  options.root_name = "cv";
+  DocumentConverter converter(&concepts_, &recognizer_, &constraints_,
+                              options);
+  auto doc = converter.Convert(kResumeHtml);
+  EXPECT_EQ(doc->name(), "cv");
+}
+
+TEST_F(ConverterTest, EmptyInputYieldsEmptyRoot) {
+  auto doc = converter_.Convert("");
+  EXPECT_EQ(doc->name(), "resume");
+  EXPECT_EQ(doc->child_count(), 0u);
+}
+
+TEST_F(ConverterTest, PureTextNoConceptsFoldsIntoRootVal) {
+  auto doc = converter_.Convert("<p>just a plain paragraph</p>");
+  EXPECT_EQ(doc->child_count(), 0u);
+  EXPECT_EQ(doc->val(), "just a plain paragraph");
+}
+
+TEST_F(ConverterTest, MalformedHtmlStillConverts) {
+  // §2.4 resilience: unclosed tags, stray end tags, uppercase markup.
+  const char* kSloppy =
+      "<BODY><H2>Education</h2><UL><LI>June 1996, Brockhaven University"
+      "<li>May 1997, Eastfield College</ul></extra>";
+  auto doc = converter_.Convert(kSloppy);
+  ASSERT_GE(doc->child_count(), 1u);
+  const Node* education = doc->child(0);
+  EXPECT_EQ(education->name(), "EDUCATION");
+  ASSERT_EQ(education->child_count(), 2u);
+  EXPECT_EQ(education->child(0)->name(), "DATE");
+}
+
+TEST_F(ConverterTest, GroupingDisabledChangesShape) {
+  ConvertOptions options;
+  options.apply_grouping = false;
+  DocumentConverter no_grouping(&concepts_, &recognizer_, &constraints_,
+                                options);
+  auto with = converter_.Convert(kResumeHtml);
+  auto without = no_grouping.Convert(kResumeHtml);
+  // Without the grouping rule the section content does not sink under
+  // the section concept: more top-level children.
+  EXPECT_GT(without->child_count(), with->child_count());
+}
+
+TEST_F(ConverterTest, TidyToggleDoesNotBreakCleanInput) {
+  ConvertOptions options;
+  options.apply_tidy = false;
+  DocumentConverter no_tidy(&concepts_, &recognizer_, &constraints_,
+                            options);
+  auto a = converter_.Convert(kResumeHtml);
+  auto b = no_tidy.Convert(kResumeHtml);
+  // Clean input: same structure either way.
+  EXPECT_EQ(a->DebugString(), b->DebugString());
+}
+
+TEST_F(ConverterTest, ValCarriesOriginalText) {
+  auto doc = converter_.Convert(kResumeHtml);
+  const Node* education = doc->child(0);
+  EXPECT_EQ(education->val(), "Education");
+  EXPECT_EQ(education->child(0)->val(), "June 1996");
+  EXPECT_EQ(education->child(0)->child(0)->val(), "Brockhaven University");
+}
+
+TEST_F(ConverterTest, ConvertTreeAcceptsParsedInput) {
+  auto tree = ParseHtml(kResumeHtml);
+  auto doc = converter_.ConvertTree(std::move(tree));
+  EXPECT_EQ(doc->name(), "resume");
+  EXPECT_EQ(doc->child_count(), 2u);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "concepts/resume_domain.h"
+#include "corpus/catalog_generator.h"
+#include "corpus/resume_generator.h"
+#include "corpus/vocab.h"
+
+namespace webre {
+namespace {
+
+TEST(VocabTest, PoolsNonEmpty) {
+  EXPECT_FALSE(FirstNames().empty());
+  EXPECT_FALSE(LastNames().empty());
+  EXPECT_FALSE(SafeInstitutions().empty());
+  EXPECT_FALSE(CollidingInstitutions().empty());
+  EXPECT_FALSE(ObjectiveLines().empty());
+  EXPECT_FALSE(UnrecognizableHeadings().empty());
+}
+
+TEST(VocabTest, SafeInstitutionsMatchOnlyInstitution) {
+  ConceptSet concepts = ResumeConcepts();
+  for (const std::string& inst : SafeInstitutions()) {
+    auto matches = concepts.MatchAll(inst);
+    ASSERT_FALSE(matches.empty()) << inst;
+    for (const InstanceMatch& m : matches) {
+      EXPECT_EQ(m.concept_name, "INSTITUTION") << inst;
+    }
+  }
+}
+
+TEST(VocabTest, CollidingInstitutionsMatchTwoConcepts) {
+  ConceptSet concepts = ResumeConcepts();
+  for (const std::string& inst : CollidingInstitutions()) {
+    auto matches = concepts.MatchAll(inst);
+    std::set<std::string> names;
+    for (const InstanceMatch& m : matches) {
+      names.insert(std::string(m.concept_name));
+    }
+    EXPECT_EQ(names.size(), 2u) << inst;
+    EXPECT_TRUE(names.count("INSTITUTION")) << inst;
+    EXPECT_TRUE(names.count("LOCATION")) << inst;
+  }
+}
+
+TEST(VocabTest, AwardAndObjectiveLinesUnrecognizable) {
+  ConceptSet concepts = ResumeConcepts();
+  for (const std::string& line : AwardLines()) {
+    EXPECT_TRUE(concepts.MatchAll(line).empty()) << line;
+  }
+  for (const std::string& line : ObjectiveLines()) {
+    EXPECT_TRUE(concepts.MatchAll(line).empty()) << line;
+  }
+  for (const std::string& line : ActivityLines()) {
+    EXPECT_TRUE(concepts.MatchAll(line).empty()) << line;
+  }
+  for (const std::string& line : UnrecognizableHeadings()) {
+    EXPECT_TRUE(concepts.MatchAll(line).empty()) << line;
+  }
+}
+
+TEST(VocabTest, HeadingsRecognizedAsTheirSection) {
+  ConceptSet concepts = ResumeConcepts();
+  auto check = [&](const std::vector<std::string>& pool,
+                   const char* expected) {
+    for (const std::string& heading : pool) {
+      InstanceMatch m = concepts.MatchFirst(heading);
+      EXPECT_EQ(m.concept_name, expected) << heading;
+    }
+  };
+  check(ContactHeadings(), "CONTACT");
+  check(ObjectiveHeadings(), "OBJECTIVE");
+  check(EducationHeadings(), "EDUCATION");
+  check(ExperienceHeadings(), "EXPERIENCE");
+  check(SkillsHeadings(), "SKILLS");
+  check(CoursesHeadings(), "COURSES");
+  check(AwardsHeadings(), "AWARDS");
+  check(ActivitiesHeadings(), "ACTIVITIES");
+  check(ReferenceHeadings(), "REFERENCE");
+}
+
+TEST(GeneratorTest, DeterministicPerIndex) {
+  GeneratedResume a = GenerateResume(17);
+  GeneratedResume b = GenerateResume(17);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_TRUE(*a.truth == *b.truth);
+  EXPECT_EQ(a.style.id, b.style.id);
+}
+
+TEST(GeneratorTest, DifferentIndicesDiffer) {
+  EXPECT_NE(GenerateResume(1).html, GenerateResume(2).html);
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  CorpusOptions other;
+  other.seed = 12345;
+  EXPECT_NE(GenerateResume(1).html, GenerateResume(1, other).html);
+}
+
+TEST(GeneratorTest, MandatorySectionsAlwaysPresent) {
+  for (size_t i = 0; i < 30; ++i) {
+    GeneratedResume r = GenerateResume(i);
+    EXPECT_NE(r.data.SectionIndex(Section::kContact), static_cast<size_t>(-1));
+    EXPECT_NE(r.data.SectionIndex(Section::kEducation),
+              static_cast<size_t>(-1));
+    EXPECT_FALSE(r.data.education.empty());
+    EXPECT_FALSE(r.data.experience.empty());
+    EXPECT_FALSE(r.data.skills.empty());
+  }
+}
+
+TEST(GeneratorTest, HtmlContainsTheFacts) {
+  GeneratedResume r = GenerateResume(3);
+  EXPECT_NE(r.html.find(r.data.education[0].degree), std::string::npos);
+  EXPECT_NE(r.html.find(r.data.experience[0].company), std::string::npos);
+  EXPECT_TRUE(r.html.find("<body") != std::string::npos ||
+              r.html.find("<BODY") != std::string::npos);
+}
+
+TEST(GeneratorTest, TruthRootIsResume) {
+  GeneratedResume r = GenerateResume(5);
+  EXPECT_EQ(r.truth->name(), "resume");
+  EXPECT_GT(r.truth->SubtreeSize(), 10u);
+}
+
+TEST(GeneratorTest, FixedStyleHonored) {
+  CorpusOptions options;
+  options.fixed_style = 7;
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(GenerateResume(i, options).style.id, 7);
+  }
+}
+
+TEST(GeneratorTest, AllStylesProduceParseableHtml) {
+  CorpusOptions options;
+  for (size_t style = 0; style < StyleCount(); ++style) {
+    options.fixed_style = static_cast<int>(style);
+    GeneratedResume r = GenerateResume(0, options);
+    EXPECT_FALSE(r.html.empty());
+    EXPECT_NE(r.html.find("<html>"), std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, CorpusBatchMatchesIndividual) {
+  std::vector<GeneratedResume> corpus = GenerateCorpus(5);
+  ASSERT_EQ(corpus.size(), 5u);
+  EXPECT_EQ(corpus[3].html, GenerateResume(3).html);
+}
+
+TEST(GeneratorTest, StyleMixCoversCleanAndStressorStyles) {
+  std::set<int> seen;
+  for (size_t i = 0; i < 200; ++i) {
+    seen.insert(GenerateResume(i).style.id);
+  }
+  EXPECT_GE(seen.size(), 10u);
+}
+
+TEST(CatalogTest, DeterministicAndDistinct) {
+  GeneratedCatalog a = GenerateCatalogPage(2);
+  GeneratedCatalog b = GenerateCatalogPage(2);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_NE(a.html, GenerateCatalogPage(3).html);
+}
+
+TEST(CatalogTest, ConceptsCoverRenderedContent) {
+  ConceptSet concepts = CatalogConcepts();
+  GeneratedCatalog page = GenerateCatalogPage(1);
+  EXPECT_TRUE(concepts.Contains("CATEGORY"));
+  EXPECT_TRUE(concepts.Contains("BRAND"));
+  EXPECT_NE(page.html.find("warranty"), std::string::npos);
+  EXPECT_EQ(page.truth->name(), "catalog");
+  EXPECT_GT(page.truth->child_count(), 0u);
+  EXPECT_EQ(page.truth->child(0)->name(), "CATEGORY");
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "concepts/resume_domain.h"
+#include "corpus/crawler.h"
+#include "corpus/resume_generator.h"
+
+namespace webre {
+namespace {
+
+class CrawlerTest : public ::testing::Test {
+ protected:
+  CrawlerTest() : concepts_(ResumeConcepts()) {
+    options_.title_concepts = ResumeTitleConceptNames();
+  }
+
+  ConceptSet concepts_;
+  CrawlerOptions options_;
+};
+
+TEST_F(CrawlerTest, ResumesScoreHigherThanDistractors) {
+  TopicCrawler crawler(&concepts_, options_);
+  Rng rng(1);
+  double resume_min = 1e9;
+  double distractor_max = -1e9;
+  for (size_t i = 0; i < 10; ++i) {
+    resume_min =
+        std::min(resume_min, crawler.ScorePage(GenerateResume(i).html));
+    distractor_max =
+        std::max(distractor_max, crawler.ScorePage(GenerateDistractorPage(rng)));
+  }
+  EXPECT_GT(resume_min, distractor_max);
+}
+
+TEST_F(CrawlerTest, AcceptsResumesRejectsDistractors) {
+  TopicCrawler crawler(&concepts_, options_);
+  Rng rng(2);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(crawler.Accept(GenerateResume(i).html)) << i;
+    EXPECT_FALSE(crawler.Accept(GenerateDistractorPage(rng))) << i;
+  }
+}
+
+TEST_F(CrawlerTest, CrawlFiltersMixedStream) {
+  TopicCrawler crawler(&concepts_, options_);
+  Rng rng(3);
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 8; ++i) {
+    pages.push_back(GenerateResume(i).html);
+    pages.push_back(GenerateDistractorPage(rng));
+  }
+  std::vector<std::string> accepted = crawler.Crawl(pages);
+  EXPECT_EQ(accepted.size(), 8u);
+}
+
+TEST_F(CrawlerTest, EmptyPageScoresZero) {
+  TopicCrawler crawler(&concepts_, options_);
+  EXPECT_DOUBLE_EQ(crawler.ScorePage(""), 0.0);
+  EXPECT_DOUBLE_EQ(crawler.ScorePage("<html><body></body></html>"), 0.0);
+}
+
+TEST_F(CrawlerTest, TitleBonusRaisesScore) {
+  CrawlerOptions no_bonus = options_;
+  no_bonus.title_bonus = 0.0;
+  TopicCrawler with(&concepts_, options_);
+  TopicCrawler without(&concepts_, no_bonus);
+  const std::string html = GenerateResume(0).html;
+  EXPECT_GT(with.ScorePage(html), without.ScorePage(html));
+}
+
+TEST_F(CrawlerTest, ThresholdControlsAcceptance) {
+  CrawlerOptions strict = options_;
+  strict.score_threshold = 10.0;  // impossible
+  TopicCrawler crawler(&concepts_, strict);
+  EXPECT_FALSE(crawler.Accept(GenerateResume(0).html));
+
+  CrawlerOptions lax = options_;
+  lax.score_threshold = 0.0;
+  TopicCrawler lax_crawler(&concepts_, lax);
+  Rng rng(4);
+  EXPECT_TRUE(lax_crawler.Accept(GenerateDistractorPage(rng)));
+}
+
+TEST_F(CrawlerTest, DistractorsDeterministicPerRngState) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(GenerateDistractorPage(a), GenerateDistractorPage(b));
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,156 @@
+// Differential tests: two independent ways of computing the same thing
+// must agree. These guard the optimizations (index pruning, incremental
+// statistics) against the straightforward implementations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "html/parser.h"
+#include "html/tidy.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/frequent_paths.h"
+#include "schema/path_extractor.h"
+
+namespace webre {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : concepts(ResumeConcepts()),
+        constraints(ResumeConstraints()),
+        recognizer(&concepts),
+        converter(&concepts, &recognizer, &constraints) {}
+
+  ConceptSet concepts;
+  ConstraintSet constraints;
+  SynonymRecognizer recognizer;
+  DocumentConverter converter;
+};
+
+Fixture& Shared() {
+  static Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+class QueryDifferential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QueryDifferential, IndexPrunedQueryEqualsBruteForce) {
+  Fixture& f = Shared();
+  XmlRepository repo;
+  std::vector<const Node*> roots;
+  for (size_t i = 0; i < 25; ++i) {
+    auto doc = f.converter.Convert(GenerateResume(i).html);
+    roots.push_back(doc.get());
+    ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+  }
+  auto parsed = PathQuery::Parse(GetParam());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  // Brute force: evaluate against every document.
+  std::vector<std::pair<size_t, const Node*>> brute;
+  for (size_t id = 0; id < roots.size(); ++id) {
+    for (const Node* node : parsed->Evaluate(*repo.document(id))) {
+      brute.emplace_back(id, node);
+    }
+  }
+  // Repository path: may prune candidates via the label-path index.
+  std::vector<std::pair<size_t, const Node*>> indexed;
+  for (const QueryMatch& m : repo.Query(*parsed)) {
+    indexed.emplace_back(m.doc, m.node);
+  }
+  EXPECT_EQ(brute, indexed) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, QueryDifferential,
+    ::testing::Values("/resume/EDUCATION/DATE",
+                      "/resume/EDUCATION/DATE/INSTITUTION",
+                      "/resume/SKILLS/LANGUAGE", "//DATE", "//LOCATION",
+                      "/resume/*/LANGUAGE", "//DATE[val~\"199\"]",
+                      "/resume/EXPERIENCE//DATE",
+                      "/resume/CONTACT/LOCATION/PHONE",
+                      "/resume/NOSUCH/THING"));
+
+TEST(TidyDifferential, TidyIsIdempotent) {
+  for (size_t i = 0; i < 15; ++i) {
+    auto once = ParseHtml(GenerateResume(i).html);
+    TidyHtmlTree(once.get());
+    auto twice = once->Clone();
+    TidyHtmlTree(twice.get());
+    EXPECT_TRUE(*once == *twice) << "doc " << i;
+  }
+}
+
+TEST(MinerDifferential, IncrementalEqualsBatchExtraction) {
+  // AddDocument (tree walk inside the miner) must agree with
+  // AddDocumentPaths over a pre-extracted DocumentPaths.
+  Fixture& f = Shared();
+  FrequentPathMiner a;
+  FrequentPathMiner b;
+  for (size_t i = 0; i < 15; ++i) {
+    auto doc = f.converter.Convert(GenerateResume(i).html);
+    a.AddDocument(*doc);
+    b.AddDocumentPaths(ExtractPaths(*doc));
+  }
+  a.mutable_options().sup_threshold = 0.3;
+  b.mutable_options().sup_threshold = 0.3;
+  MajoritySchema schema_a = a.Discover();
+  MajoritySchema schema_b = b.Discover();
+  EXPECT_EQ(schema_a.ToString(), schema_b.ToString());
+}
+
+TEST(MinerDifferential, DocumentOrderIrrelevant) {
+  Fixture& f = Shared();
+  std::vector<std::unique_ptr<Node>> docs;
+  for (size_t i = 0; i < 15; ++i) {
+    docs.push_back(f.converter.Convert(GenerateResume(i).html));
+  }
+  FrequentPathMiner forward;
+  FrequentPathMiner backward;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    forward.AddDocument(*docs[i]);
+    backward.AddDocument(*docs[docs.size() - 1 - i]);
+  }
+  EXPECT_EQ(forward.Discover().ToString(),
+            backward.Discover().ToString());
+}
+
+TEST(ConvertStatsDifferential, ConceptNodesMatchesTreeCount) {
+  Fixture& f = Shared();
+  for (size_t i = 0; i < 15; ++i) {
+    ConvertStats stats;
+    auto doc = f.converter.Convert(GenerateResume(i).html, &stats);
+    size_t elements = 0;
+    doc->PreOrder([&](const Node& n) {
+      if (n.is_element()) ++elements;
+    });
+    EXPECT_EQ(stats.concept_nodes, elements - 1) << "doc " << i;
+  }
+}
+
+TEST(RepositoryDifferential, PathIndexAgreesWithExtraction) {
+  Fixture& f = Shared();
+  XmlRepository repo;
+  std::vector<DocumentPaths> extracted;
+  for (size_t i = 0; i < 12; ++i) {
+    auto doc = f.converter.Convert(GenerateResume(i).html);
+    extracted.push_back(ExtractPaths(*doc));
+    ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+  }
+  // Every extracted path of doc i is answered by the index with i in it.
+  for (size_t i = 0; i < extracted.size(); ++i) {
+    for (const LabelPath& path : extracted[i].paths) {
+      std::vector<DocId> docs = repo.DocumentsWithPath(path);
+      EXPECT_TRUE(std::find(docs.begin(), docs.end(), i) != docs.end())
+          << JoinLabelPath(path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "mapping/document_mapper.h"
+#include "schema/dtd_builder.h"
+#include "xml/dtd_validator.h"
+
+namespace webre {
+namespace {
+
+SchemaNode Leaf(const std::string& label, double rep = 0.0) {
+  SchemaNode node;
+  node.label = label;
+  node.rep_fraction = rep;
+  node.doc_count = 10;
+  return node;
+}
+
+// Schema: resume -> contact, education+ -> (degree, date).
+MajoritySchema TestSchema() {
+  SchemaNode root = Leaf("resume");
+  root.children.push_back(Leaf("contact"));
+  SchemaNode education = Leaf("education", /*rep=*/0.9);
+  education.children.push_back(Leaf("degree"));
+  education.children.push_back(Leaf("date"));
+  root.children.push_back(education);
+  return MajoritySchema(std::move(root));
+}
+
+class MapperTest : public ::testing::Test {
+ protected:
+  MapperTest() : schema_(TestSchema()), dtd_(BuildDtd(schema_)) {}
+
+  MajoritySchema schema_;
+  Dtd dtd_;
+};
+
+TEST_F(MapperTest, ConformingDocumentUnchanged) {
+  auto doc = Node::MakeElement("resume");
+  doc->AddElement("contact");
+  Node* edu = doc->AddElement("education");
+  edu->AddElement("degree");
+  edu->AddElement("date");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  EXPECT_DOUBLE_EQ(result.report.edit_distance, 0.0);
+  EXPECT_TRUE(*result.document == *doc);
+}
+
+TEST_F(MapperTest, OffSchemaElementSpliced) {
+  auto doc = Node::MakeElement("resume");
+  doc->AddElement("contact");
+  Node* wrapper = doc->AddElement("stray");
+  Node* edu = wrapper->AddElement("education");
+  edu->AddElement("degree");
+  edu->AddElement("date");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  EXPECT_GE(result.report.nodes_removed, 1u);
+  // education survived the splice.
+  ASSERT_EQ(result.document->child_count(), 2u);
+  EXPECT_EQ(result.document->child(1)->name(), "education");
+}
+
+TEST_F(MapperTest, SplicedElementValFoldsIntoParent) {
+  auto doc = Node::MakeElement("resume");
+  doc->AddElement("contact");
+  Node* stray = doc->AddElement("stray");
+  stray->set_val("precious text");
+  Node* edu = doc->AddElement("education");
+  edu->AddElement("degree");
+  edu->AddElement("date");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_NE(result.document->val().find("precious text"),
+            std::string_view::npos);
+}
+
+TEST_F(MapperTest, ChildrenReorderedToSchemaOrder) {
+  auto doc = Node::MakeElement("resume");
+  Node* edu = doc->AddElement("education");
+  edu->AddElement("date");    // schema order is degree, date
+  edu->AddElement("degree");
+  doc->AddElement("contact");  // schema order is contact, education
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  EXPECT_GT(result.report.reorder_moves, 0u);
+  EXPECT_EQ(result.document->child(0)->name(), "contact");
+  const Node* mapped_edu = result.document->child(1);
+  EXPECT_EQ(mapped_edu->child(0)->name(), "degree");
+  EXPECT_EQ(mapped_edu->child(1)->name(), "date");
+}
+
+TEST_F(MapperTest, MissingRequiredChildInserted) {
+  auto doc = Node::MakeElement("resume");
+  Node* edu = doc->AddElement("education");  // no contact, no degree/date
+  (void)edu;
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  EXPECT_GE(result.report.nodes_inserted, 3u);  // contact, degree, date
+}
+
+TEST_F(MapperTest, SurplusSingletonsMerged) {
+  auto doc = Node::MakeElement("resume");
+  Node* c1 = doc->AddElement("contact");
+  c1->set_val("first");
+  Node* c2 = doc->AddElement("contact");
+  c2->set_val("second");
+  Node* edu = doc->AddElement("education");
+  edu->AddElement("degree");
+  edu->AddElement("date");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  // contact is singular in the DTD: merged into one with both vals.
+  size_t contacts = 0;
+  for (size_t i = 0; i < result.document->child_count(); ++i) {
+    if (result.document->child(i)->name() == "contact") ++contacts;
+  }
+  EXPECT_EQ(contacts, 1u);
+  EXPECT_EQ(result.document->child(0)->val(), "first second");
+}
+
+TEST_F(MapperTest, RepetitiveChildrenKept) {
+  auto doc = Node::MakeElement("resume");
+  doc->AddElement("contact");
+  for (int i = 0; i < 3; ++i) {
+    Node* edu = doc->AddElement("education");
+    edu->AddElement("degree");
+    edu->AddElement("date");
+  }
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_TRUE(result.report.conforms);
+  EXPECT_EQ(result.document->child_count(), 4u);  // contact + 3 education
+}
+
+TEST_F(MapperTest, WrongRootRelabeled) {
+  auto doc = Node::MakeElement("cv");
+  doc->AddElement("contact");
+  Node* edu = doc->AddElement("education");
+  edu->AddElement("degree");
+  edu->AddElement("date");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_EQ(result.document->name(), "resume");
+  EXPECT_TRUE(result.report.conforms);
+}
+
+TEST_F(MapperTest, EditDistanceReflectsWork) {
+  auto doc = Node::MakeElement("resume");
+  doc->AddElement("junk1");
+  doc->AddElement("junk2");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  EXPECT_GT(result.report.edit_distance, 0.0);
+}
+
+TEST_F(MapperTest, EmptySchemaLeavesDocumentAlone) {
+  MajoritySchema empty;
+  Dtd empty_dtd;
+  auto doc = Node::MakeElement("anything");
+  doc->AddElement("x");
+  ConformResult result = ConformToSchema(*doc, empty, empty_dtd);
+  EXPECT_TRUE(*result.document == *doc);
+}
+
+TEST_F(MapperTest, DeeplyNestedOffSchemaFlattened) {
+  auto doc = Node::MakeElement("resume");
+  Node* a = doc->AddElement("wrap1");
+  Node* b = a->AddElement("wrap2");
+  b->AddElement("contact");
+  ConformResult result = ConformToSchema(*doc, schema_, dtd_);
+  // contact surfaced to the top level after two splices.
+  bool found = false;
+  for (size_t i = 0; i < result.document->child_count(); ++i) {
+    if (result.document->child(i)->name() == "contact") found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(result.report.nodes_removed, 2u);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "schema/dtd_builder.h"
+#include "schema/frequent_paths.h"
+
+namespace webre {
+namespace {
+
+SchemaNode Leaf(const std::string& label, double rep = 0.0,
+                size_t docs = 10) {
+  SchemaNode node;
+  node.label = label;
+  node.rep_fraction = rep;
+  node.doc_count = docs;
+  return node;
+}
+
+MajoritySchema ResumeSchema() {
+  SchemaNode root = Leaf("resume");
+  SchemaNode contact = Leaf("contact", /*rep=*/0.8);
+  SchemaNode objective = Leaf("objective", /*rep=*/0.0);
+  SchemaNode education = Leaf("education", /*rep=*/0.7);
+  education.children.push_back(Leaf("institute"));
+  SchemaNode date_entry = Leaf("date-entry", /*rep=*/0.2);
+  date_entry.children.push_back(Leaf("degree"));
+  education.children.push_back(date_entry);
+  root.children.push_back(contact);
+  root.children.push_back(objective);
+  root.children.push_back(education);
+  return MajoritySchema(std::move(root));
+}
+
+TEST(DtdBuilderTest, EmptySchemaGivesEmptyDtd) {
+  Dtd dtd = BuildDtd(MajoritySchema());
+  EXPECT_TRUE(dtd.elements().empty());
+  EXPECT_TRUE(dtd.root().empty());
+}
+
+TEST(DtdBuilderTest, RootAndDeclarationsEmitted) {
+  Dtd dtd = BuildDtd(ResumeSchema());
+  EXPECT_EQ(dtd.root(), "resume");
+  EXPECT_NE(dtd.Find("resume"), nullptr);
+  EXPECT_NE(dtd.Find("contact"), nullptr);
+  EXPECT_NE(dtd.Find("education"), nullptr);
+  EXPECT_NE(dtd.Find("date-entry"), nullptr);
+  EXPECT_NE(dtd.Find("degree"), nullptr);
+  EXPECT_EQ(dtd.elements().size(), 7u);
+}
+
+TEST(DtdBuilderTest, LeavesArePcdata) {
+  Dtd dtd = BuildDtd(ResumeSchema());
+  EXPECT_TRUE(dtd.Find("contact")->pcdata_only);
+  EXPECT_TRUE(dtd.Find("degree")->pcdata_only);
+  EXPECT_FALSE(dtd.Find("education")->pcdata_only);
+}
+
+TEST(DtdBuilderTest, RepetitiveChildrenGetPlus) {
+  // mult(e) > 0.5 => e+ (paper's threshold example).
+  Dtd dtd = BuildDtd(ResumeSchema());
+  const std::string resume_decl = dtd.Find("resume")->ToString();
+  EXPECT_NE(resume_decl.find("contact+"), std::string::npos) << resume_decl;
+  EXPECT_NE(resume_decl.find("education+"), std::string::npos);
+  // objective is not repetitive: plain name, no '+'.
+  EXPECT_NE(resume_decl.find("objective"), std::string::npos);
+  EXPECT_EQ(resume_decl.find("objective+"), std::string::npos);
+}
+
+TEST(DtdBuilderTest, PcdataLeadsContentModels) {
+  Dtd dtd = BuildDtd(ResumeSchema());
+  const std::string decl = dtd.Find("resume")->ToString();
+  EXPECT_NE(decl.find("((#PCDATA), contact+"), std::string::npos) << decl;
+}
+
+TEST(DtdBuilderTest, PcdataCanBeDisabled) {
+  DtdBuildOptions options;
+  options.lead_with_pcdata = false;
+  Dtd dtd = BuildDtd(ResumeSchema(), options);
+  const std::string decl = dtd.Find("resume")->ToString();
+  EXPECT_EQ(decl.find("#PCDATA"), std::string::npos) << decl;
+}
+
+TEST(DtdBuilderTest, MultThresholdRespected) {
+  DtdBuildOptions options;
+  options.mult_threshold = 0.9;  // contact's 0.8 no longer qualifies
+  Dtd dtd = BuildDtd(ResumeSchema(), options);
+  const std::string decl = dtd.Find("resume")->ToString();
+  EXPECT_EQ(decl.find("contact+"), std::string::npos) << decl;
+}
+
+TEST(DtdBuilderTest, OptionalExtensionMarksRareChildren) {
+  // objective present in 4 of root's 10 docs => optional under the
+  // extension.
+  MajoritySchema schema = ResumeSchema();
+  schema.mutable_root().children[1].doc_count = 4;
+  DtdBuildOptions options;
+  options.mark_optional = true;
+  options.optional_threshold = 0.95;
+  Dtd dtd = BuildDtd(schema, options);
+  const std::string decl = dtd.Find("resume")->ToString();
+  EXPECT_NE(decl.find("objective?"), std::string::npos) << decl;
+  // contact: rep 0.8 and rare? contact doc_count=10 = parent's: not
+  // optional, stays '+'.
+  EXPECT_NE(decl.find("contact+"), std::string::npos) << decl;
+}
+
+TEST(DtdBuilderTest, HomonymDeclarationsMerged) {
+  // DATE occurs as a structured node under education and as a leaf under
+  // courses; the single DTD declaration must accept both shapes.
+  SchemaNode root = Leaf("resume");
+  SchemaNode education = Leaf("education");
+  SchemaNode date_structured = Leaf("date");
+  date_structured.children.push_back(Leaf("degree"));
+  education.children.push_back(date_structured);
+  SchemaNode courses = Leaf("courses");
+  courses.children.push_back(Leaf("date"));  // leaf homonym
+  root.children.push_back(education);
+  root.children.push_back(courses);
+  Dtd dtd = BuildDtd(MajoritySchema(std::move(root)));
+
+  const ElementDecl* date = dtd.Find("date");
+  ASSERT_NE(date, nullptr);
+  ASSERT_FALSE(date->pcdata_only);
+  // degree must be optional in the merged model so leaf DATEs validate.
+  const std::string decl = date->ToString();
+  EXPECT_NE(decl.find("degree?"), std::string::npos) << decl;
+}
+
+TEST(DtdBuilderTest, PaperSampleShape) {
+  // Mirror of the §4.4 DTD fragment: resume ((#PCDATA), contact+,
+  // objective, education+, ...) with education ((#PCDATA), institute,
+  // date-entry).
+  Dtd dtd = BuildDtd(ResumeSchema());
+  EXPECT_EQ(dtd.Find("education")->ToString(),
+            "<!ELEMENT education ((#PCDATA), institute, date-entry)>");
+  EXPECT_EQ(dtd.Find("date-entry")->ToString(),
+            "<!ELEMENT date-entry ((#PCDATA), degree)>");
+  EXPECT_EQ(dtd.Find("institute")->ToString(),
+            "<!ELEMENT institute (#PCDATA)>");
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "mapping/edit_script.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+
+namespace webre {
+namespace {
+
+std::unique_ptr<Node> Sample() {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("a");
+  Node* b = root->AddElement("b");
+  b->AddElement("c");
+  b->AddElement("d");
+  return root;
+}
+
+TEST(EditScriptTest, IdenticalTreesEmptyScript) {
+  auto a = Sample();
+  auto b = Sample();
+  EditScript script = ComputeEditScript(*a, *b);
+  EXPECT_TRUE(script.ops.empty());
+  EXPECT_DOUBLE_EQ(script.cost, 0.0);
+}
+
+TEST(EditScriptTest, SingleRelabelIdentified) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->set_name("z");
+  EditScript script = ComputeEditScript(*a, *b);
+  ASSERT_EQ(script.ops.size(), 1u);
+  EXPECT_EQ(script.ops[0].kind, EditOp::Kind::kRelabel);
+  EXPECT_EQ(script.ops[0].from_label, "b");
+  EXPECT_EQ(script.ops[0].to_label, "z");
+  EXPECT_EQ(script.ops[0].source, a->child(1));
+  EXPECT_EQ(script.ops[0].target, b->child(1));
+  EXPECT_EQ(script.ops[0].ToString(), "relabel b -> z");
+}
+
+TEST(EditScriptTest, DeletionIdentified) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->RemoveChild(1);  // drop d
+  EditScript script = ComputeEditScript(*a, *b);
+  ASSERT_EQ(script.ops.size(), 1u);
+  EXPECT_EQ(script.ops[0].kind, EditOp::Kind::kDelete);
+  EXPECT_EQ(script.ops[0].from_label, "d");
+  EXPECT_EQ(script.ops[0].ToString(), "delete d");
+}
+
+TEST(EditScriptTest, InsertionIdentified) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->AddElement("e");
+  EditScript script = ComputeEditScript(*a, *b);
+  ASSERT_EQ(script.ops.size(), 1u);
+  EXPECT_EQ(script.ops[0].kind, EditOp::Kind::kInsert);
+  EXPECT_EQ(script.ops[0].to_label, "e");
+  EXPECT_EQ(script.insertions(), 1u);
+}
+
+TEST(EditScriptTest, EmptyVsTree) {
+  auto a = Node::MakeElement("only");
+  auto b = Sample();
+  EditScript script = ComputeEditScript(*a, *b);
+  // "only" can map to one node (relabel or match); the rest inserted.
+  EXPECT_DOUBLE_EQ(script.cost, TreeEditDistance(*a, *b));
+}
+
+TEST(EditScriptTest, CostAlwaysEqualsDistanceOnRealDocuments) {
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  DocumentConverter converter(&concepts, &recognizer, &constraints);
+  for (size_t i = 0; i < 6; ++i) {
+    auto a = converter.Convert(GenerateResume(i).html);
+    auto b = converter.Convert(GenerateResume(i + 1).html);
+    EditScript script = ComputeEditScript(*a, *b);
+    EXPECT_NEAR(script.cost, TreeEditDistance(*a, *b), 1e-9) << "pair " << i;
+    EXPECT_EQ(script.ops.size(),
+              script.relabels() + script.deletions() + script.insertions());
+  }
+}
+
+TEST(EditScriptTest, CustomCostsChangeChoices) {
+  TreeEditCosts costs;
+  costs.relabel = 10.0;  // delete + insert is cheaper than relabel
+  auto a = Node::MakeElement("x");
+  a->AddElement("p");
+  auto b = Node::MakeElement("x");
+  b->AddElement("q");
+  EditScript script = ComputeEditScript(*a, *b, costs);
+  EXPECT_DOUBLE_EQ(script.cost, 2.0);
+  EXPECT_EQ(script.relabels(), 0u);
+  EXPECT_EQ(script.deletions(), 1u);
+  EXPECT_EQ(script.insertions(), 1u);
+}
+
+TEST(EditScriptTest, MappingPreservesAncestry) {
+  // In a valid ordered-tree mapping, mapped pairs preserve the ancestor
+  // relation: if s1 is an ancestor of s2 then t1 is an ancestor of t2.
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  DocumentConverter converter(&concepts, &recognizer, &constraints);
+  auto a = converter.Convert(GenerateResume(2).html);
+  auto b = converter.Convert(GenerateResume(3).html);
+  EditScript script = ComputeEditScript(*a, *b);
+
+  auto is_ancestor = [](const Node* up, const Node* down) {
+    for (const Node* p = down->parent(); p != nullptr; p = p->parent()) {
+      if (p == up) return true;
+    }
+    return false;
+  };
+  std::vector<std::pair<const Node*, const Node*>> pairs;
+  for (const EditOp& op : script.ops) {
+    if (op.kind == EditOp::Kind::kRelabel) {
+      pairs.emplace_back(op.source, op.target);
+    }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    for (size_t j = 0; j < pairs.size(); ++j) {
+      if (i == j) continue;
+      if (is_ancestor(pairs[i].first, pairs[j].first)) {
+        EXPECT_TRUE(is_ancestor(pairs[i].second, pairs[j].second));
+      }
+    }
+  }
+}
+
+TEST(EditScriptTest, TotallyDifferentTrees) {
+  auto a = Node::MakeElement("a");
+  a->AddElement("b")->AddElement("c");
+  auto b = Node::MakeElement("x");
+  b->AddElement("y");
+  EditScript script = ComputeEditScript(*a, *b);
+  EXPECT_DOUBLE_EQ(script.cost, TreeEditDistance(*a, *b));
+  EXPECT_DOUBLE_EQ(script.cost, 3.0);  // 2 relabels + 1 delete
+}
+
+}  // namespace
+}  // namespace webre

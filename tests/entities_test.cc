@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "html/entities.h"
+
+namespace webre {
+namespace {
+
+TEST(EntitiesTest, BasicNamed) {
+  EXPECT_EQ(DecodeHtmlEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeHtmlEntities("&lt;tag&gt;"), "<tag>");
+  EXPECT_EQ(DecodeHtmlEntities("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+}
+
+TEST(EntitiesTest, NbspBecomesPlainSpace) {
+  EXPECT_EQ(DecodeHtmlEntities("a&nbsp;b"), "a b");
+}
+
+TEST(EntitiesTest, CaseInsensitiveNames) {
+  EXPECT_EQ(DecodeHtmlEntities("&AMP;&Amp;"), "&&");
+}
+
+TEST(EntitiesTest, NumericDecimal) {
+  EXPECT_EQ(DecodeHtmlEntities("&#65;&#66;"), "AB");
+  EXPECT_EQ(DecodeHtmlEntities("&#233;"), "\xC3\xA9");  // é in UTF-8
+}
+
+TEST(EntitiesTest, NumericHex) {
+  EXPECT_EQ(DecodeHtmlEntities("&#x41;&#X42;"), "AB");
+  EXPECT_EQ(DecodeHtmlEntities("&#xE9;"), "\xC3\xA9");
+}
+
+TEST(EntitiesTest, NumericWithoutSemicolonLegacy) {
+  // Old pages omitted the semicolon on numeric references.
+  EXPECT_EQ(DecodeHtmlEntities("&#65 next"), "A next");
+}
+
+TEST(EntitiesTest, BareAmpersandPassesThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("AT&T Labs"), "AT&T Labs");
+  EXPECT_EQ(DecodeHtmlEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeHtmlEntities("&"), "&");
+}
+
+TEST(EntitiesTest, UnknownEntityPassesThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("&bogus;"), "&bogus;");
+}
+
+TEST(EntitiesTest, UnterminatedNamedPassesThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("&amp without semicolon"),
+            "&amp without semicolon");
+}
+
+TEST(EntitiesTest, TypographicEntities) {
+  EXPECT_EQ(DecodeHtmlEntities("1996&ndash;1998"),
+            "1996\xE2\x80\x93"
+            "1998");
+  EXPECT_EQ(DecodeHtmlEntities("&copy; 2001"), "\xC2\xA9 2001");
+  EXPECT_EQ(DecodeHtmlEntities("&bull; item"), "\xE2\x80\xA2 item");
+}
+
+TEST(EntitiesTest, AccentedNames) {
+  EXPECT_EQ(DecodeHtmlEntities("r&eacute;sum&eacute;"),
+            "r\xC3\xA9sum\xC3\xA9");
+}
+
+TEST(EntitiesTest, InvalidNumericPassesThrough) {
+  EXPECT_EQ(DecodeHtmlEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeHtmlEntities("&#xZZ;"), "&#xZZ;");
+  EXPECT_EQ(DecodeHtmlEntities("&#0;"), "&#0;");
+  // Out-of-range codepoint.
+  EXPECT_EQ(DecodeHtmlEntities("&#x110000;"), "&#x110000;");
+}
+
+TEST(EntitiesTest, AdjacentReferences) {
+  EXPECT_EQ(DecodeHtmlEntities("&lt;&lt;&gt;&gt;"), "<<>>");
+}
+
+}  // namespace
+}  // namespace webre

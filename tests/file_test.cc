@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/file.h"
+
+namespace webre {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(FileTest, WriteThenReadRoundTrip) {
+  const std::string path = TempPath("webre_file_test.txt");
+  const std::string payload = "line one\nline two & <markup>\n";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  StatusOr<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, BinaryContentSurvives) {
+  const std::string path = TempPath("webre_file_binary.bin");
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  StatusOr<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 256u);
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, EmptyFile) {
+  const std::string path = TempPath("webre_file_empty.txt");
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  StatusOr<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  StatusOr<std::string> read = ReadFile(TempPath("does_not_exist_12345"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileTest, OverwriteTruncates) {
+  const std::string path = TempPath("webre_file_trunc.txt");
+  ASSERT_TRUE(WriteFile(path, "a much longer original payload").ok());
+  ASSERT_TRUE(WriteFile(path, "short").ok());
+  StatusOr<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "short");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace webre

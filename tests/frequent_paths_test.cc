@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "schema/frequent_paths.h"
+
+namespace webre {
+namespace {
+
+// The three trees of Figure 2.
+std::unique_ptr<Node> TreeA() {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("objective");
+  root->AddElement("contact");
+  Node* education = root->AddElement("education");
+  education->AddElement("degree");
+  education->AddElement("date");
+  education->AddElement("institution");
+  return root;
+}
+
+std::unique_ptr<Node> TreeB() {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("contact");
+  Node* education = root->AddElement("education");
+  Node* degree = education->AddElement("degree");
+  degree->AddElement("date");
+  degree->AddElement("institution");
+  Node* degree2 = education->AddElement("degree");
+  degree2->AddElement("date");
+  degree2->AddElement("institution");
+  return root;
+}
+
+std::unique_ptr<Node> TreeC() {
+  auto root = Node::MakeElement("resume");
+  Node* education = root->AddElement("education");
+  Node* inst = education->AddElement("institution");
+  inst->AddElement("degree");
+  inst->AddElement("date");
+  return root;
+}
+
+TEST(FrequentPathsTest, EmptyMinerYieldsEmptySchema) {
+  FrequentPathMiner miner;
+  MajoritySchema schema = miner.Discover();
+  EXPECT_TRUE(schema.empty());
+  EXPECT_EQ(schema.NodeCount(), 0u);
+}
+
+TEST(FrequentPathsTest, SupportComputedPerDocument) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+
+  MiningOptions& options = miner.mutable_options();
+  options.sup_threshold = 0.0;
+  options.ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+
+  const SchemaNode* education = schema.Find({"resume", "education"});
+  ASSERT_NE(education, nullptr);
+  EXPECT_EQ(education->doc_count, 3u);
+  EXPECT_DOUBLE_EQ(education->support, 1.0);
+
+  const SchemaNode* contact = schema.Find({"resume", "contact"});
+  ASSERT_NE(contact, nullptr);
+  EXPECT_EQ(contact->doc_count, 2u);
+  EXPECT_NEAR(contact->support, 2.0 / 3.0, 1e-9);
+
+  const SchemaNode* objective = schema.Find({"resume", "objective"});
+  ASSERT_NE(objective, nullptr);
+  EXPECT_NEAR(objective->support, 1.0 / 3.0, 1e-9);
+}
+
+TEST(FrequentPathsTest, MajorityThresholdFiltersRarePaths) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+  miner.mutable_options().sup_threshold = 0.5;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+
+  // objective occurs in 1/3 documents: not frequent.
+  EXPECT_FALSE(schema.ContainsPath({"resume", "objective"}));
+  // contact (2/3) and education (3/3) are frequent.
+  EXPECT_TRUE(schema.ContainsPath({"resume", "contact"}));
+  EXPECT_TRUE(schema.ContainsPath({"resume", "education"}));
+  // education/degree occurs in A and B: frequent.
+  EXPECT_TRUE(schema.ContainsPath({"resume", "education", "degree"}));
+  // education/institution (direct child) only in A and C.
+  EXPECT_TRUE(schema.ContainsPath({"resume", "education", "institution"}));
+}
+
+TEST(FrequentPathsTest, SupportRatioPrunesWeakChildren) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+  miner.mutable_options().sup_threshold = 0.0;
+  miner.mutable_options().ratio_threshold = 0.8;
+  MajoritySchema schema = miner.Discover();
+
+  // education: support 1.0, ratio 1.0 -> kept.
+  ASSERT_TRUE(schema.ContainsPath({"resume", "education"}));
+  // education/degree: support 2/3 over parent 1.0 -> ratio 2/3 < 0.8.
+  EXPECT_FALSE(schema.ContainsPath({"resume", "education", "degree"}));
+}
+
+TEST(FrequentPathsTest, SubtreeDiesWithPrunedPrefix) {
+  // Anti-monotone pruning: resume/education/degree/date exists in B but
+  // must vanish when resume/education/degree is pruned.
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+  miner.mutable_options().sup_threshold = 0.5;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  // degree/date only in B (1/3): pruned as its own support fails.
+  EXPECT_FALSE(
+      schema.ContainsPath({"resume", "education", "degree", "date"}));
+
+  miner.mutable_options().sup_threshold = 0.7;
+  schema = miner.Discover();
+  EXPECT_FALSE(schema.ContainsPath({"resume", "education", "degree"}));
+  EXPECT_FALSE(
+      schema.ContainsPath({"resume", "education", "degree", "date"}));
+}
+
+TEST(FrequentPathsTest, OrderingRuleSortsChildrenByAveragePosition) {
+  FrequentPathMiner miner;
+  auto a = TreeA();  // objective(0), contact(1), education(2)
+  auto b = TreeB();  // contact(0), education(1)
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.mutable_options().sup_threshold = 0.0;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  const SchemaNode& root = schema.root();
+  ASSERT_EQ(root.children.size(), 3u);
+  // Average positions: objective 0, contact (1+0)/2=0.5, education 1.5.
+  EXPECT_EQ(root.children[0].label, "objective");
+  EXPECT_EQ(root.children[1].label, "contact");
+  EXPECT_EQ(root.children[2].label, "education");
+}
+
+TEST(FrequentPathsTest, RepFractionFromMultiplicities) {
+  FrequentPathMiner miner;
+  miner.mutable_options().rep_threshold = 2;
+  auto b = TreeB();  // two degree siblings under education
+  auto a = TreeA();  // one degree
+  miner.AddDocument(*b);
+  miner.AddDocument(*a);
+  miner.mutable_options().sup_threshold = 0.0;
+  miner.mutable_options().ratio_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  const SchemaNode* degree = schema.Find({"resume", "education", "degree"});
+  ASSERT_NE(degree, nullptr);
+  // Repetitive (multiplicity >= 2) in 1 of the 2 docs containing it.
+  EXPECT_NEAR(degree->rep_fraction, 0.5, 1e-9);
+}
+
+TEST(FrequentPathsTest, ConstraintsPrunePathsAtInsertion) {
+  ConstraintSet constraints;
+  constraints.Add(
+      ConceptConstraint::Depth("objective", DepthRelation::kEq, 1));
+  constraints.Add(ConceptConstraint::Depth("date", DepthRelation::kGt, 1));
+  constraints.set_max_level(2);
+
+  MiningOptions options;
+  options.constraints = &constraints;
+  options.sup_threshold = 0.0;
+  options.ratio_threshold = 0.0;
+  FrequentPathMiner miner(options);
+  auto b = TreeB();  // contains resume/education/degree/date (level 3)
+  miner.AddDocument(*b);
+  MajoritySchema schema = miner.Discover();
+  EXPECT_TRUE(schema.ContainsPath({"resume", "education"}));
+  // Level-3 path pruned by max_level.
+  EXPECT_FALSE(
+      schema.ContainsPath({"resume", "education", "degree", "date"}));
+  EXPECT_GT(miner.stats().paths_pruned_by_constraints, 0u);
+}
+
+TEST(FrequentPathsTest, StatsCountTrieNodes) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  miner.AddDocument(*a);
+  miner.Discover();
+  // Trie has exactly the 7 distinct paths of tree A.
+  EXPECT_EQ(miner.stats().trie_nodes, 7u);
+  EXPECT_EQ(miner.stats().paths_offered, 7u);
+}
+
+TEST(FrequentPathsTest, DataGuideKeepsEverything) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+  MajoritySchema guide = DiscoverDataGuide(miner);
+  // Every path from every tree is present.
+  EXPECT_TRUE(guide.ContainsPath({"resume", "objective"}));
+  EXPECT_TRUE(guide.ContainsPath({"resume", "education", "degree", "date"}));
+  EXPECT_TRUE(guide.ContainsPath(
+      {"resume", "education", "institution", "degree"}));
+  EXPECT_EQ(guide.NodeCount(), 11u);
+}
+
+TEST(FrequentPathsTest, LowerBoundKeepsOnlyUniversalPaths) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto b = TreeB();
+  auto c = TreeC();
+  miner.AddDocument(*a);
+  miner.AddDocument(*b);
+  miner.AddDocument(*c);
+  MajoritySchema lower = DiscoverLowerBound(miner);
+  // Only resume and resume/education occur in all three documents.
+  EXPECT_EQ(lower.NodeCount(), 2u);
+  EXPECT_TRUE(lower.ContainsPath({"resume", "education"}));
+}
+
+TEST(FrequentPathsTest, BaselinesRestoreOptions) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  miner.AddDocument(*a);
+  miner.mutable_options().sup_threshold = 0.42;
+  DiscoverDataGuide(miner);
+  EXPECT_DOUBLE_EQ(miner.mutable_options().sup_threshold, 0.42);
+}
+
+TEST(FrequentPathsTest, MixedRootsPickMostCommon) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  auto junk = Node::MakeElement("other");
+  miner.AddDocument(*a);
+  miner.AddDocument(*a);
+  miner.AddDocument(*junk);
+  miner.mutable_options().sup_threshold = 0.5;
+  MajoritySchema schema = miner.Discover();
+  EXPECT_EQ(schema.root().label, "resume");
+}
+
+TEST(MajoritySchemaTest, FindAndAllPaths) {
+  FrequentPathMiner miner;
+  auto a = TreeA();
+  miner.AddDocument(*a);
+  miner.mutable_options().sup_threshold = 0.0;
+  MajoritySchema schema = miner.Discover();
+  EXPECT_NE(schema.Find({"resume", "education", "date"}), nullptr);
+  EXPECT_EQ(schema.Find({"resume", "nope"}), nullptr);
+  EXPECT_EQ(schema.Find({"wrong-root"}), nullptr);
+  EXPECT_EQ(schema.AllPaths().size(), 7u);
+  EXPECT_FALSE(schema.ToString().empty());
+}
+
+}  // namespace
+}  // namespace webre

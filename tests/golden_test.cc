@@ -1,0 +1,57 @@
+// Golden-file regression tests: fixed HTML inputs under tests/golden/
+// must convert to exactly the checked-in XML. These freeze the observable
+// behaviour of the whole conversion stack (parser, tidy, all four rules,
+// serialization); any intentional behaviour change must regenerate the
+// fixtures and show up in review as an XML diff.
+//
+// The .html fixtures are checked-in *copies* of generator output, so
+// this also detects accidental generator drift: fixture inputs no longer
+// matching the generator is tolerated (the fixtures stand alone), but
+// conversion of the fixture must stay stable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "concepts/resume_domain.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "util/file.h"
+#include "xml/writer.h"
+
+#ifndef WEBRE_GOLDEN_DIR
+#define WEBRE_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace webre {
+namespace {
+
+class GoldenTest : public ::testing::TestWithParam<int> {
+ protected:
+  static std::string Path(int index, const char* extension) {
+    return std::string(WEBRE_GOLDEN_DIR) + "/resume" +
+           std::to_string(index) + "." + extension;
+  }
+};
+
+TEST_P(GoldenTest, ConversionMatchesGoldenXml) {
+  StatusOr<std::string> html = ReadFile(Path(GetParam(), "html"));
+  ASSERT_TRUE(html.ok()) << html.status();
+  StatusOr<std::string> expected = ReadFile(Path(GetParam(), "xml"));
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  DocumentConverter converter(&concepts, &recognizer, &constraints);
+  const std::string actual = WriteXml(*converter.Convert(*html));
+  EXPECT_EQ(actual, *expected)
+      << "conversion output changed for fixture " << GetParam()
+      << "; if intentional, regenerate tests/golden/ (see file header)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, GoldenTest,
+                         ::testing::Values(0, 1, 2, 7));
+
+}  // namespace
+}  // namespace webre

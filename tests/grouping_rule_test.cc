@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+#include "restructure/grouping_rule.h"
+
+namespace webre {
+namespace {
+
+const Node* FindElement(const Node& root, std::string_view name) {
+  if (root.is_element() && root.name() == name) return &root;
+  for (size_t i = 0; i < root.child_count(); ++i) {
+    const Node* found = FindElement(*root.child(i), name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+TEST(GroupingRuleTest, SiblingsBetweenMarkersSink) {
+  // body: [h2, p, p, h2, p] -> each h2 gets a GROUP with the ps.
+  auto root = ParseHtml(
+      "<body><h2>A</h2><p>a1</p><p>a2</p><h2>B</h2><p>b1</p></body>");
+  size_t groups = ApplyGroupingRule(root.get());
+  EXPECT_EQ(groups, 2u);
+  const Node* body = FindElement(*root, "body");
+  ASSERT_EQ(body->child_count(), 2u);
+  const Node* h2a = body->child(0);
+  ASSERT_EQ(h2a->child_count(), 2u);  // text + GROUP
+  const Node* group_a = h2a->child(1);
+  EXPECT_EQ(group_a->name(), kGroupTag);
+  EXPECT_EQ(group_a->child_count(), 2u);
+  const Node* h2b = body->child(1);
+  const Node* group_b = h2b->child(h2b->child_count() - 1);
+  EXPECT_EQ(group_b->name(), kGroupTag);
+  EXPECT_EQ(group_b->child_count(), 1u);
+}
+
+TEST(GroupingRuleTest, SiblingsLeftOfFirstMarkerStay) {
+  auto root =
+      ParseHtml("<body><p>intro</p><h2>A</h2><p>a1</p></body>");
+  ApplyGroupingRule(root.get());
+  const Node* body = FindElement(*root, "body");
+  ASSERT_EQ(body->child_count(), 2u);
+  EXPECT_EQ(body->child(0)->name(), "p");
+  EXPECT_EQ(body->child(1)->name(), "h2");
+}
+
+TEST(GroupingRuleTest, HigherWeightTagWinsLevel) {
+  // §2.3.2: h1 groups with higher priority than p at the same level.
+  auto root = ParseHtml(
+      "<body><h1>T</h1><p>x</p><p>y</p></body>");
+  ApplyGroupingRule(root.get());
+  const Node* body = FindElement(*root, "body");
+  ASSERT_EQ(body->child_count(), 1u);
+  EXPECT_EQ(body->child(0)->name(), "h1");
+  // p markers apply at the next lower level (inside h1's GROUP).
+  const Node* group = FindElement(*root, kGroupTag);
+  ASSERT_NE(group, nullptr);
+  // Inside the group, p is now the top group tag: second p sinks under
+  // the first? No — both ps are markers, nothing between them.
+  EXPECT_EQ(group->child_count(), 2u);
+}
+
+TEST(GroupingRuleTest, AdjacentMarkersCreateNoGroups) {
+  auto root = ParseHtml("<ul><li>a</li><li>b</li><li>c</li></ul>");
+  size_t groups = ApplyGroupingRule(root.get());
+  EXPECT_EQ(groups, 0u);
+}
+
+TEST(GroupingRuleTest, NoGroupTagsNoChange) {
+  auto root = ParseHtml("<body><span>a</span><span>b</span></body>");
+  EXPECT_EQ(ApplyGroupingRule(root.get()), 0u);
+}
+
+TEST(GroupingRuleTest, TrailingRunSinksUnderLastMarker) {
+  auto root = ParseHtml("<body><h3>only</h3><p>x</p><p>y</p></body>");
+  EXPECT_EQ(ApplyGroupingRule(root.get()), 1u);
+  const Node* h3 = FindElement(*root, "h3");
+  const Node* group = h3->child(h3->child_count() - 1);
+  ASSERT_EQ(group->name(), kGroupTag);
+  EXPECT_EQ(group->child_count(), 2u);
+}
+
+TEST(GroupingRuleTest, DtMarkersGroupDds) {
+  auto root = ParseHtml(
+      "<dl><dt>Education</dt><dd>e1</dd><dd>e2</dd>"
+      "<dt>Skills</dt><dd>s1</dd></dl>");
+  ApplyGroupingRule(root.get());
+  const Node* dl = FindElement(*root, "dl");
+  ASSERT_EQ(dl->child_count(), 2u);
+  EXPECT_EQ(dl->child(0)->name(), "dt");
+  EXPECT_EQ(dl->child(1)->name(), "dt");
+  const Node* group = dl->child(0)->child(dl->child(0)->child_count() - 1);
+  ASSERT_EQ(group->name(), kGroupTag);
+  EXPECT_EQ(group->child_count(), 2u);
+}
+
+TEST(GroupingRuleTest, OperatesTopDownThroughNewGroups) {
+  // h2 groups [b, text, b, text]; at the next level b groups its text.
+  auto root = ParseHtml(
+      "<body><h2>S</h2><b>x</b><span>t1</span><b>y</b><span>t2</span>"
+      "</body>");
+  ApplyGroupingRule(root.get());
+  const Node* h2 = FindElement(*root, "h2");
+  ASSERT_NE(h2, nullptr);
+  const Node* group = h2->child(h2->child_count() - 1);
+  ASSERT_EQ(group->name(), kGroupTag);
+  // Inside the outer group, b markers grouped the spans.
+  ASSERT_EQ(group->child_count(), 2u);
+  EXPECT_EQ(group->child(0)->name(), "b");
+  const Node* inner = group->child(0)->child(
+      group->child(0)->child_count() - 1);
+  EXPECT_EQ(inner->name(), kGroupTag);
+}
+
+TEST(GroupingRuleTest, MarkersSelectedPerLevelNotGlobally) {
+  // The h2 inside a div does not interact with body-level siblings.
+  auto root = ParseHtml(
+      "<body><div><h2>inner</h2><p>x</p></div><p>outer</p></body>");
+  ApplyGroupingRule(root.get());
+  const Node* body = FindElement(*root, "body");
+  // body level: group tags among children? div has weight 50, p 50 —
+  // div appears first so div is the marker; outer p sinks under div.
+  ASSERT_EQ(body->child_count(), 1u);
+  EXPECT_EQ(body->child(0)->name(), "div");
+}
+
+TEST(GroupingRuleTest, NullRootIsNoop) {
+  EXPECT_EQ(ApplyGroupingRule(nullptr), 0u);
+}
+
+}  // namespace
+}  // namespace webre

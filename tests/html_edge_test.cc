@@ -1,0 +1,175 @@
+// Edge cases of the HTML/XML substrate beyond the main suites: legacy
+// layout constructs, writer formatting, and parser/cleanser interplay
+// observed in 2001-era pages.
+
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+#include "html/tidy.h"
+#include "xml/writer.h"
+
+namespace webre {
+namespace {
+
+const Node* Find(const Node& root, std::string_view name) {
+  if (root.is_element() && root.name() == name) return &root;
+  for (size_t i = 0; i < root.child_count(); ++i) {
+    const Node* found = Find(*root.child(i), name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+size_t CountName(const Node& root, std::string_view name) {
+  size_t count = 0;
+  root.PreOrder([&](const Node& n) {
+    if (n.is_element() && n.name() == name) ++count;
+  });
+  return count;
+}
+
+TEST(HtmlEdgeTest, TheadTbodyPreserved) {
+  auto root = ParseHtml(
+      "<table><thead><tr><th>h</th></tr></thead>"
+      "<tbody><tr><td>a</td></tr></tbody></table>");
+  EXPECT_NE(Find(*root, "thead"), nullptr);
+  EXPECT_NE(Find(*root, "tbody"), nullptr);
+  EXPECT_NE(Find(*root, "th"), nullptr);
+}
+
+TEST(HtmlEdgeTest, NestedLayoutTables) {
+  auto root = ParseHtml(
+      "<table><tr><td><table><tr><td>inner</td></tr></table>"
+      "</td></tr></table>");
+  EXPECT_EQ(CountName(*root, "table"), 2u);
+  const Node* outer_td = Find(*root, "td");
+  ASSERT_NE(outer_td, nullptr);
+  EXPECT_NE(Find(*outer_td, "table"), nullptr);
+}
+
+TEST(HtmlEdgeTest, DirAndMenuLists) {
+  auto root = ParseHtml("<dir><li>a<li>b</dir><menu><li>c</menu>");
+  const Node* dir = Find(*root, "dir");
+  ASSERT_NE(dir, nullptr);
+  EXPECT_EQ(dir->child_count(), 2u);
+  EXPECT_NE(Find(*root, "menu"), nullptr);
+}
+
+TEST(HtmlEdgeTest, CenterAndFontNesting) {
+  auto root = ParseHtml(
+      "<center><font size=\"+2\"><b>Title</b></font></center>");
+  const Node* font = Find(*root, "font");
+  ASSERT_NE(font, nullptr);
+  EXPECT_EQ(font->child(0)->name(), "b");
+}
+
+TEST(HtmlEdgeTest, EntityInsideAttributeAndText) {
+  HtmlParseOptions options;
+  options.keep_attributes = true;
+  auto root = ParseHtml(
+      "<a href=\"x?a=1&amp;b=2\">Q&amp;A &#8212; more</a>", options);
+  const Node* a = Find(*root, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->attr("href"), "x?a=1&b=2");
+  EXPECT_EQ(a->child(0)->text(), "Q&A \xE2\x80\x94 more");
+}
+
+TEST(HtmlEdgeTest, UppercaseEverything) {
+  auto root = ParseHtml("<HTML><BODY><UL><LI>A<LI>B</UL></BODY></HTML>");
+  const Node* ul = Find(*root, "ul");
+  ASSERT_NE(ul, nullptr);
+  EXPECT_EQ(ul->child_count(), 2u);
+}
+
+TEST(HtmlEdgeTest, SelfClosingUnknownTagDoesNotSwallow) {
+  auto root = ParseHtml("<spacer/><p>after</p>");
+  const Node* p = Find(*root, "p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->parent()->name(), "html");
+}
+
+TEST(HtmlEdgeTest, RepeatedAttributesLastWins) {
+  HtmlParseOptions options;
+  options.keep_attributes = true;
+  auto root = ParseHtml("<p class=\"a\" class=\"b\">x</p>", options);
+  const Node* p = Find(*root, "p");
+  ASSERT_NE(p, nullptr);
+  // set_attr overwrites on the second occurrence.
+  EXPECT_EQ(p->attr("class"), "b");
+  EXPECT_EQ(p->attributes().size(), 1u);
+}
+
+TEST(HtmlEdgeTest, TidyAfterParseOnLayoutTable) {
+  auto root = ParseHtml(
+      "<table><tr><td><script>junk()</script><b></b>real</td></tr>"
+      "</table>");
+  TidyHtmlTree(root.get());
+  EXPECT_EQ(Find(*root, "script"), nullptr);
+  EXPECT_EQ(Find(*root, "b"), nullptr);
+  const Node* td = Find(*root, "td");
+  ASSERT_NE(td, nullptr);
+  ASSERT_EQ(td->child_count(), 1u);
+  EXPECT_EQ(td->child(0)->text(), "real");
+}
+
+TEST(XmlWriterEdgeTest, PrettyIndentationShape) {
+  auto root = Node::MakeElement("a");
+  root->AddElement("b")->AddText("t");
+  XmlWriteOptions options;
+  options.indent = 2;
+  EXPECT_EQ(WriteXml(*root, options),
+            "<a>\n  <b>\n    t\n  </b>\n</a>\n");
+}
+
+TEST(XmlWriterEdgeTest, NoSelfCloseOnRequest) {
+  auto root = Node::MakeElement("a");
+  XmlWriteOptions options;
+  options.indent = 0;
+  options.self_close_empty = false;
+  EXPECT_EQ(WriteXml(*root, options), "<a></a>");
+}
+
+TEST(XmlWriterEdgeTest, AttributeOrderPreserved) {
+  auto root = Node::MakeElement("e");
+  root->set_attr("z", "1");
+  root->set_attr("a", "2");
+  root->set_attr("m", "3");
+  XmlWriteOptions options;
+  options.indent = 0;
+  EXPECT_EQ(WriteXml(*root, options), "<e z=\"1\" a=\"2\" m=\"3\"/>");
+}
+
+TEST(XmlWriterEdgeTest, ValWithMarkupCharacters) {
+  auto root = Node::MakeElement("e");
+  root->set_val("a < b & \"c\" > d");
+  XmlWriteOptions options;
+  options.indent = 0;
+  EXPECT_EQ(WriteXml(*root, options),
+            "<e val=\"a &lt; b &amp; &quot;c&quot; &gt; d\"/>");
+}
+
+TEST(HtmlEdgeTest, BrSeparatedLinesStayInOneTextFlow) {
+  auto root = ParseHtml("<p>line one<br>line two<br>line three</p>");
+  const Node* p = Find(*root, "p");
+  ASSERT_NE(p, nullptr);
+  // Three text nodes separated by two brs.
+  EXPECT_EQ(p->child_count(), 5u);
+  EXPECT_EQ(p->child(0)->text(), "line one");
+  EXPECT_EQ(p->child(2)->text(), "line two");
+}
+
+TEST(HtmlEdgeTest, DefinitionListImpliedClosesInsideDl) {
+  auto root = ParseHtml(
+      "<dl><dt>Education<dd>entry one<dd>entry two<dt>Skills<dd>C++</dl>");
+  const Node* dl = Find(*root, "dl");
+  ASSERT_NE(dl, nullptr);
+  ASSERT_EQ(dl->child_count(), 5u);
+  EXPECT_EQ(dl->child(0)->name(), "dt");
+  EXPECT_EQ(dl->child(1)->name(), "dd");
+  EXPECT_EQ(dl->child(2)->name(), "dd");
+  EXPECT_EQ(dl->child(3)->name(), "dt");
+  EXPECT_EQ(dl->child(4)->name(), "dd");
+}
+
+}  // namespace
+}  // namespace webre

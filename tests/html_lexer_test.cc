@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "html/lexer.h"
+#include "html/tag_tables.h"
+
+namespace webre {
+namespace {
+
+TEST(TagTablesTest, VoidTags) {
+  EXPECT_TRUE(IsVoidTag("br"));
+  EXPECT_TRUE(IsVoidTag("hr"));
+  EXPECT_TRUE(IsVoidTag("img"));
+  EXPECT_FALSE(IsVoidTag("p"));
+  EXPECT_FALSE(IsVoidTag("div"));
+}
+
+TEST(TagTablesTest, BlockVsTextLevel) {
+  EXPECT_TRUE(IsBlockLevelTag("h1"));
+  EXPECT_TRUE(IsBlockLevelTag("table"));
+  EXPECT_TRUE(IsTextLevelTag("b"));
+  EXPECT_TRUE(IsTextLevelTag("font"));
+  EXPECT_FALSE(IsBlockLevelTag("b"));
+  EXPECT_FALSE(IsTextLevelTag("div"));
+}
+
+TEST(TagTablesTest, GroupTagWeightsOrdered) {
+  // §2.3.2: h1 groups with higher priority than p, p higher than b.
+  EXPECT_GT(GroupTagWeight("h1"), GroupTagWeight("h2"));
+  EXPECT_GT(GroupTagWeight("h6"), GroupTagWeight("title") - 100);
+  EXPECT_GT(GroupTagWeight("h2"), GroupTagWeight("p"));
+  EXPECT_GT(GroupTagWeight("p"), GroupTagWeight("b"));
+  EXPECT_EQ(GroupTagWeight("span"), 0);
+  EXPECT_EQ(GroupTagWeight("ul"), 0);  // list tag, not group tag
+}
+
+TEST(TagTablesTest, PaperGroupTagList) {
+  // §4: group tags = h1..h6, title, div, p, tr, dt, dd, li, u, strong,
+  // b, em, i.
+  for (const char* tag : {"h1", "h2", "h3", "h4", "h5", "h6", "title",
+                          "div", "p", "tr", "dt", "dd", "li", "u",
+                          "strong", "b", "em", "i"}) {
+    EXPECT_GT(GroupTagWeight(tag), 0) << tag;
+  }
+}
+
+TEST(TagTablesTest, PaperListTagList) {
+  // §4: list tags = body, table, dl, ul, ol, dir, menu.
+  for (const char* tag : {"body", "table", "dl", "ul", "ol", "dir", "menu"}) {
+    EXPECT_TRUE(IsListTag(tag)) << tag;
+  }
+  EXPECT_FALSE(IsListTag("p"));
+  EXPECT_FALSE(IsListTag("li"));
+}
+
+TEST(TagTablesTest, ImpliedCloses) {
+  EXPECT_TRUE(ClosesOnOpen("p", "p"));
+  EXPECT_TRUE(ClosesOnOpen("p", "ul"));
+  EXPECT_FALSE(ClosesOnOpen("p", "b"));
+  EXPECT_TRUE(ClosesOnOpen("li", "li"));
+  EXPECT_TRUE(ClosesOnOpen("dt", "dd"));
+  EXPECT_TRUE(ClosesOnOpen("td", "tr"));
+  EXPECT_FALSE(ClosesOnOpen("div", "p"));
+}
+
+std::vector<HtmlToken> Lex(std::string_view html) {
+  return TokenizeHtml(html);
+}
+
+TEST(HtmlLexerTest, SimpleTagsAndText) {
+  auto tokens = Lex("<p>hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens[1].text, "hello");
+  EXPECT_EQ(tokens[2].type, HtmlTokenType::kEndTag);
+  EXPECT_EQ(tokens[2].name, "p");
+}
+
+TEST(HtmlLexerTest, TagNamesLowercased) {
+  auto tokens = Lex("<DIV><Br></DIV>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].name, "div");
+  EXPECT_EQ(tokens[1].name, "br");
+  EXPECT_EQ(tokens[2].name, "div");
+}
+
+TEST(HtmlLexerTest, AttributesParsed) {
+  auto tokens = Lex("<a HREF=\"x.html\" target=_blank checked>");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 3u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "href");
+  EXPECT_EQ(tokens[0].attributes[0].value, "x.html");
+  EXPECT_EQ(tokens[0].attributes[1].name, "target");
+  EXPECT_EQ(tokens[0].attributes[1].value, "_blank");
+  EXPECT_EQ(tokens[0].attributes[2].name, "checked");
+  EXPECT_EQ(tokens[0].attributes[2].value, "");
+}
+
+TEST(HtmlLexerTest, SingleQuotedAndEntityAttributes) {
+  auto tokens = Lex("<img alt='a &amp; b'>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "a & b");
+}
+
+TEST(HtmlLexerTest, SelfClosing) {
+  auto tokens = Lex("<br/><hr />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+}
+
+TEST(HtmlLexerTest, Comments) {
+  auto tokens = Lex("a<!-- note -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kComment);
+  EXPECT_EQ(tokens[1].text, " note ");
+}
+
+TEST(HtmlLexerTest, Doctype) {
+  auto tokens = Lex("<!DOCTYPE html><p>x");
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kDoctype);
+}
+
+TEST(HtmlLexerTest, TextEntitiesDecoded) {
+  auto tokens = Lex("<p>B.S. &amp; M.S.</p>");
+  EXPECT_EQ(tokens[1].text, "B.S. & M.S.");
+}
+
+TEST(HtmlLexerTest, StrayLessThanIsText) {
+  auto tokens = Lex("x < 5 and y <3");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens[0].text, "x < 5 and y <3");
+}
+
+TEST(HtmlLexerTest, RawTextScript) {
+  auto tokens = Lex("<script>if (a<b) { x(); }</script><p>y</p>");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
+  EXPECT_EQ(tokens[1].text, "if (a<b) { x(); }");
+  EXPECT_EQ(tokens[2].type, HtmlTokenType::kEndTag);
+}
+
+TEST(HtmlLexerTest, RawTextCaseInsensitiveCloser) {
+  auto tokens = Lex("<STYLE>p { color: red }</Style>done");
+  EXPECT_EQ(tokens[0].name, "style");
+  EXPECT_EQ(tokens[1].text, "p { color: red }");
+}
+
+TEST(HtmlLexerTest, UnterminatedCommentSwallowsRest) {
+  auto tokens = Lex("a<!-- never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, HtmlTokenType::kComment);
+}
+
+TEST(HtmlLexerTest, UnterminatedTagAtEof) {
+  auto tokens = Lex("<p class=\"x");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "p");
+}
+
+TEST(HtmlLexerTest, EndTagWithJunkAttributes) {
+  auto tokens = Lex("</p class=\"x\">");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, HtmlTokenType::kEndTag);
+  EXPECT_EQ(tokens[0].name, "p");
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+
+namespace webre {
+namespace {
+
+// Finds the first descendant element named `name`, or null.
+const Node* FindElement(const Node& root, std::string_view name) {
+  if (root.is_element() && root.name() == name) return &root;
+  for (size_t i = 0; i < root.child_count(); ++i) {
+    const Node* found = FindElement(*root.child(i), name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+TEST(HtmlParserTest, WellFormedDocument) {
+  auto root = ParseHtml("<html><body><p>hi</p></body></html>");
+  EXPECT_EQ(root->name(), "html");
+  ASSERT_EQ(root->child_count(), 1u);
+  EXPECT_EQ(root->child(0)->name(), "body");
+  const Node* p = root->child(0)->child(0);
+  EXPECT_EQ(p->name(), "p");
+  ASSERT_EQ(p->child_count(), 1u);
+  EXPECT_EQ(p->child(0)->text(), "hi");
+}
+
+TEST(HtmlParserTest, MissingHtmlElementSynthesized) {
+  auto root = ParseHtml("<p>one</p><p>two</p>");
+  EXPECT_EQ(root->name(), "html");
+  EXPECT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->name(), "p");
+}
+
+TEST(HtmlParserTest, ContentOutsideHtmlHoisted) {
+  auto root = ParseHtml("before<html><p>in</p></html>after");
+  EXPECT_EQ(root->name(), "html");
+  ASSERT_EQ(root->child_count(), 3u);
+  EXPECT_TRUE(root->child(0)->is_text());
+  EXPECT_EQ(root->child(1)->name(), "p");
+  EXPECT_TRUE(root->child(2)->is_text());
+}
+
+TEST(HtmlParserTest, ImpliedLiClose) {
+  auto root = ParseHtml("<ul><li>a<li>b<li>c</ul>");
+  const Node* ul = FindElement(*root, "ul");
+  ASSERT_NE(ul, nullptr);
+  ASSERT_EQ(ul->child_count(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ul->child(i)->name(), "li");
+    EXPECT_EQ(ul->child(i)->child_count(), 1u);
+  }
+}
+
+TEST(HtmlParserTest, ImpliedPCloseOnBlock) {
+  auto root = ParseHtml("<p>para<div>block</div>");
+  // div must NOT be inside p.
+  ASSERT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->name(), "p");
+  EXPECT_EQ(root->child(1)->name(), "div");
+}
+
+TEST(HtmlParserTest, ImpliedTableCellCloses) {
+  auto root = ParseHtml(
+      "<table><tr><td>a<td>b<tr><td>c</table>");
+  const Node* table = FindElement(*root, "table");
+  ASSERT_NE(table, nullptr);
+  ASSERT_EQ(table->child_count(), 2u);
+  EXPECT_EQ(table->child(0)->child_count(), 2u);  // two td in first tr
+  EXPECT_EQ(table->child(1)->child_count(), 1u);
+}
+
+TEST(HtmlParserTest, ImpliedDtDdCloses) {
+  auto root = ParseHtml("<dl><dt>term<dd>def<dt>term2<dd>def2</dl>");
+  const Node* dl = FindElement(*root, "dl");
+  ASSERT_NE(dl, nullptr);
+  ASSERT_EQ(dl->child_count(), 4u);
+  EXPECT_EQ(dl->child(0)->name(), "dt");
+  EXPECT_EQ(dl->child(1)->name(), "dd");
+}
+
+TEST(HtmlParserTest, VoidElementsHaveNoChildren) {
+  // <br> stays inside <p>; <hr> is block-level and implicitly closes it.
+  auto root = ParseHtml("<p>a<br>b<hr>c</p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->child_count(), 3u);
+  EXPECT_EQ(p->child(1)->name(), "br");
+  EXPECT_EQ(p->child(1)->child_count(), 0u);
+  const Node* hr = FindElement(*root, "hr");
+  ASSERT_NE(hr, nullptr);
+  EXPECT_EQ(hr->parent(), p->parent());
+  EXPECT_EQ(hr->child_count(), 0u);
+}
+
+TEST(HtmlParserTest, StrayEndTagIgnored) {
+  auto root = ParseHtml("<p>a</b></p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->child_count(), 1u);
+}
+
+TEST(HtmlParserTest, MismatchedEndClosesToAncestor) {
+  auto root = ParseHtml("<div><b>x</div>after");
+  // </div> closes both b and div.
+  ASSERT_GE(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->name(), "div");
+  EXPECT_TRUE(root->child(1)->is_text());
+}
+
+TEST(HtmlParserTest, UnclosedElementsClosedAtEof) {
+  auto root = ParseHtml("<div><ul><li>item");
+  const Node* li = FindElement(*root, "li");
+  ASSERT_NE(li, nullptr);
+  EXPECT_EQ(li->child(0)->text(), "item");
+}
+
+TEST(HtmlParserTest, WhitespaceCollapsedInText) {
+  auto root = ParseHtml("<p>a\n   b\t c</p>");
+  const Node* p = FindElement(*root, "p");
+  EXPECT_EQ(p->child(0)->text(), "a b c");
+}
+
+TEST(HtmlParserTest, WhitespaceOnlyTextDropped) {
+  auto root = ParseHtml("<ul>\n  <li>a</li>\n  <li>b</li>\n</ul>");
+  const Node* ul = FindElement(*root, "ul");
+  ASSERT_NE(ul, nullptr);
+  EXPECT_EQ(ul->child_count(), 2u);
+}
+
+TEST(HtmlParserTest, AttributesDroppedByDefault) {
+  auto root = ParseHtml("<p class=\"x\" id=\"y\">t</p>");
+  const Node* p = FindElement(*root, "p");
+  EXPECT_TRUE(p->attributes().empty());
+}
+
+TEST(HtmlParserTest, AttributesKeptOnRequest) {
+  HtmlParseOptions options;
+  options.keep_attributes = true;
+  auto root = ParseHtml("<a href=\"x.html\">t</a>", options);
+  const Node* a = FindElement(*root, "a");
+  EXPECT_EQ(a->attr("href"), "x.html");
+}
+
+TEST(HtmlParserTest, CommentsDroppedByDefault) {
+  auto root = ParseHtml("<p><!-- hidden -->shown</p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_EQ(p->child_count(), 1u);
+  EXPECT_EQ(p->child(0)->text(), "shown");
+}
+
+TEST(HtmlParserTest, EmptyInputYieldsEmptyRoot) {
+  auto root = ParseHtml("");
+  EXPECT_EQ(root->name(), "html");
+  EXPECT_EQ(root->child_count(), 0u);
+}
+
+TEST(HtmlParserTest, TextSplitByIgnoredMarkupMerges) {
+  auto root = ParseHtml("<p>one<!-- c -->two</p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_EQ(p->child_count(), 1u);
+  EXPECT_EQ(p->child(0)->text(), "one two");
+}
+
+TEST(HtmlParserTest, DeeplyNestedSurvives) {
+  std::string html;
+  for (int i = 0; i < 200; ++i) html += "<div>";
+  html += "x";
+  auto root = ParseHtml(html);
+  // Walk to the bottom.
+  const Node* node = root.get();
+  size_t depth = 0;
+  while (node->child_count() > 0 && node->child(0)->is_element()) {
+    node = node->child(0);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 200u);
+}
+
+TEST(HtmlParserTest, HeadAndBodyPreserved) {
+  auto root = ParseHtml(
+      "<html><head><title>T</title></head><body>B</body></html>");
+  ASSERT_EQ(root->child_count(), 2u);
+  EXPECT_EQ(root->child(0)->name(), "head");
+  EXPECT_EQ(root->child(1)->name(), "body");
+  EXPECT_NE(FindElement(*root, "title"), nullptr);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "html/parser.h"
+#include "html/tidy.h"
+
+namespace webre {
+namespace {
+
+const Node* FindElement(const Node& root, std::string_view name) {
+  if (root.is_element() && root.name() == name) return &root;
+  for (size_t i = 0; i < root.child_count(); ++i) {
+    const Node* found = FindElement(*root.child(i), name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Node> ParseAndTidy(std::string_view html,
+                                   const TidyOptions& options = {}) {
+  auto root = ParseHtml(html);
+  TidyHtmlTree(root.get(), options);
+  return root;
+}
+
+TEST(TidyTest, RemovesScriptAndStyle) {
+  auto root = ParseAndTidy(
+      "<body><script>var x;</script><style>p{}</style><p>keep</p></body>");
+  EXPECT_EQ(FindElement(*root, "script"), nullptr);
+  EXPECT_EQ(FindElement(*root, "style"), nullptr);
+  EXPECT_NE(FindElement(*root, "p"), nullptr);
+}
+
+TEST(TidyTest, RemovesFormControls) {
+  auto root = ParseAndTidy(
+      "<body><select><option>a</option></select><p>keep</p></body>");
+  EXPECT_EQ(FindElement(*root, "select"), nullptr);
+  EXPECT_NE(FindElement(*root, "p"), nullptr);
+}
+
+TEST(TidyTest, RemovesEmptyInlineElements) {
+  auto root = ParseAndTidy("<p><b></b>text<i>  </i></p>");
+  EXPECT_EQ(FindElement(*root, "b"), nullptr);
+  const Node* p = FindElement(*root, "p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->child_count(), 1u);
+}
+
+TEST(TidyTest, KeepsVoidSeparators) {
+  auto root = ParseAndTidy("<p>a<br>b<hr></p>");
+  EXPECT_NE(FindElement(*root, "br"), nullptr);
+  EXPECT_NE(FindElement(*root, "hr"), nullptr);
+}
+
+TEST(TidyTest, LiftsNestedHeadings) {
+  // §2.4: heading nesting is a well-formedness defect tidy repairs.
+  auto root = ParseAndTidy("<body><h2>Outer<h3>Inner</h3></h2><p>x</p></body>");
+  const Node* h2 = FindElement(*root, "h2");
+  const Node* h3 = FindElement(*root, "h3");
+  ASSERT_NE(h2, nullptr);
+  ASSERT_NE(h3, nullptr);
+  // h3 is no longer inside h2; it is h2's following sibling.
+  EXPECT_EQ(h3->parent(), h2->parent());
+  EXPECT_EQ(h2->parent()->IndexOf(h3), h2->parent()->IndexOf(h2) + 1);
+}
+
+TEST(TidyTest, UnwrapsRedundantInlineNesting) {
+  auto root = ParseAndTidy("<p><b><b>bold</b></b></p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_NE(p, nullptr);
+  const Node* b = p->child(0);
+  ASSERT_EQ(b->name(), "b");
+  ASSERT_EQ(b->child_count(), 1u);
+  EXPECT_TRUE(b->child(0)->is_text());
+}
+
+TEST(TidyTest, MergesAdjacentText) {
+  // Removing an element between two texts leaves adjacent text siblings.
+  auto root = ParseAndTidy("<p>one<script>x</script>two</p>");
+  const Node* p = FindElement(*root, "p");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->child_count(), 1u);
+  EXPECT_EQ(p->child(0)->text(), "one two");
+}
+
+TEST(TidyTest, RootNeverRemoved) {
+  auto root = ParseAndTidy("");
+  EXPECT_EQ(root->name(), "html");
+}
+
+TEST(TidyTest, OptionsDisableIndividualPasses) {
+  TidyOptions options;
+  options.remove_non_content = false;
+  auto root = ParseAndTidy("<body><script>x</script></body>", options);
+  EXPECT_NE(FindElement(*root, "script"), nullptr);
+}
+
+TEST(TidyTest, EmptyBlockWithValSurvives) {
+  // A node carrying only a val attribute still holds text payload.
+  auto root = ParseHtml("<body><div></div></body>");
+  const Node* body = FindElement(*root, "body");
+  ASSERT_NE(body, nullptr);
+  root->PreOrderMutable([](Node& n) {
+    if (n.name() == "div") n.set_val("payload");
+  });
+  TidyHtmlTree(root.get());
+  EXPECT_NE(FindElement(*root, "div"), nullptr);
+}
+
+}  // namespace
+}  // namespace webre

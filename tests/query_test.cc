@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "repository/query.h"
+
+namespace webre {
+namespace {
+
+// resume(NAME, EDUCATION(DATE(INSTITUTION, DEGREE), DATE(INSTITUTION)),
+//        SKILLS(LANGUAGE, LANGUAGE))
+std::unique_ptr<Node> SampleDoc() {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("NAME")->set_val("Resume of Jane Doe");
+  Node* education = root->AddElement("EDUCATION");
+  Node* d1 = education->AddElement("DATE");
+  d1->set_val("June 1996");
+  d1->AddElement("INSTITUTION")->set_val("Brockhaven University");
+  d1->AddElement("DEGREE")->set_val("B.S.");
+  Node* d2 = education->AddElement("DATE");
+  d2->set_val("May 1998");
+  d2->AddElement("INSTITUTION")->set_val("Eastfield College");
+  Node* skills = root->AddElement("SKILLS");
+  skills->AddElement("LANGUAGE")->set_val("C++");
+  skills->AddElement("LANGUAGE")->set_val("Java");
+  return root;
+}
+
+TEST(QueryParseTest, SimpleAbsolutePath) {
+  auto q = PathQuery::Parse("/resume/EDUCATION/DATE");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->steps().size(), 3u);
+  EXPECT_TRUE(q->IsSimplePath());
+  EXPECT_EQ(q->AsLabelPath(),
+            (std::vector<std::string>{"resume", "EDUCATION", "DATE"}));
+  EXPECT_EQ(q->ToString(), "/resume/EDUCATION/DATE");
+}
+
+TEST(QueryParseTest, DescendantAxis) {
+  auto q = PathQuery::Parse("//DATE");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->steps()[0].descendant);
+  EXPECT_FALSE(q->IsSimplePath());
+}
+
+TEST(QueryParseTest, WildcardAndPredicate) {
+  auto q = PathQuery::Parse("/resume/*/DATE[val~\"1996\"]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->steps()[1].name, "*");
+  EXPECT_EQ(q->steps()[2].val_contains, "1996");
+  EXPECT_EQ(q->ToString(), "/resume/*/DATE[val~\"1996\"]");
+}
+
+TEST(QueryParseTest, Errors) {
+  EXPECT_FALSE(PathQuery::Parse("").ok());
+  EXPECT_FALSE(PathQuery::Parse("resume/DATE").ok());   // no leading /
+  EXPECT_FALSE(PathQuery::Parse("/resume//").ok());     // empty step
+  EXPECT_FALSE(PathQuery::Parse("/a[val~\"x]").ok());   // unterminated
+  EXPECT_FALSE(PathQuery::Parse("/a[foo=\"x\"]").ok()); // unknown predicate
+  EXPECT_FALSE(PathQuery::Parse("/res*me").ok());       // partial wildcard
+}
+
+TEST(QueryEvalTest, ExactPath) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("/resume/EDUCATION/DATE");
+  auto hits = q->Evaluate(*doc);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->val(), "June 1996");
+  EXPECT_EQ(hits[1]->val(), "May 1998");
+}
+
+TEST(QueryEvalTest, RootMismatchGivesNothing) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("/cv/EDUCATION");
+  EXPECT_TRUE(q->Evaluate(*doc).empty());
+}
+
+TEST(QueryEvalTest, DescendantAnywhere) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("//INSTITUTION");
+  auto hits = q->Evaluate(*doc);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->val(), "Brockhaven University");
+}
+
+TEST(QueryEvalTest, DescendantUnderStep) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("/resume/EDUCATION//INSTITUTION");
+  EXPECT_EQ(q->Evaluate(*doc).size(), 2u);
+  auto q2 = PathQuery::Parse("/resume/SKILLS//INSTITUTION");
+  EXPECT_TRUE(q2->Evaluate(*doc).empty());
+}
+
+TEST(QueryEvalTest, WildcardStep) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("/resume/*");
+  EXPECT_EQ(q->Evaluate(*doc).size(), 3u);  // NAME, EDUCATION, SKILLS
+}
+
+TEST(QueryEvalTest, ValPredicateFilters) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("//DATE[val~\"1996\"]");
+  auto hits = q->Evaluate(*doc);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->val(), "June 1996");
+}
+
+TEST(QueryEvalTest, ValPredicateCaseInsensitive) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("//LANGUAGE[val~\"java\"]");
+  EXPECT_EQ(q->Evaluate(*doc).size(), 1u);
+}
+
+TEST(QueryEvalTest, DescendantSelfIncludesRoot) {
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("//resume");
+  ASSERT_EQ(q->Evaluate(*doc).size(), 1u);
+  EXPECT_EQ(q->Evaluate(*doc)[0], doc.get());
+}
+
+TEST(QueryEvalTest, NoDuplicatesUnderOverlappingFrontiers) {
+  // //*//LANGUAGE could reach each LANGUAGE via several ancestors.
+  auto doc = SampleDoc();
+  auto q = PathQuery::Parse("//*//LANGUAGE");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Evaluate(*doc).size(), 2u);
+}
+
+TEST(QueryEvalTest, PredicateOnIntermediateStep) {
+  auto doc = SampleDoc();
+  auto q =
+      PathQuery::Parse("/resume/EDUCATION/DATE[val~\"May\"]/INSTITUTION");
+  auto hits = q->Evaluate(*doc);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->val(), "Eastfield College");
+}
+
+}  // namespace
+}  // namespace webre

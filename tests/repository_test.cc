@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "mapping/document_mapper.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "schema/dtd_builder.h"
+#include "schema/frequent_paths.h"
+
+namespace webre {
+namespace {
+
+std::unique_ptr<Node> SmallDoc(const std::string& date_val) {
+  auto root = Node::MakeElement("resume");
+  Node* education = root->AddElement("EDUCATION");
+  Node* date = education->AddElement("DATE");
+  date->set_val(date_val);
+  date->AddElement("INSTITUTION");
+  return root;
+}
+
+TEST(RepositoryTest, AddAndRetrieve) {
+  XmlRepository repo;
+  auto id = repo.Add(SmallDoc("June 1996"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(repo.size(), 1u);
+  ASSERT_NE(repo.document(0), nullptr);
+  EXPECT_EQ(repo.document(0)->name(), "resume");
+  EXPECT_EQ(repo.document(99), nullptr);
+}
+
+TEST(RepositoryTest, RejectsNonElementRoot) {
+  XmlRepository repo;
+  EXPECT_FALSE(repo.Add(Node::MakeText("just text")).ok());
+  EXPECT_FALSE(repo.Add(nullptr).ok());
+}
+
+TEST(RepositoryTest, PathIndexFindsDocuments) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("a")).value();
+  repo.Add(SmallDoc("b")).value();
+  auto other = Node::MakeElement("resume");
+  other->AddElement("SKILLS");
+  repo.Add(std::move(other)).value();
+
+  auto with_date = repo.DocumentsWithPath({"resume", "EDUCATION", "DATE"});
+  EXPECT_EQ(with_date, (std::vector<DocId>{0, 1}));
+  auto with_skills = repo.DocumentsWithPath({"resume", "SKILLS"});
+  EXPECT_EQ(with_skills, (std::vector<DocId>{2}));
+  EXPECT_TRUE(repo.DocumentsWithPath({"resume", "NOPE"}).empty());
+}
+
+TEST(RepositoryTest, SimpleQueryUsesIndex) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("June 1996")).value();
+  repo.Add(SmallDoc("May 1998")).value();
+  auto matches = repo.Query("/resume/EDUCATION/DATE");
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+  EXPECT_EQ((*matches)[0].doc, 0u);
+  EXPECT_EQ((*matches)[0].node->val(), "June 1996");
+  EXPECT_EQ((*matches)[1].doc, 1u);
+}
+
+TEST(RepositoryTest, PredicateQueryAcrossDocuments) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("June 1996")).value();
+  repo.Add(SmallDoc("May 1998")).value();
+  auto matches = repo.Query("//DATE[val~\"1998\"]");
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].doc, 1u);
+}
+
+TEST(RepositoryTest, MalformedQueryReportsError) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("x")).value();
+  EXPECT_FALSE(repo.Query("not-a-query").ok());
+}
+
+TEST(RepositoryTest, StatsCountEverything) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("a")).value();
+  repo.Add(SmallDoc("b")).value();
+  RepositoryStats stats = repo.Stats();
+  EXPECT_EQ(stats.documents, 2u);
+  EXPECT_EQ(stats.elements, 8u);       // 4 per doc
+  EXPECT_EQ(stats.distinct_paths, 4u); // shared across docs
+}
+
+TEST(RepositoryTest, DtdGateRejectsNonConforming) {
+  Dtd dtd;
+  dtd.set_root("resume");
+  ElementDecl resume;
+  resume.name = "resume";
+  resume.content =
+      ContentParticle::Sequence({ContentParticle::Element("EDUCATION")});
+  dtd.AddElement(resume);
+  ElementDecl education;
+  education.name = "EDUCATION";
+  education.pcdata_only = true;
+  dtd.AddElement(education);
+
+  XmlRepository repo;
+  repo.SetDtd(dtd);
+  // SmallDoc has DATE under EDUCATION: not (#PCDATA).
+  auto rejected = repo.Add(SmallDoc("x"));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+
+  auto ok_doc = Node::MakeElement("resume");
+  ok_doc->AddElement("EDUCATION");
+  EXPECT_TRUE(repo.Add(std::move(ok_doc)).ok());
+  EXPECT_EQ(repo.size(), 1u);
+}
+
+TEST(RepositoryTest, EndToEndWithPipelineDocuments) {
+  // Convert a corpus, derive the DTD, map documents, load the repository
+  // with the DTD gate on, and query it — the paper's full integration
+  // story.
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  DocumentConverter converter(&concepts, &recognizer, &constraints);
+
+  MiningOptions mining;
+  mining.constraints = &constraints;
+  FrequentPathMiner miner(mining);
+  std::vector<std::unique_ptr<Node>> docs;
+  for (size_t i = 0; i < 40; ++i) {
+    docs.push_back(converter.Convert(GenerateResume(i).html));
+    miner.AddDocument(*docs.back());
+  }
+  MajoritySchema schema = miner.Discover();
+  DtdBuildOptions dtd_options;
+  dtd_options.mark_optional = true;
+  Dtd dtd = BuildDtd(schema, dtd_options);
+
+  XmlRepository repo;
+  repo.SetDtd(dtd);
+  size_t admitted = 0;
+  for (const auto& doc : docs) {
+    ConformResult mapped = ConformToSchema(*doc, schema, dtd);
+    if (repo.Add(std::move(mapped.document)).ok()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 40u);
+
+  auto dates = repo.Query("/resume/EDUCATION/DATE");
+  ASSERT_TRUE(dates.ok());
+  EXPECT_GT(dates->size(), 40u);  // multiple entries per resume
+
+  auto languages = repo.Query("//LANGUAGE[val~\"java\"]");
+  ASSERT_TRUE(languages.ok());
+  EXPECT_GT(languages->size(), 5u);
+}
+
+TEST(RepositoryTest, DiscoverSchemaOverStoredDocuments) {
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  DocumentConverter converter(&concepts, &recognizer, &constraints);
+  XmlRepository repo;
+  for (size_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        repo.Add(converter.Convert(GenerateResume(i).html)).ok());
+  }
+  MiningOptions options;
+  options.constraints = &constraints;
+  MajoritySchema schema = repo.DiscoverSchema(options);
+  EXPECT_EQ(schema.root().label, "resume");
+  EXPECT_TRUE(schema.ContainsPath({"resume", "EDUCATION"}));
+  // The repository's distinct-path count is its Data Guide size: at
+  // least as large as any majority schema.
+  EXPECT_GE(repo.Stats().distinct_paths, schema.NodeCount());
+}
+
+}  // namespace
+}  // namespace webre

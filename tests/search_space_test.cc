@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "concepts/resume_domain.h"
+#include "schema/search_space.h"
+
+namespace webre {
+namespace {
+
+TEST(SearchSpaceTest, PaperNumbers) {
+  // §4.2: exhaustive 24^5 - 1 = 7,962,623 candidate nodes; with the
+  // constraints, 1 + 11 + 11*13 + 11*13*12 = 1,871.
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SearchSpaceReport report =
+      AnalyzeSearchSpace(concepts, constraints, "resume", /*max_level=*/3);
+  EXPECT_EQ(report.concept_count, 24u);
+  EXPECT_EQ(report.exhaustive_paper_formula, 7962623u);
+  EXPECT_EQ(report.constrained, 1871u);
+}
+
+TEST(SearchSpaceTest, ExhaustiveEnumeratedIsGeometricSum) {
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet none;
+  SearchSpaceReport report =
+      AnalyzeSearchSpace(concepts, none, "resume", /*max_level=*/3);
+  // 1 + 24 + 24^2 + 24^3
+  EXPECT_EQ(report.exhaustive_enumerated, 1u + 24u + 576u + 13824u);
+  // Without constraints, the DFS count matches the geometric sum.
+  EXPECT_EQ(report.constrained, report.exhaustive_enumerated);
+}
+
+TEST(SearchSpaceTest, ConstraintMaxLevelCapsEnumeration) {
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();  // max_level = 3
+  SearchSpaceReport deep =
+      AnalyzeSearchSpace(concepts, constraints, "resume", /*max_level=*/10);
+  EXPECT_EQ(deep.max_level, 3u);
+  EXPECT_EQ(deep.constrained, 1871u);
+}
+
+TEST(SearchSpaceTest, SmallHandComputable) {
+  ConceptSet concepts;
+  concepts.Add({"A", {}});
+  concepts.Add({"B", {}});
+  ConstraintSet constraints;
+  constraints.set_no_repeat_on_path(true);
+  SearchSpaceReport report =
+      AnalyzeSearchSpace(concepts, constraints, "root", /*max_level=*/2);
+  // root + {A,B} + {AB, BA} = 1 + 2 + 2.
+  EXPECT_EQ(report.constrained, 5u);
+  EXPECT_EQ(report.exhaustive_enumerated, 1u + 2u + 4u);
+}
+
+TEST(SearchSpaceTest, DepthConstraintsShrinkLevels) {
+  ConceptSet concepts;
+  concepts.Add({"T1", {}});
+  concepts.Add({"T2", {}});
+  concepts.Add({"C1", {}});
+  ConstraintSet constraints;
+  constraints.Add(ConceptConstraint::Depth("T1", DepthRelation::kEq, 1));
+  constraints.Add(ConceptConstraint::Depth("T2", DepthRelation::kEq, 1));
+  constraints.Add(ConceptConstraint::Depth("C1", DepthRelation::kGt, 1));
+  SearchSpaceReport report =
+      AnalyzeSearchSpace(concepts, constraints, "root", /*max_level=*/2);
+  // Level 1: T1, T2. Level 2 under each: C1 only. 1 + 2 + 2 = 5.
+  EXPECT_EQ(report.constrained, 5u);
+}
+
+}  // namespace
+}  // namespace webre

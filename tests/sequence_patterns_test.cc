@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "schema/sequence_patterns.h"
+
+namespace webre {
+namespace {
+
+using Seq = std::vector<std::string>;
+
+TEST(SequencePatternTest, DetectsSingleElementRepetition) {
+  std::vector<Seq> sequences = {
+      {"DATE", "DATE", "DATE"}, {"DATE", "DATE"}, {"DATE"}};
+  auto pattern = DetectRepeatingGroup(sequences);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->group, Seq{"DATE"});
+  EXPECT_DOUBLE_EQ(pattern->coverage, 1.0);
+  EXPECT_NEAR(pattern->avg_repeats, 2.0, 1e-9);
+  EXPECT_EQ(pattern->ToString(), "(DATE)+");
+}
+
+TEST(SequencePatternTest, DetectsPairGroup) {
+  // The paper's (e1, e2)* example shape.
+  std::vector<Seq> sequences = {
+      {"DATE", "INSTITUTION", "DATE", "INSTITUTION"},
+      {"DATE", "INSTITUTION", "DATE", "INSTITUTION", "DATE", "INSTITUTION"},
+      {"DATE", "INSTITUTION"}};
+  auto pattern = DetectRepeatingGroup(sequences);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->group, (Seq{"DATE", "INSTITUTION"}));
+  EXPECT_DOUBLE_EQ(pattern->coverage, 1.0);
+  EXPECT_EQ(pattern->ToString(), "(DATE, INSTITUTION)+");
+}
+
+TEST(SequencePatternTest, SmallestPeriodWins) {
+  std::vector<Seq> sequences = {{"A", "A", "A", "A"}, {"A", "A"}};
+  auto pattern = DetectRepeatingGroup(sequences);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->group, Seq{"A"});  // not (A, A)
+}
+
+TEST(SequencePatternTest, TripleGroup) {
+  std::vector<Seq> sequences = {
+      {"DATE", "COMPANY", "TITLE", "DATE", "COMPANY", "TITLE"},
+      {"DATE", "COMPANY", "TITLE"},
+      {"DATE", "COMPANY", "TITLE", "DATE", "COMPANY", "TITLE",
+       "DATE", "COMPANY", "TITLE"}};
+  auto pattern = DetectRepeatingGroup(sequences);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->group, (Seq{"DATE", "COMPANY", "TITLE"}));
+}
+
+TEST(SequencePatternTest, RespectsCoverageThreshold) {
+  std::vector<Seq> sequences = {
+      {"A", "B", "A", "B"}, {"X", "Y"}, {"Q"}, {"Z", "Z"}};
+  EXPECT_FALSE(DetectRepeatingGroup(sequences, /*min_coverage=*/0.6)
+                   .has_value());
+}
+
+TEST(SequencePatternTest, ConstantSingletonsNeedMultiRepeats) {
+  // Every sequence is exactly one "A": technically period 1, but nothing
+  // ever repeats — no pattern should be claimed.
+  std::vector<Seq> sequences = {{"A"}, {"A"}, {"A"}};
+  EXPECT_FALSE(DetectRepeatingGroup(sequences, 0.6, 0.3).has_value());
+}
+
+TEST(SequencePatternTest, EmptyInput) {
+  EXPECT_FALSE(DetectRepeatingGroup({}).has_value());
+  std::vector<Seq> empties = {{}, {}};
+  EXPECT_FALSE(DetectRepeatingGroup(empties).has_value());
+}
+
+TEST(SequencePatternTest, PartialTailBreaksCoverage) {
+  // (A,B) repeated but one sequence has a dangling A.
+  std::vector<Seq> sequences = {{"A", "B", "A", "B"},
+                                {"A", "B", "A"},
+                                {"A", "B"}};
+  auto pattern = DetectRepeatingGroup(sequences, /*min_coverage=*/0.6);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_NEAR(pattern->coverage, 2.0 / 3.0, 1e-9);
+}
+
+TEST(SequencePatternTest, ToParticleRendersPlusGroup) {
+  SequencePattern pattern;
+  pattern.group = {"DATE", "DEGREE"};
+  ContentParticle particle = pattern.ToParticle();
+  EXPECT_EQ(particle.ToString(), "(DATE, DEGREE)+");
+}
+
+TEST(CollectChildSequencesTest, GathersSequencesAtPath) {
+  auto root = Node::MakeElement("resume");
+  Node* e1 = root->AddElement("EDUCATION");
+  e1->AddElement("DATE");
+  e1->AddElement("INSTITUTION");
+  e1->AddElement("DATE");
+  e1->AddElement("INSTITUTION");
+  Node* e2 = root->AddElement("EDUCATION");
+  e2->AddElement("DATE");
+  root->AddElement("SKILLS")->AddElement("LANGUAGE");
+
+  auto sequences =
+      CollectChildSequences(*root, {"resume", "EDUCATION"});
+  ASSERT_EQ(sequences.size(), 2u);
+  EXPECT_EQ(sequences[0],
+            (Seq{"DATE", "INSTITUTION", "DATE", "INSTITUTION"}));
+  EXPECT_EQ(sequences[1], Seq{"DATE"});
+}
+
+TEST(CollectChildSequencesTest, WrongPathGivesNothing) {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("EDUCATION");
+  EXPECT_TRUE(CollectChildSequences(*root, {"cv", "EDUCATION"}).empty());
+  EXPECT_TRUE(CollectChildSequences(*root, {}).empty());
+}
+
+TEST(SequencePatternTest, EndToEndAlternatingCorpus) {
+  // Documents whose EDUCATION children alternate DATE, INSTITUTION —
+  // the general repetitive structure a plain per-element '+' cannot
+  // express.
+  std::vector<Seq> sequences;
+  for (int docs = 0; docs < 10; ++docs) {
+    Seq s;
+    for (int k = 0; k <= docs % 3; ++k) {
+      s.push_back("DATE");
+      s.push_back("INSTITUTION");
+    }
+    sequences.push_back(std::move(s));
+  }
+  auto pattern = DetectRepeatingGroup(sequences);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->ToString(), "(DATE, INSTITUTION)+");
+  EXPECT_GT(pattern->avg_repeats, 1.5);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "concepts/resume_domain.h"
+#include "corpus/crawler.h"
+#include "corpus/site_generator.h"
+
+namespace webre {
+namespace {
+
+class SiteCrawlTest : public ::testing::Test {
+ protected:
+  SiteCrawlTest() : concepts_(ResumeConcepts()) {
+    crawler_options_.title_concepts = ResumeTitleConceptNames();
+  }
+
+  TopicCrawler MakeCrawler() const {
+    return TopicCrawler(&concepts_, crawler_options_);
+  }
+
+  ConceptSet concepts_;
+  CrawlerOptions crawler_options_;
+};
+
+TEST_F(SiteCrawlTest, SiteIsDeterministic) {
+  GeneratedSite a = GenerateSite();
+  GeneratedSite b = GenerateSite();
+  EXPECT_EQ(a.pages, b.pages);
+}
+
+TEST_F(SiteCrawlTest, SiteShapeSane) {
+  SiteOptions options;
+  options.resumes = 13;
+  options.distractors = 5;
+  GeneratedSite site = GenerateSite(options);
+  EXPECT_EQ(site.resume_urls.size(), 13u);
+  EXPECT_EQ(site.distractor_urls.size(), 5u);
+  EXPECT_TRUE(site.pages.count(site.start_url));
+  // index + hubs(ceil(13/6)=3) + resumes + distractors
+  EXPECT_EQ(site.pages.size(), 1u + 3u + 13u + 5u);
+}
+
+TEST_F(SiteCrawlTest, CrawlReachesEveryPage) {
+  GeneratedSite site = GenerateSite();
+  TopicCrawler crawler = MakeCrawler();
+  auto result = crawler.CrawlGraph(site.pages, site.start_url);
+  EXPECT_EQ(result.pages_visited, site.pages.size());
+}
+
+TEST_F(SiteCrawlTest, CrawlAcceptsExactlyTheResumes) {
+  SiteOptions options;
+  options.resumes = 18;
+  options.distractors = 7;
+  GeneratedSite site = GenerateSite(options);
+  TopicCrawler crawler = MakeCrawler();
+  auto result = crawler.CrawlGraph(site.pages, site.start_url);
+  std::set<std::string> accepted(result.accepted_urls.begin(),
+                                 result.accepted_urls.end());
+  std::set<std::string> expected(site.resume_urls.begin(),
+                                 site.resume_urls.end());
+  EXPECT_EQ(accepted, expected);
+}
+
+TEST_F(SiteCrawlTest, DeadLinksSkipped) {
+  GeneratedSite site = GenerateSite();
+  // Point the index at a missing page too.
+  site.pages[site.start_url].insert(
+      site.pages[site.start_url].rfind("</ul>"),
+      "<li><a href=\"/gone.html\">404</a></li>");
+  TopicCrawler crawler = MakeCrawler();
+  auto result = crawler.CrawlGraph(site.pages, site.start_url);
+  EXPECT_EQ(result.pages_visited, site.pages.size());
+}
+
+TEST_F(SiteCrawlTest, UnreachableStartVisitsNothing) {
+  GeneratedSite site = GenerateSite();
+  TopicCrawler crawler = MakeCrawler();
+  auto result = crawler.CrawlGraph(site.pages, "/nowhere.html");
+  EXPECT_EQ(result.pages_visited, 0u);
+  EXPECT_TRUE(result.accepted_urls.empty());
+}
+
+TEST_F(SiteCrawlTest, EachPageFetchedOnceDespiteCycles) {
+  // Distractors link in a chain and back to hub0; BFS must not loop.
+  SiteOptions options;
+  options.distractors = 9;
+  GeneratedSite site = GenerateSite(options);
+  TopicCrawler crawler = MakeCrawler();
+  auto result = crawler.CrawlGraph(site.pages, site.start_url);
+  EXPECT_EQ(result.pages_visited, site.pages.size());
+  // Accepted list has no duplicates.
+  std::set<std::string> unique(result.accepted_urls.begin(),
+                               result.accepted_urls.end());
+  EXPECT_EQ(unique.size(), result.accepted_urls.size());
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "mapping/tree_edit.h"
+
+namespace webre {
+namespace {
+
+std::unique_ptr<Node> Leafy(const std::string& name) {
+  return Node::MakeElement(name);
+}
+
+// resume(a b(c d))
+std::unique_ptr<Node> Sample() {
+  auto root = Node::MakeElement("resume");
+  root->AddElement("a");
+  Node* b = root->AddElement("b");
+  b->AddElement("c");
+  b->AddElement("d");
+  return root;
+}
+
+TEST(TreeEditTest, IdenticalTreesZero) {
+  auto a = Sample();
+  auto b = Sample();
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 0.0);
+}
+
+TEST(TreeEditTest, SingleRelabel) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->set_name("z");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 1.0);
+}
+
+TEST(TreeEditTest, RootRelabel) {
+  auto a = Leafy("x");
+  auto b = Leafy("y");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 1.0);
+}
+
+TEST(TreeEditTest, InsertLeaf) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->AddElement("e");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 1.0);
+}
+
+TEST(TreeEditTest, DeleteSubtreeCostsItsSize) {
+  auto a = Sample();         // 5 nodes
+  auto b = Leafy("resume");  // 1 node
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 4.0);
+}
+
+TEST(TreeEditTest, Symmetry) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(0)->set_name("q");
+  b->AddElement("extra");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), TreeEditDistance(*b, *a));
+}
+
+TEST(TreeEditTest, TriangleInequality) {
+  auto a = Sample();
+  auto b = Sample();
+  b->child(1)->set_name("z");
+  auto c = Sample();
+  c->RemoveChild(0);
+  c->AddElement("w");
+  const double ab = TreeEditDistance(*a, *b);
+  const double bc = TreeEditDistance(*b, *c);
+  const double ac = TreeEditDistance(*a, *c);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST(TreeEditTest, DeleteInnerNodeCostsOne) {
+  // a(b(c)) vs a(c): removing b keeps c.
+  auto a = Node::MakeElement("a");
+  a->AddElement("b")->AddElement("c");
+  auto b = Node::MakeElement("a");
+  b->AddElement("c");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 1.0);
+}
+
+TEST(TreeEditTest, OrderMatters) {
+  // Ordered tree edit distance: swapping two distinct leaves costs 2
+  // (delete + insert) under unit costs.
+  auto a = Node::MakeElement("r");
+  a->AddElement("x");
+  a->AddElement("y");
+  auto b = Node::MakeElement("r");
+  b->AddElement("y");
+  b->AddElement("x");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 2.0);
+}
+
+TEST(TreeEditTest, CustomCosts) {
+  TreeEditCosts costs;
+  costs.relabel = 10.0;  // cheaper to delete + insert
+  auto a = Leafy("x");
+  a->AddElement("p");
+  auto b = Leafy("x");
+  b->AddElement("q");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b, costs), 2.0);
+}
+
+TEST(TreeEditTest, TextNodesIgnored) {
+  auto a = Sample();
+  auto b = Sample();
+  b->AddText("some text");
+  b->child(0)->AddText("more");
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a, *b), 0.0);
+}
+
+TEST(TreeEditTest, DeepChainVsFlat) {
+  // chain a>b>c>d vs flat a(b c d): distance reflects restructuring.
+  auto chain = Node::MakeElement("a");
+  chain->AddElement("b")->AddElement("c")->AddElement("d");
+  auto flat = Node::MakeElement("a");
+  flat->AddElement("b");
+  flat->AddElement("c");
+  flat->AddElement("d");
+  const double d = TreeEditDistance(*chain, *flat);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 4.0);
+}
+
+TEST(TreeEditTest, LargerRandomishTreesAgreeWithBounds) {
+  // Distance is bounded by size sum and at least the size difference.
+  auto a = Node::MakeElement("r");
+  Node* cursor = a.get();
+  for (int i = 0; i < 10; ++i) {
+    cursor = cursor->AddElement("n" + std::to_string(i % 3));
+    cursor->AddElement("leaf");
+  }
+  auto b = Node::MakeElement("r");
+  b->AddElement("n0")->AddElement("leaf");
+  const double d = TreeEditDistance(*a, *b);
+  EXPECT_GE(d, 21.0 - 3.0);
+  EXPECT_LE(d, 21.0 + 3.0);
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "schema/dtd_builder.h"
+#include "schema/unify.h"
+
+namespace webre {
+namespace {
+
+SchemaNode Leaf(const std::string& label, size_t docs = 10) {
+  SchemaNode node;
+  node.label = label;
+  node.doc_count = docs;
+  return node;
+}
+
+// resume -> education -> date(degree, institution)
+//        -> courses  -> date(degree)           [similar structure]
+MajoritySchema TwoDateSchema(size_t courses_date_docs = 5) {
+  SchemaNode root = Leaf("resume");
+  SchemaNode education = Leaf("education");
+  SchemaNode edu_date = Leaf("date", 10);
+  edu_date.children.push_back(Leaf("degree"));
+  edu_date.children.push_back(Leaf("institution"));
+  education.children.push_back(edu_date);
+  SchemaNode courses = Leaf("courses");
+  SchemaNode course_date = Leaf("date", courses_date_docs);
+  course_date.children.push_back(Leaf("degree"));
+  courses.children.push_back(course_date);
+  root.children.push_back(education);
+  root.children.push_back(courses);
+  return MajoritySchema(std::move(root));
+}
+
+TEST(UnifyTest, EmptySchemaNoop) {
+  MajoritySchema schema;
+  UnificationReport report = UnifySchema(schema);
+  EXPECT_TRUE(report.unified.empty());
+}
+
+TEST(UnifyTest, UniqueLabelsUntouched) {
+  SchemaNode root = Leaf("resume");
+  root.children.push_back(Leaf("contact"));
+  root.children.push_back(Leaf("education"));
+  MajoritySchema schema(std::move(root));
+  UnificationReport report = UnifySchema(schema);
+  EXPECT_TRUE(report.unified.empty());
+  EXPECT_EQ(schema.NodeCount(), 3u);
+}
+
+TEST(UnifyTest, SimilarOccurrencesShareStructure) {
+  MajoritySchema schema = TwoDateSchema();
+  UnificationReport report = UnifySchema(schema, /*min_similarity=*/0.5);
+  ASSERT_EQ(report.unified.size(), 1u);
+  EXPECT_EQ(report.unified[0].label, "date");
+  EXPECT_EQ(report.unified[0].occurrences, 2u);
+  EXPECT_NEAR(report.unified[0].similarity, 0.5, 1e-9);  // {deg,inst} vs {deg}
+  EXPECT_EQ(report.unified[0].merged_children, 2u);
+
+  // Both positions now carry (degree, institution).
+  const SchemaNode* edu_date =
+      schema.Find({"resume", "education", "date"});
+  const SchemaNode* course_date =
+      schema.Find({"resume", "courses", "date"});
+  ASSERT_NE(edu_date, nullptr);
+  ASSERT_NE(course_date, nullptr);
+  EXPECT_EQ(edu_date->children.size(), 2u);
+  EXPECT_EQ(course_date->children.size(), 2u);
+  EXPECT_EQ(course_date->children[0].label, "degree");
+  EXPECT_EQ(course_date->children[1].label, "institution");
+}
+
+TEST(UnifyTest, DissimilarOccurrencesLeftAlone) {
+  // date(degree, institution) vs date(price, warranty): Jaccard 0.
+  SchemaNode root = Leaf("resume");
+  SchemaNode a = Leaf("x");
+  SchemaNode date1 = Leaf("date");
+  date1.children.push_back(Leaf("degree"));
+  date1.children.push_back(Leaf("institution"));
+  a.children.push_back(date1);
+  SchemaNode b = Leaf("y");
+  SchemaNode date2 = Leaf("date");
+  date2.children.push_back(Leaf("price"));
+  date2.children.push_back(Leaf("warranty"));
+  b.children.push_back(date2);
+  root.children.push_back(a);
+  root.children.push_back(b);
+  MajoritySchema schema(std::move(root));
+
+  UnificationReport report = UnifySchema(schema, /*min_similarity=*/0.5);
+  EXPECT_TRUE(report.unified.empty());
+  EXPECT_EQ(schema.Find({"resume", "x", "date"})->children.size(), 2u);
+  EXPECT_EQ(schema.Find({"resume", "x", "date"})->children[0].label,
+            "degree");
+}
+
+TEST(UnifyTest, LeafOccurrenceJoinsStructuredGroup) {
+  // date leaf under one section, date(degree) under another: the leaf is
+  // the degenerate case and adopts the structure.
+  SchemaNode root = Leaf("resume");
+  SchemaNode a = Leaf("education");
+  SchemaNode structured = Leaf("date");
+  structured.children.push_back(Leaf("degree"));
+  a.children.push_back(structured);
+  SchemaNode b = Leaf("experience");
+  b.children.push_back(Leaf("date"));  // leaf
+  root.children.push_back(a);
+  root.children.push_back(b);
+  MajoritySchema schema(std::move(root));
+
+  UnificationReport report = UnifySchema(schema);
+  ASSERT_EQ(report.unified.size(), 1u);
+  EXPECT_EQ(
+      schema.Find({"resume", "experience", "date"})->children.size(), 1u);
+}
+
+TEST(UnifyTest, AllLeavesNothingToUnify) {
+  SchemaNode root = Leaf("resume");
+  SchemaNode a = Leaf("x");
+  a.children.push_back(Leaf("date"));
+  SchemaNode b = Leaf("y");
+  b.children.push_back(Leaf("date"));
+  root.children.push_back(a);
+  root.children.push_back(b);
+  MajoritySchema schema(std::move(root));
+  EXPECT_TRUE(UnifySchema(schema).unified.empty());
+}
+
+TEST(UnifyTest, BestSupportedStatisticsWin) {
+  MajoritySchema schema = TwoDateSchema(/*courses_date_docs=*/5);
+  // Tag the anchor's degree child so we can see whose copy survives.
+  SchemaNode* edu_date = nullptr;
+  for (SchemaNode& section : schema.mutable_root().children) {
+    for (SchemaNode& child : section.children) {
+      if (section.label == "education" && child.label == "date") {
+        edu_date = &child;
+      }
+    }
+  }
+  ASSERT_NE(edu_date, nullptr);
+  edu_date->children[0].doc_count = 42;
+  UnifySchema(schema);
+  EXPECT_EQ(
+      schema.Find({"resume", "courses", "date"})->children[0].doc_count,
+      42u);
+}
+
+TEST(UnifyTest, DtdAfterUnificationHasNoSpuriousOptionals) {
+  // Without unification the DTD merge must mark non-common children
+  // optional; after unification every occurrence genuinely has the
+  // unified children, so the declaration is exact.
+  MajoritySchema schema = TwoDateSchema();
+  UnifySchema(schema);
+  Dtd dtd = BuildDtd(schema);
+  const ElementDecl* date = dtd.Find("date");
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->ToString(),
+            "<!ELEMENT date ((#PCDATA), degree, institution)>");
+}
+
+TEST(UnifyTest, SelfNestedLabelDoesNotExplode) {
+  // section -> section (same label nested): unification must terminate.
+  SchemaNode root = Leaf("resume");
+  SchemaNode outer = Leaf("section");
+  SchemaNode inner = Leaf("section");
+  inner.children.push_back(Leaf("item"));
+  outer.children.push_back(inner);
+  outer.children.push_back(Leaf("item"));
+  root.children.push_back(outer);
+  MajoritySchema schema(std::move(root));
+  UnifySchema(schema, /*min_similarity=*/0.3);
+  // Bounded depth: the tree is finite and contains both labels.
+  EXPECT_LT(schema.NodeCount(), 20u);
+}
+
+}  // namespace
+}  // namespace webre

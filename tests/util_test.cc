@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::OutOfRange("too big"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(StringsTest, AsciiCase) {
+  EXPECT_EQ(AsciiLower("MiXeD 123!"), "mixed 123!");
+  EXPECT_EQ(AsciiUpper("MiXeD 123!"), "MIXED 123!");
+  EXPECT_EQ(AsciiToLower('Z'), 'z');
+  EXPECT_EQ(AsciiToLower('1'), '1');
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("HTML", "html"));
+  EXPECT_FALSE(EqualsIgnoreCase("HTML", "htm"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("University of Davis", "DAVIS"));
+  EXPECT_FALSE(ContainsIgnoreCase("University", "Davis"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringsTest, ContainsWordRequiresBoundaries) {
+  EXPECT_TRUE(ContainsWordIgnoreCase("BS, Computer Science", "bs"));
+  EXPECT_FALSE(ContainsWordIgnoreCase("JOBS are here", "bs"));
+  EXPECT_TRUE(ContainsWordIgnoreCase("(BS)", "bs"));
+  EXPECT_FALSE(ContainsWordIgnoreCase("ABSURD", "bs"));
+  // Multi-word needles match across a single space.
+  EXPECT_TRUE(ContainsWordIgnoreCase("a New York minute", "new york"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\r\n \t"), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringsTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  a \n\n b\tc  "), "a b c");
+  EXPECT_EQ(CollapseWhitespace("abc"), "abc");
+  EXPECT_EQ(CollapseWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAny) {
+  std::vector<std::string> parts = SplitAny("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  // Empty pieces dropped by default.
+  EXPECT_EQ(SplitAny(",,a,,", ",").size(), 1u);
+  EXPECT_EQ(SplitAny(",,a,,", ",", /*keep_empty=*/true).size(), 5u);
+}
+
+TEST(StringsTest, SplitWordsAndJoin) {
+  std::vector<std::string> words = SplitWords("  one\ttwo \n three ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(Join(words, "-"), "one-two-three");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("resume.html", "resume"));
+  EXPECT_TRUE(EndsWith("resume.html", ".html"));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBelow(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(4);
+  bool lo_hit = false;
+  bool hi_hit = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_hit |= v == -2;
+    hi_hit |= v == 2;
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "xml/reader.h"
+#include "xml/writer.h"
+
+namespace webre {
+namespace {
+
+TEST(XmlWriterTest, EscapesText) {
+  EXPECT_EQ(EscapeXmlText("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(EscapeXmlAttr("say \"hi\" & <go>"),
+            "say &quot;hi&quot; &amp; &lt;go&gt;");
+}
+
+TEST(XmlWriterTest, SelfClosesEmptyElements) {
+  auto e = Node::MakeElement("a");
+  e->set_val("x");
+  XmlWriteOptions opt;
+  opt.indent = 0;
+  EXPECT_EQ(WriteXml(*e, opt), "<a val=\"x\"/>");
+}
+
+TEST(XmlWriterTest, CompactNested) {
+  auto root = Node::MakeElement("r");
+  Node* c = root->AddElement("c");
+  c->AddText("hi & bye");
+  XmlWriteOptions opt;
+  opt.indent = 0;
+  EXPECT_EQ(WriteXml(*root, opt), "<r><c>hi &amp; bye</c></r>");
+}
+
+TEST(XmlWriterTest, DeclarationEmitted) {
+  auto e = Node::MakeElement("a");
+  XmlWriteOptions opt;
+  opt.indent = 0;
+  opt.declaration = true;
+  EXPECT_EQ(WriteXml(*e, opt),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(XmlReaderTest, ParsesSimpleDocument) {
+  auto result = ParseXml("<a x=\"1\"><b>text</b></a>");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Node& root = **result;
+  EXPECT_EQ(root.name(), "a");
+  EXPECT_EQ(root.attr("x"), "1");
+  ASSERT_EQ(root.child_count(), 1u);
+  EXPECT_EQ(root.child(0)->name(), "b");
+  ASSERT_EQ(root.child(0)->child_count(), 1u);
+  EXPECT_EQ(root.child(0)->child(0)->text(), "text");
+}
+
+TEST(XmlReaderTest, DecodesEntities) {
+  auto result = ParseXml("<a v=\"&quot;q&quot;\">x &amp; y &#65;&#x42;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->attr("v"), "\"q\"");
+  EXPECT_EQ((*result)->child(0)->text(), "x & y AB");
+}
+
+TEST(XmlReaderTest, SkipsPrologAndComments) {
+  auto result = ParseXml(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]>"
+      "<!-- hi --><a><!-- inner -->t</a><!-- after -->");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)->name(), "a");
+  ASSERT_EQ((*result)->child_count(), 1u);
+  EXPECT_EQ((*result)->child(0)->text(), "t");
+}
+
+TEST(XmlReaderTest, CdataPreservedVerbatim) {
+  auto result = ParseXml("<a><![CDATA[<not & markup>]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->child(0)->text(), "<not & markup>");
+}
+
+TEST(XmlReaderTest, SingleQuotedAttributes) {
+  auto result = ParseXml("<a k='v1'/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->attr("k"), "v1");
+}
+
+TEST(XmlReaderTest, WhitespaceTextSkippedByDefault) {
+  auto result = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->child_count(), 2u);
+}
+
+TEST(XmlReaderTest, MismatchedTagIsError) {
+  auto result = ParseXml("<a><b></a></b>");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(XmlReaderTest, TruncatedInputIsError) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x>").ok());
+  EXPECT_FALSE(ParseXml("").ok());
+}
+
+TEST(XmlReaderTest, TrailingGarbageIsError) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a/>junk").ok());
+}
+
+TEST(XmlReaderTest, UnknownEntityIsError) {
+  EXPECT_FALSE(ParseXml("<a>&nosuch;</a>").ok());
+}
+
+TEST(XmlReaderTest, ErrorReportsLineNumber) {
+  auto result = ParseXml("<a>\n\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status();
+}
+
+TEST(XmlRoundTripTest, WriteThenParseIsIdentity) {
+  auto root = Node::MakeElement("resume");
+  root->set_val("a & b");
+  Node* edu = root->AddElement("EDUCATION");
+  edu->set_val("Education");
+  Node* date = edu->AddElement("DATE");
+  date->set_val("June 1996 <est>");
+  root->AddElement("SKILLS")->AddText("C++ & Java");
+
+  std::string xml = WriteXml(*root);
+  XmlReadOptions opt;
+  opt.trim_text = true;
+  auto parsed = ParseXml(xml, opt);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(**parsed == *root)
+      << "wrote:\n" << xml << "\nreparsed:\n" << WriteXml(**parsed);
+}
+
+}  // namespace
+}  // namespace webre

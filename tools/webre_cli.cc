@@ -1,0 +1,238 @@
+// webre — command-line front end to the library.
+//
+//   webre convert FILE...                HTML -> XML on stdout
+//   webre discover [options] FILE...     majority schema + DTD from files
+//   webre map [options] FILE...          conform documents to the DTD
+//   webre query QUERY FILE...            run a path query over files
+//   webre demo [N]                       end-to-end on N generated resumes
+//
+// Options for discover/map:
+//   --sup=F      support threshold (default 0.45)
+//   --ratio=F    support-ratio threshold (default 0.4)
+//   --root=NAME  output root element name (default "resume")
+//   --attlist    include <!ATTLIST> declarations in the DTD
+//
+// The bundled domain knowledge is the paper's resume topic (24 concepts /
+// 233 instances); the library API accepts any ConceptSet for other
+// topics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "core/pipeline.h"
+#include "corpus/resume_generator.h"
+#include "mapping/document_mapper.h"
+#include "repository/repository.h"
+#include "restructure/recognizer.h"
+#include "util/file.h"
+#include "xml/writer.h"
+
+namespace {
+
+struct CliOptions {
+  double sup = 0.45;
+  double ratio = 0.4;
+  std::string root = "resume";
+  bool attlist = false;
+  std::vector<std::string> args;  // non-flag arguments
+};
+
+CliOptions ParseFlags(int argc, char** argv, int first) {
+  CliOptions options;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--sup=", 0) == 0) {
+      options.sup = std::strtod(arg.c_str() + 6, nullptr);
+    } else if (arg.rfind("--ratio=", 0) == 0) {
+      options.ratio = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(7);
+    } else if (arg == "--attlist") {
+      options.attlist = true;
+    } else {
+      options.args.push_back(std::move(arg));
+    }
+  }
+  return options;
+}
+
+struct Domain {
+  Domain()
+      : concepts(webre::ResumeConcepts()),
+        constraints(webre::ResumeConstraints()),
+        recognizer(&concepts) {}
+
+  webre::ConceptSet concepts;
+  webre::ConstraintSet constraints;
+  webre::SynonymRecognizer recognizer;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "webre: %s\n", message.c_str());
+  return 1;
+}
+
+// Reads every file (or fails loudly); empty list is an error.
+bool ReadPages(const std::vector<std::string>& paths,
+               std::vector<std::string>& pages) {
+  if (paths.empty()) {
+    Fail("no input files");
+    return false;
+  }
+  for (const std::string& path : paths) {
+    webre::StatusOr<std::string> contents = webre::ReadFile(path);
+    if (!contents.ok()) {
+      Fail(contents.status().ToString());
+      return false;
+    }
+    pages.push_back(std::move(contents.value()));
+  }
+  return true;
+}
+
+webre::Pipeline MakePipeline(const Domain& domain,
+                             const CliOptions& options,
+                             bool map_documents = false) {
+  webre::PipelineOptions pipeline_options;
+  pipeline_options.convert.root_name = options.root;
+  pipeline_options.mining.sup_threshold = options.sup;
+  pipeline_options.mining.ratio_threshold = options.ratio;
+  pipeline_options.dtd.mark_optional = map_documents;
+  pipeline_options.map_documents = map_documents;
+  return webre::Pipeline(&domain.concepts, &domain.recognizer,
+                         &domain.constraints, pipeline_options);
+}
+
+int CmdConvert(const CliOptions& options) {
+  std::vector<std::string> pages;
+  if (!ReadPages(options.args, pages)) return 1;
+  Domain domain;
+  webre::ConvertOptions convert;
+  convert.root_name = options.root;
+  webre::DocumentConverter converter(&domain.concepts, &domain.recognizer,
+                                     &domain.constraints, convert);
+  for (size_t i = 0; i < pages.size(); ++i) {
+    webre::ConvertStats stats;
+    auto xml = converter.Convert(pages[i], &stats);
+    std::printf("<!-- %s: %zu concept nodes, %.0f%% tokens identified -->\n",
+                options.args[i].c_str(), stats.concept_nodes,
+                100.0 * stats.instance.IdentifiedRatio());
+    std::printf("%s", webre::WriteXml(*xml).c_str());
+  }
+  return 0;
+}
+
+int CmdDiscover(const CliOptions& options) {
+  std::vector<std::string> pages;
+  if (!ReadPages(options.args, pages)) return 1;
+  Domain domain;
+  webre::PipelineResult result =
+      MakePipeline(domain, options).Run(pages);
+  std::printf("majority schema (%zu frequent paths from %zu documents):\n%s",
+              result.schema.NodeCount(), pages.size(),
+              result.schema.ToString().c_str());
+  std::printf("\nDTD:\n%s",
+              result.dtd.ToString(options.attlist).c_str());
+  std::printf("\n%zu/%zu documents conform as converted\n",
+              result.conforming_before, pages.size());
+  return 0;
+}
+
+int CmdMap(const CliOptions& options) {
+  std::vector<std::string> pages;
+  if (!ReadPages(options.args, pages)) return 1;
+  Domain domain;
+  webre::PipelineResult result =
+      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+  for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
+    std::printf("<!-- %s (mapped) -->\n%s", options.args[i].c_str(),
+                webre::WriteXml(*result.mapped_documents[i]).c_str());
+  }
+  std::fprintf(stderr, "webre: %zu/%zu conform before, %zu/%zu after\n",
+               result.conforming_before, pages.size(),
+               result.conforming_after, pages.size());
+  return 0;
+}
+
+int CmdQuery(const CliOptions& options) {
+  if (options.args.size() < 2) {
+    return Fail("usage: webre query QUERY FILE...");
+  }
+  const std::string query = options.args[0];
+  std::vector<std::string> pages;
+  std::vector<std::string> paths(options.args.begin() + 1,
+                                 options.args.end());
+  if (!ReadPages(paths, pages)) return 1;
+
+  Domain domain;
+  webre::PipelineResult result =
+      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+  webre::XmlRepository repo;
+  for (auto& doc : result.mapped_documents) {
+    repo.Add(std::move(doc)).value();
+  }
+  auto matches = repo.Query(query);
+  if (!matches.ok()) return Fail(matches.status().ToString());
+  for (const webre::QueryMatch& match : *matches) {
+    std::printf("%s: <%s val=\"%s\">\n", paths[match.doc].c_str(),
+                match.node->name().c_str(),
+                std::string(match.node->val()).c_str());
+  }
+  std::fprintf(stderr, "webre: %zu matches\n", matches->size());
+  return 0;
+}
+
+int CmdDemo(const CliOptions& options) {
+  const size_t count =
+      options.args.empty()
+          ? 120
+          : std::strtoul(options.args[0].c_str(), nullptr, 10);
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < count; ++i) {
+    pages.push_back(webre::GenerateResume(i).html);
+  }
+  Domain domain;
+  webre::PipelineResult result =
+      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+  std::printf("converted %zu generated resumes\n", pages.size());
+  std::printf("schema (%zu paths):\n%s\nDTD:\n%s",
+              result.schema.NodeCount(), result.schema.ToString().c_str(),
+              result.dtd.ToString(options.attlist).c_str());
+  std::printf("\nconforming: %zu before mapping, %zu after\n",
+              result.conforming_before, result.conforming_after);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: webre <command> [options] [args]\n"
+      "  convert FILE...       HTML -> concept-tagged XML on stdout\n"
+      "  discover FILE...      discover the majority schema + DTD\n"
+      "  map FILE...           conform documents to the discovered DTD\n"
+      "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
+      "  demo [N]              end-to-end run on N generated resumes\n"
+      "options: --sup=F --ratio=F --root=NAME --attlist\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  CliOptions options = ParseFlags(argc, argv, 2);
+  if (command == "convert") return CmdConvert(options);
+  if (command == "discover") return CmdDiscover(options);
+  if (command == "map") return CmdMap(options);
+  if (command == "query") return CmdQuery(options);
+  if (command == "demo") return CmdDemo(options);
+  Usage();
+  return 1;
+}
