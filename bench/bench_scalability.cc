@@ -1,24 +1,32 @@
-// Reproduces §4.3 / Figure 5: scalability of document conversion +
-// schema discovery against the number of documents, the number of
-// nodes, and the number of concept (keyword) nodes.
+// Reproduces §4.3 / Figure 5 (scalability of conversion + discovery)
+// and tracks this repo's own performance trajectory: end-to-end
+// pipeline throughput serial vs. parallel, and concept matching with
+// the naive per-instance rescan vs. the Aho–Corasick automaton.
 //
-// The paper ran datasets of up to 380 resumes on a Pentium 266 and
-// found running time "bears a very strong linear relationship with the
-// number of concept nodes" (and with nodes and documents). Absolute
-// times are machine-bound; the series below reproduce the *linearity* —
-// the per-document time must stay flat as the dataset grows. A
-// least-squares linearity check (R^2 of time vs concept nodes) is
-// printed at the end.
+// Results are printed human-readable and written machine-readable to
+// BENCH_scalability.json in the working directory so successive PRs can
+// diff docs/sec numbers.
+//
+// "Seed baseline" below = the repo's original configuration: one
+// thread, naive O(|text| × Σ|instance|) matching.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "concepts/instance_matcher.h"
 #include "concepts/resume_domain.h"
+#include "core/pipeline.h"
 #include "corpus/resume_generator.h"
+#include "html/parser.h"
+#include "html/tidy.h"
 #include "restructure/converter.h"
 #include "restructure/recognizer.h"
 #include "schema/frequent_paths.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -28,16 +36,77 @@ double Now() {
       .count();
 }
 
+// The seed's matching strategy, for baseline timings: same semantics as
+// SynonymRecognizer but through the reference MatchAllNaive scan.
+class NaiveSynonymRecognizer : public webre::ConceptRecognizer {
+ public:
+  explicit NaiveSynonymRecognizer(const webre::ConceptSet* concepts)
+      : concepts_(concepts) {}
+  std::vector<webre::InstanceMatch> Recognize(
+      std::string_view token_text) const override {
+    return concepts_->MatchAllNaive(token_text);
+  }
+
+ private:
+  const webre::ConceptSet* concepts_;
+};
+
+struct PipelineTiming {
+  double seconds = 0.0;
+  double docs_per_sec = 0.0;
+};
+
+// Best-of-3 end-to-end Pipeline::Run over `pages`.
+PipelineTiming TimePipeline(const webre::ConceptSet& concepts,
+                            const webre::ConceptRecognizer& recognizer,
+                            const webre::ConstraintSet& constraints,
+                            const std::vector<std::string>& pages,
+                            size_t threads) {
+  webre::PipelineOptions options;
+  options.parallel.num_threads = threads;
+  webre::Pipeline pipeline(&concepts, &recognizer, &constraints, options);
+  double best = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    const double start = Now();
+    webre::PipelineResult result = pipeline.Run(pages);
+    const double elapsed = Now() - start;
+    if (result.schema.empty()) std::fprintf(stderr, "empty schema?!\n");
+    best = std::min(best, elapsed);
+  }
+  PipelineTiming timing;
+  timing.seconds = best;
+  timing.docs_per_sec = static_cast<double>(pages.size()) / best;
+  return timing;
+}
+
+// Token-sized texts from the corpus, the matcher's real workload.
+std::vector<std::string> MatcherWorkload(size_t documents) {
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < documents; ++i) {
+    auto tree = webre::ParseHtml(webre::GenerateResume(i).html);
+    webre::TidyHtmlTree(tree.get());
+    tree->PreOrder([&](const webre::Node& n) {
+      if (!n.is_text()) return;
+      for (std::string& piece :
+           webre::SplitAny(n.text(), ";:,", /*keep_empty=*/false)) {
+        texts.push_back(std::move(piece));
+      }
+    });
+  }
+  return texts;
+}
+
 }  // namespace
 
 int main() {
   webre::ConceptSet concepts = webre::ResumeConcepts();
   webre::ConstraintSet constraints = webre::ResumeConstraints();
   webre::SynonymRecognizer recognizer(&concepts);
+  NaiveSynonymRecognizer naive_recognizer(&concepts);
   webre::DocumentConverter converter(&concepts, &recognizer, &constraints);
 
-  // Pre-generate the HTML corpus (generation is not part of the timed
-  // pipeline — the paper's crawler had already fetched the pages).
+  // -------------------------------------------------------------------
+  // Figure 5: linearity of conversion + discovery in concept nodes.
   const std::vector<size_t> dataset_sizes = {20, 50, 95, 190, 380};
   std::vector<std::string> pages;
   for (size_t i = 0; i < dataset_sizes.back(); ++i) {
@@ -93,8 +162,130 @@ int main() {
     ss_res += err * err;
     ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
   }
+  const double r_squared = 1.0 - ss_res / ss_tot;
   std::printf("\nlinearity of time vs concept nodes: R^2 = %.4f "
               "(paper: \"very strong linear relationship\")\n",
-              1.0 - ss_res / ss_tot);
+              r_squared);
+
+  // -------------------------------------------------------------------
+  // End-to-end pipeline throughput on a 500-document corpus:
+  //   seed baseline (naive matcher, 1 thread)
+  //   serial        (automaton matcher, 1 thread)
+  //   parallel      (automaton matcher, 8 threads)
+  const size_t corpus_size = 500;
+  const size_t parallel_threads = 8;
+  std::vector<std::string> corpus;
+  for (size_t i = 0; i < corpus_size; ++i) {
+    corpus.push_back(webre::GenerateResume(i).html);
+  }
+
+  std::printf("\n== end-to-end pipeline, %zu documents ==\n", corpus_size);
+  const PipelineTiming seed_baseline =
+      TimePipeline(concepts, naive_recognizer, constraints, corpus, 1);
+  const PipelineTiming serial =
+      TimePipeline(concepts, recognizer, constraints, corpus, 1);
+  const PipelineTiming parallel = TimePipeline(concepts, recognizer,
+                                               constraints, corpus,
+                                               parallel_threads);
+  const double pipeline_speedup = seed_baseline.seconds / parallel.seconds;
+  std::printf("%-34s %10.1f docs/sec (%.1f ms)\n",
+              "seed baseline (naive, 1 thread):",
+              seed_baseline.docs_per_sec, seed_baseline.seconds * 1e3);
+  std::printf("%-34s %10.1f docs/sec (%.1f ms)\n",
+              "automaton matcher, 1 thread:", serial.docs_per_sec,
+              serial.seconds * 1e3);
+  std::printf("%-34s %10.1f docs/sec (%.1f ms)\n",
+              ("automaton matcher, " + std::to_string(parallel_threads) +
+               " threads:")
+                  .c_str(),
+              parallel.docs_per_sec, parallel.seconds * 1e3);
+  std::printf("end-to-end speedup vs seed baseline: %.2fx "
+              "(%zu hardware threads available)\n",
+              pipeline_speedup, webre::DefaultThreadCount());
+
+  // -------------------------------------------------------------------
+  // Matcher micro-bench: MatchAll (automaton) vs MatchAllNaive on the
+  // real token workload of 200 documents.
+  const std::vector<std::string> workload = MatcherWorkload(200);
+  size_t matched = 0;
+  double naive_seconds = 1e18;
+  double automaton_seconds = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    double start = Now();
+    size_t count = 0;
+    for (const std::string& text : workload) {
+      count += concepts.MatchAllNaive(text).size();
+    }
+    naive_seconds = std::min(naive_seconds, Now() - start);
+    start = Now();
+    matched = 0;
+    for (const std::string& text : workload) {
+      matched += concepts.MatchAll(text).size();
+    }
+    automaton_seconds = std::min(automaton_seconds, Now() - start);
+    if (count != matched) {
+      std::fprintf(stderr, "matcher divergence: %zu vs %zu\n", count,
+                   matched);
+      return 1;
+    }
+  }
+  const double matcher_speedup = naive_seconds / automaton_seconds;
+  std::printf("\n== concept matching, %zu instances, %zu texts ==\n",
+              concepts.TotalInstanceCount(), workload.size());
+  std::printf("naive rescan:      %8.3f us/text\n",
+              naive_seconds * 1e6 / static_cast<double>(workload.size()));
+  std::printf("aho-corasick:      %8.3f us/text (%zu states, %zu patterns)\n",
+              automaton_seconds * 1e6 /
+                  static_cast<double>(workload.size()),
+              concepts.matcher()->state_count(),
+              concepts.matcher()->pattern_count());
+  std::printf("matcher speedup:   %8.2fx (%zu matches)\n", matcher_speedup,
+              matched);
+
+  // -------------------------------------------------------------------
+  // Machine-readable trajectory record.
+  FILE* json = std::fopen("BENCH_scalability.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scalability.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"figure5_r_squared\": %.6f,\n", r_squared);
+  std::fprintf(json, "  \"corpus_documents\": %zu,\n", corpus_size);
+  std::fprintf(json, "  \"hardware_threads\": %zu,\n",
+               webre::DefaultThreadCount());
+  std::fprintf(json,
+               "  \"pipeline\": {\n"
+               "    \"seed_serial_baseline\": {\"seconds\": %.6f, "
+               "\"docs_per_sec\": %.2f},\n"
+               "    \"serial\": {\"seconds\": %.6f, \"docs_per_sec\": "
+               "%.2f},\n"
+               "    \"parallel\": {\"threads\": %zu, \"seconds\": %.6f, "
+               "\"docs_per_sec\": %.2f},\n"
+               "    \"speedup_vs_seed\": %.3f\n"
+               "  },\n",
+               seed_baseline.seconds, seed_baseline.docs_per_sec,
+               serial.seconds, serial.docs_per_sec, parallel_threads,
+               parallel.seconds, parallel.docs_per_sec, pipeline_speedup);
+  std::fprintf(json,
+               "  \"matcher\": {\n"
+               "    \"instances\": %zu,\n"
+               "    \"patterns\": %zu,\n"
+               "    \"automaton_states\": %zu,\n"
+               "    \"texts\": %zu,\n"
+               "    \"naive_us_per_text\": %.4f,\n"
+               "    \"automaton_us_per_text\": %.4f,\n"
+               "    \"speedup\": %.3f\n"
+               "  }\n",
+               concepts.TotalInstanceCount(),
+               concepts.matcher()->pattern_count(),
+               concepts.matcher()->state_count(), workload.size(),
+               naive_seconds * 1e6 / static_cast<double>(workload.size()),
+               automaton_seconds * 1e6 /
+                   static_cast<double>(workload.size()),
+               matcher_speedup);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_scalability.json\n");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "concepts/instance_matcher.h"
 #include "util/strings.h"
 
 namespace webre {
@@ -12,24 +13,28 @@ bool Concept::IsShapeInstance(std::string_view instance) {
 }
 
 void ConceptSet::Add(Concept concept_def) {
-  for (Concept& existing : concepts_) {
-    if (existing.name == concept_def.name) {
-      existing = std::move(concept_def);
-      return;
-    }
+  auto it = index_.find(std::string_view(concept_def.name));
+  if (it != index_.end()) {
+    concepts_[it->second] = std::move(concept_def);
+  } else {
+    index_.emplace(concept_def.name, concepts_.size());
+    concepts_.push_back(std::move(concept_def));
   }
-  concepts_.push_back(std::move(concept_def));
+  matcher_ = std::make_shared<const InstanceMatcher>(concepts_);
+}
+
+size_t ConceptSet::IndexOf(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNpos : it->second;
 }
 
 const Concept* ConceptSet::Find(std::string_view name) const {
-  for (const Concept& c : concepts_) {
-    if (c.name == name) return &c;
-  }
-  return nullptr;
+  const size_t index = IndexOf(name);
+  return index == kNpos ? nullptr : &concepts_[index];
 }
 
 bool ConceptSet::Contains(std::string_view name) const {
-  return Find(name) != nullptr;
+  return IndexOf(name) != kNpos;
 }
 
 size_t ConceptSet::TotalInstanceCount() const {
@@ -62,36 +67,6 @@ void FindKeywordMatches(std::string_view text, std::string_view needle,
   }
 }
 
-// Numeric shape of a word (same rules as ExtractTokenFeatures, kept local
-// so concepts/ does not depend on classify/).
-std::string_view WordShape(std::string_view word) {
-  bool any_digit = false;
-  bool all_digits = true;
-  bool ratio_chars = false;
-  for (char c : word) {
-    if (IsAsciiDigit(c)) {
-      any_digit = true;
-    } else {
-      all_digits = false;
-      if (c == '.' || c == '/') {
-        ratio_chars = true;
-      } else {
-        return {};
-      }
-    }
-  }
-  if (!any_digit) return {};
-  if (all_digits) {
-    if (word.size() == 4 && (word[0] == '1' || word[0] == '2') &&
-        (word[1] == '9' || word[1] == '0')) {
-      return "#year#";
-    }
-    return "#num#";
-  }
-  if (ratio_chars) return "#ratio#";
-  return "#num#";
-}
-
 // Appends matches of a shape instance: every maximal digit-ish word in
 // `text` whose shape equals `shape`.
 void FindShapeMatches(std::string_view text, std::string_view shape,
@@ -117,7 +92,7 @@ void FindShapeMatches(std::string_view text, std::string_view shape,
     const bool left_ok = begin == 0 || !IsAsciiAlnum(text[begin - 1]);
     const bool right_ok = end >= text.size() || !IsAsciiAlnum(text[end]);
     if (left_ok && right_ok && end > begin &&
-        WordShape(text.substr(begin, end - begin)) == shape) {
+        NumericWordShape(text.substr(begin, end - begin)) == shape) {
       out.push_back(
           InstanceMatch{concept_index, concept_name, begin, end - begin});
     }
@@ -125,22 +100,12 @@ void FindShapeMatches(std::string_view text, std::string_view shape,
   }
 }
 
-}  // namespace
-
-std::vector<InstanceMatch> ConceptSet::MatchAll(std::string_view text) const {
-  std::vector<InstanceMatch> candidates;
-  for (size_t ci = 0; ci < concepts_.size(); ++ci) {
-    const Concept& concept_def = concepts_[ci];
-    FindKeywordMatches(text, concept_def.name, ci, concept_def.name, candidates);
-    for (const std::string& instance : concept_def.instances) {
-      if (Concept::IsShapeInstance(instance)) {
-        FindShapeMatches(text, instance, ci, concept_def.name, candidates);
-      } else {
-        FindKeywordMatches(text, instance, ci, concept_def.name, candidates);
-      }
-    }
-  }
-  // Prefer longer matches, then earlier; drop overlaps.
+// Resolves overlapping candidates: prefer longer matches, then earlier,
+// then lower concept index; returns survivors sorted by position. Shared
+// by the automaton-backed and naive paths so both produce identical
+// results by construction.
+std::vector<InstanceMatch> SelectNonOverlapping(
+    std::vector<InstanceMatch>& candidates) {
   std::sort(candidates.begin(), candidates.end(),
             [](const InstanceMatch& a, const InstanceMatch& b) {
               if (a.length != b.length) return a.length > b.length;
@@ -164,6 +129,33 @@ std::vector<InstanceMatch> ConceptSet::MatchAll(std::string_view text) const {
               return a.position < b.position;
             });
   return selected;
+}
+
+}  // namespace
+
+std::vector<InstanceMatch> ConceptSet::MatchAll(std::string_view text) const {
+  if (matcher_ == nullptr) return {};
+  std::vector<InstanceMatch> candidates;
+  matcher_->CollectCandidates(text, candidates);
+  return SelectNonOverlapping(candidates);
+}
+
+std::vector<InstanceMatch> ConceptSet::MatchAllNaive(
+    std::string_view text) const {
+  std::vector<InstanceMatch> candidates;
+  for (size_t ci = 0; ci < concepts_.size(); ++ci) {
+    const Concept& concept_def = concepts_[ci];
+    FindKeywordMatches(text, concept_def.name, ci, concept_def.name,
+                       candidates);
+    for (const std::string& instance : concept_def.instances) {
+      if (Concept::IsShapeInstance(instance)) {
+        FindShapeMatches(text, instance, ci, concept_def.name, candidates);
+      } else {
+        FindKeywordMatches(text, instance, ci, concept_def.name, candidates);
+      }
+    }
+  }
+  return SelectNonOverlapping(candidates);
 }
 
 InstanceMatch ConceptSet::MatchFirst(std::string_view text) const {

@@ -2,11 +2,16 @@
 #define WEBRE_CONCEPTS_CONCEPT_H_
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace webre {
+
+class InstanceMatcher;
 
 /// A topic-specific concept (§2.2): the element-name vocabulary for the
 /// XML documents produced by document conversion, together with its
@@ -46,12 +51,20 @@ struct InstanceMatch {
 };
 
 /// The set `Con` of topic concepts provided by the user (§2.2).
+///
+/// Mutation (Add) is setup-time only; every const member is safe to call
+/// from concurrent threads once the set is built, which is what lets the
+/// parallel pipeline share one ConceptSet across workers.
 class ConceptSet {
  public:
+  /// Sentinel returned by IndexOf for unknown names.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
   ConceptSet() = default;
 
   /// Adds a concept. Names must be unique; a duplicate name replaces the
-  /// previous definition.
+  /// previous definition. Rebuilds the instance matcher, so adds are
+  /// O(total instances) — fine for setup-time concept-set construction.
   void Add(Concept concept_def);
 
   size_t size() const { return concepts_.size(); }
@@ -59,6 +72,9 @@ class ConceptSet {
   const Concept& at(size_t i) const { return concepts_[i]; }
   const std::vector<Concept>& concepts() const { return concepts_; }
 
+  /// Returns the index of the concept named `name` (case-sensitive), or
+  /// kNpos. O(1) via the name index.
+  size_t IndexOf(std::string_view name) const;
   /// Returns the concept named `name` (case-sensitive), or null.
   const Concept* Find(std::string_view name) const;
   /// True iff `name` names a concept in this set.
@@ -73,14 +89,39 @@ class ConceptSet {
   /// matches, then earlier ones; at most one match is reported per text
   /// span. This powers the concept instance rule (§2.3.1), including the
   /// multi-instance token decomposition case.
+  ///
+  /// Backed by the Aho–Corasick InstanceMatcher: one O(|text|) automaton
+  /// sweep instead of a rescan per instance.
   std::vector<InstanceMatch> MatchAll(std::string_view text) const;
+
+  /// Reference implementation of MatchAll: the original per-instance
+  /// O(|text| × Σ|instance|) scan. Kept for differential testing and the
+  /// matcher micro-bench; results are identical to MatchAll.
+  std::vector<InstanceMatch> MatchAllNaive(std::string_view text) const;
 
   /// Convenience: the first (leftmost) match, or a match with
   /// `length == 0` if none.
   InstanceMatch MatchFirst(std::string_view text) const;
 
+  /// The compiled matcher (null for an empty set); exposed for bench
+  /// diagnostics.
+  const InstanceMatcher* matcher() const { return matcher_.get(); }
+
  private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<Concept> concepts_;
+  /// name → index into concepts_, kept in sync by Add.
+  std::unordered_map<std::string, size_t, TransparentHash, std::equal_to<>>
+      index_;
+  /// Immutable compiled matcher, rebuilt by Add and shared by copies of
+  /// this set (it owns its own copies of the concept names).
+  std::shared_ptr<const InstanceMatcher> matcher_;
 };
 
 }  // namespace webre

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "schema/path_extractor.h"
 #include "xml/dtd_validator.h"
 
 namespace webre {
@@ -14,36 +15,71 @@ Pipeline::Pipeline(const ConceptSet* concepts,
 PipelineResult Pipeline::Run(
     const std::vector<std::string>& html_pages) const {
   PipelineResult result;
-  result.documents.reserve(html_pages.size());
-  result.convert_stats.reserve(html_pages.size());
+  const size_t count = html_pages.size();
+  result.documents.resize(count);
+  result.convert_stats.resize(count);
 
   MiningOptions mining = options_.mining;
   if (mining.constraints == nullptr) mining.constraints = constraints_;
   FrequentPathMiner miner(mining);
 
-  for (const std::string& html : html_pages) {
-    ConvertStats stats;
-    std::unique_ptr<Node> doc = converter_.Convert(html, &stats);
-    miner.AddDocument(*doc);
-    result.documents.push_back(std::move(doc));
-    result.convert_stats.push_back(stats);
+  // One pool serves every parallel stage of this run; the serial
+  // configuration never spawns a thread.
+  const size_t threads = options_.parallel.num_threads == 0
+                             ? DefaultThreadCount()
+                             : options_.parallel.num_threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && count > 1) pool = std::make_unique<ThreadPool>(threads);
+  auto run_stage = [&](const std::function<void(size_t, size_t)>& body) {
+    if (pool != nullptr) {
+      ParallelFor(*pool, count, options_.parallel.chunk_size, body);
+    } else if (count > 0) {
+      body(0, count);
+    }
+  };
+
+  // Stage 1 — conversion. Each page is converted and path-extracted
+  // independently on the pool; the miner then folds the per-document
+  // paths in input order, so the discovered schema (and every count in
+  // it) is identical to a serial run regardless of thread count.
+  std::vector<DocumentPaths> extracted(count);
+  run_stage([&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ConvertStats stats;
+      result.documents[i] = converter_.Convert(html_pages[i], &stats);
+      result.convert_stats[i] = stats;
+      extracted[i] = ExtractPaths(*result.documents[i]);
+    }
+  });
+  for (const DocumentPaths& paths : extracted) {
+    miner.AddDocumentPaths(paths);
   }
 
+  // Stage 2 — discovery (serial: one fold over the accumulated trie).
   result.schema = miner.Discover();
   result.mining_stats = miner.stats();
   result.dtd = BuildDtd(result.schema, options_.dtd);
 
-  for (const auto& doc : result.documents) {
-    if (ConformsToDtd(*doc, result.dtd)) ++result.conforming_before;
-  }
-  if (options_.map_documents) {
-    result.mapped_documents.reserve(result.documents.size());
-    for (const auto& doc : result.documents) {
-      ConformResult mapped =
-          ConformToSchema(*doc, result.schema, result.dtd);
-      if (mapped.report.conforms) ++result.conforming_after;
-      result.mapped_documents.push_back(std::move(mapped.document));
+  // Stage 3 — per-document validation and optional mapping, again
+  // fanned out with results stored by input index.
+  std::vector<unsigned char> conforms_before(count, 0);
+  std::vector<unsigned char> conforms_after(count, 0);
+  if (options_.map_documents) result.mapped_documents.resize(count);
+  run_stage([&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Node& doc = *result.documents[i];
+      conforms_before[i] = ConformsToDtd(doc, result.dtd) ? 1 : 0;
+      if (options_.map_documents) {
+        ConformResult mapped =
+            ConformToSchema(doc, result.schema, result.dtd);
+        conforms_after[i] = mapped.report.conforms ? 1 : 0;
+        result.mapped_documents[i] = std::move(mapped.document);
+      }
     }
+  });
+  for (size_t i = 0; i < count; ++i) {
+    result.conforming_before += conforms_before[i];
+    result.conforming_after += conforms_after[i];
   }
   return result;
 }

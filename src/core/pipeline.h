@@ -12,6 +12,7 @@
 #include "restructure/recognizer.h"
 #include "schema/dtd_builder.h"
 #include "schema/frequent_paths.h"
+#include "util/thread_pool.h"
 #include "xml/dtd.h"
 
 namespace webre {
@@ -24,6 +25,11 @@ struct PipelineOptions {
   /// Conform every document to the derived DTD via the Document Mapping
   /// Component and report how many conform before/after.
   bool map_documents = false;
+  /// Fan-out of the per-document stages (conversion, validation,
+  /// mapping). The default (num_threads = 1) is fully serial; any
+  /// thread count produces byte-identical results because per-document
+  /// work is independent and merge order is the input order.
+  ParallelOptions parallel;
 };
 
 /// Output of Pipeline::Run.
@@ -46,6 +52,13 @@ struct PipelineResult {
 /// End-to-end pipeline (the paper's three steps, §5): (1) HTML→XML
 /// document conversion, (2) majority-schema discovery + DTD derivation,
 /// (3) optional schema-guided document mapping.
+///
+/// The per-document stages are embarrassingly parallel and fan out
+/// across a worker pool when `options.parallel.num_threads != 1`;
+/// schema discovery itself stays serial (it is a cheap fold over
+/// pre-extracted paths, merged in input order for determinism). The
+/// recognizer passed in must be const-thread-safe — the bundled
+/// recognizers are, as they hold only immutable borrowed state.
 ///
 /// The borrowed concept set, recognizer and constraints must outlive the
 /// pipeline. `constraints` may be null.

@@ -23,15 +23,10 @@ std::vector<InstanceMatch> BayesRecognizer::Recognize(
   std::string label =
       classifier_->ClassifyWithThreshold(features, min_margin_, "");
   if (label.empty()) return matches;
-  const Concept* concept_def = concepts_->Find(label);
-  if (concept_def == nullptr) return matches;  // label outside Con: unknown
-  for (size_t i = 0; i < concepts_->size(); ++i) {
-    if (&concepts_->at(i) == concept_def) {
-      matches.push_back(InstanceMatch{i, concepts_->at(i).name, 0,
-                                      token_text.size()});
-      break;
-    }
-  }
+  const size_t index = concepts_->IndexOf(label);
+  if (index == ConceptSet::kNpos) return matches;  // outside Con: unknown
+  matches.push_back(InstanceMatch{index, concepts_->at(index).name, 0,
+                                  token_text.size()});
   return matches;
 }
 

@@ -26,7 +26,11 @@ void FrequentPathMiner::AddDocument(const Node& root) {
 
 void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
   ++document_count_;
-  for (const LabelPath& path : paths.paths) {
+  // ExtractPaths carries the joined key of each path; only hand-built
+  // DocumentPaths fall back to joining here.
+  const bool have_joined = paths.joined_paths.size() == paths.paths.size();
+  for (size_t pi = 0; pi < paths.paths.size(); ++pi) {
+    const LabelPath& path = paths.paths[pi];
     ++stats_.paths_offered;
     if (options_.constraints != nullptr &&
         !options_.constraints->PathAllowed(path)) {
@@ -44,7 +48,10 @@ void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
     }
     ++node->doc_count;
 
-    const std::string joined = JoinLabelPath(path);
+    std::string joined_storage;
+    if (!have_joined) joined_storage = JoinLabelPath(path);
+    const std::string& joined =
+        have_joined ? paths.joined_paths[pi] : joined_storage;
     auto mult_it = paths.max_multiplicity.find(joined);
     if (mult_it != paths.max_multiplicity.end() &&
         mult_it->second >= options_.rep_threshold) {

@@ -12,6 +12,7 @@ void Walk(const Node& node, LabelPath& prefix,
   const std::string joined = JoinLabelPath(prefix);
   if (seen.insert(joined).second) {
     out.paths.push_back(prefix);
+    out.joined_paths.push_back(joined);
   }
 
   // Multiplicity: how many same-label siblings does this node have

@@ -27,6 +27,12 @@ struct DocumentPaths {
   /// Distinct label paths, root first. The root's one-element path is
   /// included.
   std::vector<LabelPath> paths;
+  /// JoinLabelPath(paths[i]), precomputed during extraction so consumers
+  /// (FrequentPathMiner::AddDocumentPaths) can key the side-tables
+  /// without re-joining every path per document. Parallel to `paths`;
+  /// callers assembling DocumentPaths by hand may leave it empty and the
+  /// miner joins on demand.
+  std::vector<std::string> joined_paths;
   /// Keyed by JoinLabelPath(p).
   std::unordered_map<std::string, size_t> max_multiplicity;
   std::unordered_map<std::string, double> position_sum;

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace webre {
+
+size_t DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+void ParallelFor(size_t count, const ParallelOptions& options,
+                 const std::function<void(size_t, size_t)>& body) {
+  const size_t threads =
+      options.num_threads == 0 ? DefaultThreadCount() : options.num_threads;
+  const size_t chunk = std::max<size_t>(1, options.chunk_size);
+  if (count == 0) return;
+  if (threads <= 1 || count <= chunk) {
+    body(0, count);
+    return;
+  }
+  ThreadPool pool(threads);
+  ParallelFor(pool, count, chunk, body);
+}
+
+void ParallelFor(ThreadPool& pool, size_t count, size_t chunk_size,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (count == 0) return;
+  const size_t chunk = std::max<size_t>(1, chunk_size);
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    const size_t end = std::min(count, begin + chunk);
+    pool.Submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.Wait();
+}
+
+}  // namespace webre

@@ -1,0 +1,78 @@
+#ifndef WEBRE_UTIL_THREAD_POOL_H_
+#define WEBRE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webre {
+
+/// How a batch stage fans work out across threads.
+struct ParallelOptions {
+  /// Worker threads to use. 1 (the default) runs everything inline on
+  /// the calling thread; 0 means "one per hardware thread"
+  /// (DefaultThreadCount).
+  size_t num_threads = 1;
+  /// Indices handed to a worker at a time. Larger chunks amortize queue
+  /// traffic; smaller chunks balance skewed per-item costs.
+  size_t chunk_size = 16;
+};
+
+/// Number of hardware threads, with a floor of 1 when the runtime cannot
+/// tell.
+size_t DefaultThreadCount();
+
+/// A small fixed-size worker pool. Tasks are run in FIFO order by the
+/// first free worker; Wait() blocks until every submitted task has
+/// finished. The pool is reusable: Submit/Wait cycles may repeat.
+///
+/// Exceptions must not escape tasks (the library is exception-free by
+/// construction); a throwing task would terminate.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 means DefaultThreadCount()).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(begin, end)` over [0, count) split into chunks of
+/// `options.chunk_size`, on `options.num_threads` workers. With one
+/// thread (or one chunk) the body runs inline on the calling thread —
+/// no pool is created, so the serial path stays allocation-free.
+/// `body` must be safe to call concurrently on disjoint ranges.
+void ParallelFor(size_t count, const ParallelOptions& options,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Same, reusing an existing pool (for callers running several stages).
+void ParallelFor(ThreadPool& pool, size_t count, size_t chunk_size,
+                 const std::function<void(size_t, size_t)>& body);
+
+}  // namespace webre
+
+#endif  // WEBRE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,216 @@
+// Differential tests for the Aho–Corasick InstanceMatcher: on random
+// texts and random concept sets, ConceptSet::MatchAll (automaton) must
+// return exactly what ConceptSet::MatchAllNaive (the original
+// per-instance rescan) returns — same matches, same order.
+
+#include "concepts/instance_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "concepts/concept.h"
+#include "concepts/resume_domain.h"
+#include "util/rng.h"
+
+namespace webre {
+namespace {
+
+std::string Describe(const std::vector<InstanceMatch>& matches) {
+  std::string out;
+  for (const InstanceMatch& m : matches) {
+    out += "[" + std::to_string(m.concept_index) + " " +
+           std::string(m.concept_name) + " @" + std::to_string(m.position) +
+           "+" + std::to_string(m.length) + "]";
+  }
+  return out;
+}
+
+void ExpectSameMatches(const ConceptSet& concepts, const std::string& text) {
+  const std::vector<InstanceMatch> fast = concepts.MatchAll(text);
+  const std::vector<InstanceMatch> naive = concepts.MatchAllNaive(text);
+  ASSERT_EQ(fast.size(), naive.size())
+      << "text '" << text << "'\n fast: " << Describe(fast)
+      << "\n naive: " << Describe(naive);
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].concept_index, naive[i].concept_index) << text;
+    EXPECT_EQ(fast[i].concept_name, naive[i].concept_name) << text;
+    EXPECT_EQ(fast[i].position, naive[i].position) << text;
+    EXPECT_EQ(fast[i].length, naive[i].length) << text;
+  }
+}
+
+TEST(InstanceMatcherTest, HandPickedTexts) {
+  ConceptSet concepts = ResumeConcepts();
+  const char* texts[] = {
+      "",
+      "x",
+      "University",
+      "B.S., Computer Science, June 1996",
+      "GPA 3.8/4.0",
+      "JOBS",  // word boundary: must not match "BS"
+      "Relevant Coursework Algorithms",
+      "Academic Background",
+      "Career Objective To build reliable tools",
+      "1996 1997 3/4 2.5 2000.",
+      "phone PHONE pHoNe",
+      "university universities University.",
+      "a1996b",  // no word boundary around the year
+      "...////1996////...",
+  };
+  for (const char* text : texts) ExpectSameMatches(concepts, text);
+}
+
+TEST(InstanceMatcherTest, OverlapResolutionPrefersLongerThenEarlier) {
+  ConceptSet concepts;
+  concepts.Add(Concept{"A", {"score board"}});
+  concepts.Add(Concept{"B", {"board game"}});
+  concepts.Add(Concept{"C", {"board"}});
+  // "score board game": A covers [0,11), B covers [6,16) — A is longer
+  // and wins; B overlaps A and C lies inside A, so both are dropped.
+  const std::vector<InstanceMatch> matches =
+      concepts.MatchAll("score board game");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_name, "A");
+  ExpectSameMatches(concepts, "score board game");
+}
+
+TEST(InstanceMatcherTest, SharedPatternAcrossConceptsKeepsLowerIndex) {
+  ConceptSet concepts;
+  concepts.Add(Concept{"FIRST", {"shared"}});
+  concepts.Add(Concept{"SECOND", {"shared"}});
+  const std::vector<InstanceMatch> matches = concepts.MatchAll("shared");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].concept_index, 0u);
+  ExpectSameMatches(concepts, "shared");
+}
+
+TEST(InstanceMatcherTest, NameIsAnImplicitInstance) {
+  ConceptSet concepts;
+  concepts.Add(Concept{"SKILL", {}});
+  const std::vector<InstanceMatch> matches = concepts.MatchAll("a skill b");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].position, 2u);
+  EXPECT_EQ(matches[0].length, 5u);
+}
+
+TEST(InstanceMatcherTest, ReplacedConceptRebuildsAutomaton) {
+  ConceptSet concepts;
+  concepts.Add(Concept{"X", {"alpha"}});
+  EXPECT_EQ(concepts.MatchAll("alpha beta").size(), 1u);
+  concepts.Add(Concept{"X", {"beta"}});  // replace: "alpha" must vanish
+  const std::vector<InstanceMatch> matches = concepts.MatchAll("alpha beta");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].position, 6u);
+  ExpectSameMatches(concepts, "alpha beta");
+}
+
+TEST(InstanceMatcherTest, CopiedSetMatchesIndependently) {
+  ConceptSet original;
+  original.Add(Concept{"X", {"alpha"}});
+  ConceptSet copy = original;
+  original.Add(Concept{"Y", {"beta"}});
+  EXPECT_EQ(copy.MatchAll("alpha beta").size(), 1u);
+  EXPECT_EQ(original.MatchAll("alpha beta").size(), 2u);
+}
+
+TEST(InstanceMatcherTest, NumericShapes) {
+  EXPECT_EQ(NumericWordShape("1996"), "#year#");
+  EXPECT_EQ(NumericWordShape("2024"), "#year#");
+  EXPECT_EQ(NumericWordShape("42"), "#num#");
+  EXPECT_EQ(NumericWordShape("3.8/4.0"), "#ratio#");
+  EXPECT_EQ(NumericWordShape("3.5"), "#ratio#");
+  EXPECT_EQ(NumericWordShape("abc"), "");
+  EXPECT_EQ(NumericWordShape("12a"), "");
+  EXPECT_EQ(NumericWordShape(""), "");
+  EXPECT_EQ(NumericWordShape("./"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential sweep (the property-test generator style of
+// tests/property_test.cc: seeded Rng over a piece table, so failures
+// reproduce deterministically).
+
+std::string RandomText(Rng& rng) {
+  static const char* kPieces[] = {
+      "University", "B.S.", "M.S.", "Ph.D.", "GPA",      "3.8/4.0",
+      "June",       "1996", "2024", "12",    "Phone",    "Email",
+      "Objective",  "Skill","Java", "C++",   "uni",      "vers",
+      "BS",         "JOBS", "a",    "x9",    "9x",       ".",
+      ",",          "-",    "/",    "(304)", "921-4363", "##",
+      "skills",     "EDUCATION",    "experience",        "1990.",
+  };
+  std::string text;
+  const size_t pieces = rng.NextBelow(24);
+  for (size_t i = 0; i < pieces; ++i) {
+    text += kPieces[rng.NextBelow(std::size(kPieces))];
+    // Random glue: space, nothing, or punctuation — exercises word
+    // boundaries both ways.
+    switch (rng.NextBelow(4)) {
+      case 0: text += ' '; break;
+      case 1: break;
+      case 2: text += ", "; break;
+      case 3: text += "-"; break;
+    }
+  }
+  return text;
+}
+
+ConceptSet RandomConcepts(Rng& rng) {
+  static const char* kWords[] = {
+      "alpha", "beta",  "gamma", "delta", "omega", "uni",   "university",
+      "vers",  "score", "board", "game",  "a",     "bc",    "b.s.",
+      "x",     "xy",    "xyz",   "##",    "#",     "time",
+  };
+  static const char* kShapes[] = {"#num#", "#year#", "#ratio#"};
+  ConceptSet concepts;
+  const size_t count = 1 + rng.NextBelow(6);
+  for (size_t c = 0; c < count; ++c) {
+    Concept concept_def;
+    concept_def.name = std::string("C") + std::to_string(c);
+    const size_t instances = rng.NextBelow(6);
+    for (size_t i = 0; i < instances; ++i) {
+      if (rng.NextBool(0.25)) {
+        concept_def.instances.push_back(
+            kShapes[rng.NextBelow(std::size(kShapes))]);
+      } else {
+        std::string word = kWords[rng.NextBelow(std::size(kWords))];
+        if (rng.NextBool(0.3)) {
+          word += ' ';
+          word += kWords[rng.NextBelow(std::size(kWords))];
+        }
+        concept_def.instances.push_back(std::move(word));
+      }
+    }
+    concepts.Add(std::move(concept_def));
+  }
+  return concepts;
+}
+
+class MatcherDifferentialProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MatcherDifferentialProperty, ResumeDomainOnRandomText) {
+  ConceptSet concepts = ResumeConcepts();
+  Rng rng(GetParam());
+  for (size_t i = 0; i < 50; ++i) {
+    ExpectSameMatches(concepts, RandomText(rng));
+  }
+}
+
+TEST_P(MatcherDifferentialProperty, RandomConceptsOnRandomText) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (size_t round = 0; round < 10; ++round) {
+    ConceptSet concepts = RandomConcepts(rng);
+    for (size_t i = 0; i < 20; ++i) {
+      ExpectSameMatches(concepts, RandomText(rng));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherDifferentialProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace webre

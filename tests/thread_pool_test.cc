@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace webre {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks submitted — must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructionWithoutWaitDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), DefaultThreadCount());
+}
+
+TEST(ParallelForTest, CoversExactlyTheRangeOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (size_t chunk : {1u, 3u, 16u, 1000u}) {
+      const size_t count = 237;
+      std::vector<std::atomic<int>> hits(count);
+      ParallelOptions options;
+      options.num_threads = threads;
+      options.chunk_size = chunk;
+      ParallelFor(count, options, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, count);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads
+                                     << " chunk=" << chunk << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ParallelOptions options;
+  options.num_threads = 4;
+  bool called = false;
+  ParallelFor(0, options, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SerialConfigurationRunsInline) {
+  // num_threads = 1 must run on the calling thread (observable via
+  // thread id) so the serial path has no scheduling overhead.
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelOptions options;
+  options.num_threads = 1;
+  std::thread::id seen;
+  ParallelFor(50, options,
+              [&](size_t, size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelForTest, PooledOverloadComputesSameSum) {
+  ThreadPool pool(4);
+  std::vector<int> values(1000);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long long> sum{0};
+  ParallelFor(pool, values.size(), 7, [&](size_t begin, size_t end) {
+    long long local = 0;
+    for (size_t i = begin; i < end; ++i) local += values[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000LL * 1001 / 2);
+}
+
+}  // namespace
+}  // namespace webre

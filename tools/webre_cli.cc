@@ -11,6 +11,8 @@
 //   --ratio=F    support-ratio threshold (default 0.4)
 //   --root=NAME  output root element name (default "resume")
 //   --attlist    include <!ATTLIST> declarations in the DTD
+//   --threads=N  worker threads for per-document stages
+//                (default 1 = serial; 0 = one per hardware thread)
 //
 // The bundled domain knowledge is the paper's resume topic (24 concepts /
 // 233 instances); the library API accepts any ConceptSet for other
@@ -38,6 +40,7 @@ struct CliOptions {
   double ratio = 0.4;
   std::string root = "resume";
   bool attlist = false;
+  size_t threads = 1;
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -51,6 +54,9 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
       options.ratio = std::strtod(arg.c_str() + 8, nullptr);
     } else if (arg.rfind("--root=", 0) == 0) {
       options.root = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--attlist") {
       options.attlist = true;
     } else {
@@ -103,6 +109,7 @@ webre::Pipeline MakePipeline(const Domain& domain,
   pipeline_options.mining.ratio_threshold = options.ratio;
   pipeline_options.dtd.mark_optional = map_documents;
   pipeline_options.map_documents = map_documents;
+  pipeline_options.parallel.num_threads = options.threads;
   return webre::Pipeline(&domain.concepts, &domain.recognizer,
                          &domain.constraints, pipeline_options);
 }
@@ -216,7 +223,7 @@ void Usage() {
       "  map FILE...           conform documents to the discovered DTD\n"
       "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
       "  demo [N]              end-to-end run on N generated resumes\n"
-      "options: --sup=F --ratio=F --root=NAME --attlist\n");
+      "options: --sup=F --ratio=F --root=NAME --attlist --threads=N\n");
 }
 
 }  // namespace
