@@ -14,6 +14,7 @@
 #include "restructure/recognizer.h"
 #include "schema/frequent_paths.h"
 #include "schema/path_extractor.h"
+#include "util/resource_limits.h"
 
 namespace webre {
 namespace {
@@ -61,6 +62,21 @@ void BM_HtmlParse(benchmark::State& state) {
 }
 BENCHMARK(BM_HtmlParse);
 
+// Guarded parse (explicit ResourceBudget with default caps) against the
+// lenient BM_HtmlParse above: the delta is the whole cost of resource
+// accounting on the hot path.
+void BM_HtmlParseGuarded(benchmark::State& state) {
+  const std::string& page = SamplePage();
+  const ResourceLimits limits;
+  for (auto _ : state) {
+    ResourceBudget budget(limits);
+    benchmark::DoNotOptimize(ParseHtml(page, HtmlParseOptions{}, budget));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * page.size()));
+}
+BENCHMARK(BM_HtmlParseGuarded);
+
 void BM_ConvertDocument(benchmark::State& state) {
   Env& env = GetEnv();
   const std::string& page = SamplePage();
@@ -69,6 +85,18 @@ void BM_ConvertDocument(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConvertDocument);
+
+// Fault-isolated conversion (TryConvert under default limits) against
+// the lenient BM_ConvertDocument: measures the per-document price of
+// the guards end to end.
+void BM_ConvertDocumentGuarded(benchmark::State& state) {
+  Env& env = GetEnv();
+  const std::string& page = SamplePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.converter.TryConvert(page));
+  }
+}
+BENCHMARK(BM_ConvertDocumentGuarded);
 
 void BM_ConceptMatch(benchmark::State& state) {
   Env& env = GetEnv();

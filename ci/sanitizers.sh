@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer sweep for CI: builds and runs the test suite under
+# ThreadSanitizer (parallel pipeline must be race-free) and under
+# ASan+UBSan (fault-isolation paths must be free of memory errors and
+# UB, including on the pathological/fuzz inputs).
+#
+# Usage: ci/sanitizers.sh [tsan|asan|all]   (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local name="$1" sanitize="$2" build_dir="build-$1"
+  echo "=== ${name}: WEBRE_SANITIZE=${sanitize} ==="
+  cmake -B "${build_dir}" -S . -DWEBRE_SANITIZE="${sanitize}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${build_dir}" -j >/dev/null
+  ctest --test-dir "${build_dir}" --output-on-failure -j
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  tsan) run_config tsan thread ;;
+  asan) run_config asan address+undefined ;;
+  all)
+    run_config tsan thread
+    run_config asan address+undefined
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "sanitizer sweep (${mode}) passed"

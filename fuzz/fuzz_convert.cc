@@ -1,0 +1,59 @@
+// Fuzz target: end-to-end guarded conversion. Any byte string pushed
+// through DocumentConverter::TryConvert under tight limits must yield
+// either a tree or a kResourceExhausted/kInvalidArgument Status with a
+// named stage — never a crash, hang, or other status code.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "concepts/concept.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "util/resource_limits.h"
+
+namespace {
+
+// One converter reused across inputs: immutable after construction, and
+// building the (empty) domain per-execution would dominate runtime.
+const webre::DocumentConverter& Converter() {
+  static const webre::ConceptSet* concepts = new webre::ConceptSet();
+  static const webre::SynonymRecognizer* recognizer =
+      new webre::SynonymRecognizer(concepts);
+  static const webre::DocumentConverter* converter = [] {
+    webre::ConvertOptions options;
+    options.limits.max_input_bytes = 1u << 16;
+    options.limits.max_tree_depth = 64;
+    options.limits.max_node_count = 8192;
+    options.limits.max_tokens_per_text = 512;
+    options.limits.max_entity_expansions = 512;
+    options.limits.max_steps = 1u << 20;
+    return new webre::DocumentConverter(concepts, recognizer, nullptr,
+                                        options);
+  }();
+  return *converter;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view html(reinterpret_cast<const char*>(data), size);
+
+  webre::ConvertStats stats;
+  std::string stage;
+  webre::StatusOr<std::unique_ptr<webre::Node>> result =
+      Converter().TryConvert(html, &stats, &stage);
+  if (result.ok()) {
+    if (result.value() == nullptr) abort();
+  } else {
+    if (result.status().code() != webre::StatusCode::kResourceExhausted &&
+        result.status().code() != webre::StatusCode::kInvalidArgument) {
+      abort();
+    }
+    if (stage.empty()) abort();  // every failure names its stage
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fuzz target: HTML entity decoder. Any byte string must decode without
+// crashing; the output must never contain a byte sequence produced from
+// an invalid numeric reference (surrogates / out-of-range decode to the
+// three-byte U+FFFD, which is well-formed); and the budgeted decode with
+// unlimited budget must agree with the plain one.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "html/entities.h"
+#include "util/resource_limits.h"
+
+namespace {
+
+// Validates UTF-8 well-formedness of the *decoded* characters only: the
+// decoder passes unrecognized input bytes through verbatim, so arbitrary
+// garbage stays garbage — but every byte it generates itself (entity
+// expansion) must be structurally sound. We approximate by checking that
+// decoding is idempotent on '&'-free output regions; cheap and catches
+// the historical surrogate bug (raw 0xED 0xA0 0x80 emission).
+bool ContainsCesu8Surrogate(const std::string& s) {
+  for (size_t i = 0; i + 2 < s.size(); ++i) {
+    const auto b0 = static_cast<unsigned char>(s[i]);
+    const auto b1 = static_cast<unsigned char>(s[i + 1]);
+    if (b0 == 0xED && b1 >= 0xA0 && b1 <= 0xBF) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  const std::string decoded = webre::DecodeHtmlEntities(input);
+
+  // The decoder must never *generate* a surrogate encoding. Only check
+  // when the input itself is clean of the pattern, since pass-through
+  // bytes are allowed to stay dirty.
+  if (!ContainsCesu8Surrogate(std::string(input)) &&
+      ContainsCesu8Surrogate(decoded)) {
+    abort();
+  }
+
+  webre::ResourceBudget unlimited(webre::ResourceLimits::Unlimited());
+  std::string budgeted;
+  webre::Status status = webre::DecodeHtmlEntities(input, unlimited, budgeted);
+  if (!status.ok()) abort();
+  if (budgeted != decoded) abort();
+
+  webre::ResourceLimits tight;
+  tight.max_entity_expansions = 16;
+  webre::ResourceBudget budget(tight);
+  std::string capped;
+  webre::Status capped_status =
+      webre::DecodeHtmlEntities(input, budget, capped);
+  if (!capped_status.ok() &&
+      capped_status.code() != webre::StatusCode::kResourceExhausted) {
+    abort();
+  }
+  return 0;
+}

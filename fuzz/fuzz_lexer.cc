@@ -1,0 +1,46 @@
+// Fuzz target: HTML lexer. Any byte string must tokenize without
+// crashing on both the lenient path and the guarded path, and the
+// guarded path with unlimited budget must agree with the lenient one.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "html/lexer.h"
+#include "util/resource_limits.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view html(reinterpret_cast<const char*>(data), size);
+
+  std::vector<webre::HtmlToken> lenient = webre::TokenizeHtml(html);
+
+  webre::ResourceBudget unlimited(webre::ResourceLimits::Unlimited());
+  std::vector<webre::HtmlToken> guarded;
+  webre::Status status = webre::TokenizeHtml(html, unlimited, guarded);
+  if (!status.ok()) abort();  // unlimited budget must never trip
+  if (guarded.size() != lenient.size()) abort();
+  for (size_t i = 0; i < guarded.size(); ++i) {
+    if (guarded[i].type != lenient[i].type ||
+        guarded[i].name != lenient[i].name ||
+        guarded[i].text != lenient[i].text) {
+      abort();
+    }
+  }
+
+  // Tight limits: may fail, must not crash — and must fail with
+  // kResourceExhausted, never anything else.
+  webre::ResourceLimits tight;
+  tight.max_input_bytes = 4096;
+  tight.max_entity_expansions = 64;
+  tight.max_steps = 1u << 16;
+  webre::ResourceBudget budget(tight);
+  std::vector<webre::HtmlToken> capped;
+  webre::Status capped_status = webre::TokenizeHtml(html, budget, capped);
+  if (!capped_status.ok() &&
+      capped_status.code() != webre::StatusCode::kResourceExhausted) {
+    abort();
+  }
+  return 0;
+}

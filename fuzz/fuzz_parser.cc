@@ -1,0 +1,50 @@
+// Fuzz target: HTML parser + tidy. Any byte string must produce a tree
+// (lenient path) or a structured Status (guarded path with tight caps);
+// the resulting tree must respect the depth/node caps it was parsed
+// under and must survive tidying.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "html/parser.h"
+#include "html/tidy.h"
+#include "util/resource_limits.h"
+#include "xml/node.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view html(reinterpret_cast<const char*>(data), size);
+
+  // Lenient path: must always yield a tree.
+  std::unique_ptr<webre::Node> lenient = webre::ParseHtml(html);
+  if (lenient == nullptr) abort();
+
+  // Guarded path under tight caps: a tree that parses must obey them.
+  webre::ResourceLimits tight;
+  tight.max_input_bytes = 1u << 16;
+  tight.max_tree_depth = 64;
+  tight.max_node_count = 4096;
+  tight.max_entity_expansions = 256;
+  tight.max_steps = 1u << 18;
+  webre::ResourceBudget budget(tight);
+  webre::StatusOr<std::unique_ptr<webre::Node>> guarded =
+      webre::ParseHtml(html, webre::HtmlParseOptions{}, budget);
+  if (guarded.ok()) {
+    const webre::TreeStats stats = webre::MeasureTree(*guarded.value());
+    if (stats.max_depth > tight.max_tree_depth) abort();
+    if (stats.node_count > tight.max_node_count + 1) abort();
+    webre::ResourceBudget tidy_budget(tight);
+    webre::Status tidied = webre::TidyHtmlTree(
+        guarded.value().get(), webre::TidyOptions{}, tidy_budget);
+    if (!tidied.ok() &&
+        tidied.code() != webre::StatusCode::kResourceExhausted) {
+      abort();
+    }
+  } else if (guarded.status().code() !=
+             webre::StatusCode::kResourceExhausted) {
+    abort();  // guarded parse may only fail by exhausting a budget
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Standalone replay-and-mutate driver for the fuzz targets, used when
+// the toolchain has no libFuzzer (GCC builds). Provides main() for a
+// binary whose other translation unit defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+//
+// Usage:
+//   fuzz_xxx [--mutate=N] [--max-len=BYTES] PATH...
+//
+// Each PATH is a corpus file or a directory of corpus files (read in
+// sorted order for determinism). Every input is replayed verbatim, then
+// N deterministically mutated variants are derived from it with a
+// xorshift64 generator seeded from the input bytes and the variant
+// index — the same corpus always exercises the same byte strings, so a
+// crash found in CI reproduces locally with no corpus exchange.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift64: tiny, fast, and fully deterministic across platforms.
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// One structural mutation chosen by the RNG: bit flip, byte set, chunk
+// erase, chunk duplicate, or splice of an interesting token.
+void MutateOnce(Rng& rng, std::vector<uint8_t>& data, size_t max_len) {
+  static const char* kTokens[] = {
+      "<", ">", "</", "/>", "<!--", "-->", "<![CDATA[", "]]>",
+      "&#", "&#x", "&amp;", ";", "\"", "'", "=", "<div>", "</div>",
+      "<!DOCTYPE", "\0\0", "&#xD800;", "&#x110000;",
+  };
+  if (data.empty()) data.push_back('<');
+  switch (rng.Next() % 5) {
+    case 0: {  // flip one bit
+      size_t pos = rng.Next() % data.size();
+      data[pos] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+      break;
+    }
+    case 1: {  // overwrite one byte
+      size_t pos = rng.Next() % data.size();
+      data[pos] = static_cast<uint8_t>(rng.Next());
+      break;
+    }
+    case 2: {  // erase a chunk
+      size_t pos = rng.Next() % data.size();
+      size_t len = 1 + rng.Next() % 16;
+      len = std::min(len, data.size() - pos);
+      data.erase(data.begin() + pos, data.begin() + pos + len);
+      break;
+    }
+    case 3: {  // duplicate a chunk (growth is capped by max_len below)
+      size_t pos = rng.Next() % data.size();
+      size_t len = 1 + rng.Next() % 32;
+      len = std::min(len, data.size() - pos);
+      std::vector<uint8_t> chunk(data.begin() + pos,
+                                 data.begin() + pos + len);
+      data.insert(data.begin() + pos, chunk.begin(), chunk.end());
+      break;
+    }
+    default: {  // splice an interesting token
+      const char* token =
+          kTokens[rng.Next() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+      size_t token_len = std::strlen(token);
+      if (token_len == 0) token_len = 2;  // the embedded-NUL token
+      size_t pos = rng.Next() % (data.size() + 1);
+      data.insert(data.begin() + pos,
+                  reinterpret_cast<const uint8_t*>(token),
+                  reinterpret_cast<const uint8_t*>(token) + token_len);
+      break;
+    }
+  }
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+bool ReadBytes(const std::filesystem::path& path,
+               std::vector<uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t mutations = 0;
+  size_t max_len = 1u << 20;  // 1 MiB cap keeps smoke runs fast
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutations = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate=N] [--max-len=BYTES] PATH...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(input);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t executions = 0;
+  for (const std::filesystem::path& file : files) {
+    std::vector<uint8_t> seed;
+    if (!ReadBytes(file, seed)) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0],
+                   file.string().c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+    ++executions;
+    const uint64_t base = Fnv1a(seed);
+    for (size_t v = 0; v < mutations; ++v) {
+      Rng rng(base ^ (0xA5A5A5A5A5A5A5A5ull + v * 0x100000001B3ull));
+      std::vector<uint8_t> variant = seed;
+      const size_t rounds = 1 + rng.Next() % 4;
+      for (size_t r = 0; r < rounds; ++r) MutateOnce(rng, variant, max_len);
+      LLVMFuzzerTestOneInput(variant.data(), variant.size());
+      ++executions;
+    }
+  }
+  std::printf("%s: %zu inputs (%zu seeds x %zu mutations) — no crashes\n",
+              argv[0], executions, files.size(), mutations + 1);
+  return 0;
+}

@@ -1,16 +1,55 @@
 #include "core/pipeline.h"
 
+#include <exception>
+#include <utility>
+
 #include "schema/path_extractor.h"
 #include "xml/dtd_validator.h"
 
 namespace webre {
+namespace {
+
+// Copies the pipeline-level limits into the converter options so one
+// knob governs the whole stack.
+PipelineOptions WithLimitsApplied(PipelineOptions options) {
+  options.convert.limits = options.limits;
+  return options;
+}
+
+DocumentStatus StatusToDocumentStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+      return DocumentStatus::kLimitExceeded;
+    case StatusCode::kInvalidArgument:
+      return DocumentStatus::kParseError;
+    default:
+      return DocumentStatus::kConvertError;
+  }
+}
+
+}  // namespace
+
+const char* DocumentStatusName(DocumentStatus status) {
+  switch (status) {
+    case DocumentStatus::kOk:
+      return "ok";
+    case DocumentStatus::kParseError:
+      return "parse_error";
+    case DocumentStatus::kLimitExceeded:
+      return "limit_exceeded";
+    case DocumentStatus::kConvertError:
+      return "convert_error";
+  }
+  return "unknown";
+}
 
 Pipeline::Pipeline(const ConceptSet* concepts,
                    const ConceptRecognizer* recognizer,
                    const ConstraintSet* constraints, PipelineOptions options)
     : constraints_(constraints),
-      converter_(concepts, recognizer, constraints, options.convert),
-      options_(std::move(options)) {}
+      converter_(concepts, recognizer, constraints,
+                 WithLimitsApplied(options).convert),
+      options_(WithLimitsApplied(std::move(options))) {}
 
 PipelineResult Pipeline::Run(
     const std::vector<std::string>& html_pages) const {
@@ -18,6 +57,8 @@ PipelineResult Pipeline::Run(
   const size_t count = html_pages.size();
   result.documents.resize(count);
   result.convert_stats.resize(count);
+  result.outcomes.resize(count);
+  for (size_t i = 0; i < count; ++i) result.outcomes[i].index = i;
 
   MiningOptions mining = options_.mining;
   if (mining.constraints == nullptr) mining.constraints = constraints_;
@@ -39,47 +80,111 @@ PipelineResult Pipeline::Run(
   };
 
   // Stage 1 — conversion. Each page is converted and path-extracted
-  // independently on the pool; the miner then folds the per-document
-  // paths in input order, so the discovered schema (and every count in
-  // it) is identical to a serial run regardless of thread count.
+  // independently on the pool under the per-document resource guards
+  // and an exception barrier: a pathological page writes one error
+  // outcome into its slot and the rest of its chunk continues. The
+  // miner then folds the surviving documents' paths in input order, so
+  // the discovered schema (and every count in it) is identical to a
+  // serial run regardless of thread count.
   std::vector<DocumentPaths> extracted(count);
   run_stage([&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      ConvertStats stats;
-      result.documents[i] = converter_.Convert(html_pages[i], &stats);
-      result.convert_stats[i] = stats;
-      extracted[i] = ExtractPaths(*result.documents[i]);
+      DocumentOutcome& outcome = result.outcomes[i];
+      try {
+        ConvertStats stats;
+        std::string stage;
+        StatusOr<std::unique_ptr<Node>> converted =
+            converter_.TryConvert(html_pages[i], &stats, &stage);
+        if (!converted.ok()) {
+          outcome.status = StatusToDocumentStatus(converted.status());
+          outcome.stage = std::move(stage);
+          outcome.message = converted.status().message();
+          continue;
+        }
+        result.documents[i] = std::move(converted).value();
+        result.convert_stats[i] = stats;
+        extracted[i] = ExtractPaths(*result.documents[i]);
+      } catch (const std::exception& e) {
+        outcome.status = DocumentStatus::kConvertError;
+        outcome.stage = "extract";
+        outcome.message = e.what();
+        result.documents[i] = nullptr;
+        extracted[i] = DocumentPaths{};
+      } catch (...) {
+        outcome.status = DocumentStatus::kConvertError;
+        outcome.stage = "extract";
+        outcome.message = "unknown exception";
+        result.documents[i] = nullptr;
+        extracted[i] = DocumentPaths{};
+      }
     }
   });
-  for (const DocumentPaths& paths : extracted) {
-    miner.AddDocumentPaths(paths);
+  for (const DocumentOutcome& outcome : result.outcomes) {
+    if (!outcome.ok()) ++result.failed_documents;
+  }
+
+  if (!options_.keep_going && result.failed_documents > 0) {
+    // Outcomes are complete (every conversion ran), but the batch is
+    // declared failed before discovery.
+    result.aborted = true;
+    return result;
   }
 
   // Stage 2 — discovery (serial: one fold over the accumulated trie).
+  // Only surviving documents take part, so one bad page cannot skew
+  // support counts with an empty path set.
+  for (size_t i = 0; i < count; ++i) {
+    if (result.outcomes[i].ok()) miner.AddDocumentPaths(extracted[i]);
+  }
   result.schema = miner.Discover();
   result.mining_stats = miner.stats();
   result.dtd = BuildDtd(result.schema, options_.dtd);
 
   // Stage 3 — per-document validation and optional mapping, again
-  // fanned out with results stored by input index.
+  // fanned out with results stored by input index. Failed documents
+  // are skipped; a late failure (exception while mapping) demotes the
+  // document's outcome but never the batch.
   std::vector<unsigned char> conforms_before(count, 0);
   std::vector<unsigned char> conforms_after(count, 0);
   if (options_.map_documents) result.mapped_documents.resize(count);
   run_stage([&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      const Node& doc = *result.documents[i];
-      conforms_before[i] = ConformsToDtd(doc, result.dtd) ? 1 : 0;
-      if (options_.map_documents) {
-        ConformResult mapped =
-            ConformToSchema(doc, result.schema, result.dtd);
-        conforms_after[i] = mapped.report.conforms ? 1 : 0;
-        result.mapped_documents[i] = std::move(mapped.document);
+      if (!result.outcomes[i].ok()) continue;
+      DocumentOutcome& outcome = result.outcomes[i];
+      const char* stage = "validate";
+      try {
+        const Node& doc = *result.documents[i];
+        conforms_before[i] = ConformsToDtd(doc, result.dtd) ? 1 : 0;
+        if (options_.map_documents) {
+          stage = "map";
+          ConformResult mapped =
+              ConformToSchema(doc, result.schema, result.dtd);
+          conforms_after[i] = mapped.report.conforms ? 1 : 0;
+          result.mapped_documents[i] = std::move(mapped.document);
+        }
+      } catch (const std::exception& e) {
+        outcome.status = DocumentStatus::kConvertError;
+        outcome.stage = stage;
+        outcome.message = e.what();
+        conforms_before[i] = 0;
+        conforms_after[i] = 0;
+      } catch (...) {
+        outcome.status = DocumentStatus::kConvertError;
+        outcome.stage = stage;
+        outcome.message = "unknown exception";
+        conforms_before[i] = 0;
+        conforms_after[i] = 0;
       }
     }
   });
   for (size_t i = 0; i < count; ++i) {
     result.conforming_before += conforms_before[i];
     result.conforming_after += conforms_after[i];
+  }
+  // Recount failures to include any stage-3 demotions.
+  result.failed_documents = 0;
+  for (const DocumentOutcome& outcome : result.outcomes) {
+    if (!outcome.ok()) ++result.failed_documents;
   }
   return result;
 }

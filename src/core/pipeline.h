@@ -12,6 +12,7 @@
 #include "restructure/recognizer.h"
 #include "schema/dtd_builder.h"
 #include "schema/frequent_paths.h"
+#include "util/resource_limits.h"
 #include "util/thread_pool.h"
 #include "xml/dtd.h"
 
@@ -30,14 +31,65 @@ struct PipelineOptions {
   /// thread count produces byte-identical results because per-document
   /// work is independent and merge order is the input order.
   ParallelOptions parallel;
+  /// Per-document resource guards (copied into `convert.limits`; the
+  /// value set here wins). A document that trips a guard costs one
+  /// error record, never the batch.
+  ResourceLimits limits;
+  /// Keep converting after a document fails (the default): failures are
+  /// recorded per document and every healthy document still flows into
+  /// schema discovery. When false, all conversions still run (so the
+  /// outcome list is complete and deterministic at any thread count)
+  /// but a batch with any failure stops before discovery — the result
+  /// carries empty schema/DTD and `aborted = true`.
+  bool keep_going = true;
+};
+
+/// How one input document fared, for the machine-readable error summary.
+enum class DocumentStatus {
+  kOk = 0,
+  /// The input could not be parsed into a tree (reserved for strict
+  /// front doors; the lenient HTML path repairs instead of failing).
+  kParseError,
+  /// A ResourceLimits guard tripped (kResourceExhausted).
+  kLimitExceeded,
+  /// A restructuring stage failed, including a captured exception
+  /// (std::bad_alloc and friends) from the per-document worker.
+  kConvertError,
+};
+
+/// Stable lower_snake name for `status` (e.g. "limit_exceeded").
+const char* DocumentStatusName(DocumentStatus status);
+
+/// Per-document fate record. Healthy documents get {kOk, "", "", i};
+/// failed documents name the stage that gave up ("parse", "tidy",
+/// "tokenize", "rules", "extract", "validate", "map") and carry the
+/// error message verbatim.
+struct DocumentOutcome {
+  DocumentStatus status = DocumentStatus::kOk;
+  /// Stage that failed; empty for kOk.
+  std::string stage;
+  /// Error message; empty for kOk.
+  std::string message;
+  /// Index of the document in the input batch.
+  size_t index = 0;
+
+  bool ok() const { return status == DocumentStatus::kOk; }
 };
 
 /// Output of Pipeline::Run.
 struct PipelineResult {
-  /// Converted XML documents, in input order.
+  /// Converted XML documents, in input order. Null for documents whose
+  /// outcome is not ok (check `outcomes`).
   std::vector<std::unique_ptr<Node>> documents;
-  /// Per-document conversion stats.
+  /// Per-document conversion stats (default-initialized for failures).
   std::vector<ConvertStats> convert_stats;
+  /// Per-document fate, in input order; always sized like `documents`.
+  std::vector<DocumentOutcome> outcomes;
+  /// Number of outcomes that are not ok.
+  size_t failed_documents = 0;
+  /// True iff keep_going was off and a failure stopped the pipeline
+  /// before schema discovery.
+  bool aborted = false;
   MajoritySchema schema;
   Dtd dtd;
   MiningStats mining_stats;
@@ -45,7 +97,7 @@ struct PipelineResult {
   size_t conforming_before = 0;
   /// Documents conforming after mapping (only if map_documents).
   size_t conforming_after = 0;
-  /// Mapped documents (empty unless map_documents).
+  /// Mapped documents (empty unless map_documents; null per failed doc).
   std::vector<std::unique_ptr<Node>> mapped_documents;
 };
 
@@ -59,6 +111,13 @@ struct PipelineResult {
 /// pre-extracted paths, merged in input order for determinism). The
 /// recognizer passed in must be const-thread-safe — the bundled
 /// recognizers are, as they hold only immutable borrowed state.
+///
+/// Fault isolation: each document converts under `options.limits` and
+/// behind a per-document exception barrier, so one pathological page —
+/// 10k-deep nesting, entity bombs, megabyte attributes — produces one
+/// DocumentOutcome while the rest of the batch completes. Discovery
+/// folds only the surviving documents. On clean input the result is
+/// byte-identical to a run without guards, at any thread count.
 ///
 /// The borrowed concept set, recognizer and constraints must outlive the
 /// pipeline. `constraints` may be null.

@@ -71,6 +71,15 @@ void AppendUtf8(uint32_t cp, std::string& out) {
   }
 }
 
+// U+FFFD REPLACEMENT CHARACTER, emitted for numeric references that name
+// no valid Unicode scalar value.
+constexpr std::string_view kReplacementChar = "\xEF\xBF\xBD";
+
+// Sentinel for "accumulated past the Unicode range"; keeps the
+// accumulator from wrapping on absurdly long digit strings while still
+// consuming the whole reference.
+constexpr uint32_t kOverflow = 0x110000;
+
 // Tries to decode a reference starting at s[pos] (which is '&'). On
 // success appends the decoded text to `out` and returns the index just
 // past the reference; on failure returns pos (caller copies the '&').
@@ -93,13 +102,19 @@ size_t TryDecode(std::string_view s, size_t pos, std::string& out) {
       } else {
         break;
       }
-      cp = cp * (hex ? 16 : 10) + digit;
-      if (cp > 0x10FFFF) return pos;
+      if (cp < kOverflow) cp = cp * (hex ? 16 : 10) + digit;
+      if (cp > 0x10FFFF) cp = kOverflow;
       ++digits;
       ++i;
     }
-    if (digits == 0 || cp == 0) return pos;
-    AppendUtf8(cp, out);
+    if (digits == 0) return pos;
+    // Scalar values only: zero, surrogates and out-of-range references
+    // become U+FFFD rather than ill-formed UTF-8 or verbatim text.
+    if (cp == 0 || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+      out.append(kReplacementChar);
+    } else {
+      AppendUtf8(cp, out);
+    }
     if (i < s.size() && s[i] == ';') ++i;  // semicolon optional in legacy HTML
     return i;
   }
@@ -136,6 +151,25 @@ std::string DecodeHtmlEntities(std::string_view s) {
     ++i;
   }
   return out;
+}
+
+Status DecodeHtmlEntities(std::string_view s, ResourceBudget& budget,
+                          std::string& out) {
+  out.reserve(out.size() + s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '&') {
+      size_t next = TryDecode(s, i, out);
+      if (next != i) {
+        WEBRE_RETURN_IF_ERROR(budget.ChargeEntity());
+        i = next;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+    ++i;
+  }
+  return Status::Ok();
 }
 
 }  // namespace webre

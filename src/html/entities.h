@@ -4,6 +4,9 @@
 #include <string>
 #include <string_view>
 
+#include "util/resource_limits.h"
+#include "util/status.h"
+
 namespace webre {
 
 /// Decodes HTML character references in `s`.
@@ -14,7 +17,19 @@ namespace webre {
 /// unknown or malformed references are passed through verbatim, matching
 /// browser behaviour on legacy pages. `&nbsp;` decodes to a plain space
 /// since downstream tokenization treats all whitespace alike.
+///
+/// Numeric references that name no valid scalar value — zero, surrogates
+/// (U+D800..U+DFFF) and anything above U+10FFFF — decode to U+FFFD
+/// (the replacement character), never to ill-formed UTF-8.
 std::string DecodeHtmlEntities(std::string_view s);
+
+/// Guarded variant: every decoded reference is charged against
+/// `budget` (max_entity_expansions). On exhaustion, returns
+/// kResourceExhausted and `out` is unspecified; otherwise appends the
+/// decoded text to `out` and returns OK. Output is identical to
+/// DecodeHtmlEntities whenever the budget suffices.
+Status DecodeHtmlEntities(std::string_view s, ResourceBudget& budget,
+                          std::string& out);
 
 }  // namespace webre
 

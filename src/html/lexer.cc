@@ -9,19 +9,23 @@ namespace {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view input) : input_(input) {}
+  Lexer(std::string_view input, ResourceBudget& budget)
+      : input_(input), budget_(budget) {}
 
-  std::vector<HtmlToken> Run() {
-    std::vector<HtmlToken> tokens;
+  Status Run(std::vector<HtmlToken>& tokens) {
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeInput(input_.size()));
+    // Lexing is a single forward sweep; charge it up front.
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeSteps(input_.size()));
+
     std::string text;
-
-    auto flush_text = [&]() {
-      if (text.empty()) return;
+    auto flush_text = [&]() -> Status {
+      if (text.empty()) return Status::Ok();
       HtmlToken token;
       token.type = HtmlTokenType::kText;
-      token.text = DecodeHtmlEntities(text);
+      WEBRE_RETURN_IF_ERROR(DecodeHtmlEntities(text, budget_, token.text));
       tokens.push_back(std::move(token));
       text.clear();
+      return Status::Ok();
     };
 
     while (pos_ < input_.size()) {
@@ -39,27 +43,26 @@ class Lexer {
       }
       char next = input_[pos_ + 1];
       if (next == '!') {
-        flush_text();
+        WEBRE_RETURN_IF_ERROR(flush_text());
         LexDeclaration(tokens);
       } else if (next == '/') {
         if (pos_ + 2 < input_.size() && IsAsciiAlpha(input_[pos_ + 2])) {
-          flush_text();
+          WEBRE_RETURN_IF_ERROR(flush_text());
           LexEndTag(tokens);
         } else {
           text.push_back(c);
           ++pos_;
         }
       } else if (IsAsciiAlpha(next)) {
-        flush_text();
-        LexStartTag(tokens);
+        WEBRE_RETURN_IF_ERROR(flush_text());
+        WEBRE_RETURN_IF_ERROR(LexStartTag(tokens));
       } else {
         // "<3", "< 5" etc. — literal text, as browsers treat it.
         text.push_back(c);
         ++pos_;
       }
     }
-    flush_text();
-    return tokens;
+    return flush_text();
   }
 
  private:
@@ -110,7 +113,7 @@ class Lexer {
     tokens.push_back(std::move(token));
   }
 
-  void LexStartTag(std::vector<HtmlToken>& tokens) {
+  Status LexStartTag(std::vector<HtmlToken>& tokens) {
     ++pos_;  // '<'
     HtmlToken token;
     token.type = HtmlTokenType::kStartTag;
@@ -171,8 +174,11 @@ class Lexer {
           }
         }
       }
+      std::string decoded_value;
+      WEBRE_RETURN_IF_ERROR(
+          DecodeHtmlEntities(attr_value, budget_, decoded_value));
       token.attributes.push_back(
-          Attribute{std::move(attr_name), DecodeHtmlEntities(attr_value)});
+          Attribute{std::move(attr_name), std::move(decoded_value)});
     }
 
     const std::string tag = token.name;
@@ -204,16 +210,27 @@ class Lexer {
       }
       pos_ = end;
     }
+    return Status::Ok();
   }
 
   std::string_view input_;
+  ResourceBudget& budget_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
 std::vector<HtmlToken> TokenizeHtml(std::string_view html) {
-  return Lexer(html).Run();
+  ResourceBudget unlimited(ResourceLimits::Unlimited());
+  std::vector<HtmlToken> tokens;
+  // An unlimited budget never trips, so the guarded path cannot fail.
+  TokenizeHtml(html, unlimited, tokens);
+  return tokens;
+}
+
+Status TokenizeHtml(std::string_view html, ResourceBudget& budget,
+                    std::vector<HtmlToken>& out) {
+  return Lexer(html, budget).Run(out);
 }
 
 }  // namespace webre

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/resource_limits.h"
+#include "util/status.h"
 #include "xml/node.h"  // for Attribute
 
 namespace webre {
@@ -36,6 +38,14 @@ struct HtmlToken {
 /// (`script`, `style`) swallow everything up to their matching end tag
 /// into a single text token.
 std::vector<HtmlToken> TokenizeHtml(std::string_view html);
+
+/// Guarded variant: charges the input size and every decoded entity
+/// against `budget` (max_input_bytes, max_steps, max_entity_expansions).
+/// On exhaustion returns kResourceExhausted and `out` holds the tokens
+/// lexed so far; with a sufficient budget, `out` is identical to
+/// TokenizeHtml(html).
+Status TokenizeHtml(std::string_view html, ResourceBudget& budget,
+                    std::vector<HtmlToken>& out);
 
 }  // namespace webre
 

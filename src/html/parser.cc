@@ -11,19 +11,22 @@ namespace {
 
 class TreeBuilder {
  public:
-  explicit TreeBuilder(const HtmlParseOptions& options) : options_(options) {}
+  TreeBuilder(const HtmlParseOptions& options, ResourceBudget& budget)
+      : options_(options), budget_(budget) {}
 
-  std::unique_ptr<Node> Build(std::vector<HtmlToken> tokens) {
+  StatusOr<std::unique_ptr<Node>> Build(std::vector<HtmlToken> tokens) {
     root_ = Node::MakeElement("#root");
     stack_.push_back(root_.get());
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeSteps(tokens.size()));
 
     for (HtmlToken& token : tokens) {
       switch (token.type) {
         case HtmlTokenType::kText:
-          HandleText(token);
+          WEBRE_RETURN_IF_ERROR(HandleText(token));
           break;
         case HtmlTokenType::kStartTag:
-          HandleStartTag(token);
+          WEBRE_RETURN_IF_ERROR(HandleStartTag(token));
           break;
         case HtmlTokenType::kEndTag:
           HandleEndTag(token);
@@ -35,6 +38,7 @@ class TreeBuilder {
             // the shared tree model needs no extra node type; the
             // restructuring pipeline deletes them like any other
             // non-concept markup.
+            WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(2));
             Node* node = Top()->AddElement("#comment");
             node->AddText(std::move(token.text));
           }
@@ -47,14 +51,14 @@ class TreeBuilder {
  private:
   Node* Top() { return stack_.back(); }
 
-  void HandleText(HtmlToken& token) {
+  Status HandleText(HtmlToken& token) {
     std::string text = std::move(token.text);
     if (options_.skip_whitespace_text &&
         StripAsciiWhitespace(text).empty()) {
-      return;
+      return Status::Ok();
     }
     if (options_.collapse_whitespace) text = CollapseWhitespace(text);
-    if (text.empty()) return;
+    if (text.empty()) return Status::Ok();
     // Merge with a preceding text sibling (tokens may split text at
     // ignored markup boundaries).
     Node* top = Top();
@@ -65,17 +69,23 @@ class TreeBuilder {
       merged.push_back(' ');
       merged.append(text);
       last->set_text(std::move(merged));
-      return;
+      return Status::Ok();
     }
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
     top->AddText(std::move(text));
+    return Status::Ok();
   }
 
-  void HandleStartTag(HtmlToken& token) {
+  Status HandleStartTag(HtmlToken& token) {
     // Apply implied-end-tag repairs: close open elements that cannot
     // contain the new tag.
     while (stack_.size() > 1 && ClosesOnOpen(Top()->name(), token.name)) {
       stack_.pop_back();
     }
+    // stack_ holds the synthetic #root at depth 0, so its size is the
+    // new element's depth.
+    WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(stack_.size()));
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
     Node* element = Top()->AddElement(token.name);
     if (options_.keep_attributes) {
       for (Attribute& attr : token.attributes) {
@@ -85,6 +95,7 @@ class TreeBuilder {
     if (!IsVoidTag(token.name) && !token.self_closing) {
       stack_.push_back(element);
     }
+    return Status::Ok();
   }
 
   void HandleEndTag(const HtmlToken& token) {
@@ -131,6 +142,7 @@ class TreeBuilder {
   }
 
   HtmlParseOptions options_;
+  ResourceBudget& budget_;
   std::unique_ptr<Node> root_;
   std::vector<Node*> stack_;
 };
@@ -139,7 +151,18 @@ class TreeBuilder {
 
 std::unique_ptr<Node> ParseHtml(std::string_view html,
                                 const HtmlParseOptions& options) {
-  return TreeBuilder(options).Build(TokenizeHtml(html));
+  ResourceBudget unlimited(ResourceLimits::Unlimited());
+  // An unlimited budget never trips, so the guarded path cannot fail.
+  StatusOr<std::unique_ptr<Node>> tree = ParseHtml(html, options, unlimited);
+  return std::move(tree).value();
+}
+
+StatusOr<std::unique_ptr<Node>> ParseHtml(std::string_view html,
+                                          const HtmlParseOptions& options,
+                                          ResourceBudget& budget) {
+  std::vector<HtmlToken> tokens;
+  WEBRE_RETURN_IF_ERROR(TokenizeHtml(html, budget, tokens));
+  return TreeBuilder(options, budget).Build(std::move(tokens));
 }
 
 }  // namespace webre

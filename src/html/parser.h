@@ -4,6 +4,8 @@
 #include <memory>
 #include <string_view>
 
+#include "util/resource_limits.h"
+#include "util/status.h"
 #include "xml/node.h"
 
 namespace webre {
@@ -41,6 +43,18 @@ struct HtmlParseOptions {
 /// `<html>` markup, one is synthesized around the content.
 std::unique_ptr<Node> ParseHtml(std::string_view html,
                                 const HtmlParseOptions& options = {});
+
+/// Guarded variant: lexing and tree building are charged against
+/// `budget` (input bytes, steps, entity expansions, node count) and the
+/// open-element depth is capped at max_tree_depth, so hostile input —
+/// pathological nesting, megabyte attributes, entity floods — yields a
+/// kResourceExhausted Status instead of unbounded recursion or memory.
+/// With a sufficient budget the tree is identical to ParseHtml's. Every
+/// tree this returns has depth <= max_tree_depth and at most
+/// max_node_count nodes, which bounds all recursive walks downstream.
+StatusOr<std::unique_ptr<Node>> ParseHtml(std::string_view html,
+                                          const HtmlParseOptions& options,
+                                          ResourceBudget& budget);
 
 }  // namespace webre
 

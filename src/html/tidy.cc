@@ -129,4 +129,16 @@ void TidyHtmlTree(Node* root, const TidyOptions& options) {
   if (options.merge_adjacent_text) MergeAdjacentText(root);
 }
 
+Status TidyHtmlTree(Node* root, const TidyOptions& options,
+                    ResourceBudget& budget) {
+  if (root == nullptr) return Status::Ok();
+  const TreeStats stats = MeasureTree(*root);
+  WEBRE_RETURN_IF_ERROR(budget.CheckDepth(stats.max_depth));
+  WEBRE_RETURN_IF_ERROR(budget.CheckNodeCount(stats.node_count));
+  // Each enabled pass is one walk over the (shrinking) tree.
+  WEBRE_RETURN_IF_ERROR(budget.ChargeSteps(stats.node_count * 5));
+  TidyHtmlTree(root, options);
+  return Status::Ok();
+}
+
 }  // namespace webre

@@ -1,6 +1,8 @@
 #ifndef WEBRE_HTML_TIDY_H_
 #define WEBRE_HTML_TIDY_H_
 
+#include "util/resource_limits.h"
+#include "util/status.h"
 #include "xml/node.h"
 
 namespace webre {
@@ -29,6 +31,15 @@ struct TidyOptions {
 /// Works on the ordered tree produced by ParseHtml. The root element
 /// itself is never removed.
 void TidyHtmlTree(Node* root, const TidyOptions& options = {});
+
+/// Guarded variant for trees that did not come from the guarded parser
+/// (ConvertTree accepts arbitrary caller-built trees): measures the tree
+/// iteratively first and refuses — kResourceExhausted, tree untouched —
+/// when it exceeds the depth or node caps, since the cleansing passes
+/// recurse per tree level. Also charges the visit against the step
+/// budget. Identical to TidyHtmlTree whenever the limits suffice.
+Status TidyHtmlTree(Node* root, const TidyOptions& options,
+                    ResourceBudget& budget);
 
 }  // namespace webre
 

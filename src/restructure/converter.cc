@@ -1,8 +1,39 @@
 #include "restructure/converter.h"
 
+#include <utility>
+#include <vector>
+
 #include "restructure/grouping_rule.h"
 
 namespace webre {
+namespace {
+
+// Upper bound on the TOKEN nodes the tokenization rule can split one
+// text node into: delimiter occurrences + 1. Walked iteratively so a
+// hostile tree cannot recurse past the stack before its guard fires.
+size_t MaxTokensInOneTextNode(const Node& root,
+                              const std::string& delimiters) {
+  size_t worst = 0;
+  std::vector<const Node*> pending{&root};
+  while (!pending.empty()) {
+    const Node* node = pending.back();
+    pending.pop_back();
+    if (node->is_text()) {
+      size_t pieces = 1;
+      for (char c : node->text()) {
+        if (delimiters.find(c) != std::string::npos) ++pieces;
+      }
+      if (pieces > worst) worst = pieces;
+      continue;
+    }
+    for (size_t i = 0; i < node->child_count(); ++i) {
+      pending.push_back(node->child(i));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
 
 DocumentConverter::DocumentConverter(const ConceptSet* concepts,
                                      const ConceptRecognizer* recognizer,
@@ -35,6 +66,98 @@ std::unique_ptr<Node> DocumentConverter::ConvertTree(
 
   root->set_name(options_.root_name);
   out->concept_nodes = root->SubtreeSize() - 1;
+  return html_tree;
+}
+
+Status DocumentConverter::RunGuardedRules(Node* root, ConvertStats* out,
+                                          std::string* failed_stage,
+                                          ResourceBudget& budget) const {
+  auto fail = [failed_stage](const char* stage, Status status) {
+    if (failed_stage != nullptr) *failed_stage = stage;
+    return status;
+  };
+
+  if (options_.apply_tidy) {
+    Status tidied = TidyHtmlTree(root, options_.tidy, budget);
+    if (!tidied.ok()) return fail("tidy", std::move(tidied));
+  }
+
+  // Tokenization is the one rule that multiplies nodes, so its blowup is
+  // bounded both per text node and against the document node budget.
+  const size_t worst =
+      MaxTokensInOneTextNode(*root, options_.tokenize.delimiters);
+  if (worst > options_.limits.max_tokens_per_text) {
+    return fail("tokenize",
+                Status::ResourceExhausted(
+                    "text node would split into " + std::to_string(worst) +
+                    " tokens, exceeding max_tokens_per_text=" +
+                    std::to_string(options_.limits.max_tokens_per_text)));
+  }
+  out->tokens_created = ApplyTokenizationRule(root, options_.tokenize);
+  // Each token is a TOKEN element plus its text child.
+  Status charged = budget.ChargeNodes(2 * out->tokens_created);
+  if (!charged.ok()) return fail("tokenize", std::move(charged));
+
+  out->instance = ApplyConceptInstanceRule(root, *recognizer_, constraints_);
+  if (options_.apply_grouping) out->groups_created = ApplyGroupingRule(root);
+  out->consolidation =
+      ApplyConsolidationRule(root, *concepts_, constraints_);
+
+  // The remaining rules only rearrange or shrink the tree; charge the
+  // final shape against the budget as a backstop.
+  const TreeStats shape = MeasureTree(*root);
+  Status final_check = budget.CheckNodeCount(shape.node_count);
+  if (final_check.ok()) final_check = budget.CheckDepth(shape.max_depth);
+  if (final_check.ok()) final_check = budget.ChargeSteps(shape.node_count * 3);
+  if (!final_check.ok()) return fail("rules", std::move(final_check));
+
+  root->set_name(options_.root_name);
+  out->concept_nodes = shape.node_count - 1;
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Node>> DocumentConverter::TryConvert(
+    std::string_view html, ConvertStats* stats,
+    std::string* failed_stage) const {
+  ConvertStats local;
+  ConvertStats* out = stats != nullptr ? stats : &local;
+  *out = ConvertStats{};
+
+  ResourceBudget budget(options_.limits);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, options_.parse, budget);
+  if (!tree.ok()) {
+    if (failed_stage != nullptr) *failed_stage = "parse";
+    return tree.status();
+  }
+  WEBRE_RETURN_IF_ERROR(
+      RunGuardedRules(tree.value().get(), out, failed_stage, budget));
+  return tree;
+}
+
+StatusOr<std::unique_ptr<Node>> DocumentConverter::TryConvertTree(
+    std::unique_ptr<Node> html_tree, ConvertStats* stats,
+    std::string* failed_stage) const {
+  ConvertStats local;
+  ConvertStats* out = stats != nullptr ? stats : &local;
+  *out = ConvertStats{};
+
+  if (html_tree == nullptr) {
+    if (failed_stage != nullptr) *failed_stage = "parse";
+    return Status::InvalidArgument("null HTML tree");
+  }
+  // Caller-built trees never passed through the guarded parser, so
+  // validate their shape before any recursive pass touches them.
+  ResourceBudget budget(options_.limits);
+  const TreeStats shape = MeasureTree(*html_tree);
+  Status admissible = budget.CheckDepth(shape.max_depth);
+  if (admissible.ok()) admissible = budget.ChargeNodes(shape.node_count);
+  if (!admissible.ok()) {
+    if (failed_stage != nullptr) *failed_stage = "parse";
+    return admissible;
+  }
+  WEBRE_RETURN_IF_ERROR(
+      RunGuardedRules(html_tree.get(), out, failed_stage, budget));
   return html_tree;
 }
 

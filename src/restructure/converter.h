@@ -30,6 +30,10 @@ struct ConvertOptions {
   HtmlParseOptions parse;
   TidyOptions tidy;
   TokenizeOptions tokenize;
+  /// Per-document resource guards, enforced only by TryConvert /
+  /// TryConvertTree (Convert stays lenient and unguarded for callers
+  /// that trust their input).
+  ResourceLimits limits;
 };
 
 /// Per-document conversion report.
@@ -67,9 +71,33 @@ class DocumentConverter {
   std::unique_ptr<Node> ConvertTree(std::unique_ptr<Node> html_tree,
                                     ConvertStats* stats = nullptr) const;
 
+  /// Guarded conversion: every stage is charged against one
+  /// ResourceBudget built from `options().limits`, so a pathological
+  /// document (pathological nesting, entity floods, token bombs) yields
+  /// a kResourceExhausted Status instead of unbounded recursion, memory
+  /// or time. On failure, `failed_stage` (if non-null) names the stage
+  /// that tripped: "parse" (lexing included), "tidy", "tokenize" or
+  /// "rules".
+  /// On clean input the result is byte-identical to Convert's.
+  StatusOr<std::unique_ptr<Node>> TryConvert(
+      std::string_view html, ConvertStats* stats = nullptr,
+      std::string* failed_stage = nullptr) const;
+
+  /// Guarded variant of ConvertTree for caller-built trees (takes
+  /// ownership; the tree is validated against the limits first).
+  StatusOr<std::unique_ptr<Node>> TryConvertTree(
+      std::unique_ptr<Node> html_tree, ConvertStats* stats = nullptr,
+      std::string* failed_stage = nullptr) const;
+
   const ConvertOptions& options() const { return options_; }
 
  private:
+  /// Shared guarded post-parse path (tidy + the four rules) used by both
+  /// Try entry points. `root` must already be admitted to `budget`.
+  Status RunGuardedRules(Node* root, ConvertStats* out,
+                         std::string* failed_stage,
+                         ResourceBudget& budget) const;
+
   const ConceptSet* concepts_;
   const ConceptRecognizer* recognizer_;
   const ConstraintSet* constraints_;

@@ -1,0 +1,144 @@
+#ifndef WEBRE_UTIL_RESOURCE_LIMITS_H_
+#define WEBRE_UTIL_RESOURCE_LIMITS_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "util/status.h"
+
+namespace webre {
+
+/// Per-document resource guards for the conversion stack. Real-web HTML
+/// is adversarial by accident (editor bugs, truncated transfers) and by
+/// design (entity bombs, pathological nesting); these caps turn every
+/// such input into a recoverable `kResourceExhausted` Status instead of
+/// unbounded memory growth or recursion past the stack.
+///
+/// The defaults are sized so that no legitimately authored page comes
+/// near them (see DESIGN.md "Failure model" for the rationale per
+/// field); a clean corpus converts byte-identically with or without the
+/// guards.
+struct ResourceLimits {
+  /// Raw bytes of one input document.
+  size_t max_input_bytes = 16u << 20;  // 16 MiB
+  /// Depth of the parsed/converted tree (root = depth 0). Bounds every
+  /// recursive walk downstream of the parser.
+  size_t max_tree_depth = 512;
+  /// Nodes in one document tree, re-checked as restructuring rules grow
+  /// the tree.
+  size_t max_node_count = 1u << 20;  // ~1M nodes
+  /// TOKEN elements the tokenization rule may split one text node into.
+  size_t max_tokens_per_text = 1u << 16;  // 65536
+  /// Character/entity references decoded for one document.
+  size_t max_entity_expansions = 1u << 20;
+  /// Generic per-document work budget: roughly "bytes lexed plus nodes
+  /// visited per rule pass". A backstop against cost amplification that
+  /// slips past the structural caps.
+  size_t max_steps = 64u << 20;
+
+  /// Limits that never trip (every cap at SIZE_MAX). The lenient legacy
+  /// entry points route through the guarded implementation with these.
+  static ResourceLimits Unlimited() {
+    ResourceLimits limits;
+    constexpr size_t kMax = std::numeric_limits<size_t>::max();
+    limits.max_input_bytes = kMax;
+    limits.max_tree_depth = kMax;
+    limits.max_node_count = kMax;
+    limits.max_tokens_per_text = kMax;
+    limits.max_entity_expansions = kMax;
+    limits.max_steps = kMax;
+    return limits;
+  }
+};
+
+/// Mutable consumption counters charged against one ResourceLimits while
+/// a single document moves through the stack. One budget spans all
+/// stages (lex, parse, tidy, rules) so a document cannot reset its
+/// allowance between them. Not thread-safe; use one per document.
+class ResourceBudget {
+ public:
+  explicit ResourceBudget(const ResourceLimits& limits) : limits_(limits) {}
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  /// Checks the size of the raw input document.
+  Status ChargeInput(size_t bytes) {
+    if (bytes > limits_.max_input_bytes) {
+      return Exhausted("input of " + std::to_string(bytes) +
+                       " bytes exceeds max_input_bytes=" +
+                       std::to_string(limits_.max_input_bytes));
+    }
+    return Status::Ok();
+  }
+
+  /// Consumes `n` units of the generic step budget.
+  Status ChargeSteps(size_t n) {
+    steps_ += n;
+    if (steps_ > limits_.max_steps || steps_ < n /*overflow*/) {
+      return Exhausted("step budget max_steps=" +
+                       std::to_string(limits_.max_steps) + " exhausted");
+    }
+    return Status::Ok();
+  }
+
+  /// Consumes `n` tree nodes from the node allowance.
+  Status ChargeNodes(size_t n) {
+    nodes_ += n;
+    if (nodes_ > limits_.max_node_count || nodes_ < n /*overflow*/) {
+      return Exhausted("node budget max_node_count=" +
+                       std::to_string(limits_.max_node_count) + " exhausted");
+    }
+    return Status::Ok();
+  }
+
+  /// Consumes one decoded character/entity reference.
+  Status ChargeEntity() {
+    ++entities_;
+    if (entities_ > limits_.max_entity_expansions) {
+      return Exhausted("entity budget max_entity_expansions=" +
+                       std::to_string(limits_.max_entity_expansions) +
+                       " exhausted");
+    }
+    return Status::Ok();
+  }
+
+  /// Checks a whole-tree node count against the node cap without
+  /// accumulating (for re-measuring a tree that a later stage grew).
+  Status CheckNodeCount(size_t count) {
+    if (count > limits_.max_node_count) {
+      return Exhausted("tree of " + std::to_string(count) +
+                       " nodes exceeds max_node_count=" +
+                       std::to_string(limits_.max_node_count));
+    }
+    return Status::Ok();
+  }
+
+  /// Checks a tree depth against the depth cap (does not accumulate).
+  Status CheckDepth(size_t depth) {
+    if (depth > limits_.max_tree_depth) {
+      return Exhausted("tree depth " + std::to_string(depth) +
+                       " exceeds max_tree_depth=" +
+                       std::to_string(limits_.max_tree_depth));
+    }
+    return Status::Ok();
+  }
+
+  size_t steps_used() const { return steps_; }
+  size_t nodes_used() const { return nodes_; }
+  size_t entities_used() const { return entities_; }
+
+ private:
+  static Status Exhausted(std::string message) {
+    return Status::ResourceExhausted(std::move(message));
+  }
+
+  ResourceLimits limits_;
+  size_t steps_ = 0;
+  size_t nodes_ = 0;
+  size_t entities_ = 0;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_UTIL_RESOURCE_LIMITS_H_

@@ -19,6 +19,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  /// A per-document resource guard tripped (input size, tree depth, node
+  /// count, entity expansions, step budget — see util/resource_limits.h).
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -60,6 +63,10 @@ class Status {
   /// Returns an Internal status with `message`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns a ResourceExhausted status with `message`.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   /// True iff the operation succeeded.

@@ -39,6 +39,16 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
 
+size_t ThreadPool::failed_task_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_tasks_;
+}
+
+std::string ThreadPool::first_failure_message() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_failure_;
+}
+
 void ThreadPool::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -49,8 +59,25 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++in_flight_;
     lock.unlock();
-    task();
+    // A throwing task (std::bad_alloc under memory pressure, a buggy
+    // caller-supplied body) must cost its own slot, never the process:
+    // an exception escaping a std::thread is std::terminate.
+    std::string failure;
+    bool failed = false;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      failed = true;
+      failure = e.what();
+    } catch (...) {
+      failed = true;
+      failure = "unknown exception";
+    }
     lock.lock();
+    if (failed) {
+      ++failed_tasks_;
+      if (failed_tasks_ == 1) first_failure_ = std::move(failure);
+    }
     --in_flight_;
     if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
   }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,8 +31,11 @@ size_t DefaultThreadCount();
 /// first free worker; Wait() blocks until every submitted task has
 /// finished. The pool is reusable: Submit/Wait cycles may repeat.
 ///
-/// Exceptions must not escape tasks (the library is exception-free by
-/// construction); a throwing task would terminate.
+/// The library is exception-free by construction, but the runtime is
+/// not (`std::bad_alloc`, above all): a task that throws is caught by
+/// its worker and recorded instead of `std::terminate`-ing the whole
+/// process. Callers running batches should check failed_task_count()
+/// after Wait() — a failed task produced no result for its slot.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 means DefaultThreadCount()).
@@ -49,6 +53,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks that exited via an exception since construction.
+  size_t failed_task_count();
+
+  /// what() of the first task exception captured (empty when none).
+  std::string first_failure_message();
+
  private:
   void WorkerLoop();
 
@@ -58,6 +68,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool stopping_ = false;
+  size_t failed_tasks_ = 0;
+  std::string first_failure_;
   std::vector<std::thread> workers_;
 };
 

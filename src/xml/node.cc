@@ -1,6 +1,7 @@
 #include "xml/node.h"
 
 #include <cassert>
+#include <utility>
 
 namespace webre {
 
@@ -14,6 +15,22 @@ std::unique_ptr<Node> Node::MakeText(std::string text) {
   auto node = std::unique_ptr<Node>(new Node(NodeType::kText));
   node->text_ = std::move(text);
   return node;
+}
+
+Node::~Node() {
+  if (children_.empty()) return;
+  // Detach the whole subtree onto an explicit work-list so destruction
+  // is iterative: the default member destructor would recurse once per
+  // tree level and overflow the stack on pathologically deep trees.
+  std::vector<std::unique_ptr<Node>> pending = std::move(children_);
+  children_.clear();
+  while (!pending.empty()) {
+    std::unique_ptr<Node> node = std::move(pending.back());
+    pending.pop_back();
+    for (auto& child : node->children_) pending.push_back(std::move(child));
+    node->children_.clear();
+    // `node` is destroyed here with no children left — no recursion.
+  }
 }
 
 std::string_view Node::attr(std::string_view name) const {
@@ -200,6 +217,22 @@ std::string Node::DebugString() const {
   std::string out;
   DebugAppend(*this, out);
   return out;
+}
+
+TreeStats MeasureTree(const Node& root) {
+  TreeStats stats;
+  std::vector<std::pair<const Node*, size_t>> pending;
+  pending.emplace_back(&root, 0);
+  while (!pending.empty()) {
+    const auto [node, depth] = pending.back();
+    pending.pop_back();
+    ++stats.node_count;
+    if (depth > stats.max_depth) stats.max_depth = depth;
+    for (size_t i = 0; i < node->child_count(); ++i) {
+      pending.emplace_back(node->child(i), depth + 1);
+    }
+  }
+  return stats;
 }
 
 }  // namespace webre

@@ -46,6 +46,12 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
+  /// Destruction is iterative (an explicit work-list instead of the
+  /// default recursive member destructor), so freeing a pathologically
+  /// deep tree cannot overflow the stack even when such a tree was built
+  /// without resource limits.
+  ~Node();
+
   NodeType type() const { return type_; }
   bool is_element() const { return type_ == NodeType::kElement; }
   bool is_text() const { return type_ == NodeType::kText; }
@@ -144,6 +150,19 @@ class Node {
   std::vector<Attribute> attributes_;
   std::vector<std::unique_ptr<Node>> children_;
 };
+
+/// Size and shape of a subtree, gathered in one iterative walk (safe on
+/// trees of any depth). Used by the resource guards to re-check trees
+/// that grow between pipeline stages.
+struct TreeStats {
+  /// Nodes in the subtree, including the root.
+  size_t node_count = 0;
+  /// Depth of the deepest node relative to `root` (root itself = 0).
+  size_t max_depth = 0;
+};
+
+/// Measures `root`'s subtree without recursion.
+TreeStats MeasureTree(const Node& root);
 
 }  // namespace webre
 

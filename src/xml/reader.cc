@@ -27,12 +27,21 @@ void AppendUtf8(uint32_t cp, std::string& out) {
   }
 }
 
+// Increments a recursion-depth counter for the current scope.
+struct DepthGuard {
+  explicit DepthGuard(size_t& depth) : depth(depth) { ++depth; }
+  ~DepthGuard() { --depth; }
+  size_t& depth;
+};
+
 class Parser {
  public:
   Parser(std::string_view input, const XmlReadOptions& options)
-      : input_(input), options_(options) {}
+      : input_(input), options_(options), budget_(options.limits) {}
 
   StatusOr<std::unique_ptr<Node>> Parse() {
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeInput(input_.size()));
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeSteps(input_.size()));
     SkipProlog();
     if (AtEnd() || Peek() != '<') {
       return Error("expected root element");
@@ -137,6 +146,7 @@ class Parser {
         out.push_back(raw[i]);
         continue;
       }
+      WEBRE_RETURN_IF_ERROR(budget_.ChargeEntity());
       size_t semi = raw.find(';', i + 1);
       if (semi == std::string_view::npos) {
         return Error("unterminated entity reference");
@@ -153,19 +163,24 @@ class Parser {
       } else if (entity == "apos") {
         out.push_back('\'');
       } else if (!entity.empty() && entity[0] == '#') {
+        // 0x110000 is a clamp sentinel: references too long to fit a
+        // uint32 must read as out-of-range, not wrap back into range.
         uint32_t cp = 0;
         bool valid = entity.size() > 1;
         if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
           for (size_t k = 2; k < entity.size(); ++k) {
             char c = AsciiToLower(entity[k]);
             if (IsAsciiDigit(c)) {
-              cp = cp * 16 + static_cast<uint32_t>(c - '0');
+              if (cp < 0x110000) cp = cp * 16 + static_cast<uint32_t>(c - '0');
             } else if (c >= 'a' && c <= 'f') {
-              cp = cp * 16 + static_cast<uint32_t>(c - 'a' + 10);
+              if (cp < 0x110000) {
+                cp = cp * 16 + static_cast<uint32_t>(c - 'a' + 10);
+              }
             } else {
               valid = false;
               break;
             }
+            if (cp > 0x10FFFF) cp = 0x110000;
           }
         } else {
           for (size_t k = 1; k < entity.size(); ++k) {
@@ -173,10 +188,16 @@ class Parser {
               valid = false;
               break;
             }
-            cp = cp * 10 + static_cast<uint32_t>(entity[k] - '0');
+            if (cp < 0x110000) {
+              cp = cp * 10 + static_cast<uint32_t>(entity[k] - '0');
+            }
+            if (cp > 0x10FFFF) cp = 0x110000;
           }
         }
-        if (!valid || cp == 0 || cp > 0x10FFFF) {
+        if (!valid || cp == 0 || cp > 0x10FFFF ||
+            (cp >= 0xD800 && cp <= 0xDFFF)) {
+          // Surrogates are not XML Chars; emitting them would produce
+          // ill-formed UTF-8 downstream.
           return Error("invalid character reference");
         }
         AppendUtf8(cp, out);
@@ -190,6 +211,11 @@ class Parser {
   }
 
   StatusOr<std::unique_ptr<Node>> ParseElement() {
+    // ParseElement recurses per nesting level; the depth cap keeps
+    // hostile nesting from overflowing the parser's own stack.
+    WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(depth_));
+    const DepthGuard guard(depth_);
+    WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
     if (!Consume("<")) return Error("expected '<'");
     StatusOr<std::string> name = ParseName();
     if (!name.ok()) return name.status();
@@ -237,7 +263,10 @@ class Parser {
       if (!decoded.ok()) return decoded.status();
       std::string text = std::move(decoded.value());
       if (options_.trim_text) text = std::string(StripAsciiWhitespace(text));
-      if (!text.empty()) element->AddText(std::move(text));
+      if (!text.empty()) {
+        WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
+        element->AddText(std::move(text));
+      }
       pending_text.clear();
       return Status::Ok();
     };
@@ -272,7 +301,10 @@ class Parser {
           if (AtEnd()) return Error("unterminated CDATA section");
           WEBRE_RETURN_IF_ERROR(flush_text());
           std::string cdata(input_.substr(start, pos_ - start));
-          if (!cdata.empty()) element->AddText(std::move(cdata));
+          if (!cdata.empty()) {
+            WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
+            element->AddText(std::move(cdata));
+          }
           Consume("]]>");
           continue;
         }
@@ -293,8 +325,10 @@ class Parser {
 
   std::string_view input_;
   XmlReadOptions options_;
+  ResourceBudget budget_;
   size_t pos_ = 0;
   size_t line_ = 1;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "util/resource_limits.h"
 #include "util/status.h"
 #include "xml/node.h"
 
@@ -16,6 +17,12 @@ struct XmlReadOptions {
   bool skip_whitespace_text = true;
   /// Trim leading/trailing whitespace of retained text nodes.
   bool trim_text = true;
+  /// Resource guards: element nesting is parsed recursively, so
+  /// max_tree_depth bounds the parser's own stack; max_input_bytes,
+  /// max_node_count and max_entity_expansions bound memory. Exceeding
+  /// any cap is a kResourceExhausted error. The defaults admit every
+  /// realistic document.
+  ResourceLimits limits;
 };
 
 /// Parses a well-formed XML document into a Node tree and returns its root

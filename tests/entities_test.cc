@@ -1,9 +1,16 @@
+#include <string>
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 #include "html/entities.h"
+#include "util/resource_limits.h"
 
 namespace webre {
 namespace {
+
+// U+FFFD REPLACEMENT CHARACTER in UTF-8.
+constexpr const char* kFFFD = "\xEF\xBF\xBD";
 
 TEST(EntitiesTest, BasicNamed) {
   EXPECT_EQ(DecodeHtmlEntities("a &amp; b"), "a & b");
@@ -62,12 +69,72 @@ TEST(EntitiesTest, AccentedNames) {
             "r\xC3\xA9sum\xC3\xA9");
 }
 
-TEST(EntitiesTest, InvalidNumericPassesThrough) {
+TEST(EntitiesTest, MalformedNumericPassesThrough) {
+  // References with no digits at all are not numeric references; the
+  // text is preserved verbatim.
   EXPECT_EQ(DecodeHtmlEntities("&#;"), "&#;");
   EXPECT_EQ(DecodeHtmlEntities("&#xZZ;"), "&#xZZ;");
-  EXPECT_EQ(DecodeHtmlEntities("&#0;"), "&#0;");
-  // Out-of-range codepoint.
-  EXPECT_EQ(DecodeHtmlEntities("&#x110000;"), "&#x110000;");
+  EXPECT_EQ(DecodeHtmlEntities("&#x;"), "&#x;");
+}
+
+TEST(EntitiesTest, InvalidNumericBecomesReplacementChar) {
+  // A numeric reference that names no Unicode scalar value consumes the
+  // reference and emits U+FFFD — never ill-formed UTF-8, never verbatim
+  // text that would re-parse differently downstream.
+  struct Case {
+    std::string_view input;
+    std::string_view expected;
+  };
+  const Case kCases[] = {
+      {"&#0;", kFFFD},                    // NUL is not a scalar value
+      {"&#x0;", kFFFD},
+      {"&#x110000;", kFFFD},              // just past the Unicode range
+      {"&#1114112;", kFFFD},              // same, decimal
+      {"&#xFFFFFFFF;", kFFFD},            // would overflow uint32
+      {"&#xFFFFFFFFFFFFFFFF1;", kFFFD},   // would overflow uint64 too
+      {"&#99999999999999999999;", kFFFD}, // decimal overflow
+      {"&#xD800;", kFFFD},                // surrogate range start
+      {"&#xDBFF;", kFFFD},                // high surrogate end
+      {"&#xDC00;", kFFFD},                // low surrogate start
+      {"&#xDFFF;", kFFFD},                // surrogate range end
+      {"&#55296;", kFFFD},                // 0xD800 in decimal
+      {"&#x10FFFF;", "\xF4\x8F\xBF\xBF"}, // last valid scalar decodes
+      {"&#xD7FF;", "\xED\x9F\xBF"},       // just below surrogates
+      {"&#xE000;", "\xEE\x80\x80"},       // just above surrogates
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(DecodeHtmlEntities(c.input), c.expected) << c.input;
+  }
+}
+
+TEST(EntitiesTest, InvalidNumericInsideTextKeepsNeighbors) {
+  EXPECT_EQ(DecodeHtmlEntities("a&#xD800;b"), std::string("a") + kFFFD + "b");
+}
+
+TEST(EntitiesTest, BudgetedOverloadChargesPerReference) {
+  ResourceLimits limits;
+  limits.max_entity_expansions = 2;
+  ResourceBudget budget(limits);
+  std::string out;
+  Status status = DecodeHtmlEntities("&amp;&lt;", budget, out);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(out, "&<");
+  EXPECT_EQ(budget.entities_used(), 2u);
+
+  std::string overflow_out;
+  Status exhausted = DecodeHtmlEntities("&gt;", budget, overflow_out);
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EntitiesTest, BudgetedOverloadMatchesUnbudgeted) {
+  const std::string_view inputs[] = {
+      "a &amp; b", "&#x41;&#X42;", "AT&T Labs", "&bogus;", "&#xD800;"};
+  for (std::string_view input : inputs) {
+    ResourceBudget budget(ResourceLimits::Unlimited());
+    std::string out;
+    ASSERT_TRUE(DecodeHtmlEntities(input, budget, out).ok());
+    EXPECT_EQ(out, DecodeHtmlEntities(input)) << input;
+  }
 }
 
 TEST(EntitiesTest, AdjacentReferences) {

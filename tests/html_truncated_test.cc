@@ -1,0 +1,150 @@
+// Truncated and garbage HTML: documents cut off mid-construct (the
+// network died, the CMS emitted half a page) and structurally impossible
+// markup. The contract is lenient recovery — never a crash, and never
+// silent loss of visible text.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/lexer.h"
+#include "html/parser.h"
+#include "xml/node.h"
+
+namespace webre {
+namespace {
+
+// Concatenation of every text node, in document order.
+std::string VisibleText(const Node& root) {
+  std::string out;
+  root.PreOrder([&](const Node& n) {
+    if (n.is_text()) out += n.text();
+  });
+  return out;
+}
+
+const Node* Find(const Node& root, std::string_view name) {
+  if (root.is_element() && root.name() == name) return &root;
+  for (size_t i = 0; i < root.child_count(); ++i) {
+    const Node* found = Find(*root.child(i), name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+TEST(TruncatedHtmlTest, EofMidStartTag) {
+  auto root = ParseHtml("<p>kept text<di");
+  EXPECT_NE(VisibleText(*root).find("kept text"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EofMidAttributeValue) {
+  auto root = ParseHtml("<p>kept</p><a href=\"http://unterminated");
+  EXPECT_NE(VisibleText(*root).find("kept"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EofMidAttributeName) {
+  auto root = ParseHtml("<p>kept</p><img al");
+  EXPECT_NE(VisibleText(*root).find("kept"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EofMidEndTag) {
+  auto root = ParseHtml("<p>kept</p");
+  EXPECT_NE(VisibleText(*root).find("kept"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, UnterminatedComment) {
+  auto root = ParseHtml("<p>before</p><!-- comment never ends <p>eaten</p>");
+  // Text before the runaway comment must survive; everything after the
+  // open comment is legitimately comment content.
+  EXPECT_NE(VisibleText(*root).find("before"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EofMidEntity) {
+  auto root = ParseHtml("<p>x &am");
+  const std::string text = VisibleText(*root);
+  // The partial reference cannot decode; its characters pass through.
+  EXPECT_NE(text.find("x &am"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EofRightAfterAmpersand) {
+  auto root = ParseHtml("<p>AT&");
+  EXPECT_NE(VisibleText(*root).find("AT&"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, LoneLessThanAtEof) {
+  auto root = ParseHtml("<p>a <");
+  EXPECT_NE(VisibleText(*root).find("a"), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, EmptyAndWhitespaceOnlyInput) {
+  auto empty = ParseHtml("");
+  EXPECT_NE(empty, nullptr);
+  auto spaces = ParseHtml("   \n\t  ");
+  EXPECT_NE(spaces, nullptr);
+}
+
+TEST(TruncatedHtmlTest, NullBytesInText) {
+  const std::string html = std::string("<p>a") + '\0' + "b</p>";
+  auto root = ParseHtml(html);
+  const std::string text = VisibleText(*root);
+  EXPECT_NE(text.find('a'), std::string::npos);
+  EXPECT_NE(text.find('b'), std::string::npos);
+}
+
+TEST(TruncatedHtmlTest, GarbageBytesDoNotCrash) {
+  std::string garbage;
+  for (int i = 0; i < 4096; ++i) {
+    garbage.push_back(static_cast<char>((i * 37 + 11) & 0xFF));
+  }
+  auto root = ParseHtml(garbage);
+  EXPECT_NE(root, nullptr);
+}
+
+TEST(MisnestedHtmlTest, OverlappingInlineTagsKeepText) {
+  // <b><i></b></i> — the classic misnesting; both words must survive.
+  auto root = ParseHtml("<b>bold<i>both</b>italic</i>");
+  const std::string text = VisibleText(*root);
+  EXPECT_NE(text.find("bold"), std::string::npos);
+  EXPECT_NE(text.find("both"), std::string::npos);
+  EXPECT_NE(text.find("italic"), std::string::npos);
+}
+
+TEST(MisnestedHtmlTest, StrayEndTagsIgnored) {
+  auto root = ParseHtml("</div></p>kept<p>more</p></span>");
+  const std::string text = VisibleText(*root);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+  EXPECT_NE(text.find("more"), std::string::npos);
+}
+
+TEST(MisnestedHtmlTest, DeeplyWrongClosingOrder) {
+  auto root = ParseHtml("<div><span><em>t1</div>t2</span>t3</em>");
+  const std::string text = VisibleText(*root);
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find("t2"), std::string::npos);
+  EXPECT_NE(text.find("t3"), std::string::npos);
+}
+
+TEST(TruncatedHtmlLexerTest, TokensNeverLoseTextAtEof) {
+  // Table-driven: every truncation point of a small page still yields a
+  // token stream (no hang, no crash) and keeps the prefix text that was
+  // complete before the cut.
+  const std::string page =
+      "<html><body><h1>Header</h1><p id=\"x\">Body &amp; soul</p>"
+      "<!-- note --></body></html>";
+  for (size_t cut = 0; cut <= page.size(); ++cut) {
+    std::vector<HtmlToken> tokens =
+        TokenizeHtml(std::string_view(page).substr(0, cut));
+    std::string text;
+    for (const HtmlToken& token : tokens) {
+      if (token.type == HtmlTokenType::kText) text += token.text;
+    }
+    if (cut >= page.find("Header") + 6) {
+      EXPECT_NE(text.find("Header"), std::string::npos) << "cut=" << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,292 @@
+// The fault-isolation acceptance bar: a batch containing adversarial
+// documents — pathological nesting, attribute floods, entity bombs,
+// null bytes, unterminated constructs — must complete with one
+// structured DocumentOutcome per input (never a crash, hang, or silent
+// drop), the healthy documents must still produce the schema, and on a
+// clean batch the guarded pipeline must stay byte-identical to the
+// serial unguarded baseline at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "core/pipeline.h"
+#include "corpus/resume_generator.h"
+#include "xml/writer.h"
+
+namespace webre {
+namespace {
+
+std::string Repeat(const std::string& piece, size_t n) {
+  std::string out;
+  out.reserve(piece.size() * n);
+  for (size_t i = 0; i < n; ++i) out += piece;
+  return out;
+}
+
+// --- Adversarial document constructors ------------------------------
+
+// 10k-deep element nesting: recursion killer.
+std::string DeepNesting() {
+  return Repeat("<div>", 10000) + "bottom" + Repeat("</div>", 10000);
+}
+
+// One start tag carrying 100k attributes.
+std::string AttributeFlood() {
+  std::string html = "<p ";
+  for (int i = 0; i < 100000; ++i) {
+    html += "a" + std::to_string(i) + "=\"v\" ";
+  }
+  html += ">flood</p>";
+  return html;
+}
+
+// A single multi-megabyte attribute value.
+std::string MegabyteAttribute() {
+  return "<p title=\"" + std::string(4u << 20, 'x') + "\">big</p>";
+}
+
+// Null bytes sprinkled through tags and text.
+std::string NullBytes() {
+  std::string html = "<p>a";
+  html.push_back('\0');
+  html += "b</p><di";
+  html.push_back('\0');
+  html += "v>c</div>";
+  return html;
+}
+
+std::string UnterminatedComment() {
+  return "<p>before</p><!-- never closed " + std::string(1u << 16, 'y');
+}
+
+std::string UnterminatedCdataLikeScript() {
+  return "<p>x</p><script>var s = \"" + std::string(1u << 16, 'z');
+}
+
+// Tens of thousands of entity references, many recursive-looking
+// (&amp;amp; decodes to "&amp;" textually — must NOT re-expand).
+std::string EntityFlood() {
+  return "<p>" + Repeat("&amp;amp;&#x26;#38;", 50000) + "</p>";
+}
+
+// Node-count bomb: flat fan-out of many small siblings.
+std::string WideFanout() {
+  return "<div>" + Repeat("<span>s</span>", 400000) + "</div>";
+}
+
+// A text node that tokenizes into an enormous number of TOKENs.
+std::string DelimiterBomb() {
+  return "<p>" + Repeat(";", 500000) + "</p>";
+}
+
+std::vector<std::string> AdversarialDocuments() {
+  return {DeepNesting(),       AttributeFlood(),
+          MegabyteAttribute(), NullBytes(),
+          UnterminatedComment(), UnterminatedCdataLikeScript(),
+          EntityFlood(),       WideFanout(),
+          DelimiterBomb()};
+}
+
+// --- Harness ---------------------------------------------------------
+
+class PathologicalInputTest : public ::testing::Test {
+ protected:
+  PathologicalInputTest()
+      : concepts_(ResumeConcepts()),
+        constraints_(ResumeConstraints()),
+        recognizer_(&concepts_) {}
+
+  PipelineResult RunWith(const std::vector<std::string>& pages,
+                         size_t threads, ResourceLimits limits,
+                         bool keep_going = true) {
+    PipelineOptions options;
+    options.parallel.num_threads = threads;
+    options.parallel.chunk_size = 2;  // force interleaving across workers
+    options.limits = limits;
+    options.keep_going = keep_going;
+    Pipeline pipeline(&concepts_, &recognizer_, &constraints_, options);
+    return pipeline.Run(pages);
+  }
+
+  // Tight limits so the adversarial docs trip fast; generated resumes
+  // stay comfortably inside.
+  static ResourceLimits TightLimits() {
+    ResourceLimits limits;
+    limits.max_input_bytes = 1u << 20;  // 1 MiB
+    limits.max_tree_depth = 256;
+    limits.max_node_count = 1u << 16;
+    limits.max_tokens_per_text = 1u << 12;
+    limits.max_entity_expansions = 1u << 14;
+    limits.max_steps = 8u << 20;
+    return limits;
+  }
+
+  ConceptSet concepts_;
+  ConstraintSet constraints_;
+  SynonymRecognizer recognizer_;
+};
+
+TEST_F(PathologicalInputTest, EveryAdversarialDocGetsAStructuredOutcome) {
+  const std::vector<std::string> pages = AdversarialDocuments();
+  const PipelineResult result = RunWith(pages, /*threads=*/1, TightLimits());
+
+  ASSERT_EQ(result.outcomes.size(), pages.size());
+  for (size_t i = 0; i < result.outcomes.size(); ++i) {
+    const DocumentOutcome& outcome = result.outcomes[i];
+    EXPECT_EQ(outcome.index, i);
+    if (!outcome.ok()) {
+      // A structured record: named stage, non-empty message, a status
+      // with a stable name.
+      EXPECT_FALSE(outcome.stage.empty()) << "doc " << i;
+      EXPECT_FALSE(outcome.message.empty()) << "doc " << i;
+      EXPECT_STRNE(DocumentStatusName(outcome.status), "ok") << "doc " << i;
+      EXPECT_EQ(result.documents[i], nullptr) << "doc " << i;
+    } else {
+      EXPECT_NE(result.documents[i], nullptr) << "doc " << i;
+    }
+  }
+  // The heavy hitters must actually trip their guards.
+  EXPECT_EQ(result.outcomes[0].status, DocumentStatus::kLimitExceeded)
+      << "deep nesting";
+  EXPECT_EQ(result.outcomes[2].status, DocumentStatus::kLimitExceeded)
+      << "megabyte attribute (input cap)";
+  EXPECT_EQ(result.outcomes[6].status, DocumentStatus::kLimitExceeded)
+      << "entity flood";
+  EXPECT_EQ(result.outcomes[7].status, DocumentStatus::kLimitExceeded)
+      << "wide fanout";
+  EXPECT_EQ(result.outcomes[8].status, DocumentStatus::kLimitExceeded)
+      << "delimiter bomb";
+}
+
+TEST_F(PathologicalInputTest, HealthyDocumentsSurviveAMixedBatch) {
+  // Clean resumes interleaved with every adversarial doc: the schema
+  // must come out of the survivors alone, and no slot may be dropped.
+  std::vector<std::string> pages;
+  std::vector<bool> is_clean;
+  const std::vector<std::string> hostile = AdversarialDocuments();
+  for (size_t i = 0; i < 12; ++i) {
+    pages.push_back(GenerateResume(i).html);
+    is_clean.push_back(true);
+    if (i < hostile.size()) {
+      pages.push_back(hostile[i]);
+      is_clean.push_back(false);
+    }
+  }
+  const PipelineResult result = RunWith(pages, /*threads=*/4, TightLimits());
+
+  ASSERT_EQ(result.outcomes.size(), pages.size());
+  size_t clean_ok = 0;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (is_clean[i]) {
+      EXPECT_TRUE(result.outcomes[i].ok())
+          << "clean doc " << i << " failed: " << result.outcomes[i].message;
+      clean_ok += result.outcomes[i].ok() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(clean_ok, 12u);
+  // At least the five resource bombs must have tripped; the small
+  // truncated documents are recoverable by design.
+  EXPECT_GE(result.failed_documents, 5u);
+  EXPECT_FALSE(result.aborted);
+  // Discovery ran over the survivors.
+  EXPECT_GT(result.schema.NodeCount(), 0u);
+}
+
+TEST_F(PathologicalInputTest, MixedBatchOutcomesAreDeterministic) {
+  std::vector<std::string> pages = AdversarialDocuments();
+  for (size_t i = 0; i < 8; ++i) pages.push_back(GenerateResume(i).html);
+
+  const PipelineResult serial = RunWith(pages, 1, TightLimits());
+  for (size_t threads : {2u, 8u}) {
+    const PipelineResult parallel = RunWith(pages, threads, TightLimits());
+    ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+    for (size_t i = 0; i < serial.outcomes.size(); ++i) {
+      EXPECT_EQ(parallel.outcomes[i].status, serial.outcomes[i].status)
+          << "doc " << i << " at " << threads << " threads";
+      EXPECT_EQ(parallel.outcomes[i].stage, serial.outcomes[i].stage) << i;
+      EXPECT_EQ(parallel.outcomes[i].message, serial.outcomes[i].message)
+          << i;
+    }
+    EXPECT_EQ(parallel.failed_documents, serial.failed_documents);
+    EXPECT_EQ(parallel.schema.ToString(), serial.schema.ToString());
+    EXPECT_EQ(parallel.dtd.ToString(true), serial.dtd.ToString(true));
+    for (size_t i = 0; i < serial.documents.size(); ++i) {
+      ASSERT_EQ(parallel.documents[i] == nullptr,
+                serial.documents[i] == nullptr)
+          << i;
+      if (serial.documents[i] != nullptr) {
+        EXPECT_EQ(WriteXml(*parallel.documents[i]),
+                  WriteXml(*serial.documents[i]))
+            << i;
+      }
+    }
+  }
+}
+
+TEST_F(PathologicalInputTest, CleanBatchIsByteIdenticalWithGuardsOn) {
+  // Guards at their defaults must be invisible on a clean corpus: same
+  // bytes as the unguarded serial baseline at 1/2/8 threads.
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 24; ++i) pages.push_back(GenerateResume(i).html);
+
+  PipelineOptions baseline_options;  // default limits, threads=1
+  Pipeline baseline(&concepts_, &recognizer_, &constraints_,
+                    baseline_options);
+  const PipelineResult expected = baseline.Run(pages);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    const PipelineResult guarded =
+        RunWith(pages, threads, ResourceLimits{});
+    EXPECT_EQ(guarded.failed_documents, 0u);
+    ASSERT_EQ(guarded.documents.size(), expected.documents.size());
+    for (size_t i = 0; i < expected.documents.size(); ++i) {
+      EXPECT_EQ(WriteXml(*guarded.documents[i]),
+                WriteXml(*expected.documents[i]))
+          << "doc " << i << " at " << threads << " threads";
+    }
+    EXPECT_EQ(guarded.schema.ToString(), expected.schema.ToString());
+    EXPECT_EQ(guarded.dtd.ToString(true), expected.dtd.ToString(true));
+  }
+}
+
+TEST_F(PathologicalInputTest, NoKeepGoingAbortsButReportsEveryOutcome) {
+  std::vector<std::string> pages = {GenerateResume(0).html, DeepNesting(),
+                                    GenerateResume(1).html};
+  const PipelineResult result =
+      RunWith(pages, /*threads=*/2, TightLimits(), /*keep_going=*/false);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.failed_documents, 1u);
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  EXPECT_TRUE(result.outcomes[0].ok());
+  EXPECT_EQ(result.outcomes[1].status, DocumentStatus::kLimitExceeded);
+  EXPECT_TRUE(result.outcomes[2].ok());
+  // Aborted: no discovery output.
+  EXPECT_EQ(result.schema.NodeCount(), 0u);
+}
+
+TEST_F(PathologicalInputTest, AllDocumentsFailingStillTerminates) {
+  const PipelineResult result =
+      RunWith(AdversarialDocuments(), /*threads=*/4, TightLimits());
+  EXPECT_EQ(result.outcomes.size(), AdversarialDocuments().size());
+  EXPECT_FALSE(result.aborted);
+  // Whatever survived (possibly nothing) produced a valid, possibly
+  // empty, schema without crashing.
+  SUCCEED();
+}
+
+TEST_F(PathologicalInputTest, StatusNamesAreStable) {
+  EXPECT_STREQ(DocumentStatusName(DocumentStatus::kOk), "ok");
+  EXPECT_STREQ(DocumentStatusName(DocumentStatus::kParseError),
+               "parse_error");
+  EXPECT_STREQ(DocumentStatusName(DocumentStatus::kLimitExceeded),
+               "limit_exceeded");
+  EXPECT_STREQ(DocumentStatusName(DocumentStatus::kConvertError),
+               "convert_error");
+}
+
+}  // namespace
+}  // namespace webre

@@ -1,0 +1,288 @@
+// Unit coverage for ResourceLimits/ResourceBudget and for each guarded
+// entry point: every cap must turn its hostile input into a
+// kResourceExhausted Status, and Unlimited() must never trip.
+
+#include "util/resource_limits.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "html/lexer.h"
+#include "html/parser.h"
+#include "html/tidy.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "xml/node.h"
+#include "xml/reader.h"
+
+namespace webre {
+namespace {
+
+std::string Repeat(const std::string& piece, size_t n) {
+  std::string out;
+  out.reserve(piece.size() * n);
+  for (size_t i = 0; i < n; ++i) out += piece;
+  return out;
+}
+
+TEST(ResourceBudgetTest, ChargeInputChecksCap) {
+  ResourceLimits limits;
+  limits.max_input_bytes = 100;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeInput(100).ok());
+  EXPECT_EQ(budget.ChargeInput(101).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, ChargeStepsAccumulates) {
+  ResourceLimits limits;
+  limits.max_steps = 10;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeSteps(6).ok());
+  EXPECT_TRUE(budget.ChargeSteps(4).ok());
+  EXPECT_EQ(budget.steps_used(), 10u);
+  EXPECT_EQ(budget.ChargeSteps(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, ChargeStepsSurvivesOverflow) {
+  ResourceLimits limits;
+  limits.max_steps = std::numeric_limits<size_t>::max() - 1;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeSteps(limits.max_steps).ok());
+  // Wrapping past zero must fail, not succeed with a tiny counter.
+  EXPECT_EQ(budget.ChargeSteps(100).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, ChargeNodesAccumulates) {
+  ResourceLimits limits;
+  limits.max_node_count = 3;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeNodes(2).ok());
+  EXPECT_TRUE(budget.ChargeNodes(1).ok());
+  EXPECT_EQ(budget.ChargeNodes(1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, ChargeEntityAccumulates) {
+  ResourceLimits limits;
+  limits.max_entity_expansions = 2;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeEntity().ok());
+  EXPECT_TRUE(budget.ChargeEntity().ok());
+  EXPECT_EQ(budget.ChargeEntity().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, ChecksDoNotAccumulate) {
+  ResourceLimits limits;
+  limits.max_node_count = 10;
+  limits.max_tree_depth = 5;
+  ResourceBudget budget(limits);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(budget.CheckNodeCount(10).ok());
+    EXPECT_TRUE(budget.CheckDepth(5).ok());
+  }
+  EXPECT_EQ(budget.CheckNodeCount(11).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.CheckDepth(6).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, UnlimitedNeverTrips) {
+  ResourceBudget budget(ResourceLimits::Unlimited());
+  EXPECT_TRUE(budget.ChargeInput(1u << 30).ok());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(budget.ChargeSteps(1u << 20).ok());
+    EXPECT_TRUE(budget.ChargeNodes(1u << 20).ok());
+    EXPECT_TRUE(budget.ChargeEntity().ok());
+  }
+}
+
+TEST(GuardedLexerTest, InputSizeCap) {
+  ResourceLimits limits;
+  limits.max_input_bytes = 64;
+  ResourceBudget budget(limits);
+  std::vector<HtmlToken> tokens;
+  Status status = TokenizeHtml(std::string(65, 'a'), budget, tokens);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GuardedLexerTest, EntityCap) {
+  ResourceLimits limits;
+  limits.max_entity_expansions = 10;
+  ResourceBudget budget(limits);
+  std::vector<HtmlToken> tokens;
+  Status status = TokenizeHtml(Repeat("&amp;", 11), budget, tokens);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GuardedLexerTest, CleanInputMatchesLegacy) {
+  const std::string html =
+      "<html><body><p class=\"x\">a &amp; b</p><!-- c --></body></html>";
+  ResourceBudget budget(ResourceLimits::Unlimited());
+  std::vector<HtmlToken> guarded;
+  ASSERT_TRUE(TokenizeHtml(html, budget, guarded).ok());
+  std::vector<HtmlToken> legacy = TokenizeHtml(html);
+  ASSERT_EQ(guarded.size(), legacy.size());
+  for (size_t i = 0; i < guarded.size(); ++i) {
+    EXPECT_EQ(guarded[i].type, legacy[i].type) << i;
+    EXPECT_EQ(guarded[i].text, legacy[i].text) << i;
+  }
+}
+
+TEST(GuardedParserTest, DepthCap) {
+  ResourceLimits limits;
+  limits.max_tree_depth = 16;
+  ResourceBudget budget(limits);
+  const std::string html = Repeat("<div>", 20) + "x" + Repeat("</div>", 20);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, HtmlParseOptions{}, budget);
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GuardedParserTest, NodeCap) {
+  ResourceLimits limits;
+  limits.max_node_count = 50;
+  ResourceBudget budget(limits);
+  const std::string html = Repeat("<p>x</p>", 100);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, HtmlParseOptions{}, budget);
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GuardedParserTest, DepthJustUnderCapSucceeds) {
+  ResourceLimits limits;
+  limits.max_tree_depth = 32;
+  ResourceBudget budget(limits);
+  const std::string html = Repeat("<div>", 30) + "x" + Repeat("</div>", 30);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, HtmlParseOptions{}, budget);
+  ASSERT_TRUE(tree.ok()) << tree.status().message();
+  const TreeStats stats = MeasureTree(*tree.value());
+  EXPECT_LE(stats.max_depth, 32u);
+}
+
+TEST(GuardedTidyTest, RespectsNodeCap) {
+  std::unique_ptr<Node> tree =
+      ParseHtml(Repeat("<p>x</p>", 100), HtmlParseOptions{});
+  ResourceLimits limits;
+  limits.max_node_count = 10;
+  ResourceBudget budget(limits);
+  Status status = TidyHtmlTree(tree.get(), TidyOptions{}, budget);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlReaderTest, DepthCap) {
+  XmlReadOptions options;
+  options.limits.max_tree_depth = 16;
+  const std::string xml =
+      "<r>" + Repeat("<a>", 20) + "x" + Repeat("</a>", 20) + "</r>";
+  StatusOr<std::unique_ptr<Node>> tree = ParseXml(xml, options);
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlReaderTest, InputCap) {
+  XmlReadOptions options;
+  options.limits.max_input_bytes = 32;
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseXml("<r>" + std::string(64, 'x') + "</r>", options);
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlReaderTest, SurrogateReferenceRejected) {
+  StatusOr<std::unique_ptr<Node>> tree = ParseXml("<r>&#xD800;</r>");
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(XmlReaderTest, HugeNumericReferenceRejected) {
+  // Must not wrap around uint32 back into the valid range.
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseXml("<r>&#x10000000041;</r>");
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(XmlReaderTest, DefaultLimitsAcceptNormalDocuments) {
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseXml("<r><a>1</a><b attr=\"v\">2</b></r>");
+  ASSERT_TRUE(tree.ok()) << tree.status().message();
+  EXPECT_EQ(tree.value()->name(), "r");
+}
+
+TEST(TreeStatsTest, MeasuresCountAndDepthIteratively) {
+  std::unique_ptr<Node> tree =
+      ParseHtml("<a><b><c>x</c></b><d>y</d></a>", HtmlParseOptions{});
+  const TreeStats stats = MeasureTree(*tree);
+  // #root + a + b + c + text + d + text = 7 nodes; deepest is the text
+  // under c at depth 4.
+  EXPECT_EQ(stats.node_count, 7u);
+  EXPECT_EQ(stats.max_depth, 4u);
+}
+
+class GuardedConverterTest : public ::testing::Test {
+ protected:
+  GuardedConverterTest() : recognizer_(&concepts_) {}
+
+  DocumentConverter MakeConverter(const ResourceLimits& limits) {
+    ConvertOptions options;
+    options.limits = limits;
+    return DocumentConverter(&concepts_, &recognizer_, nullptr, options);
+  }
+
+  ConceptSet concepts_;
+  SynonymRecognizer recognizer_;
+};
+
+TEST_F(GuardedConverterTest, TokensPerTextCap) {
+  ResourceLimits limits;
+  limits.max_tokens_per_text = 8;
+  DocumentConverter converter = MakeConverter(limits);
+  std::string stage;
+  StatusOr<std::unique_ptr<Node>> result = converter.TryConvert(
+      "<p>" + Repeat("word;", 20) + "</p>", nullptr, &stage);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stage, "tokenize");
+}
+
+TEST_F(GuardedConverterTest, ParseStageReported) {
+  ResourceLimits limits;
+  limits.max_tree_depth = 4;
+  DocumentConverter converter = MakeConverter(limits);
+  std::string stage;
+  StatusOr<std::unique_ptr<Node>> result = converter.TryConvert(
+      Repeat("<div>", 10) + "x" + Repeat("</div>", 10), nullptr, &stage);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stage, "parse");
+}
+
+TEST_F(GuardedConverterTest, NullTreeIsInvalidArgument) {
+  DocumentConverter converter = MakeConverter(ResourceLimits{});
+  std::string stage;
+  StatusOr<std::unique_ptr<Node>> result =
+      converter.TryConvertTree(nullptr, nullptr, &stage);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stage, "parse");
+}
+
+TEST_F(GuardedConverterTest, CleanInputConvertsUnderDefaults) {
+  DocumentConverter converter = MakeConverter(ResourceLimits{});
+  ConvertStats stats;
+  StatusOr<std::unique_ptr<Node>> result = converter.TryConvert(
+      "<html><body><h1>Resume</h1><p>John; Smith</p></body></html>", &stats);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  // The fixture's concept set is empty, so no concept nodes survive
+  // consolidation — but tokenization must have run under the guards.
+  EXPECT_GT(stats.tokens_created, 0u);
+  EXPECT_NE(result.value(), nullptr);
+}
+
+TEST(DeepTreeDestructionTest, IterativeDestructorHandlesDeepTrees) {
+  // Builds a 200k-deep linked tree directly (bypassing parse caps) and
+  // lets it go out of scope: a recursive ~Node would blow the stack.
+  std::unique_ptr<Node> root = Node::MakeElement("a");
+  Node* tip = root.get();
+  for (int i = 0; i < 200000; ++i) {
+    tip = tip->AddChild(Node::MakeElement("a"));
+  }
+  root.reset();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace webre

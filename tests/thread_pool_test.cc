@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace webre {
@@ -53,6 +54,51 @@ TEST(ThreadPoolTest, ZeroThreadsMeansHardwareDefault) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
   EXPECT_EQ(pool.num_threads(), DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, SurvivesThrowingTask) {
+  // An exception escaping a std::thread is std::terminate; the pool must
+  // absorb it, record it, and keep serving the rest of the batch.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("task exploded"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.failed_task_count(), 1u);
+  EXPECT_EQ(pool.first_failure_message(), "task exploded");
+}
+
+TEST(ThreadPoolTest, RecordsFirstFailureOfMany) {
+  ThreadPool pool(1);  // one worker => deterministic task order
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::runtime_error("second"); });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_task_count(), 2u);
+  EXPECT_EQ(pool.first_failure_message(), "first");
+}
+
+TEST(ThreadPoolTest, SurvivesNonStdException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw 42; });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_task_count(), 1u);
+  EXPECT_EQ(pool.first_failure_message(), "unknown exception");
+}
+
+TEST(ThreadPoolTest, PoolRemainsUsableAfterFailure) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Wait();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_EQ(pool.failed_task_count(), 1u);
 }
 
 TEST(ParallelForTest, CoversExactlyTheRangeOnce) {

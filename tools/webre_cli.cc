@@ -14,6 +14,20 @@
 //   --threads=N  worker threads for per-document stages
 //                (default 1 = serial; 0 = one per hardware thread)
 //
+// Fault isolation (all commands taking FILE... input):
+//   --keep-going      record per-document failures and continue (default)
+//   --no-keep-going   any failed document aborts before schema discovery
+//   --max-bytes=N     per-document input size cap
+//   --max-depth=N     parse-tree depth cap
+//   --max-nodes=N     parse-tree node-count cap
+//   --max-entities=N  entity-expansion cap
+//
+// Documents that fail are reported on stderr as one JSON object per line
+// ({"index":..,"file":..,"status":..,"stage":..,"message":..}) so batch
+// drivers can triage without parsing prose. Exit code: 0 all documents
+// converted, 2 partial failure under --keep-going, 1 total failure or
+// abort.
+//
 // The bundled domain knowledge is the paper's resume topic (24 concepts /
 // 233 instances); the library API accepts any ConceptSet for other
 // topics.
@@ -31,6 +45,7 @@
 #include "repository/repository.h"
 #include "restructure/recognizer.h"
 #include "util/file.h"
+#include "util/resource_limits.h"
 #include "xml/writer.h"
 
 namespace {
@@ -41,6 +56,8 @@ struct CliOptions {
   std::string root = "resume";
   bool attlist = false;
   size_t threads = 1;
+  bool keep_going = true;
+  webre::ResourceLimits limits;
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -59,6 +76,22 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
           static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--attlist") {
       options.attlist = true;
+    } else if (arg == "--keep-going") {
+      options.keep_going = true;
+    } else if (arg == "--no-keep-going") {
+      options.keep_going = false;
+    } else if (arg.rfind("--max-bytes=", 0) == 0) {
+      options.limits.max_input_bytes =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--max-depth=", 0) == 0) {
+      options.limits.max_tree_depth =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--max-nodes=", 0) == 0) {
+      options.limits.max_node_count =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--max-entities=", 0) == 0) {
+      options.limits.max_entity_expansions =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 15, nullptr, 10));
     } else {
       options.args.push_back(std::move(arg));
     }
@@ -82,6 +115,84 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// Minimal JSON string escaping for the error summary lines.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Prints one JSON line per failed document to stderr and returns the
+// process exit code for the batch: 0 all ok, 2 partial failure with
+// keep-going, 1 aborted (or everything failed).
+int ReportOutcomes(const webre::PipelineResult& result,
+                   const std::vector<std::string>& files) {
+  for (const webre::DocumentOutcome& outcome : result.outcomes) {
+    if (outcome.ok()) continue;
+    const std::string& file =
+        outcome.index < files.size() ? files[outcome.index] : std::string();
+    std::fprintf(stderr,
+                 "{\"index\":%zu,\"file\":\"%s\",\"status\":\"%s\","
+                 "\"stage\":\"%s\",\"message\":\"%s\"}\n",
+                 outcome.index, EscapeJson(file).c_str(),
+                 webre::DocumentStatusName(outcome.status),
+                 EscapeJson(outcome.stage).c_str(),
+                 EscapeJson(outcome.message).c_str());
+  }
+  if (result.aborted) {
+    std::fprintf(stderr, "webre: aborted: %zu/%zu documents failed\n",
+                 result.failed_documents, result.outcomes.size());
+    return 1;
+  }
+  if (result.failed_documents == 0) return 0;
+  std::fprintf(stderr, "webre: %zu/%zu documents failed; continuing\n",
+               result.failed_documents, result.outcomes.size());
+  return result.failed_documents == result.outcomes.size() ? 1 : 2;
+}
+
+webre::Pipeline MakePipeline(const Domain& domain,
+                             const CliOptions& options,
+                             bool map_documents = false) {
+  webre::PipelineOptions pipeline_options;
+  pipeline_options.convert.root_name = options.root;
+  pipeline_options.mining.sup_threshold = options.sup;
+  pipeline_options.mining.ratio_threshold = options.ratio;
+  pipeline_options.dtd.mark_optional = map_documents;
+  pipeline_options.map_documents = map_documents;
+  pipeline_options.parallel.num_threads = options.threads;
+  pipeline_options.limits = options.limits;
+  pipeline_options.keep_going = options.keep_going;
+  return webre::Pipeline(&domain.concepts, &domain.recognizer,
+                         &domain.constraints, pipeline_options);
+}
+
 // Reads every file (or fails loudly); empty list is an error.
 bool ReadPages(const std::vector<std::string>& paths,
                std::vector<std::string>& pages) {
@@ -100,37 +211,45 @@ bool ReadPages(const std::vector<std::string>& paths,
   return true;
 }
 
-webre::Pipeline MakePipeline(const Domain& domain,
-                             const CliOptions& options,
-                             bool map_documents = false) {
-  webre::PipelineOptions pipeline_options;
-  pipeline_options.convert.root_name = options.root;
-  pipeline_options.mining.sup_threshold = options.sup;
-  pipeline_options.mining.ratio_threshold = options.ratio;
-  pipeline_options.dtd.mark_optional = map_documents;
-  pipeline_options.map_documents = map_documents;
-  pipeline_options.parallel.num_threads = options.threads;
-  return webre::Pipeline(&domain.concepts, &domain.recognizer,
-                         &domain.constraints, pipeline_options);
-}
-
 int CmdConvert(const CliOptions& options) {
   std::vector<std::string> pages;
   if (!ReadPages(options.args, pages)) return 1;
   Domain domain;
   webre::ConvertOptions convert;
   convert.root_name = options.root;
+  convert.limits = options.limits;
   webre::DocumentConverter converter(&domain.concepts, &domain.recognizer,
                                      &domain.constraints, convert);
+  size_t failed = 0;
   for (size_t i = 0; i < pages.size(); ++i) {
     webre::ConvertStats stats;
-    auto xml = converter.Convert(pages[i], &stats);
+    std::string stage;
+    webre::StatusOr<std::unique_ptr<webre::Node>> xml =
+        converter.TryConvert(pages[i], &stats, &stage);
+    if (!xml.ok()) {
+      ++failed;
+      std::fprintf(stderr,
+                   "{\"index\":%zu,\"file\":\"%s\",\"status\":\"%s\","
+                   "\"stage\":\"%s\",\"message\":\"%s\"}\n",
+                   i, EscapeJson(options.args[i]).c_str(),
+                   xml.status().code() ==
+                           webre::StatusCode::kResourceExhausted
+                       ? "limit_exceeded"
+                       : "convert_error",
+                   EscapeJson(stage).c_str(),
+                   EscapeJson(xml.status().message()).c_str());
+      if (!options.keep_going) return 1;
+      continue;
+    }
     std::printf("<!-- %s: %zu concept nodes, %.0f%% tokens identified -->\n",
                 options.args[i].c_str(), stats.concept_nodes,
                 100.0 * stats.instance.IdentifiedRatio());
-    std::printf("%s", webre::WriteXml(*xml).c_str());
+    std::printf("%s", webre::WriteXml(*xml.value()).c_str());
   }
-  return 0;
+  if (failed == 0) return 0;
+  std::fprintf(stderr, "webre: %zu/%zu documents failed\n", failed,
+               pages.size());
+  return failed == pages.size() ? 1 : 2;
 }
 
 int CmdDiscover(const CliOptions& options) {
@@ -139,14 +258,17 @@ int CmdDiscover(const CliOptions& options) {
   Domain domain;
   webre::PipelineResult result =
       MakePipeline(domain, options).Run(pages);
+  const int code = ReportOutcomes(result, options.args);
+  if (result.aborted) return code;
+  const size_t converted = pages.size() - result.failed_documents;
   std::printf("majority schema (%zu frequent paths from %zu documents):\n%s",
-              result.schema.NodeCount(), pages.size(),
+              result.schema.NodeCount(), converted,
               result.schema.ToString().c_str());
   std::printf("\nDTD:\n%s",
               result.dtd.ToString(options.attlist).c_str());
   std::printf("\n%zu/%zu documents conform as converted\n",
-              result.conforming_before, pages.size());
-  return 0;
+              result.conforming_before, converted);
+  return code;
 }
 
 int CmdMap(const CliOptions& options) {
@@ -155,14 +277,18 @@ int CmdMap(const CliOptions& options) {
   Domain domain;
   webre::PipelineResult result =
       MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+  const int code = ReportOutcomes(result, options.args);
+  if (result.aborted) return code;
   for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
+    if (result.mapped_documents[i] == nullptr) continue;  // failed doc
     std::printf("<!-- %s (mapped) -->\n%s", options.args[i].c_str(),
                 webre::WriteXml(*result.mapped_documents[i]).c_str());
   }
+  const size_t converted = pages.size() - result.failed_documents;
   std::fprintf(stderr, "webre: %zu/%zu conform before, %zu/%zu after\n",
-               result.conforming_before, pages.size(),
-               result.conforming_after, pages.size());
-  return 0;
+               result.conforming_before, converted,
+               result.conforming_after, converted);
+  return code;
 }
 
 int CmdQuery(const CliOptions& options) {
@@ -178,19 +304,27 @@ int CmdQuery(const CliOptions& options) {
   Domain domain;
   webre::PipelineResult result =
       MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+  const int code = ReportOutcomes(result, paths);
+  if (result.aborted) return code;
   webre::XmlRepository repo;
-  for (auto& doc : result.mapped_documents) {
-    repo.Add(std::move(doc)).value();
+  // The repository is packed with surviving documents only, so repo doc
+  // ids must be mapped back to input paths.
+  std::vector<size_t> repo_to_input;
+  for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
+    if (result.mapped_documents[i] == nullptr) continue;  // failed doc
+    repo.Add(std::move(result.mapped_documents[i])).value();
+    repo_to_input.push_back(i);
   }
   auto matches = repo.Query(query);
   if (!matches.ok()) return Fail(matches.status().ToString());
   for (const webre::QueryMatch& match : *matches) {
-    std::printf("%s: <%s val=\"%s\">\n", paths[match.doc].c_str(),
+    std::printf("%s: <%s val=\"%s\">\n",
+                paths[repo_to_input[match.doc]].c_str(),
                 match.node->name().c_str(),
                 std::string(match.node->val()).c_str());
   }
   std::fprintf(stderr, "webre: %zu matches\n", matches->size());
-  return 0;
+  return code;
 }
 
 int CmdDemo(const CliOptions& options) {
@@ -223,7 +357,11 @@ void Usage() {
       "  map FILE...           conform documents to the discovered DTD\n"
       "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
       "  demo [N]              end-to-end run on N generated resumes\n"
-      "options: --sup=F --ratio=F --root=NAME --attlist --threads=N\n");
+      "options: --sup=F --ratio=F --root=NAME --attlist --threads=N\n"
+      "         --keep-going | --no-keep-going\n"
+      "         --max-bytes=N --max-depth=N --max-nodes=N --max-entities=N\n"
+      "failed documents are reported as JSON lines on stderr;\n"
+      "exit 0 = all ok, 2 = partial failure (keep-going), 1 = abort\n");
 }
 
 }  // namespace
