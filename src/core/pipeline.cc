@@ -16,6 +16,8 @@ PipelineOptions WithLimitsApplied(PipelineOptions options) {
   return options;
 }
 
+}  // namespace
+
 DocumentStatus StatusToDocumentStatus(const Status& status) {
   switch (status.code()) {
     case StatusCode::kResourceExhausted:
@@ -26,8 +28,6 @@ DocumentStatus StatusToDocumentStatus(const Status& status) {
       return DocumentStatus::kConvertError;
   }
 }
-
-}  // namespace
 
 const char* DocumentStatusName(DocumentStatus status) {
   switch (status) {

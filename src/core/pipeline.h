@@ -60,6 +60,11 @@ enum class DocumentStatus {
 /// Stable lower_snake name for `status` (e.g. "limit_exceeded").
 const char* DocumentStatusName(DocumentStatus status);
 
+/// Canonical Status-code → DocumentStatus mapping, shared by the
+/// pipeline and the CLI so the machine-readable status string for a
+/// given failure is identical across commands.
+DocumentStatus StatusToDocumentStatus(const Status& status);
+
 /// Per-document fate record. Healthy documents get {kOk, "", "", i};
 /// failed documents name the stage that gave up ("parse", "tidy",
 /// "tokenize", "rules", "extract", "validate", "map") and carry the

@@ -37,7 +37,9 @@ class TreeBuilder {
             // Comments are represented as elements named "#comment" so
             // the shared tree model needs no extra node type; the
             // restructuring pipeline deletes them like any other
-            // non-concept markup.
+            // non-concept markup. The nested text node is the deepest
+            // part, at stack_.size() + 1.
+            WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(stack_.size() + 1));
             WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(2));
             Node* node = Top()->AddElement("#comment");
             node->AddText(std::move(token.text));
@@ -71,6 +73,10 @@ class TreeBuilder {
       last->set_text(std::move(merged));
       return Status::Ok();
     }
+    // A new text child sits one level below Top(), i.e. at depth
+    // stack_.size(); charge it against the depth cap so the returned
+    // tree's MeasureTree depth never exceeds max_tree_depth.
+    WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(stack_.size()));
     WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
     top->AddText(std::move(text));
     return Status::Ok();

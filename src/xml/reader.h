@@ -20,7 +20,15 @@ struct XmlReadOptions {
   /// Resource guards: element nesting is parsed recursively, so
   /// max_tree_depth bounds the parser's own stack; max_input_bytes,
   /// max_node_count and max_entity_expansions bound memory. Exceeding
-  /// any cap is a kResourceExhausted error. The defaults admit every
+  /// any cap is a kResourceExhausted error.
+  ///
+  /// Deliberately enforcing by default, unlike the legacy
+  /// ParseHtml/TokenizeHtml overloads (which stay unlimited): the HTML
+  /// tree builder is iterative, so an unguarded call merely uses memory,
+  /// but ParseXml recurses per nesting level and an unlimited default
+  /// would leave a stack-overflow hole. Callers that accepted huge or
+  /// deep XML before the guards existed must opt out explicitly with
+  /// `limits = ResourceLimits::Unlimited()`. The defaults admit every
   /// realistic document.
   ResourceLimits limits;
 };

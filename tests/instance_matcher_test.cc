@@ -20,9 +20,17 @@ namespace {
 std::string Describe(const std::vector<InstanceMatch>& matches) {
   std::string out;
   for (const InstanceMatch& m : matches) {
-    out += "[" + std::to_string(m.concept_index) + " " +
-           std::string(m.concept_name) + " @" + std::to_string(m.position) +
-           "+" + std::to_string(m.length) + "]";
+    // Separate appends: GCC 12 -O2 flags the equivalent operator+ chain
+    // with -Werror=restrict.
+    out += '[';
+    out += std::to_string(m.concept_index);
+    out += ' ';
+    out += m.concept_name;
+    out += " @";
+    out += std::to_string(m.position);
+    out += '+';
+    out += std::to_string(m.length);
+    out += ']';
   }
   return out;
 }

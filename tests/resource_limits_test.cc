@@ -159,6 +159,36 @@ TEST(GuardedParserTest, DepthJustUnderCapSucceeds) {
   EXPECT_LE(stats.max_depth, 32u);
 }
 
+// The documented invariant is MeasureTree depth, which counts text and
+// #comment children too: an element at exactly max_tree_depth must not
+// smuggle in a child one level deeper, or the guarded TidyHtmlTree
+// would reject a tree the parser just accepted.
+TEST(GuardedParserTest, TextAtExactCapChargedAgainstDepth) {
+  ResourceLimits limits;
+  limits.max_tree_depth = 3;
+  ResourceBudget budget(limits);
+  // html(0) > div(1) > div(2) > div(3) > text(4): the divs fit the cap
+  // but the text child is one deeper, so the parse must fail.
+  const std::string html = Repeat("<div>", 3) + "x" + Repeat("</div>", 3);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, HtmlParseOptions{}, budget);
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GuardedParserTest, AcceptedTreeSatisfiesTidyDepthCheck) {
+  ResourceLimits limits;
+  limits.max_tree_depth = 4;
+  ResourceBudget budget(limits);
+  const std::string html = Repeat("<div>", 3) + "x" + Repeat("</div>", 3);
+  StatusOr<std::unique_ptr<Node>> tree =
+      ParseHtml(html, HtmlParseOptions{}, budget);
+  ASSERT_TRUE(tree.ok()) << tree.status().message();
+  EXPECT_LE(MeasureTree(*tree.value()).max_depth, 4u);
+  // A fresh budget with the same limits accepts what the parser emitted.
+  ResourceBudget tidy_budget(limits);
+  EXPECT_TRUE(TidyHtmlTree(tree.value().get(), TidyOptions{}, tidy_budget).ok());
+}
+
 TEST(GuardedTidyTest, RespectsNodeCap) {
   std::unique_ptr<Node> tree =
       ParseHtml(Repeat("<p>x</p>", 100), HtmlParseOptions{});

@@ -232,10 +232,8 @@ int CmdConvert(const CliOptions& options) {
                    "{\"index\":%zu,\"file\":\"%s\",\"status\":\"%s\","
                    "\"stage\":\"%s\",\"message\":\"%s\"}\n",
                    i, EscapeJson(options.args[i]).c_str(),
-                   xml.status().code() ==
-                           webre::StatusCode::kResourceExhausted
-                       ? "limit_exceeded"
-                       : "convert_error",
+                   webre::DocumentStatusName(
+                       webre::StatusToDocumentStatus(xml.status())),
                    EscapeJson(stage).c_str(),
                    EscapeJson(xml.status().message()).c_str());
       if (!options.keep_going) return 1;
