@@ -20,6 +20,8 @@
 #include "concepts/resume_domain.h"
 #include "core/pipeline.h"
 #include "corpus/resume_generator.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "html/parser.h"
 #include "html/tidy.h"
 #include "restructure/converter.h"
@@ -56,14 +58,21 @@ struct PipelineTiming {
   double docs_per_sec = 0.0;
 };
 
-// Best-of-3 end-to-end Pipeline::Run over `pages`.
+// Best-of-3 end-to-end Pipeline::Run over `pages`. Optional metrics /
+// trace sinks measure the observability overhead (DESIGN.md §10): the
+// instrumented run does everything the plain run does *plus* span
+// recording and trace collection.
 PipelineTiming TimePipeline(const webre::ConceptSet& concepts,
                             const webre::ConceptRecognizer& recognizer,
                             const webre::ConstraintSet& constraints,
                             const std::vector<std::string>& pages,
-                            size_t threads) {
+                            size_t threads,
+                            webre::obs::PipelineMetrics* metrics = nullptr,
+                            webre::obs::TraceCollector* trace = nullptr) {
   webre::PipelineOptions options;
   options.parallel.num_threads = threads;
+  options.metrics = metrics;
+  options.trace = trace;
   webre::Pipeline pipeline(&concepts, &recognizer, &constraints, options);
   double best = 1e18;
   for (int round = 0; round < 3; ++round) {
@@ -204,6 +213,65 @@ int main() {
               pipeline_speedup, webre::DefaultThreadCount());
 
   // -------------------------------------------------------------------
+  // Observability: per-stage breakdown of one instrumented run, and the
+  // cost of instrumentation (metrics + trace on vs. off, same corpus).
+  // The two arms are interleaved round-robin and each takes its own
+  // minimum, so clock-speed drift and noisy neighbours hit both equally
+  // instead of biasing whichever arm ran later (DESIGN.md §10).
+  double plain_best = 1e18;
+  double observed_best = 1e18;
+  {
+    webre::PipelineOptions plain_options;
+    plain_options.parallel.num_threads = 1;
+    webre::Pipeline plain(&concepts, &recognizer, &constraints,
+                          plain_options);
+    for (int round = 0; round < 7; ++round) {
+      // Each arm's result lives in its own scope so its (substantial)
+      // destruction never lands inside the other arm's timed region.
+      {
+        const double start = Now();
+        webre::PipelineResult result = plain.Run(corpus);
+        plain_best = std::min(plain_best, Now() - start);
+        if (result.schema.empty()) std::fprintf(stderr, "empty schema?!\n");
+      }
+      {
+        webre::obs::PipelineMetrics round_metrics;
+        webre::obs::TraceCollector round_trace;
+        webre::PipelineOptions observed_options;
+        observed_options.parallel.num_threads = 1;
+        observed_options.metrics = &round_metrics;
+        observed_options.trace = &round_trace;
+        webre::Pipeline observed(&concepts, &recognizer, &constraints,
+                                 observed_options);
+        const double start = Now();
+        webre::PipelineResult result = observed.Run(corpus);
+        observed_best = std::min(observed_best, Now() - start);
+        if (result.schema.empty()) std::fprintf(stderr, "empty schema?!\n");
+      }
+    }
+  }
+  const double overhead_pct = (observed_best / plain_best - 1.0) * 100.0;
+
+  // One instrumented parallel run for the per-stage breakdown.
+  webre::obs::PipelineMetrics parallel_metrics;
+  TimePipeline(concepts, recognizer, constraints, corpus, parallel_threads,
+               &parallel_metrics);
+  const webre::obs::PipelineMetricsSnapshot stage_snapshot =
+      parallel_metrics.Snapshot();
+
+  std::printf("\n== observability (metrics + trace on) ==\n");
+  std::printf("overhead (serial, interleaved best-of-7): %+.2f%% "
+              "(%.1f ms -> %.1f ms)\n",
+              overhead_pct, plain_best * 1e3, observed_best * 1e3);
+  std::printf("per-stage wall time, %zu threads (3 rounds summed):\n",
+              parallel_threads);
+  for (const webre::obs::StageSnapshot& stage : stage_snapshot.stages) {
+    if (stage.calls == 0) continue;
+    std::printf("  %-12s %10.2f ms (%zu calls)\n", stage.name,
+                stage.wall_ms(), static_cast<size_t>(stage.calls));
+  }
+
+  // -------------------------------------------------------------------
   // Matcher micro-bench: MatchAll (automaton) vs MatchAllNaive on the
   // real token workload of 200 documents.
   const std::vector<std::string> workload = MatcherWorkload(200);
@@ -276,7 +344,7 @@ int main() {
                "    \"naive_us_per_text\": %.4f,\n"
                "    \"automaton_us_per_text\": %.4f,\n"
                "    \"speedup\": %.3f\n"
-               "  }\n",
+               "  },\n",
                concepts.TotalInstanceCount(),
                concepts.matcher()->pattern_count(),
                concepts.matcher()->state_count(), workload.size(),
@@ -284,6 +352,24 @@ int main() {
                automaton_seconds * 1e6 /
                    static_cast<double>(workload.size()),
                matcher_speedup);
+  std::fprintf(json,
+               "  \"observability\": {\n"
+               "    \"serial_overhead_pct\": %.3f,\n"
+               "    \"plain_seconds\": %.6f,\n"
+               "    \"observed_seconds\": %.6f,\n"
+               "    \"stages\": [\n",
+               overhead_pct, plain_best, observed_best);
+  bool first_stage = true;
+  for (const webre::obs::StageSnapshot& stage : stage_snapshot.stages) {
+    if (stage.calls == 0) continue;
+    std::fprintf(json,
+                 "%s      {\"name\": \"%s\", \"calls\": %zu, "
+                 "\"wall_ms\": %.3f}",
+                 first_stage ? "" : ",\n", stage.name,
+                 static_cast<size_t>(stage.calls), stage.wall_ms());
+    first_stage = false;
+  }
+  std::fprintf(json, "\n    ]\n  }\n");
   std::fprintf(json, "}\n");
   std::fclose(json);
   std::printf("\nwrote BENCH_scalability.json\n");

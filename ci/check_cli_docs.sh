@@ -1,0 +1,58 @@
+#!/bin/sh
+# Fails when the CLI and its documentation disagree about the flag set.
+#
+#   usage: check_cli_docs.sh <path-to-webre-binary> <path-to-CLI.md>
+#
+# Both `webre help` and docs/CLI.md are reduced to their sets of
+# `--flag` tokens; any flag present on one side and missing on the
+# other fails the check. Run as a ctest (docs_cli_consistency), so an
+# undocumented flag — or documentation for a flag that no longer
+# exists — breaks the default test suite instead of rotting silently.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <webre-binary> <CLI.md>" >&2
+  exit 64
+fi
+
+webre_bin="$1"
+cli_md="$2"
+
+if [ ! -x "$webre_bin" ]; then
+  echo "FAIL: webre binary not executable: $webre_bin" >&2
+  exit 1
+fi
+if [ ! -r "$cli_md" ]; then
+  echo "FAIL: CLI reference not readable: $cli_md" >&2
+  exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# `grep -o` finds every --flag occurrence; sort -u collapses repeats.
+# The pattern requires a letter after "--" so prose em-dashes and bare
+# "--" separators never count as flags.
+"$webre_bin" help | grep -o -- '--[a-z][a-z-]*' | sort -u \
+  > "$tmpdir/from_help"
+grep -o -- '--[a-z][a-z-]*' "$cli_md" | sort -u > "$tmpdir/from_docs"
+
+status=0
+undocumented="$(comm -23 "$tmpdir/from_help" "$tmpdir/from_docs")"
+if [ -n "$undocumented" ]; then
+  echo "FAIL: flags in 'webre help' but missing from $cli_md:" >&2
+  echo "$undocumented" >&2
+  status=1
+fi
+phantom="$(comm -13 "$tmpdir/from_help" "$tmpdir/from_docs")"
+if [ -n "$phantom" ]; then
+  echo "FAIL: flags documented in $cli_md but absent from 'webre help':" >&2
+  echo "$phantom" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  count="$(wc -l < "$tmpdir/from_help")"
+  echo "OK: $count flags consistent between 'webre help' and $cli_md"
+fi
+exit "$status"

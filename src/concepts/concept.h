@@ -48,6 +48,10 @@ struct InstanceMatch {
   size_t position = 0;
   /// Byte length of the matched text.
   size_t length = 0;
+  /// True when the match came from the Bayes classifier rather than
+  /// synonym/shape matching (observability: the per-rule counters split
+  /// identified tokens by recognizer, §2.3.1's two strategies).
+  bool via_bayes = false;
 };
 
 /// The set `Con` of topic concepts provided by the user (§2.2).

@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "core/telemetry.h"
+#include "obs/metrics.h"
 #include "schema/path_extractor.h"
 #include "xml/dtd_validator.h"
 
@@ -10,9 +12,14 @@ namespace webre {
 namespace {
 
 // Copies the pipeline-level limits into the converter options so one
-// knob governs the whole stack.
+// knob governs the whole stack, and arms span recording whenever a
+// metrics/trace sink is attached (the converter is where the stage
+// intervals are measured).
 PipelineOptions WithLimitsApplied(PipelineOptions options) {
   options.convert.limits = options.limits;
+  if (options.metrics != nullptr || options.trace != nullptr) {
+    options.convert.record_stage_spans = true;
+  }
   return options;
 }
 
@@ -79,6 +86,25 @@ PipelineResult Pipeline::Run(
     }
   };
 
+  // Observability sinks. The hot per-node accounting lives in lock-free
+  // counters; here we only take a handful of timestamps per document.
+  // Outcome bookkeeping is deferred to FinalizeObservability so message
+  // order is the input order regardless of thread count.
+  obs::PipelineMetrics* metrics = options_.metrics;
+  obs::TraceCollector* trace = options_.trace;
+  const bool observing = metrics != nullptr || trace != nullptr;
+  auto finalize_observability = [&]() {
+    if (metrics == nullptr) return;
+    for (const DocumentOutcome& outcome : result.outcomes) {
+      metrics->RecordOutcome(DocumentStatusName(outcome.status),
+                             outcome.stage, outcome.message);
+    }
+    metrics->SetAborted(result.aborted);
+    if (pool != nullptr) {
+      metrics->RecordWorkerFailures(pool->failure_messages());
+    }
+  };
+
   // Stage 1 — conversion. Each page is converted and path-extracted
   // independently on the pool under the per-document resource guards
   // and an exception barrier: a pathological page writes one error
@@ -90,8 +116,9 @@ PipelineResult Pipeline::Run(
   run_stage([&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       DocumentOutcome& outcome = result.outcomes[i];
+      ConvertStats stats;
+      const double doc_begin = observing ? obs::MonotonicSeconds() : 0.0;
       try {
-        ConvertStats stats;
         std::string stage;
         StatusOr<std::unique_ptr<Node>> converted =
             converter_.TryConvert(html_pages[i], &stats, &stage);
@@ -99,11 +126,26 @@ PipelineResult Pipeline::Run(
           outcome.status = StatusToDocumentStatus(converted.status());
           outcome.stage = std::move(stage);
           outcome.message = converted.status().message();
-          continue;
+        } else {
+          result.documents[i] = std::move(converted).value();
+          result.convert_stats[i] = stats;
+          const double extract_begin =
+              observing ? obs::MonotonicSeconds() : 0.0;
+          extracted[i] = ExtractPaths(*result.documents[i]);
+          if (observing) {
+            const double extract_end = obs::MonotonicSeconds();
+            if (metrics != nullptr) {
+              metrics->RecordStage(
+                  obs::PipelineStage::kExtract,
+                  static_cast<uint64_t>((extract_end - extract_begin) * 1e9),
+                  stats.concept_nodes, extracted[i].paths.size());
+            }
+            if (trace != nullptr) {
+              trace->AddSpan("extract", "stage", extract_begin, extract_end,
+                             i);
+            }
+          }
         }
-        result.documents[i] = std::move(converted).value();
-        result.convert_stats[i] = stats;
-        extracted[i] = ExtractPaths(*result.documents[i]);
       } catch (const std::exception& e) {
         outcome.status = DocumentStatus::kConvertError;
         outcome.stage = "extract";
@@ -117,6 +159,20 @@ PipelineResult Pipeline::Run(
         result.documents[i] = nullptr;
         extracted[i] = DocumentPaths{};
       }
+      if (observing) {
+        // Failed documents still contribute: their spans cover the
+        // stages completed before the failure.
+        const double doc_end = obs::MonotonicSeconds();
+        if (metrics != nullptr) {
+          RecordConvertMetrics(*metrics, stats);
+          metrics->convert_us.Record(
+              static_cast<uint64_t>((doc_end - doc_begin) * 1e6));
+        }
+        if (trace != nullptr) {
+          EmitConvertTrace(*trace, stats, i);
+          trace->AddSpan("document", "doc", doc_begin, doc_end, i);
+        }
+      }
     }
   });
   for (const DocumentOutcome& outcome : result.outcomes) {
@@ -127,18 +183,36 @@ PipelineResult Pipeline::Run(
     // Outcomes are complete (every conversion ran), but the batch is
     // declared failed before discovery.
     result.aborted = true;
+    finalize_observability();
     return result;
   }
 
   // Stage 2 — discovery (serial: one fold over the accumulated trie).
   // Only surviving documents take part, so one bad page cannot skew
   // support counts with an empty path set.
+  const double discover_begin = observing ? obs::MonotonicSeconds() : 0.0;
+  size_t documents_folded = 0;
   for (size_t i = 0; i < count; ++i) {
-    if (result.outcomes[i].ok()) miner.AddDocumentPaths(extracted[i]);
+    if (result.outcomes[i].ok()) {
+      miner.AddDocumentPaths(extracted[i]);
+      ++documents_folded;
+    }
   }
   result.schema = miner.Discover();
   result.mining_stats = miner.stats();
   result.dtd = BuildDtd(result.schema, options_.dtd);
+  if (observing) {
+    const double discover_end = obs::MonotonicSeconds();
+    if (metrics != nullptr) {
+      metrics->RecordStage(
+          obs::PipelineStage::kDiscover,
+          static_cast<uint64_t>((discover_end - discover_begin) * 1e9),
+          documents_folded, result.schema.NodeCount());
+    }
+    if (trace != nullptr) {
+      trace->AddSpan("discover", "batch", discover_begin, discover_end);
+    }
+  }
 
   // Stage 3 — per-document validation and optional mapping, again
   // fanned out with results stored by input index. Failed documents
@@ -154,13 +228,41 @@ PipelineResult Pipeline::Run(
       const char* stage = "validate";
       try {
         const Node& doc = *result.documents[i];
+        const double validate_begin =
+            observing ? obs::MonotonicSeconds() : 0.0;
         conforms_before[i] = ConformsToDtd(doc, result.dtd) ? 1 : 0;
+        if (observing) {
+          const double validate_end = obs::MonotonicSeconds();
+          if (metrics != nullptr) {
+            metrics->RecordStage(
+                obs::PipelineStage::kValidate,
+                static_cast<uint64_t>((validate_end - validate_begin) * 1e9),
+                1, conforms_before[i]);
+          }
+          if (trace != nullptr) {
+            trace->AddSpan("validate", "stage", validate_begin, validate_end,
+                           i);
+          }
+        }
         if (options_.map_documents) {
           stage = "map";
+          const double map_begin = observing ? obs::MonotonicSeconds() : 0.0;
           ConformResult mapped =
               ConformToSchema(doc, result.schema, result.dtd);
           conforms_after[i] = mapped.report.conforms ? 1 : 0;
           result.mapped_documents[i] = std::move(mapped.document);
+          if (observing) {
+            const double map_end = obs::MonotonicSeconds();
+            if (metrics != nullptr) {
+              metrics->RecordStage(
+                  obs::PipelineStage::kMap,
+                  static_cast<uint64_t>((map_end - map_begin) * 1e9), 1,
+                  conforms_after[i]);
+            }
+            if (trace != nullptr) {
+              trace->AddSpan("map", "stage", map_begin, map_end, i);
+            }
+          }
         }
       } catch (const std::exception& e) {
         outcome.status = DocumentStatus::kConvertError;
@@ -186,6 +288,7 @@ PipelineResult Pipeline::Run(
   for (const DocumentOutcome& outcome : result.outcomes) {
     if (!outcome.ok()) ++result.failed_documents;
   }
+  finalize_observability();
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include "concepts/concept.h"
 #include "concepts/constraints.h"
 #include "mapping/document_mapper.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "restructure/converter.h"
 #include "restructure/recognizer.h"
 #include "schema/dtd_builder.h"
@@ -42,6 +44,17 @@ struct PipelineOptions {
   /// but a batch with any failure stops before discovery — the result
   /// carries empty schema/DTD and `aborted = true`.
   bool keep_going = true;
+  /// When non-null, batch metrics accumulate here (borrowed; must
+  /// outlive the Run call): per-stage wall time and item counts, rule
+  /// counters, budget consumption, the document-outcome taxonomy and
+  /// the per-document latency histogram. Every counter is byte-identical
+  /// across thread counts; only wall times vary. Setting this turns on
+  /// `convert.record_stage_spans` automatically.
+  obs::PipelineMetrics* metrics = nullptr;
+  /// When non-null, per-stage spans are emitted here (borrowed) for
+  /// Chrome trace_event export — one lane per worker thread. Also turns
+  /// on `convert.record_stage_spans`.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// How one input document fared, for the machine-readable error summary.

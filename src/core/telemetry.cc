@@ -1,0 +1,54 @@
+#include "core/telemetry.h"
+
+namespace webre {
+
+void RecordConvertMetrics(obs::PipelineMetrics& metrics,
+                          const ConvertStats& stats) {
+  for (const ConvertStageSpan& span : stats.stage_spans) {
+    metrics.RecordStage(
+        span.stage,
+        static_cast<uint64_t>((span.end_seconds - span.begin_seconds) * 1e9),
+        span.items_in, span.items_out);
+  }
+
+  metrics.tokenize.tokens_emitted.Add(stats.tokens_created);
+  metrics.instance.tokens_total.Add(stats.instance.tokens_total);
+  metrics.instance.tokens_identified.Add(stats.instance.tokens_identified);
+  metrics.instance.tokens_via_synonym.Add(stats.instance.tokens_via_synonym);
+  metrics.instance.tokens_via_bayes.Add(stats.instance.tokens_via_bayes);
+  metrics.instance.elements_created.Add(stats.instance.elements_created);
+  metrics.instance.segments_vetoed.Add(stats.instance.segments_vetoed);
+  metrics.grouping.groups_formed.Add(stats.groups_created);
+  metrics.consolidation.nodes_deleted.Add(stats.consolidation.nodes_deleted);
+  metrics.consolidation.nodes_pushed_up.Add(
+      stats.consolidation.nodes_pushed_up);
+  metrics.consolidation.nodes_replaced.Add(
+      stats.consolidation.nodes_replaced);
+  metrics.consolidation.replacements_vetoed.Add(
+      stats.consolidation.replacements_vetoed);
+
+  metrics.budget.steps_used.Add(stats.budget_steps_used);
+  metrics.budget.nodes_used.Add(stats.budget_nodes_used);
+  metrics.budget.entities_used.Add(stats.budget_entities_used);
+  metrics.budget.max_steps_one_doc.Record(stats.budget_steps_used);
+  metrics.budget.max_nodes_one_doc.Record(stats.budget_nodes_used);
+  metrics.budget.max_entities_one_doc.Record(stats.budget_entities_used);
+}
+
+void EmitConvertTrace(obs::TraceCollector& trace, const ConvertStats& stats,
+                      size_t doc_index) {
+  for (const ConvertStageSpan& span : stats.stage_spans) {
+    trace.AddSpan(obs::PipelineStageName(span.stage), "stage",
+                  span.begin_seconds, span.end_seconds, doc_index);
+  }
+}
+
+obs::BudgetLimitsView ToBudgetLimitsView(const ResourceLimits& limits) {
+  obs::BudgetLimitsView view;
+  view.max_steps = limits.max_steps;
+  view.max_nodes = limits.max_node_count;
+  view.max_entities = limits.max_entity_expansions;
+  return view;
+}
+
+}  // namespace webre

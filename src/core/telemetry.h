@@ -1,0 +1,34 @@
+#ifndef WEBRE_CORE_TELEMETRY_H_
+#define WEBRE_CORE_TELEMETRY_H_
+
+#include <cstddef>
+
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
+#include "restructure/converter.h"
+#include "util/resource_limits.h"
+
+namespace webre {
+
+/// Folds one document's ConvertStats into batch metrics: every recorded
+/// stage span becomes a stage call (wall time + item counts), the rule
+/// stats become rule counters, and the budget consumption feeds the
+/// totals and per-document maxima. Works for failed documents too — the
+/// spans then cover only the stages completed before the failure.
+/// Lock-free; safe to call concurrently from pipeline workers.
+void RecordConvertMetrics(obs::PipelineMetrics& metrics,
+                          const ConvertStats& stats);
+
+/// Emits one Chrome trace span per recorded stage on the calling
+/// thread's lane, tagged with the document index. The caller is
+/// responsible for any umbrella "document" span (it knows the full
+/// interval including extraction).
+void EmitConvertTrace(obs::TraceCollector& trace, const ConvertStats& stats,
+                      size_t doc_index);
+
+/// Budget caps in the form MetricsToJson wants for headroom reporting.
+obs::BudgetLimitsView ToBudgetLimitsView(const ResourceLimits& limits);
+
+}  // namespace webre
+
+#endif  // WEBRE_CORE_TELEMETRY_H_

@@ -1,0 +1,64 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+
+namespace webre {
+namespace obs {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return id;
+}
+
+void Histogram::Record(uint64_t v) {
+  // bucket[0] holds zeros; value v > 0 lands in bucket bit_width(v), so
+  // bucket[i] spans [2^(i-1), 2^i - 1]. bit_width(uint64) <= 64 would
+  // overflow kBuckets only for v with the top bit set; clamp.
+  const size_t bucket = v == 0 ? 0 : std::min<size_t>(std::bit_width(v),
+                                                      kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t current = min_.load(std::memory_order_relaxed);
+  while (v < current &&
+         !min_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+  current = max_.load(std::memory_order_relaxed);
+  while (v > current &&
+         !max_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.count = count_.load(std::memory_order_relaxed);
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.min =
+      snapshot.count == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  snapshot.buckets.resize(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace webre

@@ -1,0 +1,173 @@
+#ifndef WEBRE_OBS_METRICS_H_
+#define WEBRE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace webre {
+namespace obs {
+
+/// Monotonic wall clock in seconds (steady_clock). Every timestamp in the
+/// observability layer — stage timers, trace spans — comes from this one
+/// source so durations computed across modules share a timebase.
+double MonotonicSeconds();
+
+/// A monotonically increasing counter, safe for concurrent writers.
+///
+/// The hot path is lock-free: writers pick one of kShards cache-line-
+/// padded atomic slots via a cheap per-thread round-robin id and do a
+/// relaxed fetch_add, so concurrent workers do not bounce one cache line
+/// between cores. Readers (value/snapshot time) sum the shards; the sum
+/// is exact once writers have quiesced — which is the pipeline's report
+/// point, after all worker tasks joined.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds `n`. Lock-free, safe from any thread.
+  void Add(uint64_t n) {
+    slots_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  void Increment() { Add(1); }
+
+  /// Sum over all shards. Exact when no writer is concurrently active.
+  uint64_t value() const {
+    uint64_t sum = 0;
+    for (const Slot& slot : slots_) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Resets every shard to zero (quiesced writers only).
+  void Reset() {
+    for (Slot& slot : slots_) slot.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kShards = 16;  // power of two
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Per-thread shard id, assigned round-robin on a thread's first use of
+  /// any Counter. Stable for the thread's lifetime, so each pipeline
+  /// worker keeps hitting its own cache line.
+  static size_t ShardIndex();
+
+  Slot slots_[kShards];
+};
+
+/// Tracks the maximum of all recorded values (e.g. the largest resource-
+/// budget consumption any single document reached). Lock-free CAS max.
+class MaxGauge {
+ public:
+  MaxGauge() = default;
+  MaxGauge(const MaxGauge&) = delete;
+  MaxGauge& operator=(const MaxGauge&) = delete;
+
+  void Record(uint64_t v) {
+    uint64_t current = max_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !max_.compare_exchange_weak(current, v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t value() const { return max_.load(std::memory_order_relaxed); }
+  void Reset() { max_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time view of a Histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when count == 0.
+  uint64_t max = 0;
+  /// bucket[i] counts values in [2^(i-1), 2^i - 1]; bucket[0] counts 0.
+  std::vector<uint64_t> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// A log2-bucketed histogram of non-negative integers (typically
+/// microseconds), safe for concurrent writers. Each bucket is one relaxed
+/// atomic increment; min/max are CAS loops. 64 buckets cover the full
+/// uint64 range, so Record never clips.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t v);
+
+  /// Merged view. Exact when no writer is concurrently active.
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  static constexpr size_t kBuckets = 64;
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// RAII wall-time meter for one stage execution: counts one call and the
+/// elapsed nanoseconds into the given Counters on destruction (or on
+/// Stop(), whichever comes first). The begin/end timestamps are exposed
+/// so callers can also emit a trace span for the same interval.
+class StageTimer {
+ public:
+  /// Either counter may be null (that aspect is then not recorded).
+  StageTimer(Counter* calls, Counter* wall_ns)
+      : calls_(calls), wall_ns_(wall_ns), begin_s_(MonotonicSeconds()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { Stop(); }
+
+  /// Ends the measured interval early; idempotent.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    end_s_ = MonotonicSeconds();
+    if (calls_ != nullptr) calls_->Increment();
+    if (wall_ns_ != nullptr) {
+      wall_ns_->Add(static_cast<uint64_t>((end_s_ - begin_s_) * 1e9));
+    }
+  }
+
+  double begin_seconds() const { return begin_s_; }
+  /// Meaningful after Stop().
+  double end_seconds() const { return end_s_; }
+
+ private:
+  Counter* calls_;
+  Counter* wall_ns_;
+  double begin_s_;
+  double end_s_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace webre
+
+#endif  // WEBRE_OBS_METRICS_H_

@@ -1,0 +1,35 @@
+#ifndef WEBRE_OBS_STAGE_H_
+#define WEBRE_OBS_STAGE_H_
+
+#include <cstddef>
+
+namespace webre {
+namespace obs {
+
+/// The fixed stage sequence of the conversion pipeline, in execution
+/// order (DESIGN.md §10). Per-document stages (kParse..kMap minus
+/// kDiscover) run once per input document; kDiscover runs once per batch.
+enum class PipelineStage {
+  kParse = 0,     ///< HTML lexing + lenient parsing into the tree model.
+  kTidy,          ///< HTML cleansing (§2.4).
+  kTokenize,      ///< Tokenization rule (§2.3.1).
+  kInstance,      ///< Concept instance rule (§2.3.1).
+  kGroup,         ///< Grouping rule (§2.3.2).
+  kConsolidate,   ///< Consolidation rule (§2.3.2).
+  kExtract,       ///< Label-path extraction (§3.2).
+  kDiscover,      ///< Frequent-path fold + DTD derivation (batch-level).
+  kValidate,      ///< DTD conformance check.
+  kMap,           ///< Schema-guided document mapping.
+};
+
+inline constexpr size_t kPipelineStageCount = 10;
+
+/// Stable lower_snake name for metrics/trace output ("parse", "tidy",
+/// "tokenize", "instance", "group", "consolidate", "extract", "discover",
+/// "validate", "map").
+const char* PipelineStageName(PipelineStage stage);
+
+}  // namespace obs
+}  // namespace webre
+
+#endif  // WEBRE_OBS_STAGE_H_

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace webre {
+namespace obs {
+namespace {
+
+// Minimal JSON string escaping (names and categories are ASCII
+// identifiers in practice, but hostile input must not corrupt the file).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : origin_s_(MonotonicSeconds()) {}
+
+size_t TraceCollector::ThisThreadLaneIndexLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i]->thread == self) return i;
+  }
+  lanes_.push_back(std::make_unique<Lane>());
+  lanes_.back()->thread = self;
+  return lanes_.size() - 1;
+}
+
+void TraceCollector::AddSpan(const std::string& name,
+                             const std::string& category,
+                             double begin_seconds, double end_seconds,
+                             size_t doc_index) {
+  // Quantize both endpoints to integer microseconds from the origin and
+  // derive the duration from the quantized pair. Rounding ts and dur
+  // independently can push a child span's end 1 us past its parent's,
+  // which renders as a (spurious) overlap in trace viewers.
+  const int64_t begin_us =
+      static_cast<int64_t>((begin_seconds - origin_s_) * 1e6);
+  const int64_t end_us =
+      static_cast<int64_t>((end_seconds - origin_s_) * 1e6);
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.timestamp_us = begin_us;
+  event.duration_us = end_us > begin_us ? end_us - begin_us : 0;
+  event.doc_index = doc_index;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t lane_index = ThisThreadLaneIndexLocked();
+  event.lane = static_cast<uint32_t>(lane_index);
+  lanes_[lane_index]->events.push_back(std::move(event));
+}
+
+size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& lane : lanes_) count += lane->events.size();
+  return count;
+}
+
+size_t TraceCollector::lane_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> all;
+  for (const auto& lane : lanes_) {
+    all.insert(all.end(), lane->events.begin(), lane->events.end());
+  }
+  return all;
+}
+
+std::string TraceCollector::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  bool first = true;
+  char buf[160];
+  // Metadata records name each lane so Perfetto shows "worker N" tracks.
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"worker %zu\"}}",
+                  first ? "" : ",\n ", i, i);
+    out += buf;
+    first = false;
+  }
+  for (const auto& lane : lanes_) {
+    for (const TraceEvent& event : lane->events) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%u",
+                    first ? "" : ",\n ",
+                    EscapeJson(event.name).c_str(),
+                    EscapeJson(event.category).c_str(),
+                    static_cast<long long>(event.timestamp_us),
+                    static_cast<long long>(event.duration_us), event.lane);
+      out += buf;
+      if (event.doc_index != static_cast<size_t>(-1)) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"doc\":%zu}",
+                      event.doc_index);
+        out += buf;
+      }
+      out += "}";
+      first = false;
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace webre

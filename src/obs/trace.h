@@ -1,0 +1,94 @@
+#ifndef WEBRE_OBS_TRACE_H_
+#define WEBRE_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace webre {
+namespace obs {
+
+/// One completed span ("X" phase event in the Chrome trace_event format):
+/// a named interval on one lane with microsecond timestamps relative to
+/// the collector's origin.
+struct TraceEvent {
+  /// Event name (e.g. "tokenize", "document"). Borrowed static string or
+  /// owned? Owned: names may be composed (e.g. per-concept lanes later).
+  std::string name;
+  /// Category string ("stage", "doc", "batch"); groups events in the UI.
+  std::string category;
+  /// Microseconds since the collector's origin.
+  int64_t timestamp_us = 0;
+  int64_t duration_us = 0;
+  /// Lane (rendered as a thread track): 0-based, one per OS thread that
+  /// recorded spans, in order of first use.
+  uint32_t lane = 0;
+  /// Index of the document the span belongs to; SIZE_MAX for batch-level
+  /// spans (rendered without a "doc" arg).
+  size_t doc_index = static_cast<size_t>(-1);
+};
+
+/// Collects spans from concurrent threads and exports them as a Chrome
+/// trace_event JSON file (the "JSON Array Format"), loadable in
+/// chrome://tracing and Perfetto.
+///
+/// Each OS thread gets its own lane: pipeline workers therefore appear
+/// as parallel tracks, one span per stage per document. Recording takes
+/// one short mutex hold per call — spans are emitted a handful of times
+/// per document (not per node), so the lock is far off the hot path; the
+/// per-node accounting lives in the lock-free Counters instead.
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Records one completed span [begin_seconds, end_seconds] (timestamps
+  /// from MonotonicSeconds) on the calling thread's lane.
+  void AddSpan(const std::string& name, const std::string& category,
+               double begin_seconds, double end_seconds,
+               size_t doc_index = static_cast<size_t>(-1));
+
+  /// Number of spans recorded so far.
+  size_t event_count() const;
+
+  /// Number of distinct lanes (threads) that recorded spans.
+  size_t lane_count() const;
+
+  /// All events, lane-major then chronological. Call after writers
+  /// quiesced.
+  std::vector<TraceEvent> Events() const;
+
+  /// Serializes every span as a Chrome trace_event JSON array:
+  ///   [{"name":"parse","cat":"stage","ph":"X","ts":12,"dur":34,
+  ///     "pid":1,"tid":0,"args":{"doc":5}}, ...]
+  /// plus one metadata record per lane naming the thread track. Call
+  /// after writers quiesced.
+  std::string ToJson() const;
+
+  /// The MonotonicSeconds() instant all timestamps are relative to.
+  double origin_seconds() const { return origin_s_; }
+
+ private:
+  struct Lane {
+    std::thread::id thread;
+    std::vector<TraceEvent> events;
+  };
+
+  /// Index of the calling thread's lane, created on first use. Caller
+  /// holds `mutex_`.
+  size_t ThisThreadLaneIndexLocked();
+
+  double origin_s_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace obs
+}  // namespace webre
+
+#endif  // WEBRE_OBS_TRACE_H_

@@ -111,7 +111,7 @@ class Consolidator {
   // Index of the first concept child that may become the parent of all
   // its siblings (per the constraint set); falls back to the first
   // concept child, then to 0.
-  size_t ChooseReplacementChild(const Node& node) const {
+  size_t ChooseReplacementChild(const Node& node) {
     size_t first_concept = node.child_count();
     for (size_t i = 0; i < node.child_count(); ++i) {
       const Node* candidate = node.child(i);
@@ -130,6 +130,7 @@ class Consolidator {
         }
       }
       if (ok) return i;
+      ++stats_.replacements_vetoed;
     }
     return first_concept < node.child_count() ? first_concept : 0;
   }

@@ -18,6 +18,10 @@ struct ConsolidationStats {
   size_t nodes_pushed_up = 0;
   /// Non-concept nodes replaced by their first concept child.
   size_t nodes_replaced = 0;
+  /// Candidate replacement children skipped because a parent/ancestor
+  /// constraint vetoed them (the rule then tried the next concept child,
+  /// falling back to the first).
+  size_t replacements_vetoed = 0;
 };
 
 /// Applies the consolidation rule (§2.3.2, Figure 1) bottom-up,

@@ -3,34 +3,66 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "restructure/grouping_rule.h"
 
 namespace webre {
 namespace {
 
-// Upper bound on the TOKEN nodes the tokenization rule can split one
-// text node into: delimiter occurrences + 1. Walked iteratively so a
-// hostile tree cannot recurse past the stack before its guard fires.
-size_t MaxTokensInOneTextNode(const Node& root,
-                              const std::string& delimiters) {
-  size_t worst = 0;
+// Scoped span recorder: appends one ConvertStageSpan on Finish. Inert
+// (no clock read) when `spans` is null.
+class SpanScope {
+ public:
+  SpanScope(std::vector<ConvertStageSpan>* spans, obs::PipelineStage stage)
+      : spans_(spans), stage_(stage),
+        begin_s_(spans == nullptr ? 0.0 : obs::MonotonicSeconds()) {}
+
+  void Finish(size_t items_in, size_t items_out) {
+    if (spans_ == nullptr) return;
+    spans_->push_back(ConvertStageSpan{stage_, begin_s_,
+                                       obs::MonotonicSeconds(), items_in,
+                                       items_out});
+  }
+
+ private:
+  std::vector<ConvertStageSpan>* spans_;
+  obs::PipelineStage stage_;
+  double begin_s_;
+};
+
+// What the pre-tokenization guard walk learns about the tree.
+struct TextSplitBound {
+  /// Upper bound on the TOKEN nodes the tokenization rule can split one
+  /// text node into: delimiter occurrences + 1.
+  size_t worst_tokens = 0;
+  /// Total nodes visited — the tree size entering tokenization, counted
+  /// as a byproduct so span recording needs no extra walk.
+  size_t node_count = 0;
+};
+
+// Walked iteratively so a hostile tree cannot recurse past the stack
+// before its guard fires.
+TextSplitBound MaxTokensInOneTextNode(const Node& root,
+                                      const std::string& delimiters) {
+  TextSplitBound bound;
   std::vector<const Node*> pending{&root};
   while (!pending.empty()) {
     const Node* node = pending.back();
     pending.pop_back();
+    ++bound.node_count;
     if (node->is_text()) {
       size_t pieces = 1;
       for (char c : node->text()) {
         if (delimiters.find(c) != std::string::npos) ++pieces;
       }
-      if (pieces > worst) worst = pieces;
+      if (pieces > bound.worst_tokens) bound.worst_tokens = pieces;
       continue;
     }
     for (size_t i = 0; i < node->child_count(); ++i) {
       pending.push_back(node->child(i));
     }
   }
-  return worst;
+  return bound;
 }
 
 }  // namespace
@@ -76,30 +108,68 @@ Status DocumentConverter::RunGuardedRules(Node* root, ConvertStats* out,
     if (failed_stage != nullptr) *failed_stage = stage;
     return status;
   };
+  std::vector<ConvertStageSpan>* spans =
+      options_.record_stage_spans ? &out->stage_spans : nullptr;
+  // One allocation for the whole document's spans (7 stages at most).
+  if (spans != nullptr) spans->reserve(8);
+  // Nodes admitted so far = the tree as parsed/charged by the caller.
+  const size_t nodes_entering = budget.nodes_used();
 
+  // The tidy span's node count "out" comes from the tokenization guard
+  // walk below (which visits every node anyway), so instrumentation adds
+  // clock reads but no extra tree traversals to the hot path.
+  double tidy_begin = 0.0;
+  double tidy_end = 0.0;
   if (options_.apply_tidy) {
+    if (spans != nullptr) tidy_begin = obs::MonotonicSeconds();
     Status tidied = TidyHtmlTree(root, options_.tidy, budget);
     if (!tidied.ok()) return fail("tidy", std::move(tidied));
+    if (spans != nullptr) tidy_end = obs::MonotonicSeconds();
   }
 
-  // Tokenization is the one rule that multiplies nodes, so its blowup is
-  // bounded both per text node and against the document node budget.
-  const size_t worst =
-      MaxTokensInOneTextNode(*root, options_.tokenize.delimiters);
-  if (worst > options_.limits.max_tokens_per_text) {
-    return fail("tokenize",
-                Status::ResourceExhausted(
-                    "text node would split into " + std::to_string(worst) +
-                    " tokens, exceeding max_tokens_per_text=" +
-                    std::to_string(options_.limits.max_tokens_per_text)));
+  {
+    SpanScope span(spans, obs::PipelineStage::kTokenize);
+    // Tokenization is the one rule that multiplies nodes, so its blowup
+    // is bounded both per text node and against the document node budget.
+    const TextSplitBound bound =
+        MaxTokensInOneTextNode(*root, options_.tokenize.delimiters);
+    if (spans != nullptr && options_.apply_tidy) {
+      spans->push_back(ConvertStageSpan{obs::PipelineStage::kTidy,
+                                        tidy_begin, tidy_end, nodes_entering,
+                                        bound.node_count});
+    }
+    if (bound.worst_tokens > options_.limits.max_tokens_per_text) {
+      return fail("tokenize",
+                  Status::ResourceExhausted(
+                      "text node would split into " +
+                      std::to_string(bound.worst_tokens) +
+                      " tokens, exceeding max_tokens_per_text=" +
+                      std::to_string(options_.limits.max_tokens_per_text)));
+    }
+    out->tokens_created = ApplyTokenizationRule(root, options_.tokenize);
+    // Each token is a TOKEN element plus its text child.
+    Status charged = budget.ChargeNodes(2 * out->tokens_created);
+    if (!charged.ok()) return fail("tokenize", std::move(charged));
+    span.Finish(bound.node_count, out->tokens_created);
   }
-  out->tokens_created = ApplyTokenizationRule(root, options_.tokenize);
-  // Each token is a TOKEN element plus its text child.
-  Status charged = budget.ChargeNodes(2 * out->tokens_created);
-  if (!charged.ok()) return fail("tokenize", std::move(charged));
 
-  out->instance = ApplyConceptInstanceRule(root, *recognizer_, constraints_);
-  if (options_.apply_grouping) out->groups_created = ApplyGroupingRule(root);
+  {
+    SpanScope span(spans, obs::PipelineStage::kInstance);
+    out->instance =
+        ApplyConceptInstanceRule(root, *recognizer_, constraints_);
+    span.Finish(out->instance.tokens_total, out->instance.elements_created);
+  }
+
+  if (options_.apply_grouping) {
+    SpanScope span(spans, obs::PipelineStage::kGroup);
+    out->groups_created = ApplyGroupingRule(root);
+    // Concept elements in, concept elements + GROUP wrappers out (every
+    // GROUP adds exactly one node).
+    span.Finish(out->instance.elements_created,
+                out->instance.elements_created + out->groups_created);
+  }
+
+  SpanScope consolidate_span(spans, obs::PipelineStage::kConsolidate);
   out->consolidation =
       ApplyConsolidationRule(root, *concepts_, constraints_);
 
@@ -110,9 +180,15 @@ Status DocumentConverter::RunGuardedRules(Node* root, ConvertStats* out,
   if (final_check.ok()) final_check = budget.CheckDepth(shape.max_depth);
   if (final_check.ok()) final_check = budget.ChargeSteps(shape.node_count * 3);
   if (!final_check.ok()) return fail("rules", std::move(final_check));
+  consolidate_span.Finish(
+      out->instance.elements_created + out->groups_created,
+      shape.node_count);
 
   root->set_name(options_.root_name);
   out->concept_nodes = shape.node_count - 1;
+  out->budget_steps_used = budget.steps_used();
+  out->budget_nodes_used = budget.nodes_used();
+  out->budget_entities_used = budget.entities_used();
   return Status::Ok();
 }
 
@@ -124,12 +200,16 @@ StatusOr<std::unique_ptr<Node>> DocumentConverter::TryConvert(
   *out = ConvertStats{};
 
   ResourceBudget budget(options_.limits);
+  SpanScope parse_span(
+      options_.record_stage_spans ? &out->stage_spans : nullptr,
+      obs::PipelineStage::kParse);
   StatusOr<std::unique_ptr<Node>> tree =
       ParseHtml(html, options_.parse, budget);
   if (!tree.ok()) {
     if (failed_stage != nullptr) *failed_stage = "parse";
     return tree.status();
   }
+  parse_span.Finish(html.size(), budget.nodes_used());
   WEBRE_RETURN_IF_ERROR(
       RunGuardedRules(tree.value().get(), out, failed_stage, budget));
   return tree;

@@ -4,11 +4,13 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "concepts/concept.h"
 #include "concepts/constraints.h"
 #include "html/parser.h"
 #include "html/tidy.h"
+#include "obs/stage.h"
 #include "restructure/consolidation_rule.h"
 #include "restructure/instance_rule.h"
 #include "restructure/recognizer.h"
@@ -34,6 +36,30 @@ struct ConvertOptions {
   /// TryConvertTree (Convert stays lenient and unguarded for callers
   /// that trust their input).
   ResourceLimits limits;
+  /// Record per-stage wall-time spans and item counts into
+  /// `ConvertStats::stage_spans` (observability, DESIGN.md §10). Off by
+  /// default: recording costs a clock read per stage plus two iterative
+  /// tree walks per document, so the un-instrumented path stays
+  /// byte-for-byte as fast as before.
+  bool record_stage_spans = false;
+};
+
+/// One stage's interval within a single document conversion, recorded by
+/// the guarded entry points when `ConvertOptions::record_stage_spans` is
+/// set. Timestamps come from obs::MonotonicSeconds so spans from many
+/// documents/threads share a timebase (ready for trace export).
+struct ConvertStageSpan {
+  obs::PipelineStage stage = obs::PipelineStage::kParse;
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  /// Stage-specific units (DESIGN.md §10): bytes in for parse; tree
+  /// nodes for parse-out/tidy/tokenize-in; tokens for tokenize-out and
+  /// instance-in; concept elements for instance-out and grouping; final
+  /// tree nodes for consolidate-out. Chosen so every count falls out of
+  /// work the stage already does — instrumentation never walks the tree
+  /// again.
+  size_t items_in = 0;
+  size_t items_out = 0;
 };
 
 /// Per-document conversion report.
@@ -44,6 +70,15 @@ struct ConvertStats {
   ConsolidationStats consolidation;
   /// Concept elements in the final document (excluding the root).
   size_t concept_nodes = 0;
+  /// Completed stage intervals, in execution order (only when
+  /// `ConvertOptions::record_stage_spans` is set; a failed conversion
+  /// carries the stages completed before the failure).
+  std::vector<ConvertStageSpan> stage_spans;
+  /// ResourceBudget consumption at completion (guarded entry points
+  /// only; 0 for failed documents — they stopped charging mid-way).
+  size_t budget_steps_used = 0;
+  size_t budget_nodes_used = 0;
+  size_t budget_entities_used = 0;
 };
 
 /// The document conversion process (§2): parses a topic-specific HTML

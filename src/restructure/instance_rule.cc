@@ -65,6 +65,11 @@ class InstanceRule {
     }
 
     ++stats_.tokens_identified;
+    if (matches.front().via_bayes) {
+      ++stats_.tokens_via_bayes;
+    } else {
+      ++stats_.tokens_via_synonym;
+    }
 
     if (matches.size() == 1) {
       // Case 1: the whole token becomes one concept element.
@@ -129,6 +134,7 @@ class InstanceRule {
     for (const InstanceMatch& m : matches) {
       if (!kept.empty() && !constraints_->SiblingAllowed(
                                kept.back().concept_name, m.concept_name)) {
+        ++stats_.segments_vetoed;
         continue;
       }
       kept.push_back(m);

@@ -17,8 +17,18 @@ struct InstanceRuleStats {
   size_t tokens_total = 0;
   /// TOKEN nodes converted into at least one concept element.
   size_t tokens_identified = 0;
+  /// Identified tokens whose matches came from synonym/shape matching
+  /// (recognizer strategy (1); tokens_via_synonym + tokens_via_bayes ==
+  /// tokens_identified).
+  size_t tokens_via_synonym = 0;
+  /// Identified tokens classified by the Bayes recognizer (strategy (2),
+  /// `InstanceMatch::via_bayes`).
+  size_t tokens_via_bayes = 0;
   /// Concept elements created.
   size_t elements_created = 0;
+  /// Multi-instance segments merged into their predecessor because a
+  /// sibling constraint vetoed the decomposition (§2.3.1 refinement).
+  size_t segments_vetoed = 0;
 
   /// Identified fraction in [0,1]; 1 when no tokens were seen.
   double IdentifiedRatio() const {

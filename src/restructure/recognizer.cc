@@ -26,7 +26,7 @@ std::vector<InstanceMatch> BayesRecognizer::Recognize(
   const size_t index = concepts_->IndexOf(label);
   if (index == ConceptSet::kNpos) return matches;  // outside Con: unknown
   matches.push_back(InstanceMatch{index, concepts_->at(index).name, 0,
-                                  token_text.size()});
+                                  token_text.size(), /*via_bayes=*/true});
   return matches;
 }
 

@@ -46,7 +46,12 @@ size_t ThreadPool::failed_task_count() {
 
 std::string ThreadPool::first_failure_message() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return first_failure_;
+  return failures_.empty() ? std::string() : failures_.front();
+}
+
+std::vector<std::string> ThreadPool::failure_messages() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -76,7 +81,9 @@ void ThreadPool::WorkerLoop() {
     lock.lock();
     if (failed) {
       ++failed_tasks_;
-      if (failed_tasks_ == 1) first_failure_ = std::move(failure);
+      if (failures_.size() < kMaxFailureMessages) {
+        failures_.push_back(std::move(failure));
+      }
     }
     --in_flight_;
     if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();

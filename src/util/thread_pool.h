@@ -53,11 +53,21 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Cap on retained task-failure messages (the first
+  /// kMaxFailureMessages are kept; later ones only bump the count).
+  static constexpr size_t kMaxFailureMessages = 16;
+
   /// Tasks that exited via an exception since construction.
   size_t failed_task_count();
 
   /// what() of the first task exception captured (empty when none).
   std::string first_failure_message();
+
+  /// what() of every captured task exception, in capture order, bounded
+  /// to kMaxFailureMessages — so batch metrics can show each distinct
+  /// failure instead of only the first (failed_task_count() still counts
+  /// all of them).
+  std::vector<std::string> failure_messages();
 
  private:
   void WorkerLoop();
@@ -69,7 +79,7 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool stopping_ = false;
   size_t failed_tasks_ = 0;
-  std::string first_failure_;
+  std::vector<std::string> failures_;
   std::vector<std::thread> workers_;
 };
 

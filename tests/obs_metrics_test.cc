@@ -1,0 +1,168 @@
+// The observability primitives: sharded Counter, CAS MaxGauge, atomic
+// Histogram, StageTimer. The concurrency tests hammer each primitive
+// from many threads and assert the merged totals are exact once writers
+// quiesce — the contract PipelineMetrics is built on.
+
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace webre {
+namespace obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add(5);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 6u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, ConcurrentWritersSumExactly) {
+  Counter counter;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIterations = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (size_t i = 0; i < kIterations; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kIterations);
+}
+
+TEST(MaxGauge, TracksMaximum) {
+  MaxGauge gauge;
+  EXPECT_EQ(gauge.value(), 0u);
+  gauge.Record(7);
+  gauge.Record(3);
+  EXPECT_EQ(gauge.value(), 7u);
+  gauge.Record(100);
+  EXPECT_EQ(gauge.value(), 100u);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0u);
+}
+
+TEST(MaxGauge, ConcurrentRecordsKeepGlobalMax) {
+  MaxGauge gauge;
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (size_t i = 0; i < 10000; ++i) gauge.Record(t * 10000 + i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.value(), (kThreads - 1) * 10000 + 9999);
+}
+
+TEST(Histogram, RecordsCountSumMinMax) {
+  Histogram histogram;
+  histogram.Record(10);
+  histogram.Record(20);
+  histogram.Record(5);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.sum, 35u);
+  EXPECT_EQ(snapshot.min, 5u);
+  EXPECT_EQ(snapshot.max, 20u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 35.0 / 3.0);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_EQ(snapshot.sum, 0u);
+  EXPECT_EQ(snapshot.min, 0u);
+  EXPECT_EQ(snapshot.max, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsCoverLog2Ranges) {
+  Histogram histogram;
+  histogram.Record(0);  // bucket 0
+  histogram.Record(1);  // bucket 1: [1, 1]
+  histogram.Record(2);  // bucket 2: [2, 3]
+  histogram.Record(3);  // bucket 2
+  histogram.Record(4);  // bucket 3: [4, 7]
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_GE(snapshot.buckets.size(), 4u);
+  EXPECT_EQ(snapshot.buckets[0], 1u);
+  EXPECT_EQ(snapshot.buckets[1], 1u);
+  EXPECT_EQ(snapshot.buckets[2], 2u);
+  EXPECT_EQ(snapshot.buckets[3], 1u);
+}
+
+TEST(Histogram, HugeValuesDoNotClip) {
+  Histogram histogram;
+  histogram.Record(~uint64_t{0});
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 1u);
+  EXPECT_EQ(snapshot.max, ~uint64_t{0});
+}
+
+TEST(Histogram, ConcurrentRecordsSumExactly) {
+  Histogram histogram;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kIterations = 50000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (size_t i = 0; i < kIterations; ++i) histogram.Record(i % 100);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, kThreads * kIterations);
+  EXPECT_EQ(snapshot.min, 0u);
+  EXPECT_EQ(snapshot.max, 99u);
+}
+
+TEST(StageTimer, RecordsOneCallAndElapsedTime) {
+  Counter calls;
+  Counter wall_ns;
+  {
+    StageTimer timer(&calls, &wall_ns);
+    EXPECT_GT(timer.begin_seconds(), 0.0);
+  }
+  EXPECT_EQ(calls.value(), 1u);
+  // Wall time is nonnegative and bounded by "this test did not take a
+  // minute".
+  EXPECT_LT(wall_ns.value(), 60'000'000'000u);
+}
+
+TEST(StageTimer, StopIsIdempotent) {
+  Counter calls;
+  StageTimer timer(&calls, nullptr);
+  timer.Stop();
+  timer.Stop();
+  EXPECT_EQ(calls.value(), 1u);
+  EXPECT_GE(timer.end_seconds(), timer.begin_seconds());
+}
+
+TEST(StageTimer, NullCountersAreSafe) {
+  StageTimer timer(nullptr, nullptr);
+  timer.Stop();
+  EXPECT_GE(timer.end_seconds(), timer.begin_seconds());
+}
+
+TEST(MonotonicClock, NeverGoesBackwards) {
+  double last = MonotonicSeconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = MonotonicSeconds();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace webre

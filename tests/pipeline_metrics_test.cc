@@ -1,0 +1,301 @@
+// PipelineMetrics threaded through Pipeline::Run: counter determinism
+// across thread counts, consistency with PipelineResult, the
+// --metrics-json schema, and failure-message capture.
+
+#include "obs/pipeline_metrics.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "core/pipeline.h"
+#include "core/telemetry.h"
+#include "corpus/resume_generator.h"
+#include "gtest/gtest.h"
+#include "minijson.h"
+#include "restructure/recognizer.h"
+
+namespace webre {
+namespace {
+
+// 12 healthy resumes interleaved with 3 token bombs that trip
+// max_tokens_per_text, so the metrics cover both fates.
+std::vector<std::string> MixedCorpus() {
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 15; ++i) {
+    if (i % 5 == 4) {
+      std::string bomb = "<html><body><p>";
+      for (int j = 0; j < 64; ++j) bomb += "boom,";
+      bomb += "</p></body></html>";
+      pages.push_back(bomb);
+    } else {
+      pages.push_back(GenerateResume(i).html);
+    }
+  }
+  return pages;
+}
+
+PipelineOptions BaseOptions(size_t threads) {
+  PipelineOptions options;
+  options.parallel.num_threads = threads;
+  options.parallel.chunk_size = 2;  // force real fan-out on small corpora
+  options.map_documents = true;
+  options.limits.max_tokens_per_text = 16;
+  return options;
+}
+
+struct RunArtifacts {
+  PipelineResult result;
+  obs::PipelineMetricsSnapshot snapshot;
+};
+
+RunArtifacts RunWithMetrics(const std::vector<std::string>& pages,
+                            size_t threads) {
+  static ConceptSet concepts = ResumeConcepts();
+  static ConstraintSet constraints = ResumeConstraints();
+  static SynonymRecognizer recognizer(&concepts);
+  obs::PipelineMetrics metrics;
+  PipelineOptions options = BaseOptions(threads);
+  options.metrics = &metrics;
+  Pipeline pipeline(&concepts, &recognizer, &constraints, options);
+  RunArtifacts artifacts{pipeline.Run(pages), {}};
+  artifacts.snapshot = metrics.Snapshot();
+  return artifacts;
+}
+
+// Everything in the snapshot except wall times, rendered to one string
+// so any divergence across thread counts pinpoints itself in the diff.
+std::string DeterministicView(const obs::PipelineMetricsSnapshot& s) {
+  std::ostringstream out;
+  for (const obs::StageSnapshot& stage : s.stages) {
+    out << stage.name << " calls=" << stage.calls
+        << " in=" << stage.items_in << " out=" << stage.items_out << "\n";
+  }
+  for (const auto& [key, value] : s.CounterItems()) {
+    out << key << "=" << value << "\n";
+  }
+  out << "budget " << s.budget_steps_used << " " << s.budget_nodes_used
+      << " " << s.budget_entities_used << " max " << s.budget_max_steps_one_doc
+      << " " << s.budget_max_nodes_one_doc << " "
+      << s.budget_max_entities_one_doc << "\n";
+  out << "docs " << s.documents_total << "/" << s.documents_ok << "/"
+      << s.documents_failed << " aborted=" << s.aborted << "\n";
+  for (const auto& [name, count] : s.outcome_counts) {
+    out << "outcome " << name << "=" << count << "\n";
+  }
+  for (const auto& [stage, count] : s.failed_stage_counts) {
+    out << "failed_stage " << stage << "=" << count << "\n";
+  }
+  for (const std::string& message : s.failure_messages) {
+    out << "failure: " << message << "\n";
+  }
+  for (const std::string& message : s.worker_failures) {
+    out << "worker: " << message << "\n";
+  }
+  out << "convert_us count=" << s.convert_us.count << "\n";
+  return out.str();
+}
+
+TEST(PipelineMetricsDeterminism, CountersIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts serial = RunWithMetrics(pages, 1);
+  const RunArtifacts two = RunWithMetrics(pages, 2);
+  const RunArtifacts eight = RunWithMetrics(pages, 8);
+
+  const std::string expected = DeterministicView(serial.snapshot);
+  EXPECT_EQ(expected, DeterministicView(two.snapshot));
+  EXPECT_EQ(expected, DeterministicView(eight.snapshot));
+}
+
+TEST(PipelineMetricsConsistency, MatchesPipelineResult) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts run = RunWithMetrics(pages, 4);
+  const PipelineResult& result = run.result;
+  const obs::PipelineMetricsSnapshot& s = run.snapshot;
+
+  EXPECT_EQ(s.documents_total, pages.size());
+  EXPECT_EQ(s.documents_failed, result.failed_documents);
+  EXPECT_EQ(s.documents_ok, pages.size() - result.failed_documents);
+  EXPECT_FALSE(s.aborted);
+  EXPECT_EQ(result.failed_documents, 3u);
+
+  // Outcome counts sum to the document total and agree with the
+  // per-document outcome list.
+  uint64_t outcome_sum = 0;
+  for (const auto& [name, count] : s.outcome_counts) outcome_sum += count;
+  EXPECT_EQ(outcome_sum, s.documents_total);
+  uint64_t limit_exceeded = 0;
+  for (const DocumentOutcome& outcome : result.outcomes) {
+    if (outcome.status == DocumentStatus::kLimitExceeded) ++limit_exceeded;
+  }
+  for (const auto& [name, count] : s.outcome_counts) {
+    if (name == "limit_exceeded") {
+      EXPECT_EQ(count, limit_exceeded);
+    }
+  }
+
+  // Stage accounting: every ok document ran every converter stage plus
+  // extract/validate/map exactly once; failures stopped at tokenize.
+  for (const obs::StageSnapshot& stage : s.stages) {
+    const std::string name = stage.name;
+    if (name == "parse") {
+      EXPECT_EQ(stage.calls, pages.size());
+    }
+    if (name == "instance" || name == "extract" || name == "validate" ||
+        name == "map") {
+      EXPECT_EQ(stage.calls, s.documents_ok) << name;
+    }
+    if (name == "discover") {
+      EXPECT_EQ(stage.calls, 1u);
+    }
+  }
+
+  // Validate/map items_out accumulate exactly the conforming counts.
+  for (const obs::StageSnapshot& stage : s.stages) {
+    const std::string name = stage.name;
+    if (name == "validate") {
+      EXPECT_EQ(stage.items_out, result.conforming_before);
+    }
+    if (name == "map") {
+      EXPECT_EQ(stage.items_out, result.conforming_after);
+    }
+  }
+
+  // One latency sample per document.
+  EXPECT_EQ(s.convert_us.count, pages.size());
+
+  // Rule counters are internally coherent.
+  EXPECT_EQ(s.instance_tokens_identified,
+            s.instance_tokens_via_synonym + s.instance_tokens_via_bayes);
+  EXPECT_GT(s.tokenize_tokens_emitted, 0u);
+  EXPECT_GT(s.grouping_groups_formed, 0u);
+}
+
+TEST(PipelineMetricsConsistency, FailureMessagesCaptured) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts run = RunWithMetrics(pages, 2);
+  const obs::PipelineMetricsSnapshot& s = run.snapshot;
+
+  bool tokenize_failures = false;
+  for (const auto& [stage, count] : s.failed_stage_counts) {
+    if (stage == "tokenize") {
+      tokenize_failures = true;
+      EXPECT_EQ(count, 3u);
+    }
+  }
+  EXPECT_TRUE(tokenize_failures);
+
+  // Distinct messages only: the three identical bombs share one entry.
+  ASSERT_EQ(s.failure_messages.size(), 1u);
+  EXPECT_NE(s.failure_messages[0].find("max_tokens_per_text"),
+            std::string::npos);
+}
+
+TEST(PipelineMetricsConsistency, AbortedRunStillRecordsOutcomes) {
+  const std::vector<std::string> pages = MixedCorpus();
+  static ConceptSet concepts = ResumeConcepts();
+  static ConstraintSet constraints = ResumeConstraints();
+  static SynonymRecognizer recognizer(&concepts);
+  obs::PipelineMetrics metrics;
+  PipelineOptions options = BaseOptions(2);
+  options.keep_going = false;
+  options.metrics = &metrics;
+  Pipeline pipeline(&concepts, &recognizer, &constraints, options);
+  const PipelineResult result = pipeline.Run(pages);
+  ASSERT_TRUE(result.aborted);
+
+  const obs::PipelineMetricsSnapshot s = metrics.Snapshot();
+  EXPECT_TRUE(s.aborted);
+  EXPECT_EQ(s.documents_total, pages.size());
+  EXPECT_EQ(s.documents_failed, 3u);
+}
+
+// The --metrics-json schema: exact top-level key sequence, stage entry
+// shape, counter key set and headroom presence. A golden key-set test:
+// additions must be deliberate (update docs/CLI.md in the same change).
+TEST(MetricsJson, SchemaGolden) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts run = RunWithMetrics(pages, 2);
+
+  ResourceLimits limits;
+  limits.max_tokens_per_text = 16;
+  const obs::BudgetLimitsView view = ToBudgetLimitsView(limits);
+  const std::string json = obs::MetricsToJson(run.snapshot, &view);
+
+  minijson::Value root;
+  std::string error;
+  ASSERT_TRUE(minijson::Parse(json, &root, &error)) << error << "\n" << json;
+  ASSERT_TRUE(root.is_object());
+
+  const std::vector<std::string> expected_keys = {
+      "webre_metrics_version", "documents",        "outcomes",
+      "failed_stages",         "failure_messages", "worker_failures",
+      "stages",                "counters",         "budget",
+      "convert_us"};
+  ASSERT_EQ(root.object.size(), expected_keys.size());
+  for (size_t i = 0; i < expected_keys.size(); ++i) {
+    EXPECT_EQ(root.object[i].first, expected_keys[i]) << "key " << i;
+  }
+  EXPECT_EQ(root.Find("webre_metrics_version")->number, 1.0);
+
+  const minijson::Value* documents = root.Find("documents");
+  for (const char* key : {"total", "ok", "failed", "aborted"}) {
+    EXPECT_NE(documents->Find(key), nullptr) << key;
+  }
+
+  const minijson::Value* stages = root.Find("stages");
+  ASSERT_TRUE(stages->is_array());
+  ASSERT_EQ(stages->array.size(), obs::kPipelineStageCount);
+  for (const minijson::Value& stage : stages->array) {
+    for (const char* key :
+         {"name", "calls", "wall_ms", "items_in", "items_out"}) {
+      EXPECT_NE(stage.Find(key), nullptr) << key;
+    }
+  }
+
+  const minijson::Value* counters = root.Find("counters");
+  ASSERT_TRUE(counters->is_object());
+  const auto counter_items = run.snapshot.CounterItems();
+  ASSERT_EQ(counters->object.size(), counter_items.size());
+  for (size_t i = 0; i < counter_items.size(); ++i) {
+    EXPECT_EQ(counters->object[i].first, counter_items[i].first);
+  }
+
+  const minijson::Value* budget = root.Find("budget");
+  ASSERT_NE(budget->Find("headroom"), nullptr);
+  // Default limits are finite, so all three dimensions report headroom
+  // in [0, 1].
+  for (const auto& [key, value] : budget->Find("headroom")->object) {
+    EXPECT_GE(value.number, 0.0) << key;
+    EXPECT_LE(value.number, 1.0) << key;
+  }
+
+  const minijson::Value* convert_us = root.Find("convert_us");
+  EXPECT_EQ(convert_us->Find("count")->number,
+            static_cast<double>(pages.size()));
+}
+
+TEST(MetricsJson, NoHeadroomWithoutLimits) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts run = RunWithMetrics(pages, 1);
+  const std::string json = obs::MetricsToJson(run.snapshot);
+  minijson::Value root;
+  std::string error;
+  ASSERT_TRUE(minijson::Parse(json, &root, &error)) << error;
+  EXPECT_EQ(root.Find("budget")->Find("headroom"), nullptr);
+}
+
+TEST(MetricsTable, ListsActiveStagesAndFailures) {
+  const std::vector<std::string> pages = MixedCorpus();
+  const RunArtifacts run = RunWithMetrics(pages, 2);
+  const std::string table = obs::MetricsToTable(run.snapshot);
+  for (const char* needle :
+       {"parse", "tokenize", "consolidate", "discover", "map",
+        "tokenize.tokens_emitted", "budget:", "documents:", "failed in"}) {
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace webre

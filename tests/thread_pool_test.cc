@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace webre {
@@ -78,6 +79,45 @@ TEST(ThreadPoolTest, RecordsFirstFailureOfMany) {
   pool.Wait();
   EXPECT_EQ(pool.failed_task_count(), 2u);
   EXPECT_EQ(pool.first_failure_message(), "first");
+}
+
+TEST(ThreadPoolTest, CapturesEveryFailureMessageInOrder) {
+  ThreadPool pool(1);  // one worker => deterministic capture order
+  pool.Submit([] { throw std::runtime_error("alpha"); });
+  pool.Submit([] { throw std::runtime_error("beta"); });
+  pool.Submit([] { throw std::runtime_error("gamma"); });
+  pool.Wait();
+  EXPECT_EQ(pool.failed_task_count(), 3u);
+  const std::vector<std::string> messages = pool.failure_messages();
+  ASSERT_EQ(messages.size(), 3u);
+  EXPECT_EQ(messages[0], "alpha");
+  EXPECT_EQ(messages[1], "beta");
+  EXPECT_EQ(messages[2], "gamma");
+  EXPECT_EQ(pool.first_failure_message(), "alpha");
+}
+
+TEST(ThreadPoolTest, FailureMessagesBoundedButCountExact) {
+  ThreadPool pool(1);
+  const size_t total = ThreadPool::kMaxFailureMessages + 10;
+  for (size_t i = 0; i < total; ++i) {
+    pool.Submit([i] { throw std::runtime_error("boom " + std::to_string(i)); });
+  }
+  pool.Wait();
+  // Storage is capped at the first kMaxFailureMessages, but the count
+  // keeps tracking every failure.
+  EXPECT_EQ(pool.failed_task_count(), total);
+  const std::vector<std::string> messages = pool.failure_messages();
+  ASSERT_EQ(messages.size(), ThreadPool::kMaxFailureMessages);
+  for (size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(messages[i], "boom " + std::to_string(i));
+  }
+}
+
+TEST(ThreadPoolTest, FailureMessagesEmptyOnCleanBatch) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) pool.Submit([] {});
+  pool.Wait();
+  EXPECT_TRUE(pool.failure_messages().empty());
 }
 
 TEST(ThreadPoolTest, SurvivesNonStdException) {

@@ -1,0 +1,208 @@
+// TraceCollector: lane bookkeeping, Chrome trace_event JSON export, and
+// the nesting of pipeline-emitted spans (every converter stage span must
+// sit inside its document's umbrella span on the same lane).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "core/pipeline.h"
+#include "corpus/resume_generator.h"
+#include "gtest/gtest.h"
+#include "minijson.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "restructure/recognizer.h"
+
+namespace webre {
+namespace {
+
+TEST(TraceCollector, StartsEmpty) {
+  obs::TraceCollector trace;
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.lane_count(), 0u);
+}
+
+TEST(TraceCollector, SingleThreadGetsOneLane) {
+  obs::TraceCollector trace;
+  const double origin = trace.origin_seconds();
+  trace.AddSpan("parse", "stage", origin + 0.001, origin + 0.002, 0);
+  trace.AddSpan("tidy", "stage", origin + 0.002, origin + 0.003, 0);
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_EQ(trace.lane_count(), 1u);
+
+  const std::vector<obs::TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "parse");
+  EXPECT_EQ(events[0].lane, 0u);
+  EXPECT_EQ(events[0].doc_index, 0u);
+  EXPECT_GE(events[0].timestamp_us, 0);
+  EXPECT_GT(events[0].duration_us, 0);
+}
+
+TEST(TraceCollector, NegativeDurationClampsToZero) {
+  obs::TraceCollector trace;
+  const double origin = trace.origin_seconds();
+  trace.AddSpan("odd", "stage", origin + 0.002, origin + 0.001);
+  const std::vector<obs::TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].duration_us, 0);
+}
+
+TEST(TraceCollector, EachThreadGetsItsOwnLane) {
+  obs::TraceCollector trace;
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, t] {
+      const double origin = trace.origin_seconds();
+      for (int i = 0; i < 10; ++i) {
+        trace.AddSpan("work", "stage", origin + i * 0.001,
+                      origin + i * 0.001 + 0.0005, t);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(trace.lane_count(), kThreads);
+  EXPECT_EQ(trace.event_count(), kThreads * 10);
+
+  // Every event's lane must be in range and each thread's events must
+  // all share one lane (they carried their thread index as doc_index).
+  std::map<size_t, std::set<uint32_t>> lanes_by_writer;
+  for (const obs::TraceEvent& event : trace.Events()) {
+    EXPECT_LT(event.lane, kThreads);
+    lanes_by_writer[event.doc_index].insert(event.lane);
+  }
+  ASSERT_EQ(lanes_by_writer.size(), kThreads);
+  for (const auto& [writer, lanes] : lanes_by_writer) {
+    EXPECT_EQ(lanes.size(), 1u) << "writer " << writer;
+  }
+}
+
+TEST(TraceCollector, ToJsonIsValidChromeTraceFormat) {
+  obs::TraceCollector trace;
+  const double origin = trace.origin_seconds();
+  trace.AddSpan("parse", "stage", origin + 0.001, origin + 0.002, 3);
+  trace.AddSpan("discover", "batch", origin + 0.002, origin + 0.004);
+  trace.AddSpan("na\"me\\with\nescapes", "stage", origin, origin + 0.001, 1);
+
+  minijson::Value root;
+  std::string error;
+  ASSERT_TRUE(minijson::Parse(trace.ToJson(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_array());
+
+  size_t metadata = 0;
+  size_t spans = 0;
+  for (const minijson::Value& event : root.array) {
+    ASSERT_TRUE(event.is_object());
+    const minijson::Value* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "M") {
+      ++metadata;
+      EXPECT_EQ(event.Find("name")->str, "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph->str, "X");
+    ++spans;
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("cat"), nullptr);
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("dur"), nullptr);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    EXPECT_GE(event.Find("ts")->number, 0.0);
+    EXPECT_GE(event.Find("dur")->number, 0.0);
+  }
+  EXPECT_EQ(metadata, trace.lane_count());
+  EXPECT_EQ(spans, 3u);
+
+  // Batch-level spans (doc_index SIZE_MAX) carry no "doc" arg.
+  for (const minijson::Value& event : root.array) {
+    if (event.Find("ph")->str != "X") continue;
+    const minijson::Value* cat = event.Find("cat");
+    const minijson::Value* args = event.Find("args");
+    if (cat->str == "batch") {
+      EXPECT_TRUE(args == nullptr || args->Find("doc") == nullptr);
+    } else {
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->Find("doc"), nullptr);
+    }
+  }
+}
+
+// End-to-end: a parallel pipeline run produces a parseable trace whose
+// converter-stage spans nest inside their document's umbrella span on
+// the same lane.
+TEST(TraceExport, PipelineSpansNestWithinDocuments) {
+  ConceptSet concepts = ResumeConcepts();
+  ConstraintSet constraints = ResumeConstraints();
+  SynonymRecognizer recognizer(&concepts);
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 24; ++i) pages.push_back(GenerateResume(i).html);
+
+  obs::TraceCollector trace;
+  PipelineOptions options;
+  options.parallel.num_threads = 4;
+  options.map_documents = true;
+  options.trace = &trace;
+  Pipeline pipeline(&concepts, &recognizer, &constraints, options);
+  const PipelineResult result = pipeline.Run(pages);
+  ASSERT_EQ(result.failed_documents, 0u);
+
+  // Valid JSON end to end.
+  minijson::Value root;
+  std::string error;
+  ASSERT_TRUE(minijson::Parse(trace.ToJson(), &root, &error)) << error;
+
+  // Workers + possibly the main thread (discover) recorded: at most
+  // num_threads + 1 lanes, at least one.
+  EXPECT_GE(trace.lane_count(), 1u);
+  EXPECT_LE(trace.lane_count(), 5u);
+
+  // Index document umbrella spans by (lane, doc).
+  const std::vector<obs::TraceEvent> events = trace.Events();
+  std::map<std::pair<uint32_t, size_t>, const obs::TraceEvent*> documents;
+  for (const obs::TraceEvent& event : events) {
+    if (event.category == "doc") {
+      documents[{event.lane, event.doc_index}] = &event;
+    }
+  }
+  EXPECT_EQ(documents.size(), pages.size());
+
+  // Every converter-stage span sits inside its document's span on the
+  // same lane. (validate/map spans run in a later stage and are allowed
+  // to be outside; "discover" has no document at all.)
+  const std::set<std::string> converter_stages = {
+      "parse", "tidy", "tokenize", "instance",
+      "group", "consolidate", "extract"};
+  size_t nested = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (converter_stages.count(event.name) == 0) continue;
+    auto it = documents.find({event.lane, event.doc_index});
+    ASSERT_NE(it, documents.end())
+        << event.name << " for doc " << event.doc_index
+        << " has no umbrella span on lane " << event.lane;
+    const obs::TraceEvent& doc = *it->second;
+    EXPECT_GE(event.timestamp_us, doc.timestamp_us) << event.name;
+    EXPECT_LE(event.timestamp_us + event.duration_us,
+              doc.timestamp_us + doc.duration_us)
+        << event.name;
+    ++nested;
+  }
+  // All 24 documents produced all 7 converter stages.
+  EXPECT_EQ(nested, pages.size() * 7);
+
+  // Exactly one batch-level discover span.
+  size_t discover_spans = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.name == "discover") ++discover_spans;
+  }
+  EXPECT_EQ(discover_spans, 1u);
+}
+
+}  // namespace
+}  // namespace webre

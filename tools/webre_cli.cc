@@ -5,6 +5,7 @@
 //   webre map [options] FILE...          conform documents to the DTD
 //   webre query QUERY FILE...            run a path query over files
 //   webre demo [N]                       end-to-end on N generated resumes
+//   webre help                           full flag reference on stdout
 //
 // Options for discover/map:
 //   --sup=F      support threshold (default 0.45)
@@ -22,11 +23,16 @@
 //   --max-nodes=N     parse-tree node-count cap
 //   --max-entities=N  entity-expansion cap
 //
+// Observability (every command):
+//   --metrics-json=FILE  write the batch metrics summary as JSON
+//   --trace=FILE         write a Chrome trace_event file (chrome://tracing)
+//   --stats              print a human-readable metrics table on stderr
+//
 // Documents that fail are reported on stderr as one JSON object per line
 // ({"index":..,"file":..,"status":..,"stage":..,"message":..}) so batch
 // drivers can triage without parsing prose. Exit code: 0 all documents
 // converted, 2 partial failure under --keep-going, 1 total failure or
-// abort.
+// abort. Full reference: docs/CLI.md.
 //
 // The bundled domain knowledge is the paper's resume topic (24 concepts /
 // 233 instances); the library API accepts any ConceptSet for other
@@ -35,13 +41,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "concepts/resume_domain.h"
 #include "core/pipeline.h"
+#include "core/telemetry.h"
 #include "corpus/resume_generator.h"
 #include "mapping/document_mapper.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/trace.h"
 #include "repository/repository.h"
 #include "restructure/recognizer.h"
 #include "util/file.h"
@@ -58,6 +69,10 @@ struct CliOptions {
   size_t threads = 1;
   bool keep_going = true;
   webre::ResourceLimits limits;
+  std::string metrics_json_path;  // --metrics-json=FILE
+  std::string trace_path;         // --trace=FILE
+  bool stats = false;             // --stats
+  bool help = false;              // --help anywhere
   std::vector<std::string> args;  // non-flag arguments
 };
 
@@ -92,6 +107,14 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     } else if (arg.rfind("--max-entities=", 0) == 0) {
       options.limits.max_entity_expansions =
           static_cast<size_t>(std::strtoull(arg.c_str() + 15, nullptr, 10));
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      options.metrics_json_path = arg.substr(15);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--help") {
+      options.help = true;
     } else {
       options.args.push_back(std::move(arg));
     }
@@ -177,8 +200,62 @@ int ReportOutcomes(const webre::PipelineResult& result,
   return result.failed_documents == result.outcomes.size() ? 1 : 2;
 }
 
+// The observability sinks a command feeds (allocated only when the user
+// asked for output via --metrics-json / --trace / --stats) and the logic
+// that renders them once the run finished.
+struct ObsSinks {
+  explicit ObsSinks(const CliOptions& options) {
+    if (!options.metrics_json_path.empty() || options.stats) {
+      metrics = std::make_unique<webre::obs::PipelineMetrics>();
+    }
+    if (!options.trace_path.empty()) {
+      trace = std::make_unique<webre::obs::TraceCollector>();
+    }
+  }
+
+  bool active() const { return metrics != nullptr || trace != nullptr; }
+
+  // Writes/prints whatever the user requested. Returns 0, or 1 if an
+  // output file could not be written.
+  int Finish(const CliOptions& options) const {
+    int code = 0;
+    if (metrics != nullptr) {
+      const webre::obs::PipelineMetricsSnapshot snapshot =
+          metrics->Snapshot();
+      if (!options.metrics_json_path.empty()) {
+        const webre::obs::BudgetLimitsView limits =
+            webre::ToBudgetLimitsView(options.limits);
+        webre::Status status =
+            webre::WriteFile(options.metrics_json_path,
+                             webre::obs::MetricsToJson(snapshot, &limits));
+        if (!status.ok()) {
+          Fail(status.ToString());
+          code = 1;
+        }
+      }
+      if (options.stats) {
+        std::fprintf(stderr, "%s",
+                     webre::obs::MetricsToTable(snapshot).c_str());
+      }
+    }
+    if (trace != nullptr) {
+      webre::Status status =
+          webre::WriteFile(options.trace_path, trace->ToJson());
+      if (!status.ok()) {
+        Fail(status.ToString());
+        code = 1;
+      }
+    }
+    return code;
+  }
+
+  std::unique_ptr<webre::obs::PipelineMetrics> metrics;
+  std::unique_ptr<webre::obs::TraceCollector> trace;
+};
+
 webre::Pipeline MakePipeline(const Domain& domain,
                              const CliOptions& options,
+                             const ObsSinks& sinks,
                              bool map_documents = false) {
   webre::PipelineOptions pipeline_options;
   pipeline_options.convert.root_name = options.root;
@@ -189,6 +266,8 @@ webre::Pipeline MakePipeline(const Domain& domain,
   pipeline_options.parallel.num_threads = options.threads;
   pipeline_options.limits = options.limits;
   pipeline_options.keep_going = options.keep_going;
+  pipeline_options.metrics = sinks.metrics.get();
+  pipeline_options.trace = sinks.trace.get();
   return webre::Pipeline(&domain.concepts, &domain.recognizer,
                          &domain.constraints, pipeline_options);
 }
@@ -215,17 +294,42 @@ int CmdConvert(const CliOptions& options) {
   std::vector<std::string> pages;
   if (!ReadPages(options.args, pages)) return 1;
   Domain domain;
+  ObsSinks sinks(options);
   webre::ConvertOptions convert;
   convert.root_name = options.root;
   convert.limits = options.limits;
+  convert.record_stage_spans = sinks.active();
   webre::DocumentConverter converter(&domain.concepts, &domain.recognizer,
                                      &domain.constraints, convert);
   size_t failed = 0;
   for (size_t i = 0; i < pages.size(); ++i) {
     webre::ConvertStats stats;
     std::string stage;
+    const double doc_begin =
+        sinks.active() ? webre::obs::MonotonicSeconds() : 0.0;
     webre::StatusOr<std::unique_ptr<webre::Node>> xml =
         converter.TryConvert(pages[i], &stats, &stage);
+    if (sinks.active()) {
+      // convert runs the DocumentConverter directly (no Pipeline), so
+      // the metrics/trace are assembled here via the same telemetry
+      // helpers the pipeline uses.
+      const double doc_end = webre::obs::MonotonicSeconds();
+      const webre::DocumentStatus status =
+          xml.ok() ? webre::DocumentStatus::kOk
+                   : webre::StatusToDocumentStatus(xml.status());
+      if (sinks.metrics != nullptr) {
+        webre::RecordConvertMetrics(*sinks.metrics, stats);
+        sinks.metrics->convert_us.Record(
+            static_cast<uint64_t>((doc_end - doc_begin) * 1e6));
+        sinks.metrics->RecordOutcome(
+            webre::DocumentStatusName(status), xml.ok() ? "" : stage,
+            xml.ok() ? "" : std::string(xml.status().message()));
+      }
+      if (sinks.trace != nullptr) {
+        webre::EmitConvertTrace(*sinks.trace, stats, i);
+        sinks.trace->AddSpan("document", "doc", doc_begin, doc_end, i);
+      }
+    }
     if (!xml.ok()) {
       ++failed;
       std::fprintf(stderr,
@@ -236,7 +340,10 @@ int CmdConvert(const CliOptions& options) {
                        webre::StatusToDocumentStatus(xml.status())),
                    EscapeJson(stage).c_str(),
                    EscapeJson(xml.status().message()).c_str());
-      if (!options.keep_going) return 1;
+      if (!options.keep_going) {
+        sinks.Finish(options);
+        return 1;
+      }
       continue;
     }
     std::printf("<!-- %s: %zu concept nodes, %.0f%% tokens identified -->\n",
@@ -244,7 +351,8 @@ int CmdConvert(const CliOptions& options) {
                 100.0 * stats.instance.IdentifiedRatio());
     std::printf("%s", webre::WriteXml(*xml.value()).c_str());
   }
-  if (failed == 0) return 0;
+  const int obs_code = sinks.Finish(options);
+  if (failed == 0) return obs_code;
   std::fprintf(stderr, "webre: %zu/%zu documents failed\n", failed,
                pages.size());
   return failed == pages.size() ? 1 : 2;
@@ -254,9 +362,11 @@ int CmdDiscover(const CliOptions& options) {
   std::vector<std::string> pages;
   if (!ReadPages(options.args, pages)) return 1;
   Domain domain;
+  ObsSinks sinks(options);
   webre::PipelineResult result =
-      MakePipeline(domain, options).Run(pages);
+      MakePipeline(domain, options, sinks).Run(pages);
   const int code = ReportOutcomes(result, options.args);
+  sinks.Finish(options);
   if (result.aborted) return code;
   const size_t converted = pages.size() - result.failed_documents;
   std::printf("majority schema (%zu frequent paths from %zu documents):\n%s",
@@ -273,9 +383,12 @@ int CmdMap(const CliOptions& options) {
   std::vector<std::string> pages;
   if (!ReadPages(options.args, pages)) return 1;
   Domain domain;
+  ObsSinks sinks(options);
   webre::PipelineResult result =
-      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+      MakePipeline(domain, options, sinks, /*map_documents=*/true)
+          .Run(pages);
   const int code = ReportOutcomes(result, options.args);
+  sinks.Finish(options);
   if (result.aborted) return code;
   for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
     if (result.mapped_documents[i] == nullptr) continue;  // failed doc
@@ -300,9 +413,12 @@ int CmdQuery(const CliOptions& options) {
   if (!ReadPages(paths, pages)) return 1;
 
   Domain domain;
+  ObsSinks sinks(options);
   webre::PipelineResult result =
-      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+      MakePipeline(domain, options, sinks, /*map_documents=*/true)
+          .Run(pages);
   const int code = ReportOutcomes(result, paths);
+  sinks.Finish(options);
   if (result.aborted) return code;
   webre::XmlRepository repo;
   // The repository is packed with surviving documents only, so repo doc
@@ -335,32 +451,56 @@ int CmdDemo(const CliOptions& options) {
     pages.push_back(webre::GenerateResume(i).html);
   }
   Domain domain;
+  ObsSinks sinks(options);
   webre::PipelineResult result =
-      MakePipeline(domain, options, /*map_documents=*/true).Run(pages);
+      MakePipeline(domain, options, sinks, /*map_documents=*/true)
+          .Run(pages);
   std::printf("converted %zu generated resumes\n", pages.size());
   std::printf("schema (%zu paths):\n%s\nDTD:\n%s",
               result.schema.NodeCount(), result.schema.ToString().c_str(),
               result.dtd.ToString(options.attlist).c_str());
   std::printf("\nconforming: %zu before mapping, %zu after\n",
               result.conforming_before, result.conforming_after);
-  return 0;
+  return sinks.Finish(options);
 }
 
-void Usage() {
+// The complete flag reference. docs/CLI.md documents exactly this set
+// (ci/check_cli_docs.sh compares the two), so keep them in lockstep.
+void PrintHelp(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: webre <command> [options] [args]\n"
+      "commands:\n"
       "  convert FILE...       HTML -> concept-tagged XML on stdout\n"
       "  discover FILE...      discover the majority schema + DTD\n"
       "  map FILE...           conform documents to the discovered DTD\n"
       "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
       "  demo [N]              end-to-end run on N generated resumes\n"
-      "options: --sup=F --ratio=F --root=NAME --attlist --threads=N\n"
-      "         --keep-going | --no-keep-going\n"
-      "         --max-bytes=N --max-depth=N --max-nodes=N --max-entities=N\n"
+      "  help                  print this reference on stdout\n"
+      "discovery options (discover/map/query/demo):\n"
+      "  --sup=F               support threshold (default 0.45)\n"
+      "  --ratio=F             support-ratio threshold (default 0.4)\n"
+      "  --root=NAME           output root element name (default resume)\n"
+      "  --attlist             include <!ATTLIST> declarations in the DTD\n"
+      "  --threads=N           worker threads (1 = serial, 0 = all cores)\n"
+      "fault isolation:\n"
+      "  --keep-going          record failures, continue (default)\n"
+      "  --no-keep-going       any failed document aborts the batch\n"
+      "  --max-bytes=N         per-document input size cap\n"
+      "  --max-depth=N         parse-tree depth cap\n"
+      "  --max-nodes=N         parse-tree node-count cap\n"
+      "  --max-entities=N      entity-expansion cap\n"
+      "observability:\n"
+      "  --metrics-json=FILE   write batch metrics as JSON\n"
+      "  --trace=FILE          write a Chrome trace_event file\n"
+      "  --stats               print a metrics table on stderr\n"
+      "  --help                print this reference on stdout\n"
       "failed documents are reported as JSON lines on stderr;\n"
-      "exit 0 = all ok, 2 = partial failure (keep-going), 1 = abort\n");
+      "exit 0 = all ok, 2 = partial failure (keep-going), 1 = abort\n"
+      "full reference: docs/CLI.md\n");
 }
+
+void Usage() { PrintHelp(stderr); }
 
 }  // namespace
 
@@ -371,6 +511,10 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   CliOptions options = ParseFlags(argc, argv, 2);
+  if (command == "help" || command == "--help" || options.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
   if (command == "convert") return CmdConvert(options);
   if (command == "discover") return CmdDiscover(options);
   if (command == "map") return CmdMap(options);
