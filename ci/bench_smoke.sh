@@ -1,0 +1,102 @@
+#!/bin/sh
+# Smoke-checks the benchmark layer so perf tooling cannot rot silently:
+#
+#   1. bench_micro runs a very short pass over every registered
+#      benchmark (a benchmark that crashes or fails to register breaks
+#      the default test suite, not the next perf investigation);
+#   2. bench_memory converts a tiny corpus and must emit one JSON
+#      object with the memory-bench schema;
+#   3. the checked-in BENCH_memory.json artifact is validated against
+#      the same schema, including the before/after arms the memory
+#      overhaul is judged by.
+#
+#   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json>
+#
+# Run as a ctest (bench_smoke). Timings are NOT asserted here — a smoke
+# run on a loaded CI box says nothing about steady-state throughput;
+# only structure and exit codes are checked.
+set -eu
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 <bench_micro> <bench_memory> <BENCH_memory.json>" >&2
+  exit 64
+fi
+
+bench_micro="$1"
+bench_memory="$2"
+artifact="$3"
+
+for bin in "$bench_micro" "$bench_memory"; do
+  if [ ! -x "$bin" ]; then
+    echo "FAIL: benchmark binary not executable: $bin" >&2
+    exit 1
+  fi
+done
+if [ ! -r "$artifact" ]; then
+  echo "FAIL: artifact not readable: $artifact" >&2
+  exit 1
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 unavailable, schema not validated" >&2
+  exit 0
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# 1. Every registered micro-benchmark must survive one short iteration
+# pass (min_time is a plain double for the bundled benchmark version).
+"$bench_micro" --benchmark_min_time=0.01 >"$tmpdir/micro.out" 2>&1 || {
+  echo "FAIL: bench_micro short pass failed:" >&2
+  cat "$tmpdir/micro.out" >&2
+  exit 1
+}
+if ! grep -q "BM_ConvertDocument" "$tmpdir/micro.out"; then
+  echo "FAIL: bench_micro output lists no BM_ConvertDocument row" >&2
+  exit 1
+fi
+
+# 2. A tiny live bench_memory run must produce a schema-valid record.
+"$bench_memory" --docs=16 --arm=smoke >"$tmpdir/memory.json" || {
+  echo "FAIL: bench_memory smoke run failed" >&2
+  exit 1
+}
+
+python3 - "$tmpdir/memory.json" "$artifact" <<'EOF'
+import json
+import sys
+
+ARM_KEYS = [
+    "arm", "arena", "documents", "input_mb", "seconds", "docs_per_sec",
+    "mb_per_sec", "heap_allocs", "heap_allocs_per_doc", "peak_rss_mb",
+]
+
+
+def check_arm(arm, where):
+    for key in ARM_KEYS:
+        if key not in arm:
+            raise SystemExit(f"FAIL: {where}: missing key '{key}'")
+    if arm["documents"] <= 0 or arm["seconds"] <= 0:
+        raise SystemExit(f"FAIL: {where}: non-positive document count/time")
+    if arm["heap_allocs_per_doc"] <= 0 or arm["peak_rss_mb"] <= 0:
+        raise SystemExit(f"FAIL: {where}: implausible memory figures")
+
+
+with open(sys.argv[1]) as f:
+    check_arm(json.load(f), "live bench_memory output")
+
+with open(sys.argv[2]) as f:
+    artifact = json.load(f)
+for key in ("bench", "corpus", "arms", "derived"):
+    if key not in artifact:
+        raise SystemExit(f"FAIL: artifact: missing key '{key}'")
+for name in ("before", "after"):
+    if name not in artifact["arms"]:
+        raise SystemExit(f"FAIL: artifact: missing arm '{name}'")
+    check_arm(artifact["arms"][name], f"artifact arm '{name}'")
+for key in ("throughput_speedup", "alloc_reduction"):
+    if key not in artifact["derived"]:
+        raise SystemExit(f"FAIL: artifact: missing derived '{key}'")
+print("OK: bench_micro pass, live bench_memory record, and "
+      "BENCH_memory.json all validate")
+EOF

@@ -59,7 +59,7 @@ int main() {
     if (!matches->empty()) {
       const webre::QueryMatch& first = (*matches)[0];
       std::printf("   e.g. doc %zu: <%s val=\"%.40s\">", first.doc,
-                  first.node->name().c_str(),
+                  std::string(first.node->name()).c_str(),
                   std::string(first.node->val()).c_str());
     }
     std::printf("\n");

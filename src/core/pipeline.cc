@@ -113,15 +113,30 @@ PipelineResult Pipeline::Run(
   // the discovered schema (and every count in it) is identical to a
   // serial run regardless of thread count.
   std::vector<DocumentPaths> extracted(count);
+  const bool use_arena = options_.use_node_arena;
+  if (use_arena) result.arenas.resize(count);
   run_stage([&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       DocumentOutcome& outcome = result.outcomes[i];
       ConvertStats stats;
       const double doc_begin = observing ? obs::MonotonicSeconds() : 0.0;
+      // The document's tree (including every transient node the
+      // restructuring rules splice out) is carved from its own arena;
+      // the allocation-counter delta is per-thread, and this document
+      // runs on exactly one thread.
+      if (use_arena) result.arenas[i] = std::make_shared<NodeArena>();
+      const uint64_t allocs_before = Node::AllocationsOnThisThread();
       try {
+        NodeArenaScope arena_scope(use_arena ? result.arenas[i].get()
+                                             : nullptr);
         std::string stage;
         StatusOr<std::unique_ptr<Node>> converted =
             converter_.TryConvert(html_pages[i], &stats, &stage);
+        stats.mem_node_allocs =
+            Node::AllocationsOnThisThread() - allocs_before;
+        if (use_arena) {
+          stats.mem_arena_bytes = result.arenas[i]->bytes_allocated();
+        }
         if (!converted.ok()) {
           outcome.status = StatusToDocumentStatus(converted.status());
           outcome.stage = std::move(stage);
@@ -159,6 +174,10 @@ PipelineResult Pipeline::Run(
         result.documents[i] = nullptr;
         extracted[i] = DocumentPaths{};
       }
+      // A failed document holds no tree; release its arena now instead
+      // of carrying dead blocks to the end of the batch. (documents[i]
+      // is already null here on every failure path.)
+      if (use_arena && !outcome.ok()) result.arenas[i].reset();
       if (observing) {
         // Failed documents still contribute: their spans cover the
         // stages completed before the failure.
@@ -226,6 +245,10 @@ PipelineResult Pipeline::Run(
       if (!result.outcomes[i].ok()) continue;
       DocumentOutcome& outcome = result.outcomes[i];
       const char* stage = "validate";
+      // Mapping builds the conformed tree; allocate it from the same
+      // arena as the source document so both share one lifetime.
+      NodeArenaScope arena_scope(use_arena ? result.arenas[i].get()
+                                           : nullptr);
       try {
         const Node& doc = *result.documents[i];
         const double validate_begin =

@@ -17,6 +17,7 @@
 #include "util/resource_limits.h"
 #include "util/thread_pool.h"
 #include "xml/dtd.h"
+#include "xml/node_arena.h"
 
 namespace webre {
 
@@ -55,6 +56,13 @@ struct PipelineOptions {
   /// Chrome trace_event export — one lane per worker thread. Also turns
   /// on `convert.record_stage_spans`.
   obs::TraceCollector* trace = nullptr;
+  /// Allocate each document's tree from a per-document NodeArena
+  /// (PipelineResult::arenas): contiguous node storage, O(1) teardown,
+  /// and no per-node free traffic during restructuring. The arena of a
+  /// failed document is released immediately. Turn off to allocate
+  /// nodes from the heap (e.g. when result trees must outlive the
+  /// PipelineResult they came in).
+  bool use_node_arena = true;
 };
 
 /// How one input document fared, for the machine-readable error summary.
@@ -95,7 +103,20 @@ struct DocumentOutcome {
 };
 
 /// Output of Pipeline::Run.
+///
+/// Memory: with PipelineOptions::use_node_arena (the default), every
+/// tree in `documents` / `mapped_documents` lives in the per-document
+/// arena at the same index of `arenas`. The trees must not outlive
+/// their arenas — `arenas` is deliberately the first member so C++
+/// reverse-declaration destruction tears the trees down before their
+/// backing memory. Callers that move a tree out of the result must
+/// also keep (share) the matching arena, or copy the tree via Clone()
+/// outside any arena scope.
 struct PipelineResult {
+  /// Per-document node arenas, parallel to `documents`; empty when
+  /// use_node_arena is off, null at indices whose document failed.
+  /// Declared first: must be destroyed last (see struct comment).
+  std::vector<std::shared_ptr<NodeArena>> arenas;
   /// Converted XML documents, in input order. Null for documents whose
   /// outcome is not ok (check `outcomes`).
   std::vector<std::unique_ptr<Node>> documents;

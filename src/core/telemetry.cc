@@ -27,6 +27,9 @@ void RecordConvertMetrics(obs::PipelineMetrics& metrics,
   metrics.consolidation.replacements_vetoed.Add(
       stats.consolidation.replacements_vetoed);
 
+  metrics.mem.node_allocs.Add(stats.mem_node_allocs);
+  metrics.mem.arena_bytes.Add(stats.mem_arena_bytes);
+
   metrics.budget.steps_used.Add(stats.budget_steps_used);
   metrics.budget.nodes_used.Add(stats.budget_nodes_used);
   metrics.budget.entities_used.Add(stats.budget_entities_used);

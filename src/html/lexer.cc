@@ -17,28 +17,35 @@ class Lexer {
     // Lexing is a single forward sweep; charge it up front.
     WEBRE_RETURN_IF_ERROR(budget_.ChargeSteps(input_.size()));
 
-    std::string text;
+    // Pending text is tracked as a [text_begin_, pos_) slice of the
+    // input: every non-markup character is consumed at pos_ and the next
+    // one either extends the run or flushes it, so the run is always
+    // contiguous and nothing is copied until a token materializes.
     auto flush_text = [&]() -> Status {
-      if (text.empty()) return Status::Ok();
+      if (text_begin_ == kNoText) return Status::Ok();
+      std::string_view slice =
+          input_.substr(text_begin_, pos_ - text_begin_);
+      text_begin_ = kNoText;
       HtmlToken token;
       token.type = HtmlTokenType::kText;
-      WEBRE_RETURN_IF_ERROR(DecodeHtmlEntities(text, budget_, token.text));
+      WEBRE_RETURN_IF_ERROR(SetTokenText(token, slice));
       tokens.push_back(std::move(token));
-      text.clear();
       return Status::Ok();
+    };
+    auto extend_text = [&]() {
+      if (text_begin_ == kNoText) text_begin_ = pos_;
+      ++pos_;
     };
 
     while (pos_ < input_.size()) {
       char c = input_[pos_];
       if (c != '<') {
-        text.push_back(c);
-        ++pos_;
+        extend_text();
         continue;
       }
       // '<' — decide whether this opens markup or is literal text.
       if (pos_ + 1 >= input_.size()) {
-        text.push_back(c);
-        ++pos_;
+        extend_text();
         continue;
       }
       char next = input_[pos_ + 1];
@@ -50,34 +57,48 @@ class Lexer {
           WEBRE_RETURN_IF_ERROR(flush_text());
           LexEndTag(tokens);
         } else {
-          text.push_back(c);
-          ++pos_;
+          extend_text();
         }
       } else if (IsAsciiAlpha(next)) {
         WEBRE_RETURN_IF_ERROR(flush_text());
         WEBRE_RETURN_IF_ERROR(LexStartTag(tokens));
       } else {
         // "<3", "< 5" etc. — literal text, as browsers treat it.
-        text.push_back(c);
-        ++pos_;
+        extend_text();
       }
     }
     return flush_text();
   }
 
  private:
+  static constexpr size_t kNoText = static_cast<size_t>(-1);
+
+  /// Stores `slice` as the token's text. Decodes into an owned string
+  /// only when an entity might be present; the decoder charges the
+  /// budget per decoded reference, so skipping it for '&'-free slices
+  /// leaves accounting identical.
+  Status SetTokenText(HtmlToken& token, std::string_view slice) {
+    if (slice.find('&') == std::string_view::npos) {
+      token.text_view = slice;
+      return Status::Ok();
+    }
+    token.has_decoded_text = true;
+    return DecodeHtmlEntities(slice, budget_, token.decoded_text);
+  }
+
   void LexDeclaration(std::vector<HtmlToken>& tokens) {
-    // pos_ is at "<!".
+    // pos_ is at "<!". Comment/doctype content is kept raw (no entity
+    // decoding), so the token is always a pure slice.
     if (input_.substr(pos_).substr(0, 4) == "<!--") {
       pos_ += 4;
       size_t end = input_.find("-->", pos_);
       HtmlToken token;
       token.type = HtmlTokenType::kComment;
       if (end == std::string_view::npos) {
-        token.text = std::string(input_.substr(pos_));
+        token.text_view = input_.substr(pos_);
         pos_ = input_.size();
       } else {
-        token.text = std::string(input_.substr(pos_, end - pos_));
+        token.text_view = input_.substr(pos_, end - pos_);
         pos_ = end + 3;
       }
       tokens.push_back(std::move(token));
@@ -88,10 +109,10 @@ class Lexer {
     HtmlToken token;
     token.type = HtmlTokenType::kDoctype;
     if (end == std::string_view::npos) {
-      token.text = std::string(input_.substr(pos_ + 2));
+      token.text_view = input_.substr(pos_ + 2);
       pos_ = input_.size();
     } else {
-      token.text = std::string(input_.substr(pos_ + 2, end - pos_ - 2));
+      token.text_view = input_.substr(pos_ + 2, end - pos_ - 2);
       pos_ = end + 1;
     }
     tokens.push_back(std::move(token));
@@ -99,17 +120,16 @@ class Lexer {
 
   void LexEndTag(std::vector<HtmlToken>& tokens) {
     pos_ += 2;  // "</"
-    std::string name;
-    while (pos_ < input_.size() && IsAsciiAlnum(input_[pos_])) {
-      name.push_back(AsciiToLower(input_[pos_]));
-      ++pos_;
-    }
+    size_t name_begin = pos_;
+    while (pos_ < input_.size() && IsAsciiAlnum(input_[pos_])) ++pos_;
+    std::string_view raw_name =
+        input_.substr(name_begin, pos_ - name_begin);
     // Skip everything else up to '>'.
     while (pos_ < input_.size() && input_[pos_] != '>') ++pos_;
     if (pos_ < input_.size()) ++pos_;
     HtmlToken token;
     token.type = HtmlTokenType::kEndTag;
-    token.name = std::move(name);
+    token.name_id = NameTable::Global().InternLowercase(raw_name);
     tokens.push_back(std::move(token));
   }
 
@@ -117,11 +137,13 @@ class Lexer {
     ++pos_;  // '<'
     HtmlToken token;
     token.type = HtmlTokenType::kStartTag;
+    size_t name_begin = pos_;
     while (pos_ < input_.size() &&
            (IsAsciiAlnum(input_[pos_]) || input_[pos_] == '-')) {
-      token.name.push_back(AsciiToLower(input_[pos_]));
       ++pos_;
     }
+    token.name_id = NameTable::Global().InternLowercase(
+        input_.substr(name_begin, pos_ - name_begin));
     // Attributes.
     while (pos_ < input_.size()) {
       while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
@@ -153,7 +175,9 @@ class Lexer {
         continue;
       }
       while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
-      std::string attr_value;
+      // The raw value is always a contiguous slice of the input; it is
+      // only copied (and decoded) when materializing the Attribute.
+      std::string_view raw_value;
       if (pos_ < input_.size() && input_[pos_] == '=') {
         ++pos_;
         while (pos_ < input_.size() && IsAsciiSpace(input_[pos_])) ++pos_;
@@ -161,33 +185,38 @@ class Lexer {
             (input_[pos_] == '"' || input_[pos_] == '\'')) {
           char quote = input_[pos_];
           ++pos_;
-          while (pos_ < input_.size() && input_[pos_] != quote) {
-            attr_value.push_back(input_[pos_]);
-            ++pos_;
-          }
+          size_t value_begin = pos_;
+          while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+          raw_value = input_.substr(value_begin, pos_ - value_begin);
           if (pos_ < input_.size()) ++pos_;  // closing quote
         } else {
+          size_t value_begin = pos_;
           while (pos_ < input_.size() && !IsAsciiSpace(input_[pos_]) &&
                  input_[pos_] != '>') {
-            attr_value.push_back(input_[pos_]);
             ++pos_;
           }
+          raw_value = input_.substr(value_begin, pos_ - value_begin);
         }
       }
       std::string decoded_value;
-      WEBRE_RETURN_IF_ERROR(
-          DecodeHtmlEntities(attr_value, budget_, decoded_value));
+      if (raw_value.find('&') == std::string_view::npos) {
+        decoded_value.assign(raw_value);
+      } else {
+        WEBRE_RETURN_IF_ERROR(
+            DecodeHtmlEntities(raw_value, budget_, decoded_value));
+      }
       token.attributes.push_back(
           Attribute{std::move(attr_name), std::move(decoded_value)});
     }
 
-    const std::string tag = token.name;
+    const NameId tag = token.name_id;
     const bool self_closing = token.self_closing;
     tokens.push_back(std::move(token));
 
     // Raw-text elements: swallow content up to the matching end tag.
     if (IsRawTextTag(tag) && !self_closing) {
-      std::string closer = "</" + tag;
+      std::string closer = "</";
+      closer.append(NameTable::Global().NameOf(tag));
       size_t end = pos_;
       while (true) {
         end = input_.find('<', end);
@@ -205,7 +234,9 @@ class Lexer {
       if (end > pos_) {
         HtmlToken raw;
         raw.type = HtmlTokenType::kText;
-        raw.text = std::string(input_.substr(pos_, end - pos_));
+        // Raw-text content is taken verbatim — no entity decoding —
+        // matching how browsers treat script/style data.
+        raw.text_view = input_.substr(pos_, end - pos_);
         tokens.push_back(std::move(raw));
       }
       pos_ = end;
@@ -216,6 +247,7 @@ class Lexer {
   std::string_view input_;
   ResourceBudget& budget_;
   size_t pos_ = 0;
+  size_t text_begin_ = kNoText;
 };
 
 }  // namespace

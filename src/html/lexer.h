@@ -7,6 +7,7 @@
 
 #include "util/resource_limits.h"
 #include "util/status.h"
+#include "xml/name_table.h"
 #include "xml/node.h"  // for Attribute
 
 namespace webre {
@@ -21,22 +22,44 @@ enum class HtmlTokenType {
 };
 
 /// One lexical token of an HTML document.
+///
+/// Zero-copy: `text()` is a view into the input buffer whenever the
+/// content needed no entity decoding (the overwhelmingly common case);
+/// only text containing '&' is materialized into an owned, decoded
+/// string. Tokens must therefore not outlive the buffer passed to
+/// TokenizeHtml — the parser consumes them immediately.
 struct HtmlToken {
   HtmlTokenType type = HtmlTokenType::kText;
-  /// Tag name, lowercased; empty for text/comment/doctype.
-  std::string name;
-  /// Character data / comment content.
-  std::string text;
+  /// Interned tag name, lowercased; kInvalidNameId for
+  /// text/comment/doctype.
+  NameId name_id = kInvalidNameId;
   /// Start-tag attributes, names lowercased, values entity-decoded.
   std::vector<Attribute> attributes;
   /// True for `<name .../>`.
   bool self_closing = false;
+
+  /// Tag name, lowercased; empty for text/comment/doctype.
+  std::string_view name() const {
+    return NameTable::Global().NameOf(name_id);
+  }
+
+  /// Character data / comment content (entities decoded for text).
+  std::string_view text() const {
+    return has_decoded_text ? std::string_view(decoded_text) : text_view;
+  }
+
+  /// Raw storage for text(): a slice of the lexer input, or a decoded
+  /// copy when the slice contained an entity. Use text() instead.
+  std::string_view text_view;
+  std::string decoded_text;
+  bool has_decoded_text = false;
 };
 
 /// Tokenizes `html` leniently, never failing: malformed markup degrades
 /// to text tokens the way legacy browsers treat it. Raw-text elements
 /// (`script`, `style`) swallow everything up to their matching end tag
-/// into a single text token.
+/// into a single text token. The returned tokens view into `html` (see
+/// HtmlToken) — keep the buffer alive while they are in use.
 std::vector<HtmlToken> TokenizeHtml(std::string_view html);
 
 /// Guarded variant: charges the input size and every decoded entity

@@ -15,7 +15,11 @@ class TreeBuilder {
       : options_(options), budget_(budget) {}
 
   StatusOr<std::unique_ptr<Node>> Build(std::vector<HtmlToken> tokens) {
-    root_ = Node::MakeElement("#root");
+    // Tag comparisons below are all 32-bit NameId compares; intern the
+    // few synthetic/structural names once per parse.
+    comment_id_ = InternName("#comment");
+    html_id_ = InternName("html");
+    root_ = Node::MakeElement(InternName("#root"));
     stack_.push_back(root_.get());
     WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
     WEBRE_RETURN_IF_ERROR(budget_.ChargeSteps(tokens.size()));
@@ -41,8 +45,8 @@ class TreeBuilder {
             // part, at stack_.size() + 1.
             WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(stack_.size() + 1));
             WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(2));
-            Node* node = Top()->AddElement("#comment");
-            node->AddText(std::move(token.text));
+            Node* node = Top()->AddElement(comment_id_);
+            node->AddText(std::string(token.text()));
           }
           break;
       }
@@ -53,13 +57,18 @@ class TreeBuilder {
  private:
   Node* Top() { return stack_.back(); }
 
-  Status HandleText(HtmlToken& token) {
-    std::string text = std::move(token.text);
+  Status HandleText(const HtmlToken& token) {
+    // The token's text is a view into the input until this point; it is
+    // materialized (and whitespace-normalized) only once a text node is
+    // actually created.
+    std::string_view raw = token.text();
     if (options_.skip_whitespace_text &&
-        StripAsciiWhitespace(text).empty()) {
+        StripAsciiWhitespace(raw).empty()) {
       return Status::Ok();
     }
-    if (options_.collapse_whitespace) text = CollapseWhitespace(text);
+    std::string text = options_.collapse_whitespace
+                           ? CollapseWhitespace(raw)
+                           : std::string(raw);
     if (text.empty()) return Status::Ok();
     // Merge with a preceding text sibling (tokens may split text at
     // ignored markup boundaries).
@@ -85,30 +94,31 @@ class TreeBuilder {
   Status HandleStartTag(HtmlToken& token) {
     // Apply implied-end-tag repairs: close open elements that cannot
     // contain the new tag.
-    while (stack_.size() > 1 && ClosesOnOpen(Top()->name(), token.name)) {
+    while (stack_.size() > 1 &&
+           ClosesOnOpen(Top()->name_id(), token.name_id)) {
       stack_.pop_back();
     }
     // stack_ holds the synthetic #root at depth 0, so its size is the
     // new element's depth.
     WEBRE_RETURN_IF_ERROR(budget_.CheckDepth(stack_.size()));
     WEBRE_RETURN_IF_ERROR(budget_.ChargeNodes(1));
-    Node* element = Top()->AddElement(token.name);
+    Node* element = Top()->AddElement(token.name_id);
     if (options_.keep_attributes) {
       for (Attribute& attr : token.attributes) {
         element->set_attr(attr.name, std::move(attr.value));
       }
     }
-    if (!IsVoidTag(token.name) && !token.self_closing) {
+    if (!IsVoidTag(token.name_id) && !token.self_closing) {
       stack_.push_back(element);
     }
     return Status::Ok();
   }
 
   void HandleEndTag(const HtmlToken& token) {
-    if (IsVoidTag(token.name)) return;  // "</br>" and friends: ignore
+    if (IsVoidTag(token.name_id)) return;  // "</br>" and friends: ignore
     // Find the nearest open element with this name.
     for (size_t i = stack_.size(); i-- > 1;) {
-      if (stack_[i]->name() == token.name) {
+      if (stack_[i]->name_id() == token.name_id) {
         stack_.resize(i);
         return;
       }
@@ -123,13 +133,13 @@ class TreeBuilder {
     Node* html = nullptr;
     for (size_t i = 0; i < root_->child_count(); ++i) {
       Node* child = root_->child(i);
-      if (child->is_element() && child->name() == "html") {
+      if (child->is_element() && child->name_id() == html_id_) {
         html = child;
         break;
       }
     }
     if (html == nullptr) {
-      root_->set_name("html");
+      root_->set_name(html_id_);
       return std::move(root_);
     }
     size_t html_index = root_->IndexOf(html);
@@ -151,6 +161,8 @@ class TreeBuilder {
   ResourceBudget& budget_;
   std::unique_ptr<Node> root_;
   std::vector<Node*> stack_;
+  NameId comment_id_ = kInvalidNameId;
+  NameId html_id_ = kInvalidNameId;
 };
 
 }  // namespace

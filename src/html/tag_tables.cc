@@ -1,5 +1,8 @@
 #include "html/tag_tables.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace webre {
 namespace {
 
@@ -74,6 +77,108 @@ bool ClosesOnOpen(std::string_view open_tag, std::string_view new_tag) {
   if (open_tag == "tr") return new_tag == "tr";
   if (open_tag == "option") return new_tag == "option" || new_tag == "optgroup";
   if (open_tag == "head") return new_tag == "body";
+  return false;
+}
+
+namespace {
+
+// Flag arrays over the NameTable's seeded id range, built once from the
+// string tables above so the two overload families cannot drift apart.
+// Dynamic ids (>= seed_count) fall outside the arrays and classify as
+// "none of the above", which matches the string predicates: the seeded
+// vocabulary contains every classified tag.
+struct TagIdTables {
+  enum : uint8_t {
+    kVoid = 1u << 0,
+    kBlock = 1u << 1,
+    kText = 1u << 2,
+    kList = 1u << 3,
+    kRawText = 1u << 4,
+  };
+
+  std::vector<uint8_t> flags;
+  std::vector<int> weights;
+  NameId p, li, dt, dd, td, th, tr, option, optgroup, head, body;
+
+  TagIdTables() {
+    NameTable& table = NameTable::Global();
+    const size_t n = table.seed_count();
+    flags.assign(n, 0);
+    weights.assign(n, 0);
+    for (NameId id = 0; id < n; ++id) {
+      std::string_view name = table.NameOf(id);
+      uint8_t f = 0;
+      if (IsVoidTag(name)) f |= kVoid;
+      if (IsBlockLevelTag(name)) f |= kBlock;
+      if (IsTextLevelTag(name)) f |= kText;
+      if (IsListTag(name)) f |= kList;
+      if (IsRawTextTag(name)) f |= kRawText;
+      flags[id] = f;
+      weights[id] = GroupTagWeight(name);
+    }
+    p = table.Find("p");
+    li = table.Find("li");
+    dt = table.Find("dt");
+    dd = table.Find("dd");
+    td = table.Find("td");
+    th = table.Find("th");
+    tr = table.Find("tr");
+    option = table.Find("option");
+    optgroup = table.Find("optgroup");
+    head = table.Find("head");
+    body = table.Find("body");
+  }
+
+  bool Has(NameId tag, uint8_t flag) const {
+    return tag < flags.size() && (flags[tag] & flag) != 0;
+  }
+};
+
+const TagIdTables& IdTables() {
+  static const TagIdTables tables;
+  return tables;
+}
+
+}  // namespace
+
+bool IsVoidTag(NameId tag) {
+  return IdTables().Has(tag, TagIdTables::kVoid);
+}
+
+bool IsBlockLevelTag(NameId tag) {
+  return IdTables().Has(tag, TagIdTables::kBlock);
+}
+
+bool IsTextLevelTag(NameId tag) {
+  return IdTables().Has(tag, TagIdTables::kText);
+}
+
+int GroupTagWeight(NameId tag) {
+  const TagIdTables& t = IdTables();
+  return tag < t.weights.size() ? t.weights[tag] : 0;
+}
+
+bool IsListTag(NameId tag) { return IdTables().Has(tag, TagIdTables::kList); }
+
+bool IsRawTextTag(NameId tag) {
+  return IdTables().Has(tag, TagIdTables::kRawText);
+}
+
+bool ClosesOnOpen(NameId open_tag, NameId new_tag) {
+  const TagIdTables& t = IdTables();
+  if (open_tag == t.p) return IsBlockLevelTag(new_tag);
+  if (open_tag == t.li) return new_tag == t.li;
+  if (open_tag == t.dt || open_tag == t.dd) {
+    return new_tag == t.dt || new_tag == t.dd;
+  }
+  if (open_tag == t.td || open_tag == t.th) {
+    return new_tag == t.td || new_tag == t.th || new_tag == t.tr;
+  }
+  if (open_tag == t.tr) return new_tag == t.tr;
+  if (open_tag == t.option) {
+    return new_tag == t.option || new_tag == t.optgroup;
+  }
+  if (open_tag == t.head) return new_tag == t.body;
   return false;
 }
 

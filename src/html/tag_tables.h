@@ -3,6 +3,8 @@
 
 #include <string_view>
 
+#include "xml/name_table.h"
+
 namespace webre {
 
 /// Classification tables for HTML 4-era tags.
@@ -16,33 +18,47 @@ namespace webre {
 ///  - the block/text-level distinction (§2.1) drives parsing repairs.
 /// All lookups expect lowercase tag names (the parser lowercases).
 
+/// Every predicate has a NameId overload that answers from flag arrays
+/// built once over the NameTable's seeded vocabulary — an array index
+/// instead of a chain of string compares. The whole classified
+/// vocabulary is seeded, so a dynamic (non-seeded) id is correctly "not
+/// in any class". The string_view overloads remain for callers that
+/// haven't interned.
+
 /// True for elements that never have content or an end tag (br, hr, img,
 /// input, meta, link, area, base, col, param).
 bool IsVoidTag(std::string_view tag);
+bool IsVoidTag(NameId tag);
 
 /// True for block-level elements (headings, lists, tables, containers).
 bool IsBlockLevelTag(std::string_view tag);
+bool IsBlockLevelTag(NameId tag);
 
 /// True for text-level (inline/font-markup) elements.
 bool IsTextLevelTag(std::string_view tag);
+bool IsTextLevelTag(NameId tag);
 
 /// Grouping priority of a group tag; 0 if `tag` is not a group tag.
 /// h1 has the highest weight, the inline emphasis tags the lowest, per
 /// §2.3.2 ("grouping right siblings of nodes marked with h1 has a higher
 /// priority than grouping right siblings of nodes marked with p").
 int GroupTagWeight(std::string_view tag);
+int GroupTagWeight(NameId tag);
 
 /// True for the paper's list tags: body, table, dl, ul, ol, dir, menu.
 bool IsListTag(std::string_view tag);
+bool IsListTag(NameId tag);
 
 /// True if `tag` is a raw-text element whose content is not HTML markup
 /// (script, style).
 bool IsRawTextTag(std::string_view tag);
+bool IsRawTextTag(NameId tag);
 
 /// True if an open `open_tag` element is implicitly closed when a
 /// `new_tag` start tag appears (HTML optional end tags: p before block
 /// content, li before li, dt/dd before dt/dd, tr/td/th in tables, ...).
 bool ClosesOnOpen(std::string_view open_tag, std::string_view new_tag);
+bool ClosesOnOpen(NameId open_tag, NameId new_tag);
 
 }  // namespace webre
 

@@ -9,15 +9,45 @@
 namespace webre {
 namespace {
 
-bool IsHeading(std::string_view tag) {
-  return tag.size() == 2 && tag[0] == 'h' && tag[1] >= '1' && tag[1] <= '6';
+// Interned ids for the tag classes tidy keys on; all are seeded names,
+// resolved once. Membership tests are then a handful of 32-bit compares.
+struct TidyIds {
+  NameId headings[6];
+  NameId non_content[12];
+
+  TidyIds() {
+    NameTable& table = NameTable::Global();
+    constexpr std::string_view kHeadings[] = {"h1", "h2", "h3",
+                                              "h4", "h5", "h6"};
+    constexpr std::string_view kNonContent[] = {
+        "script", "style",  "select",   "option",   "textarea", "iframe",
+        "object", "applet", "map",      "noscript", "noframes", "#comment"};
+    for (size_t i = 0; i < std::size(kHeadings); ++i) {
+      headings[i] = table.Find(kHeadings[i]);
+    }
+    for (size_t i = 0; i < std::size(kNonContent); ++i) {
+      non_content[i] = table.Find(kNonContent[i]);
+    }
+  }
+};
+
+const TidyIds& Ids() {
+  static const TidyIds ids;
+  return ids;
 }
 
-bool IsNonContentTag(std::string_view tag) {
-  return tag == "script" || tag == "style" || tag == "select" ||
-         tag == "option" || tag == "textarea" || tag == "iframe" ||
-         tag == "object" || tag == "applet" || tag == "map" ||
-         tag == "noscript" || tag == "noframes" || tag == "#comment";
+bool IsHeading(NameId tag) {
+  for (NameId h : Ids().headings) {
+    if (tag == h) return true;
+  }
+  return false;
+}
+
+bool IsNonContentTag(NameId tag) {
+  for (NameId id : Ids().non_content) {
+    if (tag == id) return true;
+  }
+  return false;
 }
 
 // True if the subtree contains any text anywhere.
@@ -33,7 +63,7 @@ bool HasTextPayload(const Node& node) {
 void RemoveNonContent(Node* node) {
   for (size_t i = 0; i < node->child_count();) {
     Node* child = node->child(i);
-    if (child->is_element() && IsNonContentTag(child->name())) {
+    if (child->is_element() && IsNonContentTag(child->name_id())) {
       node->RemoveChild(i);
     } else {
       RemoveNonContent(child);
@@ -48,7 +78,8 @@ void RemoveEmptyElements(Node* node) {
   for (size_t i = 0; i < node->child_count();) {
     Node* child = node->child(i);
     RemoveEmptyElements(child);
-    const bool keep_void = child->is_element() && IsVoidTag(child->name());
+    const bool keep_void =
+        child->is_element() && IsVoidTag(child->name_id());
     if (child->is_element() && !keep_void && child->child_count() == 0 &&
         !HasTextPayload(*child)) {
       node->RemoveChild(i);
@@ -63,14 +94,14 @@ void FixHeadingNesting(Node* node) {
   for (size_t i = 0; i < node->child_count(); ++i) {
     FixHeadingNesting(node->child(i));
   }
-  if (!node->is_element() || !IsHeading(node->name())) return;
+  if (!node->is_element() || !IsHeading(node->name_id())) return;
   Node* parent = node->parent();
   if (parent == nullptr) return;
   size_t self_index = parent->IndexOf(node);
   size_t moved = 0;
   for (size_t i = 0; i < node->child_count();) {
     Node* child = node->child(i);
-    if (child->is_element() && IsHeading(child->name())) {
+    if (child->is_element() && IsHeading(child->name_id())) {
       std::unique_ptr<Node> lifted = node->RemoveChild(i);
       parent->InsertChild(self_index + 1 + moved, std::move(lifted));
       ++moved;
@@ -107,9 +138,9 @@ void UnwrapRedundantInline(Node* node) {
   }
   for (size_t i = 0; i < node->child_count(); ++i) {
     Node* child = node->child(i);
-    while (child->is_element() && IsTextLevelTag(child->name()) &&
+    while (child->is_element() && IsTextLevelTag(child->name_id()) &&
            child->child_count() == 1 && child->child(0)->is_element() &&
-           child->child(0)->name() == child->name()) {
+           child->child(0)->name_id() == child->name_id()) {
       std::unique_ptr<Node> inner = child->RemoveChild(0);
       std::vector<std::unique_ptr<Node>> grandchildren =
           inner->RemoveAllChildren();

@@ -51,7 +51,7 @@ struct FlatTree {
   std::vector<int> keyroots;
 
   int size() const { return static_cast<int>(nodes.size()) - 1; }
-  const std::string& label(int i) const {
+  std::string_view label(int i) const {
     return nodes[static_cast<size_t>(i)]->name();
   }
 };

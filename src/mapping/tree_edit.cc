@@ -24,7 +24,7 @@ int Flatten(const Node& node, FlatTree& out) {
     int child_lld = Flatten(*child, out);
     if (first_leaf < 0) first_leaf = child_lld;
   }
-  out.labels.push_back(node.name());
+  out.labels.emplace_back(node.name());
   const int index = static_cast<int>(out.labels.size()) - 1;
   out.lld.push_back(first_leaf < 0 ? index : first_leaf);
   return out.lld.back();

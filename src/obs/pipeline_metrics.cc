@@ -124,6 +124,8 @@ PipelineMetricsSnapshot::CounterItems() const {
       {"consolidation.nodes_replaced", consolidation_nodes_replaced},
       {"consolidation.replacements_vetoed",
        consolidation_replacements_vetoed},
+      {"mem.node_allocs", mem_node_allocs},
+      {"mem.arena_bytes", mem_arena_bytes},
   };
 }
 
@@ -190,6 +192,9 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
       consolidation.nodes_replaced.value();
   snapshot.consolidation_replacements_vetoed =
       consolidation.replacements_vetoed.value();
+
+  snapshot.mem_node_allocs = mem.node_allocs.value();
+  snapshot.mem_arena_bytes = mem.arena_bytes.value();
 
   snapshot.budget_steps_used = budget.steps_used.value();
   snapshot.budget_nodes_used = budget.nodes_used.value();

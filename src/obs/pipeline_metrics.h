@@ -47,6 +47,13 @@ struct PipelineMetricsSnapshot {
   uint64_t consolidation_nodes_replaced = 0;
   uint64_t consolidation_replacements_vetoed = 0;
 
+  // Memory accounting (DESIGN.md §11): Node allocations across the
+  // batch (arena and heap alike) and total arena payload bytes of the
+  // surviving documents. Both are per-document sums, so they are
+  // byte-identical across thread counts like every other counter.
+  uint64_t mem_node_allocs = 0;
+  uint64_t mem_arena_bytes = 0;
+
   // Resource-budget consumption (ok documents; failed documents stop
   // charging at the stage that tripped).
   uint64_t budget_steps_used = 0;
@@ -148,6 +155,10 @@ class PipelineMetrics {
     Counter nodes_replaced;
     Counter replacements_vetoed;
   } consolidation;
+  struct {
+    Counter node_allocs;
+    Counter arena_bytes;
+  } mem;
   struct {
     Counter steps_used;
     Counter nodes_used;

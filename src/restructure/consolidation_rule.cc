@@ -1,6 +1,8 @@
 #include "restructure/consolidation_rule.h"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "html/tag_tables.h"
 #include "restructure/grouping_rule.h"
@@ -11,7 +13,16 @@ namespace {
 class Consolidator {
  public:
   Consolidator(const ConceptSet& concepts, const ConstraintSet* constraints)
-      : concepts_(concepts), constraints_(constraints) {}
+      : constraints_(constraints) {
+    // Concept membership is tested once per element; resolve the set's
+    // names to interned ids up front so the test is a binary search over
+    // integers instead of a string hash per node.
+    concept_ids_.reserve(concepts.concepts().size());
+    for (const Concept& entry : concepts.concepts()) {
+      concept_ids_.push_back(InternName(entry.name));
+    }
+    std::sort(concept_ids_.begin(), concept_ids_.end());
+  }
 
   ConsolidationStats Run(Node* root) {
     // Bottom-up: consolidate children before deciding the parent's fate.
@@ -22,7 +33,9 @@ class Consolidator {
 
  private:
   bool IsConceptNode(const Node& node) const {
-    return node.is_element() && concepts_.Contains(node.name());
+    return node.is_element() &&
+           std::binary_search(concept_ids_.begin(), concept_ids_.end(),
+                              node.name_id());
   }
 
   void ConsolidateChildren(Node* node) {
@@ -58,7 +71,7 @@ class Consolidator {
       return index;
     }
 
-    if (IsListTag(node->name()) || ChildrenShareOneName(*node)) {
+    if (IsListTag(node->name_id()) || ChildrenShareOneName(*node)) {
       // Push the children up, replacing the node. The node's accumulated
       // text goes to a sole child (it details that child's information,
       // cf. §2.3.1's child-details-parent principle) or, with several
@@ -95,17 +108,17 @@ class Consolidator {
 
   // True when all children are elements sharing one name.
   bool ChildrenShareOneName(const Node& node) const {
-    const std::string* name = nullptr;
+    NameId name = kInvalidNameId;
     for (size_t i = 0; i < node.child_count(); ++i) {
       const Node* child = node.child(i);
       if (!child->is_element()) return false;
-      if (name == nullptr) {
-        name = &child->name();
-      } else if (*name != child->name()) {
+      if (name == kInvalidNameId) {
+        name = child->name_id();
+      } else if (name != child->name_id()) {
         return false;
       }
     }
-    return name != nullptr;
+    return name != kInvalidNameId;
   }
 
   // Index of the first concept child that may become the parent of all
@@ -135,7 +148,7 @@ class Consolidator {
     return first_concept < node.child_count() ? first_concept : 0;
   }
 
-  const ConceptSet& concepts_;
+  std::vector<NameId> concept_ids_;
   const ConstraintSet* constraints_;
   ConsolidationStats stats_;
 };

@@ -79,6 +79,12 @@ struct ConvertStats {
   size_t budget_steps_used = 0;
   size_t budget_nodes_used = 0;
   size_t budget_entities_used = 0;
+  /// Memory accounting, filled by callers that own the allocation
+  /// context (the pipeline, the benches): Node allocations performed
+  /// for this document and, when a NodeArena was installed, the arena
+  /// payload bytes the document's tree occupies. Zero when untracked.
+  size_t mem_node_allocs = 0;
+  size_t mem_arena_bytes = 0;
 };
 
 /// The document conversion process (§2): parses a topic-specific HTML

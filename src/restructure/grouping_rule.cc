@@ -9,31 +9,33 @@ namespace webre {
 namespace {
 
 // Chooses the highest-weight group tag present among `node`'s element
-// children; empty when none. Ties are broken by first occurrence.
-std::string SelectGroupTag(const Node& node) {
-  std::string best;
+// children; kInvalidNameId when none. Ties are broken by first
+// occurrence. Weights are looked up by interned id, so tie-breaking is
+// deterministic regardless of how ids were assigned.
+NameId SelectGroupTag(const Node& node) {
+  NameId best = kInvalidNameId;
   int best_weight = 0;
   for (size_t i = 0; i < node.child_count(); ++i) {
     const Node* child = node.child(i);
     if (!child->is_element()) continue;
-    int weight = GroupTagWeight(child->name());
+    int weight = GroupTagWeight(child->name_id());
     if (weight > best_weight) {
       best_weight = weight;
-      best = child->name();
+      best = child->name_id();
     }
   }
   return best;
 }
 
-size_t GroupChildren(Node* node) {
-  const std::string tag = SelectGroupTag(*node);
-  if (tag.empty()) return 0;
+size_t GroupChildren(Node* node, NameId group_id) {
+  const NameId tag = SelectGroupTag(*node);
+  if (tag == kInvalidNameId) return 0;
 
   // Positions of the marker children N1..Nk.
   std::vector<size_t> markers;
   for (size_t i = 0; i < node->child_count(); ++i) {
     const Node* child = node->child(i);
-    if (child->is_element() && child->name() == tag) markers.push_back(i);
+    if (child->is_element() && child->name_id() == tag) markers.push_back(i);
   }
 
   // Nothing to sink when the last marker is the last child and the
@@ -45,7 +47,7 @@ size_t GroupChildren(Node* node) {
     const size_t marker = markers[m];
     if (end > marker + 1) {
       // Move children (marker, end) under a new GROUP child of marker.
-      std::unique_ptr<Node> group = Node::MakeElement(kGroupTag);
+      std::unique_ptr<Node> group = Node::MakeElement(group_id);
       for (size_t i = marker + 1; i < end;) {
         group->AddChild(node->RemoveChild(marker + 1));
         ++i;
@@ -58,11 +60,11 @@ size_t GroupChildren(Node* node) {
   return groups_created;
 }
 
-size_t Apply(Node* node) {
-  size_t created = GroupChildren(node);
+size_t Apply(Node* node, NameId group_id) {
+  size_t created = GroupChildren(node, group_id);
   for (size_t i = 0; i < node->child_count(); ++i) {
     Node* child = node->child(i);
-    if (child->is_element()) created += Apply(child);
+    if (child->is_element()) created += Apply(child, group_id);
   }
   return created;
 }
@@ -71,7 +73,7 @@ size_t Apply(Node* node) {
 
 size_t ApplyGroupingRule(Node* root) {
   if (root == nullptr) return 0;
-  return Apply(root);
+  return Apply(root, InternName(kGroupTag));
 }
 
 }  // namespace webre

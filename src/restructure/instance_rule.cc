@@ -25,7 +25,9 @@ class InstanceRule {
  public:
   InstanceRule(const ConceptRecognizer& recognizer,
                const ConstraintSet* constraints)
-      : recognizer_(recognizer), constraints_(constraints) {}
+      : recognizer_(recognizer),
+        constraints_(constraints),
+        token_id_(InternName(kTokenTag)) {}
 
   InstanceRuleStats Run(Node* root) {
     Process(root);
@@ -40,7 +42,7 @@ class InstanceRule {
         ++i;
         continue;
       }
-      if (child->name() != kTokenTag) {
+      if (child->name_id() != token_id_) {
         Process(child);
         ++i;
         continue;
@@ -74,7 +76,7 @@ class InstanceRule {
     if (matches.size() == 1) {
       // Case 1: the whole token becomes one concept element.
       std::unique_ptr<Node> element =
-          Node::MakeElement(std::string(matches[0].concept_name));
+          Node::MakeElement(matches[0].concept_name);
       element->set_val(std::string(StripAsciiWhitespace(text)));
       parent->ReplaceChild(index, std::move(element));
       ++stats_.elements_created;
@@ -98,7 +100,7 @@ class InstanceRule {
       const size_t end =
           m + 1 < matches.size() ? matches[m + 1].position : text.size();
       std::unique_ptr<Node> element =
-          Node::MakeElement(std::string(matches[m].concept_name));
+          Node::MakeElement(matches[m].concept_name);
       element->set_val(
           std::string(StripAsciiWhitespace(text.substr(begin, end - begin))));
       parent->InsertChild(insert_at++, std::move(element));
@@ -144,6 +146,7 @@ class InstanceRule {
 
   const ConceptRecognizer& recognizer_;
   const ConstraintSet* constraints_;
+  const NameId token_id_;
   InstanceRuleStats stats_;
 };
 

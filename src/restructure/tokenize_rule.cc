@@ -1,5 +1,6 @@
 #include "restructure/tokenize_rule.h"
 
+#include <string_view>
 #include <vector>
 
 #include "util/strings.h"
@@ -7,25 +8,28 @@
 namespace webre {
 namespace {
 
-size_t TokenizeUnder(Node* node, const TokenizeOptions& options) {
+size_t TokenizeUnder(Node* node, const TokenizeOptions& options,
+                     NameId token_id, std::vector<std::string_view>& pieces) {
   size_t created = 0;
   for (size_t i = 0; i < node->child_count();) {
     Node* child = node->child(i);
     if (child->is_element()) {
-      created += TokenizeUnder(child, options);
+      created += TokenizeUnder(child, options, token_id, pieces);
       ++i;
       continue;
     }
-    // Text node: replace by token nodes at the same position.
-    std::vector<std::string> pieces =
-        SplitAny(child->text(), options.delimiters);
-    node->RemoveChild(i);
+    // Text node: replace by token nodes at the same position. The removed
+    // node is kept alive until all views into its text are consumed; the
+    // scratch vector is drained here before any recursive frame reuses it.
+    std::unique_ptr<Node> removed = node->RemoveChild(i);
+    pieces.clear();
+    SplitAnyViews(removed->text(), options.delimiters, pieces);
     size_t insert_at = i;
-    for (std::string& piece : pieces) {
-      std::string trimmed(StripAsciiWhitespace(piece));
+    for (std::string_view piece : pieces) {
+      std::string_view trimmed = StripAsciiWhitespace(piece);
       if (trimmed.empty()) continue;
-      std::unique_ptr<Node> token = Node::MakeElement(kTokenTag);
-      token->AddText(std::move(trimmed));
+      std::unique_ptr<Node> token = Node::MakeElement(token_id);
+      token->AddText(std::string(trimmed));
       node->InsertChild(insert_at++, std::move(token));
       ++created;
     }
@@ -38,7 +42,8 @@ size_t TokenizeUnder(Node* node, const TokenizeOptions& options) {
 
 size_t ApplyTokenizationRule(Node* root, const TokenizeOptions& options) {
   if (root == nullptr) return 0;
-  return TokenizeUnder(root, options);
+  std::vector<std::string_view> pieces;
+  return TokenizeUnder(root, options, InternName(kTokenTag), pieces);
 }
 
 }  // namespace webre

@@ -26,9 +26,11 @@ void FrequentPathMiner::AddDocument(const Node& root) {
 
 void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
   ++document_count_;
-  // ExtractPaths carries the joined key of each path; only hand-built
-  // DocumentPaths fall back to joining here.
-  const bool have_joined = paths.joined_paths.size() == paths.paths.size();
+  // ExtractPaths fills the statistics vectors parallel to `paths`;
+  // hand-built DocumentPaths may omit them.
+  const bool have_mult = paths.max_multiplicity.size() == paths.paths.size();
+  const bool have_pos = paths.position_sum.size() == paths.paths.size() &&
+                        paths.position_count.size() == paths.paths.size();
   for (size_t pi = 0; pi < paths.paths.size(); ++pi) {
     const LabelPath& path = paths.paths[pi];
     ++stats_.paths_offered;
@@ -48,19 +50,13 @@ void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
     }
     ++node->doc_count;
 
-    std::string joined_storage;
-    if (!have_joined) joined_storage = JoinLabelPath(path);
-    const std::string& joined =
-        have_joined ? paths.joined_paths[pi] : joined_storage;
-    auto mult_it = paths.max_multiplicity.find(joined);
-    if (mult_it != paths.max_multiplicity.end() &&
-        mult_it->second >= options_.rep_threshold) {
+    if (have_mult && paths.max_multiplicity[pi] > 0 &&
+        paths.max_multiplicity[pi] >= options_.rep_threshold) {
       ++node->rep_doc_count;
     }
-    auto pos_sum_it = paths.position_sum.find(joined);
-    if (pos_sum_it != paths.position_sum.end()) {
-      node->position_sum += pos_sum_it->second;
-      node->position_count += paths.position_count.at(joined);
+    if (have_pos && paths.position_count[pi] > 0) {
+      node->position_sum += paths.position_sum[pi];
+      node->position_count += paths.position_count[pi];
     }
   }
 }

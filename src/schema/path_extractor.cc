@@ -1,51 +1,183 @@
 #include "schema/path_extractor.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
+#include <utility>
 
 namespace webre {
 namespace {
 
-void Walk(const Node& node, LabelPath& prefix,
-          std::unordered_set<std::string>& seen, DocumentPaths& out) {
-  prefix.push_back(node.name());
-  const std::string joined = JoinLabelPath(prefix);
-  if (seen.insert(joined).second) {
-    out.paths.push_back(prefix);
-    out.joined_paths.push_back(joined);
+/// Dense per-document path table. A label path is identified during the
+/// walk by a 32-bit dense index; a child path is resolved from its
+/// parent's index and the child's interned name with one probe into an
+/// open-addressing table keyed by the packed (parent, name) pair — no
+/// string is joined or hashed anywhere, and the only allocations are
+/// the table's geometric growth. Label strings are materialized once
+/// per distinct path at the very end.
+class PathTable {
+ public:
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+  struct Entry {
+    uint32_t parent;  // dense index of the parent path, kNoParent for root
+    NameId name;      // leaf label
+    size_t max_multiplicity = 0;
+    double position_sum = 0.0;
+    size_t position_count = 0;
+    bool emitted = false;  // already appended to the pre-order path list
+  };
+
+  PathTable() { Rehash(kInitialSlots); }
+
+  /// Dense index of the path `parent_index / name`, creating it if new.
+  uint32_t Resolve(uint32_t parent_index, NameId name) {
+    const uint64_t key =
+        (static_cast<uint64_t>(parent_index) << 32) | name;
+    size_t slot = Mix(key) & mask_;
+    while (true) {
+      if (keys_[slot] == key) return values_[slot];
+      if (keys_[slot] == kEmptySlot) break;
+      slot = (slot + 1) & mask_;
+    }
+    const uint32_t index = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{parent_index, name});
+    keys_[slot] = key;
+    values_[slot] = index;
+    if (++used_ * 4 > keys_.size() * 3) Rehash(keys_.size() * 2);
+    return index;
   }
 
-  // Multiplicity: how many same-label siblings does this node have
-  // (including itself)? Computed from the parent side below for
-  // children; for the root it is 1.
-  // Ordering and multiplicity are recorded per child here so both are
-  // gathered in the single walk.
+  Entry& entry(uint32_t i) { return entries_[i]; }
+
+  /// Records `i` as the next distinct path in document pre-order; no-op
+  /// if the path was already seen (the dedup the paper requires, §3.2).
+  void Emit(uint32_t i) {
+    if (entries_[i].emitted) return;
+    entries_[i].emitted = true;
+    emit_order_.push_back(i);
+  }
+
+  /// Scratch for Walk's per-node sibling counting. Owned here so the
+  /// whole recursive walk reuses one buffer: each frame finishes with
+  /// the counts before recursing into any child.
+  std::vector<std::pair<NameId, size_t>>& sibling_scratch() {
+    return sibling_scratch_;
+  }
+
+  /// Fills the public DocumentPaths (label paths in emit order plus the
+  /// parallel statistics vectors) from the dense table.
+  void Materialize(DocumentPaths& out) const {
+    NameTable& names = NameTable::Global();
+    out.paths.reserve(emit_order_.size());
+    out.max_multiplicity.reserve(emit_order_.size());
+    out.position_sum.reserve(emit_order_.size());
+    out.position_count.reserve(emit_order_.size());
+    for (uint32_t i : emit_order_) {
+      LabelPath path;
+      for (uint32_t j = i; j != kNoParent; j = entries_[j].parent) {
+        path.emplace_back(names.NameOf(entries_[j].name));
+      }
+      std::reverse(path.begin(), path.end());
+      out.paths.push_back(std::move(path));
+      const Entry& e = entries_[i];
+      out.max_multiplicity.push_back(e.max_multiplicity);
+      out.position_sum.push_back(e.position_sum);
+      out.position_count.push_back(e.position_count);
+    }
+  }
+
+ private:
+  // (kNoParent, kInvalidNameId) can never be resolved — text nodes have
+  // no path — so the all-ones key doubles as the empty-slot marker.
+  static constexpr uint64_t kEmptySlot = 0xFFFFFFFFFFFFFFFFull;
+  static constexpr size_t kInitialSlots = 128;  // power of two
+
+  static uint64_t Mix(uint64_t key) {
+    // splitmix64 finalizer: full-width avalanche of the packed pair.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return key;
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    keys_.assign(new_slots, kEmptySlot);
+    values_.assign(new_slots, 0);
+    mask_ = new_slots - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptySlot) continue;
+      size_t slot = Mix(old_keys[i]) & mask_;
+      while (keys_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> emit_order_;
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+  std::vector<std::pair<NameId, size_t>> sibling_scratch_;
+};
+
+void Walk(const Node& node, uint32_t path_index, PathTable& table) {
+  table.Emit(path_index);
+
+  // Multiplicity: how many same-label siblings does each child have
+  // (including itself)? Counted into the table's scratch buffer — a
+  // linear scan beats a hash map at real fan-outs, and the buffer is
+  // fully consumed below before any recursive frame reuses it.
+  std::vector<std::pair<NameId, size_t>>& counts = table.sibling_scratch();
+  counts.clear();
+  for (size_t i = 0; i < node.child_count(); ++i) {
+    const Node* child = node.child(i);
+    if (!child->is_element()) continue;
+    const NameId name = child->name_id();
+    bool found = false;
+    for (auto& [id, count] : counts) {
+      if (id == name) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(name, 1);
+  }
   size_t element_index = 0;
-  std::unordered_map<std::string, size_t> sibling_counts;
   for (size_t i = 0; i < node.child_count(); ++i) {
     const Node* child = node.child(i);
     if (!child->is_element()) continue;
-    ++sibling_counts[child->name()];
-  }
-  for (size_t i = 0; i < node.child_count(); ++i) {
-    const Node* child = node.child(i);
-    if (!child->is_element()) continue;
-    prefix.push_back(child->name());
-    const std::string child_joined = JoinLabelPath(prefix);
-    prefix.pop_back();
-
-    size_t& max_mult = out.max_multiplicity[child_joined];
-    max_mult = std::max(max_mult, sibling_counts[child->name()]);
-    out.position_sum[child_joined] += static_cast<double>(element_index);
-    ++out.position_count[child_joined];
+    const uint32_t child_path = table.Resolve(path_index, child->name_id());
+    {
+      size_t multiplicity = 0;
+      for (const auto& [id, count] : counts) {
+        if (id == child->name_id()) {
+          multiplicity = count;
+          break;
+        }
+      }
+      PathTable::Entry& e = table.entry(child_path);
+      e.max_multiplicity = std::max(e.max_multiplicity, multiplicity);
+      e.position_sum += static_cast<double>(element_index);
+      ++e.position_count;
+    }
     ++element_index;
   }
 
+  // Recurse only after the whole sibling pass: the scratch buffer and
+  // any Entry references are dead by now, so reuse and reallocation in
+  // deeper frames are safe. Resolve is a pure lookup the second time.
   for (size_t i = 0; i < node.child_count(); ++i) {
     const Node* child = node.child(i);
-    if (child->is_element()) Walk(*child, prefix, seen, out);
+    if (!child->is_element()) continue;
+    Walk(*child, table.Resolve(path_index, child->name_id()), table);
   }
-  prefix.pop_back();
 }
 
 }  // namespace
@@ -53,10 +185,13 @@ void Walk(const Node& node, LabelPath& prefix,
 DocumentPaths ExtractPaths(const Node& root) {
   DocumentPaths out;
   if (!root.is_element()) return out;
-  LabelPath prefix;
-  std::unordered_set<std::string> seen;
-  out.max_multiplicity[root.name()] = 1;
-  Walk(root, prefix, seen, out);
+  PathTable table;
+  const uint32_t root_path =
+      table.Resolve(PathTable::kNoParent, root.name_id());
+  // The root path occurs exactly once per document.
+  table.entry(root_path).max_multiplicity = 1;
+  Walk(root, root_path, table);
+  table.Materialize(out);
   return out;
 }
 

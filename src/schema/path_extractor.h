@@ -2,8 +2,6 @@
 #define WEBRE_SCHEMA_PATH_EXTRACTOR_H_
 
 #include <cstddef>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "schema/label_path.h"
@@ -17,26 +15,29 @@ namespace webre {
 /// same path in only a very few documents" — plus two side statistics
 /// recorded "without computational overhead" during the same walk:
 ///
-///  - `max_multiplicity[p]`: the largest number of same-label siblings
-///    the leaf of path `p` has anywhere in the document (the ⟨p, num⟩
+///  - `max_multiplicity[i]`: the largest number of same-label siblings
+///    the leaf of `paths[i]` has anywhere in the document (the ⟨p, num⟩
 ///    of the repetitive-elements rule);
-///  - `position_sum[p]` / `position_count[p]`: accumulated child indices
-///    of the leaf of `p` among its parent's element children (the
+///  - `position_sum[i]` / `position_count[i]`: accumulated child indices
+///    of the leaf of `paths[i]` among its parent's element children (the
 ///    ordering rule's "average position").
+///
+/// The statistics vectors are parallel to `paths` — no string keys are
+/// joined or hashed anywhere on this struct's hot path; consumers index
+/// by path position. Callers assembling DocumentPaths by hand may leave
+/// the statistics vectors empty (FrequentPathMiner treats missing
+/// statistics as "none recorded").
 struct DocumentPaths {
-  /// Distinct label paths, root first. The root's one-element path is
-  /// included.
+  /// Distinct label paths in document pre-order, root first. The root's
+  /// one-element path is included.
   std::vector<LabelPath> paths;
-  /// JoinLabelPath(paths[i]), precomputed during extraction so consumers
-  /// (FrequentPathMiner::AddDocumentPaths) can key the side-tables
-  /// without re-joining every path per document. Parallel to `paths`;
-  /// callers assembling DocumentPaths by hand may leave it empty and the
-  /// miner joins on demand.
-  std::vector<std::string> joined_paths;
-  /// Keyed by JoinLabelPath(p).
-  std::unordered_map<std::string, size_t> max_multiplicity;
-  std::unordered_map<std::string, double> position_sum;
-  std::unordered_map<std::string, size_t> position_count;
+  /// Parallel to `paths`; 0 means the leaf never appeared as a counted
+  /// sibling (hand-built inputs).
+  std::vector<size_t> max_multiplicity;
+  /// Parallel to `paths`; position_count[i] == 0 means no ordering
+  /// statistic was recorded for paths[i].
+  std::vector<double> position_sum;
+  std::vector<size_t> position_count;
 };
 
 /// Extracts paths(T) and the side statistics from the document rooted at

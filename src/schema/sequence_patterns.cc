@@ -112,7 +112,7 @@ void Collect(const Node& node, const LabelPath& parent_path, size_t depth,
     std::vector<std::string> sequence;
     for (size_t i = 0; i < node.child_count(); ++i) {
       const Node* child = node.child(i);
-      if (child->is_element()) sequence.push_back(child->name());
+      if (child->is_element()) sequence.emplace_back(child->name());
     }
     out.push_back(std::move(sequence));
     return;

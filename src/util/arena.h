@@ -1,0 +1,74 @@
+#ifndef WEBRE_UTIL_ARENA_H_
+#define WEBRE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace webre {
+
+/// Bump-pointer arena: allocations are O(1) pointer advances into large
+/// blocks, and everything is freed at once when the arena dies (or on
+/// Reset). There is no per-allocation free — that is the point: the
+/// conversion pipeline rewrites a document's tree thousands of times and
+/// node-by-node heap traffic was the dominant cost (DESIGN.md §11).
+///
+/// Not thread-safe; each arena is owned by one document at a time. Blocks
+/// double geometrically from `initial_block_bytes` up to kMaxBlockBytes,
+/// so small documents stay within a single block while large ones do
+/// O(log n) block allocations total.
+class Arena {
+ public:
+  static constexpr size_t kDefaultInitialBlockBytes = 16 * 1024;
+  static constexpr size_t kMaxBlockBytes = 8 * 1024 * 1024;
+
+  explicit Arena(size_t initial_block_bytes = kDefaultInitialBlockBytes)
+      : next_block_bytes_(initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two). An
+  /// allocation larger than kMaxBlockBytes gets its own dedicated block.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + size > limit_) return AllocateSlow(size, align);
+    cursor_ = p + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Payload bytes handed out (excluding alignment padding and block
+  /// slack). This is the figure exported as `mem_arena_bytes`.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Bytes reserved from the system allocator across all blocks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Number of blocks currently held.
+  size_t block_count() const { return blocks_.size(); }
+
+  /// Drops every block and rewinds all counters. Everything previously
+  /// allocated from this arena becomes invalid.
+  void Reset();
+
+ private:
+  void* AllocateSlow(size_t size, size_t align);
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  std::vector<Block> blocks_;
+  uintptr_t cursor_ = 0;  // next free byte in the current block
+  uintptr_t limit_ = 0;   // one past the current block's end
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_UTIL_ARENA_H_

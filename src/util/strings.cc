@@ -103,6 +103,18 @@ std::vector<std::string> SplitAny(std::string_view s, std::string_view delims,
   return pieces;
 }
 
+void SplitAnyViews(std::string_view s, std::string_view delims,
+                   std::vector<std::string_view>& out, bool keep_empty) {
+  size_t begin = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (delims.find(s[i]) != std::string_view::npos) {
+      if (keep_empty || i > begin) out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  if (keep_empty || s.size() > begin) out.push_back(s.substr(begin));
+}
+
 std::vector<std::string> SplitWords(std::string_view s) {
   std::vector<std::string> words;
   std::string current;

@@ -63,6 +63,13 @@ std::string CollapseWhitespace(std::string_view s);
 std::vector<std::string> SplitAny(std::string_view s, std::string_view delims,
                                   bool keep_empty = false);
 
+/// Appends the pieces of `s` between delimiter characters to `out` as
+/// views into `s` (valid only while the underlying buffer lives). Lets
+/// hot loops reuse one scratch vector instead of allocating per call.
+void SplitAnyViews(std::string_view s, std::string_view delims,
+                   std::vector<std::string_view>& out,
+                   bool keep_empty = false);
+
 /// Splits `s` into whitespace-delimited words.
 std::vector<std::string> SplitWords(std::string_view s);
 

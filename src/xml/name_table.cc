@@ -1,0 +1,133 @@
+#include "xml/name_table.h"
+
+#include <stdexcept>
+
+namespace webre {
+namespace {
+
+// The seeded vocabulary: every name the conversion hot path interns on
+// a typical document, so steady-state interning never touches the
+// dynamic map's mutex.
+//
+// Order defines the seeded ids and is frozen: appending is fine,
+// reordering silently changes seeded ids (harmless for correctness —
+// nothing may depend on id order — but keep it stable anyway so runs of
+// different binaries agree in debugging sessions).
+constexpr std::string_view kSeedNames[] = {
+    // Synthetic pipeline names.
+    "#root", "#comment", "TOKEN", "GROUP",
+    // Default document root names.
+    "resume", "catalog", "html",
+    // HTML 4-era tag vocabulary (tag_tables.cc classifies these).
+    "head", "body", "title", "div", "p", "h1", "h2", "h3", "h4", "h5",
+    "h6", "ul", "ol", "dl", "li", "dt", "dd", "dir", "menu", "table",
+    "tr", "td", "th", "thead", "tbody", "tfoot", "caption", "blockquote",
+    "pre", "center", "form", "address", "hr", "fieldset", "frame",
+    "frameset", "br", "img", "input", "meta", "link", "area", "base",
+    "col", "param", "isindex", "basefont", "b", "i", "u", "em", "strong",
+    "font", "span", "a", "tt", "code", "small", "big", "sub", "sup", "s",
+    "strike", "abbr", "acronym", "cite", "q", "samp", "kbd", "var",
+    "dfn", "ins", "del", "label", "script", "style", "select", "option",
+    "optgroup", "textarea", "iframe", "object", "applet", "map",
+    "noscript", "noframes",
+    // Bundled resume-domain concept names (concepts/resume_domain.cc).
+    "CONTACT", "OBJECTIVE", "EDUCATION", "EXPERIENCE", "SKILLS", "AWARDS",
+    "ACTIVITIES", "REFERENCE", "COURSES", "PUBLICATIONS", "SUMMARY",
+    "INSTITUTION", "DEGREE", "DATE", "GPA", "MAJOR", "COMPANY",
+    "JOBTITLE", "LOCATION", "EMAIL", "PHONE", "NAME", "COURSE",
+    "LANGUAGE",
+    // Bundled catalog-domain concept names (corpus/catalog_generator.cc).
+    "CATEGORY", "BRAND", "PRICE", "RATING", "WARRANTY",
+};
+
+}  // namespace
+
+NameTable& NameTable::Global() {
+  // Leaked singleton: interned views must stay valid for the process
+  // lifetime, including during static destruction of late finalizers.
+  static NameTable& table = *new NameTable();
+  return table;
+}
+
+NameTable::NameTable() {
+  seeded_.reserve(std::size(kSeedNames) * 2);
+  for (std::string_view name : kSeedNames) {
+    // Duplicate seeds would silently shift ids; Append dedups via the
+    // seeded map built so far.
+    if (seeded_.find(name) != seeded_.end()) continue;
+    NameId id = Append(name);
+    seeded_.emplace(NameOf(id), id);
+  }
+  seed_count_ = count_.load(std::memory_order_relaxed);
+}
+
+NameId NameTable::Intern(std::string_view name) {
+  auto it = seeded_.find(name);
+  if (it != seeded_.end()) return it->second;
+  return InternDynamic(name);
+}
+
+NameId NameTable::InternLowercase(std::string_view name) {
+  char buf[64];
+  if (name.size() <= sizeof(buf)) {
+    bool changed = false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      char c = name[i];
+      if (c >= 'A' && c <= 'Z') {
+        c = static_cast<char>(c - 'A' + 'a');
+        changed = true;
+      }
+      buf[i] = c;
+    }
+    return Intern(changed ? std::string_view(buf, name.size()) : name);
+  }
+  std::string lowered(name);
+  for (char& c : lowered) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return Intern(lowered);
+}
+
+NameId NameTable::Find(std::string_view name) const {
+  auto it = seeded_.find(name);
+  if (it != seeded_.end()) return it->second;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto dyn = dynamic_.find(name);
+  return dyn != dynamic_.end() ? dyn->second : kInvalidNameId;
+}
+
+NameId NameTable::InternDynamic(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dynamic_.find(name);
+  if (it != dynamic_.end()) return it->second;
+  NameId id = Append(name);
+  dynamic_.emplace(NameOf(id), id);
+  return id;
+}
+
+NameId NameTable::Append(std::string_view name) {
+  size_t count = count_.load(std::memory_order_relaxed);
+  if (count >= kMaxNames) {
+    throw std::length_error(
+        "NameTable: interned-name capacity exceeded (" +
+        std::to_string(kMaxNames) + " distinct element names)");
+  }
+  char* data = static_cast<char*>(storage_.Allocate(name.size(), 1));
+  if (!name.empty()) name.copy(data, name.size());
+
+  size_t chunk_index = count >> kChunkShift;
+  Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = static_cast<Entry*>(
+        storage_.Allocate(sizeof(Entry) * kChunkSize, alignof(Entry)));
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  chunk[count & (kChunkSize - 1)] =
+      Entry{data, static_cast<uint32_t>(name.size())};
+  // Publish after the entry is fully written: a reader holding id
+  // `count` can only have obtained it after this store.
+  count_.store(count + 1, std::memory_order_release);
+  return static_cast<NameId>(count);
+}
+
+}  // namespace webre

@@ -1,0 +1,123 @@
+#ifndef WEBRE_XML_NAME_TABLE_H_
+#define WEBRE_XML_NAME_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/arena.h"
+
+namespace webre {
+
+/// Interned element-name handle. Equal ids ⇔ equal name strings (one
+/// global table), so name equality anywhere in the pipeline is a 32-bit
+/// integer compare instead of a string compare, and a `Node` carries
+/// 4 bytes instead of an owned std::string.
+using NameId = uint32_t;
+
+/// Id carried by text nodes (they have no name); NameTable::NameOf maps
+/// it to the empty view.
+inline constexpr NameId kInvalidNameId = 0xFFFFFFFFu;
+
+/// Process-wide element-name interner.
+///
+/// The table is pre-seeded (at first use, before any thread fan-out)
+/// with the HTML tag vocabulary, the pipeline's synthetic names
+/// (#root, #comment, TOKEN, GROUP) and the bundled domain concept
+/// names, so the conversion hot path interns with zero locking: seeded
+/// lookups hit an immutable map, and NameOf is an array index into
+/// chunked storage published with release/acquire ordering. Only a
+/// never-before-seen dynamic name (an exotic author tag) takes the
+/// mutex, once per distinct name for the process lifetime.
+///
+/// Ids are assigned in first-intern order: seeded names have stable ids
+/// across runs; dynamic ids may vary with thread interleaving, so no
+/// output may ever depend on the *order* of ids — only on equality.
+/// (The determinism suite pins this.)
+///
+/// Growth: the table never shrinks. Capacity is kMaxNames entries;
+/// exceeding it throws std::length_error, which the pipeline's
+/// per-document exception barrier converts into one failed document.
+class NameTable {
+ public:
+  /// 2^20 distinct names ≈ far beyond any real corpus vocabulary, small
+  /// enough that a hostile batch fails fast instead of eating the heap.
+  static constexpr size_t kMaxNames = 1u << 20;
+
+  /// The process-wide table (constructed, and seeded, on first use).
+  static NameTable& Global();
+
+  /// Returns the id for `name`, interning it if new.
+  NameId Intern(std::string_view name);
+
+  /// Interns the ASCII-lowercased form of `name` without materializing
+  /// an intermediate std::string for short names (tag names in the
+  /// lexer hot path).
+  NameId InternLowercase(std::string_view name);
+
+  /// Returns the id for `name` if present, else kInvalidNameId. Never
+  /// inserts; lock-free for seeded names.
+  NameId Find(std::string_view name) const;
+
+  /// The interned string for `id`; empty view for kInvalidNameId. The
+  /// returned view is valid for the process lifetime (storage is
+  /// append-only and pointer-stable).
+  std::string_view NameOf(NameId id) const {
+    if (id == kInvalidNameId) return {};
+    const Entry* chunk =
+        chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+    const Entry& e = chunk[id & (kChunkSize - 1)];
+    return std::string_view(e.data, e.size);
+  }
+
+  /// Number of interned names (seeded + dynamic).
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Number of pre-seeded names; ids below this are the frozen seeded
+  /// vocabulary (tag_tables builds its flag arrays over this range).
+  size_t seed_count() const { return seed_count_; }
+
+ private:
+  static constexpr size_t kChunkShift = 12;
+  static constexpr size_t kChunkSize = 1u << kChunkShift;
+  static constexpr size_t kNumChunks = kMaxNames / kChunkSize;
+
+  struct Entry {
+    const char* data;
+    uint32_t size;
+  };
+
+  NameTable();
+
+  /// Slow path: mutex-guarded lookup/insert of a non-seeded name.
+  NameId InternDynamic(std::string_view name);
+
+  /// Appends `name` to the stable storage and publishes its entry.
+  /// Caller holds mutex_.
+  NameId Append(std::string_view name);
+
+  // Seeded vocabulary: immutable after the constructor, hence read
+  // lock-free. Keys view into storage owned by `storage_`.
+  std::unordered_map<std::string_view, NameId> seeded_;
+  size_t seed_count_ = 0;
+
+  std::atomic<Entry*> chunks_[kNumChunks] = {};
+  std::atomic<size_t> count_{0};
+
+  mutable std::mutex mutex_;
+  // Dynamic names seen so far (keys view into `storage_`).
+  std::unordered_map<std::string_view, NameId> dynamic_;
+  Arena storage_;  // character data + Entry chunks, pointer-stable
+};
+
+/// Convenience: Global().Intern(name).
+inline NameId InternName(std::string_view name) {
+  return NameTable::Global().Intern(name);
+}
+
+}  // namespace webre
+
+#endif  // WEBRE_XML_NAME_TABLE_H_

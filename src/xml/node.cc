@@ -1,14 +1,62 @@
 #include "xml/node.h"
 
 #include <cassert>
+#include <new>
 #include <utility>
 
-namespace webre {
+#include "xml/node_arena.h"
 
-std::unique_ptr<Node> Node::MakeElement(std::string name) {
+namespace webre {
+namespace {
+
+// Hidden allocation header prepended to every Node. 16 bytes keeps the
+// node payload aligned for max_align_t on all supported targets.
+constexpr size_t kNodeHeaderBytes = 16;
+static_assert(kNodeHeaderBytes % alignof(std::max_align_t) == 0,
+              "node header must preserve max alignment");
+
+enum class AllocOrigin : uint64_t { kHeap = 0, kArena = 1 };
+
+thread_local uint64_t tls_node_allocations = 0;
+
+}  // namespace
+
+void* Node::operator new(size_t size) {
+  ++tls_node_allocations;
+  NodeArena* arena = NodeArena::Current();
+  void* raw = arena != nullptr
+                  ? arena->AllocateNode(size + kNodeHeaderBytes)
+                  : ::operator new(size + kNodeHeaderBytes);
+  *static_cast<uint64_t*>(raw) = static_cast<uint64_t>(
+      arena != nullptr ? AllocOrigin::kArena : AllocOrigin::kHeap);
+  return static_cast<char*>(raw) + kNodeHeaderBytes;
+}
+
+void Node::operator delete(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  void* raw = static_cast<char*>(ptr) - kNodeHeaderBytes;
+  // Arena nodes are freed wholesale when their arena dies; the
+  // destructor has already run by the time we get here.
+  if (*static_cast<uint64_t*>(raw) ==
+      static_cast<uint64_t>(AllocOrigin::kHeap)) {
+    ::operator delete(raw);
+  }
+}
+
+void Node::operator delete(void* ptr, size_t /*size*/) noexcept {
+  Node::operator delete(ptr);
+}
+
+uint64_t Node::AllocationsOnThisThread() { return tls_node_allocations; }
+
+std::unique_ptr<Node> Node::MakeElement(NameId name) {
   auto node = std::unique_ptr<Node>(new Node(NodeType::kElement));
-  node->name_ = std::move(name);
+  node->name_id_ = name;
   return node;
+}
+
+std::unique_ptr<Node> Node::MakeElement(std::string_view name) {
+  return MakeElement(NameTable::Global().Intern(name));
 }
 
 std::unique_ptr<Node> Node::MakeText(std::string text) {
@@ -129,8 +177,10 @@ std::unique_ptr<Node> Node::ReplaceChild(size_t index,
   return old;
 }
 
-Node* Node::AddElement(std::string name) {
-  return AddChild(MakeElement(std::move(name)));
+Node* Node::AddElement(NameId name) { return AddChild(MakeElement(name)); }
+
+Node* Node::AddElement(std::string_view name) {
+  return AddChild(MakeElement(name));
 }
 
 Node* Node::AddText(std::string text) {
@@ -138,20 +188,41 @@ Node* Node::AddText(std::string text) {
 }
 
 std::unique_ptr<Node> Node::Clone() const {
-  std::unique_ptr<Node> copy(new Node(type_));
-  copy->name_ = name_;
-  copy->text_ = text_;
-  copy->attributes_ = attributes_;
-  copy->children_.reserve(children_.size());
-  for (const auto& child : children_) {
-    copy->AddChild(child->Clone());
+  auto copy_one = [](const Node& src) {
+    std::unique_ptr<Node> copy(new Node(src.type_));
+    copy->name_id_ = src.name_id_;
+    copy->text_ = src.text_;
+    copy->attributes_ = src.attributes_;
+    return copy;
+  };
+  std::unique_ptr<Node> root = copy_one(*this);
+  // Iterative DFS: (source node, already-built copy of it). Children are
+  // pushed in reverse so left-to-right order is preserved, though order
+  // on the work-list is irrelevant — each pair is independent.
+  std::vector<std::pair<const Node*, Node*>> pending;
+  pending.emplace_back(this, root.get());
+  while (!pending.empty()) {
+    auto [src, dst] = pending.back();
+    pending.pop_back();
+    dst->children_.reserve(src->children_.size());
+    for (const auto& child : src->children_) {
+      Node* child_copy = dst->AddChild(copy_one(*child));
+      pending.emplace_back(child.get(), child_copy);
+    }
   }
-  return copy;
+  return root;
 }
 
 size_t Node::SubtreeSize() const {
-  size_t count = 1;
-  for (const auto& child : children_) count += child->SubtreeSize();
+  size_t count = 0;
+  std::vector<const Node*> pending;
+  pending.push_back(this);
+  while (!pending.empty()) {
+    const Node* node = pending.back();
+    pending.pop_back();
+    ++count;
+    for (const auto& child : node->children_) pending.push_back(child.get());
+  }
   return count;
 }
 
@@ -175,7 +246,7 @@ void Node::PreOrderMutable(const std::function<void(Node&)>& visit) {
 }
 
 bool operator==(const Node& a, const Node& b) {
-  if (a.type_ != b.type_ || a.name_ != b.name_ || a.text_ != b.text_ ||
+  if (a.type_ != b.type_ || a.name_id_ != b.name_id_ || a.text_ != b.text_ ||
       a.attributes_ != b.attributes_ ||
       a.children_.size() != b.children_.size()) {
     return false;

@@ -2,11 +2,14 @@
 #define WEBRE_XML_NODE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "xml/name_table.h"
 
 namespace webre {
 
@@ -30,16 +33,28 @@ struct Attribute {
 ///
 /// The paper "considers an input HTML document as XML document" (§2.3):
 /// both the parsed HTML tree and the restructured XML tree use this type.
-/// Element names are stored verbatim; HTML parsing lowercases tag names
-/// while the restructuring rules emit uppercase concept names, so the two
+/// Element names are interned in the process-wide NameTable and stored
+/// as 32-bit NameIds, so renames and name-equality checks in the
+/// restructuring rules are integer operations and a node carries no
+/// owned name string. HTML parsing lowercases tag names while the
+/// restructuring rules emit uppercase concept names, so the two
 /// vocabularies never collide.
 ///
 /// Ownership: a node owns its children via unique_ptr; `parent()` is a
 /// non-owning back-pointer maintained by the mutation methods.
+///
+/// Allocation: when a NodeArena is installed on the current thread
+/// (NodeArenaScope), nodes are carved out of it and `delete` frees no
+/// memory — the document's whole tree dies in O(1) with the arena.
+/// Without a scope, nodes come from the heap as usual. Each node carries
+/// a one-word hidden header recording its origin, so heap nodes and
+/// arena nodes can be destroyed through the same unique_ptr machinery.
 class Node {
  public:
-  /// Creates an element node with the given name.
-  static std::unique_ptr<Node> MakeElement(std::string name);
+  /// Creates an element node with the given (interned) name.
+  static std::unique_ptr<Node> MakeElement(NameId name);
+  /// Creates an element node, interning `name`.
+  static std::unique_ptr<Node> MakeElement(std::string_view name);
   /// Creates a text node with the given character data.
   static std::unique_ptr<Node> MakeText(std::string text);
 
@@ -52,14 +67,33 @@ class Node {
   /// without resource limits.
   ~Node();
 
+  /// Arena-aware allocation (see class comment). The sized/unsized
+  /// deletes both understand the hidden origin header.
+  static void* operator new(size_t size);
+  static void operator delete(void* ptr) noexcept;
+  static void operator delete(void* ptr, size_t size) noexcept;
+
+  /// Nodes constructed on the calling thread since process start, arena
+  /// and heap alike. The pipeline differences this around a document to
+  /// report `mem_node_allocs` without a global atomic in the hot path.
+  static uint64_t AllocationsOnThisThread();
+
   NodeType type() const { return type_; }
   bool is_element() const { return type_ == NodeType::kElement; }
   bool is_text() const { return type_ == NodeType::kText; }
 
-  /// Element name; empty for text nodes.
-  const std::string& name() const { return name_; }
+  /// Interned element name id; kInvalidNameId for text nodes.
+  NameId name_id() const { return name_id_; }
+  /// Element name; empty for text nodes. The view points into the
+  /// process-wide NameTable and never dangles.
+  std::string_view name() const {
+    return NameTable::Global().NameOf(name_id_);
+  }
   /// Renames the element.
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(NameId name) { name_id_ = name; }
+  void set_name(std::string_view name) {
+    name_id_ = NameTable::Global().Intern(name);
+  }
 
   /// Character data; empty for element nodes.
   const std::string& text() const { return text_; }
@@ -115,14 +149,16 @@ class Node {
                                      std::unique_ptr<Node> replacement);
 
   /// Convenience: appends a fresh element child and returns it.
-  Node* AddElement(std::string name);
+  Node* AddElement(NameId name);
+  Node* AddElement(std::string_view name);
   /// Convenience: appends a fresh text child and returns it.
   Node* AddText(std::string text);
 
-  /// Deep copy (parent of the copy is null).
+  /// Deep copy (parent of the copy is null). Iterative: cloning a tree
+  /// deeper than the stack is safe, matching the destructor's guarantee.
   std::unique_ptr<Node> Clone() const;
 
-  /// Number of nodes in this subtree, including this node.
+  /// Number of nodes in this subtree, including this node. Iterative.
   size_t SubtreeSize() const;
 
   /// Depth of this node: 0 for a root, parent depth + 1 otherwise.
@@ -144,7 +180,7 @@ class Node {
   explicit Node(NodeType type) : type_(type) {}
 
   NodeType type_;
-  std::string name_;
+  NameId name_id_ = kInvalidNameId;
   std::string text_;
   Node* parent_ = nullptr;
   std::vector<Attribute> attributes_;

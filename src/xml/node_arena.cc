@@ -1,0 +1,21 @@
+#include "xml/node_arena.h"
+
+namespace webre {
+namespace {
+
+thread_local NodeArena* tls_current_arena = nullptr;
+
+}  // namespace
+
+NodeArena* NodeArena::Current() { return tls_current_arena; }
+
+NodeArenaScope::NodeArenaScope(NodeArena* arena)
+    : previous_(tls_current_arena), installed_(arena != nullptr) {
+  if (installed_) tls_current_arena = arena;
+}
+
+NodeArenaScope::~NodeArenaScope() {
+  if (installed_) tls_current_arena = previous_;
+}
+
+}  // namespace webre

@@ -272,8 +272,10 @@ class Parser {
     };
 
     while (true) {
-      if (AtEnd()) return Error("unterminated element <" + element->name() +
-                                ">");
+      if (AtEnd()) {
+        return Error("unterminated element <" +
+                     std::string(element->name()) + ">");
+      }
       if (Peek() == '<') {
         if (PeekAt(1) == '/') {
           WEBRE_RETURN_IF_ERROR(flush_text());
@@ -284,7 +286,7 @@ class Parser {
           if (!Consume(">")) return Error("expected '>' in end tag");
           if (end_name.value() != element->name()) {
             return Error("mismatched end tag </" + end_name.value() +
-                         "> for <" + element->name() + ">");
+                         "> for <" + std::string(element->name()) + ">");
           }
           return element;
         }

@@ -70,19 +70,19 @@ TEST(HtmlLexerTest, SimpleTagsAndText) {
   auto tokens = Lex("<p>hello</p>");
   ASSERT_EQ(tokens.size(), 3u);
   EXPECT_EQ(tokens[0].type, HtmlTokenType::kStartTag);
-  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[0].name(), "p");
   EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
-  EXPECT_EQ(tokens[1].text, "hello");
+  EXPECT_EQ(tokens[1].text(), "hello");
   EXPECT_EQ(tokens[2].type, HtmlTokenType::kEndTag);
-  EXPECT_EQ(tokens[2].name, "p");
+  EXPECT_EQ(tokens[2].name(), "p");
 }
 
 TEST(HtmlLexerTest, TagNamesLowercased) {
   auto tokens = Lex("<DIV><Br></DIV>");
   ASSERT_EQ(tokens.size(), 3u);
-  EXPECT_EQ(tokens[0].name, "div");
-  EXPECT_EQ(tokens[1].name, "br");
-  EXPECT_EQ(tokens[2].name, "div");
+  EXPECT_EQ(tokens[0].name(), "div");
+  EXPECT_EQ(tokens[1].name(), "br");
+  EXPECT_EQ(tokens[2].name(), "div");
 }
 
 TEST(HtmlLexerTest, AttributesParsed) {
@@ -114,7 +114,7 @@ TEST(HtmlLexerTest, Comments) {
   auto tokens = Lex("a<!-- note -->b");
   ASSERT_EQ(tokens.size(), 3u);
   EXPECT_EQ(tokens[1].type, HtmlTokenType::kComment);
-  EXPECT_EQ(tokens[1].text, " note ");
+  EXPECT_EQ(tokens[1].text(), " note ");
 }
 
 TEST(HtmlLexerTest, Doctype) {
@@ -124,29 +124,29 @@ TEST(HtmlLexerTest, Doctype) {
 
 TEST(HtmlLexerTest, TextEntitiesDecoded) {
   auto tokens = Lex("<p>B.S. &amp; M.S.</p>");
-  EXPECT_EQ(tokens[1].text, "B.S. & M.S.");
+  EXPECT_EQ(tokens[1].text(), "B.S. & M.S.");
 }
 
 TEST(HtmlLexerTest, StrayLessThanIsText) {
   auto tokens = Lex("x < 5 and y <3");
   ASSERT_EQ(tokens.size(), 1u);
   EXPECT_EQ(tokens[0].type, HtmlTokenType::kText);
-  EXPECT_EQ(tokens[0].text, "x < 5 and y <3");
+  EXPECT_EQ(tokens[0].text(), "x < 5 and y <3");
 }
 
 TEST(HtmlLexerTest, RawTextScript) {
   auto tokens = Lex("<script>if (a<b) { x(); }</script><p>y</p>");
   ASSERT_GE(tokens.size(), 4u);
-  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[0].name(), "script");
   EXPECT_EQ(tokens[1].type, HtmlTokenType::kText);
-  EXPECT_EQ(tokens[1].text, "if (a<b) { x(); }");
+  EXPECT_EQ(tokens[1].text(), "if (a<b) { x(); }");
   EXPECT_EQ(tokens[2].type, HtmlTokenType::kEndTag);
 }
 
 TEST(HtmlLexerTest, RawTextCaseInsensitiveCloser) {
   auto tokens = Lex("<STYLE>p { color: red }</Style>done");
-  EXPECT_EQ(tokens[0].name, "style");
-  EXPECT_EQ(tokens[1].text, "p { color: red }");
+  EXPECT_EQ(tokens[0].name(), "style");
+  EXPECT_EQ(tokens[1].text(), "p { color: red }");
 }
 
 TEST(HtmlLexerTest, UnterminatedCommentSwallowsRest) {
@@ -159,14 +159,14 @@ TEST(HtmlLexerTest, UnterminatedTagAtEof) {
   auto tokens = Lex("<p class=\"x");
   ASSERT_EQ(tokens.size(), 1u);
   EXPECT_EQ(tokens[0].type, HtmlTokenType::kStartTag);
-  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[0].name(), "p");
 }
 
 TEST(HtmlLexerTest, EndTagWithJunkAttributes) {
   auto tokens = Lex("</p class=\"x\">");
   ASSERT_EQ(tokens.size(), 1u);
   EXPECT_EQ(tokens[0].type, HtmlTokenType::kEndTag);
-  EXPECT_EQ(tokens[0].name, "p");
+  EXPECT_EQ(tokens[0].name(), "p");
 }
 
 }  // namespace

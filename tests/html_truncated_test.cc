@@ -138,7 +138,7 @@ TEST(TruncatedHtmlLexerTest, TokensNeverLoseTextAtEof) {
         TokenizeHtml(std::string_view(page).substr(0, cut));
     std::string text;
     for (const HtmlToken& token : tokens) {
-      if (token.type == HtmlTokenType::kText) text += token.text;
+      if (token.type == HtmlTokenType::kText) text += token.text();
     }
     if (cut >= page.find("Header") + 6) {
       EXPECT_NE(text.find("Header"), std::string::npos) << "cut=" << cut;

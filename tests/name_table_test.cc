@@ -1,0 +1,104 @@
+// NameTable interner: seeded-vocabulary stability, dynamic interning,
+// lowercase interning, and the concurrency contract (lock-free reads,
+// consistent ids under concurrent interning of the same names).
+
+#include "xml/name_table.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace webre {
+namespace {
+
+TEST(NameTableTest, SeededVocabularyIsPresentAndStable) {
+  NameTable& table = NameTable::Global();
+  // Core synthetic names and common HTML tags are seeded: Find never
+  // inserts, so a hit proves they were there before this test ran.
+  for (const char* name : {"#root", "#comment", "TOKEN", "GROUP", "html",
+                           "body", "div", "p", "table", "td"}) {
+    const NameId id = table.Find(name);
+    ASSERT_NE(id, kInvalidNameId) << name;
+    EXPECT_LT(id, table.seed_count()) << name;
+    EXPECT_EQ(table.NameOf(id), name);
+  }
+  EXPECT_GT(table.seed_count(), 0u);
+  EXPECT_GE(table.size(), table.seed_count());
+}
+
+TEST(NameTableTest, InternRoundTripsAndIsIdempotent) {
+  NameTable& table = NameTable::Global();
+  const NameId id = table.Intern("name-table-test-dynamic-tag");
+  ASSERT_NE(id, kInvalidNameId);
+  EXPECT_EQ(table.NameOf(id), "name-table-test-dynamic-tag");
+  EXPECT_EQ(table.Intern("name-table-test-dynamic-tag"), id);
+  EXPECT_EQ(table.Find("name-table-test-dynamic-tag"), id);
+}
+
+TEST(NameTableTest, FindNeverInserts) {
+  NameTable& table = NameTable::Global();
+  const size_t before = table.size();
+  EXPECT_EQ(table.Find("name-table-test-never-interned"), kInvalidNameId);
+  EXPECT_EQ(table.size(), before);
+}
+
+TEST(NameTableTest, InternLowercaseMatchesLoweredIntern) {
+  NameTable& table = NameTable::Global();
+  // Seeded tag through the lexer's fast path.
+  EXPECT_EQ(table.InternLowercase("DIV"), table.Find("div"));
+  EXPECT_EQ(table.InternLowercase("TaBlE"), table.Find("table"));
+  // A name longer than the stack buffer still lowercases correctly.
+  std::string long_name(100, 'Q');
+  const NameId long_id = table.InternLowercase(long_name);
+  EXPECT_EQ(table.NameOf(long_id), std::string(100, 'q'));
+}
+
+TEST(NameTableTest, InvalidIdMapsToEmptyView) {
+  EXPECT_EQ(NameTable::Global().NameOf(kInvalidNameId), std::string_view());
+}
+
+TEST(NameTableTest, EqualIdsIffEqualStrings) {
+  NameTable& table = NameTable::Global();
+  const NameId a = table.Intern("name-table-test-a");
+  const NameId b = table.Intern("name-table-test-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("name-table-test-a"), a);
+}
+
+TEST(NameTableTest, ConcurrentInterningAgreesOnIds) {
+  // Many threads intern the same fresh vocabulary while also reading
+  // seeded names. Every thread must observe the same id per name and
+  // NameOf must round-trip — this pins the publication ordering in
+  // NameTable::Append.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::string> names;
+  for (int i = 0; i < kNames; ++i) {
+    names.push_back("concurrent-intern-" + std::to_string(i));
+  }
+  std::vector<std::vector<NameId>> ids(kThreads,
+                                       std::vector<NameId>(kNames));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &names, &ids] {
+      NameTable& table = NameTable::Global();
+      for (int i = 0; i < kNames; ++i) {
+        // Interleave order per thread so insertion races actually occur.
+        const int k = (i * 7 + t * 13) % kNames;
+        const NameId id = table.Intern(names[static_cast<size_t>(k)]);
+        EXPECT_EQ(table.NameOf(id), names[static_cast<size_t>(k)]);
+        ids[static_cast<size_t>(t)][static_cast<size_t>(k)] = id;
+        EXPECT_NE(table.Find("html"), kInvalidNameId);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<size_t>(t)], ids[0]) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace webre

@@ -70,6 +70,11 @@ void ExpectIdentical(const RunOutputs& serial, const RunOutputs& parallel,
     EXPECT_EQ(a.consolidation.nodes_replaced, b.consolidation.nodes_replaced)
         << i;
     EXPECT_EQ(a.concept_nodes, b.concept_nodes) << i;
+    // Memory accounting is per-document (one doc converts on one
+    // thread), so node-allocation counts and arena bytes must not
+    // depend on the thread count either.
+    EXPECT_EQ(a.mem_node_allocs, b.mem_node_allocs) << i;
+    EXPECT_EQ(a.mem_arena_bytes, b.mem_arena_bytes) << i;
   }
   EXPECT_EQ(serial.schema, parallel.schema) << threads << " threads";
   EXPECT_EQ(serial.dtd, parallel.dtd) << threads << " threads";

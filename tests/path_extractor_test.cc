@@ -27,6 +27,16 @@ std::vector<std::string> JoinedPaths(const DocumentPaths& paths) {
   return out;
 }
 
+// Index of the path whose joined form is `joined`; the statistics
+// vectors are parallel to `paths`.
+size_t IndexOf(const DocumentPaths& paths, const std::string& joined) {
+  for (size_t i = 0; i < paths.paths.size(); ++i) {
+    if (JoinLabelPath(paths.paths[i]) == joined) return i;
+  }
+  ADD_FAILURE() << "path not found: " << joined;
+  return 0;
+}
+
 TEST(LabelPathTest, JoinAndSplitRoundTrip) {
   LabelPath p = {"resume", "education", "degree"};
   EXPECT_EQ(JoinLabelPath(p), "resume/education/degree");
@@ -69,9 +79,11 @@ TEST(PathExtractorTest, MultiplicityIsMaxSameLabelSiblings) {
   Node* e2 = root->AddElement("education");
   e2->AddElement("date");
   DocumentPaths paths = ExtractPaths(*root);
-  EXPECT_EQ(paths.max_multiplicity.at("resume/education/date"), 3u);
-  EXPECT_EQ(paths.max_multiplicity.at("resume/education"), 2u);
-  EXPECT_EQ(paths.max_multiplicity.at("resume"), 1u);
+  ASSERT_EQ(paths.max_multiplicity.size(), paths.paths.size());
+  EXPECT_EQ(paths.max_multiplicity[IndexOf(paths, "resume/education/date")],
+            3u);
+  EXPECT_EQ(paths.max_multiplicity[IndexOf(paths, "resume/education")], 2u);
+  EXPECT_EQ(paths.max_multiplicity[IndexOf(paths, "resume")], 1u);
 }
 
 TEST(PathExtractorTest, PositionStatsAveragePosition) {
@@ -80,10 +92,14 @@ TEST(PathExtractorTest, PositionStatsAveragePosition) {
   root->AddElement("education");  // position 1
   root->AddElement("education");  // position 2
   DocumentPaths paths = ExtractPaths(*root);
-  EXPECT_DOUBLE_EQ(paths.position_sum.at("resume/contact"), 0.0);
-  EXPECT_EQ(paths.position_count.at("resume/contact"), 1u);
-  EXPECT_DOUBLE_EQ(paths.position_sum.at("resume/education"), 3.0);
-  EXPECT_EQ(paths.position_count.at("resume/education"), 2u);
+  ASSERT_EQ(paths.position_sum.size(), paths.paths.size());
+  ASSERT_EQ(paths.position_count.size(), paths.paths.size());
+  const size_t contact = IndexOf(paths, "resume/contact");
+  const size_t education = IndexOf(paths, "resume/education");
+  EXPECT_DOUBLE_EQ(paths.position_sum[contact], 0.0);
+  EXPECT_EQ(paths.position_count[contact], 1u);
+  EXPECT_DOUBLE_EQ(paths.position_sum[education], 3.0);
+  EXPECT_EQ(paths.position_count[education], 2u);
 }
 
 TEST(PathExtractorTest, TextNodesIgnored) {
@@ -94,7 +110,7 @@ TEST(PathExtractorTest, TextNodesIgnored) {
   DocumentPaths paths = ExtractPaths(*root);
   EXPECT_EQ(paths.paths.size(), 2u);
   // contact is the first *element* child: position 0 despite the text.
-  EXPECT_DOUBLE_EQ(paths.position_sum.at("resume/contact"), 0.0);
+  EXPECT_DOUBLE_EQ(paths.position_sum[IndexOf(paths, "resume/contact")], 0.0);
 }
 
 TEST(PathExtractorTest, SingleNodeDocument) {

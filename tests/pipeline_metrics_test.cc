@@ -262,6 +262,14 @@ TEST(MetricsJson, SchemaGolden) {
     EXPECT_EQ(counters->object[i].first, counter_items[i].first);
   }
 
+  // The memory counters are part of the pinned schema: present, and
+  // non-zero on any successful conversion (every document allocates
+  // nodes; the default pipeline runs with the arena on).
+  ASSERT_NE(counters->Find("mem.node_allocs"), nullptr);
+  ASSERT_NE(counters->Find("mem.arena_bytes"), nullptr);
+  EXPECT_GT(run.snapshot.mem_node_allocs, 0u);
+  EXPECT_GT(run.snapshot.mem_arena_bytes, 0u);
+
   const minijson::Value* budget = root.Find("budget");
   ASSERT_NE(budget->Find("headroom"), nullptr);
   // Default limits are finite, so all three dimensions report headroom

@@ -123,7 +123,7 @@ TEST(GuardedLexerTest, CleanInputMatchesLegacy) {
   ASSERT_EQ(guarded.size(), legacy.size());
   for (size_t i = 0; i < guarded.size(); ++i) {
     EXPECT_EQ(guarded[i].type, legacy[i].type) << i;
-    EXPECT_EQ(guarded[i].text, legacy[i].text) << i;
+    EXPECT_EQ(guarded[i].text(), legacy[i].text()) << i;
   }
 }
 

@@ -108,6 +108,30 @@ TEST(NodeTest, CloneIsDeepAndDetached) {
   EXPECT_EQ(root->child(0)->name(), "b");
 }
 
+TEST(NodeTest, CloneAndSubtreeSizeSurviveExtremeDepth) {
+  // Clone, SubtreeSize and the destructor are all iterative; a chain two
+  // orders of magnitude past the ResourceLimits::max_tree_depth cap
+  // (512) must not overflow the call stack. Trees this deep reach the
+  // node layer via Clone() of already-built documents, which is not
+  // budget-guarded the way parsing is.
+  constexpr size_t kDepth = 50000;
+  auto root = Node::MakeElement("a");
+  Node* tip = root.get();
+  for (size_t i = 0; i < kDepth; ++i) tip = tip->AddElement("d");
+  tip->AddText("leaf");
+  ASSERT_EQ(root->SubtreeSize(), kDepth + 2);
+
+  auto copy = root->Clone();
+  EXPECT_EQ(copy->parent(), nullptr);
+  ASSERT_EQ(copy->SubtreeSize(), kDepth + 2);
+  const Node* walk = copy.get();
+  while (walk->child_count() == 1 && walk->child(0)->is_element()) {
+    walk = walk->child(0);
+  }
+  ASSERT_EQ(walk->child_count(), 1u);
+  EXPECT_EQ(walk->child(0)->text(), "leaf");
+}
+
 TEST(NodeTest, EqualityStructural) {
   auto a = Node::MakeElement("x");
   a->AddElement("y")->set_val("1");
@@ -133,7 +157,7 @@ TEST(NodeTest, PreOrderVisitsAllInOrder) {
   root->AddElement("b")->AddElement("c");
   root->AddElement("d");
   std::vector<std::string> names;
-  root->PreOrder([&](const Node& n) { names.push_back(n.name()); });
+  root->PreOrder([&](const Node& n) { names.emplace_back(n.name()); });
   ASSERT_EQ(names.size(), 4u);
   EXPECT_EQ(names[0], "a");
   EXPECT_EQ(names[1], "b");

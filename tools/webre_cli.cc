@@ -307,8 +307,14 @@ int CmdConvert(const CliOptions& options) {
     std::string stage;
     const double doc_begin =
         sinks.active() ? webre::obs::MonotonicSeconds() : 0.0;
+    // convert runs without per-document arenas (trees go straight to the
+    // heap, mem.arena_bytes stays 0), but node construction is counted
+    // the same way the pipeline counts it.
+    const uint64_t allocs_before = webre::Node::AllocationsOnThisThread();
     webre::StatusOr<std::unique_ptr<webre::Node>> xml =
         converter.TryConvert(pages[i], &stats, &stage);
+    stats.mem_node_allocs =
+        webre::Node::AllocationsOnThisThread() - allocs_before;
     if (sinks.active()) {
       // convert runs the DocumentConverter directly (no Pipeline), so
       // the metrics/trace are assembled here via the same telemetry
@@ -434,7 +440,7 @@ int CmdQuery(const CliOptions& options) {
   for (const webre::QueryMatch& match : *matches) {
     std::printf("%s: <%s val=\"%s\">\n",
                 paths[repo_to_input[match.doc]].c_str(),
-                match.node->name().c_str(),
+                std::string(match.node->name()).c_str(),
                 std::string(match.node->val()).c_str());
   }
   std::fprintf(stderr, "webre: %zu matches\n", matches->size());
