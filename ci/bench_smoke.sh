@@ -8,34 +8,47 @@
 #      object with the memory-bench schema;
 #   3. the checked-in BENCH_memory.json artifact is validated against
 #      the same schema, including the before/after arms the memory
-#      overhaul is judged by.
+#      overhaul is judged by;
+#   4. bench_query runs a tiny corpus through both serving-layer arms
+#      (the run itself asserts the arms agree on every match count) and
+#      must emit the query-bench schema;
+#   5. the checked-in BENCH_query.json artifact is validated against
+#      the same schema, including the recorded speedups the query
+#      serving layer is judged by (simple >= 3x, mixed >= 1.5x).
 #
-#   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json>
+#   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json> \
+#                         <bench_query> <BENCH_query.json>
 #
-# Run as a ctest (bench_smoke). Timings are NOT asserted here — a smoke
-# run on a loaded CI box says nothing about steady-state throughput;
-# only structure and exit codes are checked.
+# Run as a ctest (bench_smoke). Live-run timings are NOT asserted here —
+# a smoke run on a loaded CI box says nothing about steady-state
+# throughput; only structure, exit codes and the artifacts' recorded
+# figures are checked.
 set -eu
 
-if [ "$#" -ne 3 ]; then
-  echo "usage: $0 <bench_micro> <bench_memory> <BENCH_memory.json>" >&2
+if [ "$#" -ne 5 ]; then
+  echo "usage: $0 <bench_micro> <bench_memory> <BENCH_memory.json>" \
+       "<bench_query> <BENCH_query.json>" >&2
   exit 64
 fi
 
 bench_micro="$1"
 bench_memory="$2"
 artifact="$3"
+bench_query="$4"
+query_artifact="$5"
 
-for bin in "$bench_micro" "$bench_memory"; do
+for bin in "$bench_micro" "$bench_memory" "$bench_query"; do
   if [ ! -x "$bin" ]; then
     echo "FAIL: benchmark binary not executable: $bin" >&2
     exit 1
   fi
 done
-if [ ! -r "$artifact" ]; then
-  echo "FAIL: artifact not readable: $artifact" >&2
-  exit 1
-fi
+for file in "$artifact" "$query_artifact"; do
+  if [ ! -r "$file" ]; then
+    echo "FAIL: artifact not readable: $file" >&2
+    exit 1
+  fi
+done
 if ! command -v python3 >/dev/null 2>&1; then
   echo "SKIP: python3 unavailable, schema not validated" >&2
   exit 0
@@ -59,6 +72,13 @@ fi
 # 2. A tiny live bench_memory run must produce a schema-valid record.
 "$bench_memory" --docs=16 --arm=smoke >"$tmpdir/memory.json" || {
   echo "FAIL: bench_memory smoke run failed" >&2
+  exit 1
+}
+
+# 4. A tiny live bench_query run must produce a schema-valid record;
+# the binary itself fails when the two arms' match counts disagree.
+"$bench_query" --docs=48 --shards=3 --reps=2 >"$tmpdir/query.json" || {
+  echo "FAIL: bench_query smoke run failed" >&2
   exit 1
 }
 
@@ -99,4 +119,56 @@ for key in ("throughput_speedup", "alloc_reduction"):
         raise SystemExit(f"FAIL: artifact: missing derived '{key}'")
 print("OK: bench_micro pass, live bench_memory record, and "
       "BENCH_memory.json all validate")
+EOF
+
+python3 - "$tmpdir/query.json" "$query_artifact" <<'EOF'
+import json
+import sys
+
+ARM_KEYS = [
+    "arm", "documents", "shards", "simple_seconds", "simple_qps",
+    "mixed_seconds", "mixed_qps", "matches",
+]
+
+
+def check_record(record, where, assert_speedups):
+    for key in ("bench", "corpus", "arms", "derived"):
+        if key not in record:
+            raise SystemExit(f"FAIL: {where}: missing key '{key}'")
+    if record["bench"] != "bench_query":
+        raise SystemExit(f"FAIL: {where}: wrong bench name")
+    for name in ("before", "after"):
+        if name not in record["arms"]:
+            raise SystemExit(f"FAIL: {where}: missing arm '{name}'")
+        arm = record["arms"][name]
+        for key in ARM_KEYS:
+            if key not in arm:
+                raise SystemExit(
+                    f"FAIL: {where} arm '{name}': missing key '{key}'")
+        if arm["documents"] <= 0 or arm["matches"] <= 0:
+            raise SystemExit(
+                f"FAIL: {where} arm '{name}': implausible counts")
+    if (record["arms"]["before"]["matches"]
+            != record["arms"]["after"]["matches"]):
+        raise SystemExit(f"FAIL: {where}: arms disagree on match count")
+    for key in ("simple_speedup", "mixed_speedup"):
+        if key not in record["derived"]:
+            raise SystemExit(f"FAIL: {where}: missing derived '{key}'")
+    if assert_speedups:
+        # The artifact records a full steady-state run; its figures are
+        # constants of the checked-in file, so the acceptance floors are
+        # asserted here (live smoke runs are too short to be meaningful).
+        if record["derived"]["simple_speedup"] < 3.0:
+            raise SystemExit(f"FAIL: {where}: simple_speedup below 3x")
+        if record["derived"]["mixed_speedup"] < 1.5:
+            raise SystemExit(f"FAIL: {where}: mixed_speedup below 1.5x")
+
+
+with open(sys.argv[1]) as f:
+    check_record(json.load(f), "live bench_query output",
+                 assert_speedups=False)
+with open(sys.argv[2]) as f:
+    check_record(json.load(f), "BENCH_query.json artifact",
+                 assert_speedups=True)
+print("OK: live bench_query record and BENCH_query.json validate")
 EOF

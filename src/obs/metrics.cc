@@ -38,6 +38,28 @@ void Histogram::Record(uint64_t v) {
   }
 }
 
+void Histogram::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  const size_t n = std::min<size_t>(kBuckets, other.buckets.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (other.buckets[i] != 0) {
+      buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  uint64_t current = min_.load(std::memory_order_relaxed);
+  while (other.min < current &&
+         !min_.compare_exchange_weak(current, other.min,
+                                     std::memory_order_relaxed)) {
+  }
+  current = max_.load(std::memory_order_relaxed);
+  while (other.max > current &&
+         !max_.compare_exchange_weak(current, other.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snapshot;
   snapshot.count = count_.load(std::memory_order_relaxed);

@@ -114,6 +114,11 @@ class Histogram {
 
   void Record(uint64_t v);
 
+  /// Folds a snapshot of another histogram in (bucket-wise sums, CAS
+  /// min/max) — how a component-local histogram (e.g. the repository's
+  /// per-query latency) lands in the batch metrics.
+  void Merge(const HistogramSnapshot& other);
+
   /// Merged view. Exact when no writer is concurrently active.
   HistogramSnapshot Snapshot() const;
 
@@ -127,6 +132,19 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> min_{~uint64_t{0}};
   std::atomic<uint64_t> max_{0};
+};
+
+/// Snapshot of a query-serving component's counters (XmlRepository
+/// exposes one; PipelineMetrics::MergeQueryStats folds it into the batch
+/// metrics as the query.* counter group and the query_us histogram).
+struct QueryStatsView {
+  uint64_t queries = 0;         ///< Query() calls answered
+  uint64_t index_hits = 0;      ///< answered fully from the summary
+  uint64_t prefix_hits = 0;     ///< summary-seeded frontier + tree suffix
+  uint64_t fallback_walks = 0;  ///< documents evaluated by full tree walk
+  uint64_t shard_tasks = 0;     ///< per-shard/per-chunk eval tasks run
+  uint64_t matches = 0;         ///< matches returned across all queries
+  HistogramSnapshot eval_us;    ///< per-query latency, microseconds
 };
 
 /// RAII wall-time meter for one stage execution: counts one call and the

@@ -126,7 +126,23 @@ PipelineMetricsSnapshot::CounterItems() const {
        consolidation_replacements_vetoed},
       {"mem.node_allocs", mem_node_allocs},
       {"mem.arena_bytes", mem_arena_bytes},
+      {"query.queries", query_queries},
+      {"query.index_hits", query_index_hits},
+      {"query.prefix_hits", query_prefix_hits},
+      {"query.fallback_walks", query_fallback_walks},
+      {"query.shard_tasks", query_shard_tasks},
+      {"query.matches", query_matches},
   };
+}
+
+void PipelineMetrics::MergeQueryStats(const QueryStatsView& stats) {
+  query.queries.Add(stats.queries);
+  query.index_hits.Add(stats.index_hits);
+  query.prefix_hits.Add(stats.prefix_hits);
+  query.fallback_walks.Add(stats.fallback_walks);
+  query.shard_tasks.Add(stats.shard_tasks);
+  query.matches.Add(stats.matches);
+  query_us.Merge(stats.eval_us);
 }
 
 void PipelineMetrics::RecordOutcome(const std::string& status_name,
@@ -196,6 +212,13 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.mem_node_allocs = mem.node_allocs.value();
   snapshot.mem_arena_bytes = mem.arena_bytes.value();
 
+  snapshot.query_queries = query.queries.value();
+  snapshot.query_index_hits = query.index_hits.value();
+  snapshot.query_prefix_hits = query.prefix_hits.value();
+  snapshot.query_fallback_walks = query.fallback_walks.value();
+  snapshot.query_shard_tasks = query.shard_tasks.value();
+  snapshot.query_matches = query.matches.value();
+
   snapshot.budget_steps_used = budget.steps_used.value();
   snapshot.budget_nodes_used = budget.nodes_used.value();
   snapshot.budget_entities_used = budget.entities_used.value();
@@ -204,6 +227,7 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.budget_max_entities_one_doc = budget.max_entities_one_doc.value();
 
   snapshot.convert_us = convert_us.Snapshot();
+  snapshot.query_us = query_us.Snapshot();
 
   std::lock_guard<std::mutex> lock(mutex_);
   snapshot.documents_total = documents_total_;
@@ -299,13 +323,23 @@ std::string MetricsToJson(const PipelineMetricsSnapshot& snapshot,
   }
   out += "},\n";
 
-  const HistogramSnapshot& h = snapshot.convert_us;
   char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "\"convert_us\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
-                ",\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"mean\":%.1f}\n",
-                h.count, h.sum, h.min, h.max, h.mean());
-  out += buf;
+  {
+    const HistogramSnapshot& h = snapshot.convert_us;
+    std::snprintf(buf, sizeof(buf),
+                  "\"convert_us\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"mean\":%.1f},\n",
+                  h.count, h.sum, h.min, h.max, h.mean());
+    out += buf;
+  }
+  {
+    const HistogramSnapshot& h = snapshot.query_us;
+    std::snprintf(buf, sizeof(buf),
+                  "\"query_us\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"min\":%" PRIu64 ",\"max\":%" PRIu64 ",\"mean\":%.1f}\n",
+                  h.count, h.sum, h.min, h.max, h.mean());
+    out += buf;
+  }
   out += "}\n";
   return out;
 }
@@ -346,6 +380,14 @@ std::string MetricsToTable(const PipelineMetricsSnapshot& snapshot) {
                   " us, max %" PRIu64 " us over %" PRIu64 " documents\n",
                   snapshot.convert_us.mean(), snapshot.convert_us.min,
                   snapshot.convert_us.max, snapshot.convert_us.count);
+    out += buf;
+  }
+  if (snapshot.query_us.count > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "query latency: mean %.0f us, min %" PRIu64
+                  " us, max %" PRIu64 " us over %" PRIu64 " queries\n",
+                  snapshot.query_us.mean(), snapshot.query_us.min,
+                  snapshot.query_us.max, snapshot.query_us.count);
     out += buf;
   }
   std::snprintf(buf, sizeof(buf),

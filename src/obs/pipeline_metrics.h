@@ -47,6 +47,15 @@ struct PipelineMetricsSnapshot {
   uint64_t consolidation_nodes_replaced = 0;
   uint64_t consolidation_replacements_vetoed = 0;
 
+  // Query-serving counters (repository side; zero for pure conversion
+  // runs). Merged in via PipelineMetrics::MergeQueryStats.
+  uint64_t query_queries = 0;
+  uint64_t query_index_hits = 0;
+  uint64_t query_prefix_hits = 0;
+  uint64_t query_fallback_walks = 0;
+  uint64_t query_shard_tasks = 0;
+  uint64_t query_matches = 0;
+
   // Memory accounting (DESIGN.md §11): Node allocations across the
   // batch (arena and heap alike) and total arena payload bytes of the
   // surviving documents. Both are per-document sums, so they are
@@ -82,6 +91,10 @@ struct PipelineMetricsSnapshot {
 
   /// Per-document end-to-end conversion latency, microseconds.
   HistogramSnapshot convert_us;
+
+  /// Per-query serving latency, microseconds (empty for runs without a
+  /// query phase).
+  HistogramSnapshot query_us;
 
   /// All rule counters as (json_key, value) in a fixed order — the
   /// single source for serialization and for the determinism tests.
@@ -160,6 +173,14 @@ class PipelineMetrics {
     Counter arena_bytes;
   } mem;
   struct {
+    Counter queries;
+    Counter index_hits;
+    Counter prefix_hits;
+    Counter fallback_walks;
+    Counter shard_tasks;
+    Counter matches;
+  } query;
+  struct {
     Counter steps_used;
     Counter nodes_used;
     Counter entities_used;
@@ -170,6 +191,15 @@ class PipelineMetrics {
 
   /// Per-document end-to-end conversion latency, microseconds.
   Histogram convert_us;
+
+  /// Per-query serving latency, microseconds.
+  Histogram query_us;
+
+  /// Folds a repository's query-serving counters into the batch metrics
+  /// (the query.* counter group and the query_us histogram). Call after
+  /// the query phase quiesced; additive, so several repositories can be
+  /// merged.
+  void MergeQueryStats(const QueryStatsView& stats);
 
   /// Folds one document's fate into the batch metrics (cold path; call
   /// once per document, serially for a deterministic message order).

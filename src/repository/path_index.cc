@@ -1,0 +1,187 @@
+#include "repository/path_index.h"
+
+#include <algorithm>
+
+namespace webre {
+
+LocalDocumentPaths CollectLocalPaths(const Node& root) {
+  LocalDocumentPaths out;
+  if (!root.is_element()) return out;
+
+  // (parent path << 32 | name) -> index into out.paths. Documents are
+  // small relative to the repository; a node-local map is fine here.
+  std::unordered_map<uint64_t, uint32_t> dense;
+  dense.reserve(64);
+  auto resolve = [&](uint32_t parent, NameId name) -> uint32_t {
+    const uint64_t key = (static_cast<uint64_t>(parent) << 32) | name;
+    auto [it, inserted] =
+        dense.emplace(key, static_cast<uint32_t>(out.paths.size()));
+    if (inserted) {
+      LocalDocumentPaths::Path path;
+      path.parent = parent;
+      path.name = name;
+      out.paths.push_back(std::move(path));
+    }
+    return it->second;
+  };
+
+  // Pre-order via an explicit stack (children pushed in reverse), so
+  // pathological depth cannot overflow the C++ stack. `pos` numbers
+  // elements in document order.
+  struct Frame {
+    const Node* node;
+    uint32_t path;
+  };
+  std::vector<Frame> stack;
+  const uint32_t root_path =
+      resolve(LocalDocumentPaths::kNoParent, root.name_id());
+  stack.push_back(Frame{&root, root_path});
+  uint32_t pos = 0;
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    out.paths[frame.path].occurrences.emplace_back(pos, frame.node);
+    ++pos;
+    ++out.element_count;
+    for (size_t i = frame.node->child_count(); i > 0; --i) {
+      const Node* child = frame.node->child(i - 1);
+      if (!child->is_element()) continue;
+      stack.push_back(Frame{child, resolve(frame.path, child->name_id())});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sorted-unique insertion, optimized for the common in-order arrival
+/// (append). Concurrent Adds can complete out of id order, so the
+/// general case falls back to a binary search.
+void InsertSorted(std::vector<DocId>& docs, DocId doc) {
+  if (docs.empty() || docs.back() < doc) {
+    docs.push_back(doc);
+    return;
+  }
+  if (docs.back() == doc) return;
+  auto it = std::lower_bound(docs.begin(), docs.end(), doc);
+  if (it == docs.end() || *it != doc) docs.insert(it, doc);
+}
+
+}  // namespace
+
+uint64_t PathIndex::Mix(uint64_t key) {
+  // splitmix64 finalizer: full-width avalanche of the packed pair.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return key;
+}
+
+void PathIndex::Rehash(size_t new_slots) {
+  std::vector<uint64_t> old_keys = std::move(keys_);
+  std::vector<uint32_t> old_values = std::move(values_);
+  keys_.assign(new_slots, kEmptySlot);
+  values_.assign(new_slots, 0);
+  mask_ = new_slots - 1;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptySlot) continue;
+    size_t slot = Mix(old_keys[i]) & mask_;
+    while (keys_[slot] != kEmptySlot) slot = (slot + 1) & mask_;
+    keys_[slot] = old_keys[i];
+    values_[slot] = old_values[i];
+  }
+}
+
+uint32_t PathIndex::Resolve(uint32_t parent, NameId name) {
+  if (keys_.empty()) Rehash(kInitialSlots);
+  const uint64_t key = (static_cast<uint64_t>(parent) << 32) | name;
+  size_t slot = Mix(key) & mask_;
+  while (true) {
+    if (keys_[slot] == key) return values_[slot];
+    if (keys_[slot] == kEmptySlot) break;
+    slot = (slot + 1) & mask_;
+  }
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  Entry entry;
+  entry.parent = parent;
+  entry.name = name;
+  entries_.push_back(std::move(entry));
+  if (parent == kNoPath) {
+    roots_.push_back(id);
+  } else {
+    entries_[parent].children.push_back(id);
+  }
+  keys_[slot] = key;
+  values_[slot] = id;
+  if (++used_ * 4 > keys_.size() * 3) Rehash(keys_.size() * 2);
+  return id;
+}
+
+uint32_t PathIndex::Lookup(uint32_t parent, NameId name) const {
+  if (keys_.empty()) return kNoPath;
+  const uint64_t key = (static_cast<uint64_t>(parent) << 32) | name;
+  size_t slot = Mix(key) & mask_;
+  while (true) {
+    if (keys_[slot] == key) return values_[slot];
+    if (keys_[slot] == kEmptySlot) return kNoPath;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+void PathIndex::AddDocument(const LocalDocumentPaths& local, DocId doc) {
+  // Parents precede children in `local.paths`, so each local path's
+  // global id resolves from its parent's already-resolved id.
+  std::vector<uint32_t> global(local.paths.size());
+  for (size_t i = 0; i < local.paths.size(); ++i) {
+    const LocalDocumentPaths::Path& path = local.paths[i];
+    const uint32_t parent = path.parent == LocalDocumentPaths::kNoParent
+                                ? kNoPath
+                                : global[path.parent];
+    const uint32_t id = Resolve(parent, path.name);
+    global[i] = id;
+    Entry& entry = entries_[id];
+    InsertSorted(entry.docs, doc);
+    InsertSorted(label_docs_[path.name], doc);
+    if (record_occurrences_) {
+      // The document's occurrences form one contiguous (doc, pos…) run;
+      // splice it at the doc's sorted position (plain append when ids
+      // arrive in order).
+      auto at = std::lower_bound(
+          entry.occurrences.begin(), entry.occurrences.end(), doc,
+          [](const PathOccurrence& o, DocId d) { return o.doc < d; });
+      const size_t offset = static_cast<size_t>(at - entry.occurrences.begin());
+      entry.occurrences.insert(
+          at, path.occurrences.size(),
+          PathOccurrence{});
+      for (size_t k = 0; k < path.occurrences.size(); ++k) {
+        entry.occurrences[offset + k] =
+            PathOccurrence{doc, path.occurrences[k].first,
+                           path.occurrences[k].second};
+      }
+    }
+  }
+}
+
+uint32_t PathIndex::FindPath(const NameId* labels, size_t count) const {
+  if (count == 0) return kNoPath;
+  uint32_t cur = kNoPath;
+  for (size_t i = 0; i < count; ++i) {
+    cur = Lookup(cur, labels[i]);
+    if (cur == kNoPath) return kNoPath;
+  }
+  return cur;
+}
+
+const std::vector<DocId>& PathIndex::DocsWithLabel(NameId name) const {
+  auto it = label_docs_.find(name);
+  return it == label_docs_.end() ? EmptyDocs() : it->second;
+}
+
+const std::vector<DocId>& PathIndex::EmptyDocs() {
+  static const std::vector<DocId> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace webre

@@ -1,0 +1,134 @@
+#ifndef WEBRE_REPOSITORY_PATH_INDEX_H_
+#define WEBRE_REPOSITORY_PATH_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xml/name_table.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Identifier of a stored document.
+using DocId = size_t;
+
+/// One indexed element: where a distinct label path occurs.
+struct PathOccurrence {
+  DocId doc = 0;
+  /// Pre-order index of the element among the document's elements —
+  /// the document-order sort key, unique within a document.
+  uint32_t pos = 0;
+  const Node* node = nullptr;
+};
+
+/// One document's distinct label paths with the elements realizing
+/// them, produced by a single pre-order walk. The string labels are
+/// never materialized: a path is its parent link plus one NameId,
+/// exactly the shape PathIndex ingests.
+struct LocalDocumentPaths {
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+  struct Path {
+    uint32_t parent = kNoParent;  ///< index into `paths`; parents first
+    NameId name = kInvalidNameId;
+    /// (pre-order position, node) per occurrence, position-ascending.
+    std::vector<std::pair<uint32_t, const Node*>> occurrences;
+  };
+
+  std::vector<Path> paths;
+  size_t element_count = 0;
+};
+
+/// Walks `root` (iteratively — depth-safe) and groups its elements by
+/// distinct root-emanating label path.
+LocalDocumentPaths CollectLocalPaths(const Node& root);
+
+/// A DataGuide-style structural summary: the trie of every distinct
+/// label path seen across the indexed documents, hash-consed on
+/// (parent path id, NameId) exactly like schema extraction's PathTable,
+/// with an inverted posting list per path. With `record_occurrences`
+/// the index also keeps every realizing element per path, which lets
+/// the repository answer structural queries without touching any
+/// document tree.
+///
+/// Not internally synchronized: the owner serializes writers and
+/// brackets readers (XmlRepository guards each instance with a
+/// shared_mutex).
+class PathIndex {
+ public:
+  /// "No such path" — also the parent marker of root paths.
+  static constexpr uint32_t kNoPath = 0xFFFFFFFFu;
+
+  struct Entry {
+    uint32_t parent = kNoPath;
+    NameId name = kInvalidNameId;
+    /// Child path ids, in creation order.
+    std::vector<uint32_t> children;
+    /// Documents containing this path, ascending, deduplicated.
+    std::vector<DocId> docs;
+    /// Every element realizing this path, ordered by (doc, pos).
+    /// Empty unless the index records occurrences.
+    std::vector<PathOccurrence> occurrences;
+  };
+
+  explicit PathIndex(bool record_occurrences)
+      : record_occurrences_(record_occurrences) {}
+
+  PathIndex(const PathIndex&) = delete;
+  PathIndex& operator=(const PathIndex&) = delete;
+
+  /// Indexes one document's paths. Documents may arrive in any id
+  /// order (concurrent Adds race to the summary); posting lists stay
+  /// sorted. A document must be added at most once.
+  void AddDocument(const LocalDocumentPaths& local, DocId doc);
+
+  size_t path_count() const { return entries_.size(); }
+  const Entry& entry(uint32_t id) const { return entries_[id]; }
+  /// Root path ids (paths of length 1), in creation order.
+  const std::vector<uint32_t>& roots() const { return roots_; }
+
+  /// Id of the root-emanating path labels[0]/…/labels[count-1], or
+  /// kNoPath when no indexed document contains it.
+  uint32_t FindPath(const NameId* labels, size_t count) const;
+
+  /// Posting list of `id`; the shared empty sentinel for kNoPath. The
+  /// reference is stable only until the next AddDocument.
+  const std::vector<DocId>& DocsOf(uint32_t id) const {
+    return id == kNoPath ? EmptyDocs() : entries_[id].docs;
+  }
+
+  /// Documents containing at least one element named `name` (at any
+  /// depth), ascending — the pruning list for leading `//name` steps.
+  const std::vector<DocId>& DocsWithLabel(NameId name) const;
+
+  static const std::vector<DocId>& EmptyDocs();
+
+ private:
+  uint32_t Resolve(uint32_t parent, NameId name);        // inserts
+  uint32_t Lookup(uint32_t parent, NameId name) const;   // never inserts
+  void Rehash(size_t new_slots);
+
+  static uint64_t Mix(uint64_t key);
+
+  bool record_occurrences_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> roots_;
+  std::unordered_map<NameId, std::vector<DocId>> label_docs_;
+
+  // Open-addressing map (parent << 32 | name) -> entry id; the all-ones
+  // key cannot occur (elements never carry kInvalidNameId) and marks an
+  // empty slot.
+  static constexpr uint64_t kEmptySlot = 0xFFFFFFFFFFFFFFFFull;
+  static constexpr size_t kInitialSlots = 128;  // power of two
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  size_t mask_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_REPOSITORY_PATH_INDEX_H_

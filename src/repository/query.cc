@@ -1,6 +1,7 @@
 #include "repository/query.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/strings.h"
 
@@ -42,6 +43,14 @@ StatusOr<PathQuery> PathQuery::Parse(std::string_view text) {
       return Status::InvalidArgument(
           "'*' must be the whole step name: " + step.name);
     }
+    if (step.name == "*") {
+      step.wildcard = true;
+    } else {
+      // Interned eagerly (not Find) so a query parsed before the first
+      // document naming this element still matches once such documents
+      // arrive.
+      step.name_id = NameTable::Global().Intern(step.name);
+    }
     // Optional predicate [val~"substr"].
     if (pos < text.size() && text[pos] == '[') {
       constexpr std::string_view kPrefix = "[val~\"";
@@ -58,6 +67,7 @@ StatusOr<PathQuery> PathQuery::Parse(std::string_view text) {
       }
       step.val_contains =
           std::string(text.substr(value_start, pos - value_start));
+      step.val_lower = AsciiLower(step.val_contains);
       pos += 2;
     }
     query.steps_.push_back(std::move(step));
@@ -69,12 +79,19 @@ StatusOr<PathQuery> PathQuery::Parse(std::string_view text) {
 }
 
 bool PathQuery::IsSimplePath() const {
+  return SimplePrefixLength() == steps_.size();
+}
+
+size_t PathQuery::SimplePrefixLength() const {
+  size_t k = 0;
   for (const QueryStep& step : steps_) {
-    if (step.descendant || step.name == "*" || !step.val_contains.empty()) {
-      return false;
+    if (step.descendant || step.wildcard || step.name == "*" ||
+        !step.val_contains.empty()) {
+      break;
     }
+    ++k;
   }
-  return true;
+  return k;
 }
 
 std::vector<std::string> PathQuery::AsLabelPath() const {
@@ -88,10 +105,21 @@ namespace {
 
 bool StepMatches(const QueryStep& step, const Node& node) {
   if (!node.is_element()) return false;
-  if (step.name != "*" && node.name() != step.name) return false;
-  if (!step.val_contains.empty() &&
-      !ContainsIgnoreCase(node.val(), step.val_contains)) {
+  if (step.name_id != kInvalidNameId) {
+    // Parsed, non-wildcard step: one integer compare.
+    if (node.name_id() != step.name_id) return false;
+  } else if (!step.wildcard && step.name != "*" && node.name() != step.name) {
+    // Hand-assembled step: match through the string.
     return false;
+  }
+  if (!step.val_contains.empty()) {
+    // Parsed steps carry the pre-lowered needle; hand-assembled steps
+    // pay the per-check lowering.
+    const bool contained =
+        step.val_lower.size() == step.val_contains.size()
+            ? ContainsLowered(node.val(), step.val_lower)
+            : ContainsIgnoreCase(node.val(), step.val_contains);
+    if (!contained) return false;
   }
   return true;
 }
@@ -107,20 +135,75 @@ void CollectDescendants(const Node& from, const QueryStep& step,
   }
 }
 
+// Strict document-order comparison of two nodes of the SAME document:
+// lift the deeper node to equal depth (an ancestor precedes its
+// descendants), then lift both until the parents coincide and compare
+// sibling indices. Nodes of different documents compare by root
+// pointer — arbitrary but strict, callers only sort within one
+// document.
+bool DocumentOrderLess(const Node* a, const Node* b) {
+  if (a == b) return false;
+  const Node* pa = a;
+  const Node* pb = b;
+  size_t da = pa->Depth();
+  size_t db = pb->Depth();
+  while (da > db) {
+    pa = pa->parent();
+    --da;
+    if (pa == b) return false;  // b is an ancestor of a
+  }
+  while (db > da) {
+    pb = pb->parent();
+    --db;
+    if (pb == a) return true;  // a is an ancestor of b
+  }
+  while (pa->parent() != pb->parent()) {
+    pa = pa->parent();
+    pb = pb->parent();
+  }
+  const Node* parent = pa->parent();
+  if (parent == nullptr) return pa < pb;  // different documents
+  return parent->IndexOf(pa) < parent->IndexOf(pb);
+}
+
 }  // namespace
 
 std::vector<const Node*> PathQuery::Evaluate(const Node& root) const {
-  std::vector<const Node*> frontier;
-  // Step 0 starts from the (virtual) document parent of the root.
-  const QueryStep& first = steps_[0];
-  if (first.descendant) {
-    if (StepMatches(first, root)) frontier.push_back(&root);
-    CollectDescendants(root, first, frontier);
-  } else if (StepMatches(first, root)) {
-    frontier.push_back(&root);
+  return EvaluateFrom({&root}, 0);
+}
+
+std::vector<const Node*> PathQuery::EvaluateFrom(
+    std::vector<const Node*> frontier, size_t first_step) const {
+  // After a descendant step the frontier may contain nested node pairs;
+  // a later child-axis expansion of a nested frontier can emit nodes
+  // out of document order, so the final set is re-sorted in that one
+  // case (the historic O(n²) dedup hid the issue by never reordering —
+  // and never fixing the order either).
+  bool nested_possible = false;
+  bool order_suspect = false;
+  for (size_t s = 0; s < first_step && s < steps_.size(); ++s) {
+    if (steps_[s].descendant) nested_possible = true;
   }
 
-  for (size_t s = 1; s < steps_.size(); ++s) {
+  if (first_step == 0) {
+    // Step 0 starts from the (virtual) document parent of the roots in
+    // `frontier`.
+    const QueryStep& first = steps_[0];
+    std::vector<const Node*> start;
+    for (const Node* root : frontier) {
+      if (first.descendant) {
+        if (StepMatches(first, *root)) start.push_back(root);
+        CollectDescendants(*root, first, start);
+      } else if (StepMatches(first, *root)) {
+        start.push_back(root);
+      }
+    }
+    frontier = std::move(start);
+    if (first.descendant) nested_possible = true;
+    first_step = 1;
+  }
+
+  for (size_t s = first_step; s < steps_.size(); ++s) {
     const QueryStep& step = steps_[s];
     std::vector<const Node*> next;
     for (const Node* node : frontier) {
@@ -135,16 +218,31 @@ std::vector<const Node*> PathQuery::Evaluate(const Node& root) const {
         }
       }
     }
-    // Deduplicate while keeping document order (frontier sets can
-    // overlap under the descendant axis).
-    std::vector<const Node*> deduped;
-    for (const Node* node : next) {
-      if (std::find(deduped.begin(), deduped.end(), node) == deduped.end()) {
-        deduped.push_back(node);
+    if (step.descendant) {
+      // Only descendant expansion of overlapping subtrees can duplicate
+      // a node (a child-axis step emits each node through its unique
+      // parent at most once). Dedup with a hash set, keeping first —
+      // i.e. document — occurrence.
+      if (nested_possible && next.size() > 1) {
+        std::unordered_set<const Node*> seen;
+        seen.reserve(next.size() * 2);
+        std::vector<const Node*> deduped;
+        deduped.reserve(next.size());
+        for (const Node* node : next) {
+          if (seen.insert(node).second) deduped.push_back(node);
+        }
+        next = std::move(deduped);
       }
+      nested_possible = true;
+    } else if (nested_possible) {
+      order_suspect = true;
     }
-    frontier = std::move(deduped);
+    frontier = std::move(next);
     if (frontier.empty()) break;
+  }
+
+  if (order_suspect && frontier.size() > 1) {
+    std::sort(frontier.begin(), frontier.end(), DocumentOrderLess);
   }
   return frontier;
 }

@@ -1,11 +1,13 @@
 #ifndef WEBRE_REPOSITORY_QUERY_H_
 #define WEBRE_REPOSITORY_QUERY_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.h"
+#include "xml/name_table.h"
 #include "xml/node.h"
 
 namespace webre {
@@ -20,6 +22,17 @@ struct QueryStep {
   /// Optional predicate: keep only elements whose `val` contains this
   /// substring (case-insensitive). Written `[val~"text"]`. Empty = none.
   std::string val_contains;
+  /// ASCII-lowered copy of `val_contains`, filled by Parse so the
+  /// per-node check never re-lowers the needle. Hand-assembled steps
+  /// may leave it empty; matching then falls back to the slow path.
+  std::string val_lower;
+  /// Interned id of `name`, filled by Parse so matching is an integer
+  /// compare. kInvalidNameId (the default) means "not interned":
+  /// hand-assembled steps fall back to comparing the string.
+  NameId name_id = kInvalidNameId;
+  /// True when `name` is "*". Cached by Parse; hand-assembled steps
+  /// are still recognized through the string.
+  bool wildcard = false;
 };
 
 /// A parsed path query over concept-tagged XML documents — the query
@@ -51,12 +64,26 @@ class PathQuery {
   /// from the repository's path index.
   bool IsSimplePath() const;
 
+  /// Number of leading steps that are plain child-axis name tests (no
+  /// wildcard, no descendant axis, no predicate). The repository seeds
+  /// evaluation of the remaining steps from its structural summary
+  /// instead of walking down to this depth.
+  size_t SimplePrefixLength() const;
+
   /// The label path of a simple query (undefined otherwise).
   std::vector<std::string> AsLabelPath() const;
 
   /// Evaluates the query against one document, returning matched
   /// elements in document order (deduplicated).
   std::vector<const Node*> Evaluate(const Node& root) const;
+
+  /// Evaluates steps [first_step, …) given `frontier`, the exact node
+  /// set steps [0, first_step) matched — deduplicated and in document
+  /// order. With first_step == 0 the frontier must hold the candidate
+  /// roots (step 0 still applies its own name test / descendant axis
+  /// to them as Evaluate does).
+  std::vector<const Node*> EvaluateFrom(std::vector<const Node*> frontier,
+                                        size_t first_step) const;
 
   /// Round-trips back to text.
   std::string ToString() const;

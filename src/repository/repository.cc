@@ -3,13 +3,154 @@
 #include <algorithm>
 
 #include "schema/path_extractor.h"
+#include "util/strings.h"
 #include "xml/dtd_validator.h"
 
 namespace webre {
+namespace {
+
+/// Per-doc evaluation chunk size for summary-seeded plans: small enough
+/// to balance skew, large enough to amortize task dispatch. Chunk
+/// counts (and so the query.shard_tasks counter) are computed the same
+/// way whether or not a pool runs them.
+constexpr size_t kPrefixChunkDocs = 32;
+
+/// A sortable match; `pos` (pre-order element index) is the in-document
+/// order key.
+struct Hit {
+  DocId doc;
+  uint32_t pos;
+  const Node* node;
+};
+
+/// One query step's name test, resolved to a NameId. `impossible` marks
+/// a named step whose name no stored document has ever interned — the
+/// step (and so the whole query) cannot match anything.
+struct StepTest {
+  bool wildcard = false;
+  NameId name = kInvalidNameId;
+  bool impossible = false;
+};
+
+StepTest ResolveStep(const QueryStep& step) {
+  StepTest test;
+  if (step.wildcard || step.name == "*") {
+    test.wildcard = true;
+    return test;
+  }
+  test.name = step.name_id != kInvalidNameId
+                  ? step.name_id
+                  : NameTable::Global().Find(step.name);
+  test.impossible = test.name == kInvalidNameId;
+  return test;
+}
+
+/// Pattern-matches the structural part of `query` (axes and name tests;
+/// predicates are the caller's business) against the summary trie and
+/// returns the matching path ids, sorted. This is DataGuide query
+/// evaluation: state = set of trie nodes, child steps follow trie
+/// edges, descendant steps take the downward closure — O(paths) per
+/// step, independent of corpus size.
+std::vector<uint32_t> MatchSummaryPaths(const PathIndex& index,
+                                        const PathQuery& query) {
+  const std::vector<QueryStep>& steps = query.steps();
+  const uint32_t n = static_cast<uint32_t>(index.path_count());
+  if (n == 0 || steps.empty()) return {};
+
+  std::vector<uint32_t> cur;
+  {
+    // Step 0 starts at the virtual parent of the document roots.
+    const StepTest test = ResolveStep(steps[0]);
+    if (test.impossible) return {};
+    if (steps[0].descendant) {
+      for (uint32_t id = 0; id < n; ++id) {
+        if (test.wildcard || index.entry(id).name == test.name) {
+          cur.push_back(id);
+        }
+      }
+    } else {
+      for (uint32_t id : index.roots()) {
+        if (test.wildcard || index.entry(id).name == test.name) {
+          cur.push_back(id);
+        }
+      }
+    }
+  }
+
+  for (size_t s = 1; s < steps.size() && !cur.empty(); ++s) {
+    const StepTest test = ResolveStep(steps[s]);
+    if (test.impossible) return {};
+    std::vector<uint32_t> next;
+    if (!steps[s].descendant) {
+      // Every trie node has one parent, so children of distinct nodes
+      // are disjoint — no dedup needed.
+      for (uint32_t id : cur) {
+        for (uint32_t child : index.entry(id).children) {
+          if (test.wildcard || index.entry(child).name == test.name) {
+            next.push_back(child);
+          }
+        }
+      }
+    } else {
+      // Proper descendants of the current set, each visited once.
+      std::vector<char> visited(n, 0);
+      std::vector<uint32_t> stack;
+      for (uint32_t id : cur) {
+        for (uint32_t child : index.entry(id).children) {
+          if (!visited[child]) {
+            visited[child] = 1;
+            stack.push_back(child);
+          }
+        }
+      }
+      while (!stack.empty()) {
+        const uint32_t id = stack.back();
+        stack.pop_back();
+        if (test.wildcard || index.entry(id).name == test.name) {
+          next.push_back(id);
+        }
+        for (uint32_t child : index.entry(id).children) {
+          if (!visited[child]) {
+            visited[child] = 1;
+            stack.push_back(child);
+          }
+        }
+      }
+    }
+    cur = std::move(next);
+  }
+  std::sort(cur.begin(), cur.end());
+  cur.erase(std::unique(cur.begin(), cur.end()), cur.end());
+  return cur;
+}
+
+}  // namespace
+
+XmlRepository::XmlRepository(RepositoryOptions options) {
+  size_t shards = options.num_shards == 0 ? DefaultThreadCount()
+                                          : options.num_shards;
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  query_threads_ = options.query_threads == 0 ? DefaultThreadCount()
+                                              : options.query_threads;
+}
+
+XmlRepository::~XmlRepository() = default;
 
 void XmlRepository::SetDtd(Dtd dtd) {
   dtd_ = std::move(dtd);
   has_dtd_ = true;
+}
+
+ThreadPool* XmlRepository::EnsurePool() const {
+  if (query_threads_ <= 1) return nullptr;
+  std::call_once(pool_once_, [&] {
+    pool_ = std::make_unique<ThreadPool>(query_threads_);
+  });
+  return pool_.get();
 }
 
 StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
@@ -24,25 +165,55 @@ StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
           validation.violations[0].message);
     }
   }
-  const DocId id = documents_.size();
+
+  // Both extractions run outside any lock; only the index/trie updates
+  // are serialized. ExtractPaths feeds the mining trie (statistics and
+  // constraint-checkable label strings), CollectLocalPaths feeds the
+  // structural indexes (element occurrences).
   DocumentPaths paths = ExtractPaths(*document);
-  for (const LabelPath& path : paths.paths) {
-    path_index_[JoinLabelPath(path)].push_back(id);
+  LocalDocumentPaths local = CollectLocalPaths(*document);
+
+  const DocId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  const size_t shard_count = shards_.size();
+  Shard& shard = *shards_[id % shard_count];
+  const size_t slot = id / shard_count;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.slots.size() <= slot) shard.slots.resize(slot + 1);
+    shard.index.AddDocument(local, id);
+    shard.miner.AddDocumentPaths(paths);
+    shard.elements += local.element_count;
+    shard.slots[slot] = std::move(document);
   }
-  documents_.push_back(std::move(document));
+  {
+    // Lock order: shard, then summary (same as every reader).
+    std::unique_lock<std::shared_mutex> lock(summary_mutex_);
+    summary_.AddDocument(local, id);
+  }
   return id;
 }
 
 const Node* XmlRepository::document(DocId id) const {
-  if (id >= documents_.size()) return nullptr;
-  return documents_[id].get();
+  const size_t shard_count = shards_.size();
+  const Shard& shard = *shards_[id % shard_count];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const size_t slot = id / shard_count;
+  if (slot >= shard.slots.size()) return nullptr;
+  return shard.slots[slot].get();
 }
 
-std::vector<DocId> XmlRepository::DocumentsWithPath(
+const std::vector<DocId>& XmlRepository::DocumentsWithPath(
     const LabelPath& path) const {
-  auto it = path_index_.find(JoinLabelPath(path));
-  if (it == path_index_.end()) return {};
-  return it->second;
+  if (path.empty()) return PathIndex::EmptyDocs();
+  std::vector<NameId> labels(path.size());
+  NameTable& names = NameTable::Global();
+  for (size_t i = 0; i < path.size(); ++i) {
+    labels[i] = names.Find(path[i]);
+    // A label no document ever interned cannot be on any stored path.
+    if (labels[i] == kInvalidNameId) return PathIndex::EmptyDocs();
+  }
+  std::shared_lock<std::shared_mutex> lock(summary_mutex_);
+  return summary_.DocsOf(summary_.FindPath(labels.data(), labels.size()));
 }
 
 StatusOr<std::vector<QueryMatch>> XmlRepository::Query(
@@ -53,52 +224,301 @@ StatusOr<std::vector<QueryMatch>> XmlRepository::Query(
 }
 
 std::vector<QueryMatch> XmlRepository::Query(const PathQuery& query) const {
-  // Candidate pruning: the longest leading run of simple steps forms a
-  // label-path prefix every match's document must contain.
-  LabelPath prefix;
-  for (const QueryStep& step : query.steps()) {
-    if (step.descendant || step.name == "*") break;
-    prefix.push_back(step.name);
-    // A val predicate restricts nodes, not the path's presence; the
-    // prefix stays usable, so don't break on it.
-  }
+  const std::vector<QueryStep>& steps = query.steps();
+  if (steps.empty()) return {};
+  const double begin_s = obs::MonotonicSeconds();
+  queries_.Increment();
 
-  std::vector<DocId> candidates;
-  if (!prefix.empty()) {
-    candidates = DocumentsWithPath(prefix);
-  } else {
-    candidates.resize(documents_.size());
-    for (DocId id = 0; id < documents_.size(); ++id) candidates[id] = id;
-  }
-
-  std::vector<QueryMatch> matches;
-  for (DocId id : candidates) {
-    for (const Node* node : query.Evaluate(*documents_[id])) {
-      matches.push_back(QueryMatch{id, node});
+  // Plan selection. The summary answers any query whose predicates are
+  // confined to the final step: structure resolves on the path trie,
+  // the final [val~…] filters occurrences. An intermediate predicate
+  // needs real nodes mid-path, so those queries walk trees — seeded
+  // from the summary when a simple prefix exists.
+  bool summary_only = true;
+  for (size_t i = 0; i + 1 < steps.size(); ++i) {
+    if (!steps[i].val_contains.empty()) {
+      summary_only = false;
+      break;
     }
   }
-  return matches;
+
+  std::vector<QueryMatch> out;
+  if (summary_only) {
+    out = QueryViaSummary(query);
+    index_hits_.Increment();
+  } else {
+    const size_t prefix_len = query.SimplePrefixLength();
+    if (prefix_len > 0) {
+      out = QueryViaPrefix(query, prefix_len);
+      prefix_hits_.Increment();
+    } else {
+      out = QueryViaScan(query);
+    }
+  }
+  matches_.Add(out.size());
+  eval_us_.Record(static_cast<uint64_t>(
+      (obs::MonotonicSeconds() - begin_s) * 1e6));
+  return out;
 }
 
-MajoritySchema XmlRepository::DiscoverSchema(
-    const MiningOptions& options) const {
-  FrequentPathMiner miner(options);
-  for (const auto& doc : documents_) {
-    miner.AddDocument(*doc);
+std::vector<QueryMatch> XmlRepository::QueryViaSummary(
+    const PathQuery& query) const {
+  const QueryStep& last = query.steps().back();
+  // The final predicate's needle, pre-lowered once per query (Parse
+  // already did it; hand-assembled steps pay the lowering here).
+  const bool has_predicate = !last.val_contains.empty();
+  const std::string lowered =
+      !has_predicate ? std::string()
+      : last.val_lower.size() == last.val_contains.size()
+          ? last.val_lower
+          : AsciiLower(last.val_contains);
+  auto keep = [&](const PathOccurrence& occ) {
+    return !has_predicate || ContainsLowered(occ.node->val(), lowered);
+  };
+
+  std::vector<QueryMatch> out;
+  std::shared_lock<std::shared_mutex> lock(summary_mutex_);
+  const std::vector<uint32_t> ids = MatchSummaryPaths(summary_, query);
+  if (ids.size() == 1) {
+    // One path: its occurrence list is already in (doc, pos) order.
+    const std::vector<PathOccurrence>& occurrences =
+        summary_.entry(ids[0]).occurrences;
+    out.reserve(occurrences.size());
+    for (const PathOccurrence& occ : occurrences) {
+      if (keep(occ)) out.push_back(QueryMatch{occ.doc, occ.node});
+    }
+    return out;
   }
-  return miner.Discover();
+
+  size_t total = 0;
+  for (uint32_t id : ids) total += summary_.entry(id).occurrences.size();
+
+  if (!has_predicate && ids.size() > 1 && ids.size() <= 8) {
+    // Few runs, nothing filtered: merge the (doc, pos)-sorted occurrence
+    // lists directly — linear min-scan beats sorting the concatenation.
+    std::vector<const std::vector<PathOccurrence>*> runs;
+    std::vector<size_t> cursor(ids.size(), 0);
+    runs.reserve(ids.size());
+    for (uint32_t id : ids) runs.push_back(&summary_.entry(id).occurrences);
+    out.reserve(total);
+    for (size_t emitted = 0; emitted < total; ++emitted) {
+      size_t best = ids.size();
+      for (size_t r = 0; r < runs.size(); ++r) {
+        if (cursor[r] >= runs[r]->size()) continue;
+        if (best == ids.size()) {
+          best = r;
+          continue;
+        }
+        const PathOccurrence& a = (*runs[r])[cursor[r]];
+        const PathOccurrence& b = (*runs[best])[cursor[best]];
+        if (a.doc < b.doc || (a.doc == b.doc && a.pos < b.pos)) best = r;
+      }
+      const PathOccurrence& occ = (*runs[best])[cursor[best]++];
+      out.push_back(QueryMatch{occ.doc, occ.node});
+    }
+    return out;
+  }
+
+  std::vector<Hit> hits;
+  hits.reserve(total);
+  for (uint32_t id : ids) {
+    for (const PathOccurrence& occ : summary_.entry(id).occurrences) {
+      if (keep(occ)) hits.push_back(Hit{occ.doc, occ.pos, occ.node});
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.doc != b.doc ? a.doc < b.doc : a.pos < b.pos;
+  });
+  out.reserve(hits.size());
+  for (const Hit& hit : hits) out.push_back(QueryMatch{hit.doc, hit.node});
+  return out;
+}
+
+std::vector<QueryMatch> XmlRepository::QueryViaPrefix(const PathQuery& query,
+                                                      size_t prefix_len) const {
+  const std::vector<QueryStep>& steps = query.steps();
+  std::vector<NameId> labels(prefix_len);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const StepTest test = ResolveStep(steps[i]);
+    if (test.impossible) return {};
+    labels[i] = test.name;
+  }
+
+  // Copy the prefix path's occurrence list so trees are walked without
+  // holding the summary lock (the list is append-mutated by Add; the
+  // nodes themselves are immutable once admitted).
+  std::vector<PathOccurrence> occurrences;
+  {
+    std::shared_lock<std::shared_mutex> lock(summary_mutex_);
+    const uint32_t pid = summary_.FindPath(labels.data(), prefix_len);
+    if (pid == PathIndex::kNoPath) return {};
+    occurrences = summary_.entry(pid).occurrences;
+  }
+
+  // Group into per-document frontier ranges (the list is (doc, pos)
+  // sorted, so ranges are contiguous).
+  struct DocRange {
+    DocId doc;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<DocRange> ranges;
+  for (size_t i = 0; i < occurrences.size();) {
+    size_t j = i + 1;
+    while (j < occurrences.size() && occurrences[j].doc == occurrences[i].doc) {
+      ++j;
+    }
+    ranges.push_back(DocRange{occurrences[i].doc, i, j});
+    i = j;
+  }
+
+  auto eval_ranges = [&](size_t range_begin, size_t range_end,
+                         std::vector<QueryMatch>& sink) {
+    for (size_t r = range_begin; r < range_end; ++r) {
+      const DocRange& range = ranges[r];
+      std::vector<const Node*> frontier;
+      frontier.reserve(range.end - range.begin);
+      for (size_t i = range.begin; i < range.end; ++i) {
+        frontier.push_back(occurrences[i].node);
+      }
+      for (const Node* node :
+           query.EvaluateFrom(std::move(frontier), prefix_len)) {
+        sink.push_back(QueryMatch{range.doc, node});
+      }
+    }
+  };
+
+  const size_t chunks =
+      (ranges.size() + kPrefixChunkDocs - 1) / kPrefixChunkDocs;
+  shard_tasks_.Add(chunks);
+  std::vector<QueryMatch> out;
+  ThreadPool* pool = EnsurePool();
+  if (pool != nullptr && chunks > 1) {
+    std::vector<std::vector<QueryMatch>> results(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      pool->Submit([&, c] {
+        eval_ranges(c * kPrefixChunkDocs,
+                    std::min(ranges.size(), (c + 1) * kPrefixChunkDocs),
+                    results[c]);
+      });
+    }
+    pool->Wait();
+    // Chunks are doc-ascending, so ordered concatenation is the
+    // deterministic merge.
+    for (std::vector<QueryMatch>& part : results) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  } else {
+    eval_ranges(0, ranges.size(), out);
+  }
+  return out;
+}
+
+std::vector<QueryMatch> XmlRepository::QueryViaScan(
+    const PathQuery& query) const {
+  const std::vector<QueryStep>& steps = query.steps();
+  const StepTest first = ResolveStep(steps[0]);
+  if (first.impossible) return {};
+
+  const size_t shard_count = shards_.size();
+  std::vector<std::vector<QueryMatch>> results(shard_count);
+
+  auto scan_shard = [&](size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    // Shard-index pruning for the first step: an exact root-label
+    // posting for /name, the label posting for //name, everything for
+    // a wildcard.
+    const std::vector<DocId>* candidates = nullptr;
+    std::vector<DocId> all;
+    if (!first.wildcard && !steps[0].descendant) {
+      candidates = &shard.index.DocsOf(shard.index.FindPath(&first.name, 1));
+    } else if (!first.wildcard) {
+      candidates = &shard.index.DocsWithLabel(first.name);
+    } else {
+      all.reserve(shard.slots.size());
+      for (size_t slot = 0; slot < shard.slots.size(); ++slot) {
+        if (shard.slots[slot] != nullptr) {
+          all.push_back(slot * shard_count + s);
+        }
+      }
+      candidates = &all;
+    }
+    if (candidates->empty()) return;
+    shard_tasks_.Increment();
+    size_t walked = 0;
+    for (DocId id : *candidates) {
+      const Node* doc = shard.slots[id / shard_count].get();
+      if (doc == nullptr) continue;  // transient hole under concurrent Add
+      ++walked;
+      for (const Node* node : query.Evaluate(*doc)) {
+        results[s].push_back(QueryMatch{id, node});
+      }
+    }
+    fallback_walks_.Add(walked);
+  };
+
+  ThreadPool* pool = EnsurePool();
+  if (pool != nullptr && shard_count > 1) {
+    for (size_t s = 0; s < shard_count; ++s) {
+      pool->Submit([&, s] { scan_shard(s); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t s = 0; s < shard_count; ++s) scan_shard(s);
+  }
+
+  // Deterministic merge: per-shard lists are doc-ascending; a stable
+  // sort by doc id interleaves them without disturbing in-document
+  // order, and doc ids are unique to one shard.
+  std::vector<QueryMatch> out;
+  size_t total = 0;
+  for (const std::vector<QueryMatch>& part : results) total += part.size();
+  out.reserve(total);
+  for (const std::vector<QueryMatch>& part : results) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const QueryMatch& a, const QueryMatch& b) {
+                     return a.doc < b.doc;
+                   });
+  return out;
 }
 
 RepositoryStats XmlRepository::Stats() const {
   RepositoryStats stats;
-  stats.documents = documents_.size();
-  stats.distinct_paths = path_index_.size();
-  for (const auto& doc : documents_) {
-    doc->PreOrder([&](const Node& n) {
-      if (n.is_element()) ++stats.elements;
-    });
+  stats.documents = size();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    stats.elements += shard->elements;
   }
+  std::shared_lock<std::shared_mutex> lock(summary_mutex_);
+  stats.distinct_paths = summary_.path_count();
   return stats;
+}
+
+MajoritySchema XmlRepository::DiscoverSchema(
+    const MiningOptions& options) const {
+  // Merge the per-shard tries fed at Add time — no stored document is
+  // re-walked. Constraints (if any) are applied by Discover() itself.
+  FrequentPathMiner merged(options);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    merged.MergeFrom(shard->miner);
+  }
+  return merged.Discover();
+}
+
+obs::QueryStatsView XmlRepository::query_stats() const {
+  obs::QueryStatsView view;
+  view.queries = queries_.value();
+  view.index_hits = index_hits_.value();
+  view.prefix_hits = prefix_hits_.value();
+  view.fallback_walks = fallback_walks_.value();
+  view.shard_tasks = shard_tasks_.value();
+  view.matches = matches_.value();
+  view.eval_us = eval_us_.Snapshot();
+  return view;
 }
 
 }  // namespace webre

@@ -1,24 +1,26 @@
 #ifndef WEBRE_REPOSITORY_REPOSITORY_H_
 #define WEBRE_REPOSITORY_REPOSITORY_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "repository/path_index.h"
 #include "repository/query.h"
 #include "schema/frequent_paths.h"
 #include "schema/label_path.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "xml/dtd.h"
 #include "xml/node.h"
 
 namespace webre {
-
-/// Identifier of a stored document.
-using DocId = size_t;
 
 /// One query hit: a node inside a stored document.
 struct QueryMatch {
@@ -35,24 +37,55 @@ struct RepositoryStats {
   size_t distinct_paths = 0;
 };
 
+/// Serving-layer configuration.
+struct RepositoryOptions {
+  /// Document shards. 0 (the default) means one per hardware thread.
+  /// More shards reduce Add/Query contention; query results are
+  /// identical for every value.
+  size_t num_shards = 0;
+  /// Worker threads for query fan-out. 0 means one per hardware
+  /// thread; values <= 1 evaluate inline (no pool is ever created).
+  size_t query_threads = 0;
+};
+
 /// The XML repository the pipeline feeds (§1: "the integration of topic
 /// specific HTML documents into a repository of XML documents"; §5's
-/// Quixote prototype [11]).
+/// Quixote prototype [11]) — organized as a concurrent serving layer.
 ///
-/// Documents are stored as ordered trees and indexed by *label path*:
-/// for every root-emanating label path the index keeps the documents
-/// containing it, so simple path queries are answered without touching
-/// non-matching documents — the paper's point that a schema "can provide
-/// the right level of detail" for "query optimization and index
-/// structures" (§1). Non-simple queries (wildcards, `//`, predicates)
-/// fall back to evaluating against candidate documents, still pruned by
-/// the longest simple prefix of the query.
+/// Layout: documents are sharded by id (shard = id mod N). Each shard
+/// owns its documents, a NameId-keyed inverted path index, an
+/// incrementally-fed FrequentPathMiner trie, and a shared_mutex, so
+/// reads proceed concurrently with each other and with Add on other
+/// shards. A repository-wide structural summary (a DataGuide over
+/// NameId paths, with per-path element occurrence lists) answers
+/// structural queries without touching any document tree.
+///
+/// Query execution picks the cheapest of three plans:
+///  1. summary-only: every step is a name/wildcard/descendant test and
+///     only the final step may carry a [val~…] predicate — the summary
+///     trie is pattern-matched and matches stream straight from the
+///     occurrence lists (query.index_hits);
+///  2. summary-seeded: an intermediate predicate stops plan 1, but a
+///     non-empty simple prefix still resolves from the summary and only
+///     the suffix walks the trees (query.prefix_hits);
+///  3. sharded scan: no usable prefix — per-shard tree evaluation,
+///     pruned by the shard indexes and fanned out through a ThreadPool
+///     (query.fallback_walks counts evaluated documents).
+/// All plans return matches sorted by (doc id, document order), so
+/// results are byte-identical across shard counts and thread counts.
+///
+/// Lock order: shard before summary, never the reverse.
 ///
 /// Optionally the repository enforces a DTD on admission (documents are
 /// expected to have been conformed by the Document Mapping Component).
+/// Configure SetDtd before concurrent serving starts.
 class XmlRepository {
  public:
-  XmlRepository() = default;
+  explicit XmlRepository(RepositoryOptions options = {});
+  ~XmlRepository();
+
+  XmlRepository(const XmlRepository&) = delete;
+  XmlRepository& operator=(const XmlRepository&) = delete;
 
   /// Makes admission require conformance to `dtd` (copied). Documents
   /// already stored are not re-checked.
@@ -60,37 +93,93 @@ class XmlRepository {
   bool has_dtd() const { return has_dtd_; }
   const Dtd& dtd() const { return dtd_; }
 
-  /// Adds a document, indexing its label paths. With a DTD set, a
-  /// non-conforming document is rejected (FailedPrecondition) listing
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Adds a document, indexing its label paths, feeding the shard's
+  /// schema-mining trie and updating the structural summary. Safe to
+  /// call concurrently with other Add and Query calls. With a DTD set,
+  /// a non-conforming document is rejected (FailedPrecondition) listing
   /// the first violation.
   StatusOr<DocId> Add(std::unique_ptr<Node> document);
 
-  size_t size() const { return documents_.size(); }
+  /// Documents admitted so far (ids are dense: 0 … size()-1).
+  size_t size() const { return next_id_.load(std::memory_order_acquire); }
+
   /// Borrowed pointer to a stored document; null for unknown ids.
   const Node* document(DocId id) const;
 
-  /// Documents containing the exact root-emanating label path.
-  std::vector<DocId> DocumentsWithPath(const LabelPath& path) const;
+  /// Documents containing the exact root-emanating label path,
+  /// ascending. Returns a reference into the structural summary (a
+  /// shared empty sentinel for misses); it is stable until the next
+  /// Add, so don't hold it across admissions.
+  const std::vector<DocId>& DocumentsWithPath(const LabelPath& path) const;
 
   /// Parses and runs `query_text` across the repository; matches are in
   /// (doc, document-order) order.
   StatusOr<std::vector<QueryMatch>> Query(std::string_view query_text) const;
 
-  /// Runs a pre-parsed query.
+  /// Runs a pre-parsed query. Safe to call concurrently with Add.
   std::vector<QueryMatch> Query(const PathQuery& query) const;
 
   RepositoryStats Stats() const;
 
-  /// Discovers the majority schema of the stored documents (a fresh
-  /// mining pass over the repository; the paper's repository keeps its
-  /// schema alongside the data so new documents can be mapped on
-  /// arrival).
+  /// Discovers the majority schema of the stored documents by merging
+  /// the per-shard mining tries fed at Add time — no stored tree is
+  /// re-walked, and the result is identical for every shard count.
+  /// Constraints in `options` are applied at discovery.
   MajoritySchema DiscoverSchema(const MiningOptions& options = {}) const;
 
+  /// Snapshot of the query.* counters and the per-query latency
+  /// histogram (obs wiring: PipelineMetrics::MergeQueryStats).
+  obs::QueryStatsView query_stats() const;
+
  private:
-  std::vector<std::unique_ptr<Node>> documents_;
-  /// joined label path -> sorted doc ids (deduplicated).
-  std::unordered_map<std::string, std::vector<DocId>> path_index_;
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    /// Documents of this shard; slot = id / num_shards. A slot may be
+    /// transiently null while a lower id's Add is still in flight.
+    std::vector<std::unique_ptr<Node>> slots;
+    /// Inverted path index of this shard's documents (postings only).
+    PathIndex index{/*record_occurrences=*/false};
+    /// Schema-mining trie over this shard's documents, fed at Add.
+    FrequentPathMiner miner;
+    /// Element count, maintained incrementally at Add.
+    size_t elements = 0;
+  };
+
+  /// Plan 1: answer entirely from the structural summary.
+  std::vector<QueryMatch> QueryViaSummary(const PathQuery& query) const;
+  /// Plan 2: seed the frontier from the summary, walk the suffix.
+  std::vector<QueryMatch> QueryViaPrefix(const PathQuery& query,
+                                         size_t prefix_len) const;
+  /// Plan 3: sharded full-tree evaluation.
+  std::vector<QueryMatch> QueryViaScan(const PathQuery& query) const;
+
+  /// The fan-out pool, created on first parallel use (never with
+  /// query_threads <= 1). Returns null when evaluation should stay
+  /// inline.
+  ThreadPool* EnsurePool() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<DocId> next_id_{0};
+
+  /// Repository-wide structural summary; guarded by summary_mutex_,
+  /// taken after a shard mutex, never before.
+  mutable std::shared_mutex summary_mutex_;
+  PathIndex summary_{/*record_occurrences=*/true};
+
+  size_t query_threads_ = 1;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable obs::Counter queries_;
+  mutable obs::Counter index_hits_;
+  mutable obs::Counter prefix_hits_;
+  mutable obs::Counter fallback_walks_;
+  mutable obs::Counter shard_tasks_;
+  mutable obs::Counter matches_;
+  mutable obs::Histogram eval_us_;
+
   Dtd dtd_;
   bool has_dtd_ = false;
 };

@@ -1,22 +1,38 @@
 #include "schema/frequent_paths.h"
 
 #include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "xml/name_table.h"
 
 namespace webre {
 
+/// The search-space trie is keyed on interned NameIds: child lookup is
+/// an integer map probe and merging two tries never touches a string.
+/// Label strings are resolved from the global NameTable only when a
+/// schema node is materialized or a constraint set must be consulted.
 struct FrequentPathMiner::TrieNode {
-  std::string label;
+  NameId label = kInvalidNameId;  // kInvalidNameId marks the sentinel
   size_t doc_count = 0;
   size_t rep_doc_count = 0;
   double position_sum = 0.0;
   size_t position_count = 0;
-  std::map<std::string, std::unique_ptr<TrieNode>> children;
+  std::map<NameId, std::unique_ptr<TrieNode>> children;
 };
 
-FrequentPathMiner::FrequentPathMiner(MiningOptions options)
-    : options_(options), root_(std::make_unique<TrieNode>()) {
-  root_->label = "#sentinel";
+namespace {
+
+std::string_view LabelOf(NameId id) {
+  return id == kInvalidNameId ? std::string_view()
+                              : NameTable::Global().NameOf(id);
 }
+
+}  // namespace
+
+FrequentPathMiner::FrequentPathMiner(MiningOptions options)
+    : options_(options), root_(std::make_unique<TrieNode>()) {}
 
 FrequentPathMiner::~FrequentPathMiner() = default;
 
@@ -28,10 +44,50 @@ void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
   ++document_count_;
   // ExtractPaths fills the statistics vectors parallel to `paths`;
   // hand-built DocumentPaths may omit them.
-  const bool have_mult = paths.max_multiplicity.size() == paths.paths.size();
-  const bool have_pos = paths.position_sum.size() == paths.paths.size() &&
-                        paths.position_count.size() == paths.paths.size();
-  for (size_t pi = 0; pi < paths.paths.size(); ++pi) {
+  const size_t n = paths.paths.size();
+  const bool have_mult = paths.max_multiplicity.size() == n;
+  const bool have_pos =
+      paths.position_sum.size() == n && paths.position_count.size() == n;
+  const bool have_dense =
+      paths.parent_index.size() == n && paths.leaf_name.size() == n;
+
+  // Dense fast path: each path is reached through its parent's already
+  // resolved trie node, so an insertion is one map probe instead of a
+  // walk over the whole label chain. Resolution is lazy so a path pruned
+  // by the constraint set materializes no trie node of its own — exactly
+  // the trie shape string-chain insertion produces (intermediate nodes
+  // still appear whenever a surviving path runs through them).
+  std::vector<TrieNode*> resolved;
+  if (have_dense) resolved.assign(n, nullptr);
+  auto resolve_chain = [&](size_t pi) -> TrieNode* {
+    // Parents precede children in `paths`, so each round the deepest
+    // unresolved ancestor of pi is found by following parent links and
+    // materialized top-down; each path resolves at most once, keeping
+    // the whole feed linear in practice.
+    while (resolved[pi] == nullptr) {
+      size_t next = pi;
+      while (paths.parent_index[next] != DocumentPaths::kNoParentPath &&
+             resolved[paths.parent_index[next]] == nullptr) {
+        next = paths.parent_index[next];
+      }
+      TrieNode* parent =
+          paths.parent_index[next] == DocumentPaths::kNoParentPath
+              ? root_.get()
+              : resolved[paths.parent_index[next]];
+      const NameId leaf = paths.leaf_name[next];
+      std::unique_ptr<TrieNode>& slot = parent->children[leaf];
+      if (slot == nullptr) {
+        slot = std::make_unique<TrieNode>();
+        slot->label = leaf;
+        ++trie_node_count_;
+      }
+      resolved[next] = slot.get();
+    }
+    return resolved[pi];
+  };
+
+  NameTable& names = NameTable::Global();
+  for (size_t pi = 0; pi < n; ++pi) {
     const LabelPath& path = paths.paths[pi];
     ++stats_.paths_offered;
     if (options_.constraints != nullptr &&
@@ -39,14 +95,21 @@ void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
       ++stats_.paths_pruned_by_constraints;
       continue;
     }
-    TrieNode* node = root_.get();
-    for (const std::string& label : path) {
-      std::unique_ptr<TrieNode>& slot = node->children[label];
-      if (slot == nullptr) {
-        slot = std::make_unique<TrieNode>();
-        slot->label = label;
+    TrieNode* node = nullptr;
+    if (have_dense) {
+      node = resolve_chain(pi);
+    } else {
+      node = root_.get();
+      for (const std::string& label : path) {
+        const NameId id = names.Intern(label);
+        std::unique_ptr<TrieNode>& slot = node->children[id];
+        if (slot == nullptr) {
+          slot = std::make_unique<TrieNode>();
+          slot->label = id;
+          ++trie_node_count_;
+        }
+        node = slot.get();
       }
-      node = slot.get();
     }
     ++node->doc_count;
 
@@ -61,10 +124,37 @@ void FrequentPathMiner::AddDocumentPaths(const DocumentPaths& paths) {
   }
 }
 
+void FrequentPathMiner::MergeFrom(const FrequentPathMiner& other) {
+  document_count_ += other.document_count_;
+  stats_.paths_offered += other.stats_.paths_offered;
+  stats_.paths_pruned_by_constraints +=
+      other.stats_.paths_pruned_by_constraints;
+  // Recursion depth equals the deepest stored path, which the parser
+  // already bounds; every statistic is a sum, so merge order between
+  // shards cannot change the result.
+  auto merge = [&](auto&& self, TrieNode& dst, const TrieNode& src) -> void {
+    dst.doc_count += src.doc_count;
+    dst.rep_doc_count += src.rep_doc_count;
+    dst.position_sum += src.position_sum;
+    dst.position_count += src.position_count;
+    for (const auto& [id, child] : src.children) {
+      std::unique_ptr<TrieNode>& slot = dst.children[id];
+      if (slot == nullptr) {
+        slot = std::make_unique<TrieNode>();
+        slot->label = id;
+        ++trie_node_count_;
+      }
+      self(self, *slot, *child);
+    }
+  };
+  merge(merge, *root_, *other.root_);
+}
+
 void FrequentPathMiner::BuildSchemaNode(const TrieNode& trie,
                                         double parent_support,
+                                        LabelPath& path,
                                         SchemaNode& out) const {
-  out.label = trie.label;
+  out.label = std::string(LabelOf(trie.label));
   out.doc_count = trie.doc_count;
   out.support = document_count_ == 0
                     ? 0.0
@@ -80,7 +170,7 @@ void FrequentPathMiner::BuildSchemaNode(const TrieNode& trie,
                          ? 0.0
                          : static_cast<double>(trie.rep_doc_count) /
                                static_cast<double>(trie.doc_count);
-  for (const auto& [label, child] : trie.children) {
+  for (const auto& [id, child] : trie.children) {
     const double child_support =
         document_count_ == 0
             ? 0.0
@@ -93,8 +183,26 @@ void FrequentPathMiner::BuildSchemaNode(const TrieNode& trie,
     // need not be considered").
     if (child_support < options_.sup_threshold) continue;
     if (ratio < options_.ratio_threshold) continue;
+    // Constraints may arrive only at Discover() time (a repository feeds
+    // the trie long before DiscoverSchema names a constraint set).
+    // Filtering the descent here is equivalent to insertion-time pruning
+    // because a path rejected at insertion leaves a zero-count node the
+    // support threshold already skips.
+    if (options_.constraints != nullptr) {
+      path.emplace_back(LabelOf(id));
+      const bool allowed = options_.constraints->PathAllowed(path);
+      if (!allowed) {
+        path.pop_back();
+        continue;
+      }
+      SchemaNode child_schema;
+      BuildSchemaNode(*child, out.support, path, child_schema);
+      path.pop_back();
+      out.children.push_back(std::move(child_schema));
+      continue;
+    }
     SchemaNode child_schema;
-    BuildSchemaNode(*child, out.support, child_schema);
+    BuildSchemaNode(*child, out.support, path, child_schema);
     out.children.push_back(std::move(child_schema));
   }
   // Ordering rule (§3.3): children ordered by average child position in
@@ -121,32 +229,38 @@ size_t CountSchemaNodes(const SchemaNode& node) {
 }  // namespace
 
 MajoritySchema FrequentPathMiner::Discover() {
-  // Count materialized trie nodes (excluding the sentinel).
-  stats_.trie_nodes = 0;
-  std::vector<const TrieNode*> stack;
-  for (const auto& [label, child] : root_->children) {
-    stack.push_back(child.get());
-  }
-  while (!stack.empty()) {
-    const TrieNode* node = stack.back();
-    stack.pop_back();
-    ++stats_.trie_nodes;
-    for (const auto& [label, child] : node->children) {
-      stack.push_back(child.get());
-    }
-  }
+  stats_.trie_nodes = trie_node_count_;
 
   if (document_count_ == 0 || root_->children.empty()) {
     stats_.frequent_paths = 0;
     return MajoritySchema();
   }
 
-  // The schema root is the most common document root label.
-  const TrieNode* best = nullptr;
-  for (const auto& [label, child] : root_->children) {
-    if (best == nullptr || child->doc_count > best->doc_count) {
-      best = child.get();
+  // The schema root is the most common document root label; ties break
+  // towards the lexicographically smaller label (the order the original
+  // string-keyed trie iterated in), so the choice is independent of the
+  // NameId interning order.
+  std::vector<std::pair<std::string_view, const TrieNode*>> roots;
+  roots.reserve(root_->children.size());
+  for (const auto& [id, child] : root_->children) {
+    if (options_.constraints != nullptr) {
+      LabelPath probe;
+      probe.emplace_back(LabelOf(id));
+      if (!options_.constraints->PathAllowed(probe)) continue;
     }
+    roots.emplace_back(LabelOf(id), child.get());
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const TrieNode* best = nullptr;
+  for (const auto& [label, child] : roots) {
+    if (best == nullptr || child->doc_count > best->doc_count) {
+      best = child;
+    }
+  }
+  if (best == nullptr) {
+    stats_.frequent_paths = 0;
+    return MajoritySchema();
   }
   const double root_support = static_cast<double>(best->doc_count) /
                               static_cast<double>(document_count_);
@@ -156,7 +270,9 @@ MajoritySchema FrequentPathMiner::Discover() {
   }
 
   SchemaNode root_schema;
-  BuildSchemaNode(*best, 0.0, root_schema);
+  LabelPath path;
+  path.emplace_back(LabelOf(best->label));
+  BuildSchemaNode(*best, 0.0, path, root_schema);
   stats_.frequent_paths = CountSchemaNodes(root_schema);
   return MajoritySchema(std::move(root_schema));
 }

@@ -63,8 +63,17 @@ class FrequentPathMiner {
   /// Adds one document's paths to the search space S.
   void AddDocument(const Node& root);
   /// Adds pre-extracted paths (for callers that already walked the
-  /// tree).
+  /// tree). When the DocumentPaths carries the dense parent_index /
+  /// leaf_name view (ExtractPaths always fills it), the trie is updated
+  /// by NameId with no string hashing at all.
   void AddDocumentPaths(const DocumentPaths& paths);
+
+  /// Folds another miner's search space into this one. All per-path
+  /// statistics are order-independent sums, so merging per-shard miners
+  /// yields exactly the trie a single miner fed with every document
+  /// would hold — this is what makes repository-side discovery
+  /// shard-count invariant. `other` is left untouched.
+  void MergeFrom(const FrequentPathMiner& other);
 
   /// Number of documents added.
   size_t document_count() const { return document_count_; }
@@ -80,15 +89,21 @@ class FrequentPathMiner {
 
   MiningOptions& mutable_options() { return options_; }
 
+  /// Trie nodes materialized so far (the §4.2 search-space measure,
+  /// excluding the sentinel root). Maintained incrementally so callers
+  /// do not need a Discover() pass to read it.
+  size_t trie_node_count() const { return trie_node_count_; }
+
  private:
   struct TrieNode;
 
   void BuildSchemaNode(const TrieNode& trie, double parent_support,
-                       SchemaNode& out) const;
+                       LabelPath& path, SchemaNode& out) const;
 
   MiningOptions options_;
   std::unique_ptr<TrieNode> root_;
   size_t document_count_ = 0;
+  size_t trie_node_count_ = 0;
   MiningStats stats_;
 };
 

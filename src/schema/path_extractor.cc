@@ -72,7 +72,21 @@ class PathTable {
     out.max_multiplicity.reserve(emit_order_.size());
     out.position_sum.reserve(emit_order_.size());
     out.position_count.reserve(emit_order_.size());
+    out.parent_index.reserve(emit_order_.size());
+    out.leaf_name.reserve(emit_order_.size());
+    // Dense table index -> emit position, so parent_index can point into
+    // the emitted (pre-order) vectors. Pre-order guarantees every parent
+    // was emitted before its children.
+    std::vector<uint32_t> dense_to_emit(entries_.size(),
+                                        DocumentPaths::kNoParentPath);
+    for (size_t k = 0; k < emit_order_.size(); ++k) {
+      dense_to_emit[emit_order_[k]] = static_cast<uint32_t>(k);
+    }
     for (uint32_t i : emit_order_) {
+      out.parent_index.push_back(entries_[i].parent == kNoParent
+                                     ? DocumentPaths::kNoParentPath
+                                     : dense_to_emit[entries_[i].parent]);
+      out.leaf_name.push_back(entries_[i].name);
       LabelPath path;
       for (uint32_t j = i; j != kNoParent; j = entries_[j].parent) {
         path.emplace_back(names.NameOf(entries_[j].name));

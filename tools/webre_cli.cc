@@ -4,6 +4,7 @@
 //   webre discover [options] FILE...     majority schema + DTD from files
 //   webre map [options] FILE...          conform documents to the DTD
 //   webre query QUERY FILE...            run a path query over files
+//   webre query-bench [N]                query-serving throughput benchmark
 //   webre demo [N]                       end-to-end on N generated resumes
 //   webre help                           full flag reference on stdout
 //
@@ -67,6 +68,8 @@ struct CliOptions {
   std::string root = "resume";
   bool attlist = false;
   size_t threads = 1;
+  size_t shards = 0;    // --shards=N (0 = one per hardware thread)
+  size_t reps = 50;     // --reps=N (query-bench workload repetitions)
   bool keep_going = true;
   webre::ResourceLimits limits;
   std::string metrics_json_path;  // --metrics-json=FILE
@@ -89,6 +92,12 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads =
           static_cast<size_t>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 9, nullptr, 10));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      options.reps =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg == "--attlist") {
       options.attlist = true;
     } else if (arg == "--keep-going") {
@@ -424,9 +433,14 @@ int CmdQuery(const CliOptions& options) {
       MakePipeline(domain, options, sinks, /*map_documents=*/true)
           .Run(pages);
   const int code = ReportOutcomes(result, paths);
-  sinks.Finish(options);
-  if (result.aborted) return code;
-  webre::XmlRepository repo;
+  if (result.aborted) {
+    sinks.Finish(options);
+    return code;
+  }
+  webre::RepositoryOptions repo_options;
+  repo_options.num_shards = options.shards;
+  repo_options.query_threads = options.threads;
+  webre::XmlRepository repo(repo_options);
   // The repository is packed with surviving documents only, so repo doc
   // ids must be mapped back to input paths.
   std::vector<size_t> repo_to_input;
@@ -436,7 +450,10 @@ int CmdQuery(const CliOptions& options) {
     repo_to_input.push_back(i);
   }
   auto matches = repo.Query(query);
-  if (!matches.ok()) return Fail(matches.status().ToString());
+  if (!matches.ok()) {
+    sinks.Finish(options);
+    return Fail(matches.status().ToString());
+  }
   for (const webre::QueryMatch& match : *matches) {
     std::printf("%s: <%s val=\"%s\">\n",
                 paths[repo_to_input[match.doc]].c_str(),
@@ -444,7 +461,92 @@ int CmdQuery(const CliOptions& options) {
                 std::string(match.node->val()).c_str());
   }
   std::fprintf(stderr, "webre: %zu matches\n", matches->size());
+  if (sinks.metrics != nullptr) {
+    sinks.metrics->MergeQueryStats(repo.query_stats());
+  }
+  sinks.Finish(options);
   return code;
+}
+
+// Loads a generated corpus into the repository and times a built-in
+// query workload against it — the CLI face of bench/bench_query.cc.
+int CmdQueryBench(const CliOptions& options) {
+  const size_t count =
+      options.args.empty()
+          ? 400
+          : std::strtoul(options.args[0].c_str(), nullptr, 10);
+  std::vector<std::string> pages;
+  pages.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pages.push_back(webre::GenerateResume(i).html);
+  }
+  Domain domain;
+  ObsSinks sinks(options);
+  webre::PipelineResult result =
+      MakePipeline(domain, options, sinks, /*map_documents=*/true)
+          .Run(pages);
+  if (result.aborted) {
+    sinks.Finish(options);
+    return Fail("conversion aborted; no repository to benchmark");
+  }
+
+  webre::RepositoryOptions repo_options;
+  repo_options.num_shards = options.shards;
+  repo_options.query_threads = options.threads;
+  webre::XmlRepository repo(repo_options);
+  const double load_begin = webre::obs::MonotonicSeconds();
+  for (auto& doc : result.mapped_documents) {
+    if (doc == nullptr) continue;  // failed doc
+    repo.Add(std::move(doc)).value();
+  }
+  const double load_seconds = webre::obs::MonotonicSeconds() - load_begin;
+
+  // Simple paths (summary-only), descendant/wildcard/predicate shapes
+  // (still summary-only) and an intermediate predicate (tree fallback).
+  const char* const workload[] = {
+      "/resume/EDUCATION/DATE",
+      "/resume/SKILLS/LANGUAGE",
+      "/resume/CONTACT/LOCATION/EMAIL",
+      "//DATE",
+      "//LANGUAGE[val~\"java\"]",
+      "/resume/EXPERIENCE//DATE",
+      "//LOCATION/*",
+      "/resume/EDUCATION[val~\"univ\"]/DATE",
+  };
+  std::vector<webre::PathQuery> queries;
+  for (const char* text : workload) {
+    queries.push_back(webre::PathQuery::Parse(text).value());
+  }
+
+  size_t total_matches = 0;
+  const double bench_begin = webre::obs::MonotonicSeconds();
+  for (size_t rep = 0; rep < options.reps; ++rep) {
+    for (const webre::PathQuery& parsed : queries) {
+      total_matches += repo.Query(parsed).size();
+    }
+  }
+  const double bench_seconds = webre::obs::MonotonicSeconds() - bench_begin;
+
+  const webre::obs::QueryStatsView stats = repo.query_stats();
+  const webre::RepositoryStats repo_stats = repo.Stats();
+  std::printf("query-bench: %zu docs, %zu shards, %zu distinct paths, "
+              "load %.3fs\n",
+              repo.size(), repo.num_shards(), repo_stats.distinct_paths,
+              load_seconds);
+  std::printf("ran %zu queries in %.3fs (%.0f queries/sec), %zu matches\n",
+              static_cast<size_t>(stats.queries), bench_seconds,
+              bench_seconds > 0.0 ? stats.queries / bench_seconds : 0.0,
+              total_matches);
+  std::printf("plans: %llu index hits, %llu prefix hits, "
+              "%llu fallback walks, %llu shard tasks\n",
+              static_cast<unsigned long long>(stats.index_hits),
+              static_cast<unsigned long long>(stats.prefix_hits),
+              static_cast<unsigned long long>(stats.fallback_walks),
+              static_cast<unsigned long long>(stats.shard_tasks));
+  if (sinks.metrics != nullptr) {
+    sinks.metrics->MergeQueryStats(stats);
+  }
+  return sinks.Finish(options);
 }
 
 int CmdDemo(const CliOptions& options) {
@@ -481,6 +583,7 @@ void PrintHelp(std::FILE* out) {
       "  discover FILE...      discover the majority schema + DTD\n"
       "  map FILE...           conform documents to the discovered DTD\n"
       "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
+      "  query-bench [N]       time a query workload over N generated docs\n"
       "  demo [N]              end-to-end run on N generated resumes\n"
       "  help                  print this reference on stdout\n"
       "discovery options (discover/map/query/demo):\n"
@@ -489,6 +592,9 @@ void PrintHelp(std::FILE* out) {
       "  --root=NAME           output root element name (default resume)\n"
       "  --attlist             include <!ATTLIST> declarations in the DTD\n"
       "  --threads=N           worker threads (1 = serial, 0 = all cores)\n"
+      "repository options (query/query-bench):\n"
+      "  --shards=N            repository shards (0 = one per core)\n"
+      "  --reps=N              query-bench workload repetitions (default 50)\n"
       "fault isolation:\n"
       "  --keep-going          record failures, continue (default)\n"
       "  --no-keep-going       any failed document aborts the batch\n"
@@ -525,6 +631,7 @@ int main(int argc, char** argv) {
   if (command == "discover") return CmdDiscover(options);
   if (command == "map") return CmdMap(options);
   if (command == "query") return CmdQuery(options);
+  if (command == "query-bench") return CmdQueryBench(options);
   if (command == "demo") return CmdDemo(options);
   Usage();
   return 1;
