@@ -1,14 +1,18 @@
 // Memory-layer bench: single-thread end-to-end conversion throughput,
-// heap allocations per document, and peak RSS over a generated resume
-// corpus. Prints one JSON object (one "arm") to stdout; the checked-in
-// BENCH_memory.json combines a pre-change arm with the current build
-// (see ci/bench_smoke.sh, which validates that file's schema).
+// heap allocations per document, peak RSS over a generated resume
+// corpus, and the steady-state RSS of a repository holding that corpus
+// (conversion scaffolding released, heap trimmed). Prints one JSON
+// object (one "arm") to stdout; the checked-in BENCH_memory.json
+// combines a pre-change arm with the current build (see
+// ci/bench_smoke.sh, which validates that file's schema).
 //
 // The binary intentionally uses only the pipeline's stable public API
 // so the same source compiles against the pre-arena tree — that is how
-// the "before" arm of BENCH_memory.json was measured.
+// the "before" arm of BENCH_memory.json was measured. The repository
+// ingest is likewise gated on the header existing.
 //
 // Usage: bench_memory [--docs=N] [--arm=NAME] [--arena=on|off]
+//                     [--flat=on|off]
 
 #include <sys/resource.h>
 
@@ -28,6 +32,13 @@
 
 #if __has_include("xml/node_arena.h")
 #define WEBRE_BENCH_HAS_NODE_ARENA 1
+#endif
+#if __has_include("repository/repository.h")
+#include "repository/repository.h"
+#define WEBRE_BENCH_HAS_REPOSITORY 1
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
 #endif
 
 namespace {
@@ -89,7 +100,27 @@ struct Flags {
   std::size_t docs = 200;
   std::string arm = "current";
   bool arena = true;
+  bool flat = true;
 };
+
+// Resident set right now, from /proc/self/status (ru_maxrss is the
+// high-water mark and never comes back down, so it cannot observe the
+// savings from freezing trees and releasing their arenas). Returns 0.0
+// where /proc is unavailable.
+double CurrentRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      mb = std::strtod(line + 6, nullptr) / 1024.0;  // value is in KiB
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
 
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
@@ -104,6 +135,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.arena = true;
     } else if (arg == "--arena=off") {
       flags.arena = false;
+    } else if (arg == "--flat=on") {
+      flags.flat = true;
+    } else if (arg == "--flat=off") {
+      flags.flat = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -176,10 +211,42 @@ int main(int argc, char** argv) {
   struct rusage usage {};
   getrusage(RUSAGE_SELF, &usage);  // ru_maxrss is KiB on Linux
 
+  // Steady state: hand the converted corpus to the repository (which
+  // freezes each tree into a FlatDoc and releases its arena unless
+  // --flat=off), drop every piece of conversion scaffolding, trim the
+  // heap, and read the resident set that remains.
+  double repo_rss_mb = 0.0;
+  bool flat_in_effect = false;
+#ifdef WEBRE_BENCH_HAS_REPOSITORY
+  webre::RepositoryOptions repo_options;
+  repo_options.num_shards = 1;
+  repo_options.query_threads = 1;
+  repo_options.freeze_flat = flags.flat;
+  flat_in_effect = flags.flat;
+  webre::XmlRepository repo(repo_options);
+  for (std::size_t i = 0; i < result.documents.size(); ++i) {
+    if (result.documents[i] == nullptr) continue;
+    std::shared_ptr<webre::NodeArena> arena =
+        i < result.arenas.size() ? result.arenas[i] : nullptr;
+    if (!repo.Add(std::move(result.documents[i]), std::move(arena)).ok()) {
+      std::fprintf(stderr, "repository rejected document %zu\n", i);
+      return 1;
+    }
+  }
+  result = webre::PipelineResult{};  // free trees, arenas, outcomes
+  pages.clear();
+  pages.shrink_to_fit();
+#if defined(__GLIBC__)
+  malloc_trim(0);  // return freed pages so VmRSS reflects live data
+#endif
+  repo_rss_mb = CurrentRssMb();
+#endif
+
   std::printf(
       "{\n"
       "  \"arm\": \"%s\",\n"
       "  \"arena\": %s,\n"
+      "  \"flat\": %s,\n"
       "  \"documents\": %zu,\n"
       "  \"input_mb\": %.3f,\n"
       "  \"seconds\": %.4f,\n"
@@ -187,14 +254,19 @@ int main(int argc, char** argv) {
       "  \"mb_per_sec\": %.2f,\n"
       "  \"heap_allocs\": %llu,\n"
       "  \"heap_allocs_per_doc\": %.1f,\n"
-      "  \"peak_rss_mb\": %.1f\n"
+      "  \"peak_rss_mb\": %.1f,\n"
+      "  \"repo_rss_mb\": %.1f\n"
       "}\n",
-      flags.arm.c_str(), arena_in_effect ? "true" : "false", flags.docs,
+      flags.arm.c_str(), arena_in_effect ? "true" : "false",
+      flat_in_effect ? "true" : "false", flags.docs,
       static_cast<double>(input_bytes) / (1024.0 * 1024.0), seconds,
       static_cast<double>(flags.docs) / seconds,
       static_cast<double>(input_bytes) / (1024.0 * 1024.0) / seconds,
       static_cast<unsigned long long>(heap_allocs),
       static_cast<double>(heap_allocs) / static_cast<double>(flags.docs),
-      static_cast<double>(usage.ru_maxrss) / 1024.0);
+      static_cast<double>(usage.ru_maxrss) / 1024.0, repo_rss_mb);
+#ifdef WEBRE_BENCH_HAS_REPOSITORY
+  if (repo.size() == 0) return 1;  // keep the repository live until here
+#endif
   return 0;
 }

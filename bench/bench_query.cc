@@ -1,12 +1,15 @@
 // Query-serving bench: before/after arms over a generated XML corpus.
 //
 // The "after" arm is the current XmlRepository (sharded storage,
-// NameId-keyed structural summary, three-plan query execution). The
-// "before" arm replicates the seed serving layer inside this binary —
-// a flat document vector, a joined-string path index used only for
-// whole-prefix candidate pruning, and per-document tree evaluation
-// with the original quadratic frontier dedup — so both arms run in one
-// process over identical corpora.
+// NameId-keyed structural summary, three-plan query execution over
+// frozen FlatDoc blocks). The "after_no_flat" arm is the same
+// repository with --no-flat storage (pointer trees), isolating the
+// flat representation's contribution. The "before" arm replicates the
+// seed serving layer inside this binary — a flat document vector, a
+// joined-string path index used only for whole-prefix candidate
+// pruning, and per-document tree evaluation with the original
+// quadratic frontier dedup — so all arms run in one process over
+// identical corpora.
 //
 // Two workloads are timed per arm:
 //   simple — exact root-to-leaf paths (the summary answers them with
@@ -228,7 +231,8 @@ class BaselineRepo {
 
   size_t size() const { return docs_.size(); }
 
-  std::vector<webre::QueryMatch> Query(const webre::PathQuery& query) const {
+  std::vector<std::pair<webre::DocId, const webre::Node*>> Query(
+      const webre::PathQuery& query) const {
     webre::LabelPath prefix;
     for (const webre::QueryStep& step : query.steps()) {
       if (step.descendant || step.name == "*") break;
@@ -242,10 +246,10 @@ class BaselineRepo {
       candidates.resize(docs_.size());
       for (webre::DocId id = 0; id < docs_.size(); ++id) candidates[id] = id;
     }
-    std::vector<webre::QueryMatch> matches;
+    std::vector<std::pair<webre::DocId, const webre::Node*>> matches;
     for (webre::DocId id : candidates) {
       for (const webre::Node* node : SeedEvaluate(query, *docs_[id])) {
-        matches.push_back(webre::QueryMatch{id, node});
+        matches.emplace_back(id, node);
       }
     }
     return matches;
@@ -347,10 +351,14 @@ int main(int argc, char** argv) {
   webre::RepositoryOptions options;
   options.num_shards = flags.shards;
   options.query_threads = 1;
-  webre::XmlRepository after(options);
+  webre::XmlRepository after(options);  // freeze_flat on by default
+  webre::RepositoryOptions no_flat_options = options;
+  no_flat_options.freeze_flat = false;
+  webre::XmlRepository after_no_flat(no_flat_options);
   for (size_t i = 0; i < flags.docs; ++i) {
     before.Add(MakeDoc(i));
     after.Add(MakeDoc(i)).value();
+    after_no_flat.Add(MakeDoc(i)).value();
   }
 
   const WorkloadResult before_simple =
@@ -358,17 +366,24 @@ int main(int argc, char** argv) {
   const WorkloadResult before_mixed = RunWorkload(before, mixed, flags.reps);
   const WorkloadResult after_simple = RunWorkload(after, simple, flags.reps);
   const WorkloadResult after_mixed = RunWorkload(after, mixed, flags.reps);
+  const WorkloadResult no_flat_simple =
+      RunWorkload(after_no_flat, simple, flags.reps);
+  const WorkloadResult no_flat_mixed =
+      RunWorkload(after_no_flat, mixed, flags.reps);
 
-  // Both arms see identical corpora, so their match totals must agree;
+  // All arms see identical corpora, so their match totals must agree;
   // a mismatch means one serving layer is wrong, and no timing from
   // this run can be trusted.
   if (before_simple.matches != after_simple.matches ||
-      before_mixed.matches != after_mixed.matches) {
+      before_mixed.matches != after_mixed.matches ||
+      no_flat_simple.matches != after_simple.matches ||
+      no_flat_mixed.matches != after_mixed.matches) {
     std::fprintf(stderr,
-                 "FAIL: arms disagree (simple %zu vs %zu, mixed %zu vs "
-                 "%zu)\n",
+                 "FAIL: arms disagree (simple %zu vs %zu vs %zu, mixed "
+                 "%zu vs %zu vs %zu)\n",
                  before_simple.matches, after_simple.matches,
-                 before_mixed.matches, after_mixed.matches);
+                 no_flat_simple.matches, before_mixed.matches,
+                 after_mixed.matches, no_flat_mixed.matches);
     return 1;
   }
 
@@ -387,7 +402,9 @@ int main(int argc, char** argv) {
       flags.docs, stats.elements, stats.distinct_paths, flags.reps);
   PrintArm("before", flags.docs, 1, before_simple, before_mixed, true);
   PrintArm("after", flags.docs, after.num_shards(), after_simple,
-           after_mixed, false);
+           after_mixed, true);
+  PrintArm("after_no_flat", flags.docs, after_no_flat.num_shards(),
+           no_flat_simple, no_flat_mixed, false);
   std::printf(
       "  },\n"
       "  \"derived\": {\n"

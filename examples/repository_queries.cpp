@@ -58,9 +58,11 @@ int main() {
     std::printf("%-45s -> %4zu matches", text, matches->size());
     if (!matches->empty()) {
       const webre::QueryMatch& first = (*matches)[0];
-      std::printf("   e.g. doc %zu: <%s val=\"%.40s\">", first.doc,
-                  std::string(first.node->name()).c_str(),
-                  std::string(first.node->val()).c_str());
+      const std::string_view name =
+          webre::NameTable::Global().NameOf(first.name());
+      std::printf("   e.g. doc %zu: <%.*s val=\"%.40s\">", first.doc,
+                  (int)name.size(), name.data(),
+                  std::string(first.val()).c_str());
     }
     std::printf("\n");
   }

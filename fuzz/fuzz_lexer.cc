@@ -23,8 +23,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (guarded.size() != lenient.size()) abort();
   for (size_t i = 0; i < guarded.size(); ++i) {
     if (guarded[i].type != lenient[i].type ||
-        guarded[i].name != lenient[i].name ||
-        guarded[i].text != lenient[i].text) {
+        guarded[i].name() != lenient[i].name() ||
+        guarded[i].text() != lenient[i].text()) {
       abort();
     }
   }

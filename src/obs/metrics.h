@@ -141,9 +141,11 @@ struct QueryStatsView {
   uint64_t queries = 0;         ///< Query() calls answered
   uint64_t index_hits = 0;      ///< answered fully from the summary
   uint64_t prefix_hits = 0;     ///< summary-seeded frontier + tree suffix
-  uint64_t fallback_walks = 0;  ///< documents evaluated by full tree walk
+  uint64_t fallback_walks = 0;  ///< documents evaluated by full walk
+  uint64_t flat_scans = 0;      ///< documents evaluated via FlatDoc
   uint64_t shard_tasks = 0;     ///< per-shard/per-chunk eval tasks run
   uint64_t matches = 0;         ///< matches returned across all queries
+  uint64_t flat_bytes = 0;      ///< frozen FlatDoc block bytes stored
   HistogramSnapshot eval_us;    ///< per-query latency, microseconds
 };
 

@@ -126,10 +126,12 @@ PipelineMetricsSnapshot::CounterItems() const {
        consolidation_replacements_vetoed},
       {"mem.node_allocs", mem_node_allocs},
       {"mem.arena_bytes", mem_arena_bytes},
+      {"mem.flat_bytes", mem_flat_bytes},
       {"query.queries", query_queries},
       {"query.index_hits", query_index_hits},
       {"query.prefix_hits", query_prefix_hits},
       {"query.fallback_walks", query_fallback_walks},
+      {"query.flat_scans", query_flat_scans},
       {"query.shard_tasks", query_shard_tasks},
       {"query.matches", query_matches},
   };
@@ -140,8 +142,10 @@ void PipelineMetrics::MergeQueryStats(const QueryStatsView& stats) {
   query.index_hits.Add(stats.index_hits);
   query.prefix_hits.Add(stats.prefix_hits);
   query.fallback_walks.Add(stats.fallback_walks);
+  query.flat_scans.Add(stats.flat_scans);
   query.shard_tasks.Add(stats.shard_tasks);
   query.matches.Add(stats.matches);
+  mem.flat_bytes.Add(stats.flat_bytes);
   query_us.Merge(stats.eval_us);
 }
 
@@ -211,11 +215,13 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
 
   snapshot.mem_node_allocs = mem.node_allocs.value();
   snapshot.mem_arena_bytes = mem.arena_bytes.value();
+  snapshot.mem_flat_bytes = mem.flat_bytes.value();
 
   snapshot.query_queries = query.queries.value();
   snapshot.query_index_hits = query.index_hits.value();
   snapshot.query_prefix_hits = query.prefix_hits.value();
   snapshot.query_fallback_walks = query.fallback_walks.value();
+  snapshot.query_flat_scans = query.flat_scans.value();
   snapshot.query_shard_tasks = query.shard_tasks.value();
   snapshot.query_matches = query.matches.value();
 

@@ -53,15 +53,18 @@ struct PipelineMetricsSnapshot {
   uint64_t query_index_hits = 0;
   uint64_t query_prefix_hits = 0;
   uint64_t query_fallback_walks = 0;
+  uint64_t query_flat_scans = 0;
   uint64_t query_shard_tasks = 0;
   uint64_t query_matches = 0;
 
-  // Memory accounting (DESIGN.md §11): Node allocations across the
-  // batch (arena and heap alike) and total arena payload bytes of the
-  // surviving documents. Both are per-document sums, so they are
-  // byte-identical across thread counts like every other counter.
+  // Memory accounting (DESIGN.md §11, §13): Node allocations across the
+  // batch (arena and heap alike), total arena payload bytes of the
+  // surviving documents, and total frozen FlatDoc block bytes held by
+  // repositories merged into this run. Per-document sums — byte-
+  // identical across thread counts like every other counter.
   uint64_t mem_node_allocs = 0;
   uint64_t mem_arena_bytes = 0;
+  uint64_t mem_flat_bytes = 0;
 
   // Resource-budget consumption (ok documents; failed documents stop
   // charging at the stage that tripped).
@@ -171,12 +174,14 @@ class PipelineMetrics {
   struct {
     Counter node_allocs;
     Counter arena_bytes;
+    Counter flat_bytes;
   } mem;
   struct {
     Counter queries;
     Counter index_hits;
     Counter prefix_hits;
     Counter fallback_walks;
+    Counter flat_scans;
     Counter shard_tasks;
     Counter matches;
   } query;

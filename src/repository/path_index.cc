@@ -52,6 +52,43 @@ LocalDocumentPaths CollectLocalPaths(const Node& root) {
   return out;
 }
 
+LocalDocumentPaths CollectLocalPaths(const FlatDoc& doc) {
+  LocalDocumentPaths out;
+  const uint32_t count = doc.element_count();
+  if (count == 0) return out;
+  out.element_count = count;
+
+  std::unordered_map<uint64_t, uint32_t> dense;
+  dense.reserve(64);
+  auto resolve = [&](uint32_t parent, NameId name) -> uint32_t {
+    const uint64_t key = (static_cast<uint64_t>(parent) << 32) | name;
+    auto [it, inserted] =
+        dense.emplace(key, static_cast<uint32_t>(out.paths.size()));
+    if (inserted) {
+      LocalDocumentPaths::Path path;
+      path.parent = parent;
+      path.name = name;
+      out.paths.push_back(std::move(path));
+    }
+    return it->second;
+  };
+
+  // Pre-order indices ARE the flat indices, and parents precede their
+  // children, so one linear pass resolves every element's path from
+  // its parent's already-resolved path.
+  std::vector<uint32_t> elem_path(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t parent = doc.parent(i);
+    const uint32_t parent_path = parent == FlatDoc::kNoParent
+                                     ? LocalDocumentPaths::kNoParent
+                                     : elem_path[parent];
+    const uint32_t path = resolve(parent_path, doc.name(i));
+    elem_path[i] = path;
+    out.paths[path].occurrences.emplace_back(i, nullptr);
+  }
+  return out;
+}
+
 namespace {
 
 /// Sorted-unique insertion, optimized for the common in-order arrival
@@ -130,7 +167,8 @@ uint32_t PathIndex::Lookup(uint32_t parent, NameId name) const {
   }
 }
 
-void PathIndex::AddDocument(const LocalDocumentPaths& local, DocId doc) {
+void PathIndex::AddDocument(const LocalDocumentPaths& local, DocId doc,
+                            const FlatDoc* flat) {
   // Parents precede children in `local.paths`, so each local path's
   // global id resolves from its parent's already-resolved id.
   std::vector<uint32_t> global(local.paths.size());
@@ -158,7 +196,7 @@ void PathIndex::AddDocument(const LocalDocumentPaths& local, DocId doc) {
       for (size_t k = 0; k < path.occurrences.size(); ++k) {
         entry.occurrences[offset + k] =
             PathOccurrence{doc, path.occurrences[k].first,
-                           path.occurrences[k].second};
+                           path.occurrences[k].second, flat};
       }
     }
   }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "xml/flat_doc.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
 
@@ -19,10 +20,19 @@ using DocId = size_t;
 struct PathOccurrence {
   DocId doc = 0;
   /// Pre-order index of the element among the document's elements —
-  /// the document-order sort key, unique within a document.
+  /// the document-order sort key, unique within a document. In flat
+  /// mode this is also the element's index into `flat`.
   uint32_t pos = 0;
+  /// The realizing element's tree node, or null when the repository
+  /// froze the document (flat mode).
   const Node* node = nullptr;
+  /// The frozen document owning `pos`, or null in pointer mode.
+  const FlatDoc* flat = nullptr;
 };
+
+static_assert(sizeof(PathOccurrence) == sizeof(DocId) + 8 + 2 * sizeof(void*),
+              "PathOccurrence layout mirrors QueryMatch so the summary "
+              "plan's emit loop is a straight field copy");
 
 /// One document's distinct label paths with the elements realizing
 /// them, produced by a single pre-order walk. The string labels are
@@ -45,6 +55,12 @@ struct LocalDocumentPaths {
 /// Walks `root` (iteratively — depth-safe) and groups its elements by
 /// distinct root-emanating label path.
 LocalDocumentPaths CollectLocalPaths(const Node& root);
+
+/// Same grouping over a frozen document: one linear pass resolving each
+/// element's path from its parent's (pre-order guarantees parents come
+/// first). Occurrence node pointers are null — flat consumers address
+/// elements by (doc, pos).
+LocalDocumentPaths CollectLocalPaths(const FlatDoc& doc);
 
 /// A DataGuide-style structural summary: the trie of every distinct
 /// label path seen across the indexed documents, hash-consed on
@@ -82,8 +98,12 @@ class PathIndex {
 
   /// Indexes one document's paths. Documents may arrive in any id
   /// order (concurrent Adds race to the summary); posting lists stay
-  /// sorted. A document must be added at most once.
-  void AddDocument(const LocalDocumentPaths& local, DocId doc);
+  /// sorted. A document must be added at most once. `flat` (when the
+  /// repository froze the document) is stamped onto every recorded
+  /// occurrence so readers can evaluate predicates without any shard
+  /// lock.
+  void AddDocument(const LocalDocumentPaths& local, DocId doc,
+                   const FlatDoc* flat = nullptr);
 
   size_t path_count() const { return entries_.size(); }
   const Entry& entry(uint32_t id) const { return entries_[id]; }

@@ -247,6 +247,139 @@ std::vector<const Node*> PathQuery::EvaluateFrom(
   return frontier;
 }
 
+namespace {
+
+// Per-call resolved form of one step for flat evaluation: name test as
+// a single NameId compare, predicate needle pre-lowered. `impossible`
+// marks a hand-assembled step whose name was never interned — no stored
+// element can match it.
+struct FlatStepTest {
+  bool wildcard = false;
+  bool impossible = false;
+  NameId name = kInvalidNameId;
+  std::string owned;          // backing for `lowered` when re-lowered here
+  std::string_view lowered;   // empty = no predicate
+};
+
+FlatStepTest ResolveFlatStep(const QueryStep& step) {
+  FlatStepTest test;
+  if (step.wildcard || step.name == "*") {
+    test.wildcard = true;
+  } else if (step.name_id != kInvalidNameId) {
+    test.name = step.name_id;
+  } else {
+    test.name = NameTable::Global().Find(step.name);
+    if (test.name == kInvalidNameId) test.impossible = true;
+  }
+  if (!step.val_contains.empty()) {
+    if (step.val_lower.size() == step.val_contains.size()) {
+      test.lowered = step.val_lower;
+    } else {
+      // `lowered` is re-pointed at `owned` only once the test has
+      // reached its final resting place (moving a small string would
+      // otherwise dangle the view).
+      test.owned = AsciiLower(step.val_contains);
+    }
+  }
+  return test;
+}
+
+inline bool FlatStepMatches(const FlatStepTest& test, const FlatDoc& doc,
+                            uint32_t i) {
+  if (test.impossible) return false;
+  if (!test.wildcard && doc.name(i) != test.name) return false;
+  if (!test.lowered.empty() && !doc.ValContainsLowered(i, test.lowered)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint32_t> PathQuery::Evaluate(const FlatDoc& doc) const {
+  if (doc.element_count() == 0) return {};
+  return EvaluateFrom(doc, {0}, 0);
+}
+
+std::vector<uint32_t> PathQuery::EvaluateFrom(
+    const FlatDoc& doc, std::vector<uint32_t> frontier,
+    size_t first_step) const {
+  // Mirrors the pointer-tree EvaluateFrom step by step; the per-step
+  // match sets are provably identical, and both variants return the
+  // final set deduplicated in document order (ascending indices here).
+  // The one intentional difference: dedup after a nested descendant
+  // step is a sort+unique over integers instead of a hash set, which
+  // normalizes the intermediate order without changing the set.
+  std::vector<FlatStepTest> tests;
+  tests.reserve(steps_.size());
+  for (const QueryStep& step : steps_) {
+    tests.push_back(ResolveFlatStep(step));
+    FlatStepTest& placed = tests.back();
+    if (!placed.owned.empty()) placed.lowered = placed.owned;
+  }
+
+  bool nested_possible = false;
+  bool order_suspect = false;
+  for (size_t s = 0; s < first_step && s < steps_.size(); ++s) {
+    if (steps_[s].descendant) nested_possible = true;
+  }
+
+  if (first_step == 0 && !steps_.empty()) {
+    const QueryStep& first = steps_[0];
+    std::vector<uint32_t> start;
+    for (uint32_t root : frontier) {
+      if (first.descendant) {
+        // `//x` from a root examines the root and its whole subtree —
+        // one contiguous range.
+        for (uint32_t i = root; i < doc.subtree_end(root); ++i) {
+          if (FlatStepMatches(tests[0], doc, i)) start.push_back(i);
+        }
+      } else if (FlatStepMatches(tests[0], doc, root)) {
+        start.push_back(root);
+      }
+    }
+    frontier = std::move(start);
+    if (first.descendant) nested_possible = true;
+    first_step = 1;
+  }
+
+  for (size_t s = first_step; s < steps_.size(); ++s) {
+    const QueryStep& step = steps_[s];
+    const FlatStepTest& test = tests[s];
+    std::vector<uint32_t> next;
+    for (uint32_t e : frontier) {
+      const uint32_t end = doc.subtree_end(e);
+      if (step.descendant) {
+        for (uint32_t i = e + 1; i < end; ++i) {
+          if (FlatStepMatches(test, doc, i)) next.push_back(i);
+        }
+      } else {
+        for (uint32_t c = e + 1; c < end; c = doc.subtree_end(c)) {
+          if (FlatStepMatches(test, doc, c)) next.push_back(c);
+        }
+      }
+    }
+    if (step.descendant) {
+      if (nested_possible && next.size() > 1) {
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+      }
+      nested_possible = true;
+    } else if (nested_possible) {
+      order_suspect = true;
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  if (order_suspect && frontier.size() > 1) {
+    std::sort(frontier.begin(), frontier.end());
+    frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                   frontier.end());
+  }
+  return frontier;
+}
+
 std::string PathQuery::ToString() const {
   std::string out;
   for (const QueryStep& step : steps_) {

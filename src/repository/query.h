@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "xml/flat_doc.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
 
@@ -60,14 +61,19 @@ class PathQuery {
   const std::vector<QueryStep>& steps() const { return steps_; }
 
   /// True when the query is a plain absolute label path — no wildcards,
-  /// descendant axes or predicates. Such queries are answered directly
-  /// from the repository's path index.
+  /// descendant axes or predicates. The repository also answers
+  /// structural queries (wildcards/descendant axes fine, predicate only
+  /// on the FINAL step) straight from its summary; this narrower test
+  /// exists because a simple path maps to exactly one summary trie node.
   bool IsSimplePath() const;
 
   /// Number of leading steps that are plain child-axis name tests (no
-  /// wildcard, no descendant axis, no predicate). The repository seeds
-  /// evaluation of the remaining steps from its structural summary
-  /// instead of walking down to this depth.
+  /// wildcard, no descendant axis, no predicate). When an intermediate
+  /// step carries a predicate (so the summary alone cannot answer), the
+  /// repository seeds evaluation of steps [prefix, …) from the summary's
+  /// occurrence lists for this prefix instead of walking from the root —
+  /// falling back to a full per-document scan only when the prefix is
+  /// empty.
   size_t SimplePrefixLength() const;
 
   /// The label path of a simple query (undefined otherwise).
@@ -84,6 +90,16 @@ class PathQuery {
   /// to them as Evaluate does).
   std::vector<const Node*> EvaluateFrom(std::vector<const Node*> frontier,
                                         size_t first_step) const;
+
+  /// Flat-document twins of Evaluate/EvaluateFrom: identical match
+  /// semantics over a frozen FlatDoc, addressing elements by pre-order
+  /// index. Results come back ascending (= document order, deduplicated);
+  /// descendant steps are contiguous subtree-range scans and `[val~…]`
+  /// predicates substring-scan the pre-lowered text pool.
+  std::vector<uint32_t> Evaluate(const FlatDoc& doc) const;
+  std::vector<uint32_t> EvaluateFrom(const FlatDoc& doc,
+                                     std::vector<uint32_t> frontier,
+                                     size_t first_step) const;
 
   /// Round-trips back to text.
   std::string ToString() const;

@@ -1,6 +1,9 @@
 #include "repository/repository.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
 
 #include "schema/path_extractor.h"
 #include "util/strings.h"
@@ -9,19 +12,29 @@
 namespace webre {
 namespace {
 
+// The summary plan's unfiltered emit is a raw memcpy of the occurrence
+// run; these pin the field-for-field layout mirror that makes it one.
+static_assert(offsetof(PathOccurrence, doc) == offsetof(QueryMatch, doc) &&
+              offsetof(PathOccurrence, pos) == offsetof(QueryMatch, pos) &&
+              offsetof(PathOccurrence, node) == offsetof(QueryMatch, node) &&
+              offsetof(PathOccurrence, flat) == offsetof(QueryMatch, flat) &&
+              sizeof(PathOccurrence) == sizeof(QueryMatch),
+              "PathOccurrence and QueryMatch must stay layout-identical");
+static_assert(std::is_trivially_copyable_v<PathOccurrence> &&
+              std::is_trivially_copyable_v<QueryMatch>);
+
 /// Per-doc evaluation chunk size for summary-seeded plans: small enough
 /// to balance skew, large enough to amortize task dispatch. Chunk
 /// counts (and so the query.shard_tasks counter) are computed the same
 /// way whether or not a pool runs them.
 constexpr size_t kPrefixChunkDocs = 32;
 
-/// A sortable match; `pos` (pre-order element index) is the in-document
-/// order key.
-struct Hit {
-  DocId doc;
-  uint32_t pos;
-  const Node* node;
-};
+/// Materializes one summary occurrence as a caller-facing match — a
+/// straight field copy (the two structs share a layout), so the summary
+/// plan's emit loop never dereferences into the owning document.
+QueryMatch MatchFromOccurrence(const PathOccurrence& occ) {
+  return QueryMatch{occ.doc, occ.pos, occ.node, occ.flat};
+}
 
 /// One query step's name test, resolved to a NameId. `impossible` marks
 /// a named step whose name no stored document has ever interned — the
@@ -136,6 +149,7 @@ XmlRepository::XmlRepository(RepositoryOptions options) {
   }
   query_threads_ = options.query_threads == 0 ? DefaultThreadCount()
                                               : options.query_threads;
+  freeze_flat_ = options.freeze_flat;
 }
 
 XmlRepository::~XmlRepository() = default;
@@ -154,6 +168,11 @@ ThreadPool* XmlRepository::EnsurePool() const {
 }
 
 StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
+  return Add(std::move(document), nullptr);
+}
+
+StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document,
+                                   std::shared_ptr<NodeArena> arena) {
   if (document == nullptr || !document->is_element()) {
     return Status::InvalidArgument("document root must be an element");
   }
@@ -166,12 +185,26 @@ StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
     }
   }
 
-  // Both extractions run outside any lock; only the index/trie updates
-  // are serialized. ExtractPaths feeds the mining trie (statistics and
-  // constraint-checkable label strings), CollectLocalPaths feeds the
-  // structural indexes (element occurrences).
+  // Everything per-document — validation, path extraction, freezing —
+  // runs outside any lock; only the index/trie updates are serialized.
+  // ExtractPaths feeds the mining trie (statistics and constraint-
+  // checkable label strings), CollectLocalPaths feeds the structural
+  // indexes (element occurrences).
   DocumentPaths paths = ExtractPaths(*document);
-  LocalDocumentPaths local = CollectLocalPaths(*document);
+  std::unique_ptr<FlatDoc> flat;
+  LocalDocumentPaths local;
+  if (freeze_flat_) {
+    flat = FlatDoc::Freeze(*document);
+    local = CollectLocalPaths(*flat);
+    // The tree (and its arena, if handed over) has served its purpose:
+    // return the conversion memory before admission even completes.
+    document.reset();
+    arena.reset();
+    flat_bytes_.Add(flat->block_bytes());
+  } else {
+    local = CollectLocalPaths(*document);
+  }
+  const FlatDoc* flat_ptr = flat.get();
 
   const DocId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
   const size_t shard_count = shards_.size();
@@ -183,12 +216,16 @@ StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document) {
     shard.index.AddDocument(local, id);
     shard.miner.AddDocumentPaths(paths);
     shard.elements += local.element_count;
-    shard.slots[slot] = std::move(document);
+    shard.slots[slot].arena = std::move(arena);
+    shard.slots[slot].tree = std::move(document);
+    shard.slots[slot].flat = std::move(flat);
   }
   {
-    // Lock order: shard, then summary (same as every reader).
+    // Lock order: shard, then summary (same as every reader). The
+    // summary's occurrences carry flat_ptr; releasing this lock
+    // publishes the (immutable) FlatDoc to lock-free readers.
     std::unique_lock<std::shared_mutex> lock(summary_mutex_);
-    summary_.AddDocument(local, id);
+    summary_.AddDocument(local, id, flat_ptr);
   }
   return id;
 }
@@ -199,7 +236,16 @@ const Node* XmlRepository::document(DocId id) const {
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
   const size_t slot = id / shard_count;
   if (slot >= shard.slots.size()) return nullptr;
-  return shard.slots[slot].get();
+  return shard.slots[slot].tree.get();
+}
+
+const FlatDoc* XmlRepository::flat_document(DocId id) const {
+  const size_t shard_count = shards_.size();
+  const Shard& shard = *shards_[id % shard_count];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const size_t slot = id / shard_count;
+  if (slot >= shard.slots.size()) return nullptr;
+  return shard.slots[slot].flat.get();
 }
 
 const std::vector<DocId>& XmlRepository::DocumentsWithPath(
@@ -273,7 +319,13 @@ std::vector<QueryMatch> XmlRepository::QueryViaSummary(
           ? last.val_lower
           : AsciiLower(last.val_contains);
   auto keep = [&](const PathOccurrence& occ) {
-    return !has_predicate || ContainsLowered(occ.node->val(), lowered);
+    if (!has_predicate) return true;
+    // Frozen documents answer the predicate from the pre-lowered text
+    // pool without touching a shard (no shard lock may be taken here —
+    // summary locks after shard locks, never before).
+    return occ.flat != nullptr
+               ? occ.flat->ValContainsLowered(occ.pos, lowered)
+               : ContainsLowered(occ.node->val(), lowered);
   };
 
   std::vector<QueryMatch> out;
@@ -283,9 +335,22 @@ std::vector<QueryMatch> XmlRepository::QueryViaSummary(
     // One path: its occurrence list is already in (doc, pos) order.
     const std::vector<PathOccurrence>& occurrences =
         summary_.entry(ids[0]).occurrences;
-    out.reserve(occurrences.size());
-    for (const PathOccurrence& occ : occurrences) {
-      if (keep(occ)) out.push_back(QueryMatch{occ.doc, occ.node});
+    if (!has_predicate) {
+      // The hot case (every exact-path query): the occurrence run IS the
+      // answer, and the structs are layout-identical (static_asserts at
+      // the top of this file), so emit is one block copy — no per-match
+      // capacity check or call.
+      out.resize(occurrences.size());
+      if (!occurrences.empty()) {
+        std::memcpy(static_cast<void*>(out.data()),
+                    static_cast<const void*>(occurrences.data()),
+                    occurrences.size() * sizeof(QueryMatch));
+      }
+    } else {
+      out.reserve(occurrences.size());
+      for (const PathOccurrence& occ : occurrences) {
+        if (keep(occ)) out.push_back(MatchFromOccurrence(occ));
+      }
     }
     return out;
   }
@@ -314,23 +379,21 @@ std::vector<QueryMatch> XmlRepository::QueryViaSummary(
         if (a.doc < b.doc || (a.doc == b.doc && a.pos < b.pos)) best = r;
       }
       const PathOccurrence& occ = (*runs[best])[cursor[best]++];
-      out.push_back(QueryMatch{occ.doc, occ.node});
+      out.push_back(MatchFromOccurrence(occ));
     }
     return out;
   }
 
-  std::vector<Hit> hits;
-  hits.reserve(total);
+  out.reserve(total);
   for (uint32_t id : ids) {
     for (const PathOccurrence& occ : summary_.entry(id).occurrences) {
-      if (keep(occ)) hits.push_back(Hit{occ.doc, occ.pos, occ.node});
+      if (keep(occ)) out.push_back(MatchFromOccurrence(occ));
     }
   }
-  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
-    return a.doc != b.doc ? a.doc < b.doc : a.pos < b.pos;
-  });
-  out.reserve(hits.size());
-  for (const Hit& hit : hits) out.push_back(QueryMatch{hit.doc, hit.node});
+  std::sort(out.begin(), out.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.doc != b.doc ? a.doc < b.doc : a.pos < b.pos;
+            });
   return out;
 }
 
@@ -374,8 +437,26 @@ std::vector<QueryMatch> XmlRepository::QueryViaPrefix(const PathQuery& query,
 
   auto eval_ranges = [&](size_t range_begin, size_t range_end,
                          std::vector<QueryMatch>& sink) {
+    size_t flat_evaluated = 0;
     for (size_t r = range_begin; r < range_end; ++r) {
       const DocRange& range = ranges[r];
+      const PathOccurrence& seed = occurrences[range.begin];
+      if (seed.flat != nullptr) {
+        // Frozen document: the frontier is the occurrence positions and
+        // the suffix runs as subtree-range scans — no lock, no pointers.
+        const FlatDoc& flat = *seed.flat;
+        std::vector<uint32_t> frontier;
+        frontier.reserve(range.end - range.begin);
+        for (size_t i = range.begin; i < range.end; ++i) {
+          frontier.push_back(occurrences[i].pos);
+        }
+        for (uint32_t e :
+             query.EvaluateFrom(flat, std::move(frontier), prefix_len)) {
+          sink.push_back(QueryMatch{range.doc, e, nullptr, &flat});
+        }
+        ++flat_evaluated;
+        continue;
+      }
       std::vector<const Node*> frontier;
       frontier.reserve(range.end - range.begin);
       for (size_t i = range.begin; i < range.end; ++i) {
@@ -383,9 +464,10 @@ std::vector<QueryMatch> XmlRepository::QueryViaPrefix(const PathQuery& query,
       }
       for (const Node* node :
            query.EvaluateFrom(std::move(frontier), prefix_len)) {
-        sink.push_back(QueryMatch{range.doc, node});
+        sink.push_back(QueryMatch{range.doc, 0, node, nullptr});
       }
     }
+    if (flat_evaluated > 0) flat_scans_.Add(flat_evaluated);
   };
 
   const size_t chunks =
@@ -438,7 +520,7 @@ std::vector<QueryMatch> XmlRepository::QueryViaScan(
     } else {
       all.reserve(shard.slots.size());
       for (size_t slot = 0; slot < shard.slots.size(); ++slot) {
-        if (shard.slots[slot] != nullptr) {
+        if (shard.slots[slot].present()) {
           all.push_back(slot * shard_count + s);
         }
       }
@@ -447,15 +529,26 @@ std::vector<QueryMatch> XmlRepository::QueryViaScan(
     if (candidates->empty()) return;
     shard_tasks_.Increment();
     size_t walked = 0;
+    size_t flat_evaluated = 0;
     for (DocId id : *candidates) {
-      const Node* doc = shard.slots[id / shard_count].get();
-      if (doc == nullptr) continue;  // transient hole under concurrent Add
-      ++walked;
-      for (const Node* node : query.Evaluate(*doc)) {
-        results[s].push_back(QueryMatch{id, node});
+      const StoredDoc& stored = shard.slots[id / shard_count];
+      if (stored.flat != nullptr) {
+        ++walked;
+        ++flat_evaluated;
+        const FlatDoc& flat = *stored.flat;
+        for (uint32_t e : query.Evaluate(flat)) {
+          results[s].push_back(QueryMatch{id, e, nullptr, &flat});
+        }
+      } else if (stored.tree != nullptr) {
+        ++walked;
+        for (const Node* node : query.Evaluate(*stored.tree)) {
+          results[s].push_back(QueryMatch{id, 0, node, nullptr});
+        }
       }
+      // else: transient hole under concurrent Add
     }
     fallback_walks_.Add(walked);
+    if (flat_evaluated > 0) flat_scans_.Add(flat_evaluated);
   };
 
   ThreadPool* pool = EnsurePool();
@@ -494,6 +587,7 @@ RepositoryStats XmlRepository::Stats() const {
   }
   std::shared_lock<std::shared_mutex> lock(summary_mutex_);
   stats.distinct_paths = summary_.path_count();
+  stats.flat_bytes = flat_bytes_.value();
   return stats;
 }
 
@@ -515,9 +609,11 @@ obs::QueryStatsView XmlRepository::query_stats() const {
   view.index_hits = index_hits_.value();
   view.prefix_hits = prefix_hits_.value();
   view.fallback_walks = fallback_walks_.value();
+  view.flat_scans = flat_scans_.value();
   view.shard_tasks = shard_tasks_.value();
   view.matches = matches_.value();
   view.eval_us = eval_us_.Snapshot();
+  view.flat_bytes = flat_bytes_.value();
   return view;
 }
 

@@ -18,14 +18,38 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "xml/dtd.h"
+#include "xml/flat_doc.h"
 #include "xml/node.h"
+#include "xml/node_arena.h"
 
 namespace webre {
 
-/// One query hit: a node inside a stored document.
+/// One query hit: an element inside a stored document, identified by
+/// (doc, pos) plus a handle into whichever representation stores the
+/// document. `name()`/`val()` resolve lazily through that handle —
+/// keeping the match itself a 32-byte value the hot emit loops can
+/// stream — and view repository-owned storage (the frozen block, or
+/// the tree node), valid for the repository's lifetime.
 struct QueryMatch {
   DocId doc = 0;
+  /// Pre-order index of the element among the document's elements —
+  /// the in-document order key. In flat mode, also the element's index
+  /// into `flat`.
+  uint32_t pos = 0;
+  /// The matched tree node when the document is stored as a pointer
+  /// tree (freeze_flat = false); null for frozen documents.
   const Node* node = nullptr;
+  /// The frozen document owning `pos`; null in pointer mode.
+  const FlatDoc* flat = nullptr;
+
+  /// Interned element name.
+  NameId name() const {
+    return flat != nullptr ? flat->name(pos) : node->name_id();
+  }
+  /// The element's `val` attribute (empty if absent).
+  std::string_view val() const {
+    return flat != nullptr ? flat->val(pos) : node->val();
+  }
 };
 
 /// Aggregate repository statistics.
@@ -35,6 +59,9 @@ struct RepositoryStats {
   /// Distinct label paths across all documents (the repository's Data
   /// Guide size).
   size_t distinct_paths = 0;
+  /// Total bytes of frozen FlatDoc blocks (0 with freeze_flat off) —
+  /// the steady-state document storage footprint.
+  size_t flat_bytes = 0;
 };
 
 /// Serving-layer configuration.
@@ -46,6 +73,11 @@ struct RepositoryOptions {
   /// Worker threads for query fan-out. 0 means one per hardware
   /// thread; values <= 1 evaluate inline (no pool is ever created).
   size_t query_threads = 0;
+  /// Freeze documents into the flat representation at Add, releasing
+  /// the pointer tree (and its arena, when handed over). Disable
+  /// (CLI: --no-flat) to keep the pointer trees, e.g. when callers
+  /// need `document()` to return live Node trees.
+  bool freeze_flat = true;
 };
 
 /// The XML repository the pipeline feeds (§1: "the integration of topic
@@ -58,23 +90,41 @@ struct RepositoryOptions {
 /// reads proceed concurrently with each other and with Add on other
 /// shards. A repository-wide structural summary (a DataGuide over
 /// NameId paths, with per-path element occurrence lists) answers
-/// structural queries without touching any document tree.
+/// structural queries without touching any document.
 ///
-/// Query execution picks the cheapest of three plans:
+/// Storage: with freeze_flat (the default) Add freezes each admitted
+/// tree into a FlatDoc — one contiguous read-only block per document —
+/// and releases the pointer tree and its NodeArena before taking any
+/// lock, so steady-state RSS is the flat blocks plus the indexes.
+/// Summary occurrences carry (pos, owning FlatDoc), making predicate
+/// filtering and suffix evaluation lock-free index arithmetic. With
+/// freeze_flat off the pointer trees are kept and evaluated as before.
+///
+/// Query execution picks the cheapest of three plans (dispatch is
+/// identical in flat and pointer mode; only the evaluator differs):
 ///  1. summary-only: every step is a name/wildcard/descendant test and
-///     only the final step may carry a [val~…] predicate — the summary
+///     only the FINAL step may carry a [val~…] predicate — the summary
 ///     trie is pattern-matched and matches stream straight from the
-///     occurrence lists (query.index_hits);
-///  2. summary-seeded: an intermediate predicate stops plan 1, but a
-///     non-empty simple prefix still resolves from the summary and only
-///     the suffix walks the trees (query.prefix_hits);
-///  3. sharded scan: no usable prefix — per-shard tree evaluation,
-///     pruned by the shard indexes and fanned out through a ThreadPool
-///     (query.fallback_walks counts evaluated documents).
-/// All plans return matches sorted by (doc id, document order), so
-/// results are byte-identical across shard counts and thread counts.
+///     occurrence lists (query.index_hits); the predicate, if any,
+///     substring-scans the pre-lowered flat text pool (or the node's
+///     val in pointer mode);
+///  2. summary-seeded: an intermediate (non-final) predicate stops
+///     plan 1, but a non-empty simple child-axis prefix still resolves
+///     from the summary; only the remaining steps are evaluated, from
+///     the occurrence frontier (query.prefix_hits);
+///  3. sharded scan: intermediate predicate and no usable prefix —
+///     per-shard per-document evaluation, pruned by the shard indexes
+///     and fanned out through a ThreadPool (query.fallback_walks counts
+///     evaluated documents).
+/// Documents evaluated through the flat evaluator in plans 2–3 are also
+/// counted by query.flat_scans (0 in pointer mode). All plans return
+/// matches sorted by (doc id, document order), so results are
+/// byte-identical across shard counts, thread counts and both storage
+/// modes.
 ///
-/// Lock order: shard before summary, never the reverse.
+/// Lock order: shard before summary, never the reverse. (This is why
+/// occurrences carry the FlatDoc pointer: plan 1 filters predicates
+/// under the summary lock, where taking a shard lock is forbidden.)
 ///
 /// Optionally the repository enforces a DTD on admission (documents are
 /// expected to have been conformed by the Document Mapping Component).
@@ -99,14 +149,30 @@ class XmlRepository {
   /// schema-mining trie and updating the structural summary. Safe to
   /// call concurrently with other Add and Query calls. With a DTD set,
   /// a non-conforming document is rejected (FailedPrecondition) listing
-  /// the first violation.
+  /// the first violation. With freeze_flat the tree is frozen into a
+  /// FlatDoc and released before admission completes.
   StatusOr<DocId> Add(std::unique_ptr<Node> document);
+
+  /// Same, handing over the arena the tree was allocated from (the
+  /// pipeline's per-document NodeArena). In flat mode both the tree and
+  /// the arena are released at freeze time — this is how ingest returns
+  /// conversion memory instead of pinning it for the repository's
+  /// lifetime. In pointer mode the arena is retained alongside the
+  /// tree (the arena must outlive its nodes). Null arena = heap tree.
+  StatusOr<DocId> Add(std::unique_ptr<Node> document,
+                      std::shared_ptr<NodeArena> arena);
 
   /// Documents admitted so far (ids are dense: 0 … size()-1).
   size_t size() const { return next_id_.load(std::memory_order_acquire); }
 
-  /// Borrowed pointer to a stored document; null for unknown ids.
+  /// Borrowed pointer to a stored document's tree; null for unknown
+  /// ids — and for every document admitted with freeze_flat, where the
+  /// tree no longer exists (use flat_document()).
   const Node* document(DocId id) const;
+
+  /// Borrowed pointer to a stored document's frozen form; null for
+  /// unknown ids and in pointer mode.
+  const FlatDoc* flat_document(DocId id) const;
 
   /// Documents containing the exact root-emanating label path,
   /// ascending. Returns a reference into the structural summary (a
@@ -134,11 +200,23 @@ class XmlRepository {
   obs::QueryStatsView query_stats() const;
 
  private:
+  /// One stored document in exactly one representation: `flat` in flat
+  /// mode, `tree` (plus its arena, when handed over) in pointer mode.
+  /// Both null = transient hole while a lower id's Add is in flight.
+  struct StoredDoc {
+    /// Declared before `tree`: the arena must outlive the nodes carved
+    /// from it.
+    std::shared_ptr<NodeArena> arena;
+    std::unique_ptr<Node> tree;
+    std::unique_ptr<FlatDoc> flat;
+
+    bool present() const { return tree != nullptr || flat != nullptr; }
+  };
+
   struct Shard {
     mutable std::shared_mutex mutex;
-    /// Documents of this shard; slot = id / num_shards. A slot may be
-    /// transiently null while a lower id's Add is still in flight.
-    std::vector<std::unique_ptr<Node>> slots;
+    /// Documents of this shard; slot = id / num_shards.
+    std::vector<StoredDoc> slots;
     /// Inverted path index of this shard's documents (postings only).
     PathIndex index{/*record_occurrences=*/false};
     /// Schema-mining trie over this shard's documents, fed at Add.
@@ -169,6 +247,7 @@ class XmlRepository {
   PathIndex summary_{/*record_occurrences=*/true};
 
   size_t query_threads_ = 1;
+  bool freeze_flat_ = true;
   mutable std::once_flag pool_once_;
   mutable std::unique_ptr<ThreadPool> pool_;
 
@@ -176,9 +255,11 @@ class XmlRepository {
   mutable obs::Counter index_hits_;
   mutable obs::Counter prefix_hits_;
   mutable obs::Counter fallback_walks_;
+  mutable obs::Counter flat_scans_;
   mutable obs::Counter shard_tasks_;
   mutable obs::Counter matches_;
   mutable obs::Histogram eval_us_;
+  obs::Counter flat_bytes_;
 
   Dtd dtd_;
   bool has_dtd_ = false;

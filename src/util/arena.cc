@@ -26,11 +26,24 @@ void* Arena::AllocateSlow(size_t size, size_t align) {
 }
 
 void Arena::Reset() {
-  blocks_.clear();
-  cursor_ = 0;
-  limit_ = 0;
+  if (!blocks_.empty()) {
+    // Keep only the largest block as the spare to bump into next time.
+    size_t keep = 0;
+    for (size_t i = 1; i < blocks_.size(); ++i) {
+      if (blocks_[i].size > blocks_[keep].size) keep = i;
+    }
+    Block spare = std::move(blocks_[keep]);
+    blocks_.clear();
+    cursor_ = reinterpret_cast<uintptr_t>(spare.data.get());
+    limit_ = cursor_ + spare.size;
+    bytes_reserved_ = spare.size;
+    blocks_.push_back(std::move(spare));
+  } else {
+    cursor_ = 0;
+    limit_ = 0;
+    bytes_reserved_ = 0;
+  }
   bytes_allocated_ = 0;
-  bytes_reserved_ = 0;
 }
 
 }  // namespace webre

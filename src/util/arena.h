@@ -49,8 +49,11 @@ class Arena {
   /// Number of blocks currently held.
   size_t block_count() const { return blocks_.size(); }
 
-  /// Drops every block and rewinds all counters. Everything previously
-  /// allocated from this arena becomes invalid.
+  /// Rewinds the arena: everything previously allocated becomes
+  /// invalid. At most one spare block (the largest) is kept for reuse;
+  /// every other block is returned to the system allocator, so a
+  /// long-lived arena that briefly ballooned does not pin its peak
+  /// footprint forever.
   void Reset();
 
  private:

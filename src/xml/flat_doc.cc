@@ -1,0 +1,111 @@
+#include "xml/flat_doc.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace webre {
+namespace {
+
+// DFS frame: `index` is the flat pre-order index already assigned to
+// `node`; `child` is the next child slot to visit.
+struct Frame {
+  const Node* node;
+  uint32_t index;
+  size_t child;
+};
+
+}  // namespace
+
+std::unique_ptr<FlatDoc> FlatDoc::Freeze(const Node& root) {
+  // Phase one: collect into growable temporaries with an explicit
+  // stack (depth-safe, like every other whole-tree walk in the xml
+  // layer). Only element nodes get indices; text children are skipped
+  // because queries address elements and their `val` attribute.
+  std::vector<NameId> names;
+  std::vector<uint32_t> parents;
+  std::vector<uint32_t> depths;
+  std::vector<uint32_t> ends;
+  std::vector<uint32_t> offsets;
+  std::string text;
+
+  const size_t hint = root.SubtreeSize();
+  names.reserve(hint);
+  parents.reserve(hint);
+  depths.reserve(hint);
+  ends.reserve(hint);
+  offsets.reserve(hint + 1);
+
+  auto open = [&](const Node& node, uint32_t parent,
+                  uint32_t depth) -> uint32_t {
+    uint32_t index = static_cast<uint32_t>(names.size());
+    names.push_back(node.name_id());
+    parents.push_back(parent);
+    depths.push_back(depth);
+    ends.push_back(0);  // patched when the subtree closes
+    offsets.push_back(static_cast<uint32_t>(text.size()));
+    text.append(node.val());
+    return index;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{&root, open(root, kNoParent, 0), 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& children = top.node->children();
+    size_t child = top.child;
+    while (child < children.size() && !children[child]->is_element()) {
+      ++child;
+    }
+    if (child == children.size()) {
+      ends[top.index] = static_cast<uint32_t>(names.size());
+      stack.pop_back();
+      continue;
+    }
+    top.child = child + 1;
+    const Node* node = children[child].get();
+    const uint32_t parent = top.index;
+    const uint32_t depth = depths[parent] + 1;
+    // `open` and push_back may reallocate; `top` is dead after this.
+    stack.push_back(Frame{node, open(*node, parent, depth), 0});
+  }
+  offsets.push_back(static_cast<uint32_t>(text.size()));
+
+  // Phase two: pack everything into one block. All uint32 arrays come
+  // first so their 4-byte alignment holds (the block itself is at
+  // least pointer-aligned); the two byte pools follow.
+  const size_t count = names.size();
+  const size_t ints_bytes = sizeof(uint32_t) * (4 * count + (count + 1));
+  const size_t block_bytes = ints_bytes + 2 * text.size();
+
+  std::unique_ptr<FlatDoc> doc(new FlatDoc());
+  doc->count_ = static_cast<uint32_t>(count);
+  doc->block_bytes_ = block_bytes;
+  doc->block_ = std::make_unique<char[]>(block_bytes);
+
+  char* cursor = doc->block_.get();
+  auto place_u32 = [&cursor](const std::vector<uint32_t>& src) {
+    uint32_t* dst = reinterpret_cast<uint32_t*>(cursor);
+    std::memcpy(dst, src.data(), src.size() * sizeof(uint32_t));
+    cursor += src.size() * sizeof(uint32_t);
+    return dst;
+  };
+  doc->names_ = place_u32(names);
+  doc->parents_ = place_u32(parents);
+  doc->depths_ = place_u32(depths);
+  doc->subtree_end_ = place_u32(ends);
+  doc->text_off_ = place_u32(offsets);
+
+  char* raw = cursor;
+  std::memcpy(raw, text.data(), text.size());
+  doc->text_ = raw;
+  char* lower = raw + text.size();
+  for (size_t i = 0; i < text.size(); ++i) {
+    lower[i] = AsciiToLower(text[i]);
+  }
+  doc->lower_ = lower;
+  return doc;
+}
+
+}  // namespace webre

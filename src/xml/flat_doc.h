@@ -1,0 +1,110 @@
+#ifndef WEBRE_XML_FLAT_DOC_H_
+#define WEBRE_XML_FLAT_DOC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "xml/name_table.h"
+#include "xml/node.h"
+
+namespace webre {
+
+/// Read-only structure-of-arrays form of one element tree, frozen at
+/// repository admission (XmlRepository::Add) so the mutable pointer
+/// tree — and its NodeArena — can be released while serving continues
+/// from one tightly-sized contiguous block per document.
+///
+/// Layout (one allocation, arrays parallel over the document's elements
+/// in pre-order; text nodes are not represented — queries address only
+/// elements and their `val` attribute):
+///
+///   name[i]         interned NameId of element i
+///   parent[i]       pre-order index of i's parent (kNoParent for root)
+///   depth[i]        0 for the root, parent depth + 1 otherwise
+///   subtree_end[i]  one past the last pre-order index in i's subtree,
+///                   so i's descendants are exactly [i+1, subtree_end[i])
+///   text_off[i]     byte offset of element i's val in the text pools
+///                   (element_count + 1 entries; slices are adjacent)
+///   text            concatenated raw val bytes
+///   lower           the same bytes ASCII-lowered once at freeze time,
+///                   so a [val~"…"] predicate is a linear substring scan
+///                   over dense bytes — no per-node lowering, no
+///                   attribute-list walk
+///
+/// Traversal idioms (all index arithmetic, no pointers):
+///   children of e:     for (f = e + 1; f < subtree_end(e); f = subtree_end(f))
+///   descendants of e:  every index in [e + 1, subtree_end(e))
+///
+/// A FlatDoc is immutable after Freeze and safe to read from any number
+/// of threads once published (the repository publishes it under its
+/// locks; readers then need no lock at all).
+class FlatDoc {
+ public:
+  /// Parent marker of the root element.
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+
+  /// Builds the flat form of `root`'s element tree. `root` must be an
+  /// element; the walk is iterative, so pathological depth cannot
+  /// overflow the C++ stack. The source tree is untouched (and no
+  /// longer needed afterwards).
+  static std::unique_ptr<FlatDoc> Freeze(const Node& root);
+
+  FlatDoc(const FlatDoc&) = delete;
+  FlatDoc& operator=(const FlatDoc&) = delete;
+
+  /// Elements in the document (pre-order indices are [0, element_count)).
+  uint32_t element_count() const { return count_; }
+
+  NameId name(uint32_t i) const { return names_[i]; }
+  /// The element's name string (views the process-wide NameTable).
+  std::string_view name_view(uint32_t i) const {
+    return NameTable::Global().NameOf(names_[i]);
+  }
+  uint32_t parent(uint32_t i) const { return parents_[i]; }
+  uint32_t depth(uint32_t i) const { return depths_[i]; }
+  /// One past the last pre-order index of i's subtree (i's descendants
+  /// are [i + 1, subtree_end(i)); i's next sibling starts there).
+  uint32_t subtree_end(uint32_t i) const { return subtree_end_[i]; }
+
+  /// Element i's `val` attribute (empty if it had none). Views the
+  /// frozen text pool: stable for the FlatDoc's lifetime.
+  std::string_view val(uint32_t i) const {
+    return std::string_view(text_ + text_off_[i],
+                            text_off_[i + 1] - text_off_[i]);
+  }
+  /// The same bytes, ASCII-lowered at freeze time.
+  std::string_view val_lowered(uint32_t i) const {
+    return std::string_view(lower_ + text_off_[i],
+                            text_off_[i + 1] - text_off_[i]);
+  }
+  /// True iff element i's val contains `lowered` (which must already be
+  /// ASCII-lowered; an empty needle matches everything). This is the
+  /// predicate fast path: a substring find over the pre-lowered pool.
+  bool ValContainsLowered(uint32_t i, std::string_view lowered) const {
+    return val_lowered(i).find(lowered) != std::string_view::npos;
+  }
+
+  /// Bytes of the single backing block (the document's entire
+  /// steady-state footprint; exported as mem.flat_bytes).
+  size_t block_bytes() const { return block_bytes_; }
+
+ private:
+  FlatDoc() = default;
+
+  uint32_t count_ = 0;
+  size_t block_bytes_ = 0;
+  std::unique_ptr<char[]> block_;
+  const NameId* names_ = nullptr;
+  const uint32_t* parents_ = nullptr;
+  const uint32_t* depths_ = nullptr;
+  const uint32_t* subtree_end_ = nullptr;
+  const uint32_t* text_off_ = nullptr;
+  const char* text_ = nullptr;
+  const char* lower_ = nullptr;
+};
+
+}  // namespace webre
+
+#endif  // WEBRE_XML_FLAT_DOC_H_

@@ -40,6 +40,13 @@ class NodeArena {
   /// Bytes reserved from the system allocator.
   size_t bytes_reserved() const { return arena_.bytes_reserved(); }
 
+  /// Rewinds the arena (keeping at most one spare block — see
+  /// Arena::Reset). Every Node allocated from it must already be gone.
+  void Reset() {
+    arena_.Reset();
+    nodes_allocated_ = 0;
+  }
+
   /// The arena installed on this thread, or null (heap allocation).
   static NodeArena* Current();
 

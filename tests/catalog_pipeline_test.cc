@@ -109,8 +109,7 @@ TEST_F(CatalogPipelineTest, RepositoryQueriesWork) {
   ASSERT_TRUE(voltex.ok());
   EXPECT_GT(voltex->size(), 0u);
   for (const QueryMatch& match : *voltex) {
-    EXPECT_NE(std::string(match.node->val()).find("Voltex"),
-              std::string::npos);
+    EXPECT_NE(match.val().find("Voltex"), std::string_view::npos);
   }
 }
 

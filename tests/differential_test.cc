@@ -41,31 +41,46 @@ Fixture& Shared() {
   return fixture;
 }
 
+// Pre-order position among ELEMENTS only — the same numbering
+// CollectLocalPaths and FlatDoc::Freeze assign, so pointer-tree matches
+// canonicalize to the (doc, pos) coordinates flat matches carry.
+std::map<const Node*, uint32_t> ElementOrderIndex(const Node& root) {
+  std::map<const Node*, uint32_t> index;
+  uint32_t n = 0;
+  root.PreOrder([&](const Node& node) {
+    if (node.is_element()) index[&node] = n++;
+  });
+  return index;
+}
+
 class QueryDifferential : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(QueryDifferential, IndexPrunedQueryEqualsBruteForce) {
   Fixture& f = Shared();
-  XmlRepository repo;
-  std::vector<const Node*> roots;
+  XmlRepository repo;  // default: freeze_flat on
+  std::vector<std::unique_ptr<Node>> kept;
+  std::vector<std::map<const Node*, uint32_t>> order;
   for (size_t i = 0; i < 25; ++i) {
     auto doc = f.converter.Convert(GenerateResume(i).html);
-    roots.push_back(doc.get());
+    kept.push_back(doc->Clone());
+    order.push_back(ElementOrderIndex(*kept.back()));
     ASSERT_TRUE(repo.Add(std::move(doc)).ok());
   }
   auto parsed = PathQuery::Parse(GetParam());
   ASSERT_TRUE(parsed.ok()) << parsed.status();
 
-  // Brute force: evaluate against every document.
-  std::vector<std::pair<size_t, const Node*>> brute;
-  for (size_t id = 0; id < roots.size(); ++id) {
-    for (const Node* node : parsed->Evaluate(*repo.document(id))) {
-      brute.emplace_back(id, node);
+  // Brute force: pointer-tree evaluation of every retained clone.
+  std::vector<std::pair<size_t, uint32_t>> brute;
+  for (size_t id = 0; id < kept.size(); ++id) {
+    for (const Node* node : parsed->Evaluate(*kept[id])) {
+      brute.emplace_back(id, order[id].at(node));
     }
   }
-  // Repository path: may prune candidates via the label-path index.
-  std::vector<std::pair<size_t, const Node*>> indexed;
+  // Repository path: flat evaluation over frozen documents, possibly
+  // pruned via the label-path index.
+  std::vector<std::pair<size_t, uint32_t>> indexed;
   for (const QueryMatch& m : repo.Query(*parsed)) {
-    indexed.emplace_back(m.doc, m.node);
+    indexed.emplace_back(m.doc, m.pos);
   }
   EXPECT_EQ(brute, indexed) << GetParam();
 }
@@ -260,45 +275,65 @@ std::vector<const Node*> NaiveEvaluate(const PathQuery& query,
   return frontier;
 }
 
-std::map<const Node*, size_t> PreOrderIndex(const Node& root) {
-  std::map<const Node*, size_t> index;
-  size_t n = 0;
-  root.PreOrder([&](const Node& node) { index[&node] = n++; });
-  return index;
-}
-
 TEST(RepositoryDifferential, RandomQueriesAgreeWithNaiveEvaluation) {
+  // Three independent evaluators over identical corpora: the frozen
+  // FlatDoc repository (default), the pointer-tree repository
+  // (--no-flat), and the naive seed algorithm. All must produce the
+  // same (doc, element pre-order position) sequences.
   Rng rng(20260806);
   for (size_t round = 0; round < 3; ++round) {
     RepositoryOptions options;
     options.num_shards = 1 + round;  // 1, 2, 3
-    XmlRepository repo(options);
-    std::vector<std::map<const Node*, size_t>> order;
+    XmlRepository flat_repo(options);
+    RepositoryOptions ptr_options = options;
+    ptr_options.freeze_flat = false;
+    XmlRepository ptr_repo(ptr_options);
     for (size_t i = 0; i < 30; ++i) {
       auto doc = RandomTree(rng);
-      order.push_back(PreOrderIndex(*doc));
-      ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+      ASSERT_TRUE(ptr_repo.Add(doc->Clone()).ok());
+      ASSERT_TRUE(flat_repo.Add(std::move(doc)).ok());
+    }
+    std::vector<std::map<const Node*, uint32_t>> order;
+    for (size_t id = 0; id < ptr_repo.size(); ++id) {
+      order.push_back(ElementOrderIndex(*ptr_repo.document(id)));
     }
     for (size_t q = 0; q < 40; ++q) {
       const PathQuery query = RandomQuery(rng);
       // Naive reference, canonicalized to (doc, pre-order position).
-      std::vector<std::pair<size_t, size_t>> expected;
-      for (size_t id = 0; id < repo.size(); ++id) {
-        std::set<size_t> positions;
-        for (const Node* node : NaiveEvaluate(query, *repo.document(id))) {
+      std::vector<std::pair<size_t, uint32_t>> expected;
+      for (size_t id = 0; id < ptr_repo.size(); ++id) {
+        std::set<uint32_t> positions;
+        for (const Node* node :
+             NaiveEvaluate(query, *ptr_repo.document(id))) {
           positions.insert(order[id].at(node));
         }
-        for (size_t pos : positions) expected.emplace_back(id, pos);
+        for (uint32_t pos : positions) expected.emplace_back(id, pos);
       }
-      // The repository must return exactly this sequence: the same
+      // Both repositories must return exactly this sequence: the same
       // match set, deduplicated, in (doc, document order) order.
-      std::vector<std::pair<size_t, size_t>> got;
-      for (const QueryMatch& m : repo.Query(query)) {
-        got.emplace_back(m.doc, order[m.doc].at(m.node));
+      std::vector<std::pair<size_t, uint32_t>> flat_got;
+      for (const QueryMatch& m : flat_repo.Query(query)) {
+        flat_got.emplace_back(m.doc, m.pos);
       }
-      EXPECT_EQ(expected, got)
-          << "round " << round << ": " << query.ToString();
+      EXPECT_EQ(expected, flat_got)
+          << "flat, round " << round << ": " << query.ToString();
+      std::vector<std::pair<size_t, uint32_t>> ptr_got;
+      for (const QueryMatch& m : ptr_repo.Query(query)) {
+        ptr_got.emplace_back(m.doc, order[m.doc].at(m.node));
+      }
+      EXPECT_EQ(expected, ptr_got)
+          << "pointer, round " << round << ": " << query.ToString();
     }
+    // Plan selection and per-document evaluation counts are a function
+    // of corpus and queries, not of the storage representation.
+    const obs::QueryStatsView fs = flat_repo.query_stats();
+    const obs::QueryStatsView ps = ptr_repo.query_stats();
+    EXPECT_EQ(fs.queries, ps.queries);
+    EXPECT_EQ(fs.index_hits, ps.index_hits);
+    EXPECT_EQ(fs.prefix_hits, ps.prefix_hits);
+    EXPECT_EQ(fs.fallback_walks, ps.fallback_walks);
+    EXPECT_EQ(fs.matches, ps.matches);
+    EXPECT_EQ(ps.flat_scans, 0u);  // pointer mode never uses FlatDoc
   }
 }
 
@@ -307,26 +342,23 @@ TEST(RepositoryDifferential, ShardCountInvariantResultsAndCounters) {
       "/r/a/b", "//c", "//a[val~\"java\"]", "/r//d", "//*[val~\"19\"]",
       "/r/a[val~\"o\"]/b", "//e//a", "/r/*/c",
   };
-  std::vector<std::vector<std::vector<std::pair<size_t, size_t>>>> results;
+  std::vector<std::vector<std::vector<std::pair<size_t, uint32_t>>>> results;
   std::vector<obs::QueryStatsView> stats;
   for (size_t shards : {1u, 2u, 4u, 7u}) {
     RepositoryOptions options;
     options.num_shards = shards;
     XmlRepository repo(options);
     Rng rng(4242);  // same corpus for every shard count
-    std::vector<std::map<const Node*, size_t>> order;
     for (size_t i = 0; i < 40; ++i) {
-      auto doc = RandomTree(rng);
-      order.push_back(PreOrderIndex(*doc));
-      ASSERT_TRUE(repo.Add(std::move(doc)).ok());
+      ASSERT_TRUE(repo.Add(RandomTree(rng)).ok());
     }
-    std::vector<std::vector<std::pair<size_t, size_t>>> per_query;
+    std::vector<std::vector<std::pair<size_t, uint32_t>>> per_query;
     for (const char* text : kQueries) {
-      std::vector<std::pair<size_t, size_t>> canonical;
+      std::vector<std::pair<size_t, uint32_t>> canonical;
       const auto matches = repo.Query(text);
       ASSERT_TRUE(matches.ok()) << text;
       for (const QueryMatch& m : *matches) {
-        canonical.emplace_back(m.doc, order[m.doc].at(m.node));
+        canonical.emplace_back(m.doc, m.pos);
       }
       per_query.push_back(std::move(canonical));
     }
@@ -341,6 +373,7 @@ TEST(RepositoryDifferential, ShardCountInvariantResultsAndCounters) {
     EXPECT_EQ(stats[0].index_hits, stats[i].index_hits);
     EXPECT_EQ(stats[0].prefix_hits, stats[i].prefix_hits);
     EXPECT_EQ(stats[0].fallback_walks, stats[i].fallback_walks);
+    EXPECT_EQ(stats[0].flat_scans, stats[i].flat_scans);
     EXPECT_EQ(stats[0].matches, stats[i].matches);
     EXPECT_EQ(stats[0].eval_us.count, stats[i].eval_us.count);
   }

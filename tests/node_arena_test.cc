@@ -48,14 +48,51 @@ TEST(ArenaTest, ManySmallAllocationsSpanBlocks) {
   EXPECT_GT(arena.block_count(), 1u);
 }
 
-TEST(ArenaTest, ResetRewindsEverything) {
+TEST(ArenaTest, ResetOnEmptyArenaIsANoOp) {
   Arena arena;
-  arena.Allocate(1000);
   arena.Reset();
   EXPECT_EQ(arena.bytes_allocated(), 0u);
   EXPECT_EQ(arena.bytes_reserved(), 0u);
   EXPECT_EQ(arena.block_count(), 0u);
-  EXPECT_NE(arena.Allocate(8), nullptr);  // usable again after Reset
+  EXPECT_NE(arena.Allocate(8), nullptr);  // usable after Reset
+}
+
+TEST(ArenaTest, ResetKeepsExactlyOneSpareBlock) {
+  Arena arena(/*initial_block_bytes=*/256);
+  for (int i = 0; i < 100; ++i) arena.Allocate(64);
+  ASSERT_GT(arena.block_count(), 1u);
+  const size_t reserved_before = arena.bytes_reserved();
+
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.block_count(), 1u);  // only the largest block survives
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_LT(arena.bytes_reserved(), reserved_before);
+
+  // The spare is reused in place: small allocations after Reset bump
+  // within it instead of mapping fresh blocks.
+  const size_t spare = arena.bytes_reserved();
+  void* p = arena.Allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.bytes_reserved(), spare);
+}
+
+TEST(ArenaTest, ResetSpareServesRepeatedCycles) {
+  // The conversion pipeline's reuse pattern: fill, Reset, fill again.
+  // Steady state must not accumulate blocks round over round.
+  Arena arena(/*initial_block_bytes=*/256);
+  size_t steady_reserved = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) arena.Allocate(48);
+    arena.Reset();
+    EXPECT_EQ(arena.block_count(), 1u) << "round " << round;
+    if (round == 1) steady_reserved = arena.bytes_reserved();
+    if (round > 1) {
+      EXPECT_EQ(arena.bytes_reserved(), steady_reserved)
+          << "round " << round;
+    }
+  }
 }
 
 TEST(NodeArenaTest, NoScopeMeansHeapAllocation) {
@@ -136,6 +173,32 @@ TEST(NodeArenaTest, CloneOutsideScopeProducesHeapTree) {
   EXPECT_EQ(arena.nodes_allocated(), nodes_in_arena);
   root.reset();
   EXPECT_EQ(clone->DebugString(), "a(b(\"t\"))");
+}
+
+TEST(NodeArenaTest, ResetClearsNodeCountAndKeepsSpare) {
+  NodeArena arena;
+  {
+    NodeArenaScope scope(&arena);
+    auto root = Node::MakeElement("a");
+    for (int i = 0; i < 64; ++i) root->AddElement("b");
+  }
+  ASSERT_EQ(arena.nodes_allocated(), 65u);
+  const size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(reserved, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.nodes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_GT(arena.bytes_reserved(), 0u);  // spare block retained
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+
+  // The arena is immediately usable for the next document.
+  {
+    NodeArenaScope scope(&arena);
+    auto root = Node::MakeElement("c");
+    root->AddElement("d");
+  }
+  EXPECT_EQ(arena.nodes_allocated(), 2u);
 }
 
 TEST(NodeArenaTest, SplicedNodesStayValidUntilArenaDies) {

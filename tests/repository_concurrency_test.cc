@@ -33,14 +33,27 @@ std::unique_ptr<Node> MakeDoc(size_t index) {
   return root;
 }
 
+// Parameterized over the storage mode: true freezes documents into
+// FlatDocs at Add (the TSan proof that freeze + release + lock-free
+// occurrence publication is race-free), false keeps pointer trees.
+class RepositoryConcurrencyTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(StorageModes, RepositoryConcurrencyTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Flat" : "PointerTree";
+                         });
+
 // Readers hammer every query plan (summary, summary-seeded prefix,
 // sharded scan) while writers keep admitting documents. A result must
 // always be internally consistent: sorted by document id with every
-// matched node owned by the repository at matching time.
-TEST(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
+// match carrying a valid element for the active storage mode.
+TEST_P(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
+  const bool freeze = GetParam();
   RepositoryOptions options;
   options.num_shards = 4;
   options.query_threads = 2;  // force the fan-out pool under TSan
+  options.freeze_flat = freeze;
   XmlRepository repo(options);
   for (size_t i = 0; i < 32; ++i) {
     ASSERT_TRUE(repo.Add(MakeDoc(i)).ok());
@@ -70,7 +83,7 @@ TEST(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
       "//*",                               // wildcard scan
   };
   for (size_t r = 0; r < kReaders; ++r) {
-    threads.emplace_back([&repo, &stop, &failures, r] {
+    threads.emplace_back([&repo, &stop, &failures, freeze, r] {
       size_t round = 0;
       while (!stop.load(std::memory_order_acquire)) {
         const char* text = kQueries[(r + round++) % 5];
@@ -81,7 +94,14 @@ TEST(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
         }
         DocId last = 0;
         for (const QueryMatch& m : *matches) {
-          if (m.doc < last || m.node == nullptr) {
+          // Flat matches carry the frozen block and no node; pointer
+          // matches the reverse. Every match must name a real element
+          // either way (name() reads through the handle, so this also
+          // exercises the publication happens-before under TSan).
+          const bool bad_handle =
+              freeze ? (m.node != nullptr || m.flat == nullptr)
+                     : (m.node == nullptr || m.flat != nullptr);
+          if (m.doc < last || bad_handle || m.name() == kInvalidNameId) {
             failures.fetch_add(1);
             break;
           }
@@ -103,16 +123,22 @@ TEST(RepositoryConcurrencyTest, ParallelQueriesDuringConcurrentAdds) {
   ASSERT_TRUE(dates.ok());
   EXPECT_EQ(dates->size(), repo.size());
   for (size_t i = 0; i < repo.size(); ++i) {
-    EXPECT_NE(repo.document(i), nullptr) << "doc " << i;
+    if (freeze) {
+      EXPECT_NE(repo.flat_document(i), nullptr) << "doc " << i;
+      EXPECT_EQ(repo.document(i), nullptr) << "doc " << i;
+    } else {
+      EXPECT_NE(repo.document(i), nullptr) << "doc " << i;
+    }
   }
 }
 
 // DiscoverSchema and Stats may race with Add: both take the same shard
 // locks, so they must always see a prefix-consistent corpus and never
 // tear a trie mid-merge.
-TEST(RepositoryConcurrencyTest, DiscoverAndStatsDuringConcurrentAdds) {
+TEST_P(RepositoryConcurrencyTest, DiscoverAndStatsDuringConcurrentAdds) {
   RepositoryOptions options;
   options.num_shards = 3;
+  options.freeze_flat = GetParam();
   XmlRepository repo(options);
   for (size_t i = 0; i < 16; ++i) {
     ASSERT_TRUE(repo.Add(MakeDoc(i)).ok());

@@ -22,14 +22,57 @@ std::unique_ptr<Node> SmallDoc(const std::string& date_val) {
 }
 
 TEST(RepositoryTest, AddAndRetrieve) {
+  // Default mode freezes at Add: the flat form is retrievable, the
+  // pointer tree is gone.
   XmlRepository repo;
   auto id = repo.Add(SmallDoc("June 1996"));
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(*id, 0u);
   EXPECT_EQ(repo.size(), 1u);
+  const FlatDoc* flat = repo.flat_document(0);
+  ASSERT_NE(flat, nullptr);
+  EXPECT_EQ(flat->name_view(0), "resume");
+  EXPECT_EQ(flat->element_count(), 4u);
+  EXPECT_EQ(repo.document(0), nullptr);
+  EXPECT_EQ(repo.flat_document(99), nullptr);
+  EXPECT_EQ(repo.document(99), nullptr);
+}
+
+TEST(RepositoryTest, AddAndRetrievePointerMode) {
+  RepositoryOptions options;
+  options.freeze_flat = false;
+  XmlRepository repo(options);
+  ASSERT_TRUE(repo.Add(SmallDoc("June 1996")).ok());
   ASSERT_NE(repo.document(0), nullptr);
   EXPECT_EQ(repo.document(0)->name(), "resume");
-  EXPECT_EQ(repo.document(99), nullptr);
+  EXPECT_EQ(repo.flat_document(0), nullptr);
+}
+
+TEST(RepositoryTest, FlatDocPreservesStructureAndText) {
+  auto tree = SmallDoc("June 1996");
+  auto flat = FlatDoc::Freeze(*tree);
+  // Pre-order: resume(0) -> EDUCATION(1) -> DATE(2), INSTITUTION(3).
+  ASSERT_EQ(flat->element_count(), 4u);
+  EXPECT_EQ(flat->name_view(0), "resume");
+  EXPECT_EQ(flat->name_view(1), "EDUCATION");
+  EXPECT_EQ(flat->name_view(2), "DATE");
+  EXPECT_EQ(flat->name_view(3), "INSTITUTION");
+  EXPECT_EQ(flat->parent(0), FlatDoc::kNoParent);
+  EXPECT_EQ(flat->parent(1), 0u);
+  EXPECT_EQ(flat->parent(2), 1u);
+  EXPECT_EQ(flat->parent(3), 2u);
+  EXPECT_EQ(flat->depth(3), 3u);
+  EXPECT_EQ(flat->subtree_end(0), 4u);
+  EXPECT_EQ(flat->subtree_end(1), 4u);
+  EXPECT_EQ(flat->subtree_end(2), 4u);
+  EXPECT_EQ(flat->subtree_end(3), 4u);
+  EXPECT_EQ(flat->val(2), "June 1996");
+  EXPECT_EQ(flat->val_lowered(2), "june 1996");
+  EXPECT_EQ(flat->val(0), "");
+  EXPECT_TRUE(flat->ValContainsLowered(2, "june"));
+  EXPECT_TRUE(flat->ValContainsLowered(2, ""));
+  EXPECT_FALSE(flat->ValContainsLowered(2, "july"));
+  EXPECT_GT(flat->block_bytes(), 0u);
 }
 
 TEST(RepositoryTest, RejectsNonElementRoot) {
@@ -61,7 +104,8 @@ TEST(RepositoryTest, SimpleQueryUsesIndex) {
   ASSERT_TRUE(matches.ok());
   ASSERT_EQ(matches->size(), 2u);
   EXPECT_EQ((*matches)[0].doc, 0u);
-  EXPECT_EQ((*matches)[0].node->val(), "June 1996");
+  EXPECT_EQ((*matches)[0].val(), "June 1996");
+  EXPECT_EQ(NameTable::Global().NameOf((*matches)[0].name()), "DATE");
   EXPECT_EQ((*matches)[1].doc, 1u);
 }
 
@@ -104,7 +148,7 @@ TEST(RepositoryTest, ShardCountDoesNotChangeResults) {
     ASSERT_EQ(matches->size(), 7u) << shards << " shards";
     for (size_t i = 0; i < 7; ++i) {
       EXPECT_EQ((*matches)[i].doc, i) << shards << " shards";
-      EXPECT_EQ((*matches)[i].node->val(), "date " + std::to_string(i));
+      EXPECT_EQ((*matches)[i].val(), "date " + std::to_string(i));
     }
     EXPECT_EQ(repo.Stats().documents, 7u);
     EXPECT_EQ(repo.Stats().elements, 28u);
@@ -127,17 +171,22 @@ TEST(RepositoryTest, QueryStatsClassifyPlans) {
   EXPECT_EQ(stats.prefix_hits, 0u);
   EXPECT_EQ(stats.fallback_walks, 0u);
 
+  EXPECT_EQ(stats.flat_scans, 0u);  // summary plans never evaluate docs
+
   // An intermediate predicate behind a simple prefix seeds from the
-  // summary and walks only the suffix.
+  // summary and evaluates only the suffix (flat evaluator by default).
   repo.Query("/resume/EDUCATION[val~\"x\"]/DATE").value();
   stats = repo.query_stats();
   EXPECT_EQ(stats.prefix_hits, 1u);
   EXPECT_EQ(stats.fallback_walks, 0u);
+  EXPECT_EQ(stats.flat_scans, 2u);  // both documents, via FlatDoc
 
-  // No usable prefix and an intermediate predicate: full tree walks.
+  // No usable prefix and an intermediate predicate: full per-document
+  // evaluation.
   repo.Query("//EDUCATION[val~\"x\"]/DATE").value();
   stats = repo.query_stats();
   EXPECT_EQ(stats.fallback_walks, 2u);  // both documents evaluated
+  EXPECT_EQ(stats.flat_scans, 4u);      // …again through the flat path
   EXPECT_EQ(stats.queries, 4u);
   EXPECT_EQ(stats.eval_us.count, 4u);
 }
@@ -156,6 +205,13 @@ TEST(RepositoryTest, StatsCountEverything) {
   EXPECT_EQ(stats.documents, 2u);
   EXPECT_EQ(stats.elements, 8u);       // 4 per doc
   EXPECT_EQ(stats.distinct_paths, 4u); // shared across docs
+  EXPECT_GT(stats.flat_bytes, 0u);     // frozen blocks are accounted
+
+  RepositoryOptions no_flat;
+  no_flat.freeze_flat = false;
+  XmlRepository pointer_repo(no_flat);
+  pointer_repo.Add(SmallDoc("a")).value();
+  EXPECT_EQ(pointer_repo.Stats().flat_bytes, 0u);
 }
 
 TEST(RepositoryTest, DtdGateRejectsNonConforming) {

@@ -70,6 +70,7 @@ struct CliOptions {
   size_t threads = 1;
   size_t shards = 0;    // --shards=N (0 = one per hardware thread)
   size_t reps = 50;     // --reps=N (query-bench workload repetitions)
+  bool flat = true;     // --no-flat keeps pointer trees in the repository
   bool keep_going = true;
   webre::ResourceLimits limits;
   std::string metrics_json_path;  // --metrics-json=FILE
@@ -98,6 +99,8 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     } else if (arg.rfind("--reps=", 0) == 0) {
       options.reps =
           static_cast<size_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--no-flat") {
+      options.flat = false;
     } else if (arg == "--attlist") {
       options.attlist = true;
     } else if (arg == "--keep-going") {
@@ -440,13 +443,17 @@ int CmdQuery(const CliOptions& options) {
   webre::RepositoryOptions repo_options;
   repo_options.num_shards = options.shards;
   repo_options.query_threads = options.threads;
+  repo_options.freeze_flat = options.flat;
   webre::XmlRepository repo(repo_options);
   // The repository is packed with surviving documents only, so repo doc
-  // ids must be mapped back to input paths.
+  // ids must be mapped back to input paths. Each document's arena is
+  // handed over too: in flat mode it is released at freeze time.
   std::vector<size_t> repo_to_input;
   for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
     if (result.mapped_documents[i] == nullptr) continue;  // failed doc
-    repo.Add(std::move(result.mapped_documents[i])).value();
+    repo.Add(std::move(result.mapped_documents[i]),
+             i < result.arenas.size() ? result.arenas[i] : nullptr)
+        .value();
     repo_to_input.push_back(i);
   }
   auto matches = repo.Query(query);
@@ -454,11 +461,12 @@ int CmdQuery(const CliOptions& options) {
     sinks.Finish(options);
     return Fail(matches.status().ToString());
   }
+  const webre::NameTable& names = webre::NameTable::Global();
   for (const webre::QueryMatch& match : *matches) {
     std::printf("%s: <%s val=\"%s\">\n",
                 paths[repo_to_input[match.doc]].c_str(),
-                std::string(match.node->name()).c_str(),
-                std::string(match.node->val()).c_str());
+                std::string(names.NameOf(match.name())).c_str(),
+                std::string(match.val()).c_str());
   }
   std::fprintf(stderr, "webre: %zu matches\n", matches->size());
   if (sinks.metrics != nullptr) {
@@ -493,11 +501,15 @@ int CmdQueryBench(const CliOptions& options) {
   webre::RepositoryOptions repo_options;
   repo_options.num_shards = options.shards;
   repo_options.query_threads = options.threads;
+  repo_options.freeze_flat = options.flat;
   webre::XmlRepository repo(repo_options);
   const double load_begin = webre::obs::MonotonicSeconds();
-  for (auto& doc : result.mapped_documents) {
+  for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
+    auto& doc = result.mapped_documents[i];
     if (doc == nullptr) continue;  // failed doc
-    repo.Add(std::move(doc)).value();
+    repo.Add(std::move(doc),
+             i < result.arenas.size() ? result.arenas[i] : nullptr)
+        .value();
   }
   const double load_seconds = webre::obs::MonotonicSeconds() - load_begin;
 
@@ -538,10 +550,11 @@ int CmdQueryBench(const CliOptions& options) {
               bench_seconds > 0.0 ? stats.queries / bench_seconds : 0.0,
               total_matches);
   std::printf("plans: %llu index hits, %llu prefix hits, "
-              "%llu fallback walks, %llu shard tasks\n",
+              "%llu fallback walks, %llu flat scans, %llu shard tasks\n",
               static_cast<unsigned long long>(stats.index_hits),
               static_cast<unsigned long long>(stats.prefix_hits),
               static_cast<unsigned long long>(stats.fallback_walks),
+              static_cast<unsigned long long>(stats.flat_scans),
               static_cast<unsigned long long>(stats.shard_tasks));
   if (sinks.metrics != nullptr) {
     sinks.metrics->MergeQueryStats(stats);
@@ -595,6 +608,8 @@ void PrintHelp(std::FILE* out) {
       "repository options (query/query-bench):\n"
       "  --shards=N            repository shards (0 = one per core)\n"
       "  --reps=N              query-bench workload repetitions (default 50)\n"
+      "  --no-flat             keep pointer trees instead of freezing\n"
+      "                        documents into the flat representation\n"
       "fault isolation:\n"
       "  --keep-going          record failures, continue (default)\n"
       "  --no-keep-going       any failed document aborts the batch\n"
