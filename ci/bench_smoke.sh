@@ -16,10 +16,19 @@
 #      the same schema, including the recorded speedups the query
 #      serving layer is judged by (simple >= 100x, mixed >= 5x after
 #      the flat-document freeze) and the steady-state repository RSS
-#      ceiling (after arm repo_rss_mb <= before arm peak_rss_mb).
+#      ceiling (after arm repo_rss_mb <= before arm peak_rss_mb);
+#   6. bench_storage runs a tiny corpus through all four durability
+#      arms (the run itself asserts the cold and mmap arms agree on
+#      every probe match count) and must emit the storage-bench schema;
+#   7. the checked-in BENCH_storage.json artifact is validated against
+#      the same schema, including the recorded open_speedup floor the
+#      durable layer is judged by (mmap open >= 10x faster than cold
+#      re-conversion at 4000 documents) and mmap_hits == documents (a
+#      snapshot that silently fell back to copies fails here).
 #
 #   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json> \
-#                         <bench_query> <BENCH_query.json>
+#                         <bench_query> <BENCH_query.json> \
+#                         <bench_storage> <BENCH_storage.json>
 #
 # Run as a ctest (bench_smoke). Live-run timings are NOT asserted here —
 # a smoke run on a loaded CI box says nothing about steady-state
@@ -27,9 +36,10 @@
 # figures are checked.
 set -eu
 
-if [ "$#" -ne 5 ]; then
+if [ "$#" -ne 7 ]; then
   echo "usage: $0 <bench_micro> <bench_memory> <BENCH_memory.json>" \
-       "<bench_query> <BENCH_query.json>" >&2
+       "<bench_query> <BENCH_query.json>" \
+       "<bench_storage> <BENCH_storage.json>" >&2
   exit 64
 fi
 
@@ -38,14 +48,16 @@ bench_memory="$2"
 artifact="$3"
 bench_query="$4"
 query_artifact="$5"
+bench_storage="$6"
+storage_artifact="$7"
 
-for bin in "$bench_micro" "$bench_memory" "$bench_query"; do
+for bin in "$bench_micro" "$bench_memory" "$bench_query" "$bench_storage"; do
   if [ ! -x "$bin" ]; then
     echo "FAIL: benchmark binary not executable: $bin" >&2
     exit 1
   fi
 done
-for file in "$artifact" "$query_artifact"; do
+for file in "$artifact" "$query_artifact" "$storage_artifact"; do
   if [ ! -r "$file" ]; then
     echo "FAIL: artifact not readable: $file" >&2
     exit 1
@@ -81,6 +93,14 @@ fi
 # the binary itself fails when the two arms' match counts disagree.
 "$bench_query" --docs=48 --shards=3 --reps=2 >"$tmpdir/query.json" || {
   echo "FAIL: bench_query smoke run failed" >&2
+  exit 1
+}
+
+# 6. A tiny live bench_storage run must produce a schema-valid record;
+# the binary itself fails when the cold and mmap arms disagree on any
+# probe match count or a document fails to convert.
+"$bench_storage" --docs=48 --shards=2 --reps=2 >"$tmpdir/storage.json" || {
+  echo "FAIL: bench_storage smoke run failed" >&2
   exit 1
 }
 
@@ -191,4 +211,67 @@ with open(sys.argv[2]) as f:
     check_record(json.load(f), "BENCH_query.json artifact",
                  assert_speedups=True)
 print("OK: live bench_query record and BENCH_query.json validate")
+EOF
+
+python3 - "$tmpdir/storage.json" "$storage_artifact" <<'EOF'
+import json
+import sys
+
+ARMS = {
+    "cold_reconvert": ["arm", "documents", "seconds", "docs_per_sec"],
+    "mmap_open": ["arm", "documents", "seconds", "docs_per_sec",
+                  "mmap_hits", "snapshot_mb"],
+    "wal_append_none": ["arm", "documents", "seconds", "us_per_doc"],
+    "wal_append_fdatasync": ["arm", "documents", "seconds", "us_per_doc"],
+}
+
+
+def check_record(record, where, assert_floors):
+    for key in ("bench", "corpus", "arms", "derived"):
+        if key not in record:
+            raise SystemExit(f"FAIL: {where}: missing key '{key}'")
+    if record["bench"] != "bench_storage":
+        raise SystemExit(f"FAIL: {where}: wrong bench name")
+    docs = record["corpus"].get("documents", 0)
+    if docs <= 0:
+        raise SystemExit(f"FAIL: {where}: implausible corpus")
+    for name, keys in ARMS.items():
+        if name not in record["arms"]:
+            raise SystemExit(f"FAIL: {where}: missing arm '{name}'")
+        arm = record["arms"][name]
+        for key in keys:
+            if key not in arm:
+                raise SystemExit(
+                    f"FAIL: {where} arm '{name}': missing key '{key}'")
+        if arm["documents"] != docs or arm["seconds"] <= 0:
+            raise SystemExit(
+                f"FAIL: {where} arm '{name}': implausible figures")
+    # Every snapshot open must serve straight out of the mapping: a
+    # fallback to per-document copies shows up as mmap_hits < documents.
+    if record["arms"]["mmap_open"]["mmap_hits"] != docs:
+        raise SystemExit(
+            f"FAIL: {where}: mmap_hits != documents (snapshot fell back)")
+    for key in ("open_speedup", "fdatasync_cost_ratio"):
+        if key not in record["derived"]:
+            raise SystemExit(f"FAIL: {where}: missing derived '{key}'")
+    if assert_floors:
+        # The artifact records a full 4000-document run; its figures are
+        # constants of the checked-in file, so the acceptance floor is
+        # asserted here (a 48-document smoke corpus is checkpoint-cost
+        # dominated and says nothing about steady-state warmup).
+        if record["derived"]["open_speedup"] < 10.0:
+            raise SystemExit(f"FAIL: {where}: open_speedup below 10x")
+        if record["derived"]["fdatasync_cost_ratio"] < 1.0:
+            raise SystemExit(
+                f"FAIL: {where}: fdatasync arm faster than none — "
+                "the sync mode is not reaching the WAL")
+
+
+with open(sys.argv[1]) as f:
+    check_record(json.load(f), "live bench_storage output",
+                 assert_floors=False)
+with open(sys.argv[2]) as f:
+    check_record(json.load(f), "BENCH_storage.json artifact",
+                 assert_floors=True)
+print("OK: live bench_storage record and BENCH_storage.json validate")
 EOF

@@ -149,6 +149,17 @@ struct QueryStatsView {
   HistogramSnapshot eval_us;    ///< per-query latency, microseconds
 };
 
+/// Snapshot of the durable storage layer's counters (storage's
+/// DurableRepository exposes one; PipelineMetrics::MergeStorageStats
+/// folds it into the batch metrics as the storage.* counter group).
+struct StorageStatsView {
+  uint64_t wal_appends = 0;          ///< records appended across shards
+  uint64_t wal_replayed = 0;         ///< records admitted during Open
+  uint64_t wal_truncated_bytes = 0;  ///< torn/corrupt bytes dropped at Open
+  uint64_t snapshot_bytes = 0;       ///< bytes of the snapshot served/written
+  uint64_t mmap_hits = 0;            ///< documents served as mmap views
+};
+
 /// RAII wall-time meter for one stage execution: counts one call and the
 /// elapsed nanoseconds into the given Counters on destruction (or on
 /// Stop(), whichever comes first). The begin/end timestamps are exposed

@@ -134,6 +134,11 @@ PipelineMetricsSnapshot::CounterItems() const {
       {"query.flat_scans", query_flat_scans},
       {"query.shard_tasks", query_shard_tasks},
       {"query.matches", query_matches},
+      {"storage.wal_appends", storage_wal_appends},
+      {"storage.wal_replayed", storage_wal_replayed},
+      {"storage.wal_truncated_bytes", storage_wal_truncated_bytes},
+      {"storage.snapshot_bytes", storage_snapshot_bytes},
+      {"storage.mmap_hits", storage_mmap_hits},
   };
 }
 
@@ -147,6 +152,14 @@ void PipelineMetrics::MergeQueryStats(const QueryStatsView& stats) {
   query.matches.Add(stats.matches);
   mem.flat_bytes.Add(stats.flat_bytes);
   query_us.Merge(stats.eval_us);
+}
+
+void PipelineMetrics::MergeStorageStats(const StorageStatsView& stats) {
+  storage.wal_appends.Add(stats.wal_appends);
+  storage.wal_replayed.Add(stats.wal_replayed);
+  storage.wal_truncated_bytes.Add(stats.wal_truncated_bytes);
+  storage.snapshot_bytes.Add(stats.snapshot_bytes);
+  storage.mmap_hits.Add(stats.mmap_hits);
 }
 
 void PipelineMetrics::RecordOutcome(const std::string& status_name,
@@ -224,6 +237,11 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.query_flat_scans = query.flat_scans.value();
   snapshot.query_shard_tasks = query.shard_tasks.value();
   snapshot.query_matches = query.matches.value();
+  snapshot.storage_wal_appends = storage.wal_appends.value();
+  snapshot.storage_wal_replayed = storage.wal_replayed.value();
+  snapshot.storage_wal_truncated_bytes = storage.wal_truncated_bytes.value();
+  snapshot.storage_snapshot_bytes = storage.snapshot_bytes.value();
+  snapshot.storage_mmap_hits = storage.mmap_hits.value();
 
   snapshot.budget_steps_used = budget.steps_used.value();
   snapshot.budget_nodes_used = budget.nodes_used.value();

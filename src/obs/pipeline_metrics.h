@@ -57,6 +57,14 @@ struct PipelineMetricsSnapshot {
   uint64_t query_shard_tasks = 0;
   uint64_t query_matches = 0;
 
+  // Durable-storage counters (zero for runs without --data-dir).
+  // Merged in via PipelineMetrics::MergeStorageStats.
+  uint64_t storage_wal_appends = 0;
+  uint64_t storage_wal_replayed = 0;
+  uint64_t storage_wal_truncated_bytes = 0;
+  uint64_t storage_snapshot_bytes = 0;
+  uint64_t storage_mmap_hits = 0;
+
   // Memory accounting (DESIGN.md §11, §13): Node allocations across the
   // batch (arena and heap alike), total arena payload bytes of the
   // surviving documents, and total frozen FlatDoc block bytes held by
@@ -186,6 +194,13 @@ class PipelineMetrics {
     Counter matches;
   } query;
   struct {
+    Counter wal_appends;
+    Counter wal_replayed;
+    Counter wal_truncated_bytes;
+    Counter snapshot_bytes;
+    Counter mmap_hits;
+  } storage;
+  struct {
     Counter steps_used;
     Counter nodes_used;
     Counter entities_used;
@@ -205,6 +220,11 @@ class PipelineMetrics {
   /// the query phase quiesced; additive, so several repositories can be
   /// merged.
   void MergeQueryStats(const QueryStatsView& stats);
+
+  /// Folds a durable repository's storage counters into the batch
+  /// metrics (the storage.* counter group). Additive like
+  /// MergeQueryStats.
+  void MergeStorageStats(const StorageStatsView& stats);
 
   /// Folds one document's fate into the batch metrics (cold path; call
   /// once per document, serially for a deterministic message order).

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "schema/path_extractor.h"
+#include "util/status.h"
 #include "xml/flat_doc.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
@@ -62,6 +64,18 @@ LocalDocumentPaths CollectLocalPaths(const Node& root);
 /// elements by (doc, pos).
 LocalDocumentPaths CollectLocalPaths(const FlatDoc& doc);
 
+/// Snapshot-restore fast path: ONE pass over the frozen document fills
+/// both the index feed (`local`, bit-identical to CollectLocalPaths)
+/// and the mining feed (`mined`, identical to ExtractPaths except that
+/// the LabelPath strings are left empty — correctly sized, never
+/// materialized). The repository's shard miners run without constraint
+/// sets and consume only the dense parent_index / leaf_name view plus
+/// the statistics, so the strings would be pure allocation cost on the
+/// recovery path. Do not hand the `mined` output to a consumer that
+/// applies path constraints at insertion.
+void CollectRestorePaths(const FlatDoc& doc, LocalDocumentPaths& local,
+                         DocumentPaths& mined);
+
 /// A DataGuide-style structural summary: the trie of every distinct
 /// label path seen across the indexed documents, hash-consed on
 /// (parent path id, NameId) exactly like schema extraction's PathTable,
@@ -104,6 +118,18 @@ class PathIndex {
   /// lock.
   void AddDocument(const LocalDocumentPaths& local, DocId doc,
                    const FlatDoc* flat = nullptr);
+
+  /// Storage restore: appends the entry with id == path_count(),
+  /// rebuilding the children/roots lists, the label→docs map and the
+  /// hash table from the (parent, name) pair. The snapshot's SUMMARY
+  /// section stores entries in creation order, where parents precede
+  /// children, so a loader feeding entries in file order never sees a
+  /// dangling parent. `docs` must be ascending and deduplicated and
+  /// `occurrences` (doc, pos)-ascending with docs drawn from `docs` —
+  /// violations (a corrupt or hostile snapshot) are InvalidArgument,
+  /// keeping every later query-plan merge loop safe.
+  Status LoadEntry(uint32_t parent, NameId name, std::vector<DocId> docs,
+                   std::vector<PathOccurrence> occurrences);
 
   size_t path_count() const { return entries_.size(); }
   const Entry& entry(uint32_t id) const { return entries_[id]; }

@@ -230,6 +230,118 @@ StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document,
   return id;
 }
 
+DocId XmlRepository::AdmitFrozen(std::unique_ptr<FlatDoc> flat,
+                                 const DocumentPaths& mined,
+                                 bool feed_summary) {
+  LocalDocumentPaths local = CollectLocalPaths(*flat);
+  flat_bytes_.Add(flat->block_bytes());
+  const FlatDoc* flat_ptr = flat.get();
+
+  const DocId id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+  const size_t shard_count = shards_.size();
+  Shard& shard = *shards_[id % shard_count];
+  const size_t slot = id / shard_count;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    if (shard.slots.size() <= slot) shard.slots.resize(slot + 1);
+    shard.index.AddDocument(local, id);
+    shard.miner.AddDocumentPaths(mined);
+    shard.elements += local.element_count;
+    shard.slots[slot].flat = std::move(flat);
+  }
+  if (feed_summary) {
+    std::unique_lock<std::shared_mutex> lock(summary_mutex_);
+    summary_.AddDocument(local, id, flat_ptr);
+  }
+  return id;
+}
+
+StatusOr<DocId> XmlRepository::AddFrozen(std::unique_ptr<FlatDoc> flat,
+                                         const DocumentPaths& mined) {
+  if (flat == nullptr || flat->element_count() == 0) {
+    return Status::InvalidArgument("frozen document must have a root element");
+  }
+  return AdmitFrozen(std::move(flat), mined, /*feed_summary=*/true);
+}
+
+StatusOr<DocId> XmlRepository::RestoreDocument(std::unique_ptr<FlatDoc> flat,
+                                               const DocumentPaths& mined) {
+  if (flat == nullptr || flat->element_count() == 0) {
+    return Status::InvalidArgument("frozen document must have a root element");
+  }
+  return AdmitFrozen(std::move(flat), mined, /*feed_summary=*/false);
+}
+
+Status XmlRepository::RestoreDocumentAt(DocId id,
+                                        std::unique_ptr<FlatDoc> flat,
+                                        LocalDocumentPaths local,
+                                        const DocumentPaths& mined) {
+  if (flat == nullptr || flat->element_count() == 0) {
+    return Status::InvalidArgument("frozen document must have a root element");
+  }
+  flat_bytes_.Add(flat->block_bytes());
+
+  const size_t shard_count = shards_.size();
+  Shard& shard = *shards_[id % shard_count];
+  const size_t slot = id / shard_count;
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (shard.slots.size() <= slot) shard.slots.resize(slot + 1);
+  if (shard.slots[slot].present()) {
+    return Status::InvalidArgument("restore: document id already occupied");
+  }
+  shard.index.AddDocument(local, id);
+  shard.miner.AddDocumentPaths(mined);
+  shard.elements += local.element_count;
+  shard.slots[slot].flat = std::move(flat);
+  return Status::Ok();
+}
+
+void XmlRepository::SealRestore(size_t doc_count) {
+  next_id_.store(doc_count, std::memory_order_release);
+}
+
+Status XmlRepository::RestoreSummaryEntry(
+    uint32_t parent, NameId name, std::vector<DocId> docs,
+    std::vector<std::pair<DocId, uint32_t>> occurrences) {
+  const size_t doc_count = size();
+  for (DocId doc : docs) {
+    if (doc >= doc_count) {
+      return Status::InvalidArgument(
+          "summary restore: posting references unknown document");
+    }
+  }
+  // Stamp each (doc, pos) with the restored FlatDoc. Occurrences are
+  // (doc, pos)-sorted, so one cached lookup per document run suffices.
+  std::vector<PathOccurrence> stamped;
+  stamped.reserve(occurrences.size());
+  DocId cached_doc = 0;
+  const FlatDoc* cached_flat = nullptr;
+  for (const auto& [doc, pos] : occurrences) {
+    if (cached_flat == nullptr || doc != cached_doc) {
+      cached_flat = doc < doc_count ? flat_document(doc) : nullptr;
+      cached_doc = doc;
+      if (cached_flat == nullptr) {
+        return Status::InvalidArgument(
+            "summary restore: occurrence references unknown document");
+      }
+    }
+    if (pos >= cached_flat->element_count()) {
+      return Status::InvalidArgument(
+          "summary restore: occurrence position out of range");
+    }
+    stamped.push_back(PathOccurrence{doc, pos, nullptr, cached_flat});
+  }
+  std::unique_lock<std::shared_mutex> lock(summary_mutex_);
+  return summary_.LoadEntry(parent, name, std::move(docs),
+                            std::move(stamped));
+}
+
+void XmlRepository::WithSummary(
+    const std::function<void(const PathIndex&)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(summary_mutex_);
+  fn(summary_);
+}
+
 const Node* XmlRepository::document(DocId id) const {
   const size_t shard_count = shards_.size();
   const Shard& shard = *shards_[id % shard_count];

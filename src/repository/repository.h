@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -162,6 +164,59 @@ class XmlRepository {
   StatusOr<DocId> Add(std::unique_ptr<Node> document,
                       std::shared_ptr<NodeArena> arena);
 
+  // ---- Storage-layer surface (src/storage) ----
+  //
+  // The durable repository persists frozen documents; these entry
+  // points admit/restore them without a pointer tree. The DTD check is
+  // NOT re-run here — recovered documents passed it at their original
+  // admission, and DurableRepository::Add validates before freezing.
+
+  /// Admits an already-frozen document: full admission including the
+  /// structural summary, identical in every observable way to Add()
+  /// followed by freezing. `mined` must be ExtractPaths of the same
+  /// document (the flat overload produces it). Used by durable Add and
+  /// WAL replay. Thread-safe like Add.
+  StatusOr<DocId> AddFrozen(std::unique_ptr<FlatDoc> flat,
+                            const DocumentPaths& mined);
+
+  /// Snapshot restore: like AddFrozen but does not touch the structural
+  /// summary — the snapshot loader installs the summary wholesale via
+  /// RestoreSummaryEntry, so per-document feeding would double-count.
+  /// Call serially, before serving starts.
+  StatusOr<DocId> RestoreDocument(std::unique_ptr<FlatDoc> flat,
+                                  const DocumentPaths& mined);
+
+  /// Parallel form of RestoreDocument: admits `flat` at exactly `id`
+  /// instead of allocating the next one, so the snapshot loader can
+  /// restore shards concurrently (shard structures are disjoint; ids
+  /// within one shard must still arrive in ascending order, and each
+  /// id must be restored exactly once). Does not advance size() —
+  /// call SealRestore once every document is in, before any
+  /// RestoreSummaryEntry or serving.
+  /// `local` and `mined` are the caller's pre-walked feeds (the loader
+  /// produces both in one pass via CollectRestorePaths); they must
+  /// describe exactly `flat`.
+  Status RestoreDocumentAt(DocId id, std::unique_ptr<FlatDoc> flat,
+                           LocalDocumentPaths local,
+                           const DocumentPaths& mined);
+
+  /// Publishes a RestoreDocumentAt prefix: size() becomes `doc_count`.
+  void SealRestore(size_t doc_count);
+
+  /// Snapshot restore: appends one structural-summary path entry (in
+  /// the snapshot's creation order — parents precede children).
+  /// Occurrences arrive as (doc, pos) pairs and are stamped with the
+  /// already-restored documents' FlatDoc pointers; a pair referencing
+  /// an unknown document or an out-of-range position is rejected, so a
+  /// corrupt snapshot can never plant a dangling occurrence.
+  Status RestoreSummaryEntry(
+      uint32_t parent, NameId name, std::vector<DocId> docs,
+      std::vector<std::pair<DocId, uint32_t>> occurrences);
+
+  /// Runs `fn` with the structural summary under its shared lock — how
+  /// the snapshot writer serializes the summary without being a friend.
+  void WithSummary(const std::function<void(const PathIndex&)>& fn) const;
+
   /// Documents admitted so far (ids are dense: 0 … size()-1).
   size_t size() const { return next_id_.load(std::memory_order_acquire); }
 
@@ -224,6 +279,12 @@ class XmlRepository {
     /// Element count, maintained incrementally at Add.
     size_t elements = 0;
   };
+
+  /// Shared tail of AddFrozen/RestoreDocument: indexes, feeds the
+  /// shard miner and publishes the frozen document (and, when
+  /// `feed_summary`, the structural summary).
+  DocId AdmitFrozen(std::unique_ptr<FlatDoc> flat, const DocumentPaths& mined,
+                    bool feed_summary);
 
   /// Plan 1: answer entirely from the structural summary.
   std::vector<QueryMatch> QueryViaSummary(const PathQuery& query) const;

@@ -209,4 +209,60 @@ DocumentPaths ExtractPaths(const Node& root) {
   return out;
 }
 
+DocumentPaths ExtractPaths(const FlatDoc& doc) {
+  DocumentPaths out;
+  const uint32_t count = doc.element_count();
+  if (count == 0) return out;
+  PathTable table;
+
+  // Iterating flat indices in order IS the pre-order walk, and every
+  // child is an element, so the emit / resolve / statistics sequence
+  // below replays Walk() on the original tree call for call: emit the
+  // element's path, count same-label siblings among its children, then
+  // record each child's multiplicity and ordinal position.
+  std::vector<uint32_t> elem_path(count);
+  elem_path[0] = table.Resolve(PathTable::kNoParent, doc.name(0));
+  table.entry(elem_path[0]).max_multiplicity = 1;
+
+  for (uint32_t e = 0; e < count; ++e) {
+    const uint32_t path_index = elem_path[e];
+    table.Emit(path_index);
+
+    std::vector<std::pair<NameId, size_t>>& counts = table.sibling_scratch();
+    counts.clear();
+    const uint32_t end = doc.subtree_end(e);
+    for (uint32_t f = e + 1; f < end; f = doc.subtree_end(f)) {
+      const NameId name = doc.name(f);
+      bool found = false;
+      for (auto& [id, n] : counts) {
+        if (id == name) {
+          ++n;
+          found = true;
+          break;
+        }
+      }
+      if (!found) counts.emplace_back(name, 1);
+    }
+    uint32_t element_index = 0;
+    for (uint32_t f = e + 1; f < end; f = doc.subtree_end(f)) {
+      const uint32_t child_path = table.Resolve(path_index, doc.name(f));
+      elem_path[f] = child_path;
+      size_t multiplicity = 0;
+      for (const auto& [id, n] : counts) {
+        if (id == doc.name(f)) {
+          multiplicity = n;
+          break;
+        }
+      }
+      PathTable::Entry& entry = table.entry(child_path);
+      entry.max_multiplicity = std::max(entry.max_multiplicity, multiplicity);
+      entry.position_sum += static_cast<double>(element_index);
+      ++entry.position_count;
+      ++element_index;
+    }
+  }
+  table.Materialize(out);
+  return out;
+}
+
 }  // namespace webre

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "schema/label_path.h"
+#include "xml/flat_doc.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
 
@@ -59,6 +60,14 @@ struct DocumentPaths {
 /// Extracts paths(T) and the side statistics from the document rooted at
 /// `root`. Text nodes are ignored; only element labels form paths.
 DocumentPaths ExtractPaths(const Node& root);
+
+/// The same extraction over a frozen document. Produces a DocumentPaths
+/// bit-identical to ExtractPaths on the tree the FlatDoc was frozen
+/// from (same emit order, multiplicities and position statistics) —
+/// the storage layer relies on this equivalence to rebuild per-shard
+/// mining tries from WAL records and snapshots without keeping any
+/// pointer tree around (tests/storage_test.cc pins it).
+DocumentPaths ExtractPaths(const FlatDoc& doc);
 
 }  // namespace webre
 

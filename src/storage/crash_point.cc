@@ -1,0 +1,43 @@
+#include "storage/crash_point.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace webre {
+namespace storage {
+
+const char* const kCrashPoints[] = {
+    "wal.append.before_write",
+    "wal.append.torn",
+    "wal.append.before_sync",
+    "wal.append.after_sync",
+    "checkpoint.before_tmp",
+    "checkpoint.tmp.torn",
+    "checkpoint.before_tmp_sync",
+    "checkpoint.before_rename",
+    "checkpoint.before_dir_sync",
+    "checkpoint.before_wal_truncate",
+    "checkpoint.mid_wal_truncate",
+    "checkpoint.done",
+};
+const size_t kCrashPointCount = sizeof(kCrashPoints) / sizeof(kCrashPoints[0]);
+
+bool CrashPointArmed(const char* point) {
+  // Read once: the variable is set before the process under test starts
+  // and never changes. (A static local keeps this lock-free after the
+  // first call; C++ guarantees thread-safe initialization.)
+  static const char* armed = std::getenv("WEBRE_CRASH_POINT");
+  return armed != nullptr && std::strcmp(armed, point) == 0;
+}
+
+void CrashNow() {
+  // _exit skips atexit handlers, stream flushing and destructors —
+  // whatever was not yet written to the kernel is lost, exactly like a
+  // kill -9 at this instruction.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace storage
+}  // namespace webre

@@ -1,0 +1,47 @@
+#ifndef WEBRE_STORAGE_CRASH_POINT_H_
+#define WEBRE_STORAGE_CRASH_POINT_H_
+
+#include <cstddef>
+
+namespace webre {
+namespace storage {
+
+/// Fault-injection hooks for the crash-recovery test matrix
+/// (tests/crash_injection_test.cc). The storage layer calls
+/// MaybeCrash("name") at every durability-relevant boundary; when the
+/// environment variable WEBRE_CRASH_POINT names that point, the process
+/// dies instantly via _exit (no destructors, no flushing — the closest
+/// userspace approximation of a power cut). In production the armed
+/// check is one cached getenv comparison per call site.
+///
+/// Points whose name ends in ".torn" are special: the caller performs a
+/// deliberate partial write first, simulating a crash mid-write, then
+/// dies. Everything the recovery path must tolerate — torn records,
+/// missing renames, half-truncated WAL sets — is reachable through this
+/// list, which the test iterates exhaustively.
+
+/// Exit code of a process killed at a crash point, so the test harness
+/// can tell an injected crash from an ordinary failure.
+inline constexpr int kCrashExitCode = 87;
+
+/// Every crash point the storage layer honors, for test iteration.
+/// Order mirrors the write paths: WAL append first, then checkpoint.
+extern const char* const kCrashPoints[];
+extern const size_t kCrashPointCount;
+
+/// True iff WEBRE_CRASH_POINT is set to exactly `point`. The
+/// environment is read once per process (first call).
+bool CrashPointArmed(const char* point);
+
+/// Dies via _exit(kCrashExitCode) without running any cleanup.
+[[noreturn]] void CrashNow();
+
+/// CrashNow() iff `point` is armed; otherwise a no-op.
+inline void MaybeCrash(const char* point) {
+  if (CrashPointArmed(point)) CrashNow();
+}
+
+}  // namespace storage
+}  // namespace webre
+
+#endif  // WEBRE_STORAGE_CRASH_POINT_H_

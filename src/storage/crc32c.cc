@@ -1,0 +1,109 @@
+#include "storage/crc32c.h"
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#endif
+
+namespace webre {
+namespace storage {
+namespace {
+
+/// Slice-by-4 lookup tables, computed once at first use. Table [0] is
+/// the classic byte-at-a-time table; [1..3] fold 4 input bytes per
+/// iteration — the portable fallback when the CPU has no CRC32
+/// instruction.
+struct Tables {
+  uint32_t t[4][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t Crc32cSoftware(const void* data, size_t size, uint32_t crc) {
+  const Tables& tables = GetTables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFF] ^ tables.t[2][(crc >> 8) & 0xFF] ^
+          tables.t[1][(crc >> 16) & 0xFF] ^ tables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+
+/// SSE4.2 path: the CRC32 instruction implements exactly this
+/// (Castagnoli) polynomial, 8 input bytes per ~1-cycle-throughput op —
+/// an order of magnitude over slice-by-4, which matters because every
+/// snapshot open checksums the whole image before serving from it.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t size,
+                                                          uint32_t crc) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc64 = _mm_crc32_u64(crc64, chunk);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (size-- > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+bool HasSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+#endif  // __x86_64__
+
+using CrcFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+CrcFn PickImplementation() {
+#if defined(__x86_64__)
+  if (HasSse42()) return &Crc32cHardware;
+#endif
+  return &Crc32cSoftware;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  static const CrcFn impl = PickImplementation();
+  return ~impl(data, size, ~seed);
+}
+
+}  // namespace storage
+}  // namespace webre

@@ -1,0 +1,21 @@
+#ifndef WEBRE_STORAGE_CRC32C_H_
+#define WEBRE_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace webre {
+namespace storage {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected) over `size`
+/// bytes, extendable: pass a previous return value as `seed` to
+/// checksum a logical stream in pieces; 0 starts a fresh checksum.
+/// This is the checksum guarding every snapshot section and WAL record
+/// (DESIGN.md §14); the standard check value is
+/// Crc32c("123456789", 9) == 0xE3069283.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace storage
+}  // namespace webre
+
+#endif  // WEBRE_STORAGE_CRC32C_H_

@@ -1,0 +1,50 @@
+#include "storage/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace webre {
+namespace storage {
+
+StatusOr<MappedFile> MappedFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed on " + path);
+  }
+  MappedFile mapped;
+  if (st.st_size > 0) {
+    void* data = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("mmap failed on " + path + ": " +
+                              std::strerror(errno));
+    }
+    mapped.data_ = data;
+    mapped.size_ = static_cast<size_t>(st.st_size);
+  }
+  ::close(fd);
+  return mapped;
+}
+
+void MappedFile::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace storage
+}  // namespace webre

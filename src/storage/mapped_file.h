@@ -1,0 +1,58 @@
+#ifndef WEBRE_STORAGE_MAPPED_FILE_H_
+#define WEBRE_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace webre {
+namespace storage {
+
+/// A read-only memory mapping of one file, alive for the object's
+/// lifetime. The durable repository maps the snapshot once at Open and
+/// serves FlatDoc views straight out of the mapping — load is a map,
+/// not a parse. POSIX keeps the mapped pages valid even after the file
+/// is later renamed over or unlinked (a checkpoint replacing the
+/// snapshot does not disturb readers of the old one).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to an empty view.
+  static StatusOr<MappedFile> Map(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { Unmap(); }
+
+  std::string_view bytes() const {
+    return data_ == nullptr
+               ? std::string_view()
+               : std::string_view(static_cast<const char*>(data_), size_);
+  }
+  bool mapped() const { return data_ != nullptr; }
+
+ private:
+  void Unmap();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace webre
+
+#endif  // WEBRE_STORAGE_MAPPED_FILE_H_

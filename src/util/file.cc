@@ -1,6 +1,11 @@
 #include "util/file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace webre {
 
@@ -34,6 +39,84 @@ Status WriteFile(std::string_view path, std::string_view contents) {
   const bool failed = written != contents.size() || std::fclose(file) != 0;
   if (failed) {
     return Status::Internal("write error on " + path_str);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// Writes all of `contents` to `fd`, retrying short writes and EINTR.
+bool WriteAll(int fd, std::string_view contents) {
+  const char* data = contents.data();
+  size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteFileAtomic(std::string_view path, std::string_view contents) {
+  const std::string path_str(path);
+  // The temp file must live in the destination directory: rename(2) is
+  // only atomic within one filesystem.
+  const std::string tmp = path_str + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot create", tmp));
+  }
+  if (!WriteAll(fd, contents)) {
+    const Status status = Status::Internal(ErrnoMessage("write error on", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Status::Internal(ErrnoMessage("fsync failed on", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal(ErrnoMessage("close failed on", tmp));
+  }
+  if (::rename(tmp.c_str(), path_str.c_str()) != 0) {
+    const Status status =
+        Status::Internal(ErrnoMessage("rename failed for", path_str));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the rename itself durable. Derive the directory from the path;
+  // "" means the current directory.
+  const size_t slash = path_str.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_str.substr(0, slash + 1);
+  return SyncDir(dir);
+}
+
+Status SyncDir(std::string_view dir) {
+  const std::string dir_str(dir.empty() ? "." : dir);
+  const int fd = ::open(dir_str.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("cannot open directory", dir_str));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Status::Internal(ErrnoMessage("fsync failed on directory", dir_str));
   }
   return Status::Ok();
 }

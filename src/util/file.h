@@ -14,6 +14,19 @@ StatusOr<std::string> ReadFile(std::string_view path);
 /// Writes (truncating) `contents` to `path`.
 Status WriteFile(std::string_view path, std::string_view contents);
 
+/// Durably replaces `path` with `contents`: writes a temporary file in
+/// the same directory, fsyncs it, then atomically renames it over
+/// `path` and fsyncs the directory. A crash at any point leaves either
+/// the old contents or the new contents — never a torn file. Use for
+/// artifacts a consumer may read while (or after) the writer dies
+/// (metrics JSON, traces, snapshots).
+Status WriteFileAtomic(std::string_view path, std::string_view contents);
+
+/// fsyncs the directory `dir` itself, making previously-completed
+/// renames/creates/unlinks inside it durable. POSIX makes a renamed
+/// file durable only once its directory is synced.
+Status SyncDir(std::string_view dir);
+
 }  // namespace webre
 
 #endif  // WEBRE_UTIL_FILE_H_

@@ -108,4 +108,97 @@ std::unique_ptr<FlatDoc> FlatDoc::Freeze(const Node& root) {
   return doc;
 }
 
+Status FlatDoc::InitFromBlock(const char* base, size_t block_bytes,
+                              uint32_t element_count, NameId name_limit) {
+  // Untrusted input (a WAL record or snapshot section): every claim the
+  // header makes about the block is proven here, so the accessors above
+  // can stay unchecked index arithmetic.
+  const size_t count = element_count;
+  // 4 parallel arrays of `count` u32s plus count+1 text offsets. Cap the
+  // count so the size arithmetic cannot overflow even on 32-bit size_t.
+  if (count > (1u << 28)) {
+    return Status::InvalidArgument("flat block: element count too large");
+  }
+  const size_t ints_bytes = sizeof(uint32_t) * (5 * count + 1);
+  if (block_bytes < ints_bytes || (block_bytes - ints_bytes) % 2 != 0) {
+    return Status::InvalidArgument("flat block: size does not match layout");
+  }
+  const size_t text_size = (block_bytes - ints_bytes) / 2;
+  if (text_size > 0xFFFFFFFFu) {
+    return Status::InvalidArgument("flat block: text pool too large");
+  }
+
+  const uint32_t* u32s = reinterpret_cast<const uint32_t*>(base);
+  const uint32_t* names = u32s;
+  const uint32_t* parents = u32s + count;
+  const uint32_t* depths = u32s + 2 * count;
+  const uint32_t* ends = u32s + 3 * count;
+  const uint32_t* offsets = u32s + 4 * count;
+
+  if (offsets[0] != 0 ||
+      offsets[count] != static_cast<uint32_t>(text_size)) {
+    return Status::InvalidArgument("flat block: text offsets out of range");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument("flat block: text offsets not sorted");
+    }
+    if (names[i] >= name_limit) {
+      return Status::InvalidArgument("flat block: NameId out of range");
+    }
+    // Pre-order invariants: parents precede children; depth increments
+    // along the parent edge; subtrees nest.
+    if (i == 0) {
+      if (parents[0] != kNoParent || depths[0] != 0 ||
+          (count > 0 && ends[0] != count)) {
+        return Status::InvalidArgument("flat block: malformed root");
+      }
+    } else {
+      const uint32_t parent = parents[i];
+      if (parent >= i || depths[i] != depths[parent] + 1 ||
+          ends[i] > ends[parent]) {
+        return Status::InvalidArgument("flat block: malformed tree links");
+      }
+    }
+    if (ends[i] <= i || ends[i] > count) {
+      return Status::InvalidArgument("flat block: malformed subtree range");
+    }
+  }
+
+  count_ = element_count;
+  block_bytes_ = block_bytes;
+  names_ = names;
+  parents_ = parents;
+  depths_ = depths;
+  subtree_end_ = ends;
+  text_off_ = offsets;
+  text_ = base + ints_bytes;
+  lower_ = base + ints_bytes + text_size;
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<FlatDoc>> FlatDoc::FromOwnedBlock(
+    std::unique_ptr<char[]> block, size_t block_bytes, uint32_t element_count,
+    NameId name_limit) {
+  std::unique_ptr<FlatDoc> doc(new FlatDoc());
+  Status status = doc->InitFromBlock(block.get(), block_bytes, element_count,
+                                     name_limit);
+  if (!status.ok()) return status;
+  doc->block_ = std::move(block);
+  return doc;
+}
+
+StatusOr<std::unique_ptr<FlatDoc>> FlatDoc::FromMappedBlock(
+    const char* data, size_t block_bytes, uint32_t element_count,
+    NameId name_limit) {
+  if (reinterpret_cast<uintptr_t>(data) % alignof(uint32_t) != 0) {
+    return Status::InvalidArgument("flat block: mapped bytes misaligned");
+  }
+  std::unique_ptr<FlatDoc> doc(new FlatDoc());
+  Status status =
+      doc->InitFromBlock(data, block_bytes, element_count, name_limit);
+  if (!status.ok()) return status;
+  return doc;
+}
+
 }  // namespace webre

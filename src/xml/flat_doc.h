@@ -6,6 +6,7 @@
 #include <memory>
 #include <string_view>
 
+#include "util/status.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
 
@@ -51,6 +52,27 @@ class FlatDoc {
   /// longer needed afterwards).
   static std::unique_ptr<FlatDoc> Freeze(const Node& root);
 
+  /// Reconstructs a FlatDoc from the exact bytes block_data() exposes
+  /// (the storage layer's WAL records and snapshot DOCS section carry
+  /// them verbatim). The block is structurally validated — parent links
+  /// acyclic and in-range, subtree ranges nested, text offsets
+  /// monotonic, every NameId below `name_limit` — so a corrupted or
+  /// hostile block yields InvalidArgument, never out-of-range reads
+  /// later. Takes ownership of `block` (which must hold `block_bytes`).
+  static StatusOr<std::unique_ptr<FlatDoc>> FromOwnedBlock(
+      std::unique_ptr<char[]> block, size_t block_bytes,
+      uint32_t element_count, NameId name_limit);
+
+  /// Same validation over externally-owned bytes (an mmap-ed snapshot):
+  /// the FlatDoc becomes a non-owning *view* — zero copy, near-zero
+  /// warmup — and `data` must stay mapped and unchanged for the
+  /// FlatDoc's lifetime. `data` must be 4-byte aligned (the snapshot
+  /// format 8-aligns blocks; misalignment is rejected, callers then
+  /// fall back to a copying load).
+  static StatusOr<std::unique_ptr<FlatDoc>> FromMappedBlock(
+      const char* data, size_t block_bytes, uint32_t element_count,
+      NameId name_limit);
+
   FlatDoc(const FlatDoc&) = delete;
   FlatDoc& operator=(const FlatDoc&) = delete;
 
@@ -90,8 +112,27 @@ class FlatDoc {
   /// steady-state footprint; exported as mem.flat_bytes).
   size_t block_bytes() const { return block_bytes_; }
 
+  /// The backing block's raw bytes ([block_data, block_data +
+  /// block_bytes)); with element_count they are sufficient to rebuild
+  /// the document via FromOwnedBlock — the storage serialization
+  /// surface. Layout: names, parents, depths, subtree_end (count u32s
+  /// each), text_off (count+1 u32s), raw text pool, lowered text pool.
+  const char* block_data() const {
+    return reinterpret_cast<const char*>(names_);
+  }
+
+  /// True when this FlatDoc views externally-owned bytes (a mapped
+  /// snapshot) instead of owning its block.
+  bool is_view() const { return block_ == nullptr; }
+
  private:
   FlatDoc() = default;
+
+  /// Wires the array pointers into `base` (owned or mapped) and
+  /// validates every structural invariant. Returns InvalidArgument on
+  /// the first violation.
+  Status InitFromBlock(const char* base, size_t block_bytes,
+                       uint32_t element_count, NameId name_limit);
 
   uint32_t count_ = 0;
   size_t block_bytes_ = 0;

@@ -1,0 +1,234 @@
+// Differential tests for the durable repository: a snapshot and/or WAL
+// reload must be observationally identical to a fresh in-memory build
+// over the same documents — query results (and the deterministic
+// query.* counters) byte-for-byte, across shard counts, re-sharded
+// reopens, and pointer-mode (--no-flat) ingest followed by a
+// checkpoint (DESIGN.md §14).
+
+#include <sys/stat.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "repository/repository.h"
+#include "storage/durable_repository.h"
+#include "storage/snapshot.h"
+#include "util/rng.h"
+#include "xml/node.h"
+
+namespace webre {
+namespace storage {
+namespace {
+
+constexpr size_t kDocs = 40;
+
+const char* const kQueries[] = {
+    "/resume/EDUCATION/DATE",
+    "//DATE",
+    "//LANGUAGE[val~\"java\"]",
+    "//LOCATION",
+    "/resume/*/PHONE",
+    "//*[val~\"199\"]",
+};
+
+std::unique_ptr<Node> MakeDoc(size_t index) {
+  Rng rng(0xABCDEFu + index);
+  std::unique_ptr<Node> root = Node::MakeElement("resume");
+  Node* contact = root->AddElement("CONTACT");
+  contact->AddElement("LOCATION")->set_val(
+      "city-" + std::to_string(rng.NextBelow(20)));
+  if (rng.NextBool(0.6)) {
+    contact->AddElement("PHONE")->set_val(
+        "555-" + std::to_string(rng.NextBelow(9999)));
+  }
+  Node* education = root->AddElement("EDUCATION");
+  const size_t degrees = 1 + rng.NextBelow(3);
+  for (size_t d = 0; d < degrees; ++d) {
+    Node* date = education->AddElement("DATE");
+    date->set_val(std::to_string(1990 + rng.NextBelow(12)));
+    date->AddElement("DEGREE")->set_val(rng.NextBool(0.5) ? "BS" : "MS");
+  }
+  if (rng.NextBool(0.8)) {
+    Node* skills = root->AddElement("SKILLS");
+    skills->AddElement("LANGUAGE")->set_val(rng.NextBool(0.5) ? "Java"
+                                                              : "Prolog");
+  }
+  return root;
+}
+
+// (doc, pos) pairs — the cross-representation comparable part of a
+// match (node/flat pointers differ by construction).
+std::vector<std::pair<DocId, uint32_t>> Run(const XmlRepository& repo,
+                                            const char* query) {
+  auto matches = repo.Query(query);
+  EXPECT_TRUE(matches.ok()) << matches.status();
+  std::vector<std::pair<DocId, uint32_t>> out;
+  for (const QueryMatch& m : *matches) out.emplace_back(m.doc, m.pos);
+  return out;
+}
+
+// Runs every query on both repositories and expects identical results
+// and identical deterministic query counters (shard_tasks excluded —
+// it depends on the shard/chunk split, not on the answers).
+void ExpectEquivalent(const XmlRepository& fresh,
+                      const XmlRepository& reloaded) {
+  ASSERT_EQ(reloaded.size(), fresh.size());
+  for (const char* query : kQueries) {
+    EXPECT_EQ(Run(reloaded, query), Run(fresh, query)) << query;
+  }
+  const obs::QueryStatsView a = fresh.query_stats();
+  const obs::QueryStatsView b = reloaded.query_stats();
+  EXPECT_EQ(b.queries, a.queries);
+  EXPECT_EQ(b.index_hits, a.index_hits);
+  EXPECT_EQ(b.prefix_hits, a.prefix_hits);
+  EXPECT_EQ(b.fallback_walks, a.fallback_walks);
+  EXPECT_EQ(b.flat_scans, a.flat_scans);
+  EXPECT_EQ(b.matches, a.matches);
+}
+
+// A fresh, purely in-memory flat repository over the corpus — the
+// ground truth every reload is held to.
+std::unique_ptr<XmlRepository> FreshBuild(size_t num_shards) {
+  RepositoryOptions options;
+  options.num_shards = num_shards;
+  options.query_threads = 1;
+  auto repo = std::make_unique<XmlRepository>(options);
+  for (size_t i = 0; i < kDocs; ++i) {
+    EXPECT_TRUE(repo->Add(MakeDoc(i)).ok());
+  }
+  return repo;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  // Tests may be re-run in the same TempDir; start from nothing.
+  (void)::system(("rm -rf '" + dir + "'").c_str());
+  return dir;
+}
+
+DurableOptions Opts(size_t num_shards) {
+  DurableOptions options;
+  options.repository.num_shards = num_shards;
+  options.repository.query_threads = 1;
+  return options;
+}
+
+TEST(SnapshotReload, CheckpointAcrossShardCounts) {
+  const std::string dir = FreshDir("reload_shards");
+  {
+    auto durable = DurableRepository::Open(dir, Opts(3));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    for (size_t i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE((*durable)->Add(MakeDoc(i)).ok());
+    }
+    ASSERT_TRUE((*durable)->Checkpoint().ok());
+  }
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    auto durable = DurableRepository::Open(dir, Opts(shards));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    // All documents come from the snapshot: zero-copy views, no replay.
+    EXPECT_EQ((*durable)->stats().mmap_hits, kDocs);
+    EXPECT_EQ((*durable)->stats().wal_replayed, 0u);
+    // A fresh baseline per iteration — query counters accumulate.
+    ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+  }
+}
+
+TEST(SnapshotReload, WalOnlyReplay) {
+  const std::string dir = FreshDir("reload_wal_only");
+  {
+    auto durable = DurableRepository::Open(dir, Opts(2));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    for (size_t i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE((*durable)->Add(MakeDoc(i)).ok());
+    }
+    // No checkpoint: everything lives in the WALs.
+  }
+
+  auto durable = DurableRepository::Open(dir, Opts(2));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_EQ((*durable)->stats().wal_replayed, kDocs);
+  EXPECT_EQ((*durable)->stats().mmap_hits, 0u);
+  ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+}
+
+TEST(SnapshotReload, ReshardedReopenRehomesWal) {
+  const std::string dir = FreshDir("reload_reshard");
+  {
+    auto durable = DurableRepository::Open(dir, Opts(4));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    for (size_t i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE((*durable)->Add(MakeDoc(i)).ok());
+    }
+  }
+
+  // Reopen with fewer shards: the four logs' records must be re-homed
+  // into two, with nothing lost...
+  {
+    auto durable = DurableRepository::Open(dir, Opts(2));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    EXPECT_EQ((*durable)->stats().wal_replayed, kDocs);
+    ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+  }
+  // ...and the rewritten directory must replay cleanly once more.
+  {
+    auto durable = DurableRepository::Open(dir, Opts(2));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    EXPECT_EQ((*durable)->stats().wal_replayed, kDocs);
+    ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+  }
+}
+
+TEST(SnapshotReload, CheckpointThenMoreAddsThenReload) {
+  const std::string dir = FreshDir("reload_mixed");
+  {
+    auto durable = DurableRepository::Open(dir, Opts(2));
+    ASSERT_TRUE(durable.ok()) << durable.status();
+    for (size_t i = 0; i < kDocs / 2; ++i) {
+      ASSERT_TRUE((*durable)->Add(MakeDoc(i)).ok());
+    }
+    ASSERT_TRUE((*durable)->Checkpoint().ok());
+    for (size_t i = kDocs / 2; i < kDocs; ++i) {
+      ASSERT_TRUE((*durable)->Add(MakeDoc(i)).ok());
+    }
+  }
+
+  auto durable = DurableRepository::Open(dir, Opts(2));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  // Half from the snapshot, half replayed over it.
+  EXPECT_EQ((*durable)->stats().mmap_hits, kDocs / 2);
+  EXPECT_EQ((*durable)->stats().wal_replayed, kDocs - kDocs / 2);
+  ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+}
+
+TEST(SnapshotReload, PointerModeIngestSnapshotsToFlat) {
+  // Ingest with freeze_flat off (--no-flat): documents stay pointer
+  // trees. A snapshot built from that repository freezes them on the
+  // fly, and a durable open over it serves the same answers flat.
+  RepositoryOptions pointer_options;
+  pointer_options.num_shards = 2;
+  pointer_options.query_threads = 1;
+  pointer_options.freeze_flat = false;
+  XmlRepository pointer_repo(pointer_options);
+  for (size_t i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(pointer_repo.Add(MakeDoc(i)).ok());
+  }
+  ASSERT_NE(pointer_repo.document(0), nullptr);       // trees live
+  ASSERT_EQ(pointer_repo.flat_document(0), nullptr);  // nothing frozen
+
+  const std::string dir = FreshDir("reload_noflat");
+  ::mkdir(dir.c_str(), 0755);
+  ASSERT_TRUE(WriteSnapshotFile(dir, BuildSnapshotImage(pointer_repo)).ok());
+
+  auto durable = DurableRepository::Open(dir, Opts(2));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_EQ((*durable)->stats().mmap_hits, kDocs);
+  ExpectEquivalent(*FreshBuild(2), (*durable)->repo());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace webre

@@ -56,6 +56,7 @@
 #include "obs/trace.h"
 #include "repository/repository.h"
 #include "restructure/recognizer.h"
+#include "storage/durable_repository.h"
 #include "util/file.h"
 #include "util/resource_limits.h"
 #include "xml/writer.h"
@@ -71,6 +72,9 @@ struct CliOptions {
   size_t shards = 0;    // --shards=N (0 = one per hardware thread)
   size_t reps = 50;     // --reps=N (query-bench workload repetitions)
   bool flat = true;     // --no-flat keeps pointer trees in the repository
+  std::string data_dir;            // --data-dir=DIR (durable repository)
+  bool checkpoint = false;         // --checkpoint (snapshot + truncate WALs)
+  std::string wal_sync = "none";   // --wal-sync=none|fdatasync
   bool keep_going = true;
   webre::ResourceLimits limits;
   std::string metrics_json_path;  // --metrics-json=FILE
@@ -101,6 +105,12 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
           static_cast<size_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
     } else if (arg == "--no-flat") {
       options.flat = false;
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.data_dir = arg.substr(11);
+    } else if (arg == "--checkpoint") {
+      options.checkpoint = true;
+    } else if (arg.rfind("--wal-sync=", 0) == 0) {
+      options.wal_sync = arg.substr(11);
     } else if (arg == "--attlist") {
       options.attlist = true;
     } else if (arg == "--keep-going") {
@@ -238,8 +248,8 @@ struct ObsSinks {
         const webre::obs::BudgetLimitsView limits =
             webre::ToBudgetLimitsView(options.limits);
         webre::Status status =
-            webre::WriteFile(options.metrics_json_path,
-                             webre::obs::MetricsToJson(snapshot, &limits));
+            webre::WriteFileAtomic(options.metrics_json_path,
+                                   webre::obs::MetricsToJson(snapshot, &limits));
         if (!status.ok()) {
           Fail(status.ToString());
           code = 1;
@@ -252,7 +262,7 @@ struct ObsSinks {
     }
     if (trace != nullptr) {
       webre::Status status =
-          webre::WriteFile(options.trace_path, trace->ToJson());
+          webre::WriteFileAtomic(options.trace_path, trace->ToJson());
       if (!status.ok()) {
         Fail(status.ToString());
         code = 1;
@@ -420,6 +430,72 @@ int CmdMap(const CliOptions& options) {
   return code;
 }
 
+// The serving repository a query command uses: plain and in-memory by
+// default; durable (snapshot + WAL under --data-dir) when asked. Both
+// faces expose the same XmlRepository for querying.
+struct RepoHandle {
+  std::unique_ptr<webre::XmlRepository> plain;
+  std::unique_ptr<webre::storage::DurableRepository> durable;
+  webre::XmlRepository* repo = nullptr;
+
+  // Returns a non-OK status when the data dir cannot be opened (a
+  // corrupt snapshot, or one from an incompatible format version).
+  webre::Status Open(const CliOptions& options) {
+    webre::RepositoryOptions repo_options;
+    repo_options.num_shards = options.shards;
+    repo_options.query_threads = options.threads;
+    repo_options.freeze_flat = options.flat;
+    if (options.data_dir.empty()) {
+      plain = std::make_unique<webre::XmlRepository>(repo_options);
+      repo = plain.get();
+      return webre::Status::Ok();
+    }
+    webre::storage::DurableOptions durable_options;
+    durable_options.repository = repo_options;
+    // Durable storage always serves the flat representation; a
+    // pointer-tree repository cannot be mmapped back.
+    durable_options.repository.freeze_flat = true;
+    if (options.wal_sync == "fdatasync") {
+      durable_options.wal_sync = webre::storage::WalSyncMode::kFdatasync;
+    } else if (options.wal_sync != "none") {
+      return webre::Status::InvalidArgument(
+          "--wal-sync must be none or fdatasync, got " + options.wal_sync);
+    }
+    auto opened =
+        webre::storage::DurableRepository::Open(options.data_dir,
+                                                durable_options);
+    if (!opened.ok()) return opened.status();
+    durable = std::move(opened).value();
+    repo = &durable->repo();
+    return webre::Status::Ok();
+  }
+
+  webre::StatusOr<webre::DocId> Add(std::unique_ptr<webre::Node> document,
+                                    std::shared_ptr<webre::NodeArena> arena) {
+    return durable != nullptr ? durable->Add(std::move(document),
+                                             std::move(arena))
+                              : repo->Add(std::move(document),
+                                          std::move(arena));
+  }
+
+  // Renders the storage.* sinks and the optional --checkpoint cycle.
+  // Returns 0, or 1 when the checkpoint failed.
+  int Finish(const CliOptions& options, const ObsSinks& sinks) {
+    if (durable == nullptr) {
+      if (options.checkpoint) return Fail("--checkpoint requires --data-dir");
+      return 0;
+    }
+    if (options.checkpoint) {
+      webre::Status status = durable->Checkpoint();
+      if (!status.ok()) return Fail(status.ToString());
+    }
+    if (sinks.metrics != nullptr) {
+      sinks.metrics->MergeStorageStats(durable->stats());
+    }
+    return 0;
+  }
+};
+
 int CmdQuery(const CliOptions& options) {
   if (options.args.size() < 2) {
     return Fail("usage: webre query QUERY FILE...");
@@ -440,20 +516,29 @@ int CmdQuery(const CliOptions& options) {
     sinks.Finish(options);
     return code;
   }
-  webre::RepositoryOptions repo_options;
-  repo_options.num_shards = options.shards;
-  repo_options.query_threads = options.threads;
-  repo_options.freeze_flat = options.flat;
-  webre::XmlRepository repo(repo_options);
+  RepoHandle handle;
+  if (webre::Status status = handle.Open(options); !status.ok()) {
+    sinks.Finish(options);
+    return Fail(status.ToString());
+  }
+  webre::XmlRepository& repo = *handle.repo;
   // The repository is packed with surviving documents only, so repo doc
   // ids must be mapped back to input paths. Each document's arena is
-  // handed over too: in flat mode it is released at freeze time.
+  // handed over too: in flat mode it is released at freeze time. With
+  // --data-dir the repository may already hold documents recovered from
+  // disk; those ids precede `first_new` and report the data dir as
+  // their source.
+  const size_t first_new = repo.size();
   std::vector<size_t> repo_to_input;
   for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
     if (result.mapped_documents[i] == nullptr) continue;  // failed doc
-    repo.Add(std::move(result.mapped_documents[i]),
-             i < result.arenas.size() ? result.arenas[i] : nullptr)
-        .value();
+    auto added = handle.Add(
+        std::move(result.mapped_documents[i]),
+        i < result.arenas.size() ? result.arenas[i] : nullptr);
+    if (!added.ok()) {
+      sinks.Finish(options);
+      return Fail(added.status().ToString());
+    }
     repo_to_input.push_back(i);
   }
   auto matches = repo.Query(query);
@@ -463,14 +548,21 @@ int CmdQuery(const CliOptions& options) {
   }
   const webre::NameTable& names = webre::NameTable::Global();
   for (const webre::QueryMatch& match : *matches) {
-    std::printf("%s: <%s val=\"%s\">\n",
-                paths[repo_to_input[match.doc]].c_str(),
+    const char* source =
+        match.doc >= first_new
+            ? paths[repo_to_input[match.doc - first_new]].c_str()
+            : options.data_dir.c_str();
+    std::printf("%s: <%s val=\"%s\">\n", source,
                 std::string(names.NameOf(match.name())).c_str(),
                 std::string(match.val()).c_str());
   }
   std::fprintf(stderr, "webre: %zu matches\n", matches->size());
   if (sinks.metrics != nullptr) {
     sinks.metrics->MergeQueryStats(repo.query_stats());
+  }
+  if (handle.Finish(options, sinks) != 0) {
+    sinks.Finish(options);
+    return 1;
   }
   sinks.Finish(options);
   return code;
@@ -498,16 +590,18 @@ int CmdQueryBench(const CliOptions& options) {
     return Fail("conversion aborted; no repository to benchmark");
   }
 
-  webre::RepositoryOptions repo_options;
-  repo_options.num_shards = options.shards;
-  repo_options.query_threads = options.threads;
-  repo_options.freeze_flat = options.flat;
-  webre::XmlRepository repo(repo_options);
+  RepoHandle handle;
+  if (webre::Status status = handle.Open(options); !status.ok()) {
+    sinks.Finish(options);
+    return Fail(status.ToString());
+  }
+  webre::XmlRepository& repo = *handle.repo;
   const double load_begin = webre::obs::MonotonicSeconds();
   for (size_t i = 0; i < result.mapped_documents.size(); ++i) {
     auto& doc = result.mapped_documents[i];
     if (doc == nullptr) continue;  // failed doc
-    repo.Add(std::move(doc),
+    handle
+        .Add(std::move(doc),
              i < result.arenas.size() ? result.arenas[i] : nullptr)
         .value();
   }
@@ -558,6 +652,20 @@ int CmdQueryBench(const CliOptions& options) {
               static_cast<unsigned long long>(stats.shard_tasks));
   if (sinks.metrics != nullptr) {
     sinks.metrics->MergeQueryStats(stats);
+  }
+  const int storage_code = handle.Finish(options, sinks);
+  if (handle.durable != nullptr) {
+    const webre::obs::StorageStatsView storage = handle.durable->stats();
+    std::printf("storage: %llu wal appends, %llu replayed, %llu mmap hits, "
+                "snapshot %llu bytes\n",
+                static_cast<unsigned long long>(storage.wal_appends),
+                static_cast<unsigned long long>(storage.wal_replayed),
+                static_cast<unsigned long long>(storage.mmap_hits),
+                static_cast<unsigned long long>(storage.snapshot_bytes));
+  }
+  if (storage_code != 0) {
+    sinks.Finish(options);
+    return 1;
   }
   return sinks.Finish(options);
 }
@@ -610,6 +718,11 @@ void PrintHelp(std::FILE* out) {
       "  --reps=N              query-bench workload repetitions (default 50)\n"
       "  --no-flat             keep pointer trees instead of freezing\n"
       "                        documents into the flat representation\n"
+      "  --data-dir=DIR        durable repository: recover state from DIR\n"
+      "                        (snapshot + WALs) and log admissions\n"
+      "  --wal-sync=MODE       WAL durability: none (default) or fdatasync\n"
+      "  --checkpoint          write a snapshot and truncate the WALs\n"
+      "                        before exiting (requires --data-dir)\n"
       "fault isolation:\n"
       "  --keep-going          record failures, continue (default)\n"
       "  --no-keep-going       any failed document aborts the batch\n"
