@@ -1,0 +1,210 @@
+// Serving bench: the network front end under open-loop load.
+//
+// Builds a repository from generated resumes, starts an in-process
+// Server on an ephemeral loopback port, and drives it with the shared
+// loadgen library (the same arrival process and latency accounting the
+// tools/loadgen binary uses) in two arms:
+//
+//   read_only — path queries only. Steady state is cache hits: the
+//               generation-keyed result cache answers repeats without
+//               re-evaluating, so this arm measures the wire + loop +
+//               cache path.
+//   mixed     — 10% ingests (full HTML conversion + admission). Every
+//               ingest bumps its shard's generation, invalidating
+//               cached results, so this arm measures the cache under
+//               churn plus convert-on-the-worker-pool latency.
+//
+// The binary fails (exit 1) when any response was an error — sheds are
+// reported but only count as failure for the read_only arm, which is
+// provisioned to stay under the admission limits.
+//
+// Prints one JSON object to stdout; the checked-in BENCH_serving.json
+// is a captured full run on the reference container (1 core).
+// ci/bench_smoke.sh replays a tiny run and asserts the artifact's
+// floors (achieved_qps >= 0.9 * target on read_only, errors == 0).
+//
+// Usage: bench_serving [--docs=N] [--qps=F] [--mixed-qps=F]
+//                      [--duration=F] [--connections=N] [--workers=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+struct Flags {
+  size_t docs = 200;
+  double qps = 1200.0;        // read_only target
+  double mixed_qps = 400.0;   // mixed target
+  double duration_s = 2.0;
+  size_t connections = 2;
+  size_t workers = 2;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--docs=", 0) == 0) {
+      flags.docs = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      flags.qps = std::strtod(arg.c_str() + 6, nullptr);
+    } else if (arg.rfind("--mixed-qps=", 0) == 0) {
+      flags.mixed_qps = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      flags.duration_s = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      flags.connections = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      flags.workers = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+const char* const kQueries[] = {
+    "/resume/EDUCATION/DATE",
+    "/resume/SKILLS/LANGUAGE",
+    "/resume/CONTACT/LOCATION/EMAIL",
+    "//DATE",
+    "//LANGUAGE[val~\"java\"]",
+    "/resume/EXPERIENCE//DATE",
+    "//LOCATION/*",
+    "/resume/EDUCATION[val~\"univ\"]/DATE",
+};
+
+// One arm's JSON: the loadgen report plus the serve.* counter deltas
+// attributed to it.
+std::string ArmJson(const webre::serve::LoadgenReport& report,
+                    double target_qps, double write_fraction,
+                    const webre::obs::ServeStatsView& before,
+                    const webre::obs::ServeStatsView& after) {
+  std::string out = webre::serve::LoadgenReportToJson(report, target_qps,
+                                                      write_fraction);
+  out.pop_back();  // strip '}', append the counter deltas
+  out += ",\"cache_hits\":" +
+         std::to_string(after.cache_hits - before.cache_hits);
+  out += ",\"cache_misses\":" +
+         std::to_string(after.cache_misses - before.cache_misses);
+  out += ",\"shed_requests\":" +
+         std::to_string(after.shed_requests - before.shed_requests);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  webre::ConceptSet concepts = webre::ResumeConcepts();
+  webre::ConstraintSet constraints = webre::ResumeConstraints();
+  webre::SynonymRecognizer recognizer(&concepts);
+  webre::DocumentConverter converter(&concepts, &recognizer, &constraints);
+
+  webre::RepositoryOptions repo_options;
+  repo_options.num_shards = 4;
+  webre::XmlRepository repo(repo_options);
+  for (size_t i = 0; i < flags.docs; ++i) {
+    repo.Add(converter.Convert(webre::GenerateResume(i).html)).value();
+  }
+
+  webre::serve::ServeContext context;
+  context.repo = &repo;
+  context.converter = &converter;
+  webre::serve::ServeOptions serve_options;
+  serve_options.worker_threads = flags.workers;
+  serve_options.max_clients = flags.connections + 4;
+  webre::serve::Server server(context, serve_options);
+  if (webre::Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "bench_serving: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  webre::serve::LoadgenOptions load;
+  load.port = server.port();
+  load.duration_s = flags.duration_s;
+  load.connections = flags.connections;
+  for (const char* query : kQueries) load.queries.push_back(query);
+  for (size_t i = 0; i < 8; ++i) {
+    load.ingest_bodies.push_back(
+        webre::GenerateResume(flags.docs + i).html);
+  }
+
+  // Arm 1: read-only at the higher target.
+  load.target_qps = flags.qps;
+  load.write_fraction = 0.0;
+  load.seed = 1;
+  const webre::obs::ServeStatsView before_read = server.stats().view;
+  auto read_only = webre::serve::RunLoadgen(load);
+  const webre::obs::ServeStatsView after_read = server.stats().view;
+
+  // Arm 2: 10% ingests at the mixed target.
+  load.target_qps = flags.mixed_qps;
+  load.write_fraction = 0.1;
+  load.seed = 2;
+  auto mixed = webre::serve::RunLoadgen(load);
+  const webre::obs::ServeStatsView after_mixed = server.stats().view;
+  server.Stop();
+
+  if (!read_only.ok() || !mixed.ok()) {
+    std::fprintf(stderr, "bench_serving: loadgen failed: %s\n",
+                 (!read_only.ok() ? read_only.status() : mixed.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  std::printf("{\n  \"bench\": \"bench_serving\",\n");
+  std::printf("  \"corpus\": {\"generator\": \"GenerateResume\", "
+              "\"documents\": %zu, \"shards\": 4, \"connections\": %zu, "
+              "\"workers\": %zu, \"duration_s\": %.1f},\n",
+              flags.docs, flags.connections, flags.workers,
+              flags.duration_s);
+  std::printf("  \"arms\": {\n    \"read_only\": %s,\n    \"mixed\": %s\n"
+              "  },\n",
+              ArmJson(*read_only, flags.qps, 0.0, before_read, after_read)
+                  .c_str(),
+              ArmJson(*mixed, flags.mixed_qps, 0.1, after_read, after_mixed)
+                  .c_str());
+  const uint64_t read_lookups = (after_read.cache_hits -
+                                 before_read.cache_hits) +
+                                (after_read.cache_misses -
+                                 before_read.cache_misses);
+  std::printf("  \"derived\": {\"read_only_qps_ratio\": %.3f, "
+              "\"mixed_qps_ratio\": %.3f, "
+              "\"read_only_cache_hit_rate\": %.3f}\n}\n",
+              flags.qps > 0 ? read_only->achieved_qps / flags.qps : 0.0,
+              flags.mixed_qps > 0 ? mixed->achieved_qps / flags.mixed_qps
+                                  : 0.0,
+              read_lookups > 0
+                  ? static_cast<double>(after_read.cache_hits -
+                                        before_read.cache_hits) /
+                        static_cast<double>(read_lookups)
+                  : 0.0);
+
+  if (read_only->errors != 0 || mixed->errors != 0 ||
+      read_only->shed != 0) {
+    std::fprintf(stderr,
+                 "bench_serving: FAILED (read errors %llu shed %llu, "
+                 "mixed errors %llu)\n",
+                 static_cast<unsigned long long>(read_only->errors),
+                 static_cast<unsigned long long>(read_only->shed),
+                 static_cast<unsigned long long>(mixed->errors));
+    return 1;
+  }
+  return 0;
+}

@@ -26,9 +26,21 @@
 #      re-conversion at 4000 documents) and mmap_hits == documents (a
 #      snapshot that silently fell back to copies fails here).
 #
+#   8. bench_serving starts an in-process server and drives it with the
+#      shared open-loop loadgen (read-only and mixed arms; the run
+#      itself fails on any error response) and must emit the
+#      serving-bench schema;
+#   9. the checked-in BENCH_serving.json artifact is validated against
+#      the same schema, including the recorded floors the serving layer
+#      is judged by: read_only achieved_qps >= 0.9 * target_qps, zero
+#      errors and zero sheds in both recorded arms, and a read-only
+#      cache hit rate >= 0.9 (a cache that stopped serving repeats
+#      fails here).
+#
 #   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json> \
 #                         <bench_query> <BENCH_query.json> \
-#                         <bench_storage> <BENCH_storage.json>
+#                         <bench_storage> <BENCH_storage.json> \
+#                         <bench_serving> <BENCH_serving.json>
 #
 # Run as a ctest (bench_smoke). Live-run timings are NOT asserted here —
 # a smoke run on a loaded CI box says nothing about steady-state
@@ -36,10 +48,11 @@
 # figures are checked.
 set -eu
 
-if [ "$#" -ne 7 ]; then
+if [ "$#" -ne 9 ]; then
   echo "usage: $0 <bench_micro> <bench_memory> <BENCH_memory.json>" \
        "<bench_query> <BENCH_query.json>" \
-       "<bench_storage> <BENCH_storage.json>" >&2
+       "<bench_storage> <BENCH_storage.json>" \
+       "<bench_serving> <BENCH_serving.json>" >&2
   exit 64
 fi
 
@@ -50,14 +63,18 @@ bench_query="$4"
 query_artifact="$5"
 bench_storage="$6"
 storage_artifact="$7"
+bench_serving="$8"
+serving_artifact="$9"
 
-for bin in "$bench_micro" "$bench_memory" "$bench_query" "$bench_storage"; do
+for bin in "$bench_micro" "$bench_memory" "$bench_query" "$bench_storage" \
+           "$bench_serving"; do
   if [ ! -x "$bin" ]; then
     echo "FAIL: benchmark binary not executable: $bin" >&2
     exit 1
   fi
 done
-for file in "$artifact" "$query_artifact" "$storage_artifact"; do
+for file in "$artifact" "$query_artifact" "$storage_artifact" \
+            "$serving_artifact"; do
   if [ ! -r "$file" ]; then
     echo "FAIL: artifact not readable: $file" >&2
     exit 1
@@ -93,6 +110,17 @@ fi
 # the binary itself fails when the two arms' match counts disagree.
 "$bench_query" --docs=48 --shards=3 --reps=2 >"$tmpdir/query.json" || {
   echo "FAIL: bench_query smoke run failed" >&2
+  exit 1
+}
+
+# 8. A tiny live bench_serving run must produce a schema-valid record;
+# the binary itself fails when any response came back as an error, so a
+# broken decoder, admission layer or cache shows up as a smoke failure,
+# not just a schema mismatch. Low targets keep it honest on a loaded
+# CI box — throughput floors are asserted on the artifact only.
+"$bench_serving" --docs=24 --qps=120 --mixed-qps=60 --duration=0.5 \
+    >"$tmpdir/serving.json" || {
+  echo "FAIL: bench_serving smoke run failed" >&2
   exit 1
 }
 
@@ -274,4 +302,75 @@ with open(sys.argv[2]) as f:
     check_record(json.load(f), "BENCH_storage.json artifact",
                  assert_floors=True)
 print("OK: live bench_storage record and BENCH_storage.json validate")
+EOF
+
+python3 - "$tmpdir/serving.json" "$serving_artifact" <<'EOF'
+import json
+import sys
+
+ARM_KEYS = [
+    "target_qps", "write_fraction", "sent", "responses", "ok", "shed",
+    "errors", "wall_s", "offered_qps", "achieved_qps", "mean_us",
+    "p50_us", "p90_us", "p99_us", "p999_us", "max_us", "cache_hits",
+    "cache_misses", "shed_requests",
+]
+
+
+def check_record(record, where, assert_floors):
+    for key in ("bench", "corpus", "arms", "derived"):
+        if key not in record:
+            raise SystemExit(f"FAIL: {where}: missing key '{key}'")
+    if record["bench"] != "bench_serving":
+        raise SystemExit(f"FAIL: {where}: wrong bench name")
+    for name in ("read_only", "mixed"):
+        if name not in record["arms"]:
+            raise SystemExit(f"FAIL: {where}: missing arm '{name}'")
+        arm = record["arms"][name]
+        for key in ARM_KEYS:
+            if key not in arm:
+                raise SystemExit(
+                    f"FAIL: {where} arm '{name}': missing key '{key}'")
+        if arm["sent"] <= 0 or arm["wall_s"] <= 0:
+            raise SystemExit(f"FAIL: {where} arm '{name}': empty run")
+        if arm["responses"] != arm["sent"]:
+            raise SystemExit(
+                f"FAIL: {where} arm '{name}': lost responses "
+                f"({arm['responses']}/{arm['sent']})")
+        if not (arm["p50_us"] <= arm["p99_us"] <= arm["p999_us"]
+                <= arm["max_us"]):
+            raise SystemExit(
+                f"FAIL: {where} arm '{name}': percentiles not monotone")
+    for key in ("read_only_qps_ratio", "mixed_qps_ratio",
+                "read_only_cache_hit_rate"):
+        if key not in record["derived"]:
+            raise SystemExit(f"FAIL: {where}: missing derived '{key}'")
+    if assert_floors:
+        # The artifact records a full steady-state run on the reference
+        # container; its figures are constants of the checked-in file,
+        # so the serving acceptance floors are asserted here (live
+        # smoke runs on a loaded CI box say nothing about throughput).
+        ro = record["arms"]["read_only"]
+        mixed = record["arms"]["mixed"]
+        if ro["achieved_qps"] < 0.9 * ro["target_qps"]:
+            raise SystemExit(
+                f"FAIL: {where}: read_only achieved_qps "
+                f"({ro['achieved_qps']}) below 0.9 x target "
+                f"({ro['target_qps']})")
+        for name, arm in (("read_only", ro), ("mixed", mixed)):
+            if arm["errors"] != 0 or arm["shed"] != 0:
+                raise SystemExit(
+                    f"FAIL: {where}: arm '{name}' recorded errors/sheds")
+        if record["derived"]["read_only_cache_hit_rate"] < 0.9:
+            raise SystemExit(
+                f"FAIL: {where}: read-only cache hit rate below 0.9 — "
+                "the generation-keyed cache is not serving repeats")
+
+
+with open(sys.argv[1]) as f:
+    check_record(json.load(f), "live bench_serving output",
+                 assert_floors=False)
+with open(sys.argv[2]) as f:
+    check_record(json.load(f), "BENCH_serving.json artifact",
+                 assert_floors=True)
+print("OK: live bench_serving record and BENCH_serving.json validate")
 EOF

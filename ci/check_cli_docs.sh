@@ -8,6 +8,11 @@
 # other fails the check. Run as a ctest (docs_cli_consistency), so an
 # undocumented flag — or documentation for a flag that no longer
 # exists — breaks the default test suite instead of rotting silently.
+#
+# Additionally, every `serve.*` and `storage.*` counter the binary
+# actually emits in `--metrics-json` must be named in CLI.md: these
+# groups are the serving/storage operational surface, and an exported
+# counter nobody can look up is an exported counter nobody trusts.
 set -eu
 
 if [ "$#" -ne 2 ]; then
@@ -54,5 +59,34 @@ fi
 if [ "$status" -eq 0 ]; then
   count="$(wc -l < "$tmpdir/from_help")"
   echo "OK: $count flags consistent between 'webre help' and $cli_md"
+fi
+
+# Counter coverage: a minimal metrics-producing run emits the full fixed
+# key set (zeros included), so the emitted serve.*/storage.* names are
+# exactly what operators will see. Each must appear verbatim in CLI.md.
+if ! "$webre_bin" demo 1 --metrics-json="$tmpdir/metrics.json" \
+    >/dev/null 2>&1; then
+  echo "FAIL: 'webre demo 1 --metrics-json' run failed" >&2
+  exit 1
+fi
+emitted="$(grep -o -- '"\(serve\|storage\)\.[a-z_]*"' "$tmpdir/metrics.json" \
+  | tr -d '"' | sort -u)"
+if [ -z "$emitted" ]; then
+  echo "FAIL: --metrics-json emitted no serve.*/storage.* counters" >&2
+  exit 1
+fi
+missing=""
+for counter in $emitted; do
+  if ! grep -q -- "$counter" "$cli_md"; then
+    missing="$missing $counter"
+  fi
+done
+if [ -n "$missing" ]; then
+  echo "FAIL: counters emitted in --metrics-json but undocumented in" \
+       "$cli_md:$missing" >&2
+  status=1
+else
+  count="$(echo "$emitted" | wc -l)"
+  echo "OK: $count serve.*/storage.* metrics counters all documented"
 fi
 exit "$status"

@@ -1,0 +1,139 @@
+// Fuzz target: the wire-protocol request/response decoders
+// (serve/frame). Any byte stream fed to FrameDecoder must end in
+// kNeedMore or kBad — never a crash, hang, over-read or unbounded
+// buffering past the frame cap. What DOES decode must round-trip:
+// re-encoding a decoded frame and decoding it again yields the same
+// frame, and chunked delivery (the network's framing) yields the same
+// frame sequence as one contiguous append. The JSON-lines debug parser
+// gets every input line too.
+//
+// The seed corpus (corpus/frames) is real traffic captured by
+// `loadgen --capture-frames` — query and ingest frames plus JSON
+// debug-mode lines — so mutations explore the format's interior.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/frame.h"
+
+namespace {
+
+constexpr size_t kMaxFrame = 1u << 20;
+constexpr size_t kMaxFrames = 1024;
+
+using webre::serve::FrameDecoder;
+using webre::serve::FrameStatus;
+using webre::serve::Request;
+using webre::serve::Response;
+
+// Decodes every request frame in `input`, appending `chunk` bytes at a
+// time (0 = all at once). Returns the decoded requests; `bad` reports
+// whether the stream ended in a framing error.
+std::vector<Request> DecodeRequests(std::string_view input, size_t chunk,
+                                    bool& bad) {
+  FrameDecoder decoder(kMaxFrame);
+  std::vector<Request> requests;
+  bad = false;
+  size_t fed = 0;
+  for (;;) {
+    Request request;
+    const FrameStatus status = decoder.NextRequest(request);
+    if (status == FrameStatus::kFrame) {
+      if (requests.size() < kMaxFrames) requests.push_back(request);
+      continue;
+    }
+    if (status == FrameStatus::kBad) {
+      bad = true;
+      return requests;
+    }
+    if (fed >= input.size()) return requests;  // kNeedMore, stream done
+    const size_t n =
+        chunk == 0 ? input.size() - fed
+                   : (chunk < input.size() - fed ? chunk : input.size() - fed);
+    decoder.Append(input.substr(fed, n));
+    fed += n;
+  }
+}
+
+void CheckRequestRoundTrip(const Request& request) {
+  std::string encoded;
+  EncodeRequest(request, encoded);
+  FrameDecoder decoder(kMaxFrame);
+  decoder.Append(encoded);
+  Request again;
+  if (decoder.NextRequest(again) != FrameStatus::kFrame ||
+      again.type != request.type || again.id != request.id ||
+      again.body != request.body) {
+    abort();
+  }
+}
+
+void ExerciseResponses(std::string_view input) {
+  FrameDecoder decoder(kMaxFrame);
+  decoder.Append(input);
+  Response response;
+  size_t frames = 0;
+  while (frames < kMaxFrames &&
+         decoder.NextResponse(response) == FrameStatus::kFrame) {
+    ++frames;
+    // encode(decode(x)) must be a fixed point of decode∘encode.
+    std::string first;
+    EncodeResponse(response, first);
+    FrameDecoder re(kMaxFrame);
+    re.Append(first);
+    Response again;
+    if (re.NextResponse(again) != FrameStatus::kFrame) abort();
+    std::string second;
+    EncodeResponse(again, second);
+    if (first != second) abort();
+    (void)webre::serve::ResponseToJsonLine(response);
+  }
+}
+
+void ExerciseJsonLines(std::string_view input) {
+  size_t start = 0;
+  size_t lines = 0;
+  while (start <= input.size() && lines < kMaxFrames) {
+    const size_t nl = input.find('\n', start);
+    const std::string_view line =
+        input.substr(start, nl == std::string_view::npos ? input.size() - start
+                                                         : nl - start);
+    ++lines;
+    Request request;
+    if (webre::serve::ParseJsonRequest(line, request).ok()) {
+      CheckRequestRoundTrip(request);
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  bool bad_whole = false;
+  const std::vector<Request> whole = DecodeRequests(input, 0, bad_whole);
+  for (const Request& request : whole) CheckRequestRoundTrip(request);
+
+  // Chunked delivery must reproduce the exact frame sequence: the
+  // decoder's buffering/compaction cannot change what parses.
+  bool bad_chunked = false;
+  const std::vector<Request> chunked = DecodeRequests(input, 7, bad_chunked);
+  if (bad_whole != bad_chunked || whole.size() != chunked.size()) abort();
+  for (size_t i = 0; i < whole.size(); ++i) {
+    if (whole[i].type != chunked[i].type || whole[i].id != chunked[i].id ||
+        whole[i].body != chunked[i].body) {
+      abort();
+    }
+  }
+
+  ExerciseResponses(input);
+  ExerciseJsonLines(input);
+  return 0;
+}

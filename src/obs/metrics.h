@@ -149,6 +149,25 @@ struct QueryStatsView {
   HistogramSnapshot eval_us;    ///< per-query latency, microseconds
 };
 
+/// Snapshot of the network serving front end's counters (serve's
+/// Server exposes one; PipelineMetrics::MergeServeStats folds it into
+/// the batch metrics as the serve.* counter group). The request_us
+/// histogram is served by the server's own stats endpoint and is not
+/// merged into --metrics-json (query latency is already covered by
+/// query_us).
+struct ServeStatsView {
+  uint64_t accepted_connections = 0;  ///< connections accepted since start
+  uint64_t active_connections = 0;    ///< currently open connections
+  uint64_t requests = 0;              ///< request frames/lines decoded
+  uint64_t shed_requests = 0;         ///< shed by admission control
+  uint64_t errors = 0;                ///< non-ok responses besides sheds
+  uint64_t cache_hits = 0;            ///< query answers served from cache
+  uint64_t cache_misses = 0;          ///< query answers evaluated fresh
+  uint64_t cache_evictions = 0;       ///< entries evicted by the byte cap
+  uint64_t max_queue_depth = 0;       ///< in-flight high-water mark
+  HistogramSnapshot request_us;       ///< per-request latency, microseconds
+};
+
 /// Snapshot of the durable storage layer's counters (storage's
 /// DurableRepository exposes one; PipelineMetrics::MergeStorageStats
 /// folds it into the batch metrics as the storage.* counter group).

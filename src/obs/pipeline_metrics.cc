@@ -139,6 +139,15 @@ PipelineMetricsSnapshot::CounterItems() const {
       {"storage.wal_truncated_bytes", storage_wal_truncated_bytes},
       {"storage.snapshot_bytes", storage_snapshot_bytes},
       {"storage.mmap_hits", storage_mmap_hits},
+      {"serve.accepted_connections", serve_accepted_connections},
+      {"serve.active_connections", serve_active_connections},
+      {"serve.requests", serve_requests},
+      {"serve.shed_requests", serve_shed_requests},
+      {"serve.errors", serve_errors},
+      {"serve.cache_hits", serve_cache_hits},
+      {"serve.cache_misses", serve_cache_misses},
+      {"serve.cache_evictions", serve_cache_evictions},
+      {"serve.max_queue_depth", serve_max_queue_depth},
   };
 }
 
@@ -160,6 +169,18 @@ void PipelineMetrics::MergeStorageStats(const StorageStatsView& stats) {
   storage.wal_truncated_bytes.Add(stats.wal_truncated_bytes);
   storage.snapshot_bytes.Add(stats.snapshot_bytes);
   storage.mmap_hits.Add(stats.mmap_hits);
+}
+
+void PipelineMetrics::MergeServeStats(const ServeStatsView& stats) {
+  serve.accepted_connections.Add(stats.accepted_connections);
+  serve.active_connections.Add(stats.active_connections);
+  serve.requests.Add(stats.requests);
+  serve.shed_requests.Add(stats.shed_requests);
+  serve.errors.Add(stats.errors);
+  serve.cache_hits.Add(stats.cache_hits);
+  serve.cache_misses.Add(stats.cache_misses);
+  serve.cache_evictions.Add(stats.cache_evictions);
+  serve.max_queue_depth.Add(stats.max_queue_depth);
 }
 
 void PipelineMetrics::RecordOutcome(const std::string& status_name,
@@ -242,6 +263,15 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.storage_wal_truncated_bytes = storage.wal_truncated_bytes.value();
   snapshot.storage_snapshot_bytes = storage.snapshot_bytes.value();
   snapshot.storage_mmap_hits = storage.mmap_hits.value();
+  snapshot.serve_accepted_connections = serve.accepted_connections.value();
+  snapshot.serve_active_connections = serve.active_connections.value();
+  snapshot.serve_requests = serve.requests.value();
+  snapshot.serve_shed_requests = serve.shed_requests.value();
+  snapshot.serve_errors = serve.errors.value();
+  snapshot.serve_cache_hits = serve.cache_hits.value();
+  snapshot.serve_cache_misses = serve.cache_misses.value();
+  snapshot.serve_cache_evictions = serve.cache_evictions.value();
+  snapshot.serve_max_queue_depth = serve.max_queue_depth.value();
 
   snapshot.budget_steps_used = budget.steps_used.value();
   snapshot.budget_nodes_used = budget.nodes_used.value();

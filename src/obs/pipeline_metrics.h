@@ -57,6 +57,18 @@ struct PipelineMetricsSnapshot {
   uint64_t query_shard_tasks = 0;
   uint64_t query_matches = 0;
 
+  // Serving front-end counters (zero for runs without a server).
+  // Merged in via PipelineMetrics::MergeServeStats.
+  uint64_t serve_accepted_connections = 0;
+  uint64_t serve_active_connections = 0;
+  uint64_t serve_requests = 0;
+  uint64_t serve_shed_requests = 0;
+  uint64_t serve_errors = 0;
+  uint64_t serve_cache_hits = 0;
+  uint64_t serve_cache_misses = 0;
+  uint64_t serve_cache_evictions = 0;
+  uint64_t serve_max_queue_depth = 0;
+
   // Durable-storage counters (zero for runs without --data-dir).
   // Merged in via PipelineMetrics::MergeStorageStats.
   uint64_t storage_wal_appends = 0;
@@ -201,6 +213,17 @@ class PipelineMetrics {
     Counter mmap_hits;
   } storage;
   struct {
+    Counter accepted_connections;
+    Counter active_connections;
+    Counter requests;
+    Counter shed_requests;
+    Counter errors;
+    Counter cache_hits;
+    Counter cache_misses;
+    Counter cache_evictions;
+    Counter max_queue_depth;
+  } serve;
+  struct {
     Counter steps_used;
     Counter nodes_used;
     Counter entities_used;
@@ -225,6 +248,11 @@ class PipelineMetrics {
   /// metrics (the storage.* counter group). Additive like
   /// MergeQueryStats.
   void MergeStorageStats(const StorageStatsView& stats);
+
+  /// Folds a serving front end's counters into the batch metrics (the
+  /// serve.* counter group). Additive like MergeQueryStats; the
+  /// request_us histogram stays with the server's stats endpoint.
+  void MergeServeStats(const ServeStatsView& stats);
 
   /// Folds one document's fate into the batch metrics (cold path; call
   /// once per document, serially for a deterministic message order).

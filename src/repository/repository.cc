@@ -227,6 +227,9 @@ StatusOr<DocId> XmlRepository::Add(std::unique_ptr<Node> document,
     std::unique_lock<std::shared_mutex> lock(summary_mutex_);
     summary_.AddDocument(local, id, flat_ptr);
   }
+  // Publication is complete; only now may cached results keyed on the
+  // previous generation become invalid (SnapshotGenerations contract).
+  shard.generation.fetch_add(1, std::memory_order_release);
   return id;
 }
 
@@ -253,7 +256,15 @@ DocId XmlRepository::AdmitFrozen(std::unique_ptr<FlatDoc> flat,
     std::unique_lock<std::shared_mutex> lock(summary_mutex_);
     summary_.AddDocument(local, id, flat_ptr);
   }
+  shard.generation.fetch_add(1, std::memory_order_release);
   return id;
+}
+
+void XmlRepository::SnapshotGenerations(std::vector<uint64_t>& out) const {
+  out.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out[i] = shards_[i]->generation.load(std::memory_order_acquire);
+  }
 }
 
 StatusOr<DocId> XmlRepository::AddFrozen(std::unique_ptr<FlatDoc> flat,

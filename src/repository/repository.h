@@ -220,6 +220,17 @@ class XmlRepository {
   /// Documents admitted so far (ids are dense: 0 … size()-1).
   size_t size() const { return next_id_.load(std::memory_order_acquire); }
 
+  /// Fills `out` with one monotonic generation counter per shard. A
+  /// shard's counter is bumped once per admission, strictly AFTER the
+  /// document is fully published (shard structures and structural
+  /// summary) — so any reader that observes generation g also observes
+  /// every document the first g admissions of that shard produced. The
+  /// serving layer's query-result cache keys on this vector: a cached
+  /// result is valid exactly while every shard still reports the
+  /// generation it was computed under (src/serve/cache.h, DESIGN.md
+  /// §15). `out` is resized to num_shards().
+  void SnapshotGenerations(std::vector<uint64_t>& out) const;
+
   /// Borrowed pointer to a stored document's tree; null for unknown
   /// ids — and for every document admitted with freeze_flat, where the
   /// tree no longer exists (use flat_document()).
@@ -278,6 +289,9 @@ class XmlRepository {
     FrequentPathMiner miner;
     /// Element count, maintained incrementally at Add.
     size_t elements = 0;
+    /// Admissions completed on this shard; bumped (release) only after
+    /// the document is visible everywhere, read by SnapshotGenerations.
+    std::atomic<uint64_t> generation{0};
   };
 
   /// Shared tail of AddFrozen/RestoreDocument: indexes, feeds the

@@ -1,0 +1,112 @@
+#ifndef WEBRE_SERVE_ADMISSION_H_
+#define WEBRE_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/resource_limits.h"
+
+namespace webre {
+namespace serve {
+
+/// Admission verdict for one request. Admitted requests proceed to a
+/// worker; shed requests are answered immediately with a typed
+/// kOverloaded error carrying `retry_after_ms` — the client backs off
+/// instead of the server stalling (or buffering) under overload.
+struct Admission {
+  bool admitted = true;
+  uint32_t retry_after_ms = 0;
+  /// Which guard shed it ("quota", "in_flight") — for the error message.
+  const char* reason = "";
+};
+
+/// Per-client token-bucket quota (one per connection). The bucket holds
+/// up to `burst` tokens and refills at `per_second`; each request costs
+/// one token. An empty bucket sheds with retry_after_ms = time until a
+/// token accrues. Single-threaded by design: the event loop is the only
+/// caller, so no atomics are needed.
+class TokenBucket {
+ public:
+  /// `per_second` <= 0 disables the quota (always admits).
+  TokenBucket(double per_second, double burst)
+      : rate_(per_second), tokens_(burst < 1.0 ? 1.0 : burst),
+        capacity_(tokens_) {}
+
+  /// Charges one token at time `now_seconds` (monotonic).
+  Admission Admit(double now_seconds) {
+    if (rate_ <= 0.0) return Admission{};
+    if (last_refill_s_ == 0.0) last_refill_s_ = now_seconds;
+    tokens_ += (now_seconds - last_refill_s_) * rate_;
+    if (tokens_ > capacity_) tokens_ = capacity_;
+    last_refill_s_ = now_seconds;
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return Admission{};
+    }
+    Admission shed;
+    shed.admitted = false;
+    const double deficit_s = (1.0 - tokens_) / rate_;
+    shed.retry_after_ms = static_cast<uint32_t>(deficit_s * 1e3) + 1;
+    shed.reason = "quota";
+    return shed;
+  }
+
+ private:
+  double rate_;
+  double tokens_;
+  double capacity_;
+  double last_refill_s_ = 0.0;
+};
+
+/// The server-wide in-flight gate: counts requests dispatched to the
+/// worker pool but not yet answered. Beyond `max_in_flight` the server
+/// sheds instead of queueing without bound — queue depth is the
+/// overload signal, and a bounded queue keeps tail latency bounded.
+/// Thread-safe (the loop admits, workers release).
+class InFlightGate {
+ public:
+  explicit InFlightGate(size_t max_in_flight)
+      : max_in_flight_(max_in_flight) {}
+
+  /// Tries to take a slot. On shed, retry_after_ms is proportional to
+  /// the configured depth — a full queue of slow requests earns a
+  /// longer back-off than a blip.
+  Admission TryAcquire() {
+    size_t current = in_flight_.load(std::memory_order_relaxed);
+    while (current < max_in_flight_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_acq_rel)) {
+        // Track the high-water mark for the serve.max_queue_depth
+        // counter (exposed via ServerStats).
+        depth_high_water_.Record(current + 1);
+        return Admission{};
+      }
+    }
+    Admission shed;
+    shed.admitted = false;
+    shed.retry_after_ms =
+        static_cast<uint32_t>(5 + 5 * (max_in_flight_ > 64 ? 64
+                                                           : max_in_flight_));
+    shed.reason = "in_flight";
+    return shed;
+  }
+
+  void Release() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  size_t current() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  uint64_t high_water() const { return depth_high_water_.value(); }
+
+ private:
+  const size_t max_in_flight_;
+  std::atomic<size_t> in_flight_{0};
+  obs::MaxGauge depth_high_water_;
+};
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_ADMISSION_H_

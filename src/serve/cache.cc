@@ -1,0 +1,120 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+#include "serve/frame.h"
+#include "xml/name_table.h"
+
+namespace webre {
+namespace serve {
+
+bool QueryCache::Lookup(const std::string& key,
+                        const std::vector<uint64_t>& generations,
+                        std::string& body) {
+  if (max_bytes_ == 0) {
+    misses_.Increment();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.Increment();
+    return false;
+  }
+  if (it->second.generations != generations) {
+    // Some shard admitted a document since this entry was computed: the
+    // result may be missing it. Stale entries are never served.
+    EraseLocked(it);
+    misses_.Increment();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  body = it->second.body;
+  hits_.Increment();
+  return true;
+}
+
+bool QueryCache::Insert(const std::string& key,
+                        const std::vector<uint64_t>& generations,
+                        const std::vector<uint64_t>& current,
+                        std::string body) {
+  if (max_bytes_ == 0) return false;
+  if (generations != current) {
+    // An Add raced the evaluation; the generation this result was keyed
+    // under is already history, so the entry could never be served.
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) EraseLocked(it);
+
+  Entry entry;
+  entry.generations = generations;
+  entry.body = std::move(body);
+  const size_t cost = EntryBytes(key, entry);
+  if (cost > max_bytes_) return false;  // larger than the whole cache
+
+  while (bytes_ + cost > max_bytes_ && !lru_.empty()) {
+    EraseLocked(entries_.find(lru_.back()));
+    evictions_.Increment();
+  }
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+  bytes_ += cost;
+  entries_.emplace(key, std::move(entry));
+  return true;
+}
+
+size_t QueryCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void QueryCache::EraseLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  bytes_ -= EntryBytes(it->first, it->second);
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+StatusOr<std::string> CachedQueryBody(const XmlRepository& repo,
+                                      QueryCache& cache,
+                                      std::string_view query_text,
+                                      size_t max_results) {
+  StatusOr<PathQuery> parsed = PathQuery::Parse(query_text);
+  if (!parsed.ok()) return parsed.status();
+  // Parse + ToString canonicalizes spelling, so "//DATE" and "// DATE"
+  // variants that parse identically share one entry.
+  const std::string key = parsed->ToString();
+
+  std::vector<uint64_t> generations;
+  repo.SnapshotGenerations(generations);
+  std::string body;
+  if (cache.Lookup(key, generations, body)) return body;
+
+  const std::vector<QueryMatch> matches = repo.Query(*parsed);
+  Response response;
+  response.type = MsgType::kQuery;
+  response.total_matches = matches.size();
+  const size_t returned =
+      matches.size() < max_results ? matches.size() : max_results;
+  response.matches.reserve(returned);
+  const NameTable& names = NameTable::Global();
+  for (size_t i = 0; i < returned; ++i) {
+    WireMatch match;
+    match.doc = matches[i].doc;
+    match.pos = matches[i].pos;
+    match.name.assign(names.NameOf(matches[i].name()));
+    match.val.assign(matches[i].val());
+    response.matches.push_back(std::move(match));
+  }
+  EncodeResponseBody(response, body);
+
+  std::vector<uint64_t> current;
+  repo.SnapshotGenerations(current);
+  cache.Insert(key, generations, current, body);
+  return body;
+}
+
+}  // namespace serve
+}  // namespace webre

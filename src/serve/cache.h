@@ -1,0 +1,113 @@
+#ifndef WEBRE_SERVE_CACHE_H_
+#define WEBRE_SERVE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "repository/repository.h"
+
+namespace webre {
+namespace serve {
+
+/// A bounded, generation-keyed cache of encoded query-response bodies —
+/// the serving layer's first cross-request reuse: two clients asking
+/// the same (normalized) query between the same two admissions share
+/// one evaluation and one serialization.
+///
+/// Correctness protocol (proof sketch in DESIGN.md §15): every entry
+/// stores the repository's per-shard generation vector read BEFORE the
+/// query was evaluated; Insert re-reads the vector and drops the entry
+/// if any shard advanced meanwhile; Lookup serves an entry only while
+/// the current vector still equals the stored one. Since a shard bumps
+/// its generation strictly AFTER publishing a document
+/// (XmlRepository::SnapshotGenerations contract), an entry can never be
+/// served once any shard it could have missed a document of has
+/// acknowledged that document.
+///
+/// Eviction is LRU by byte footprint (keys + bodies), capped by
+/// `max_bytes`; a zero cap disables caching entirely. Entries whose
+/// generation vector went stale are dropped lazily at Lookup. All
+/// methods are thread-safe (one mutex — the guarded work is map
+/// bookkeeping, microseconds next to query evaluation).
+class QueryCache {
+ public:
+  explicit QueryCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Looks up `key` (the normalized query text). On hit, copies the
+  /// encoded response body into `body` and returns true. A hit requires
+  /// the stored generation vector to equal `generations` exactly; a
+  /// stale entry is erased and reported as a miss.
+  bool Lookup(const std::string& key, const std::vector<uint64_t>& generations,
+              std::string& body);
+
+  /// Inserts the encoded body computed for `key` under the
+  /// pre-evaluation generation vector `generations`. `current` must be
+  /// a FRESH post-evaluation read of the repository's generations: when
+  /// it differs from `generations`, a concurrent Add raced the
+  /// evaluation and the entry is discarded (returns false) — caching it
+  /// would key possibly-new results under the old generation, which is
+  /// harmless, but keying is pointless since the old generation is gone.
+  /// Bodies larger than the whole cache are not stored.
+  bool Insert(const std::string& key, const std::vector<uint64_t>& generations,
+              const std::vector<uint64_t>& current, std::string body);
+
+  /// Current byte footprint (keys + bodies + generation vectors).
+  size_t bytes() const;
+
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+
+ private:
+  struct Entry {
+    std::vector<uint64_t> generations;
+    std::string body;
+    /// Position in lru_ (most recent at front).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  size_t EntryBytes(const std::string& key, const Entry& entry) const {
+    return key.size() + entry.body.size() +
+           entry.generations.size() * sizeof(uint64_t);
+  }
+
+  /// Erases `it`, adjusting the footprint. Caller holds mutex_.
+  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+
+  const size_t max_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// LRU order of keys; front = most recently used.
+  std::list<std::string> lru_;
+  size_t bytes_ = 0;
+
+  mutable obs::Counter hits_;
+  mutable obs::Counter misses_;
+  mutable obs::Counter evictions_;
+};
+
+/// Runs `query_text` against `repo` through `cache`, returning the
+/// encoded kQuery response BODY (no frame header). This is the
+/// function the server's query endpoint calls, factored out so the
+/// cache-correctness differential tests drive the exact serving path
+/// without sockets. `max_results` caps the matches serialized into the
+/// body (total_matches always reports the full count). On a parse
+/// error the Status is returned and nothing is cached.
+StatusOr<std::string> CachedQueryBody(const XmlRepository& repo,
+                                      QueryCache& cache,
+                                      std::string_view query_text,
+                                      size_t max_results);
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_CACHE_H_

@@ -1,0 +1,108 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace webre {
+namespace serve {
+
+Client::Client(int fd, size_t max_frame_bytes)
+    : fd_(fd), decoder_(max_frame_bytes) {}
+
+Client::~Client() { ::close(fd_); }
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(uint16_t port,
+                                                  size_t max_frame_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  // Request frames are written in one piece; disable Nagle so a small
+  // request is not held hostage to a delayed ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, max_frame_bytes));
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Client::Send(const Request& request) {
+  std::string frame;
+  EncodeRequest(request, frame);
+  return SendRaw(frame);
+}
+
+StatusOr<Response> Client::Receive() {
+  char buffer[64 * 1024];
+  for (;;) {
+    Response response;
+    const FrameStatus status = decoder_.NextResponse(response);
+    if (status == FrameStatus::kFrame) return response;
+    if (status == FrameStatus::kBad) {
+      return Status::InvalidArgument("malformed response: " +
+                                     decoder_.error());
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    decoder_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+  }
+}
+
+StatusOr<Response> Client::Call(const Request& request) {
+  const Status sent = Send(request);
+  if (!sent.ok()) return sent;
+  return Receive();
+}
+
+StatusOr<std::string> Client::ReceiveLine() {
+  char buffer[16 * 1024];
+  for (;;) {
+    const size_t nl = line_buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = line_buffer_.substr(0, nl);
+      line_buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    line_buffer_.append(buffer, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace serve
+}  // namespace webre

@@ -1,0 +1,64 @@
+#ifndef WEBRE_SERVE_CLIENT_H_
+#define WEBRE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.h"
+#include "util/status.h"
+
+namespace webre {
+namespace serve {
+
+/// A blocking client for the wire protocol — the counterpart the tests,
+/// the load generator and the serving bench all use, so client framing
+/// has exactly one implementation (serve/frame) and one transport.
+///
+/// The socket is full-duplex: one thread may Send while another
+/// Receives (the load generator's open-loop split). Neither method is
+/// safe for two concurrent callers of the SAME direction.
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port. `max_frame_bytes` caps response
+  /// payloads this client will accept.
+  static StatusOr<std::unique_ptr<Client>> Connect(
+      uint16_t port, size_t max_frame_bytes = 64u << 20);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one request frame.
+  Status Send(const Request& request);
+
+  /// Blocks until the next response frame arrives. kInternal when the
+  /// server closed the connection; kInvalidArgument on a malformed
+  /// frame.
+  StatusOr<Response> Receive();
+
+  /// Send + Receive for the single-outstanding-request pattern.
+  StatusOr<Response> Call(const Request& request);
+
+  /// Writes raw bytes — how tests drive the JSON-lines debug mode and
+  /// deliberately malformed frames.
+  Status SendRaw(std::string_view bytes);
+
+  /// Blocks until one '\n'-terminated line arrives (returned without
+  /// the newline). For JSON debug-mode responses.
+  StatusOr<std::string> ReceiveLine();
+
+ private:
+  Client(int fd, size_t max_frame_bytes);
+
+  int fd_;
+  FrameDecoder decoder_;
+  /// Carry-over bytes for ReceiveLine (a read may span lines).
+  std::string line_buffer_;
+};
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_CLIENT_H_

@@ -1,0 +1,577 @@
+#include "serve/frame.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace webre {
+namespace serve {
+
+namespace {
+
+// ---- Little-endian scalar + length-prefixed-string primitives ----
+
+void PutU16(uint16_t v, std::string& out) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(uint32_t v, std::string& out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void PutU64(uint64_t v, std::string& out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void PutString(std::string_view s, std::string& out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out.append(s);
+}
+
+// Bounds-checked readers over a payload view. Each advances `pos` and
+// returns false when the payload is too short — the decoder's only
+// failure mode, so a mutated frame can never read out of bounds.
+bool GetU32(std::string_view in, size_t& pos, uint32_t& v) {
+  if (in.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool GetU64(std::string_view in, size_t& pos, uint64_t& v) {
+  if (in.size() - pos < 8) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+bool GetString(std::string_view in, size_t& pos, std::string& s) {
+  uint32_t len = 0;
+  if (!GetU32(in, pos, len)) return false;
+  if (in.size() - pos < len) return false;
+  s.assign(in.substr(pos, len));
+  pos += len;
+  return true;
+}
+
+bool KnownRequestType(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPing:
+    case MsgType::kIngest:
+    case MsgType::kQuery:
+    case MsgType::kSchema:
+    case MsgType::kStats:
+    case MsgType::kCheckpoint:
+      return true;
+    case MsgType::kError:
+      return false;  // response-only
+  }
+  return false;
+}
+
+bool KnownResponseType(uint8_t type) {
+  return KnownRequestType(type) ||
+         static_cast<MsgType>(type) == MsgType::kError;
+}
+
+void EncodeHeader(MsgType type, uint16_t flags, uint32_t id,
+                  size_t payload_len, std::string& out) {
+  PutU32(static_cast<uint32_t>(payload_len), out);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  PutU16(flags, out);
+  PutU32(id, out);
+}
+
+// Minimal JSON string escaping for the debug-mode response lines.
+void AppendJsonEscaped(std::string_view s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kNone:
+      return "ok";
+    case WireError::kBadFrame:
+      return "bad_frame";
+    case WireError::kInvalidArgument:
+      return "invalid_argument";
+    case WireError::kNotFound:
+      return "not_found";
+    case WireError::kFailedPrecondition:
+      return "failed_precondition";
+    case WireError::kResourceExhausted:
+      return "resource_exhausted";
+    case WireError::kOverloaded:
+      return "overloaded";
+    case WireError::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+void EncodeRequest(const Request& request, std::string& out) {
+  EncodeHeader(request.type, /*flags=*/0, request.id, request.body.size(),
+               out);
+  out.append(request.body);
+}
+
+void EncodeResponseBody(const Response& response, std::string& out) {
+  if (response.error != WireError::kNone) {
+    out.push_back(static_cast<char>(response.error));
+    PutU32(response.retry_after_ms, out);
+    PutString(response.message, out);
+    return;
+  }
+  switch (response.type) {
+    case MsgType::kPing:
+    case MsgType::kCheckpoint:
+      break;  // empty payload
+    case MsgType::kIngest:
+      PutU64(response.doc_id, out);
+      break;
+    case MsgType::kQuery:
+      PutU64(response.total_matches, out);
+      PutU32(static_cast<uint32_t>(response.matches.size()), out);
+      for (const WireMatch& match : response.matches) {
+        PutU64(match.doc, out);
+        PutU32(match.pos, out);
+        PutString(match.name, out);
+        PutString(match.val, out);
+      }
+      break;
+    case MsgType::kSchema:
+      PutString(response.schema_text, out);
+      PutString(response.dtd_text, out);
+      break;
+    case MsgType::kStats:
+      PutString(response.stats_json, out);
+      break;
+    case MsgType::kError:
+      break;  // handled above via response.error
+  }
+}
+
+void EncodeResponseHeader(MsgType type, uint32_t id, size_t body_len,
+                          std::string& out) {
+  EncodeHeader(type, kFlagResponse, id, body_len, out);
+}
+
+void EncodeResponse(const Response& response, std::string& out) {
+  std::string body;
+  EncodeResponseBody(response, body);
+  const MsgType type =
+      response.error != WireError::kNone ? MsgType::kError : response.type;
+  EncodeResponseHeader(type, response.id, body.size(), out);
+  out.append(body);
+}
+
+bool DecodeResponseBody(std::string_view payload, Response& out) {
+  size_t pos = 0;
+  if (out.type == MsgType::kError) {
+    if (payload.size() < 1) return false;
+    const uint8_t code = static_cast<unsigned char>(payload[0]);
+    if (code == 0 || code > static_cast<uint8_t>(WireError::kInternal)) {
+      return false;
+    }
+    out.error = static_cast<WireError>(code);
+    pos = 1;
+    return GetU32(payload, pos, out.retry_after_ms) &&
+           GetString(payload, pos, out.message) && pos == payload.size();
+  }
+  out.error = WireError::kNone;
+  switch (out.type) {
+    case MsgType::kPing:
+    case MsgType::kCheckpoint:
+      return payload.empty();
+    case MsgType::kIngest:
+      return GetU64(payload, pos, out.doc_id) && pos == payload.size();
+    case MsgType::kQuery: {
+      uint32_t returned = 0;
+      if (!GetU64(payload, pos, out.total_matches) ||
+          !GetU32(payload, pos, returned)) {
+        return false;
+      }
+      // Each entry is at least 20 bytes; a count announcing more than
+      // the payload can hold is rejected before reserving anything.
+      if (returned > (payload.size() - pos) / 20) return false;
+      out.matches.clear();
+      out.matches.reserve(returned);
+      for (uint32_t i = 0; i < returned; ++i) {
+        WireMatch match;
+        if (!GetU64(payload, pos, match.doc) ||
+            !GetU32(payload, pos, match.pos) ||
+            !GetString(payload, pos, match.name) ||
+            !GetString(payload, pos, match.val)) {
+          return false;
+        }
+        out.matches.push_back(std::move(match));
+      }
+      return pos == payload.size();
+    }
+    case MsgType::kSchema:
+      return GetString(payload, pos, out.schema_text) &&
+             GetString(payload, pos, out.dtd_text) && pos == payload.size();
+    case MsgType::kStats:
+      return GetString(payload, pos, out.stats_json) && pos == payload.size();
+    case MsgType::kError:
+      return false;  // unreachable: handled above
+  }
+  return false;
+}
+
+FrameStatus FrameDecoder::NextPayload(bool want_response, MsgType& type,
+                                      uint32_t& id,
+                                      std::string_view& payload) {
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection's buffer does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::string_view view =
+      std::string_view(buffer_).substr(consumed_);
+  if (view.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+
+  size_t pos = 0;
+  uint32_t payload_len = 0;
+  GetU32(view, pos, payload_len);
+  const uint8_t version = static_cast<unsigned char>(view[4]);
+  const uint8_t raw_type = static_cast<unsigned char>(view[5]);
+  const uint16_t flags =
+      static_cast<uint16_t>(static_cast<unsigned char>(view[6])) |
+      static_cast<uint16_t>(static_cast<unsigned char>(view[7])) << 8;
+  pos = 8;
+  GetU32(view, pos, id);
+
+  if (version != kWireVersion) {
+    error_ = "unsupported wire version " + std::to_string(version);
+    return FrameStatus::kBad;
+  }
+  if (payload_len > max_frame_bytes_) {
+    error_ = "frame announces " + std::to_string(payload_len) +
+             " payload bytes, cap is " + std::to_string(max_frame_bytes_);
+    return FrameStatus::kBad;
+  }
+  const bool is_response = (flags & kFlagResponse) != 0;
+  if (is_response != want_response) {
+    error_ = want_response ? "request frame on a response stream"
+                           : "response frame on a request stream";
+    return FrameStatus::kBad;
+  }
+  if (want_response ? !KnownResponseType(raw_type)
+                    : !KnownRequestType(raw_type)) {
+    error_ = "unknown message type " + std::to_string(raw_type);
+    return FrameStatus::kBad;
+  }
+  if (view.size() - kFrameHeaderBytes < payload_len) {
+    return FrameStatus::kNeedMore;
+  }
+  type = static_cast<MsgType>(raw_type);
+  payload = view.substr(kFrameHeaderBytes, payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return FrameStatus::kFrame;
+}
+
+FrameStatus FrameDecoder::NextRequest(Request& out) {
+  MsgType type;
+  uint32_t id = 0;
+  std::string_view payload;
+  const FrameStatus status =
+      NextPayload(/*want_response=*/false, type, id, payload);
+  if (status != FrameStatus::kFrame) return status;
+  // Only ingest and query carry a payload; the rest must be empty.
+  if (type != MsgType::kIngest && type != MsgType::kQuery &&
+      !payload.empty()) {
+    error_ = "unexpected payload on message type " +
+             std::to_string(static_cast<int>(type));
+    return FrameStatus::kBad;
+  }
+  out.type = type;
+  out.id = id;
+  out.body.assign(payload);
+  return FrameStatus::kFrame;
+}
+
+FrameStatus FrameDecoder::NextResponse(Response& out) {
+  MsgType type;
+  uint32_t id = 0;
+  std::string_view payload;
+  const FrameStatus status =
+      NextPayload(/*want_response=*/true, type, id, payload);
+  if (status != FrameStatus::kFrame) return status;
+  out = Response();
+  out.type = type;
+  out.id = id;
+  if (!DecodeResponseBody(payload, out)) {
+    error_ = "malformed response payload for type " +
+             std::to_string(static_cast<int>(type));
+    return FrameStatus::kBad;
+  }
+  return FrameStatus::kFrame;
+}
+
+namespace {
+
+// A tiny scanner for the flat debug-mode objects: string and integer
+// values only, no nesting. Returns false on anything outside that
+// subset — the binary protocol is the real surface; this face exists
+// for humans with netcat.
+bool ParseFlatJson(std::string_view line,
+                   std::vector<std::pair<std::string, std::string>>& out) {
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  auto parse_string = [&](std::string& s) {
+    if (pos >= line.size() || line[pos] != '"') return false;
+    ++pos;
+    s.clear();
+    while (pos < line.size() && line[pos] != '"') {
+      char c = line[pos];
+      if (c == '\\') {
+        if (pos + 1 >= line.size()) return false;
+        const char esc = line[pos + 1];
+        switch (esc) {
+          case '"':
+            c = '"';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          case '/':
+            c = '/';
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            return false;  // \uXXXX etc. not part of the debug subset
+        }
+        ++pos;
+      }
+      s.push_back(c);
+      ++pos;
+    }
+    if (pos >= line.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  };
+
+  skip_space();
+  if (pos >= line.size() || line[pos] != '{') return false;
+  ++pos;
+  skip_space();
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+  } else {
+    while (true) {
+      skip_space();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_space();
+      if (pos >= line.size() || line[pos] != ':') return false;
+      ++pos;
+      skip_space();
+      std::string value;
+      if (pos < line.size() && line[pos] == '"') {
+        if (!parse_string(value)) return false;
+      } else {
+        const size_t start = pos;
+        while (pos < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[pos])) ||
+                line[pos] == '-')) {
+          ++pos;
+        }
+        if (pos == start) return false;
+        value.assign(line.substr(start, pos - start));
+      }
+      out.emplace_back(std::move(key), std::move(value));
+      skip_space();
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_space();
+  return pos == line.size();
+}
+
+}  // namespace
+
+Status ParseJsonRequest(std::string_view line, Request& out) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  if (!ParseFlatJson(line, fields)) {
+    return Status::InvalidArgument(
+        "debug request is not a flat JSON object");
+  }
+  std::string op;
+  out = Request();
+  for (const auto& [key, value] : fields) {
+    if (key == "op") {
+      op = value;
+    } else if (key == "q" || key == "html") {
+      out.body = value;
+    } else if (key == "id") {
+      out.id = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+      return Status::InvalidArgument("unknown debug request field '" + key +
+                                     "'");
+    }
+  }
+  if (op == "ping") {
+    out.type = MsgType::kPing;
+  } else if (op == "ingest") {
+    out.type = MsgType::kIngest;
+  } else if (op == "query") {
+    out.type = MsgType::kQuery;
+  } else if (op == "schema") {
+    out.type = MsgType::kSchema;
+  } else if (op == "stats") {
+    out.type = MsgType::kStats;
+  } else if (op == "checkpoint") {
+    out.type = MsgType::kCheckpoint;
+  } else {
+    return Status::InvalidArgument("unknown debug op '" + op + "'");
+  }
+  if (out.type != MsgType::kIngest && out.type != MsgType::kQuery &&
+      !out.body.empty()) {
+    return Status::InvalidArgument("op '" + op + "' takes no body field");
+  }
+  return Status::Ok();
+}
+
+std::string ResponseToJsonLine(const Response& response) {
+  std::string out = "{\"id\":" + std::to_string(response.id);
+  if (response.error != WireError::kNone) {
+    out += ",\"error\":\"";
+    out += WireErrorName(response.error);
+    out += "\"";
+    if (response.error == WireError::kOverloaded) {
+      out += ",\"retry_after_ms\":" + std::to_string(response.retry_after_ms);
+    }
+    out += ",\"message\":\"";
+    AppendJsonEscaped(response.message, out);
+    out += "\"}";
+    return out;
+  }
+  out += ",\"ok\":true";
+  switch (response.type) {
+    case MsgType::kPing:
+    case MsgType::kCheckpoint:
+      break;
+    case MsgType::kIngest:
+      out += ",\"doc\":" + std::to_string(response.doc_id);
+      break;
+    case MsgType::kQuery:
+      out += ",\"total\":" + std::to_string(response.total_matches);
+      out += ",\"matches\":[";
+      for (size_t i = 0; i < response.matches.size(); ++i) {
+        const WireMatch& match = response.matches[i];
+        if (i > 0) out += ",";
+        out += "{\"doc\":" + std::to_string(match.doc) +
+               ",\"pos\":" + std::to_string(match.pos) + ",\"name\":\"";
+        AppendJsonEscaped(match.name, out);
+        out += "\",\"val\":\"";
+        AppendJsonEscaped(match.val, out);
+        out += "\"}";
+      }
+      out += "]";
+      break;
+    case MsgType::kSchema:
+      out += ",\"schema\":\"";
+      AppendJsonEscaped(response.schema_text, out);
+      out += "\",\"dtd\":\"";
+      AppendJsonEscaped(response.dtd_text, out);
+      out += "\"";
+      break;
+    case MsgType::kStats:
+      out += ",\"stats\":";
+      out += response.stats_json.empty() ? "{}" : response.stats_json;
+      break;
+    case MsgType::kError:
+      break;  // unreachable
+  }
+  out += "}";
+  return out;
+}
+
+WireError StatusToWireError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireError::kNone;
+    case StatusCode::kInvalidArgument:
+      return WireError::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireError::kNotFound;
+    case StatusCode::kFailedPrecondition:
+      return WireError::kFailedPrecondition;
+    case StatusCode::kOutOfRange:
+      return WireError::kInvalidArgument;
+    case StatusCode::kResourceExhausted:
+      return WireError::kResourceExhausted;
+    case StatusCode::kInternal:
+      return WireError::kInternal;
+  }
+  return WireError::kInternal;
+}
+
+}  // namespace serve
+}  // namespace webre

@@ -1,0 +1,204 @@
+#ifndef WEBRE_SERVE_FRAME_H_
+#define WEBRE_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webre {
+namespace serve {
+
+/// The wire protocol of the serving front end (full reference:
+/// docs/SERVING.md). One library encodes AND decodes both directions —
+/// the server, the blocking client, the load generator and the frame
+/// fuzzer all link this file, so there is exactly one implementation of
+/// the framing rules.
+///
+/// Binary mode: length-prefixed frames.
+///
+///   offset  size  field
+///   0       4     payload_len   (LE; bytes following the header)
+///   4       1     version       (kWireVersion)
+///   5       1     type          (MsgType)
+///   6       2     flags         (LE; bit 0 = response, rest reserved 0)
+///   8       4     request_id    (LE; echoed verbatim in the response)
+///   12      ...   payload       (type-specific, see docs/SERVING.md)
+///
+/// Payload scalars are little-endian; strings are a u32 length followed
+/// by raw bytes. A frame never exceeds the configured size cap — the
+/// decoder rejects oversized announcements BEFORE buffering the payload,
+/// which is the admission-control byte budget at the framing layer.
+///
+/// JSON-lines debug mode: a connection whose very first byte is '{'
+/// speaks newline-delimited JSON objects instead (one request per line,
+/// one response line per request). ParseJsonRequest handles that face.
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr uint16_t kFlagResponse = 1;
+
+/// Message opcodes. Requests and their responses share the opcode (the
+/// response flag tells them apart); kError is response-only.
+enum class MsgType : uint8_t {
+  kPing = 1,        ///< health check; empty payload both ways
+  kIngest = 2,      ///< request: raw HTML; response: u64 doc id
+  kQuery = 3,       ///< request: query text; response: match list
+  kSchema = 4,      ///< request: empty; response: schema + DTD strings
+  kStats = 5,       ///< request: empty; response: JSON stats blob
+  kCheckpoint = 6,  ///< request: empty; response: empty (durable only)
+  kError = 0x7F,    ///< response-only: typed error, see WireError
+};
+
+/// Typed error taxonomy carried by kError responses. Stable wire values
+/// — documented in docs/SERVING.md; extend by appending only.
+enum class WireError : uint8_t {
+  kNone = 0,
+  /// The frame itself was malformed (bad version, unknown type,
+  /// truncated payload, oversized announcement). The connection is
+  /// closed after this error — framing state is unrecoverable.
+  kBadFrame = 1,
+  kInvalidArgument = 2,     ///< well-framed but semantically bad request
+  kNotFound = 3,            ///< e.g. unknown document
+  kFailedPrecondition = 4,  ///< e.g. checkpoint without a durable dir
+  kResourceExhausted = 5,   ///< a ResourceLimits guard tripped serving it
+  /// Admission control shed the request (per-client quota, global
+  /// in-flight cap, or connection cap). retry_after_ms says when to
+  /// try again; the connection stays usable.
+  kOverloaded = 6,
+  kInternal = 7,  ///< unexpected server-side failure (message says what)
+};
+
+/// Stable lower_snake name for a WireError ("overloaded", ...).
+const char* WireErrorName(WireError error);
+
+/// A decoded request frame.
+struct Request {
+  MsgType type = MsgType::kPing;
+  uint32_t id = 0;
+  /// kIngest: raw HTML. kQuery: query text. Empty for the rest.
+  std::string body;
+};
+
+/// One query match on the wire: the element's document, its pre-order
+/// position among the document's elements, its name and its val.
+struct WireMatch {
+  uint64_t doc = 0;
+  uint32_t pos = 0;
+  std::string name;
+  std::string val;
+};
+
+/// A decoded response frame. Exactly one face is meaningful, selected
+/// by `type`; `error != kNone` forces type kError.
+struct Response {
+  MsgType type = MsgType::kPing;
+  uint32_t id = 0;
+
+  // kError face.
+  WireError error = WireError::kNone;
+  uint32_t retry_after_ms = 0;  ///< meaningful for kOverloaded only
+  std::string message;
+
+  uint64_t doc_id = 0;  ///< kIngest: id the repository assigned
+
+  // kQuery face: total matches in the repository and the returned
+  // prefix (capped by the server's max_results).
+  uint64_t total_matches = 0;
+  std::vector<WireMatch> matches;
+
+  // kSchema face.
+  std::string schema_text;
+  std::string dtd_text;
+
+  // kStats face: one JSON object (schema in docs/SERVING.md).
+  std::string stats_json;
+
+  bool ok() const { return error == WireError::kNone; }
+};
+
+/// Appends the encoded frame for `request` to `out`.
+void EncodeRequest(const Request& request, std::string& out);
+
+/// Appends the encoded frame for `response` to `out`. The response
+/// BODY (payload bytes after the header) depends only on the response
+/// content, never on the request id — the server's result cache relies
+/// on this to reuse one encoded body across requests.
+void EncodeResponse(const Response& response, std::string& out);
+
+/// Encodes only the payload of `response` (no header). Combine with
+/// EncodeResponseHeader to stamp a cached body with a fresh id.
+void EncodeResponseBody(const Response& response, std::string& out);
+
+/// Appends the 12-byte response header for a body of `body_len` bytes.
+void EncodeResponseHeader(MsgType type, uint32_t id, size_t body_len,
+                          std::string& out);
+
+/// Decoder verdict for one Consume step.
+enum class FrameStatus {
+  kNeedMore,  ///< the buffer holds no complete frame yet
+  kFrame,     ///< one frame was decoded and consumed from the buffer
+  kBad,       ///< unrecoverable framing error; close the connection
+};
+
+/// Incremental frame decoder over a connection's receive buffer. Feed
+/// bytes with Append, then call NextRequest/NextResponse until
+/// kNeedMore. The decoder enforces `max_frame_bytes` on the ANNOUNCED
+/// payload length, so an adversarial 4 GiB announcement is rejected
+/// after 12 bytes, not buffered.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Bytes buffered but not yet consumed (for backpressure accounting).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Decodes the next request frame (server side). On kBad, `error()`
+  /// describes the problem.
+  FrameStatus NextRequest(Request& out);
+
+  /// Decodes the next response frame (client side).
+  FrameStatus NextResponse(Response& out);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  /// Shared header scan: returns the verdict, filling type/id/payload
+  /// view on kFrame. `want_response` selects the direction check.
+  FrameStatus NextPayload(bool want_response, MsgType& type, uint32_t& id,
+                          std::string_view& payload);
+
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  std::string error_;
+};
+
+/// Decodes one response payload (the bytes after the header) into
+/// `out`, whose `type` and `id` must already be set from the header.
+/// Returns false on malformed payload. Exposed for the fuzzer.
+bool DecodeResponseBody(std::string_view payload, Response& out);
+
+/// Parses one JSON-lines debug-mode request (without the trailing
+/// newline): an object like {"op":"query","q":"//DATE","id":7}. Only
+/// the flat string/number fields the protocol defines are understood;
+/// anything else fails. Shared by the server and the frame fuzzer.
+Status ParseJsonRequest(std::string_view line, Request& out);
+
+/// Renders `response` as one JSON line (no trailing newline) for
+/// debug-mode connections. Inverse direction of ParseJsonRequest.
+std::string ResponseToJsonLine(const Response& response);
+
+/// Maps a library Status onto the wire taxonomy (kOk asserts).
+WireError StatusToWireError(const Status& status);
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_FRAME_H_

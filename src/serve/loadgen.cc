@@ -1,0 +1,280 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/frame.h"
+
+namespace webre {
+namespace serve {
+
+namespace {
+
+// Deterministic splitmix64 stream — the workload is reproducible from
+// the seed alone.
+uint64_t Splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double UnitUniform(uint64_t& state) {
+  return static_cast<double>(Splitmix64(state) >> 11) *
+         (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+/// Exponential inter-arrival gap for `rate` arrivals/second.
+double ExponentialGap(uint64_t& state, double rate) {
+  double u = UnitUniform(state);
+  if (u >= 1.0) u = 0.9999999999;
+  return -std::log(1.0 - u) / rate;
+}
+
+/// Results shared across all connection threads.
+struct Aggregate {
+  std::mutex mutex;
+  std::vector<uint64_t> latencies_us;
+  uint64_t sent = 0;
+  uint64_t responses = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  size_t captured = 0;
+};
+
+/// One connection's in-flight book: request id -> send timestamp.
+/// Writer inserts before the frame hits the socket, reader erases on
+/// the response — the only writer/reader shared state, mutex-guarded.
+struct InFlightBook {
+  std::mutex mutex;
+  std::unordered_map<uint32_t, double> send_time_s;
+  bool writer_done = false;
+  uint64_t sent = 0;
+};
+
+void CaptureFrame(const LoadgenOptions& options, Aggregate& agg,
+                  const std::string& frame) {
+  size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(agg.mutex);
+    if (agg.captured >= options.capture_limit) return;
+    index = agg.captured++;
+  }
+  const std::string path =
+      options.capture_dir + "/req-" + std::to_string(index) + ".bin";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return;
+  std::fwrite(frame.data(), 1, frame.size(), file);
+  std::fclose(file);
+}
+
+void WriterThread(const LoadgenOptions& options, size_t conn_index,
+                  Client& client, InFlightBook& book, Aggregate& agg) {
+  uint64_t rng = options.seed * 0x9E3779B97F4A7C15ull + conn_index + 1;
+  const double per_conn_qps =
+      options.target_qps / static_cast<double>(options.connections);
+  const double begin_s = obs::MonotonicSeconds();
+  const double deadline_s = begin_s + options.duration_s;
+  // The schedule is absolute: a late send does not push later arrivals
+  // back (open loop), it just goes out immediately.
+  double next_s = begin_s + ExponentialGap(rng, per_conn_qps);
+  uint32_t next_id = 1;
+  uint64_t sent = 0;
+
+  while (next_s < deadline_s) {
+    const double now_s = obs::MonotonicSeconds();
+    if (next_s > now_s) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_s - now_s));
+    }
+    Request request;
+    request.id = next_id++;
+    const bool write = UnitUniform(rng) < options.write_fraction &&
+                       !options.ingest_bodies.empty();
+    if (write) {
+      request.type = MsgType::kIngest;
+      request.body =
+          options.ingest_bodies[Splitmix64(rng) % options.ingest_bodies.size()];
+    } else {
+      request.type = MsgType::kQuery;
+      request.body = options.queries[Splitmix64(rng) % options.queries.size()];
+    }
+    std::string frame;
+    EncodeRequest(request, frame);
+    if (!options.capture_dir.empty()) CaptureFrame(options, agg, frame);
+    {
+      std::lock_guard<std::mutex> lock(book.mutex);
+      book.send_time_s[request.id] = obs::MonotonicSeconds();
+    }
+    if (!client.SendRaw(frame).ok()) {
+      std::lock_guard<std::mutex> lock(book.mutex);
+      book.send_time_s.erase(request.id);
+      break;  // connection gone; the reader will see EOF
+    }
+    ++sent;
+    next_s += ExponentialGap(rng, per_conn_qps);
+  }
+  {
+    std::lock_guard<std::mutex> lock(book.mutex);
+    book.writer_done = true;
+    book.sent = sent;
+  }
+  // The reader may already be blocked in Receive() having consumed every
+  // workload response before writer_done was set — in which case nothing
+  // would ever wake it. One sentinel ping (id 0, never booked, skipped by
+  // the reader's accounting) forces exactly one more response, after
+  // which the reader re-checks the exit condition and sees writer_done.
+  Request fin;
+  fin.type = MsgType::kPing;
+  fin.id = 0;
+  std::string fin_frame;
+  EncodeRequest(fin, fin_frame);
+  (void)client.SendRaw(fin_frame);
+  std::lock_guard<std::mutex> lock(agg.mutex);
+  agg.sent += sent;
+}
+
+void ReaderThread(Client& client, InFlightBook& book, Aggregate& agg) {
+  uint64_t responses = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(book.mutex);
+      if (book.writer_done && responses >= book.sent) break;
+      if (book.writer_done && book.send_time_s.empty()) break;
+    }
+    StatusOr<Response> response = client.Receive();
+    if (!response.ok()) break;  // server closed or framing error
+    if (response->id == 0) continue;  // the writer's drain sentinel
+    ++responses;
+    double send_s = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(book.mutex);
+      auto it = book.send_time_s.find(response->id);
+      if (it != book.send_time_s.end()) {
+        send_s = it->second;
+        book.send_time_s.erase(it);
+      }
+    }
+    std::lock_guard<std::mutex> lock(agg.mutex);
+    ++agg.responses;
+    if (response->ok()) {
+      ++agg.ok;
+      if (send_s > 0.0) {
+        agg.latencies_us.push_back(static_cast<uint64_t>(
+            (obs::MonotonicSeconds() - send_s) * 1e6));
+      }
+    } else if (response->error == WireError::kOverloaded) {
+      ++agg.shed;
+    } else {
+      ++agg.errors;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(rank);
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
+  if (options.connections == 0) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  if (options.queries.empty() && options.write_fraction < 1.0) {
+    return Status::InvalidArgument("loadgen read workload has no queries");
+  }
+  if (options.ingest_bodies.empty() && options.write_fraction > 0.0) {
+    return Status::InvalidArgument("loadgen write workload has no bodies");
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t i = 0; i < options.connections; ++i) {
+    StatusOr<std::unique_ptr<Client>> client = Client::Connect(options.port);
+    if (!client.ok()) return client.status();
+    clients.push_back(std::move(client.value()));
+  }
+
+  Aggregate agg;
+  std::vector<InFlightBook> books(options.connections);
+  std::vector<std::thread> threads;
+  const double begin_s = obs::MonotonicSeconds();
+  for (size_t i = 0; i < options.connections; ++i) {
+    threads.emplace_back([&, i] {
+      WriterThread(options, i, *clients[i], books[i], agg);
+    });
+    threads.emplace_back(
+        [&, i] { ReaderThread(*clients[i], books[i], agg); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_s = obs::MonotonicSeconds() - begin_s;
+
+  LoadgenReport report;
+  report.sent = agg.sent;
+  report.responses = agg.responses;
+  report.ok = agg.ok;
+  report.shed = agg.shed;
+  report.errors = agg.errors;
+  report.wall_s = wall_s;
+  if (wall_s > 0) {
+    report.offered_qps = static_cast<double>(agg.sent) / wall_s;
+    report.achieved_qps = static_cast<double>(agg.ok) / wall_s;
+  }
+  std::sort(agg.latencies_us.begin(), agg.latencies_us.end());
+  if (!agg.latencies_us.empty()) {
+    uint64_t sum = 0;
+    for (uint64_t v : agg.latencies_us) sum += v;
+    report.mean_us = static_cast<double>(sum) /
+                     static_cast<double>(agg.latencies_us.size());
+    report.p50_us = PercentileUs(agg.latencies_us, 0.50);
+    report.p90_us = PercentileUs(agg.latencies_us, 0.90);
+    report.p99_us = PercentileUs(agg.latencies_us, 0.99);
+    report.p999_us = PercentileUs(agg.latencies_us, 0.999);
+    report.max_us = agg.latencies_us.back();
+  }
+  return report;
+}
+
+std::string LoadgenReportToJson(const LoadgenReport& report,
+                                double target_qps, double write_fraction) {
+  char buffer[256];
+  std::string out = "{";
+  std::snprintf(buffer, sizeof(buffer),
+                "\"target_qps\":%.1f,\"write_fraction\":%.2f,", target_qps,
+                write_fraction);
+  out += buffer;
+  out += "\"sent\":" + std::to_string(report.sent) + ",";
+  out += "\"responses\":" + std::to_string(report.responses) + ",";
+  out += "\"ok\":" + std::to_string(report.ok) + ",";
+  out += "\"shed\":" + std::to_string(report.shed) + ",";
+  out += "\"errors\":" + std::to_string(report.errors) + ",";
+  std::snprintf(buffer, sizeof(buffer),
+                "\"wall_s\":%.3f,\"offered_qps\":%.1f,\"achieved_qps\":%.1f,"
+                "\"mean_us\":%.1f,",
+                report.wall_s, report.offered_qps, report.achieved_qps,
+                report.mean_us);
+  out += buffer;
+  out += "\"p50_us\":" + std::to_string(report.p50_us) + ",";
+  out += "\"p90_us\":" + std::to_string(report.p90_us) + ",";
+  out += "\"p99_us\":" + std::to_string(report.p99_us) + ",";
+  out += "\"p999_us\":" + std::to_string(report.p999_us) + ",";
+  out += "\"max_us\":" + std::to_string(report.max_us) + "}";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace webre

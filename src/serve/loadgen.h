@@ -1,0 +1,78 @@
+#ifndef WEBRE_SERVE_LOADGEN_H_
+#define WEBRE_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace webre {
+namespace serve {
+
+/// Configuration of one open-loop run against a serving front end.
+struct LoadgenOptions {
+  uint16_t port = 0;
+  /// Target arrival rate, requests/second across all connections. The
+  /// arrival process is Poisson (exponential inter-arrivals) and OPEN
+  /// LOOP: the schedule never waits for responses, so a slow server
+  /// accumulates queue — which is exactly the overload the admission
+  /// control is there to shed.
+  double target_qps = 200.0;
+  double duration_s = 1.0;
+  size_t connections = 2;
+  /// Fraction of requests that are ingests (the rest are queries).
+  double write_fraction = 0.0;
+  /// Deterministic workload seed (splitmix64 stream).
+  uint64_t seed = 1;
+  /// Read workload: query texts, picked uniformly. Must be non-empty
+  /// unless write_fraction == 1.
+  std::vector<std::string> queries;
+  /// Write workload: HTML bodies, picked uniformly. Must be non-empty
+  /// when write_fraction > 0.
+  std::vector<std::string> ingest_bodies;
+  /// When set, the first `capture_limit` encoded request frames are
+  /// written to this directory as req-<n>.bin — the fuzz seed corpus
+  /// comes from real traffic.
+  std::string capture_dir;
+  size_t capture_limit = 32;
+};
+
+/// What one run measured. Latency is per-request round-trip in
+/// microseconds over OK responses only (sheds and errors are counted,
+/// not timed — a shed's fast rejection would flatter the tail).
+struct LoadgenReport {
+  uint64_t sent = 0;
+  uint64_t responses = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;    ///< kOverloaded responses (admission control)
+  uint64_t errors = 0;  ///< every other non-ok response
+  double wall_s = 0;
+  double offered_qps = 0;   ///< sent / wall
+  double achieved_qps = 0;  ///< ok responses / wall
+  double mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p90_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t max_us = 0;
+};
+
+/// Exact percentile over a SORTED latency vector (nearest-rank).
+uint64_t PercentileUs(const std::vector<uint64_t>& sorted, double p);
+
+/// Runs the workload: per connection one writer thread paces sends on
+/// the arrival schedule and one reader thread matches responses to
+/// send timestamps by request id. Returns the aggregated report, or an
+/// error when no connection could be established.
+StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options);
+
+/// Renders the report as the JSON object embedded in BENCH_serving.json
+/// (keys documented in docs/SERVING.md).
+std::string LoadgenReportToJson(const LoadgenReport& report,
+                                double target_qps, double write_fraction);
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_LOADGEN_H_

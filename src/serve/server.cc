@@ -1,0 +1,587 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "schema/dtd_builder.h"
+#include "schema/frequent_paths.h"
+
+namespace webre {
+namespace serve {
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = ~uint64_t{0};
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+void AppendJsonKv(std::string& out, const char* key, uint64_t value,
+                  bool comma = true) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+  if (comma) out += ',';
+}
+
+}  // namespace
+
+/// All fields are loop-thread-only (see the class comment).
+struct Server::Connection {
+  Connection(uint64_t id_in, int fd_in, size_t max_frame_bytes,
+             double per_client_qps, double per_client_burst)
+      : id(id_in),
+        fd(fd_in),
+        decoder(max_frame_bytes),
+        bucket(per_client_qps, per_client_burst) {}
+
+  uint64_t id;
+  int fd;
+  /// Unset until the first byte arrives; '{' selects JSON-lines mode.
+  bool mode_known = false;
+  bool json_mode = false;
+  FrameDecoder decoder;
+  /// JSON mode: bytes of the (possibly partial) current line.
+  std::string json_buffer;
+  /// Pending output; [out_pos, out.size()) still to write.
+  std::string out;
+  size_t out_pos = 0;
+  bool want_write = false;
+  /// Close once the output buffer drains (set after a kBadFrame error).
+  bool closing = false;
+  TokenBucket bucket;
+};
+
+Server::Server(ServeContext context, ServeOptions options)
+    : context_(context),
+      options_(std::move(options)),
+      cache_(options_.cache_bytes),
+      gate_(options_.max_in_flight) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (context_.repo == nullptr) {
+    return Status::InvalidArgument("ServeContext.repo is required");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) return Errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &event);
+  event.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+
+  workers_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  stopping_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { LoopThread(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  loop_.join();
+  // Workers may still be finishing requests; their completions land in
+  // completions_ and are simply never delivered.
+  workers_->Wait();
+  workers_.reset();
+  for (auto& [id, conn] : connections_) ::close(conn->fd);
+  connections_.clear();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.view.accepted_connections = accepted_.value();
+  stats.view.active_connections = active_.load(std::memory_order_relaxed);
+  stats.view.requests = requests_.value();
+  stats.view.shed_requests = shed_.value();
+  stats.view.errors = errors_.value();
+  stats.view.cache_hits = cache_.hits();
+  stats.view.cache_misses = cache_.misses();
+  stats.view.cache_evictions = cache_.evictions();
+  stats.view.max_queue_depth = gate_.high_water();
+  stats.view.request_us = request_us_.Snapshot();
+  stats.cache_bytes = cache_.bytes();
+  stats.active_connections = stats.view.active_connections;
+  return stats;
+}
+
+void Server::LoopThread() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        AcceptReady();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drain, sizeof(drain));
+        DrainCompletions();
+        continue;
+      }
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // closed this batch
+      Connection& conn = *it->second;
+      bool alive = true;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        alive = false;
+      } else {
+        if ((events[i].events & EPOLLIN) != 0) alive = ReadReady(conn);
+        if (alive && (events[i].events & EPOLLOUT) != 0) {
+          alive = WriteReady(conn);
+        }
+      }
+      if (!alive) CloseConnection(id);
+    }
+    // Completions can also arrive between epoll wakeups (the eventfd is
+    // edge-agnostic but cheap to over-check).
+    DrainCompletions();
+  }
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for epoll
+    if (connections_.size() >= options_.max_clients) {
+      // Connection-cap shed: one typed error frame, then close. The
+      // frame is binary regardless of the mode the client intended —
+      // it never got to send its first byte.
+      shed_.Increment();
+      Response response = ErrorResponse(
+          0, WireError::kOverloaded,
+          "connection cap (max_clients=" +
+              std::to_string(options_.max_clients) + ") reached",
+          /*retry_after_ms=*/50);
+      std::string bytes;
+      EncodeResponse(response, bytes);
+      [[maybe_unused]] ssize_t n = ::write(fd, bytes.data(), bytes.size());
+      ::close(fd);
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(
+        id, fd, options_.limits.max_input_bytes, options_.per_client_qps,
+        options_.per_client_burst);
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+    connections_.emplace(id, std::move(conn));
+    accepted_.Increment();
+    active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::ReadReady(Connection& conn) {
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n == 0) return false;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::string_view bytes(buffer, static_cast<size_t>(n));
+    if (!conn.mode_known) {
+      conn.mode_known = true;
+      conn.json_mode = bytes.front() == '{';
+    }
+    if (conn.json_mode) {
+      conn.json_buffer.append(bytes);
+      if (conn.json_buffer.size() > options_.limits.max_input_bytes) {
+        Response response = ErrorResponse(
+            0, WireError::kBadFrame, "debug request line exceeds frame cap");
+        QueueOutput(conn, ResponseToJsonLine(response) + "\n");
+        conn.closing = true;
+        break;
+      }
+      size_t start = 0;
+      for (size_t nl = conn.json_buffer.find('\n', start);
+           nl != std::string::npos;
+           nl = conn.json_buffer.find('\n', start)) {
+        const std::string_view line(conn.json_buffer.data() + start,
+                                    nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        Request request;
+        const Status status = ParseJsonRequest(line, request);
+        if (!status.ok()) {
+          Response response = ErrorResponse(0, WireError::kBadFrame,
+                                            status.message());
+          QueueOutput(conn, ResponseToJsonLine(response) + "\n");
+          conn.closing = true;
+          break;
+        }
+        HandleRequest(conn, std::move(request));
+      }
+      conn.json_buffer.erase(0, start);
+      if (conn.closing) break;
+    } else {
+      conn.decoder.Append(bytes);
+      for (;;) {
+        Request request;
+        const FrameStatus status = conn.decoder.NextRequest(request);
+        if (status == FrameStatus::kNeedMore) break;
+        if (status == FrameStatus::kBad) {
+          // Framing is unrecoverable: answer with the typed error and
+          // close once it drains (docs/SERVING.md, error taxonomy).
+          Response response = ErrorResponse(0, WireError::kBadFrame,
+                                            conn.decoder.error());
+          std::string encoded;
+          EncodeResponse(response, encoded);
+          QueueOutput(conn, encoded);
+          conn.closing = true;
+          break;
+        }
+        HandleRequest(conn, std::move(request));
+      }
+      if (conn.closing) break;
+    }
+  }
+  return !(conn.closing && conn.out_pos == conn.out.size());
+}
+
+bool Server::WriteReady(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_pos += static_cast<size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateEpoll(conn);
+  }
+  return !conn.closing;
+}
+
+void Server::HandleRequest(Connection& conn, Request request) {
+  requests_.Increment();
+  Admission admission = conn.bucket.Admit(obs::MonotonicSeconds());
+  if (admission.admitted) admission = gate_.TryAcquire();
+  if (!admission.admitted) {
+    shed_.Increment();
+    Response response = ErrorResponse(
+        request.id, WireError::kOverloaded,
+        std::string("shed by ") + admission.reason + " admission control",
+        admission.retry_after_ms);
+    if (conn.json_mode) {
+      QueueOutput(conn, ResponseToJsonLine(response) + "\n");
+    } else {
+      std::string encoded;
+      EncodeResponse(response, encoded);
+      QueueOutput(conn, encoded);
+    }
+    return;
+  }
+  // Admitted: workers own the request from here; the gate slot is
+  // released by RunRequest.
+  const uint64_t conn_id = conn.id;
+  const bool json_mode = conn.json_mode;
+  workers_->Submit([this, conn_id, json_mode,
+                    request = std::move(request)]() mutable {
+    RunRequest(conn_id, json_mode, std::move(request));
+  });
+}
+
+void Server::RunRequest(uint64_t conn_id, bool json_mode, Request request) {
+  const double begin_s = obs::MonotonicSeconds();
+  std::string bytes;
+  Response response;
+  bool encoded = false;
+  // The library is exception-free, but the runtime is not (bad_alloc
+  // above all) and the before_execute test seam may throw: a worker
+  // failure becomes a kInternal response instead of a silent drop —
+  // the same message ThreadPool would have recorded.
+  try {
+    if (options_.before_execute) options_.before_execute(request);
+    if (!json_mode && request.type == MsgType::kQuery) {
+      // Binary fast path: the cached encoded BODY is reused verbatim;
+      // only the 12-byte header is stamped per request.
+      StatusOr<std::string> body = QueryBody(request.body);
+      if (body.ok()) {
+        EncodeResponseHeader(MsgType::kQuery, request.id, body.value().size(),
+                             bytes);
+        bytes += body.value();
+        encoded = true;
+      } else {
+        response = ErrorResponse(request.id, StatusToWireError(body.status()),
+                                 body.status().message());
+      }
+    } else {
+      response = Execute(request);
+    }
+  } catch (const std::exception& e) {
+    response = ErrorResponse(request.id, WireError::kInternal,
+                             std::string("worker task failed: ") + e.what());
+    encoded = false;
+    bytes.clear();
+  } catch (...) {
+    response = ErrorResponse(request.id, WireError::kInternal,
+                             "worker task failed: unknown exception");
+    encoded = false;
+    bytes.clear();
+  }
+  gate_.Release();
+  if (!encoded) {
+    if (!response.ok()) errors_.Increment();
+    if (json_mode) {
+      bytes = ResponseToJsonLine(response) + "\n";
+    } else {
+      EncodeResponse(response, bytes);
+    }
+  }
+  request_us_.Record(
+      static_cast<uint64_t>((obs::MonotonicSeconds() - begin_s) * 1e6));
+  PushCompletion(conn_id, std::move(bytes));
+}
+
+void Server::PushCompletion(uint64_t conn_id, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.push_back(Completion{conn_id, std::move(bytes)});
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = connections_.find(completion.conn_id);
+    if (it == connections_.end()) continue;  // connection closed mid-flight
+    QueueOutput(*it->second, completion.bytes);
+    if (it->second->closing && it->second->out_pos == it->second->out.size()) {
+      CloseConnection(completion.conn_id);
+    }
+  }
+}
+
+void Server::QueueOutput(Connection& conn, std::string_view bytes) {
+  conn.out.append(bytes);
+  if (conn.want_write) return;  // epoll will flush
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn.want_write = true;
+        UpdateEpoll(conn);
+      }
+      // Hard write errors surface on the next epoll round as EPOLLERR.
+      return;
+    }
+    conn.out_pos += static_cast<size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  connections_.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::UpdateEpoll(Connection& conn) {
+  epoll_event event{};
+  event.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
+  event.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &event);
+}
+
+StatusOr<std::string> Server::QueryBody(const std::string& query_text) {
+  return CachedQueryBody(*context_.repo, cache_, query_text,
+                         options_.max_results);
+}
+
+Response Server::ErrorResponse(uint32_t id, WireError error,
+                               std::string message,
+                               uint32_t retry_after_ms) const {
+  Response response;
+  response.type = MsgType::kError;
+  response.id = id;
+  response.error = error;
+  response.message = std::move(message);
+  response.retry_after_ms = retry_after_ms;
+  return response;
+}
+
+Response Server::Execute(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.type = request.type;
+  switch (request.type) {
+    case MsgType::kPing:
+      break;
+    case MsgType::kIngest: {
+      if (context_.converter == nullptr) {
+        return ErrorResponse(request.id, WireError::kFailedPrecondition,
+                             "server has no document converter");
+      }
+      StatusOr<std::unique_ptr<Node>> tree =
+          context_.converter->TryConvert(request.body);
+      if (!tree.ok()) {
+        return ErrorResponse(request.id, StatusToWireError(tree.status()),
+                             tree.status().message());
+      }
+      StatusOr<DocId> id =
+          context_.durable != nullptr
+              ? context_.durable->Add(std::move(tree.value()))
+              : context_.repo->Add(std::move(tree.value()));
+      if (!id.ok()) {
+        return ErrorResponse(request.id, StatusToWireError(id.status()),
+                             id.status().message());
+      }
+      response.doc_id = id.value();
+      break;
+    }
+    case MsgType::kQuery: {
+      StatusOr<std::string> body = QueryBody(request.body);
+      if (!body.ok()) {
+        return ErrorResponse(request.id, StatusToWireError(body.status()),
+                             body.status().message());
+      }
+      if (!DecodeResponseBody(body.value(), response)) {
+        return ErrorResponse(request.id, WireError::kInternal,
+                             "self-encoded query body failed to decode");
+      }
+      break;
+    }
+    case MsgType::kSchema: {
+      const MajoritySchema schema = context_.repo->DiscoverSchema();
+      response.schema_text = schema.ToString();
+      response.dtd_text = BuildDtd(schema).ToString(/*attlist=*/false);
+      break;
+    }
+    case MsgType::kStats: {
+      const ServerStats server = stats();
+      const RepositoryStats repo = context_.repo->Stats();
+      std::string json = "{\"serve\":{";
+      AppendJsonKv(json, "accepted_connections",
+                   server.view.accepted_connections);
+      AppendJsonKv(json, "active_connections", server.view.active_connections);
+      AppendJsonKv(json, "requests", server.view.requests);
+      AppendJsonKv(json, "shed_requests", server.view.shed_requests);
+      AppendJsonKv(json, "errors", server.view.errors);
+      AppendJsonKv(json, "cache_hits", server.view.cache_hits);
+      AppendJsonKv(json, "cache_misses", server.view.cache_misses);
+      AppendJsonKv(json, "cache_evictions", server.view.cache_evictions);
+      AppendJsonKv(json, "cache_bytes", server.cache_bytes);
+      AppendJsonKv(json, "max_queue_depth", server.view.max_queue_depth,
+                   /*comma=*/false);
+      json += "},\"repository\":{";
+      AppendJsonKv(json, "documents", repo.documents);
+      AppendJsonKv(json, "elements", repo.elements);
+      AppendJsonKv(json, "distinct_paths", repo.distinct_paths);
+      AppendJsonKv(json, "flat_bytes", repo.flat_bytes, /*comma=*/false);
+      json += "}";
+      if (context_.durable != nullptr) {
+        const obs::StorageStatsView storage = context_.durable->stats();
+        json += ",\"storage\":{";
+        AppendJsonKv(json, "wal_appends", storage.wal_appends);
+        AppendJsonKv(json, "wal_replayed", storage.wal_replayed);
+        AppendJsonKv(json, "snapshot_bytes", storage.snapshot_bytes,
+                     /*comma=*/false);
+        json += "}";
+      }
+      json += "}";
+      response.stats_json = std::move(json);
+      break;
+    }
+    case MsgType::kCheckpoint: {
+      if (context_.durable == nullptr) {
+        return ErrorResponse(request.id, WireError::kFailedPrecondition,
+                             "checkpoint requires a durable repository "
+                             "(start the server with --data-dir)");
+      }
+      const Status status = context_.durable->Checkpoint();
+      if (!status.ok()) {
+        return ErrorResponse(request.id, StatusToWireError(status),
+                             status.message());
+      }
+      break;
+    }
+    case MsgType::kError:
+      return ErrorResponse(request.id, WireError::kBadFrame,
+                           "kError is response-only");
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace webre

@@ -1,0 +1,190 @@
+#ifndef WEBRE_SERVE_SERVER_H_
+#define WEBRE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "serve/admission.h"
+#include "serve/cache.h"
+#include "serve/frame.h"
+#include "storage/durable_repository.h"
+#include "util/resource_limits.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace webre {
+namespace serve {
+
+/// Tunables of the serving front end (CLI: `webre serve`, docs/CLI.md).
+struct ServeOptions {
+  /// TCP port to listen on (loopback). 0 picks an ephemeral port —
+  /// read it back from Server::port() after Start.
+  uint16_t port = 0;
+  /// Concurrent connections accepted; the (n+1)-th client is answered
+  /// with one kOverloaded error frame and closed (CLI: --max-clients).
+  size_t max_clients = 64;
+  /// Requests dispatched to workers but not yet answered, server-wide.
+  /// Beyond this the server sheds instead of queueing without bound.
+  size_t max_in_flight = 128;
+  /// Byte cap of the generation-keyed query-result cache; 0 disables
+  /// (CLI: --cache-bytes).
+  size_t cache_bytes = 8u << 20;
+  /// Worker threads executing requests (the event loop never blocks on
+  /// repository work). 0 means one per hardware thread.
+  size_t worker_threads = 2;
+  /// Per-connection request quota: a token bucket refilling at
+  /// `per_client_qps` with `per_client_burst` capacity. <= 0 disables.
+  double per_client_qps = 0.0;
+  double per_client_burst = 32.0;
+  /// Matches serialized into one query response (total_matches always
+  /// reports the full count).
+  size_t max_results = 100;
+  /// Byte/step budgets for request handling. max_input_bytes doubles
+  /// as the frame-payload cap, enforced on the ANNOUNCED length before
+  /// any payload byte is buffered.
+  ResourceLimits limits;
+  /// Test seam: runs on the worker just before a request executes.
+  /// A throwing hook exercises the worker-failure surface (the client
+  /// sees a kInternal error carrying the message).
+  std::function<void(const Request&)> before_execute;
+};
+
+/// What the server serves. `repo` is required. When `durable` is set it
+/// must own `repo` (ingest then goes through the WAL and kCheckpoint
+/// works); otherwise checkpoint requests fail with kFailedPrecondition.
+/// `converter` powers kIngest (HTML in, document admitted); without one
+/// ingest fails with kFailedPrecondition. Borrowed pointers — they must
+/// outlive the server.
+struct ServeContext {
+  XmlRepository* repo = nullptr;
+  storage::DurableRepository* durable = nullptr;
+  const DocumentConverter* converter = nullptr;
+};
+
+/// Point-in-time server counters plus the cache footprint.
+struct ServerStats {
+  obs::ServeStatsView view;
+  size_t cache_bytes = 0;
+  size_t active_connections = 0;
+};
+
+/// The network serving front end: one epoll event loop owning every
+/// connection, a ThreadPool executing requests, and admission control
+/// shedding load before it queues (DESIGN.md §15).
+///
+/// Threading model — chosen so the server is data-race-free by
+/// construction, not by locking:
+///   - The LOOP THREAD owns all connection state (buffers, decoders,
+///     token buckets). No other thread ever touches a Connection.
+///   - WORKERS receive a Request BY VALUE, execute it against the
+///     repository (whose own synchronization covers concurrent access),
+///     and push the fully encoded response bytes onto a mutex-guarded
+///     completion queue keyed by connection id, then ring an eventfd.
+///   - The loop drains completions and writes; completions for
+///     connections that closed meanwhile are dropped by id lookup.
+/// The only shared mutable state is the completion queue (one mutex)
+/// and the atomic counters.
+///
+/// Both wire faces (binary frames, JSON-lines debug) are handled; a
+/// connection whose first byte is '{' speaks JSON. Protocol reference:
+/// docs/SERVING.md.
+class Server {
+ public:
+  Server(ServeContext context, ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the loop + workers. kInternal on socket
+  /// errors (message carries errno text).
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins loop and workers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  /// The bound port (meaningful after Start; resolves port 0).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  /// Executes one request against the context, bypassing the network —
+  /// the exact function workers run. Public so endpoint logic is
+  /// testable without sockets, and reused by the in-process bench.
+  Response Execute(const Request& request);
+
+ private:
+  struct Connection;
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;
+  };
+
+  void LoopThread();
+  void AcceptReady();
+  /// Reads and processes one connection's input. Returns false when the
+  /// connection should be closed.
+  bool ReadReady(Connection& conn);
+  bool WriteReady(Connection& conn);
+  /// Runs admission and dispatches (or sheds) one decoded request.
+  void HandleRequest(Connection& conn, Request request);
+  /// Worker body: execute, encode, complete.
+  void RunRequest(uint64_t conn_id, bool json_mode, Request request);
+  void PushCompletion(uint64_t conn_id, std::string bytes);
+  void DrainCompletions();
+  /// Queues `bytes` on `conn` and flushes as far as the socket allows.
+  void QueueOutput(Connection& conn, std::string_view bytes);
+  void CloseConnection(uint64_t conn_id);
+  void UpdateEpoll(Connection& conn);
+
+  /// The kQuery endpoint: encoded response body through the cache.
+  StatusOr<std::string> QueryBody(const std::string& query_text);
+  Response ErrorResponse(uint32_t id, WireError error, std::string message,
+                         uint32_t retry_after_ms = 0) const;
+
+  ServeContext context_;
+  ServeOptions options_;
+  QueryCache cache_;
+  InFlightGate gate_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread loop_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  /// Loop-thread-only: open connections by id.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  obs::Counter accepted_;
+  obs::Counter requests_;
+  obs::Counter shed_;
+  obs::Counter errors_;
+  std::atomic<size_t> active_{0};
+  obs::Histogram request_us_;
+};
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_SERVER_H_

@@ -1,0 +1,208 @@
+// The generation-keyed query-result cache: LRU/byte-cap unit behaviour,
+// the generation protocol (stale entries never served, racing inserts
+// discarded), and the concurrent differential that is this cache's
+// acceptance test — under a live writer, a cached result is NEVER
+// served after its shard acknowledged a mutation the result predates.
+// Run under WEBRE_SANITIZE=thread to prove the protocol is also
+// race-free, not just linearizable by luck.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concepts/resume_domain.h"
+#include "corpus/resume_generator.h"
+#include "gtest/gtest.h"
+#include "repository/repository.h"
+#include "restructure/converter.h"
+#include "restructure/recognizer.h"
+#include "serve/cache.h"
+#include "serve/frame.h"
+
+namespace webre {
+namespace serve {
+namespace {
+
+std::vector<uint64_t> Gen(std::initializer_list<uint64_t> values) {
+  return std::vector<uint64_t>(values);
+}
+
+TEST(QueryCache, HitRequiresExactGenerationVector) {
+  QueryCache cache(1u << 20);
+  ASSERT_TRUE(cache.Insert("//DATE", Gen({1, 2}), Gen({1, 2}), "body-a"));
+
+  std::string body;
+  EXPECT_TRUE(cache.Lookup("//DATE", Gen({1, 2}), body));
+  EXPECT_EQ(body, "body-a");
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Any shard advancing invalidates the entry — and the stale entry is
+  // erased, so a THIRD lookup at the old vector also misses.
+  EXPECT_FALSE(cache.Lookup("//DATE", Gen({1, 3}), body));
+  EXPECT_FALSE(cache.Lookup("//DATE", Gen({1, 2}), body));
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(QueryCache, RacedInsertDiscarded) {
+  QueryCache cache(1u << 20);
+  // A concurrent Add advanced shard 0 between evaluation start and
+  // insert; the entry must not be stored.
+  EXPECT_FALSE(cache.Insert("//DATE", Gen({1, 2}), Gen({2, 2}), "body-a"));
+  std::string body;
+  EXPECT_FALSE(cache.Lookup("//DATE", Gen({1, 2}), body));
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(QueryCache, LruEvictsByBytes) {
+  // Each entry costs key + body + generations; size the cache for two.
+  const std::string body(100, 'x');
+  const size_t entry = 2 + body.size() + sizeof(uint64_t);
+  QueryCache cache(2 * entry);
+
+  ASSERT_TRUE(cache.Insert("q1", Gen({1}), Gen({1}), body));
+  ASSERT_TRUE(cache.Insert("q2", Gen({1}), Gen({1}), body));
+  std::string out;
+  ASSERT_TRUE(cache.Lookup("q1", Gen({1}), out));  // q1 now most recent
+
+  ASSERT_TRUE(cache.Insert("q3", Gen({1}), Gen({1}), body));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup("q1", Gen({1}), out));
+  EXPECT_FALSE(cache.Lookup("q2", Gen({1}), out));  // LRU victim
+  EXPECT_TRUE(cache.Lookup("q3", Gen({1}), out));
+  EXPECT_LE(cache.bytes(), 2 * entry);
+}
+
+TEST(QueryCache, ZeroCapDisables) {
+  QueryCache cache(0);
+  EXPECT_FALSE(cache.Insert("q", Gen({1}), Gen({1}), "body"));
+  std::string out;
+  EXPECT_FALSE(cache.Lookup("q", Gen({1}), out));
+}
+
+class CachedQueryTest : public testing::Test {
+ protected:
+  CachedQueryTest()
+      : concepts_(ResumeConcepts()),
+        constraints_(ResumeConstraints()),
+        recognizer_(&concepts_),
+        converter_(&concepts_, &recognizer_, &constraints_) {}
+
+  std::unique_ptr<Node> Doc(size_t index) {
+    return converter_.Convert(GenerateResume(index).html);
+  }
+
+  static uint64_t TotalMatches(const std::string& body) {
+    Response response;
+    response.type = MsgType::kQuery;
+    EXPECT_TRUE(DecodeResponseBody(body, response));
+    return response.total_matches;
+  }
+
+  ConceptSet concepts_;
+  ConstraintSet constraints_;
+  SynonymRecognizer recognizer_;
+  DocumentConverter converter_;
+};
+
+TEST_F(CachedQueryTest, SecondEvaluationIsAHit) {
+  RepositoryOptions options;
+  options.num_shards = 2;
+  XmlRepository repo(options);
+  for (size_t i = 0; i < 8; ++i) ASSERT_TRUE(repo.Add(Doc(i)).ok());
+
+  QueryCache cache(1u << 20);
+  auto first = CachedQueryBody(repo, cache, "//DATE", 100);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto second = CachedQueryBody(repo, cache, "//DATE", 100);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(*first, *second);
+
+  // A parse error caches nothing.
+  EXPECT_FALSE(CachedQueryBody(repo, cache, "///", 100).ok());
+}
+
+TEST_F(CachedQueryTest, AddInvalidatesAcrossTheCache) {
+  RepositoryOptions options;
+  options.num_shards = 2;
+  XmlRepository repo(options);
+  ASSERT_TRUE(repo.Add(Doc(0)).ok());
+
+  QueryCache cache(1u << 20);
+  auto before = CachedQueryBody(repo, cache, "//DATE", 100);
+  ASSERT_TRUE(before.ok());
+  const uint64_t matches_before = TotalMatches(*before);
+
+  ASSERT_TRUE(repo.Add(Doc(1)).ok());
+
+  // The old body must not be served: generation changed, so this is a
+  // miss re-evaluated against the repository that includes doc 1.
+  auto after = CachedQueryBody(repo, cache, "//DATE", 100);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(TotalMatches(*after), matches_before);
+}
+
+// The differential: one writer admits copies of a fixed document (each
+// adds exactly `per_doc` matches); readers hammer the cached query
+// path. Invariant — a reader that observed `n` acknowledged documents
+// BEFORE asking must see at least n * per_doc matches, cached or not.
+// A cache serving one stale body violates this immediately, because
+// the acknowledging Add bumped its shard's generation first.
+TEST_F(CachedQueryTest, ConcurrentWriterNeverYieldsStaleResults) {
+  RepositoryOptions options;
+  options.num_shards = 4;
+  XmlRepository repo(options);
+
+  // Calibrate per-document match count with one seed admission.
+  ASSERT_TRUE(repo.Add(Doc(0)).ok());
+  QueryCache calibration(1u << 20);
+  auto seed = CachedQueryBody(repo, calibration, "//DATE", 1000);
+  ASSERT_TRUE(seed.ok());
+  const uint64_t per_doc = TotalMatches(*seed);
+  ASSERT_GT(per_doc, 0u);
+
+  QueryCache cache(1u << 20);
+  std::atomic<uint64_t> acked{1};  // the calibration document
+  constexpr size_t kWrites = 40;
+
+  std::thread writer([&] {
+    for (size_t i = 0; i < kWrites; ++i) {
+      ASSERT_TRUE(repo.Add(Doc(0)).ok());
+      acked.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 400; ++i) {
+        const uint64_t floor = acked.load(std::memory_order_acquire);
+        auto body = CachedQueryBody(repo, cache, "//DATE", 1);
+        if (!body.ok()) {
+          ADD_FAILURE() << body.status().ToString();
+          return;
+        }
+        EXPECT_GE(TotalMatches(*body), floor * per_doc)
+            << "cached result predates an acknowledged Add";
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  // Final state: one more evaluation sees every write.
+  auto final_body = CachedQueryBody(repo, cache, "//DATE", 1);
+  ASSERT_TRUE(final_body.ok());
+  EXPECT_EQ(TotalMatches(*final_body), (kWrites + 1) * per_doc);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace webre

@@ -1,0 +1,309 @@
+// Unit tests for the wire protocol (serve/frame): frame round-trips in
+// both directions, incremental/chunked decoding, the rejection paths a
+// malformed or adversarial byte stream must take, and the JSON-lines
+// debug face. The frame layout itself is documented in docs/SERVING.md;
+// these tests pin the layout's observable behaviour.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/frame.h"
+#include "util/status.h"
+
+namespace webre {
+namespace serve {
+namespace {
+
+constexpr size_t kCap = 1u << 20;
+
+Request MakeQuery(uint32_t id, std::string text) {
+  Request request;
+  request.type = MsgType::kQuery;
+  request.id = id;
+  request.body = std::move(text);
+  return request;
+}
+
+TEST(Frame, RequestRoundTripsEveryType) {
+  const MsgType types[] = {MsgType::kPing,   MsgType::kIngest,
+                           MsgType::kQuery,  MsgType::kSchema,
+                           MsgType::kStats,  MsgType::kCheckpoint};
+  for (MsgType type : types) {
+    Request request;
+    request.type = type;
+    request.id = 0xDEADBEEFu;
+    if (type == MsgType::kIngest) request.body = "<html>x</html>";
+    if (type == MsgType::kQuery) request.body = "//DATE";
+
+    std::string wire;
+    EncodeRequest(request, wire);
+    FrameDecoder decoder(kCap);
+    decoder.Append(wire);
+    Request decoded;
+    ASSERT_EQ(decoder.NextRequest(decoded), FrameStatus::kFrame);
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.body, request.body);
+    EXPECT_EQ(decoder.NextRequest(decoded), FrameStatus::kNeedMore);
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(Frame, ResponseRoundTripsEveryFace) {
+  Response query;
+  query.type = MsgType::kQuery;
+  query.id = 7;
+  query.total_matches = 1000;
+  query.matches.push_back({42, 3, "DATE", "1999"});
+  query.matches.push_back({43, 0, "LANGUAGE", "Java \"quoted\""});
+
+  Response schema;
+  schema.type = MsgType::kSchema;
+  schema.id = 8;
+  schema.schema_text = "resume -> CONTACT EDUCATION";
+  schema.dtd_text = "<!ELEMENT resume (CONTACT)>";
+
+  Response error;
+  error.type = MsgType::kError;
+  error.id = 9;
+  error.error = WireError::kOverloaded;
+  error.retry_after_ms = 125;
+  error.message = "in-flight cap reached";
+
+  Response ingest;
+  ingest.type = MsgType::kIngest;
+  ingest.id = 10;
+  ingest.doc_id = 77;
+
+  Response stats;
+  stats.type = MsgType::kStats;
+  stats.id = 11;
+  stats.stats_json = "{\"serve\":{}}";
+
+  for (const Response* original : {&query, &schema, &error, &ingest, &stats}) {
+    std::string wire;
+    EncodeResponse(*original, wire);
+    FrameDecoder decoder(kCap);
+    decoder.Append(wire);
+    Response decoded;
+    ASSERT_EQ(decoder.NextResponse(decoded), FrameStatus::kFrame);
+    EXPECT_EQ(decoded.id, original->id);
+    EXPECT_EQ(decoded.error, original->error);
+    EXPECT_EQ(decoded.retry_after_ms, original->retry_after_ms);
+    EXPECT_EQ(decoded.message, original->message);
+    EXPECT_EQ(decoded.doc_id, original->doc_id);
+    EXPECT_EQ(decoded.total_matches, original->total_matches);
+    ASSERT_EQ(decoded.matches.size(), original->matches.size());
+    for (size_t i = 0; i < decoded.matches.size(); ++i) {
+      EXPECT_EQ(decoded.matches[i].doc, original->matches[i].doc);
+      EXPECT_EQ(decoded.matches[i].pos, original->matches[i].pos);
+      EXPECT_EQ(decoded.matches[i].name, original->matches[i].name);
+      EXPECT_EQ(decoded.matches[i].val, original->matches[i].val);
+    }
+    EXPECT_EQ(decoded.schema_text, original->schema_text);
+    EXPECT_EQ(decoded.dtd_text, original->dtd_text);
+    EXPECT_EQ(decoded.stats_json, original->stats_json);
+  }
+}
+
+TEST(Frame, ResponseBodyPlusHeaderEqualsWholeFrame) {
+  // The cache stores bodies and stamps headers per request; the split
+  // encoding must be byte-identical to the one-shot encoding.
+  Response response;
+  response.type = MsgType::kQuery;
+  response.id = 1234;
+  response.total_matches = 2;
+  response.matches.push_back({1, 0, "DATE", "2001"});
+
+  std::string whole;
+  EncodeResponse(response, whole);
+
+  std::string split;
+  std::string body;
+  EncodeResponseBody(response, body);
+  EncodeResponseHeader(response.type, response.id, body.size(), split);
+  split += body;
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Frame, ChunkedDeliveryMatchesContiguous) {
+  std::string wire;
+  EncodeRequest(MakeQuery(1, "//DATE"), wire);
+  EncodeRequest(MakeQuery(2, "/resume/SKILLS/LANGUAGE"), wire);
+  Request ingest;
+  ingest.type = MsgType::kIngest;
+  ingest.id = 3;
+  ingest.body = std::string(1000, 'x');
+  EncodeRequest(ingest, wire);
+
+  // Byte-at-a-time delivery must produce the same three frames.
+  FrameDecoder decoder(kCap);
+  std::vector<Request> decoded;
+  for (char byte : wire) {
+    decoder.Append(std::string_view(&byte, 1));
+    Request request;
+    while (decoder.NextRequest(request) == FrameStatus::kFrame) {
+      decoded.push_back(request);
+    }
+  }
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].body, "//DATE");
+  EXPECT_EQ(decoded[1].id, 2u);
+  EXPECT_EQ(decoded[2].body.size(), 1000u);
+}
+
+TEST(Frame, TruncatedFrameNeedsMore) {
+  std::string wire;
+  EncodeRequest(MakeQuery(5, "//DATE"), wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder(kCap);
+    decoder.Append(std::string_view(wire).substr(0, cut));
+    Request request;
+    EXPECT_EQ(decoder.NextRequest(request), FrameStatus::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Frame, BadVersionRejected) {
+  std::string wire;
+  EncodeRequest(MakeQuery(5, "//DATE"), wire);
+  wire[4] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder(kCap);
+  decoder.Append(wire);
+  Request request;
+  EXPECT_EQ(decoder.NextRequest(request), FrameStatus::kBad);
+  EXPECT_FALSE(decoder.error().empty());
+}
+
+TEST(Frame, UnknownTypeRejected) {
+  std::string wire;
+  EncodeRequest(MakeQuery(5, "//DATE"), wire);
+  wire[5] = static_cast<char>(0x60);
+  FrameDecoder decoder(kCap);
+  decoder.Append(wire);
+  Request request;
+  EXPECT_EQ(decoder.NextRequest(request), FrameStatus::kBad);
+}
+
+TEST(Frame, DirectionFlagEnforced) {
+  // A response frame fed to the request decoder (and vice versa) is a
+  // framing error, not a silent misparse.
+  Response response;
+  response.type = MsgType::kPing;
+  response.id = 1;
+  std::string wire;
+  EncodeResponse(response, wire);
+  FrameDecoder decoder(kCap);
+  decoder.Append(wire);
+  Request request;
+  EXPECT_EQ(decoder.NextRequest(request), FrameStatus::kBad);
+
+  std::string request_wire;
+  EncodeRequest(MakeQuery(1, "//DATE"), request_wire);
+  FrameDecoder response_decoder(kCap);
+  response_decoder.Append(request_wire);
+  Response decoded;
+  EXPECT_EQ(response_decoder.NextResponse(decoded), FrameStatus::kBad);
+}
+
+TEST(Frame, OversizedAnnouncementRejectedBeforePayload) {
+  // A 64 MiB announcement against a 4 KiB cap must be rejected from the
+  // 12 header bytes alone — buffering the payload first would BE the
+  // resource exhaustion the cap exists to prevent.
+  std::string wire;
+  EncodeRequest(MakeQuery(5, "//DATE"), wire);
+  const uint32_t huge = 64u << 20;
+  wire[0] = static_cast<char>(huge & 0xFF);
+  wire[1] = static_cast<char>((huge >> 8) & 0xFF);
+  wire[2] = static_cast<char>((huge >> 16) & 0xFF);
+  wire[3] = static_cast<char>((huge >> 24) & 0xFF);
+
+  FrameDecoder decoder(4096);
+  decoder.Append(wire.substr(0, kFrameHeaderBytes));
+  Request request;
+  EXPECT_EQ(decoder.NextRequest(request), FrameStatus::kBad);
+}
+
+TEST(Frame, TruncatedPayloadStringRejected) {
+  // A response payload announcing an inner string longer than the
+  // payload itself (request bodies are raw; strings-with-length live in
+  // response payloads).
+  Response schema;
+  schema.type = MsgType::kSchema;
+  schema.id = 3;
+  schema.schema_text = "resume";
+  schema.dtd_text = "<!ELEMENT resume EMPTY>";
+  std::string wire;
+  EncodeResponse(schema, wire);
+  // First payload field is the u32 length of schema_text; point it past
+  // the end of the payload.
+  wire[kFrameHeaderBytes] = static_cast<char>(0xFF);
+  FrameDecoder decoder(kCap);
+  decoder.Append(wire);
+  Response decoded;
+  EXPECT_EQ(decoder.NextResponse(decoded), FrameStatus::kBad);
+}
+
+TEST(Frame, JsonRequestParses) {
+  Request request;
+  ASSERT_TRUE(
+      ParseJsonRequest("{\"op\":\"query\",\"q\":\"//DATE\",\"id\":7}", request)
+          .ok());
+  EXPECT_EQ(request.type, MsgType::kQuery);
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_EQ(request.body, "//DATE");
+
+  ASSERT_TRUE(ParseJsonRequest("{\"op\":\"ping\"}", request).ok());
+  EXPECT_EQ(request.type, MsgType::kPing);
+
+  ASSERT_TRUE(
+      ParseJsonRequest("{\"op\":\"ingest\",\"html\":\"<b>x</b>\",\"id\":2}",
+                       request)
+          .ok());
+  EXPECT_EQ(request.type, MsgType::kIngest);
+  EXPECT_EQ(request.body, "<b>x</b>");
+}
+
+TEST(Frame, JsonRequestRejectsGarbage) {
+  Request request;
+  EXPECT_FALSE(ParseJsonRequest("", request).ok());
+  EXPECT_FALSE(ParseJsonRequest("not json", request).ok());
+  EXPECT_FALSE(ParseJsonRequest("{\"op\":\"launch-missiles\"}", request).ok());
+  EXPECT_FALSE(ParseJsonRequest("{\"q\":\"//DATE\"}", request).ok());
+  EXPECT_FALSE(
+      ParseJsonRequest("{\"op\":\"ping\",\"mystery\":1}", request).ok());
+}
+
+TEST(Frame, ResponseJsonLineCarriesErrorTaxonomy) {
+  Response shed;
+  shed.type = MsgType::kError;
+  shed.id = 4;
+  shed.error = WireError::kOverloaded;
+  shed.retry_after_ms = 50;
+  shed.message = "quota";
+  const std::string line = ResponseToJsonLine(shed);
+  EXPECT_NE(line.find("\"error\":\"overloaded\""), std::string::npos);
+  EXPECT_NE(line.find("\"retry_after_ms\":50"), std::string::npos);
+
+  Response pong;
+  pong.type = MsgType::kPing;
+  pong.id = 5;
+  EXPECT_NE(ResponseToJsonLine(pong).find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Frame, StatusMapsOntoWireTaxonomy) {
+  EXPECT_EQ(StatusToWireError(Status::InvalidArgument("x")),
+            WireError::kInvalidArgument);
+  EXPECT_EQ(StatusToWireError(Status::NotFound("x")), WireError::kNotFound);
+  EXPECT_EQ(StatusToWireError(Status::FailedPrecondition("x")),
+            WireError::kFailedPrecondition);
+  EXPECT_EQ(StatusToWireError(Status::ResourceExhausted("x")),
+            WireError::kResourceExhausted);
+  EXPECT_EQ(StatusToWireError(Status::Internal("x")), WireError::kInternal);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace webre

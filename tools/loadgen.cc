@@ -1,0 +1,120 @@
+// loadgen — open-loop traffic generator for a running `webre serve`
+// (wire protocol and workload semantics: docs/SERVING.md).
+//
+//   loadgen --port=N [options]
+//
+// Options:
+//   --port=N              server port (required)
+//   --qps=F               target arrival rate across connections
+//                         (default 200)
+//   --duration=F          seconds of traffic (default 1.0)
+//   --connections=N       client connections (default 2)
+//   --write-fraction=F    fraction of requests that are ingests
+//                         (default 0; the rest are path queries)
+//   --seed=N              workload seed (default 1)
+//   --json=FILE           write the report as one JSON object
+//   --capture-frames=DIR  save the first encoded request frames to DIR
+//                         (fuzz seed corpus from real traffic)
+//
+// The arrival process is Poisson and OPEN LOOP: arrivals never wait for
+// responses, so overload shows up as shed requests and tail latency
+// instead of a silently throttled offered rate. Exit code: 0 when every
+// response was ok or shed, 1 on connection failure or error responses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corpus/resume_generator.h"
+#include "serve/loadgen.h"
+#include "util/file.h"
+
+namespace {
+
+// The query-bench workload (tools/webre_cli.cc): summary-only shapes,
+// descendant/wildcard/predicate shapes and an intermediate predicate.
+const char* const kQueries[] = {
+    "/resume/EDUCATION/DATE",
+    "/resume/SKILLS/LANGUAGE",
+    "/resume/CONTACT/LOCATION/EMAIL",
+    "//DATE",
+    "//LANGUAGE[val~\"java\"]",
+    "/resume/EXPERIENCE//DATE",
+    "//LOCATION/*",
+    "/resume/EDUCATION[val~\"univ\"]/DATE",
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "loadgen: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  webre::serve::LoadgenOptions options;
+  std::string json_path;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port =
+          static_cast<uint16_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+      have_port = true;
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      options.target_qps = std::strtod(arg.c_str() + 6, nullptr);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      options.duration_s = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      options.connections =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg.rfind("--write-fraction=", 0) == 0) {
+      options.write_fraction = std::strtod(arg.c_str() + 17, nullptr);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--capture-frames=", 0) == 0) {
+      options.capture_dir = arg.substr(17);
+    } else {
+      return Fail("unknown flag " + arg + " (see docs/SERVING.md)");
+    }
+  }
+  if (!have_port) return Fail("--port is required");
+
+  for (const char* query : kQueries) options.queries.push_back(query);
+  if (options.write_fraction > 0.0) {
+    for (size_t i = 0; i < 8; ++i) {
+      options.ingest_bodies.push_back(webre::GenerateResume(1000 + i).html);
+    }
+  }
+
+  webre::StatusOr<webre::serve::LoadgenReport> report =
+      webre::serve::RunLoadgen(options);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::printf("loadgen: sent %llu in %.2fs (offered %.0f qps, target %.0f), "
+              "%llu ok (%.0f qps), %llu shed, %llu errors\n",
+              static_cast<unsigned long long>(report->sent), report->wall_s,
+              report->offered_qps, options.target_qps,
+              static_cast<unsigned long long>(report->ok),
+              report->achieved_qps,
+              static_cast<unsigned long long>(report->shed),
+              static_cast<unsigned long long>(report->errors));
+  std::printf("latency us: p50 %llu, p90 %llu, p99 %llu, p999 %llu, "
+              "max %llu, mean %.0f\n",
+              static_cast<unsigned long long>(report->p50_us),
+              static_cast<unsigned long long>(report->p90_us),
+              static_cast<unsigned long long>(report->p99_us),
+              static_cast<unsigned long long>(report->p999_us),
+              static_cast<unsigned long long>(report->max_us),
+              report->mean_us);
+  if (!json_path.empty()) {
+    const std::string json = webre::serve::LoadgenReportToJson(
+        *report, options.target_qps, options.write_fraction);
+    webre::Status status = webre::WriteFileAtomic(json_path, json + "\n");
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  return report->errors == 0 ? 0 : 1;
+}

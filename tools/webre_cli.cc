@@ -5,8 +5,12 @@
 //   webre map [options] FILE...          conform documents to the DTD
 //   webre query QUERY FILE...            run a path query over files
 //   webre query-bench [N]                query-serving throughput benchmark
+//   webre serve [N]                      network front end (docs/SERVING.md)
 //   webre demo [N]                       end-to-end on N generated resumes
 //   webre help                           full flag reference on stdout
+//
+// `webre --serve [options]` is equivalent to `webre serve [options]`
+// (flags-first spelling for process supervisors).
 //
 // Options for discover/map:
 //   --sup=F      support threshold (default 0.45)
@@ -39,6 +43,7 @@
 // 233 instances); the library API accepts any ConceptSet for other
 // topics.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +61,7 @@
 #include "obs/trace.h"
 #include "repository/repository.h"
 #include "restructure/recognizer.h"
+#include "serve/server.h"
 #include "storage/durable_repository.h"
 #include "util/file.h"
 #include "util/resource_limits.h"
@@ -75,6 +81,10 @@ struct CliOptions {
   std::string data_dir;            // --data-dir=DIR (durable repository)
   bool checkpoint = false;         // --checkpoint (snapshot + truncate WALs)
   std::string wal_sync = "none";   // --wal-sync=none|fdatasync
+  bool serve = false;              // --serve (flags-first serve spelling)
+  uint16_t port = 0;               // --port=N (0 = ephemeral)
+  size_t max_clients = 64;         // --max-clients=N
+  size_t cache_bytes = 8u << 20;   // --cache-bytes=N (0 disables)
   bool keep_going = true;
   webre::ResourceLimits limits;
   std::string metrics_json_path;  // --metrics-json=FILE
@@ -111,6 +121,17 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
       options.checkpoint = true;
     } else if (arg.rfind("--wal-sync=", 0) == 0) {
       options.wal_sync = arg.substr(11);
+    } else if (arg == "--serve") {
+      options.serve = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      options.port =
+          static_cast<uint16_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--max-clients=", 0) == 0) {
+      options.max_clients =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      options.cache_bytes =
+          static_cast<size_t>(std::strtoull(arg.c_str() + 14, nullptr, 10));
     } else if (arg == "--attlist") {
       options.attlist = true;
     } else if (arg == "--keep-going") {
@@ -670,6 +691,78 @@ int CmdQueryBench(const CliOptions& options) {
   return sinks.Finish(options);
 }
 
+// Serves the repository over TCP (wire protocol: docs/SERVING.md).
+// `webre serve [N]` preloads N generated resumes (default 0), prints the
+// bound port, then runs until stdin reaches EOF — the shape a process
+// supervisor (or a test harness) wants. With --data-dir the repository
+// is durable: recovered at start, ingests WAL-logged, and the protocol's
+// checkpoint request works.
+int CmdServe(const CliOptions& options) {
+  const size_t count =
+      options.args.empty()
+          ? 0
+          : std::strtoul(options.args[0].c_str(), nullptr, 10);
+  Domain domain;
+  ObsSinks sinks(options);
+  RepoHandle handle;
+  if (webre::Status status = handle.Open(options); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  webre::ConvertOptions convert;
+  convert.root_name = options.root;
+  convert.limits = options.limits;
+  webre::DocumentConverter converter(&domain.concepts, &domain.recognizer,
+                                     &domain.constraints, convert);
+  for (size_t i = 0; i < count; ++i) {
+    auto tree = converter.TryConvert(webre::GenerateResume(i).html);
+    if (!tree.ok()) return Fail(tree.status().ToString());
+    auto added = handle.Add(std::move(tree.value()), nullptr);
+    if (!added.ok()) return Fail(added.status().ToString());
+  }
+
+  webre::serve::ServeContext context;
+  context.repo = handle.repo;
+  context.durable = handle.durable.get();
+  context.converter = &converter;
+  webre::serve::ServeOptions serve_options;
+  serve_options.port = options.port;
+  serve_options.max_clients = options.max_clients;
+  serve_options.cache_bytes = options.cache_bytes;
+  serve_options.worker_threads = options.threads;
+  serve_options.limits = options.limits;
+  webre::serve::Server server(context, serve_options);
+  if (webre::Status status = server.Start(); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::printf("webre: serving on 127.0.0.1:%u (%zu documents preloaded; "
+              "EOF on stdin stops)\n",
+              server.port(), handle.repo->size());
+  std::fflush(stdout);
+  char buffer[256];
+  while (std::fread(buffer, 1, sizeof(buffer), stdin) > 0) {
+  }
+  server.Stop();
+
+  const webre::serve::ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "webre: served %llu requests (%llu shed, %llu errors), "
+               "cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(stats.view.requests),
+               static_cast<unsigned long long>(stats.view.shed_requests),
+               static_cast<unsigned long long>(stats.view.errors),
+               static_cast<unsigned long long>(stats.view.cache_hits),
+               static_cast<unsigned long long>(stats.view.cache_misses));
+  if (sinks.metrics != nullptr) {
+    sinks.metrics->MergeServeStats(stats.view);
+    sinks.metrics->MergeQueryStats(handle.repo->query_stats());
+  }
+  if (handle.Finish(options, sinks) != 0) {
+    sinks.Finish(options);
+    return 1;
+  }
+  return sinks.Finish(options);
+}
+
 int CmdDemo(const CliOptions& options) {
   const size_t count =
       options.args.empty()
@@ -705,6 +798,8 @@ void PrintHelp(std::FILE* out) {
       "  map FILE...           conform documents to the discovered DTD\n"
       "  query QUERY FILE...   run a path query (e.g. //DATE[val~\"1996\"])\n"
       "  query-bench [N]       time a query workload over N generated docs\n"
+      "  serve [N]             serve the repository over TCP, preloading N\n"
+      "                        generated resumes (see docs/SERVING.md)\n"
       "  demo [N]              end-to-end run on N generated resumes\n"
       "  help                  print this reference on stdout\n"
       "discovery options (discover/map/query/demo):\n"
@@ -723,6 +818,13 @@ void PrintHelp(std::FILE* out) {
       "  --wal-sync=MODE       WAL durability: none (default) or fdatasync\n"
       "  --checkpoint          write a snapshot and truncate the WALs\n"
       "                        before exiting (requires --data-dir)\n"
+      "serving options (serve; `--serve` = flags-first spelling):\n"
+      "  --serve               run the server (equivalent to `serve`)\n"
+      "  --port=N              TCP port to bind on loopback (0 = ephemeral)\n"
+      "  --max-clients=N       concurrent connections before shedding\n"
+      "                        (default 64)\n"
+      "  --cache-bytes=N       query-result cache size (default 8 MiB;\n"
+      "                        0 disables)\n"
       "fault isolation:\n"
       "  --keep-going          record failures, continue (default)\n"
       "  --no-keep-going       any failed document aborts the batch\n"
@@ -750,6 +852,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
+  if (command.rfind("--", 0) == 0 && command != "--help") {
+    // Flags-first spelling: `webre --serve --port=7070 ...`.
+    CliOptions options = ParseFlags(argc, argv, 1);
+    if (options.help) {
+      PrintHelp(stdout);
+      return 0;
+    }
+    if (options.serve) return CmdServe(options);
+    Usage();
+    return 1;
+  }
   CliOptions options = ParseFlags(argc, argv, 2);
   if (command == "help" || command == "--help" || options.help) {
     PrintHelp(stdout);
@@ -760,6 +873,7 @@ int main(int argc, char** argv) {
   if (command == "map") return CmdMap(options);
   if (command == "query") return CmdQuery(options);
   if (command == "query-bench") return CmdQueryBench(options);
+  if (command == "serve" || options.serve) return CmdServe(options);
   if (command == "demo") return CmdDemo(options);
   Usage();
   return 1;
