@@ -14,8 +14,17 @@
 //               cached results, so this arm measures the cache under
 //               churn plus convert-on-the-worker-pool latency.
 //
+// A third `scaling` section replays both workloads against fresh
+// servers at --loops 1, 2 and 4 (2 connections per loop, same corpus
+// rebuilt per configuration so ingests cannot leak across arms). It
+// records `cores` (hardware threads of the machine the record was
+// captured on) because the multi-reactor speedup is meaningless
+// without it — ci/bench_smoke.sh asserts the 1->4-loop read speedup
+// floor only when the artifact was recorded on >= 4 cores, and a
+// non-regression floor otherwise.
+//
 // The binary fails (exit 1) when any response was an error — sheds are
-// reported but only count as failure for the read_only arm, which is
+// reported but only count as failure for the read_only arms, which are
 // provisioned to stay under the admission limits.
 //
 // Prints one JSON object to stdout; the checked-in BENCH_serving.json
@@ -26,10 +35,12 @@
 // Usage: bench_serving [--docs=N] [--qps=F] [--mixed-qps=F]
 //                      [--duration=F] [--connections=N] [--workers=N]
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "concepts/resume_domain.h"
@@ -105,6 +116,16 @@ std::string ArmJson(const webre::serve::LoadgenReport& report,
   return out;
 }
 
+// Blocks until the server has processed every previous arm's connection
+// teardown. The connection cap counts a connection until its EOF is
+// handled by its loop, so starting the next arm too early would shed
+// its clients against the cap and poison the measurement.
+void AwaitConnectionDrain(const webre::serve::Server& server) {
+  while (server.stats().active_connections > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +174,7 @@ int main(int argc, char** argv) {
   const webre::obs::ServeStatsView after_read = server.stats().view;
 
   // Arm 2: 10% ingests at the mixed target.
+  AwaitConnectionDrain(server);
   load.target_qps = flags.mixed_qps;
   load.write_fraction = 0.1;
   load.seed = 2;
@@ -168,6 +190,87 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Scaling study: both workloads against fresh 1-, 2- and 4-loop
+  // servers. Each configuration gets its own repository built from the
+  // same seeds, so the mixed arm's ingests cannot grow the corpus a
+  // later configuration is measured on.
+  const size_t kLoopCounts[] = {1, 2, 4};
+  std::string scaling_arms;
+  double scaling_read_qps[3] = {0.0, 0.0, 0.0};
+  double scaling_mixed_qps[3] = {0.0, 0.0, 0.0};
+  bool scaling_failed = false;
+  for (size_t li = 0; li < 3; ++li) {
+    const size_t loops = kLoopCounts[li];
+    webre::RepositoryOptions scale_repo_options;
+    scale_repo_options.num_shards = 4;
+    webre::XmlRepository scale_repo(scale_repo_options);
+    for (size_t i = 0; i < flags.docs; ++i) {
+      scale_repo.Add(converter.Convert(webre::GenerateResume(i).html))
+          .value();
+    }
+    webre::serve::ServeContext scale_context;
+    scale_context.repo = &scale_repo;
+    scale_context.converter = &converter;
+    webre::serve::ServeOptions scale_options;
+    scale_options.worker_threads = flags.workers;
+    scale_options.loops = loops;
+    scale_options.max_clients = 2 * loops + 4;
+    webre::serve::Server scale_server(scale_context, scale_options);
+    if (webre::Status status = scale_server.Start(); !status.ok()) {
+      std::fprintf(stderr, "bench_serving: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+
+    webre::serve::LoadgenOptions scale_load = load;
+    scale_load.port = scale_server.port();
+    scale_load.connections = 2 * loops;
+
+    scale_load.target_qps = flags.qps;
+    scale_load.write_fraction = 0.0;
+    scale_load.seed = 10 + loops;
+    const webre::obs::ServeStatsView scale_before =
+        scale_server.stats().view;
+    auto scale_read = webre::serve::RunLoadgen(scale_load);
+    AwaitConnectionDrain(scale_server);
+    const webre::obs::ServeStatsView scale_mid = scale_server.stats().view;
+
+    scale_load.target_qps = flags.mixed_qps;
+    scale_load.write_fraction = 0.1;
+    scale_load.seed = 20 + loops;
+    auto scale_mixed = webre::serve::RunLoadgen(scale_load);
+    const webre::obs::ServeStatsView scale_after =
+        scale_server.stats().view;
+    scale_server.Stop();
+
+    if (!scale_read.ok() || !scale_mixed.ok()) {
+      std::fprintf(
+          stderr, "bench_serving: scaling loadgen failed: %s\n",
+          (!scale_read.ok() ? scale_read.status() : scale_mixed.status())
+              .ToString()
+              .c_str());
+      return 1;
+    }
+    if (scale_read->errors != 0 || scale_mixed->errors != 0 ||
+        scale_read->shed != 0) {
+      scaling_failed = true;
+    }
+    scaling_read_qps[li] = scale_read->achieved_qps;
+    scaling_mixed_qps[li] = scale_mixed->achieved_qps;
+    char label[64];
+    std::snprintf(label, sizeof(label),
+                  "      \"loops%zu_read\": ", loops);
+    if (!scaling_arms.empty()) scaling_arms += ",\n";
+    scaling_arms += label;
+    scaling_arms +=
+        ArmJson(*scale_read, flags.qps, 0.0, scale_before, scale_mid);
+    std::snprintf(label, sizeof(label),
+                  ",\n      \"loops%zu_mixed\": ", loops);
+    scaling_arms += label;
+    scaling_arms += ArmJson(*scale_mixed, flags.mixed_qps, 0.1, scale_mid,
+                            scale_after);
+  }
+
   std::printf("{\n  \"bench\": \"bench_serving\",\n");
   std::printf("  \"corpus\": {\"generator\": \"GenerateResume\", "
               "\"documents\": %zu, \"shards\": 4, \"connections\": %zu, "
@@ -180,13 +283,19 @@ int main(int argc, char** argv) {
                   .c_str(),
               ArmJson(*mixed, flags.mixed_qps, 0.1, after_read, after_mixed)
                   .c_str());
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("  \"scaling\": {\n    \"cores\": %u,\n    \"arms\": {\n"
+              "%s\n    }\n  },\n",
+              cores == 0 ? 1 : cores, scaling_arms.c_str());
   const uint64_t read_lookups = (after_read.cache_hits -
                                  before_read.cache_hits) +
                                 (after_read.cache_misses -
                                  before_read.cache_misses);
   std::printf("  \"derived\": {\"read_only_qps_ratio\": %.3f, "
               "\"mixed_qps_ratio\": %.3f, "
-              "\"read_only_cache_hit_rate\": %.3f}\n}\n",
+              "\"read_only_cache_hit_rate\": %.3f, "
+              "\"scaling_read_speedup_1_to_4\": %.3f, "
+              "\"scaling_mixed_speedup_1_to_4\": %.3f}\n}\n",
               flags.qps > 0 ? read_only->achieved_qps / flags.qps : 0.0,
               flags.mixed_qps > 0 ? mixed->achieved_qps / flags.mixed_qps
                                   : 0.0,
@@ -194,8 +303,20 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(after_read.cache_hits -
                                         before_read.cache_hits) /
                         static_cast<double>(read_lookups)
+                  : 0.0,
+              scaling_read_qps[0] > 0
+                  ? scaling_read_qps[2] / scaling_read_qps[0]
+                  : 0.0,
+              scaling_mixed_qps[0] > 0
+                  ? scaling_mixed_qps[2] / scaling_mixed_qps[0]
                   : 0.0);
 
+  if (scaling_failed) {
+    std::fprintf(stderr,
+                 "bench_serving: FAILED (scaling arm recorded errors or "
+                 "read-arm sheds)\n");
+    return 1;
+  }
   if (read_only->errors != 0 || mixed->errors != 0 ||
       read_only->shed != 0) {
     std::fprintf(stderr,

@@ -27,15 +27,19 @@
 #      snapshot that silently fell back to copies fails here).
 #
 #   8. bench_serving starts an in-process server and drives it with the
-#      shared open-loop loadgen (read-only and mixed arms; the run
-#      itself fails on any error response) and must emit the
-#      serving-bench schema;
+#      shared open-loop loadgen (read-only and mixed arms plus the
+#      multi-reactor scaling study at --loops 1/2/4; the run itself
+#      fails on any error response) and must emit the serving-bench
+#      schema;
 #   9. the checked-in BENCH_serving.json artifact is validated against
 #      the same schema, including the recorded floors the serving layer
 #      is judged by: read_only achieved_qps >= 0.9 * target_qps, zero
-#      errors and zero sheds in both recorded arms, and a read-only
-#      cache hit rate >= 0.9 (a cache that stopped serving repeats
-#      fails here).
+#      errors and zero sheds in both recorded arms, a read-only cache
+#      hit rate >= 0.9 (a cache that stopped serving repeats fails
+#      here), and the multi-reactor scaling floor — the 1->4-loop
+#      read-only speedup must be >= 1.6 when the record was captured on
+#      >= 4 cores, and >= 0.8 (non-regression: the multi-loop machinery
+#      must not cost throughput) when it was captured on fewer.
 #
 #   usage: bench_smoke.sh <bench_micro> <bench_memory> <BENCH_memory.json> \
 #                         <bench_query> <BENCH_query.json> \
@@ -311,13 +315,35 @@ import sys
 ARM_KEYS = [
     "target_qps", "write_fraction", "sent", "responses", "ok", "shed",
     "errors", "wall_s", "offered_qps", "achieved_qps", "mean_us",
-    "p50_us", "p90_us", "p99_us", "p999_us", "max_us", "cache_hits",
-    "cache_misses", "shed_requests",
+    "p50_us", "p90_us", "p99_us", "p999_us", "max_us", "connections",
+    "per_connection_qps", "cache_hits", "cache_misses", "shed_requests",
 ]
+
+SCALING_ARMS = [f"loops{n}_{kind}"
+                for n in (1, 2, 4) for kind in ("read", "mixed")]
+
+
+def check_arm(arm, where):
+    for key in ARM_KEYS:
+        if key not in arm:
+            raise SystemExit(f"FAIL: {where}: missing key '{key}'")
+    if arm["sent"] <= 0 or arm["wall_s"] <= 0:
+        raise SystemExit(f"FAIL: {where}: empty run")
+    if arm["responses"] != arm["sent"]:
+        raise SystemExit(
+            f"FAIL: {where}: lost responses "
+            f"({arm['responses']}/{arm['sent']})")
+    if not (arm["p50_us"] <= arm["p99_us"] <= arm["p999_us"]
+            <= arm["max_us"]):
+        raise SystemExit(f"FAIL: {where}: percentiles not monotone")
+    if len(arm["per_connection_qps"]) != arm["connections"]:
+        raise SystemExit(
+            f"FAIL: {where}: per_connection_qps length disagrees with "
+            "the connection count")
 
 
 def check_record(record, where, assert_floors):
-    for key in ("bench", "corpus", "arms", "derived"):
+    for key in ("bench", "corpus", "arms", "scaling", "derived"):
         if key not in record:
             raise SystemExit(f"FAIL: {where}: missing key '{key}'")
     if record["bench"] != "bench_serving":
@@ -325,23 +351,18 @@ def check_record(record, where, assert_floors):
     for name in ("read_only", "mixed"):
         if name not in record["arms"]:
             raise SystemExit(f"FAIL: {where}: missing arm '{name}'")
-        arm = record["arms"][name]
-        for key in ARM_KEYS:
-            if key not in arm:
-                raise SystemExit(
-                    f"FAIL: {where} arm '{name}': missing key '{key}'")
-        if arm["sent"] <= 0 or arm["wall_s"] <= 0:
-            raise SystemExit(f"FAIL: {where} arm '{name}': empty run")
-        if arm["responses"] != arm["sent"]:
+        check_arm(record["arms"][name], f"{where} arm '{name}'")
+    scaling = record["scaling"]
+    if scaling.get("cores", 0) <= 0:
+        raise SystemExit(f"FAIL: {where}: scaling record lacks cores")
+    for name in SCALING_ARMS:
+        if name not in scaling["arms"]:
             raise SystemExit(
-                f"FAIL: {where} arm '{name}': lost responses "
-                f"({arm['responses']}/{arm['sent']})")
-        if not (arm["p50_us"] <= arm["p99_us"] <= arm["p999_us"]
-                <= arm["max_us"]):
-            raise SystemExit(
-                f"FAIL: {where} arm '{name}': percentiles not monotone")
+                f"FAIL: {where}: missing scaling arm '{name}'")
+        check_arm(scaling["arms"][name], f"{where} scaling arm '{name}'")
     for key in ("read_only_qps_ratio", "mixed_qps_ratio",
-                "read_only_cache_hit_rate"):
+                "read_only_cache_hit_rate", "scaling_read_speedup_1_to_4",
+                "scaling_mixed_speedup_1_to_4"):
         if key not in record["derived"]:
             raise SystemExit(f"FAIL: {where}: missing derived '{key}'")
     if assert_floors:
@@ -364,6 +385,32 @@ def check_record(record, where, assert_floors):
             raise SystemExit(
                 f"FAIL: {where}: read-only cache hit rate below 0.9 — "
                 "the generation-keyed cache is not serving repeats")
+        # Multi-reactor scaling floor. The recorded figures are
+        # constants of the checked-in file, captured on a machine whose
+        # core count the record carries: with >= 4 cores the 4-loop
+        # server must beat the single-loop server by >= 1.6x on the
+        # read-only workload; on fewer cores a genuine speedup is
+        # physically unmeasurable, so the floor degrades to
+        # non-regression (>= 0.8x — the rings, striped cache and extra
+        # threads must not cost material throughput).
+        scaling = record["scaling"]
+        for name in SCALING_ARMS:
+            arm = scaling["arms"][name]
+            if arm["errors"] != 0:
+                raise SystemExit(
+                    f"FAIL: {where}: scaling arm '{name}' recorded "
+                    "errors")
+            if name.endswith("_read") and arm["shed"] != 0:
+                raise SystemExit(
+                    f"FAIL: {where}: scaling arm '{name}' recorded "
+                    "sheds")
+        speedup = record["derived"]["scaling_read_speedup_1_to_4"]
+        floor = 1.6 if scaling["cores"] >= 4 else 0.8
+        if speedup < floor:
+            raise SystemExit(
+                f"FAIL: {where}: 1->4-loop read speedup {speedup} below "
+                f"the floor {floor} for a {scaling['cores']}-core "
+                "record")
 
 
 with open(sys.argv[1]) as f:

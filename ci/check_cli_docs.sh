@@ -69,7 +69,9 @@ if ! "$webre_bin" demo 1 --metrics-json="$tmpdir/metrics.json" \
   echo "FAIL: 'webre demo 1 --metrics-json' run failed" >&2
   exit 1
 fi
-emitted="$(grep -o -- '"\(serve\|storage\)\.[a-z_]*"' "$tmpdir/metrics.json" \
+# The name class includes '.' so dotted subsystem counters (e.g. the
+# per-loop serve.loop.* group) are caught, not silently skipped.
+emitted="$(grep -o -- '"\(serve\|storage\)\.[a-z_.]*"' "$tmpdir/metrics.json" \
   | tr -d '"' | sort -u)"
 if [ -z "$emitted" ]; then
   echo "FAIL: --metrics-json emitted no serve.*/storage.* counters" >&2

@@ -4,30 +4,41 @@
 # ASan+UBSan (fault-isolation paths must be free of memory errors and
 # UB, including on the pathological/fuzz inputs).
 #
-# Usage: ci/sanitizers.sh [tsan|asan|all]   (default: all)
+# Usage: ci/sanitizers.sh [tsan|asan|serve-tsan|all]   (default: all)
+#
+# serve-tsan runs only the `serve`-labeled tests (the multi-reactor
+# server, its rings and the striped cache) under ThreadSanitizer — the
+# fast targeted sweep for serving-layer changes.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_config() {
-  local name="$1" sanitize="$2" build_dir="build-$1"
-  echo "=== ${name}: WEBRE_SANITIZE=${sanitize} ==="
+  local name="$1" sanitize="$2" label="${3:-}" build_dir="build-$1"
+  echo "=== ${name}: WEBRE_SANITIZE=${sanitize}${label:+ (label ${label})} ==="
   cmake -B "${build_dir}" -S . -DWEBRE_SANITIZE="${sanitize}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "${build_dir}" -j >/dev/null
-  ctest --test-dir "${build_dir}" --output-on-failure -j
+  # ${label} before -j: a bare `-j` consumes the next argument as its
+  # job count on older ctest, silently dropping the label filter.
+  if [ -n "${label}" ]; then
+    ctest --test-dir "${build_dir}" --output-on-failure -L "${label}" -j
+  else
+    ctest --test-dir "${build_dir}" --output-on-failure -j
+  fi
 }
 
 mode="${1:-all}"
 case "${mode}" in
   tsan) run_config tsan thread ;;
   asan) run_config asan address+undefined ;;
+  serve-tsan) run_config tsan thread serve ;;
   all)
     run_config tsan thread
     run_config asan address+undefined
     ;;
   *)
-    echo "usage: $0 [tsan|asan|all]" >&2
+    echo "usage: $0 [tsan|asan|serve-tsan|all]" >&2
     exit 2
     ;;
 esac

@@ -165,6 +165,10 @@ struct ServeStatsView {
   uint64_t cache_misses = 0;          ///< query answers evaluated fresh
   uint64_t cache_evictions = 0;       ///< entries evicted by the byte cap
   uint64_t max_queue_depth = 0;       ///< in-flight high-water mark
+  uint64_t loops = 0;                 ///< event-loop (reactor) threads
+  uint64_t wakeups = 0;               ///< eventfd rings (empty→non-empty)
+  uint64_t wakeups_coalesced = 0;     ///< rings suppressed (ring non-empty)
+  uint64_t handoffs = 0;              ///< accepted fds handed across loops
   HistogramSnapshot request_us;       ///< per-request latency, microseconds
 };
 

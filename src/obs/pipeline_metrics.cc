@@ -148,6 +148,10 @@ PipelineMetricsSnapshot::CounterItems() const {
       {"serve.cache_misses", serve_cache_misses},
       {"serve.cache_evictions", serve_cache_evictions},
       {"serve.max_queue_depth", serve_max_queue_depth},
+      {"serve.loops", serve_loops},
+      {"serve.loop.wakeups", serve_loop_wakeups},
+      {"serve.wakeups_coalesced", serve_wakeups_coalesced},
+      {"serve.loop.handoffs", serve_loop_handoffs},
   };
 }
 
@@ -181,6 +185,10 @@ void PipelineMetrics::MergeServeStats(const ServeStatsView& stats) {
   serve.cache_misses.Add(stats.cache_misses);
   serve.cache_evictions.Add(stats.cache_evictions);
   serve.max_queue_depth.Add(stats.max_queue_depth);
+  serve.loops.Add(stats.loops);
+  serve.loop_wakeups.Add(stats.wakeups);
+  serve.wakeups_coalesced.Add(stats.wakeups_coalesced);
+  serve.loop_handoffs.Add(stats.handoffs);
 }
 
 void PipelineMetrics::RecordOutcome(const std::string& status_name,
@@ -272,6 +280,10 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.serve_cache_misses = serve.cache_misses.value();
   snapshot.serve_cache_evictions = serve.cache_evictions.value();
   snapshot.serve_max_queue_depth = serve.max_queue_depth.value();
+  snapshot.serve_loops = serve.loops.value();
+  snapshot.serve_loop_wakeups = serve.loop_wakeups.value();
+  snapshot.serve_wakeups_coalesced = serve.wakeups_coalesced.value();
+  snapshot.serve_loop_handoffs = serve.loop_handoffs.value();
 
   snapshot.budget_steps_used = budget.steps_used.value();
   snapshot.budget_nodes_used = budget.nodes_used.value();

@@ -68,6 +68,10 @@ struct PipelineMetricsSnapshot {
   uint64_t serve_cache_misses = 0;
   uint64_t serve_cache_evictions = 0;
   uint64_t serve_max_queue_depth = 0;
+  uint64_t serve_loops = 0;
+  uint64_t serve_loop_wakeups = 0;
+  uint64_t serve_wakeups_coalesced = 0;
+  uint64_t serve_loop_handoffs = 0;
 
   // Durable-storage counters (zero for runs without --data-dir).
   // Merged in via PipelineMetrics::MergeStorageStats.
@@ -222,6 +226,10 @@ class PipelineMetrics {
     Counter cache_misses;
     Counter cache_evictions;
     Counter max_queue_depth;
+    Counter loops;
+    Counter loop_wakeups;
+    Counter wakeups_coalesced;
+    Counter loop_handoffs;
   } serve;
   struct {
     Counter steps_used;

@@ -8,33 +8,45 @@
 namespace webre {
 namespace serve {
 
-bool QueryCache::Lookup(const std::string& key,
+QueryCache::QueryCache(size_t max_bytes, size_t stripes)
+    : max_bytes_(max_bytes), stripes_(stripes == 0 ? 1 : stripes) {
+  // Split the budget evenly; the first `max_bytes % n` stripes absorb
+  // the remainder so the stripe budgets sum to max_bytes exactly (the
+  // single-stripe default therefore keeps the historical budget math).
+  const size_t n = stripes_.size();
+  for (size_t i = 0; i < n; ++i) {
+    stripes_[i].max_bytes = max_bytes / n + (i < max_bytes % n ? 1 : 0);
+  }
+}
+
+bool QueryCache::Lookup(std::string_view key,
                         const std::vector<uint64_t>& generations,
                         std::string& body) {
   if (max_bytes_ == 0) {
     misses_.Increment();
     return false;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it == stripe.entries.end()) {
     misses_.Increment();
     return false;
   }
   if (it->second.generations != generations) {
     // Some shard admitted a document since this entry was computed: the
     // result may be missing it. Stale entries are never served.
-    EraseLocked(it);
+    EraseLocked(stripe, it);
     misses_.Increment();
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_pos);
   body = it->second.body;
   hits_.Increment();
   return true;
 }
 
-bool QueryCache::Insert(const std::string& key,
+bool QueryCache::Insert(std::string_view key,
                         const std::vector<uint64_t>& generations,
                         const std::vector<uint64_t>& current,
                         std::string body) {
@@ -44,37 +56,41 @@ bool QueryCache::Insert(const std::string& key,
     // under is already history, so the entry could never be served.
     return false;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) EraseLocked(it);
+  Stripe& stripe = StripeOf(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.entries.find(key);
+  if (it != stripe.entries.end()) EraseLocked(stripe, it);
 
   Entry entry;
   entry.generations = generations;
   entry.body = std::move(body);
   const size_t cost = EntryBytes(key, entry);
-  if (cost > max_bytes_) return false;  // larger than the whole cache
+  if (cost > stripe.max_bytes) return false;  // larger than the stripe
 
-  while (bytes_ + cost > max_bytes_ && !lru_.empty()) {
-    EraseLocked(entries_.find(lru_.back()));
+  while (stripe.bytes + cost > stripe.max_bytes && !stripe.lru.empty()) {
+    EraseLocked(stripe, stripe.entries.find(stripe.lru.back()));
     evictions_.Increment();
   }
-  lru_.push_front(key);
-  entry.lru_pos = lru_.begin();
-  bytes_ += cost;
-  entries_.emplace(key, std::move(entry));
+  stripe.lru.emplace_front(key);
+  entry.lru_pos = stripe.lru.begin();
+  stripe.bytes += cost;
+  stripe.entries.emplace(stripe.lru.front(), std::move(entry));
   return true;
 }
 
 size_t QueryCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return bytes_;
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    total += stripe.bytes;
+  }
+  return total;
 }
 
-void QueryCache::EraseLocked(
-    std::unordered_map<std::string, Entry>::iterator it) {
-  bytes_ -= EntryBytes(it->first, it->second);
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+void QueryCache::EraseLocked(Stripe& stripe, EntryMap::iterator it) {
+  stripe.bytes -= EntryBytes(it->first, it->second);
+  stripe.lru.erase(it->second.lru_pos);
+  stripe.entries.erase(it);
 }
 
 StatusOr<std::string> CachedQueryBody(const XmlRepository& repo,

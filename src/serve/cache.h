@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -20,24 +22,30 @@ namespace serve {
 /// the same (normalized) query between the same two admissions share
 /// one evaluation and one serialization.
 ///
-/// Correctness protocol (proof sketch in DESIGN.md §15): every entry
-/// stores the repository's per-shard generation vector read BEFORE the
-/// query was evaluated; Insert re-reads the vector and drops the entry
-/// if any shard advanced meanwhile; Lookup serves an entry only while
-/// the current vector still equals the stored one. Since a shard bumps
-/// its generation strictly AFTER publishing a document
+/// Correctness protocol (proof sketch in DESIGN.md §15/§16): every
+/// entry stores the repository's per-shard generation vector read
+/// BEFORE the query was evaluated; Insert re-reads the vector and drops
+/// the entry if any shard advanced meanwhile; Lookup serves an entry
+/// only while the current vector still equals the stored one. Since a
+/// shard bumps its generation strictly AFTER publishing a document
 /// (XmlRepository::SnapshotGenerations contract), an entry can never be
 /// served once any shard it could have missed a document of has
 /// acknowledged that document.
 ///
-/// Eviction is LRU by byte footprint (keys + bodies), capped by
-/// `max_bytes`; a zero cap disables caching entirely. Entries whose
-/// generation vector went stale are dropped lazily at Lookup. All
-/// methods are thread-safe (one mutex — the guarded work is map
-/// bookkeeping, microseconds next to query evaluation).
+/// The cache is STRIPED: keys hash to one of `stripes` independently
+/// locked stripes (the server uses 2*loops), each with its own LRU list
+/// and byte budget (`max_bytes` split evenly, remainder to the first
+/// stripes). A key lives in exactly one stripe for the cache's
+/// lifetime, so the generation protocol above is untouched — staleness
+/// is a property of one entry, checked and cleared under that entry's
+/// stripe lock. Eviction is LRU by byte footprint per stripe; a zero
+/// total cap disables caching entirely. Lookup takes the key as a
+/// string_view through a transparent hash, so a cache hit allocates
+/// nothing.
 class QueryCache {
  public:
-  explicit QueryCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+  /// `max_bytes` is the TOTAL budget across `stripes` stripes.
+  explicit QueryCache(size_t max_bytes, size_t stripes = 1);
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
@@ -46,7 +54,7 @@ class QueryCache {
   /// encoded response body into `body` and returns true. A hit requires
   /// the stored generation vector to equal `generations` exactly; a
   /// stale entry is erased and reported as a miss.
-  bool Lookup(const std::string& key, const std::vector<uint64_t>& generations,
+  bool Lookup(std::string_view key, const std::vector<uint64_t>& generations,
               std::string& body);
 
   /// Inserts the encoded body computed for `key` under the
@@ -56,39 +64,65 @@ class QueryCache {
   /// evaluation and the entry is discarded (returns false) — caching it
   /// would key possibly-new results under the old generation, which is
   /// harmless, but keying is pointless since the old generation is gone.
-  /// Bodies larger than the whole cache are not stored.
-  bool Insert(const std::string& key, const std::vector<uint64_t>& generations,
+  /// Bodies larger than their stripe's budget are not stored.
+  bool Insert(std::string_view key, const std::vector<uint64_t>& generations,
               const std::vector<uint64_t>& current, std::string body);
 
-  /// Current byte footprint (keys + bodies + generation vectors).
+  /// Current byte footprint (keys + bodies + generation vectors),
+  /// summed across stripes.
   size_t bytes() const;
+
+  size_t stripes() const { return stripes_.size(); }
 
   uint64_t hits() const { return hits_.value(); }
   uint64_t misses() const { return misses_.value(); }
   uint64_t evictions() const { return evictions_.value(); }
 
  private:
+  /// Heterogeneous hash: find(string_view) probes without constructing
+  /// a std::string (C++20 transparent lookup, paired with equal_to<>).
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view key) const {
+      return std::hash<std::string_view>{}(key);
+    }
+  };
+
   struct Entry {
     std::vector<uint64_t> generations;
     std::string body;
-    /// Position in lru_ (most recent at front).
+    /// Position in the owning stripe's lru (most recent at front).
     std::list<std::string>::iterator lru_pos;
   };
 
-  size_t EntryBytes(const std::string& key, const Entry& entry) const {
+  using EntryMap =
+      std::unordered_map<std::string, Entry, TransparentHash, std::equal_to<>>;
+
+  /// One lock domain: its own map, LRU order and byte budget.
+  struct Stripe {
+    mutable std::mutex mutex;
+    EntryMap entries;
+    /// LRU order of keys; front = most recently used.
+    std::list<std::string> lru;
+    size_t bytes = 0;
+    size_t max_bytes = 0;
+  };
+
+  static size_t EntryBytes(std::string_view key, const Entry& entry) {
     return key.size() + entry.body.size() +
            entry.generations.size() * sizeof(uint64_t);
   }
 
-  /// Erases `it`, adjusting the footprint. Caller holds mutex_.
-  void EraseLocked(std::unordered_map<std::string, Entry>::iterator it);
+  Stripe& StripeOf(std::string_view key) {
+    return stripes_[TransparentHash{}(key) % stripes_.size()];
+  }
+
+  /// Erases `it`, adjusting the stripe footprint. Caller holds the
+  /// stripe mutex.
+  static void EraseLocked(Stripe& stripe, EntryMap::iterator it);
 
   const size_t max_bytes_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  /// LRU order of keys; front = most recently used.
-  std::list<std::string> lru_;
-  size_t bytes_ = 0;
+  std::vector<Stripe> stripes_;
 
   mutable obs::Counter hits_;
   mutable obs::Counter misses_;

@@ -43,7 +43,10 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(uint16_t port,
 Status Client::SendRaw(std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    // MSG_NOSIGNAL: a server that closed this connection (shed, bad
+    // frame) must surface as an EPIPE Status, not kill the process.
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("write: ") + std::strerror(errno));

@@ -50,6 +50,8 @@ struct Aggregate {
   uint64_t shed = 0;
   uint64_t errors = 0;
   size_t captured = 0;
+  /// OK responses per connection (index = connection).
+  std::vector<uint64_t> per_conn_ok;
 };
 
 /// One connection's in-flight book: request id -> send timestamp.
@@ -144,7 +146,8 @@ void WriterThread(const LoadgenOptions& options, size_t conn_index,
   agg.sent += sent;
 }
 
-void ReaderThread(Client& client, InFlightBook& book, Aggregate& agg) {
+void ReaderThread(size_t conn_index, Client& client, InFlightBook& book,
+                  Aggregate& agg) {
   uint64_t responses = 0;
   for (;;) {
     {
@@ -154,7 +157,21 @@ void ReaderThread(Client& client, InFlightBook& book, Aggregate& agg) {
     }
     StatusOr<Response> response = client.Receive();
     if (!response.ok()) break;  // server closed or framing error
-    if (response->id == 0) continue;  // the writer's drain sentinel
+    if (response->id == 0) {
+      // An ok id-0 response is the writer's drain sentinel (the pong
+      // for its final ping). An id-0 ERROR is unsolicited — the server
+      // addressing the connection itself, e.g. the connection-cap shed
+      // frame sent before any request was read — and must be counted,
+      // not mistaken for the sentinel.
+      if (response->ok()) continue;
+      std::lock_guard<std::mutex> lock(agg.mutex);
+      if (response->error == WireError::kOverloaded) {
+        ++agg.shed;
+      } else {
+        ++agg.errors;
+      }
+      continue;
+    }
     ++responses;
     double send_s = 0.0;
     {
@@ -169,6 +186,7 @@ void ReaderThread(Client& client, InFlightBook& book, Aggregate& agg) {
     ++agg.responses;
     if (response->ok()) {
       ++agg.ok;
+      ++agg.per_conn_ok[conn_index];
       if (send_s > 0.0) {
         agg.latencies_us.push_back(static_cast<uint64_t>(
             (obs::MonotonicSeconds() - send_s) * 1e6));
@@ -210,6 +228,7 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   }
 
   Aggregate agg;
+  agg.per_conn_ok.assign(options.connections, 0);
   std::vector<InFlightBook> books(options.connections);
   std::vector<std::thread> threads;
   const double begin_s = obs::MonotonicSeconds();
@@ -218,7 +237,7 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
       WriterThread(options, i, *clients[i], books[i], agg);
     });
     threads.emplace_back(
-        [&, i] { ReaderThread(*clients[i], books[i], agg); });
+        [&, i] { ReaderThread(i, *clients[i], books[i], agg); });
   }
   for (std::thread& thread : threads) thread.join();
   const double wall_s = obs::MonotonicSeconds() - begin_s;
@@ -233,6 +252,10 @@ StatusOr<LoadgenReport> RunLoadgen(const LoadgenOptions& options) {
   if (wall_s > 0) {
     report.offered_qps = static_cast<double>(agg.sent) / wall_s;
     report.achieved_qps = static_cast<double>(agg.ok) / wall_s;
+    report.per_connection_qps.reserve(agg.per_conn_ok.size());
+    for (uint64_t ok : agg.per_conn_ok) {
+      report.per_connection_qps.push_back(static_cast<double>(ok) / wall_s);
+    }
   }
   std::sort(agg.latencies_us.begin(), agg.latencies_us.end());
   if (!agg.latencies_us.empty()) {
@@ -272,7 +295,17 @@ std::string LoadgenReportToJson(const LoadgenReport& report,
   out += "\"p90_us\":" + std::to_string(report.p90_us) + ",";
   out += "\"p99_us\":" + std::to_string(report.p99_us) + ",";
   out += "\"p999_us\":" + std::to_string(report.p999_us) + ",";
-  out += "\"max_us\":" + std::to_string(report.max_us) + "}";
+  out += "\"max_us\":" + std::to_string(report.max_us) + ",";
+  out += "\"connections\":" +
+         std::to_string(report.per_connection_qps.size()) + ",";
+  out += "\"per_connection_qps\":[";
+  for (size_t i = 0; i < report.per_connection_qps.size(); ++i) {
+    if (i != 0) out += ',';
+    std::snprintf(buffer, sizeof(buffer), "%.1f",
+                  report.per_connection_qps[i]);
+    out += buffer;
+  }
+  out += "]}";
   return out;
 }
 

@@ -20,6 +20,10 @@ struct LoadgenOptions {
   /// control is there to shed.
   double target_qps = 200.0;
   double duration_s = 1.0;
+  /// Client connections; the target rate is split evenly across them.
+  /// The loadgen tool auto-scales this to 2*loops when not given on the
+  /// command line, so scaling arms saturate the server, not the
+  /// generator.
   size_t connections = 2;
   /// Fraction of requests that are ingests (the rest are queries).
   double write_fraction = 0.0;
@@ -56,6 +60,10 @@ struct LoadgenReport {
   uint64_t p99_us = 0;
   uint64_t p999_us = 0;
   uint64_t max_us = 0;
+  /// OK responses per second per connection (index = connection). Sums
+  /// to achieved_qps; a connection far below its siblings means the
+  /// generator, not the server, was the bottleneck on that stream.
+  std::vector<double> per_connection_qps;
 };
 
 /// Exact percentile over a SORTED latency vector (nearest-rank).

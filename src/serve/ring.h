@@ -1,0 +1,103 @@
+#ifndef WEBRE_SERVE_RING_H_
+#define WEBRE_SERVE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace webre {
+namespace serve {
+
+/// A bounded multi-producer single-consumer ring (Vyukov's bounded
+/// queue, restricted to one consumer). Workers post completed responses
+/// and the acceptor posts connection handoffs; the owning event loop is
+/// the only popper. Lock-free on both sides: every cell carries a
+/// sequence number, producers claim a slot with one CAS on the tail
+/// index and publish the payload with a release store of the sequence,
+/// the consumer observes it with an acquire load — the payload itself
+/// is never touched concurrently.
+///
+/// Correctness argument (DESIGN.md §16): a producer that won the CAS on
+/// `tail` for position p owns cell p&mask exclusively until its release
+/// store of seq = p+1; the consumer reads the cell only after observing
+/// seq == head+1 (acquire), which synchronizes-with exactly that store,
+/// so the moved-in payload is fully visible. The consumer's release
+/// store of seq = head+capacity hands the cell back to the producer of
+/// lap n+1 by the same pairing. Capacity is a power of two; TryPush
+/// fails (never blocks, never overwrites) when the ring is full.
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Claims a slot and moves `item` in. Returns false when the ring is
+  /// full (item is left untouched). Safe from any number of threads.
+  bool TryPush(T& item) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.item = std::move(item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos; retry with it.
+      } else if (dif < 0) {
+        return false;  // full: the consumer has not recycled this cell
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pops the next item if one is published. SINGLE consumer only.
+  bool TryPop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(head_ + 1) != 0) {
+      return false;  // not yet published (empty, or a producer mid-write)
+    }
+    out = std::move(cell.item);
+    cell.item = T();  // drop payload promptly (strings can be large)
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<size_t> seq{0};
+    T item;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  /// Producers race on tail_; head_ is consumer-thread-only.
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t head_ = 0;
+};
+
+}  // namespace serve
+}  // namespace webre
+
+#endif  // WEBRE_SERVE_RING_H_

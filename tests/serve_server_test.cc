@@ -308,6 +308,185 @@ TEST_F(ServerTest, ExecuteBypassesTheNetwork) {
   EXPECT_EQ(invalid.error, WireError::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------
+// Multi-loop matrix: the admission, ingest and counter contracts must
+// hold identically at every loop count. Parameterized over loops in
+// {1, 2, 4}; loops=1 doubles as the single-reactor compatibility anchor
+// (same code path the whole suite above exercises at the default).
+
+class MultiLoopServerTest : public ServerTest,
+                            public testing::WithParamInterface<size_t> {
+ protected:
+  size_t Loops() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Loops, MultiLoopServerTest,
+                         testing::Values<size_t>(1, 2, 4),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "loops" + std::to_string(info.param);
+                         });
+
+TEST_P(MultiLoopServerTest, QuotaShedsOnEveryLoop) {
+  StartServer(1, [&](ServeOptions& options) {
+    options.loops = Loops();
+    options.per_client_qps = 0.001;
+    options.per_client_burst = 1.0;
+  });
+  ASSERT_EQ(server_->loops(), Loops());
+
+  // 2*loops clients: round-robin dealing puts two on every loop, so the
+  // per-connection token bucket is exercised on each reactor.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t i = 0; i < 2 * Loops(); ++i) clients.push_back(Connect());
+  for (auto& client : clients) {
+    auto first = client->Call(Req(MsgType::kPing, 1));
+    ASSERT_TRUE(first.ok());
+    EXPECT_TRUE(first->ok());
+    auto second = client->Call(Req(MsgType::kPing, 2));
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->error, WireError::kOverloaded);
+    EXPECT_GT(second->retry_after_ms, 0u);
+  }
+  EXPECT_GE(server_->stats().view.shed_requests, 2 * Loops());
+}
+
+TEST_P(MultiLoopServerTest, ConnectionCapIsGlobalAcrossLoops) {
+  StartServer(1, [&](ServeOptions& options) {
+    options.loops = Loops();
+    options.max_clients = Loops();  // exactly one connection per loop
+  });
+
+  std::vector<std::unique_ptr<Client>> admitted;
+  for (size_t i = 0; i < Loops(); ++i) {
+    auto client = Connect();
+    // The round trip serializes adoption, so the accept order — and the
+    // round-robin loop assignment — is deterministic.
+    auto pong = client->Call(Req(MsgType::kPing, 1));
+    ASSERT_TRUE(pong.ok());
+    EXPECT_TRUE(pong->ok());
+    admitted.push_back(std::move(client));
+  }
+
+  // The cap is server-wide, not per-loop: the (n+1)-th client is shed
+  // even though the loop it would have been dealt to owns only one
+  // connection.
+  auto extra = Client::Connect(server_->port());
+  ASSERT_TRUE(extra.ok());
+  auto shed = (*extra)->Receive();
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->error, WireError::kOverloaded);
+  EXPECT_GT(shed->retry_after_ms, 0u);
+  EXPECT_FALSE((*extra)->Receive().ok());  // closed after the shed frame
+
+  for (auto& client : admitted) {
+    auto alive = client->Call(Req(MsgType::kPing, 2));
+    ASSERT_TRUE(alive.ok());
+    EXPECT_TRUE(alive->ok());
+  }
+}
+
+TEST_P(MultiLoopServerTest, IngestAndQueryMatchSingleLoopByteForByte) {
+  constexpr size_t kDocs = 4;
+  StartServer(kDocs,
+              [&](ServeOptions& options) { options.loops = Loops(); });
+
+  // A reference single-loop server over an independently built copy of
+  // the same corpus.
+  RepositoryOptions repo_options;
+  repo_options.num_shards = 2;
+  XmlRepository ref_repo(repo_options);
+  for (size_t i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(
+        ref_repo.Add(converter_.Convert(GenerateResume(i).html)).ok());
+  }
+  ServeContext ref_context;
+  ref_context.repo = &ref_repo;
+  ref_context.converter = &converter_;
+  ServeOptions ref_options;
+  ref_options.worker_threads = 2;
+  ref_options.loops = 1;
+  Server reference(ref_context, ref_options);
+  ASSERT_TRUE(reference.Start().ok());
+
+  auto client = Connect();
+  auto ref_client = Client::Connect(reference.port());
+  ASSERT_TRUE(ref_client.ok());
+
+  // Response BODIES are id-independent by design (the result cache
+  // depends on that), so re-encoding both decoded responses with the id
+  // zeroed compares the exact bytes the wire defines.
+  auto expect_same = [&](Request request) {
+    auto a = client->Call(request);
+    auto b = (*ref_client)->Call(request);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    a->id = 0;
+    b->id = 0;
+    std::string body_a;
+    std::string body_b;
+    EncodeResponseBody(*a, body_a);
+    EncodeResponseBody(*b, body_b);
+    EXPECT_EQ(body_a, body_b) << "diverged on request " << request.id;
+  };
+
+  const char* const kShapes[] = {"//DATE", "/resume/SKILLS/LANGUAGE",
+                                 "//LOCATION/*"};
+  uint32_t id = 1;
+  for (const char* shape : kShapes) {
+    expect_same(Req(MsgType::kQuery, id++, shape));
+  }
+  expect_same(Req(MsgType::kIngest, id++, GenerateResume(77).html));
+  for (const char* shape : kShapes) {
+    expect_same(Req(MsgType::kQuery, id++, shape));
+  }
+  expect_same(Req(MsgType::kSchema, id++));
+  reference.Stop();
+}
+
+TEST_P(MultiLoopServerTest, WakeupCoalescingCountersAddUp) {
+  StartServer(2, [&](ServeOptions& options) { options.loops = Loops(); });
+  ASSERT_EQ(server_->loops(), Loops());
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t i = 0; i < 2 * Loops(); ++i) clients.push_back(Connect());
+  constexpr uint32_t kCalls = 8;
+  for (auto& client : clients) {
+    for (uint32_t id = 1; id <= kCalls; ++id) {
+      auto response = client->Call(
+          id % 2 != 0 ? Req(MsgType::kQuery, id, "//DATE")
+                      : Req(MsgType::kPing, id));
+      ASSERT_TRUE(response.ok());
+      EXPECT_TRUE(response->ok());
+    }
+  }
+
+  // Every response came back, so the rings are quiescent. Each posted
+  // event (a worker completion or an acceptor handoff) either rang the
+  // eventfd or was coalesced — never both, never neither.
+  ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.view.loops, Loops());
+  ASSERT_EQ(stats.loops.size(), Loops());
+  uint64_t accepted = 0;
+  uint64_t requests = 0;
+  uint64_t rings = 0;
+  uint64_t posted = 0;
+  for (const LoopStats& loop : stats.loops) {
+    accepted += loop.accepted_connections;
+    requests += loop.requests;
+    rings += loop.wakeups + loop.wakeups_coalesced;
+    posted += loop.completions + loop.handoffs;
+  }
+  EXPECT_EQ(accepted, clients.size());
+  EXPECT_EQ(requests, clients.size() * kCalls);
+  EXPECT_EQ(rings, posted);
+  if (Loops() > 1) {
+    // Round-robin dealing spreads connections over every reactor.
+    for (const LoopStats& loop : stats.loops) {
+      EXPECT_GT(loop.accepted_connections, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace webre

@@ -8,7 +8,11 @@
 //   --qps=F               target arrival rate across connections
 //                         (default 200)
 //   --duration=F          seconds of traffic (default 1.0)
-//   --connections=N       client connections (default 2)
+//   --connections=N       client connections (default: 2*loops, so the
+//                         server — not the generator — saturates first)
+//   --loops=N             event loops the TARGET server runs with; sets
+//                         the --connections default (0 = min(4, cores),
+//                         matching the server's own --loops default)
 //   --write-fraction=F    fraction of requests that are ingests
 //                         (default 0; the rest are path queries)
 //   --seed=N              workload seed (default 1)
@@ -28,6 +32,7 @@
 
 #include "corpus/resume_generator.h"
 #include "serve/loadgen.h"
+#include "serve/server.h"
 #include "util/file.h"
 
 namespace {
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
   webre::serve::LoadgenOptions options;
   std::string json_path;
   bool have_port = false;
+  bool have_connections = false;
+  size_t loops = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
@@ -69,6 +76,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--connections=", 0) == 0) {
       options.connections =
           static_cast<size_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
+      have_connections = true;
+    } else if (arg.rfind("--loops=", 0) == 0) {
+      loops = static_cast<size_t>(std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--write-fraction=", 0) == 0) {
       options.write_fraction = std::strtod(arg.c_str() + 17, nullptr);
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -82,6 +92,11 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_port) return Fail("--port is required");
+  if (!have_connections) {
+    // Two streams per server event loop keeps every loop busy without a
+    // generator-side bottleneck (writer+reader thread pair each).
+    options.connections = 2 * webre::serve::ResolveLoops(loops);
+  }
 
   for (const char* query : kQueries) options.queries.push_back(query);
   if (options.write_fraction > 0.0) {
@@ -110,6 +125,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report->p999_us),
               static_cast<unsigned long long>(report->max_us),
               report->mean_us);
+  std::printf("per-connection qps:");
+  for (double qps : report->per_connection_qps) std::printf(" %.0f", qps);
+  std::printf("\n");
   if (!json_path.empty()) {
     const std::string json = webre::serve::LoadgenReportToJson(
         *report, options.target_qps, options.write_fraction);

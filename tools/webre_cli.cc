@@ -83,6 +83,7 @@ struct CliOptions {
   std::string wal_sync = "none";   // --wal-sync=none|fdatasync
   bool serve = false;              // --serve (flags-first serve spelling)
   uint16_t port = 0;               // --port=N (0 = ephemeral)
+  size_t loops = 0;                // --loops=N (0 = min(4, hw threads))
   size_t max_clients = 64;         // --max-clients=N
   size_t cache_bytes = 8u << 20;   // --cache-bytes=N (0 disables)
   bool keep_going = true;
@@ -126,6 +127,9 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     } else if (arg.rfind("--port=", 0) == 0) {
       options.port =
           static_cast<uint16_t>(std::strtoul(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--loops=", 0) == 0) {
+      options.loops =
+          static_cast<size_t>(std::strtoul(arg.c_str() + 8, nullptr, 10));
     } else if (arg.rfind("--max-clients=", 0) == 0) {
       options.max_clients =
           static_cast<size_t>(std::strtoul(arg.c_str() + 14, nullptr, 10));
@@ -726,6 +730,7 @@ int CmdServe(const CliOptions& options) {
   context.converter = &converter;
   webre::serve::ServeOptions serve_options;
   serve_options.port = options.port;
+  serve_options.loops = options.loops;
   serve_options.max_clients = options.max_clients;
   serve_options.cache_bytes = options.cache_bytes;
   serve_options.worker_threads = options.threads;
@@ -734,9 +739,9 @@ int CmdServe(const CliOptions& options) {
   if (webre::Status status = server.Start(); !status.ok()) {
     return Fail(status.ToString());
   }
-  std::printf("webre: serving on 127.0.0.1:%u (%zu documents preloaded; "
-              "EOF on stdin stops)\n",
-              server.port(), handle.repo->size());
+  std::printf("webre: serving on 127.0.0.1:%u with %zu event loops "
+              "(%zu documents preloaded; EOF on stdin stops)\n",
+              server.port(), server.loops(), handle.repo->size());
   std::fflush(stdout);
   char buffer[256];
   while (std::fread(buffer, 1, sizeof(buffer), stdin) > 0) {
@@ -821,6 +826,8 @@ void PrintHelp(std::FILE* out) {
       "serving options (serve; `--serve` = flags-first spelling):\n"
       "  --serve               run the server (equivalent to `serve`)\n"
       "  --port=N              TCP port to bind on loopback (0 = ephemeral)\n"
+      "  --loops=N             event-loop (reactor) threads, each owning its\n"
+      "                        own epoll set (0 = min(4, cores), default)\n"
       "  --max-clients=N       concurrent connections before shedding\n"
       "                        (default 64)\n"
       "  --cache-bytes=N       query-result cache size (default 8 MiB;\n"
