@@ -11,11 +11,19 @@
 // quadratic frontier dedup — so all arms run in one process over
 // identical corpora.
 //
-// Two workloads are timed per arm:
-//   simple — exact root-to-leaf paths (the summary answers them with
-//            zero tree walks);
-//   mixed  — descendant steps, wildcards, final and intermediate
-//            [val~...] predicates (exercising all three plans).
+// Three workloads are timed per arm:
+//   simple    — exact root-to-leaf paths (the summary answers them with
+//               zero tree walks);
+//   mixed     — descendant steps, wildcards, final and intermediate
+//               [val~...] predicates (exercising all three plans);
+//   predicate — predicate-heavy, low-selectivity needles (one- and
+//               two-byte needles over //* and named paths), the
+//               worst case for per-occurrence matching and the best
+//               case for the SIMD full-pool sweep.
+//
+// Before timing, the predicate workloads are re-evaluated once at every
+// SIMD level the machine supports (scalar/SSE2/AVX2) and the match
+// totals must agree byte for byte — a kernel divergence aborts the run.
 //
 // Prints one JSON object (corpus, both arms, derived speedups) to
 // stdout; the checked-in BENCH_query.json is a captured full run plus
@@ -39,6 +47,7 @@
 #include "schema/label_path.h"
 #include "schema/path_extractor.h"
 #include "util/rng.h"
+#include "util/simd_scan.h"
 #include "util/strings.h"
 #include "xml/node.h"
 
@@ -306,7 +315,7 @@ std::vector<webre::PathQuery> ParseAll(
 
 void PrintArm(const char* name, size_t docs, size_t shards,
               const WorkloadResult& simple, const WorkloadResult& mixed,
-              bool trailing_comma) {
+              const WorkloadResult& predicate, bool trailing_comma) {
   std::printf(
       "    \"%s\": {\n"
       "      \"arm\": \"%s\",\n"
@@ -316,10 +325,13 @@ void PrintArm(const char* name, size_t docs, size_t shards,
       "      \"simple_qps\": %.1f,\n"
       "      \"mixed_seconds\": %.4f,\n"
       "      \"mixed_qps\": %.1f,\n"
+      "      \"predicate_seconds\": %.4f,\n"
+      "      \"predicate_qps\": %.1f,\n"
       "      \"matches\": %zu\n"
       "    }%s\n",
       name, name, docs, shards, simple.seconds, simple.qps(), mixed.seconds,
-      mixed.qps(), simple.matches + mixed.matches,
+      mixed.qps(), predicate.seconds, predicate.qps(),
+      simple.matches + mixed.matches + predicate.matches,
       trailing_comma ? "," : "");
 }
 
@@ -346,6 +358,18 @@ int main(int argc, char** argv) {
       "//*[val~\"1996\"]",
       "/resume/EXPERIENCE/JOBTITLE[val~\"engineer\"]/COMPANY",
   });
+  // Predicate-heavy, low-selectivity needles: one- and two-byte needles
+  // reject almost no candidate by length and match large fractions of
+  // the corpus, so nearly all evaluation time is substring matching —
+  // the workload the SIMD pool sweep exists for.
+  const std::vector<webre::PathQuery> predicate = ParseAll({
+      "//*[val~\"e\"]",
+      "//*[val~\"a\"]",
+      "//*[val~\"s\"]",
+      "//LANGUAGE[val~\"a\"]",
+      "//JOBTITLE[val~\"er\"]",
+      "//*[val~\"19\"]",
+  });
 
   BaselineRepo before;
   webre::RepositoryOptions options;
@@ -361,29 +385,71 @@ int main(int argc, char** argv) {
     after_no_flat.Add(MakeDoc(i)).value();
   }
 
+  // Kernel cross-check before any timing: the predicate workloads must
+  // produce identical match totals at every SIMD level this machine
+  // supports. A divergence means a scanner kernel is wrong, and no
+  // number from this run can be trusted.
+  {
+    const webre::SimdLevel saved = webre::ActiveSimdLevel();
+    size_t reference = 0;
+    for (int level = 0; level <= static_cast<int>(webre::DetectedSimdLevel());
+         ++level) {
+      webre::SetSimdLevelForTesting(static_cast<webre::SimdLevel>(level));
+      size_t total = 0;
+      for (const webre::PathQuery& query : mixed) {
+        total += after.Query(query).size();
+      }
+      for (const webre::PathQuery& query : predicate) {
+        total += after.Query(query).size();
+      }
+      if (level == 0) {
+        reference = total;
+      } else if (total != reference) {
+        std::fprintf(stderr,
+                     "FAIL: SIMD level %s disagrees with scalar "
+                     "(%zu vs %zu matches)\n",
+                     webre::SimdLevelName(
+                         static_cast<webre::SimdLevel>(level)),
+                     total, reference);
+        return 1;
+      }
+    }
+    webre::SetSimdLevelForTesting(saved);
+  }
+
   const WorkloadResult before_simple =
       RunWorkload(before, simple, flags.reps);
   const WorkloadResult before_mixed = RunWorkload(before, mixed, flags.reps);
+  const WorkloadResult before_predicate =
+      RunWorkload(before, predicate, flags.reps);
   const WorkloadResult after_simple = RunWorkload(after, simple, flags.reps);
   const WorkloadResult after_mixed = RunWorkload(after, mixed, flags.reps);
+  const WorkloadResult after_predicate =
+      RunWorkload(after, predicate, flags.reps);
   const WorkloadResult no_flat_simple =
       RunWorkload(after_no_flat, simple, flags.reps);
   const WorkloadResult no_flat_mixed =
       RunWorkload(after_no_flat, mixed, flags.reps);
+  const WorkloadResult no_flat_predicate =
+      RunWorkload(after_no_flat, predicate, flags.reps);
 
   // All arms see identical corpora, so their match totals must agree;
   // a mismatch means one serving layer is wrong, and no timing from
   // this run can be trusted.
   if (before_simple.matches != after_simple.matches ||
       before_mixed.matches != after_mixed.matches ||
+      before_predicate.matches != after_predicate.matches ||
       no_flat_simple.matches != after_simple.matches ||
-      no_flat_mixed.matches != after_mixed.matches) {
+      no_flat_mixed.matches != after_mixed.matches ||
+      no_flat_predicate.matches != after_predicate.matches) {
     std::fprintf(stderr,
                  "FAIL: arms disagree (simple %zu vs %zu vs %zu, mixed "
-                 "%zu vs %zu vs %zu)\n",
+                 "%zu vs %zu vs %zu, predicate %zu vs %zu vs %zu)\n",
                  before_simple.matches, after_simple.matches,
                  no_flat_simple.matches, before_mixed.matches,
-                 after_mixed.matches, no_flat_mixed.matches);
+                 after_mixed.matches, no_flat_mixed.matches,
+                 before_predicate.matches, after_predicate.matches,
+                 no_flat_predicate.matches);
     return 1;
   }
 
@@ -400,19 +466,24 @@ int main(int argc, char** argv) {
       "  },\n"
       "  \"arms\": {\n",
       flags.docs, stats.elements, stats.distinct_paths, flags.reps);
-  PrintArm("before", flags.docs, 1, before_simple, before_mixed, true);
+  PrintArm("before", flags.docs, 1, before_simple, before_mixed,
+           before_predicate, true);
   PrintArm("after", flags.docs, after.num_shards(), after_simple,
-           after_mixed, true);
+           after_mixed, after_predicate, true);
   PrintArm("after_no_flat", flags.docs, after_no_flat.num_shards(),
-           no_flat_simple, no_flat_mixed, false);
+           no_flat_simple, no_flat_mixed, no_flat_predicate, false);
   std::printf(
       "  },\n"
       "  \"derived\": {\n"
       "    \"simple_speedup\": %.3f,\n"
-      "    \"mixed_speedup\": %.3f\n"
+      "    \"mixed_speedup\": %.3f,\n"
+      "    \"predicate_speedup\": %.3f\n"
       "  }\n"
       "}\n",
       after_simple.qps() > 0 ? after_simple.qps() / before_simple.qps() : 0,
-      after_mixed.qps() > 0 ? after_mixed.qps() / before_mixed.qps() : 0);
+      after_mixed.qps() > 0 ? after_mixed.qps() / before_mixed.qps() : 0,
+      after_predicate.qps() > 0
+          ? after_predicate.qps() / before_predicate.qps()
+          : 0);
   return 0;
 }

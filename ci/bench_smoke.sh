@@ -14,8 +14,9 @@
 #      count) and must emit the query-bench schema;
 #   5. the checked-in BENCH_query.json artifact is validated against
 #      the same schema, including the recorded speedups the query
-#      serving layer is judged by (simple >= 100x, mixed >= 5x after
-#      the flat-document freeze) and the steady-state repository RSS
+#      serving layer is judged by (simple >= 100x, mixed >= 8x and
+#      predicate >= 2.5x after the flat-document freeze plus the
+#      vectorized predicate engine) and the steady-state repository RSS
 #      ceiling (after arm repo_rss_mb <= before arm peak_rss_mb);
 #   6. bench_storage runs a tiny corpus through all four durability
 #      arms (the run itself asserts the cold and mmap arms agree on
@@ -199,7 +200,8 @@ import sys
 
 ARM_KEYS = [
     "arm", "documents", "shards", "simple_seconds", "simple_qps",
-    "mixed_seconds", "mixed_qps", "matches",
+    "mixed_seconds", "mixed_qps", "predicate_seconds", "predicate_qps",
+    "matches",
 ]
 
 
@@ -223,17 +225,24 @@ def check_record(record, where, assert_speedups):
         if arm["matches"] != record["arms"]["before"]["matches"]:
             raise SystemExit(
                 f"FAIL: {where}: arm '{name}' disagrees on match count")
-    for key in ("simple_speedup", "mixed_speedup"):
+    for key in ("simple_speedup", "mixed_speedup", "predicate_speedup"):
         if key not in record["derived"]:
             raise SystemExit(f"FAIL: {where}: missing derived '{key}'")
     if assert_speedups:
         # The artifact records a full steady-state run; its figures are
         # constants of the checked-in file, so the acceptance floors are
         # asserted here (live smoke runs are too short to be meaningful).
+        # Mixed rose from 5x to 8x with the vectorized predicate engine
+        # (SIMD pool scans + cost-based plan selection); the recorded
+        # figure is ~15x, the floor leaves noise headroom. The predicate
+        # workload is dominated by full-pool sweeps and records ~3.8x.
         if record["derived"]["simple_speedup"] < 100.0:
             raise SystemExit(f"FAIL: {where}: simple_speedup below 100x")
-        if record["derived"]["mixed_speedup"] < 5.0:
-            raise SystemExit(f"FAIL: {where}: mixed_speedup below 5x")
+        if record["derived"]["mixed_speedup"] < 8.0:
+            raise SystemExit(f"FAIL: {where}: mixed_speedup below 8x")
+        if record["derived"]["predicate_speedup"] < 2.5:
+            raise SystemExit(
+                f"FAIL: {where}: predicate_speedup below 2.5x")
 
 
 with open(sys.argv[1]) as f:

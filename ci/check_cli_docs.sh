@@ -9,10 +9,11 @@
 # undocumented flag — or documentation for a flag that no longer
 # exists — breaks the default test suite instead of rotting silently.
 #
-# Additionally, every `serve.*` and `storage.*` counter the binary
-# actually emits in `--metrics-json` must be named in CLI.md: these
-# groups are the serving/storage operational surface, and an exported
-# counter nobody can look up is an exported counter nobody trusts.
+# Additionally, every `serve.*`, `storage.*` and `query.*` counter the
+# binary actually emits in `--metrics-json` must be named in CLI.md:
+# these groups are the serving/storage/query operational surface, and an
+# exported counter nobody can look up is an exported counter nobody
+# trusts.
 set -eu
 
 if [ "$#" -ne 2 ]; then
@@ -62,8 +63,9 @@ if [ "$status" -eq 0 ]; then
 fi
 
 # Counter coverage: a minimal metrics-producing run emits the full fixed
-# key set (zeros included), so the emitted serve.*/storage.* names are
-# exactly what operators will see. Each must appear verbatim in CLI.md.
+# key set (zeros included), so the emitted serve.*/storage.*/query.*
+# names are exactly what operators will see. Each must appear verbatim
+# in CLI.md.
 if ! "$webre_bin" demo 1 --metrics-json="$tmpdir/metrics.json" \
     >/dev/null 2>&1; then
   echo "FAIL: 'webre demo 1 --metrics-json' run failed" >&2
@@ -71,10 +73,10 @@ if ! "$webre_bin" demo 1 --metrics-json="$tmpdir/metrics.json" \
 fi
 # The name class includes '.' so dotted subsystem counters (e.g. the
 # per-loop serve.loop.* group) are caught, not silently skipped.
-emitted="$(grep -o -- '"\(serve\|storage\)\.[a-z_.]*"' "$tmpdir/metrics.json" \
-  | tr -d '"' | sort -u)"
+emitted="$(grep -o -- '"\(serve\|storage\|query\)\.[a-z_.]*"' \
+  "$tmpdir/metrics.json" | tr -d '"' | sort -u)"
 if [ -z "$emitted" ]; then
-  echo "FAIL: --metrics-json emitted no serve.*/storage.* counters" >&2
+  echo "FAIL: --metrics-json emitted no serve.*/storage.*/query.* counters" >&2
   exit 1
 fi
 missing=""
@@ -89,6 +91,6 @@ if [ -n "$missing" ]; then
   status=1
 else
   count="$(echo "$emitted" | wc -l)"
-  echo "OK: $count serve.*/storage.* metrics counters all documented"
+  echo "OK: $count serve.*/storage.*/query.* metrics counters all documented"
 fi
 exit "$status"

@@ -26,6 +26,16 @@ run_config() {
   else
     ctest --test-dir "${build_dir}" --output-on-failure -j
   fi
+  # Query-engine tests run a second time with the predicate scanner
+  # pinned to the scalar kernel: sanitizers don't see through SIMD
+  # intrinsics uniformly, and the scalar path is the differential
+  # reference every vector kernel is checked against. Skipped for
+  # targeted sweeps of other labels (serve-tsan).
+  if [ -z "${label}" ] || [ "${label}" = query ]; then
+    echo "=== ${name}: WEBRE_SIMD=scalar (label query) ==="
+    WEBRE_SIMD=scalar \
+      ctest --test-dir "${build_dir}" --output-on-failure -L query -j
+  fi
 }
 
 mode="${1:-all}"

@@ -145,6 +145,19 @@ struct QueryStatsView {
   uint64_t flat_scans = 0;      ///< documents evaluated via FlatDoc
   uint64_t shard_tasks = 0;     ///< per-shard/per-chunk eval tasks run
   uint64_t matches = 0;         ///< matches returned across all queries
+  /// Bytes of value text the predicate engine inspected: full lengths
+  /// of candidate slices (or whole pools for sweeps), charged
+  /// independently of early exits — deterministic across shard/thread
+  /// counts and SIMD levels. Pointer-tree suffix walks (plans 2–3 in
+  /// --no-flat mode) are not instrumented.
+  uint64_t predicate_bytes_scanned = 0;
+  /// Plan classification, exactly one per query (they sum to
+  /// `queries`): summary-only, summary + >= 1 full-pool sweep,
+  /// summary-seeded suffix evaluation, sharded scan.
+  uint64_t plan_summary = 0;
+  uint64_t plan_sweep = 0;
+  uint64_t plan_seeded = 0;
+  uint64_t plan_scan = 0;
   uint64_t flat_bytes = 0;      ///< frozen FlatDoc block bytes stored
   HistogramSnapshot eval_us;    ///< per-query latency, microseconds
 };

@@ -134,6 +134,11 @@ PipelineMetricsSnapshot::CounterItems() const {
       {"query.flat_scans", query_flat_scans},
       {"query.shard_tasks", query_shard_tasks},
       {"query.matches", query_matches},
+      {"query.predicate_bytes_scanned", query_predicate_bytes_scanned},
+      {"query.plan.summary", query_plan_summary},
+      {"query.plan.sweep", query_plan_sweep},
+      {"query.plan.seeded", query_plan_seeded},
+      {"query.plan.scan", query_plan_scan},
       {"storage.wal_appends", storage_wal_appends},
       {"storage.wal_replayed", storage_wal_replayed},
       {"storage.wal_truncated_bytes", storage_wal_truncated_bytes},
@@ -163,6 +168,11 @@ void PipelineMetrics::MergeQueryStats(const QueryStatsView& stats) {
   query.flat_scans.Add(stats.flat_scans);
   query.shard_tasks.Add(stats.shard_tasks);
   query.matches.Add(stats.matches);
+  query.predicate_bytes_scanned.Add(stats.predicate_bytes_scanned);
+  query.plan_summary.Add(stats.plan_summary);
+  query.plan_sweep.Add(stats.plan_sweep);
+  query.plan_seeded.Add(stats.plan_seeded);
+  query.plan_scan.Add(stats.plan_scan);
   mem.flat_bytes.Add(stats.flat_bytes);
   query_us.Merge(stats.eval_us);
 }
@@ -266,6 +276,12 @@ PipelineMetricsSnapshot PipelineMetrics::Snapshot() const {
   snapshot.query_flat_scans = query.flat_scans.value();
   snapshot.query_shard_tasks = query.shard_tasks.value();
   snapshot.query_matches = query.matches.value();
+  snapshot.query_predicate_bytes_scanned =
+      query.predicate_bytes_scanned.value();
+  snapshot.query_plan_summary = query.plan_summary.value();
+  snapshot.query_plan_sweep = query.plan_sweep.value();
+  snapshot.query_plan_seeded = query.plan_seeded.value();
+  snapshot.query_plan_scan = query.plan_scan.value();
   snapshot.storage_wal_appends = storage.wal_appends.value();
   snapshot.storage_wal_replayed = storage.wal_replayed.value();
   snapshot.storage_wal_truncated_bytes = storage.wal_truncated_bytes.value();

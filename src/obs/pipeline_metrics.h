@@ -56,6 +56,11 @@ struct PipelineMetricsSnapshot {
   uint64_t query_flat_scans = 0;
   uint64_t query_shard_tasks = 0;
   uint64_t query_matches = 0;
+  uint64_t query_predicate_bytes_scanned = 0;
+  uint64_t query_plan_summary = 0;
+  uint64_t query_plan_sweep = 0;
+  uint64_t query_plan_seeded = 0;
+  uint64_t query_plan_scan = 0;
 
   // Serving front-end counters (zero for runs without a server).
   // Merged in via PipelineMetrics::MergeServeStats.
@@ -208,6 +213,11 @@ class PipelineMetrics {
     Counter flat_scans;
     Counter shard_tasks;
     Counter matches;
+    Counter predicate_bytes_scanned;
+    Counter plan_summary;
+    Counter plan_sweep;
+    Counter plan_seeded;
+    Counter plan_scan;
   } query;
   struct {
     Counter wal_appends;

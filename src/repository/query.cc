@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "repository/predicate.h"
+#include "util/simd_scan.h"
 #include "util/strings.h"
 
 namespace webre {
@@ -284,39 +286,123 @@ FlatStepTest ResolveFlatStep(const QueryStep& step) {
   return test;
 }
 
-inline bool FlatStepMatches(const FlatStepTest& test, const FlatDoc& doc,
+// Name half of one step's test; the predicate half runs in batch over
+// the step's survivors (apply_predicate in EvaluateFrom below).
+inline bool FlatNameMatches(const FlatStepTest& test, const FlatDoc& doc,
                             uint32_t i) {
   if (test.impossible) return false;
-  if (!test.wildcard && doc.name(i) != test.name) return false;
-  if (!test.lowered.empty() && !doc.ValContainsLowered(i, test.lowered)) {
-    return false;
-  }
-  return true;
+  return test.wildcard || doc.name(i) == test.name;
 }
 
 }  // namespace
 
+struct FlatEvalScratch::Impl {
+  /// Step tests resolved once per query and reused for every document
+  /// evaluated with this scratch (`resolved_for` keys the cache; the
+  /// query outlives the scratch at every call site).
+  const PathQuery* resolved_for = nullptr;
+  std::vector<FlatStepTest> tests;
+  /// The per-step successor frontier, swapped with the live frontier so
+  /// both buffers' capacities survive across steps and documents.
+  std::vector<uint32_t> next;
+  PredicateScratch predicate;
+};
+
+FlatEvalScratch::FlatEvalScratch() : impl_(std::make_unique<Impl>()) {}
+FlatEvalScratch::~FlatEvalScratch() = default;
+
+uint64_t FlatEvalScratch::predicate_bytes_scanned() const {
+  return impl_->predicate.bytes_scanned;
+}
+
+uint64_t FlatEvalScratch::pool_sweeps() const {
+  return impl_->predicate.sweeps;
+}
+
 std::vector<uint32_t> PathQuery::Evaluate(const FlatDoc& doc) const {
+  FlatEvalScratch scratch;
+  return Evaluate(doc, scratch);
+}
+
+std::vector<uint32_t> PathQuery::Evaluate(const FlatDoc& doc,
+                                          FlatEvalScratch& scratch) const {
   if (doc.element_count() == 0) return {};
-  return EvaluateFrom(doc, {0}, 0);
+  return EvaluateFrom(doc, {0}, 0, scratch);
 }
 
 std::vector<uint32_t> PathQuery::EvaluateFrom(
     const FlatDoc& doc, std::vector<uint32_t> frontier,
     size_t first_step) const {
+  FlatEvalScratch scratch;
+  return EvaluateFrom(doc, std::move(frontier), first_step, scratch);
+}
+
+std::vector<uint32_t> PathQuery::EvaluateFrom(
+    const FlatDoc& doc, std::vector<uint32_t> frontier, size_t first_step,
+    FlatEvalScratch& scratch) const {
   // Mirrors the pointer-tree EvaluateFrom step by step; the per-step
   // match sets are provably identical, and both variants return the
   // final set deduplicated in document order (ascending indices here).
-  // The one intentional difference: dedup after a nested descendant
-  // step is a sort+unique over integers instead of a hash set, which
-  // normalizes the intermediate order without changing the set.
-  std::vector<FlatStepTest> tests;
-  tests.reserve(steps_.size());
-  for (const QueryStep& step : steps_) {
-    tests.push_back(ResolveFlatStep(step));
-    FlatStepTest& placed = tests.back();
-    if (!placed.owned.empty()) placed.lowered = placed.owned;
+  // Two intentional differences: dedup after a nested descendant step
+  // is a sort+unique over integers instead of a hash set (normalizes
+  // the intermediate order without changing the set), and a step's
+  // [val~…] predicate is applied in batch AFTER its name test collected
+  // the step's survivors — filtering a set then deduplicating it yields
+  // the same set as filtering element-wise, and the batch form lets the
+  // cost model swap in a full-pool sweep.
+  FlatEvalScratch::Impl& state = *scratch.impl_;
+  std::vector<FlatStepTest>& tests = state.tests;
+  if (state.resolved_for != this) {
+    tests.clear();
+    for (const QueryStep& step : steps_) {
+      tests.push_back(ResolveFlatStep(step));
+      FlatStepTest& placed = tests.back();
+      if (!placed.owned.empty()) placed.lowered = placed.owned;
+    }
+    state.resolved_for = this;
   }
+
+  const uint32_t* off = doc.text_offsets();
+  const std::string_view pool = doc.lowered_pool();
+  // In-place batch predicate filter over one step's name survivors.
+  // Per-document cost decision: slices at least needle-sized are the
+  // candidates (shorter ones cannot match and are rejected by length
+  // alone); when they cover enough of the pool, one SIMD sweep of the
+  // whole pool replaces every per-slice scan and the survivors reduce
+  // to bitset lookups.
+  auto apply_predicate = [&](const FlatStepTest& test,
+                             std::vector<uint32_t>& v) {
+    if (test.lowered.empty() || v.empty()) return;
+    const size_t m = test.lowered.size();
+    size_t cand_count = 0;
+    size_t cand_bytes = 0;
+    for (uint32_t e : v) {
+      const size_t len = off[e + 1] - off[e];
+      if (len >= m) {
+        ++cand_count;
+        cand_bytes += len;
+      }
+    }
+    size_t kept = 0;
+    if (ShouldSweepPool(cand_count, cand_bytes, pool.size())) {
+      const uint64_t* bits =
+          SweepValBitset(doc, test.lowered, state.predicate);
+      for (uint32_t e : v) {
+        if (BitsetTest(bits, e)) v[kept++] = e;
+      }
+    } else {
+      state.predicate.bytes_scanned += cand_bytes;
+      for (uint32_t e : v) {
+        const size_t len = off[e + 1] - off[e];
+        if (len < m) continue;
+        if (FindLowered(std::string_view(pool.data() + off[e], len),
+                        test.lowered) != std::string_view::npos) {
+          v[kept++] = e;
+        }
+      }
+    }
+    v.resize(kept);
+  };
 
   bool nested_possible = false;
   bool order_suspect = false;
@@ -324,21 +410,23 @@ std::vector<uint32_t> PathQuery::EvaluateFrom(
     if (steps_[s].descendant) nested_possible = true;
   }
 
+  std::vector<uint32_t>& next = state.next;
   if (first_step == 0 && !steps_.empty()) {
     const QueryStep& first = steps_[0];
-    std::vector<uint32_t> start;
+    next.clear();
     for (uint32_t root : frontier) {
       if (first.descendant) {
         // `//x` from a root examines the root and its whole subtree —
         // one contiguous range.
         for (uint32_t i = root; i < doc.subtree_end(root); ++i) {
-          if (FlatStepMatches(tests[0], doc, i)) start.push_back(i);
+          if (FlatNameMatches(tests[0], doc, i)) next.push_back(i);
         }
-      } else if (FlatStepMatches(tests[0], doc, root)) {
-        start.push_back(root);
+      } else if (FlatNameMatches(tests[0], doc, root)) {
+        next.push_back(root);
       }
     }
-    frontier = std::move(start);
+    apply_predicate(tests[0], next);
+    std::swap(frontier, next);
     if (first.descendant) nested_possible = true;
     first_step = 1;
   }
@@ -346,19 +434,20 @@ std::vector<uint32_t> PathQuery::EvaluateFrom(
   for (size_t s = first_step; s < steps_.size(); ++s) {
     const QueryStep& step = steps_[s];
     const FlatStepTest& test = tests[s];
-    std::vector<uint32_t> next;
+    next.clear();
     for (uint32_t e : frontier) {
       const uint32_t end = doc.subtree_end(e);
       if (step.descendant) {
         for (uint32_t i = e + 1; i < end; ++i) {
-          if (FlatStepMatches(test, doc, i)) next.push_back(i);
+          if (FlatNameMatches(test, doc, i)) next.push_back(i);
         }
       } else {
         for (uint32_t c = e + 1; c < end; c = doc.subtree_end(c)) {
-          if (FlatStepMatches(test, doc, c)) next.push_back(c);
+          if (FlatNameMatches(test, doc, c)) next.push_back(c);
         }
       }
     }
+    apply_predicate(test, next);
     if (step.descendant) {
       if (nested_possible && next.size() > 1) {
         std::sort(next.begin(), next.end());
@@ -368,7 +457,7 @@ std::vector<uint32_t> PathQuery::EvaluateFrom(
     } else if (nested_possible) {
       order_suspect = true;
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
     if (frontier.empty()) break;
   }
 

@@ -2,6 +2,8 @@
 #define WEBRE_REPOSITORY_QUERY_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +36,33 @@ struct QueryStep {
   /// True when `name` is "*". Cached by Parse; hand-assembled steps
   /// are still recognized through the string.
   bool wildcard = false;
+};
+
+/// Reusable evaluation state for the flat evaluator: resolved step
+/// tests, frontier buffers and the vectorized-predicate scratch
+/// (repository/predicate.h), all with capacity that survives across
+/// documents. The repository creates one per (query, worker task) so
+/// evaluating a 32-document chunk performs its handful of allocations
+/// once instead of per document. Not thread-safe; not shareable across
+/// concurrent EvaluateFrom calls.
+class FlatEvalScratch {
+ public:
+  FlatEvalScratch();
+  ~FlatEvalScratch();
+  FlatEvalScratch(const FlatEvalScratch&) = delete;
+  FlatEvalScratch& operator=(const FlatEvalScratch&) = delete;
+
+  /// Predicate bytes charged by evaluations through this scratch
+  /// (deterministic accounting — see PredicateScratch::bytes_scanned);
+  /// the repository folds this into query.predicate_bytes_scanned.
+  uint64_t predicate_bytes_scanned() const;
+  /// Full-pool sweeps those evaluations performed.
+  uint64_t pool_sweeps() const;
+
+ private:
+  friend class PathQuery;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// A parsed path query over concept-tagged XML documents — the query
@@ -95,11 +124,22 @@ class PathQuery {
   /// semantics over a frozen FlatDoc, addressing elements by pre-order
   /// index. Results come back ascending (= document order, deduplicated);
   /// descendant steps are contiguous subtree-range scans and `[val~…]`
-  /// predicates substring-scan the pre-lowered text pool.
+  /// predicates are evaluated in batch — the step's name survivors are
+  /// collected first, then filtered through the SIMD scanner either
+  /// slice by slice or via one full-pool sweep intersected as a bitset,
+  /// whichever the per-document cost model picks (ShouldSweepPool).
+  /// The scratch-less overloads allocate a scratch per call; hot loops
+  /// pass their own.
   std::vector<uint32_t> Evaluate(const FlatDoc& doc) const;
+  std::vector<uint32_t> Evaluate(const FlatDoc& doc,
+                                 FlatEvalScratch& scratch) const;
   std::vector<uint32_t> EvaluateFrom(const FlatDoc& doc,
                                      std::vector<uint32_t> frontier,
                                      size_t first_step) const;
+  std::vector<uint32_t> EvaluateFrom(const FlatDoc& doc,
+                                     std::vector<uint32_t> frontier,
+                                     size_t first_step,
+                                     FlatEvalScratch& scratch) const;
 
   /// Round-trips back to text.
   std::string ToString() const;

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <type_traits>
 
+#include "repository/predicate.h"
 #include "schema/path_extractor.h"
+#include "util/simd_scan.h"
 #include "util/strings.h"
 #include "xml/dtd_validator.h"
 
@@ -413,15 +415,23 @@ std::vector<QueryMatch> XmlRepository::Query(const PathQuery& query) const {
 
   std::vector<QueryMatch> out;
   if (summary_only) {
-    out = QueryViaSummary(query);
+    bool swept = false;
+    out = QueryViaSummary(query, &swept);
     index_hits_.Increment();
+    // Exactly one plan.* counter per query; `sweep` refines `summary`
+    // when the cost model answered >= 1 document with a full-pool SIMD
+    // sweep. The split depends only on corpus + query (sweep decisions
+    // are per-document byte arithmetic), so it is shard-invariant.
+    (swept ? plan_sweep_ : plan_summary_).Increment();
   } else {
     const size_t prefix_len = query.SimplePrefixLength();
     if (prefix_len > 0) {
       out = QueryViaPrefix(query, prefix_len);
       prefix_hits_.Increment();
+      plan_seeded_.Increment();
     } else {
       out = QueryViaScan(query);
+      plan_scan_.Increment();
     }
   }
   matches_.Add(out.size());
@@ -431,7 +441,8 @@ std::vector<QueryMatch> XmlRepository::Query(const PathQuery& query) const {
 }
 
 std::vector<QueryMatch> XmlRepository::QueryViaSummary(
-    const PathQuery& query) const {
+    const PathQuery& query, bool* swept) const {
+  *swept = false;
   const QueryStep& last = query.steps().back();
   // The final predicate's needle, pre-lowered once per query (Parse
   // already did it; hand-assembled steps pay the lowering here).
@@ -441,82 +452,333 @@ std::vector<QueryMatch> XmlRepository::QueryViaSummary(
       : last.val_lower.size() == last.val_contains.size()
           ? last.val_lower
           : AsciiLower(last.val_contains);
-  auto keep = [&](const PathOccurrence& occ) {
-    if (!has_predicate) return true;
-    // Frozen documents answer the predicate from the pre-lowered text
-    // pool without touching a shard (no shard lock may be taken here —
-    // summary locks after shard locks, never before).
-    return occ.flat != nullptr
-               ? occ.flat->ValContainsLowered(occ.pos, lowered)
-               : ContainsLowered(occ.node->val(), lowered);
-  };
 
   std::vector<QueryMatch> out;
   std::shared_lock<std::shared_mutex> lock(summary_mutex_);
   const std::vector<uint32_t> ids = MatchSummaryPaths(summary_, query);
-  if (ids.size() == 1) {
-    // One path: its occurrence list is already in (doc, pos) order.
-    const std::vector<PathOccurrence>& occurrences =
-        summary_.entry(ids[0]).occurrences;
-    if (!has_predicate) {
+  if (ids.empty()) return out;
+
+  if (!has_predicate) {
+    if (ids.size() == 1) {
       // The hot case (every exact-path query): the occurrence run IS the
       // answer, and the structs are layout-identical (static_asserts at
       // the top of this file), so emit is one block copy — no per-match
       // capacity check or call.
+      const std::vector<PathOccurrence>& occurrences =
+          summary_.entry(ids[0]).occurrences;
       out.resize(occurrences.size());
       if (!occurrences.empty()) {
         std::memcpy(static_cast<void*>(out.data()),
                     static_cast<const void*>(occurrences.data()),
                     occurrences.size() * sizeof(QueryMatch));
       }
-    } else {
-      out.reserve(occurrences.size());
-      for (const PathOccurrence& occ : occurrences) {
-        if (keep(occ)) out.push_back(MatchFromOccurrence(occ));
+      return out;
+    }
+
+    size_t total = 0;
+    for (uint32_t id : ids) total += summary_.entry(id).occurrences.size();
+
+    if (ids.size() == 2) {
+      // Two runs (the common //LABEL shape: one path per parent
+      // context): a classic two-pointer merge, one compare per emitted
+      // match instead of the generic min-scan's per-run loop.
+      const std::vector<PathOccurrence>& a = summary_.entry(ids[0]).occurrences;
+      const std::vector<PathOccurrence>& b = summary_.entry(ids[1]).occurrences;
+      out.reserve(total);
+      size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size()) {
+        const bool take_a =
+            a[i].doc < b[j].doc || (a[i].doc == b[j].doc && a[i].pos < b[j].pos);
+        out.push_back(MatchFromOccurrence(take_a ? a[i] : b[j]));
+        if (take_a) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+      for (; i < a.size(); ++i) out.push_back(MatchFromOccurrence(a[i]));
+      for (; j < b.size(); ++j) out.push_back(MatchFromOccurrence(b[j]));
+      return out;
+    }
+
+    if (ids.size() <= 8) {
+      // Few runs, nothing filtered: merge the (doc, pos)-sorted
+      // occurrence lists directly — linear min-scan beats sorting the
+      // concatenation.
+      std::vector<const std::vector<PathOccurrence>*> runs;
+      std::vector<size_t> cursor(ids.size(), 0);
+      runs.reserve(ids.size());
+      for (uint32_t id : ids) runs.push_back(&summary_.entry(id).occurrences);
+      out.reserve(total);
+      for (size_t emitted = 0; emitted < total; ++emitted) {
+        size_t best = ids.size();
+        for (size_t r = 0; r < runs.size(); ++r) {
+          if (cursor[r] >= runs[r]->size()) continue;
+          if (best == ids.size()) {
+            best = r;
+            continue;
+          }
+          const PathOccurrence& a = (*runs[r])[cursor[r]];
+          const PathOccurrence& b = (*runs[best])[cursor[best]];
+          if (a.doc < b.doc || (a.doc == b.doc && a.pos < b.pos)) best = r;
+        }
+        const PathOccurrence& occ = (*runs[best])[cursor[best]++];
+        out.push_back(MatchFromOccurrence(occ));
+      }
+      return out;
+    }
+
+    out.reserve(total);
+    for (uint32_t id : ids) {
+      for (const PathOccurrence& occ : summary_.entry(id).occurrences) {
+        out.push_back(MatchFromOccurrence(occ));
       }
     }
+    std::sort(out.begin(), out.end(),
+              [](const QueryMatch& a, const QueryMatch& b) {
+                return a.doc != b.doc ? a.doc < b.doc : a.pos < b.pos;
+              });
     return out;
   }
 
-  size_t total = 0;
-  for (uint32_t id : ids) total += summary_.entry(id).occurrences.size();
+  // ---- Final-step predicate: per-DOCUMENT batch evaluation ----
+  //
+  // Occurrence lists are (doc, pos)-sorted, so per-run cursors advanced
+  // in document order visit each document's occurrences exactly once —
+  // the granularity the cost model wants. Per document, the DataGuide's
+  // occurrence counts plus a needle-length screen (slices shorter than
+  // the needle cannot contain it) estimate the bytes a slice-by-slice
+  // scan would touch; when those candidates cover enough of the
+  // document's pre-lowered pool, ONE SIMD sweep of the whole pool
+  // replaces them all and the posting run is intersected with the
+  // resulting element bitset. Distinct paths never share a (doc, pos) —
+  // an element has exactly one label path — so cross-run duplicates are
+  // impossible and a per-document sort by pos restores document order.
+  //
+  // Everything here runs under the summary lock without touching any
+  // shard (lock order: shard before summary, never the reverse), which
+  // is why occurrences carry the FlatDoc pointer.
+  const size_t m = lowered.size();
 
-  if (!has_predicate && ids.size() > 1 && ids.size() <= 8) {
-    // Few runs, nothing filtered: merge the (doc, pos)-sorted occurrence
-    // lists directly — linear min-scan beats sorting the concatenation.
-    std::vector<const std::vector<PathOccurrence>*> runs;
-    std::vector<size_t> cursor(ids.size(), 0);
-    runs.reserve(ids.size());
-    for (uint32_t id : ids) runs.push_back(&summary_.entry(id).occurrences);
-    out.reserve(total);
-    for (size_t emitted = 0; emitted < total; ++emitted) {
-      size_t best = ids.size();
+  // Full-cover sweep: a pattern that matches EVERY summary path (the
+  // repository is add-only, so every trie path has occurrences) makes
+  // every element of every document a candidate. The posting k-way
+  // merge and per-occurrence screening then add nothing — candidates
+  // cover each pool by construction, which is exactly the regime the
+  // cost model's sweep condition describes — so each document is
+  // visited once through the root-path occurrence runs (one root
+  // occurrence per admitted document) and its pool swept directly.
+  // Set bits are emitted as matches without posting intersection:
+  // element index order IS in-document (pos) order, and distinct
+  // paths never share a (doc, pos), so no sort and no dedup apply.
+  // Needs m > 0 (an empty needle marks the whole bitset including the
+  // slack bits past element_count) and flat storage for the pools.
+  if (freeze_flat_ && m > 0 && !ids.empty() &&
+      ids.size() == summary_.path_count()) {
+    PredicateScratch scratch;
+    std::vector<const std::vector<PathOccurrence>*> root_runs;
+    for (uint32_t id : summary_.roots()) {
+      root_runs.push_back(&summary_.entry(id).occurrences);
+    }
+    // Root runs from distinct root paths are doc-disjoint (a document
+    // has one root element), so the min-doc merge visits each doc once;
+    // with a single root label it degenerates to a linear walk.
+    std::vector<size_t> cursor(root_runs.size(), 0);
+    while (true) {
+      size_t best = root_runs.size();
+      for (size_t r = 0; r < root_runs.size(); ++r) {
+        if (cursor[r] >= root_runs[r]->size()) continue;
+        if (best == root_runs.size() ||
+            (*root_runs[r])[cursor[r]].doc <
+                (*root_runs[best])[cursor[best]].doc) {
+          best = r;
+        }
+      }
+      if (best == root_runs.size()) break;
+      const std::vector<PathOccurrence>& brun = *root_runs[best];
+      const PathOccurrence& root = brun[cursor[best]++];
+      // Two-tier lookahead down the winning run (runs from one root
+      // label are the common case, one occurrence per doc): the FlatDoc
+      // struct several docs out, its arrays two docs out — the struct
+      // must arrive before the array addresses can even be computed,
+      // and per-doc work is shorter than one DRAM round trip.
+      if (cursor[best] + 8 < brun.size()) {
+        __builtin_prefetch(brun[cursor[best] + 8].flat);
+      }
+      if (cursor[best] + 1 < brun.size()) {
+        const FlatDoc* ahead = brun[cursor[best] + 1].flat;
+        __builtin_prefetch(ahead->text_offsets());
+        __builtin_prefetch(ahead->lowered_pool().data());
+      } else if (cursor[best] < brun.size()) {
+        const FlatDoc* ahead = brun[cursor[best]].flat;
+        __builtin_prefetch(ahead->text_offsets());
+        __builtin_prefetch(ahead->lowered_pool().data());
+      }
+      const FlatDoc* flat = root.flat;
+      const uint64_t* bits = SweepValBitset(*flat, lowered, scratch);
+      const size_t words = size_t{flat->element_count()} / 64 + 1;
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t word = bits[w];
+        while (word != 0) {
+          const uint32_t e =
+              static_cast<uint32_t>(w * 64 + __builtin_ctzll(word));
+          word &= word - 1;
+          out.push_back(QueryMatch{root.doc, e, nullptr, flat});
+        }
+      }
+    }
+    predicate_bytes_.Add(scratch.bytes_scanned);
+    *swept = scratch.sweeps > 0;
+    return out;
+  }
+
+  std::vector<const std::vector<PathOccurrence>*> runs;
+  runs.reserve(ids.size());
+  size_t total = 0;
+  for (uint32_t id : ids) {
+    runs.push_back(&summary_.entry(id).occurrences);
+    total += runs.back()->size();
+  }
+  out.reserve(total);
+
+  PredicateScratch scratch;
+  std::vector<const PathOccurrence*> doc_matches;
+  std::vector<const PathOccurrence*> cands;
+  struct OccRange {
+    const PathOccurrence* begin;
+    const PathOccurrence* end;
+  };
+  std::vector<OccRange> parts;
+
+  // Evaluates one document's occurrence subranges (`parts`) and emits
+  // its surviving matches in pos order.
+  auto process_doc = [&](const FlatDoc* flat) {
+    doc_matches.clear();
+    if (flat != nullptr) {
+      // One screening pass collects the candidates (slices at least
+      // needle-sized; shorter ones cannot match — by length in the
+      // slice branch, and a sweep hit cannot fit inside one either, so
+      // both branches below may scan candidates only). The collected
+      // order is parts then pos, exactly the old two-pass order.
+      const uint32_t* off = flat->text_offsets();
+      cands.clear();
+      size_t cand_bytes = 0;
+      for (const OccRange& part : parts) {
+        for (const PathOccurrence* occ = part.begin; occ != part.end; ++occ) {
+          const size_t len = off[occ->pos + 1] - off[occ->pos];
+          if (len >= m) {
+            cands.push_back(occ);
+            cand_bytes += len;
+          }
+        }
+      }
+      const std::string_view pool = flat->lowered_pool();
+      if (ShouldSweepPool(cands.size(), cand_bytes, pool.size())) {
+        const uint64_t* bits = SweepValBitset(*flat, lowered, scratch);
+        for (const PathOccurrence* occ : cands) {
+          if (BitsetTest(bits, occ->pos)) doc_matches.push_back(occ);
+        }
+      } else {
+        scratch.bytes_scanned += cand_bytes;
+        for (const PathOccurrence* occ : cands) {
+          const size_t len = off[occ->pos + 1] - off[occ->pos];
+          if (FindLowered(std::string_view(pool.data() + off[occ->pos], len),
+                          lowered) != std::string_view::npos) {
+            doc_matches.push_back(occ);
+          }
+        }
+      }
+    } else {
+      // Pointer mode: per-node scans through the same SIMD kernel
+      // (ContainsLowered routes into util/simd_scan). The length screen
+      // and byte accounting mirror the flat slice path.
+      for (const OccRange& part : parts) {
+        for (const PathOccurrence* occ = part.begin; occ != part.end; ++occ) {
+          const std::string_view val = occ->node->val();
+          if (val.size() < m) continue;
+          scratch.bytes_scanned += val.size();
+          if (ContainsLowered(val, lowered)) doc_matches.push_back(occ);
+        }
+      }
+    }
+    if (parts.size() > 1 && doc_matches.size() > 1) {
+      std::sort(doc_matches.begin(), doc_matches.end(),
+                [](const PathOccurrence* a, const PathOccurrence* b) {
+                  return a->pos < b->pos;
+                });
+    }
+    for (const PathOccurrence* occ : doc_matches) {
+      out.push_back(MatchFromOccurrence(*occ));
+    }
+  };
+
+  if (runs.size() == 1) {
+    // Single path id: document runs are contiguous in the one list.
+    const std::vector<PathOccurrence>& run = *runs[0];
+    for (size_t i = 0; i < run.size();) {
+      size_t j = i + 1;
+      while (j < run.size() && run[j].doc == run[i].doc) ++j;
+      // Two-tier lookahead: the FlatDoc struct a dozen occurrences out
+      // (roughly 8 docs), its arrays two docs out — per-doc work is a
+      // few dozen nanoseconds, shorter than one DRAM round trip, so a
+      // single-doc distance cannot hide the three dependent cold block
+      // loads that otherwise dominate the run.
+      if (j + 12 < run.size()) __builtin_prefetch(run[j + 12].flat);
+      if (j < run.size() && run[j].flat != nullptr) {
+        size_t k = j + 1;
+        while (k < run.size() && run[k].doc == run[j].doc) ++k;
+        const FlatDoc* ahead = k < run.size() ? run[k].flat : run[j].flat;
+        if (ahead != nullptr) {
+          __builtin_prefetch(ahead->text_offsets());
+          __builtin_prefetch(ahead->lowered_pool().data());
+        }
+      }
+      parts.clear();
+      parts.push_back(OccRange{run.data() + i, run.data() + j});
+      process_doc(run[i].flat);
+      i = j;
+    }
+  } else {
+    // K-way document merge across the per-path lists: each iteration
+    // picks the smallest unprocessed doc id, gathers that document's
+    // subrange from every run that has it, and batch-evaluates them
+    // together (so a document's pool is swept at most once per query,
+    // not once per path).
+    std::vector<size_t> cursor(runs.size(), 0);
+    std::vector<size_t> active;  // runs holding the current doc
+    active.reserve(runs.size());
+    while (true) {
+      DocId doc = 0;
+      bool any = false;
+      active.clear();
       for (size_t r = 0; r < runs.size(); ++r) {
         if (cursor[r] >= runs[r]->size()) continue;
-        if (best == ids.size()) {
-          best = r;
-          continue;
+        const DocId d = (*runs[r])[cursor[r]].doc;
+        if (!any || d < doc) {
+          doc = d;
+          any = true;
+          active.clear();
+          active.push_back(r);
+        } else if (d == doc) {
+          active.push_back(r);
         }
-        const PathOccurrence& a = (*runs[r])[cursor[r]];
-        const PathOccurrence& b = (*runs[best])[cursor[best]];
-        if (a.doc < b.doc || (a.doc == b.doc && a.pos < b.pos)) best = r;
       }
-      const PathOccurrence& occ = (*runs[best])[cursor[best]++];
-      out.push_back(MatchFromOccurrence(occ));
+      if (!any) break;
+      parts.clear();
+      const FlatDoc* flat = nullptr;
+      for (size_t r : active) {
+        const std::vector<PathOccurrence>& run = *runs[r];
+        size_t i = cursor[r];
+        if (parts.empty()) flat = run[i].flat;
+        while (i < run.size() && run[i].doc == doc) ++i;
+        parts.push_back(OccRange{run.data() + cursor[r], run.data() + i});
+        cursor[r] = i;
+      }
+      process_doc(flat);
     }
-    return out;
   }
-
-  out.reserve(total);
-  for (uint32_t id : ids) {
-    for (const PathOccurrence& occ : summary_.entry(id).occurrences) {
-      if (keep(occ)) out.push_back(MatchFromOccurrence(occ));
-    }
-  }
-  std::sort(out.begin(), out.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              return a.doc != b.doc ? a.doc < b.doc : a.pos < b.pos;
-            });
+  predicate_bytes_.Add(scratch.bytes_scanned);
+  *swept = scratch.sweeps > 0;
   return out;
 }
 
@@ -560,37 +822,69 @@ std::vector<QueryMatch> XmlRepository::QueryViaPrefix(const PathQuery& query,
 
   auto eval_ranges = [&](size_t range_begin, size_t range_end,
                          std::vector<QueryMatch>& sink) {
+    // One scratch per chunk task: resolved step tests, frontier buffers
+    // and the predicate arena all persist across the chunk's documents,
+    // so steady-state evaluation performs no per-document allocation.
+    FlatEvalScratch scratch;
+    std::vector<uint32_t> frontier;
     size_t flat_evaluated = 0;
     for (size_t r = range_begin; r < range_end; ++r) {
       const DocRange& range = ranges[r];
       const PathOccurrence& seed = occurrences[range.begin];
+      // Two-tier lookahead, same rationale as the summary predicate
+      // runs: structs ~8 docs out, arrays two docs out.
+      if (r + 8 < range_end) {
+        __builtin_prefetch(occurrences[ranges[r + 8].begin].flat);
+      }
+      if (r + 2 < range_end) {
+        const PathOccurrence& next = occurrences[ranges[r + 2].begin];
+        if (next.flat != nullptr) {
+          // Suffix evaluation walks names and subtree ranges before it
+          // reaches vals, so pull the block's front (names) and the
+          // subtree_end region in too, not just offsets + pool.
+          const uint32_t count = next.flat->element_count();
+          __builtin_prefetch(next.flat->block_data());
+          __builtin_prefetch(next.flat->block_data() +
+                             size_t{3} * 4 * count);
+          __builtin_prefetch(next.flat->text_offsets());
+          __builtin_prefetch(next.flat->lowered_pool().data());
+        }
+      }
       if (seed.flat != nullptr) {
         // Frozen document: the frontier is the occurrence positions and
         // the suffix runs as subtree-range scans — no lock, no pointers.
         const FlatDoc& flat = *seed.flat;
-        std::vector<uint32_t> frontier;
+        frontier.clear();
         frontier.reserve(range.end - range.begin);
         for (size_t i = range.begin; i < range.end; ++i) {
           frontier.push_back(occurrences[i].pos);
         }
-        for (uint32_t e :
-             query.EvaluateFrom(flat, std::move(frontier), prefix_len)) {
+        std::vector<uint32_t> result =
+            query.EvaluateFrom(flat, std::move(frontier), prefix_len, scratch);
+        for (uint32_t e : result) {
           sink.push_back(QueryMatch{range.doc, e, nullptr, &flat});
         }
+        // The result's storage is the frontier buffer (EvaluateFrom
+        // consumes and returns it); moving it back recycles the
+        // capacity so steady state allocates nothing per document.
+        frontier = std::move(result);
         ++flat_evaluated;
         continue;
       }
-      std::vector<const Node*> frontier;
-      frontier.reserve(range.end - range.begin);
+      std::vector<const Node*> node_frontier;
+      node_frontier.reserve(range.end - range.begin);
       for (size_t i = range.begin; i < range.end; ++i) {
-        frontier.push_back(occurrences[i].node);
+        node_frontier.push_back(occurrences[i].node);
       }
       for (const Node* node :
-           query.EvaluateFrom(std::move(frontier), prefix_len)) {
+           query.EvaluateFrom(std::move(node_frontier), prefix_len)) {
         sink.push_back(QueryMatch{range.doc, 0, node, nullptr});
       }
     }
     if (flat_evaluated > 0) flat_scans_.Add(flat_evaluated);
+    if (scratch.predicate_bytes_scanned() > 0) {
+      predicate_bytes_.Add(scratch.predicate_bytes_scanned());
+    }
   };
 
   const size_t chunks =
@@ -651,6 +945,7 @@ std::vector<QueryMatch> XmlRepository::QueryViaScan(
     }
     if (candidates->empty()) return;
     shard_tasks_.Increment();
+    FlatEvalScratch scratch;  // per shard task, reused across documents
     size_t walked = 0;
     size_t flat_evaluated = 0;
     for (DocId id : *candidates) {
@@ -659,7 +954,7 @@ std::vector<QueryMatch> XmlRepository::QueryViaScan(
         ++walked;
         ++flat_evaluated;
         const FlatDoc& flat = *stored.flat;
-        for (uint32_t e : query.Evaluate(flat)) {
+        for (uint32_t e : query.Evaluate(flat, scratch)) {
           results[s].push_back(QueryMatch{id, e, nullptr, &flat});
         }
       } else if (stored.tree != nullptr) {
@@ -672,6 +967,9 @@ std::vector<QueryMatch> XmlRepository::QueryViaScan(
     }
     fallback_walks_.Add(walked);
     if (flat_evaluated > 0) flat_scans_.Add(flat_evaluated);
+    if (scratch.predicate_bytes_scanned() > 0) {
+      predicate_bytes_.Add(scratch.predicate_bytes_scanned());
+    }
   };
 
   ThreadPool* pool = EnsurePool();
@@ -735,6 +1033,11 @@ obs::QueryStatsView XmlRepository::query_stats() const {
   view.flat_scans = flat_scans_.value();
   view.shard_tasks = shard_tasks_.value();
   view.matches = matches_.value();
+  view.predicate_bytes_scanned = predicate_bytes_.value();
+  view.plan_summary = plan_summary_.value();
+  view.plan_seeded = plan_seeded_.value();
+  view.plan_scan = plan_scan_.value();
+  view.plan_sweep = plan_sweep_.value();
   view.eval_us = eval_us_.Snapshot();
   view.flat_bytes = flat_bytes_.value();
   return view;

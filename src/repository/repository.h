@@ -107,9 +107,14 @@ struct RepositoryOptions {
 ///  1. summary-only: every step is a name/wildcard/descendant test and
 ///     only the FINAL step may carry a [val~…] predicate — the summary
 ///     trie is pattern-matched and matches stream straight from the
-///     occurrence lists (query.index_hits); the predicate, if any,
-///     substring-scans the pre-lowered flat text pool (or the node's
-///     val in pointer mode);
+///     occurrence lists (query.index_hits). A final predicate is
+///     evaluated per DOCUMENT run of the (doc, pos)-sorted occurrence
+///     lists: the DataGuide's occurrence counts plus a needle-length
+///     selectivity screen (slices shorter than the needle cannot match)
+///     cost each document, and either the candidate slices are scanned
+///     individually or the document's whole pre-lowered pool gets one
+///     SIMD sweep whose hit bitset is intersected with the posting run
+///     (repository/predicate.h; in pointer mode, per-node scans);
 ///  2. summary-seeded: an intermediate (non-final) predicate stops
 ///     plan 1, but a non-empty simple child-axis prefix still resolves
 ///     from the summary; only the remaining steps are evaluated, from
@@ -118,11 +123,18 @@ struct RepositoryOptions {
 ///     per-shard per-document evaluation, pruned by the shard indexes
 ///     and fanned out through a ThreadPool (query.fallback_walks counts
 ///     evaluated documents).
-/// Documents evaluated through the flat evaluator in plans 2–3 are also
-/// counted by query.flat_scans (0 in pointer mode). All plans return
-/// matches sorted by (doc id, document order), so results are
-/// byte-identical across shard counts, thread counts and both storage
-/// modes.
+/// Every query increments exactly one query.plan.* counter: `summary`
+/// (plan 1, no sweep), `sweep` (plan 1 that swept >= 1 document pool),
+/// `seeded` (plan 2) or `scan` (plan 3) — all decisions depend only on
+/// the corpus and the query, never on sharding, threading or the SIMD
+/// level, so the counters sit in the determinism view. Predicate work
+/// across all plans is charged to query.predicate_bytes_scanned (full
+/// lengths of inspected slices, or whole pools for sweeps — also
+/// deterministic). Documents evaluated through the flat evaluator in
+/// plans 2–3 are counted by query.flat_scans (0 in pointer mode). All
+/// plans return matches sorted by (doc id, document order), so results
+/// are byte-identical across shard counts, thread counts, both storage
+/// modes and every SIMD level.
 ///
 /// Lock order: shard before summary, never the reverse. (This is why
 /// occurrences carry the FlatDoc pointer: plan 1 filters predicates
@@ -300,8 +312,11 @@ class XmlRepository {
   DocId AdmitFrozen(std::unique_ptr<FlatDoc> flat, const DocumentPaths& mined,
                     bool feed_summary);
 
-  /// Plan 1: answer entirely from the structural summary.
-  std::vector<QueryMatch> QueryViaSummary(const PathQuery& query) const;
+  /// Plan 1: answer entirely from the structural summary. Sets `swept`
+  /// when at least one document pool was answered by a full SIMD sweep
+  /// (the query.plan.sweep classification).
+  std::vector<QueryMatch> QueryViaSummary(const PathQuery& query,
+                                          bool* swept) const;
   /// Plan 2: seed the frontier from the summary, walk the suffix.
   std::vector<QueryMatch> QueryViaPrefix(const PathQuery& query,
                                          size_t prefix_len) const;
@@ -333,6 +348,11 @@ class XmlRepository {
   mutable obs::Counter flat_scans_;
   mutable obs::Counter shard_tasks_;
   mutable obs::Counter matches_;
+  mutable obs::Counter predicate_bytes_;
+  mutable obs::Counter plan_summary_;
+  mutable obs::Counter plan_seeded_;
+  mutable obs::Counter plan_scan_;
+  mutable obs::Counter plan_sweep_;
   mutable obs::Histogram eval_us_;
   obs::Counter flat_bytes_;
 

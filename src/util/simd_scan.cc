@@ -1,0 +1,290 @@
+#include "util/simd_scan.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#define WEBRE_SIMD_X86 1
+#endif
+
+namespace webre {
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+
+// All kernels share one contract: 1 <= m and from + m <= n (the public
+// FindLowered wrapper handles the degenerate cases), and they return the
+// smallest candidate offset in [from, n - m] or kNpos.
+using FindFn = size_t (*)(const char* h, size_t n, const char* needle,
+                          size_t m, size_t from);
+
+size_t FindScalar(const char* h, size_t n, const char* needle, size_t m,
+                  size_t from) {
+  return simd_internal::FindScalarLowered(h, n, needle, m, from);
+}
+
+#ifdef WEBRE_SIMD_X86
+
+// Verifies needle bytes [1, m-1) at `cand` (first and last byte were
+// matched by the broadcast compares; m == 1 and m == 2 verify nothing).
+inline bool MiddleMatches(const char* h, const char* needle, size_t m,
+                          size_t cand) {
+  size_t j = 1;
+  while (j + 1 < m && AsciiToLower(h[cand + j]) == needle[j]) ++j;
+  return j + 1 >= m;
+}
+
+// ASCII-lowers all 16 lanes: bytes in ['A','Z'] get bit 0x20 OR-ed in.
+// Signed compares leave bytes >= 0x80 (negative as epi8) untouched —
+// the >= 'A' test already fails for them.
+__attribute__((target("sse2"))) inline __m128i LowerSse2(__m128i v) {
+  const __m128i ge = _mm_cmpgt_epi8(v, _mm_set1_epi8('A' - 1));
+  const __m128i le = _mm_cmplt_epi8(v, _mm_set1_epi8('Z' + 1));
+  return _mm_or_si128(
+      v, _mm_and_si128(_mm_and_si128(ge, le), _mm_set1_epi8(0x20)));
+}
+
+__attribute__((target("sse2"))) size_t FindSse2(const char* h, size_t n,
+                                                const char* needle, size_t m,
+                                                size_t from) {
+  constexpr size_t kWidth = 16;
+  const __m128i first = _mm_set1_epi8(needle[0]);
+  const __m128i last = _mm_set1_epi8(needle[m - 1]);
+  size_t i = from;
+  // A vector round tests candidate starts [i, i+15]: 16 bytes loaded at
+  // i (first-byte lanes) and 16 at i+m-1 (last-byte lanes), so it needs
+  // i + m - 1 + kWidth <= n to stay in bounds — which also keeps every
+  // candidate within [from, n - m].
+  while (i + m - 1 + kWidth <= n) {
+    const __m128i a =
+        LowerSse2(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i)));
+    const __m128i b = LowerSse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i + m - 1)));
+    const __m128i eq =
+        _mm_and_si128(_mm_cmpeq_epi8(a, first), _mm_cmpeq_epi8(b, last));
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(eq));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const size_t cand = i + bit;
+      if (MiddleMatches(h, needle, m, cand)) return cand;
+    }
+    i += kWidth;
+  }
+  if (i + m > n) return kNpos;
+  // Tail: one final round slid back so its last loaded byte is h[n-1].
+  // It re-tests some candidates below i — already examined and
+  // rejected, so they are skipped — and covers everything in [i, n-m]
+  // without a second kernel's setup. Needs n >= m - 1 + kWidth so the
+  // slid-back start stays inside the haystack; the public wrapper
+  // routes windows smaller than that to the scalar loop.
+  if (n < m - 1 + kWidth) return FindScalar(h, n, needle, m, i);
+  const size_t t = n - (m - 1) - kWidth;
+  const __m128i a =
+      LowerSse2(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h + t)));
+  const __m128i b = LowerSse2(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + t + m - 1)));
+  const __m128i eq =
+      _mm_and_si128(_mm_cmpeq_epi8(a, first), _mm_cmpeq_epi8(b, last));
+  unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(eq));
+  while (mask != 0) {
+    const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    const size_t cand = t + bit;
+    if (cand < i) continue;
+    if (MiddleMatches(h, needle, m, cand)) return cand;
+  }
+  return kNpos;
+}
+
+__attribute__((target("avx2"))) inline __m256i LowerAvx2(__m256i v) {
+  const __m256i ge = _mm256_cmpgt_epi8(v, _mm256_set1_epi8('A' - 1));
+  const __m256i le = _mm256_cmpgt_epi8(_mm256_set1_epi8('Z' + 1), v);
+  return _mm256_or_si256(
+      v, _mm256_and_si256(_mm256_and_si256(ge, le), _mm256_set1_epi8(0x20)));
+}
+
+__attribute__((target("avx2"))) size_t FindAvx2(const char* h, size_t n,
+                                                const char* needle, size_t m,
+                                                size_t from) {
+  constexpr size_t kWidth = 32;
+  const __m256i first = _mm256_set1_epi8(needle[0]);
+  const __m256i last = _mm256_set1_epi8(needle[m - 1]);
+  size_t i = from;
+  while (i + m - 1 + kWidth <= n) {
+    const __m256i a = LowerAvx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i)));
+    const __m256i b = LowerAvx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i + m - 1)));
+    const __m256i eq = _mm256_and_si256(_mm256_cmpeq_epi8(a, first),
+                                        _mm256_cmpeq_epi8(b, last));
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(eq));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const size_t cand = i + bit;
+      if (MiddleMatches(h, needle, m, cand)) return cand;
+    }
+    i += kWidth;
+  }
+  if (i + m > n) return kNpos;
+  // Tail: one slid-back 32-lane round covering [i, n-m] (candidates
+  // below i were already rejected and are skipped), same scheme as the
+  // SSE2 tail. Too-short haystacks fall through to the SSE2 kernel,
+  // whose own tail handles them.
+  if (n < m - 1 + kWidth) return FindSse2(h, n, needle, m, i);
+  const size_t t = n - (m - 1) - kWidth;
+  const __m256i a =
+      LowerAvx2(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + t)));
+  const __m256i b = LowerAvx2(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + t + m - 1)));
+  const __m256i eq = _mm256_and_si256(_mm256_cmpeq_epi8(a, first),
+                                      _mm256_cmpeq_epi8(b, last));
+  unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(eq));
+  while (mask != 0) {
+    const unsigned bit = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    const size_t cand = t + bit;
+    if (cand < i) continue;
+    if (MiddleMatches(h, needle, m, cand)) return cand;
+  }
+  return kNpos;
+}
+
+bool CpuHasSse2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & bit_SSE2) != 0;
+}
+
+bool CpuHasAvx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  // AVX2 use requires the OS to save YMM state: OSXSAVE + AVX, then
+  // XCR0 bits 1 (SSE) and 2 (AVX), then the AVX2 feature bit itself.
+  if ((ecx & bit_OSXSAVE) == 0 || (ecx & bit_AVX) == 0) return false;
+  unsigned xcr0_lo = 0, xcr0_hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  if ((xcr0_lo & 0x6) != 0x6) return false;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & bit_AVX2) != 0;
+}
+
+#endif  // WEBRE_SIMD_X86
+
+FindFn KernelForLevel(SimdLevel level) {
+#ifdef WEBRE_SIMD_X86
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return &FindAvx2;
+    case SimdLevel::kSse2:
+      return &FindSse2;
+    case SimdLevel::kScalar:
+      return &FindScalar;
+  }
+#else
+  (void)level;
+#endif
+  return &FindScalar;
+}
+
+SimdLevel DetectHardwareLevel() {
+#ifdef WEBRE_SIMD_X86
+  return SimdLevelFromFeatures(CpuHasSse2(), CpuHasAvx2());
+#else
+  return SimdLevelFromFeatures(false, false);
+#endif
+}
+
+// Dispatch state. Relaxed atomics: every installed value is a valid
+// kernel, so a racing reader at worst runs one scan on the previous
+// level — results are identical by construction.
+std::atomic<FindFn> g_kernel{nullptr};
+std::atomic<int> g_level{0};
+
+SimdLevel ClampToHardware(SimdLevel level) {
+  const SimdLevel hw = DetectedSimdLevel();
+  return static_cast<int>(level) > static_cast<int>(hw) ? hw : level;
+}
+
+FindFn InstallInitial() {
+  SimdLevel level = DetectedSimdLevel();
+  if (const char* env = std::getenv("WEBRE_SIMD")) {
+    SimdLevel requested;
+    // An unparseable value is ignored (full hardware dispatch), a valid
+    // one is honored up to what the hardware supports.
+    if (ParseSimdLevel(env, &requested)) level = ClampToHardware(requested);
+  }
+  const FindFn fn = KernelForLevel(level);
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_kernel.store(fn, std::memory_order_relaxed);
+  return fn;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseSimdLevel(std::string_view text, SimdLevel* level) {
+  if (text == "scalar") {
+    *level = SimdLevel::kScalar;
+  } else if (text == "sse2") {
+    *level = SimdLevel::kSse2;
+  } else if (text == "avx2") {
+    *level = SimdLevel::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel SimdLevelFromFeatures(bool has_sse2, bool has_avx2) {
+  if (has_avx2 && has_sse2) return SimdLevel::kAvx2;
+  if (has_sse2) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel DetectedSimdLevel() {
+  static const SimdLevel level = DetectHardwareLevel();
+  return level;
+}
+
+SimdLevel ActiveSimdLevel() {
+  if (g_kernel.load(std::memory_order_relaxed) == nullptr) InstallInitial();
+  return static_cast<SimdLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+SimdLevel SetSimdLevelForTesting(SimdLevel level) {
+  const SimdLevel clamped = ClampToHardware(level);
+  g_level.store(static_cast<int>(clamped), std::memory_order_relaxed);
+  g_kernel.store(KernelForLevel(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+namespace simd_internal {
+
+size_t FindLoweredDispatch(const char* h, size_t n, const char* needle,
+                           size_t m, size_t from) {
+  FindFn fn = g_kernel.load(std::memory_order_relaxed);
+  if (fn == nullptr) fn = InstallInitial();
+  return fn(h, n, needle, m, from);
+}
+
+}  // namespace simd_internal
+
+}  // namespace webre

@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include "util/simd_scan.h"
+
 namespace webre {
 
 std::string AsciiLower(std::string_view s) {
@@ -48,20 +50,11 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
 }
 
 bool ContainsLowered(std::string_view haystack, std::string_view lowered) {
-  if (lowered.empty()) return true;
-  if (lowered.size() > haystack.size()) return false;
-  const char first = lowered[0];
-  const size_t last = haystack.size() - lowered.size();
-  for (size_t i = 0; i <= last; ++i) {
-    if (AsciiToLower(haystack[i]) != first) continue;
-    size_t j = 1;
-    while (j < lowered.size() &&
-           AsciiToLower(haystack[i + j]) == lowered[j]) {
-      ++j;
-    }
-    if (j == lowered.size()) return true;
-  }
-  return false;
+  // One matcher for every lowered-needle search in the system: the
+  // runtime-dispatched SIMD scanner (util/simd_scan.h). FlatDoc's
+  // ValContainsLowered routes through the same kernel, so flat and
+  // pointer ("--no-flat") storage modes share one tested code path.
+  return FindLowered(haystack, lowered) != std::string_view::npos;
 }
 
 bool ContainsWordIgnoreCase(std::string_view haystack,

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string_view>
 
+#include "util/simd_scan.h"
 #include "util/status.h"
 #include "xml/name_table.h"
 #include "xml/node.h"
@@ -103,10 +104,26 @@ class FlatDoc {
   }
   /// True iff element i's val contains `lowered` (which must already be
   /// ASCII-lowered; an empty needle matches everything). This is the
-  /// predicate fast path: a substring find over the pre-lowered pool.
+  /// per-element predicate fast path: the runtime-dispatched SIMD
+  /// scanner over the pre-lowered slice (re-lowering lowered bytes is
+  /// the identity, so the shared kernel needs no pre-lowered variant).
   bool ValContainsLowered(uint32_t i, std::string_view lowered) const {
-    return val_lowered(i).find(lowered) != std::string_view::npos;
+    return FindLowered(val_lowered(i), lowered) != std::string_view::npos;
   }
+
+  /// The entire pre-lowered text pool — element i's val occupies bytes
+  /// [text_offsets()[i], text_offsets()[i+1]), and slices are adjacent
+  /// with no separators. The repository's predicate engine scans this
+  /// whole pool in one SIMD pass and maps hits back to elements through
+  /// text_offsets() (repository/predicate.h); a hit straddling two
+  /// adjacent slices is rejected there, never here.
+  std::string_view lowered_pool() const {
+    return std::string_view(lower_, text_off_[count_]);
+  }
+  /// The text-offset array backing val()/val_lowered():
+  /// element_count() + 1 ascending entries, text_off[0] == 0 and
+  /// text_off[element_count()] == pool size.
+  const uint32_t* text_offsets() const { return text_off_; }
 
   /// Bytes of the single backing block (the document's entire
   /// steady-state footprint; exported as mem.flat_bytes).

@@ -18,6 +18,7 @@
 #include "schema/frequent_paths.h"
 #include "schema/path_extractor.h"
 #include "util/rng.h"
+#include "util/simd_scan.h"
 #include "util/strings.h"
 
 namespace webre {
@@ -375,7 +376,69 @@ TEST(RepositoryDifferential, ShardCountInvariantResultsAndCounters) {
     EXPECT_EQ(stats[0].fallback_walks, stats[i].fallback_walks);
     EXPECT_EQ(stats[0].flat_scans, stats[i].flat_scans);
     EXPECT_EQ(stats[0].matches, stats[i].matches);
+    EXPECT_EQ(stats[0].predicate_bytes_scanned,
+              stats[i].predicate_bytes_scanned);
+    EXPECT_EQ(stats[0].plan_summary, stats[i].plan_summary);
+    EXPECT_EQ(stats[0].plan_sweep, stats[i].plan_sweep);
+    EXPECT_EQ(stats[0].plan_seeded, stats[i].plan_seeded);
+    EXPECT_EQ(stats[0].plan_scan, stats[i].plan_scan);
     EXPECT_EQ(stats[0].eval_us.count, stats[i].eval_us.count);
+  }
+  // Predicate work is charged by candidate length, not by scan progress,
+  // so the byte figure is exact; and every query lands in exactly one
+  // plan bucket.
+  EXPECT_GT(stats[0].predicate_bytes_scanned, 0u);
+  EXPECT_EQ(stats[0].plan_summary + stats[0].plan_sweep +
+                stats[0].plan_seeded + stats[0].plan_scan,
+            stats[0].queries);
+}
+
+TEST(RepositoryDifferential, SimdLevelInvariantResultsAndCounters) {
+  // The same corpus and queries must produce byte-identical match
+  // sequences and counters no matter which scanner kernel is dispatched.
+  static const char* const kQueries[] = {
+      "//a[val~\"java\"]", "//*[val~\"19\"]", "/r/a[val~\"o\"]/b",
+      "//b[val~\"hello world\"]", "//c[val~\"x\"]", "/r/a/b",
+  };
+  const SimdLevel saved = ActiveSimdLevel();
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (DetectedSimdLevel() >= SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (DetectedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  std::vector<std::vector<std::pair<size_t, uint32_t>>> results;
+  std::vector<obs::QueryStatsView> stats;
+  for (SimdLevel level : levels) {
+    ASSERT_EQ(SetSimdLevelForTesting(level), level);
+    XmlRepository repo;
+    Rng rng(4242);  // same corpus as the shard-invariance view
+    for (size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(repo.Add(RandomTree(rng)).ok());
+    }
+    std::vector<std::pair<size_t, uint32_t>> canonical;
+    for (const char* text : kQueries) {
+      const auto matches = repo.Query(text);
+      ASSERT_TRUE(matches.ok()) << text;
+      for (const QueryMatch& m : *matches) {
+        canonical.emplace_back(m.doc, m.pos);
+      }
+    }
+    results.push_back(std::move(canonical));
+    stats.push_back(repo.query_stats());
+  }
+  SetSimdLevelForTesting(saved);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i])
+        << "level " << SimdLevelName(levels[i]);
+    EXPECT_EQ(stats[0].matches, stats[i].matches);
+    EXPECT_EQ(stats[0].predicate_bytes_scanned,
+              stats[i].predicate_bytes_scanned);
+    EXPECT_EQ(stats[0].plan_summary, stats[i].plan_summary);
+    EXPECT_EQ(stats[0].plan_sweep, stats[i].plan_sweep);
+    EXPECT_EQ(stats[0].plan_seeded, stats[i].plan_seeded);
+    EXPECT_EQ(stats[0].plan_scan, stats[i].plan_scan);
   }
 }
 

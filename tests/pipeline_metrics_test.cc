@@ -271,6 +271,15 @@ TEST(MetricsJson, SchemaGolden) {
   EXPECT_GT(run.snapshot.mem_node_allocs, 0u);
   EXPECT_GT(run.snapshot.mem_arena_bytes, 0u);
 
+  // The predicate-engine counters are likewise pinned: present (as
+  // zeros on a pure conversion run — the fixed key set does not vary
+  // with run type).
+  for (const char* key :
+       {"query.predicate_bytes_scanned", "query.plan.summary",
+        "query.plan.sweep", "query.plan.seeded", "query.plan.scan"}) {
+    ASSERT_NE(counters->Find(key), nullptr) << key;
+  }
+
   const minijson::Value* budget = root.Find("budget");
   ASSERT_NE(budget->Find("headroom"), nullptr);
   // Default limits are finite, so all three dimensions report headroom

@@ -21,6 +21,7 @@
 #include "restructure/recognizer.h"
 #include "serve/cache.h"
 #include "serve/frame.h"
+#include "util/simd_scan.h"
 
 namespace webre {
 namespace serve {
@@ -195,6 +196,43 @@ TEST_F(CachedQueryTest, AddInvalidatesAcrossTheCache) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_GT(TotalMatches(*after), matches_before);
+}
+
+TEST_F(CachedQueryTest, CachedBodiesAreByteIdenticalAcrossSimdLevels) {
+  // The cache stores serialized response bodies, so the predicate
+  // scanner must produce byte-identical match sequences at every SIMD
+  // level — otherwise switching kernels (or machines) would make cached
+  // and fresh answers diverge for the same generation vector.
+  RepositoryOptions options;
+  options.num_shards = 2;
+  XmlRepository repo(options);
+  for (size_t i = 0; i < 8; ++i) ASSERT_TRUE(repo.Add(Doc(i)).ok());
+
+  const char* const kShapes[] = {"//DATE[val~\"199\"]",
+                                 "//*[val~\"a\"]", "//DATE"};
+  const SimdLevel saved = ActiveSimdLevel();
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (DetectedSimdLevel() >= SimdLevel::kSse2) {
+    levels.push_back(SimdLevel::kSse2);
+  }
+  if (DetectedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  for (const char* shape : kShapes) {
+    std::vector<std::string> bodies;
+    for (SimdLevel level : levels) {
+      SetSimdLevelForTesting(level);
+      QueryCache cache(1u << 20);  // fresh cache: every level evaluates
+      auto body = CachedQueryBody(repo, cache, shape, 100);
+      ASSERT_TRUE(body.ok()) << shape;
+      bodies.push_back(*body);
+    }
+    for (size_t i = 1; i < bodies.size(); ++i) {
+      EXPECT_EQ(bodies[0], bodies[i])
+          << shape << " at level " << SimdLevelName(levels[i]);
+    }
+  }
+  SetSimdLevelForTesting(saved);
 }
 
 // The differential: one writer admits copies of a fixed document (each
